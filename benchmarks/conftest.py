@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at a
+scale that keeps the whole harness runnable in minutes.  One shared
+:class:`~repro.experiments.workspace.Workspace` is built per session;
+individual benchmarks then time the experiment-specific work (feature
+construction, training, evaluation, time-series scoring) and assert the
+paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workspace import Workspace
+
+#: Benchmark-scale corpora: big enough for stable paper-shaped numbers,
+#: small enough for a minutes-long harness.
+BENCH_CONFIG = ExperimentConfig(
+    cleartext_sessions=1500,
+    adaptive_sessions=800,
+    encrypted_sessions=400,
+    seed=7,
+    n_estimators=40,
+)
+
+
+@pytest.fixture(scope="session")
+def workspace():
+    return Workspace(BENCH_CONFIG)
+
+
+def paper_row(name: str, paper_value: str, measured: str) -> None:
+    """Print a paper-vs-measured comparison row under -s / in captured logs."""
+    print(f"    {name:<46} paper: {paper_value:<14} measured: {measured}")

@@ -1,0 +1,343 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation replaces one design decision and verifies the paper's
+choice is indeed the better (or at least an equivalent) one on this
+reproduction's corpora.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import balanced_train_full_test
+from repro.core.features import build_stall_matrix
+from repro.core.labeling import STALL_LABELS, has_variation, label_records, stall_label
+from repro.core.switching import SwitchDetector
+from repro.ml.crossval import cross_validate
+from repro.ml.balance import oversample
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.timeseries.cusum import cusum_score
+from repro.timeseries.detection import delta_series
+
+from conftest import paper_row
+
+
+def _cv(model_factory, X, y, seed=7):
+    return cross_validate(
+        model_factory,
+        X,
+        y,
+        n_splits=5,
+        random_state=seed,
+        balance=lambda Xb, yb: oversample(Xb, yb, random_state=seed),
+        labels=list(STALL_LABELS),
+    )
+
+
+def test_ablation_product_vs_single_delta(benchmark, workspace):
+    """§4.3 claims Δsize x Δt beats either delta alone."""
+    records = workspace.representation_records()
+    truth = np.array([has_variation(r) for r in records])
+
+    def scores_for(mode):
+        out = np.empty(len(records))
+        for i, record in enumerate(records):
+            dt, dsize = delta_series(record.timestamps, record.sizes / 1000.0)
+            if dt.size == 0:
+                out[i] = 0.0
+                continue
+            series = {"product": dt * dsize, "dt": dt, "dsize": dsize}[mode]
+            out[i] = cusum_score(series)
+        return out
+
+    def balanced_accuracy(scores):
+        detector = SwitchDetector()
+        best = 0.0
+        for threshold in np.quantile(scores, np.linspace(0.05, 0.95, 60)):
+            if threshold <= 0:
+                continue
+            acc_without = np.mean(scores[~truth] <= threshold)
+            acc_with = np.mean(scores[truth] > threshold)
+            best = max(best, 0.5 * (acc_without + acc_with))
+        return best
+
+    results = benchmark.pedantic(
+        lambda: {mode: balanced_accuracy(scores_for(mode)) for mode in
+                 ("product", "dt", "dsize")},
+        rounds=1,
+        iterations=1,
+    )
+    paper_row("ablation: Δsize x Δt balanced acc", "best", f"{results['product']:.1%}")
+    paper_row("ablation: Δt alone", "worse", f"{results['dt']:.1%}")
+    paper_row("ablation: Δsize alone", "worse", f"{results['dsize']:.1%}")
+    # The paper argues the product is the best signal.  In this
+    # reproduction the product is competitive but Δt alone can edge it
+    # out (our simulated fast-start perturbs inter-arrivals more
+    # reliably than sizes) — a measured deviation recorded in
+    # EXPERIMENTS.md.  The ablation asserts competitiveness, not strict
+    # dominance.
+    best_single = max(results["dt"], results["dsize"])
+    assert results["product"] >= best_single - 0.08
+    assert all(v >= 0.55 for v in results.values())
+
+
+def test_ablation_forest_vs_single_tree(benchmark, workspace):
+    """Random Forest vs one CART tree on the stall task."""
+    records = workspace.stall_records()
+    X, _ = build_stall_matrix(records)
+    detector = workspace.stall_detector()
+    X = X[:, detector.selected_indices_]
+    y = label_records(records, stall_label)
+
+    def run():
+        forest = _cv(
+            lambda: RandomForestClassifier(
+                n_estimators=40, min_samples_leaf=3, random_state=7
+            ),
+            X,
+            y,
+        ).accuracy
+        tree = _cv(
+            lambda: DecisionTreeClassifier(min_samples_leaf=3, random_state=7),
+            X,
+            y,
+        ).accuracy
+        return forest, tree
+
+    forest_acc, tree_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_row("ablation: Random Forest CV accuracy", "used", f"{forest_acc:.1%}")
+    paper_row("ablation: single CART tree", "worse", f"{tree_acc:.1%}")
+    assert forest_acc >= tree_acc - 0.01
+
+
+def test_ablation_selected_vs_all_features(benchmark, workspace):
+    """CFS-selected subset vs all 70 features: similar accuracy, far
+    fewer features (the selection is about parsimony, not accuracy)."""
+    records = workspace.stall_records()
+    X_all, _ = build_stall_matrix(records)
+    detector = workspace.stall_detector()
+    X_sel = X_all[:, detector.selected_indices_]
+    y = label_records(records, stall_label)
+
+    def run():
+        factory = lambda: RandomForestClassifier(
+            n_estimators=40, min_samples_leaf=3, random_state=7
+        )
+        return _cv(factory, X_sel, y).accuracy, _cv(factory, X_all, y).accuracy
+
+    sel_acc, all_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_row(
+        f"ablation: {len(detector.selected_indices_)} selected features",
+        "within a few pts of 70",
+        f"{sel_acc:.1%}",
+    )
+    paper_row("ablation: all 70 features", "-", f"{all_acc:.1%}")
+    assert sel_acc >= all_acc - 0.06
+
+
+def test_ablation_balancing_vs_none(benchmark, workspace):
+    """Class balancing before training vs raw class priors: balancing
+    buys minority-class (mild/severe) recall."""
+    records = workspace.stall_records()
+    X, _ = build_stall_matrix(records)
+    detector = workspace.stall_detector()
+    X = X[:, detector.selected_indices_]
+    y = label_records(records, stall_label)
+    factory = lambda: RandomForestClassifier(
+        n_estimators=40, min_samples_leaf=3, random_state=7
+    )
+
+    def run():
+        balanced = cross_validate(
+            factory, X, y, n_splits=5, random_state=7,
+            balance=lambda Xb, yb: oversample(Xb, yb, random_state=7),
+            labels=list(STALL_LABELS),
+        )
+        raw = cross_validate(
+            factory, X, y, n_splits=5, random_state=7,
+            labels=list(STALL_LABELS),
+        )
+        return balanced, raw
+
+    balanced, raw = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def minority_recall(report):
+        by_label = report.by_label()
+        return 0.5 * (
+            by_label["mild stalls"].recall + by_label["severe stalls"].recall
+        )
+
+    paper_row(
+        "ablation: minority recall with balancing",
+        "higher",
+        f"{minority_recall(balanced):.1%}",
+    )
+    paper_row(
+        "ablation: minority recall without",
+        "lower",
+        f"{minority_recall(raw):.1%}",
+    )
+    assert minority_recall(balanced) >= minority_recall(raw) - 0.02
+
+
+def test_ablation_ml_vs_cusum_for_switches(benchmark, workspace):
+    """§4.3: "ML was also considered to develop a model for the
+    detection of representation switches.  However, it did not perform
+    as well as the proposed methodology."
+
+    Compares the CUSUM-threshold method with a Random Forest trained on
+    the 210 representation features for the binary has-switches task
+    (honest CV for the forest, training-set calibration for CUSUM as in
+    the paper)."""
+    from repro.core.features import build_representation_matrix
+
+    records = workspace.representation_records()
+    truth = np.array([has_variation(r) for r in records])
+
+    def run():
+        detector = SwitchDetector()
+        detector.calibrate(records, truth)
+        cusum = detector.evaluate(records, truth).balanced_accuracy
+
+        X, _ = build_representation_matrix(records)
+        y = np.where(truth, "switches", "steady")
+        report = cross_validate(
+            lambda: RandomForestClassifier(
+                n_estimators=40, min_samples_leaf=3, random_state=7
+            ),
+            X,
+            y,
+            n_splits=5,
+            random_state=7,
+            balance=lambda Xb, yb: oversample(Xb, yb, random_state=7),
+            labels=["steady", "switches"],
+        )
+        by_label = report.by_label()
+        ml = 0.5 * (by_label["steady"].recall + by_label["switches"].recall)
+        return cusum, ml
+
+    cusum_acc, ml_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_row(
+        "ablation: CUSUM switch detection (balanced)",
+        "preferred",
+        f"{cusum_acc:.1%}",
+    )
+    paper_row(
+        "ablation: RF on 210 features (balanced)",
+        "did not perform as well",
+        f"{ml_acc:.1%}",
+    )
+    # both must beat chance; the bench records which wins on this corpus
+    assert cusum_acc > 0.55
+    assert ml_acc > 0.5
+
+
+def test_ablation_startup_filtering(benchmark, workspace):
+    """§4.3 removes the first 10 s before switch detection; keeping the
+    start-up noise must not *improve* the split."""
+    records = workspace.representation_records()
+    truth = np.array([has_variation(r) for r in records])
+
+    def run():
+        filtered = SwitchDetector(startup_skip_s=10.0)
+        unfiltered = SwitchDetector(startup_skip_s=0.0)
+        filtered.calibrate(records, truth)
+        unfiltered.calibrate(records, truth)
+        return (
+            filtered.evaluate(records, truth).balanced_accuracy,
+            unfiltered.evaluate(records, truth).balanced_accuracy,
+        )
+
+    with_filter, without_filter = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_row(
+        "ablation: balanced acc with 10s filter",
+        "used",
+        f"{with_filter:.1%}",
+    )
+    paper_row(
+        "ablation: without filter",
+        "noisier",
+        f"{without_filter:.1%}",
+    )
+    assert with_filter >= without_filter - 0.03
+
+
+def test_ablation_statistic_sets(benchmark, workspace):
+    """7 basic statistics (§4.1) vs 15 extended statistics (§4.2) on the
+    stall task: does the finer percentile grid add stall signal?"""
+    from repro.core.features import STALL_METRICS
+    from repro.timeseries.stats import (
+        SUMMARY_STATS_BASIC,
+        SUMMARY_STATS_EXTENDED,
+        summary_statistics,
+    )
+
+    records = workspace.stall_records()
+    y = label_records(records, stall_label)
+    factory = lambda: RandomForestClassifier(
+        n_estimators=40, min_samples_leaf=3, random_state=7
+    )
+
+    def matrix_for(stats):
+        rows = []
+        for record in records:
+            row = []
+            for extractor in STALL_METRICS.values():
+                values = summary_statistics(extractor(record), stats=stats)
+                row.extend(values[s] for s in stats)
+            rows.append(row)
+        return np.asarray(rows)
+
+    def run():
+        basic = _cv(factory, matrix_for(SUMMARY_STATS_BASIC), y).accuracy
+        extended = _cv(factory, matrix_for(SUMMARY_STATS_EXTENDED), y).accuracy
+        return basic, extended
+
+    basic_acc, extended_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper_row(
+        "ablation: 7 basic statistics (70 features)",
+        "§4.1 choice",
+        f"{basic_acc:.1%}",
+    )
+    paper_row(
+        "ablation: 15 extended statistics (150 features)",
+        "§4.2 grid",
+        f"{extended_acc:.1%}",
+    )
+    # the extended grid must not be dramatically better: the paper's
+    # 7-statistic set suffices for the stall task
+    assert basic_acc >= extended_acc - 0.03
+
+
+def test_ablation_forest_size(benchmark, workspace):
+    """Forest-size sensitivity on the fixed CFS feature subset."""
+    from repro.core.features import build_stall_matrix
+
+    records = workspace.stall_records()
+    detector = workspace.stall_detector()
+    X, _ = build_stall_matrix(records)
+    X = X[:, detector.selected_indices_]
+    y = label_records(records, stall_label)
+
+    def run():
+        out = {}
+        for n_estimators in (5, 20, 60):
+            out[n_estimators] = _cv(
+                lambda: RandomForestClassifier(
+                    n_estimators=n_estimators,
+                    min_samples_leaf=3,
+                    random_state=7,
+                ),
+                X,
+                y,
+            ).accuracy
+        return out
+
+    accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n_estimators, accuracy in accuracies.items():
+        paper_row(
+            f"ablation: forest of {n_estimators} trees",
+            "plateaus quickly",
+            f"{accuracy:.1%}",
+        )
+    assert accuracies[60] >= accuracies[5] - 0.01
+    assert accuracies[60] - accuracies[20] < 0.05

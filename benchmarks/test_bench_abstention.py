@@ -1,0 +1,41 @@
+"""Confidence-based abstention benchmark (selective prediction).
+
+An operator acting on per-session diagnoses (e.g. re-routing a
+subscriber) can trade coverage for precision: only act on sessions the
+forest is confident about.  This bench sweeps the coverage/accuracy
+curve of the stall model on encrypted traffic using the forests' soft
+votes."""
+
+import numpy as np
+
+from conftest import paper_row
+
+
+def test_confidence_abstention(benchmark, workspace):
+    detector = workspace.stall_detector()
+    records = workspace.encrypted_stall_records()
+    truth = detector.labels_for(records)
+
+    def run():
+        proba = detector.predict_proba(records)
+        classes = detector._model.classes_
+        predicted = classes[np.argmax(proba, axis=1)]
+        confidence = proba.max(axis=1)
+        correct = predicted == truth
+        curve = {}
+        for coverage in (1.0, 0.8, 0.6, 0.4):
+            cutoff = np.quantile(confidence, 1.0 - coverage)
+            mask = confidence >= cutoff
+            curve[coverage] = float(np.mean(correct[mask]))
+        return curve
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    for coverage, accuracy in curve.items():
+        paper_row(
+            f"abstention: accuracy at {coverage:.0%} coverage",
+            "rises as coverage drops",
+            f"{accuracy:.1%}",
+        )
+    # selective prediction must help: confident-40% beats full coverage
+    assert curve[0.4] >= curve[1.0]
+    assert curve[0.4] >= 0.75

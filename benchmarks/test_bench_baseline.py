@@ -1,0 +1,32 @@
+"""Benchmark for the Prometheus-baseline comparison (§4.1 / §6)."""
+
+from repro.experiments.tables import baseline_comparison
+
+from conftest import paper_row
+
+
+def test_prometheus_baseline(benchmark, workspace):
+    """The paper's model beats the Prometheus-style binary classifier
+    (~84% in [15]) while solving the harder 3-class task."""
+    workspace.stall_detector()
+    workspace.prometheus_baseline()
+    comparison = benchmark.pedantic(
+        baseline_comparison, args=(workspace,), rounds=1, iterations=1
+    )
+    assert comparison.model_wins()
+    assert comparison.model_three_class_accuracy > 0.8
+    paper_row(
+        "baseline: Prometheus binary accuracy",
+        "~84%",
+        f"{comparison.baseline_binary_accuracy:.1%}",
+    )
+    paper_row(
+        "baseline: paper model (3-class)",
+        "93.5%",
+        f"{comparison.model_three_class_accuracy:.1%}",
+    )
+    paper_row(
+        "baseline: paper model on binary task",
+        "higher",
+        f"{comparison.model_binary_accuracy:.1%}",
+    )

@@ -1,0 +1,89 @@
+"""Benchmarks for the encrypted-traffic evaluation (§5: Tables 8-11, §5.6)."""
+
+import numpy as np
+
+from repro.experiments.tables import (
+    section56_encrypted_switching,
+    tables8_9_encrypted_stall,
+    tables10_11_encrypted_representation,
+)
+
+from conftest import paper_row
+
+
+def test_tab8_tab9_encrypted_stall(benchmark, workspace):
+    """Tables 8-9: frozen stall model on encrypted traffic.
+
+    Paper: 91.8% (1.7 points below cleartext); healthy sessions detected
+    best; the accuracy loss concentrates in the severe class, which is
+    confused with mild.
+    """
+    workspace.stall_detector()
+    workspace.encrypted_stall_records()
+    table = benchmark.pedantic(
+        tables8_9_encrypted_stall, args=(workspace,), rounds=1, iterations=1
+    )
+    report = table.report
+    by_label = report.by_label()
+    assert report.accuracy >= 0.65
+    # healthy class detected well (paper 97.2%); allow sampling noise in
+    # which impaired class happens to score highest at bench scale
+    best_recall = max(row.recall for row in report.classes)
+    assert by_label["no stalls"].recall >= best_recall - 0.15
+    assert by_label["no stalls"].recall >= 0.6
+    paper_row("tab8: overall accuracy", "91.8%", f"{report.accuracy:.1%}")
+    paper_row(
+        "tab8: no-stalls recall", "97.2%", f"{by_label['no stalls'].recall:.1%}"
+    )
+    paper_row(
+        "tab9: severe recall", "65.6%", f"{by_label['severe stalls'].recall:.1%}"
+    )
+
+
+def test_tab10_tab11_encrypted_representation(benchmark, workspace):
+    """Tables 10-11: frozen representation model on encrypted traffic.
+
+    Paper: 81.9% (2.6 points below cleartext); LD best; HD hit hardest
+    by class scarcity.
+    """
+    workspace.representation_detector()
+    workspace.encrypted_representation_records()
+    table = benchmark.pedantic(
+        tables10_11_encrypted_representation,
+        args=(workspace,),
+        rounds=1,
+        iterations=1,
+    )
+    report = table.report
+    by_label = report.by_label()
+    assert report.accuracy >= 0.7
+    assert by_label["LD"].recall >= 0.75
+    matrix = table.confusion_percent()
+    assert matrix[0, 2] < 5.0        # LD never mistaken for HD
+    paper_row("tab10: overall accuracy", "81.9%", f"{report.accuracy:.1%}")
+    paper_row("tab10: LD recall", "84.5%", f"{by_label['LD'].recall:.1%}")
+    paper_row("tab10: SD recall", "78.9%", f"{by_label['SD'].recall:.1%}")
+    paper_row("tab10: HD recall", "51.3%", f"{by_label['HD'].recall:.1%}")
+
+
+def test_sec56_encrypted_switch_detection(benchmark, workspace):
+    """§5.6: the frozen threshold transfers to encrypted traffic with a
+    few points of loss (paper: 76.9% / 71.7% vs 78% / 76%)."""
+    workspace.switch_detector()
+    workspace.encrypted_representation_records()
+    evaluation = benchmark.pedantic(
+        section56_encrypted_switching, args=(workspace,), rounds=1, iterations=1
+    )
+    assert evaluation.accuracy_without >= 0.6
+    assert evaluation.accuracy_with >= 0.5
+    assert evaluation.n_without > 0 and evaluation.n_with > 0
+    paper_row(
+        "sec5.6: without-switches accuracy",
+        "76.9%",
+        f"{evaluation.accuracy_without:.1%}",
+    )
+    paper_row(
+        "sec5.6: with-switches accuracy",
+        "71.7%",
+        f"{evaluation.accuracy_with:.1%}",
+    )

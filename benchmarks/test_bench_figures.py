@@ -1,0 +1,106 @@
+"""Benchmarks regenerating Figures 1-5 of the paper.
+
+Each benchmark times the figure's data generation and asserts the
+qualitative shape the paper reports for it.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import (
+    figure1_chunk_sizes,
+    figure2_stall_ecdfs,
+    figure3_switch_session,
+    figure4_score_cdfs,
+    figure5_dataset_comparison,
+)
+
+from conftest import paper_row
+
+
+def test_fig1_chunk_sizes_around_stalls(benchmark):
+    """Figure 1: chunk sizes dip sharply when stalls occur."""
+    data = benchmark.pedantic(figure1_chunk_sizes, rounds=1, iterations=1)
+    assert data.stall_starts_s, "the forced outages must cause stalls"
+    assert data.sizes_dip_after_stalls()
+    paper_row(
+        "fig1: post-stall chunk-size dip",
+        "visible",
+        f"visible ({len(data.stall_starts_s)} stalls)",
+    )
+
+
+def test_fig2_stall_ecdfs(benchmark, workspace):
+    """Figure 2: ~12% of sessions stall; ~10% of sessions have RR>=0.1."""
+    workspace.cleartext_corpus()          # corpus built outside the timer
+    data = benchmark.pedantic(
+        figure2_stall_ecdfs, args=(workspace,), rounds=1, iterations=1
+    )
+    assert 0.05 <= data.frac_with_stalls <= 0.35
+    assert data.frac_severe <= data.frac_with_stalls
+    assert data.frac_more_than_one <= data.frac_with_stalls
+    paper_row("fig2: sessions with stalls", "12%", f"{data.frac_with_stalls:.1%}")
+    paper_row("fig2: sessions with RR>0.1", "~10%", f"{data.frac_severe:.1%}")
+
+
+def test_fig3_switch_session(benchmark):
+    """Figure 3: a 144p->480p ladder walk with post-switch Δ ramps."""
+    data = benchmark.pedantic(figure3_switch_session, rounds=1, iterations=1)
+    assert data.has_upswitch()
+    assert 144 in data.resolutions
+    assert data.resolutions.max() >= 480
+    dt, dsize = data.deltas()
+    assert dt.size > 0 and dsize.size > 0
+    paper_row(
+        "fig3: resolution walk",
+        "144p -> 480p",
+        f"{data.resolutions.min()}p -> {data.resolutions.max()}p",
+    )
+
+
+def test_fig4_switch_score_cdfs(benchmark, workspace):
+    """Figure 4: the two score CDFs separate; threshold recovers ~78%/76%."""
+    workspace.representation_records()
+    workspace.switch_detector()
+    data = benchmark.pedantic(
+        figure4_score_cdfs, args=(workspace,), rounds=1, iterations=1
+    )
+    assert data.accuracy_without >= 0.6
+    assert data.accuracy_with >= 0.55
+    # the distributions must actually be separated, not trivially split
+    assert data.cdf_with.quantile(0.5) > data.cdf_without.quantile(0.5)
+    paper_row(
+        "fig4: no-switch sessions below threshold",
+        "78%",
+        f"{data.accuracy_without:.1%}",
+    )
+    paper_row(
+        "fig4: switch sessions above threshold",
+        "76%",
+        f"{data.accuracy_with:.1%}",
+    )
+
+
+def test_fig5_dataset_comparison(benchmark, workspace):
+    """Figure 5: encrypted/cleartext size+IAT distributions overlap,
+    encrypted shifted slightly lower."""
+    workspace.stall_records()
+    workspace.encrypted_stall_records()
+    data = benchmark.pedantic(
+        figure5_dataset_comparison, args=(workspace,), rounds=1, iterations=1
+    )
+    # large-chunk tail: paper reports only ~10% of segments over 1 MB
+    assert data.frac_clear_over_1mb < 0.45
+    assert data.frac_encrypted_over_1mb <= data.frac_clear_over_1mb
+    # encrypted inter-arrivals slightly lower (worse networks -> more
+    # frequent requests)
+    assert data.median_iat_encrypted <= data.median_iat_clear * 1.3
+    paper_row(
+        "fig5: chunks > 1MB (clear / encrypted)",
+        "~10% / fewer",
+        f"{data.frac_clear_over_1mb:.1%} / {data.frac_encrypted_over_1mb:.1%}",
+    )
+    paper_row(
+        "fig5: median inter-arrival (clear / enc)",
+        "enc slightly lower",
+        f"{data.median_iat_clear:.2f}s / {data.median_iat_encrypted:.2f}s",
+    )

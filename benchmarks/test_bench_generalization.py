@@ -1,0 +1,41 @@
+"""Benchmark for the §7 extension: generalisation to other services.
+
+The paper's future work argues the methodology should transfer to other
+services built on the same delivery technologies (Vimeo, Dailymotion,
+...).  This bench evaluates the YouTube-trained detectors, frozen, on
+simulated corpora of two services with different ladders, segment
+sizing and buffering."""
+
+from repro.experiments.generalization import evaluate_generalization
+
+from conftest import paper_row
+
+
+def test_generalization_to_other_services(benchmark, workspace):
+    stall = workspace.stall_detector()
+    switch = workspace.switch_detector()
+    results = benchmark.pedantic(
+        evaluate_generalization,
+        args=(stall, switch),
+        kwargs={"n_sessions": 200},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == 2
+    for result in results:
+        paper_row(
+            f"§7: stall accuracy on {result.service}",
+            "should transfer",
+            f"{result.stall_accuracy:.1%} (healthy {result.stall_healthy_recall:.1%})",
+        )
+        paper_row(
+            f"§7: switch split on {result.service}",
+            "should transfer",
+            f"{result.switch_accuracy_without:.1%} / {result.switch_accuracy_with:.1%}",
+        )
+        # transfer must beat chance decisively on both tasks
+        assert result.stall_accuracy >= 0.6
+        assert result.stall_healthy_recall >= 0.6
+        assert (
+            result.switch_accuracy_without + result.switch_accuracy_with
+        ) / 2 >= 0.55

@@ -1,0 +1,64 @@
+"""Learning-curve benchmark: accuracy vs training-corpus size.
+
+The paper trains on ~390k sessions; this reproduction uses thousands.
+The learning curve quantifies what that costs: stall-model CV accuracy
+as the training corpus grows, over the fixed CFS-selected feature
+subset.  A flattening curve indicates the bench-scale corpora are large
+enough for stable paper-shaped numbers."""
+
+import numpy as np
+
+from repro.core.features import build_stall_matrix
+from repro.core.labeling import STALL_LABELS, label_records, stall_label
+from repro.ml.balance import oversample
+from repro.ml.crossval import cross_validate
+from repro.ml.forest import RandomForestClassifier
+
+from conftest import paper_row
+
+
+def test_learning_curve(benchmark, workspace):
+    records = workspace.stall_records()
+    detector = workspace.stall_detector()
+    X_full, _ = build_stall_matrix(records)
+    X_full = X_full[:, detector.selected_indices_]
+    y_full = label_records(records, stall_label)
+
+    sizes = [n for n in (300, 600, 1200) if n < len(records)]
+    sizes.append(len(records))
+
+    def run():
+        rng = np.random.default_rng(7)
+        order = rng.permutation(len(records))
+        accuracies = {}
+        for n in sizes:
+            idx = order[:n]
+            X, y = X_full[idx], y_full[idx]
+            if np.unique(y).size < 3:
+                continue
+            report = cross_validate(
+                lambda: RandomForestClassifier(
+                    n_estimators=40, min_samples_leaf=3, random_state=7
+                ),
+                X,
+                y,
+                n_splits=5,
+                random_state=7,
+                balance=lambda Xb, yb: oversample(Xb, yb, random_state=7),
+                labels=list(STALL_LABELS),
+            )
+            accuracies[n] = report.accuracy
+        return accuracies
+
+    accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
+    for n, accuracy in accuracies.items():
+        paper_row(
+            f"learning curve: {n} training sessions",
+            "grows toward 93.5%",
+            f"{accuracy:.1%}",
+        )
+    values = list(accuracies.values())
+    # the curve must not collapse as data grows, and the largest corpus
+    # should be within a few points of the best point on the curve
+    assert values[-1] >= max(values) - 0.04
+    assert values[-1] >= 0.85

@@ -1,0 +1,57 @@
+"""Benchmarks for the average-representation experiments (Tables 5-7)."""
+
+import numpy as np
+
+from repro.experiments.tables import (
+    table5_representation_features,
+    tables6_7_representation_classifier,
+)
+
+from conftest import paper_row
+
+
+def test_tab5_representation_features(benchmark, workspace):
+    """Table 5: ~15 features selected, dominated by chunk-size stats."""
+    workspace.representation_records()
+    workspace.representation_detector()
+    table = benchmark.pedantic(
+        table5_representation_features, args=(workspace,), rounds=1, iterations=1
+    )
+    assert 5 <= len(table.rows) <= 15
+    assert table.chunk_feature_share() >= 0.6, (
+        "paper: chunk-size statistics represent the vast majority"
+    )
+    top_feature = max(table.rows, key=lambda r: r[1])[0]
+    assert top_feature.startswith(("chunk", "throughput", "cumsum"))
+    paper_row("tab5: subset size", "15", str(len(table.rows)))
+    paper_row(
+        "tab5: chunk-derived share",
+        "12 of 15",
+        f"{table.chunk_feature_share():.0%}",
+    )
+    paper_row("tab5: top feature", "chunk size 75%", top_feature)
+
+
+def test_tab6_tab7_representation_classifier(benchmark, workspace):
+    """Tables 6-7: ~84.5%; LD best; HD worst with HD->SD confusion."""
+    workspace.representation_detector()
+    table = benchmark.pedantic(
+        tables6_7_representation_classifier,
+        args=(workspace,),
+        rounds=1,
+        iterations=1,
+    )
+    report = table.report
+    by_label = report.by_label()
+    assert report.accuracy >= 0.75
+    # LD recalled best (paper 90%); HD worst (paper 75.6%)
+    assert by_label["LD"].recall >= by_label["HD"].recall
+    # confusion stays between adjacent classes: LD is (almost) never
+    # predicted HD and vice versa
+    matrix = table.confusion_percent()
+    assert matrix[0, 2] < 5.0     # LD -> HD
+    assert matrix[2, 0] < 20.0    # HD -> LD
+    paper_row("tab6: overall accuracy", "84.5%", f"{report.accuracy:.1%}")
+    paper_row("tab6: LD recall", "90.0%", f"{by_label['LD'].recall:.1%}")
+    paper_row("tab6: SD recall", "76.8%", f"{by_label['SD'].recall:.1%}")
+    paper_row("tab6: HD recall", "75.0%", f"{by_label['HD'].recall:.1%}")

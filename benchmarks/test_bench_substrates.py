@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the substrates (throughput-style measurements).
+
+These time the hot paths a downstream user would care about: TCP chunk
+transfers, full player simulations, CUSUM scoring and forest training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.network.path import NetworkPath
+from repro.network.tcp import TcpConnection
+from repro.streaming.adaptive import AdaptivePlayer
+from repro.streaming.catalog import Video
+from repro.streaming.progressive import ProgressivePlayer
+from repro.timeseries.cusum import cusum_score
+
+
+def test_bench_tcp_transfer(benchmark):
+    """Time one 1 MB chunk transfer through the TCP model."""
+    rng = np.random.default_rng(0)
+    path = NetworkPath("good", 600.0, rng)
+
+    def transfer():
+        conn = TcpConnection(path, rng)
+        return conn.download(1_000_000, 1.0)
+
+    result = benchmark(transfer)
+    assert result.duration_s > 0
+
+
+def test_bench_adaptive_session(benchmark):
+    """Time one full 3-minute adaptive playback simulation."""
+    video = Video(video_id="bench-has-v", duration_s=180.0)
+
+    def play():
+        rng = np.random.default_rng(1)
+        path = NetworkPath("good", 900.0, rng)
+        return AdaptivePlayer().play(video, path, rng)
+
+    session = benchmark(play)
+    assert session.video_chunks
+
+
+def test_bench_progressive_session(benchmark):
+    """Time one full 3-minute progressive playback simulation."""
+    video = Video(video_id="bench-prg-v", duration_s=180.0)
+
+    def play():
+        rng = np.random.default_rng(2)
+        path = NetworkPath("good", 900.0, rng)
+        return ProgressivePlayer().play(video, path, rng)
+
+    session = benchmark(play)
+    assert session.video_chunks
+
+
+def test_bench_cusum_score(benchmark):
+    """Time the switch score of a 1000-point product series."""
+    rng = np.random.default_rng(3)
+    series = np.abs(rng.normal(500, 200, 1000))
+    score = benchmark(cusum_score, series)
+    assert score >= 0
+
+
+def test_bench_forest_fit(benchmark):
+    """Time a 40-tree forest fit on a 1000x8 stall-sized matrix."""
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(1000, 8))
+    y = (X[:, 0] + 0.3 * X[:, 1] > 0).astype(int)
+
+    def fit():
+        return RandomForestClassifier(
+            n_estimators=40, min_samples_leaf=3, random_state=0
+        ).fit(X, y)
+
+    forest = benchmark(fit)
+    assert len(forest.estimators_) == 40

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Busy-hour analysis: QoE by time of day, from encrypted traffic.
+
+Operators slice QoE by hour to plan capacity (the paper's motivation:
+"operators ... have to radically rethink and optimize their network").
+With the diurnal load model enabled, evening sessions ride congested
+cells; the framework — trained on cleartext, applied to encrypted
+traffic — surfaces the busy hour without any ground truth.
+
+Run:  python examples/busy_hour_analysis.py
+"""
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro import QoEFramework
+from repro.datasets import (
+    CorpusConfig,
+    generate_adaptive_corpus,
+    generate_cleartext_corpus,
+    generate_corpus,
+)
+from repro.network import DiurnalLoadModel
+
+
+def main() -> None:
+    print("training framework on cleartext ground truth ...")
+    cleartext = generate_cleartext_corpus(350, seed=30)
+    adaptive = generate_adaptive_corpus(200, seed=31)
+    framework = QoEFramework(random_state=0, n_estimators=25).fit(
+        cleartext.records_with_stall_truth(),
+        [r for r in adaptive.records if r.resolutions is not None],
+    )
+
+    print("capturing one day of encrypted traffic with diurnal load ...")
+    corpus = generate_corpus(
+        CorpusConfig(
+            n_sessions=500,
+            seed=32,
+            adaptive_fraction=0.2,
+            encrypted=True,
+            diurnal=DiurnalLoadModel(busy_hour_capacity_factor=0.3),
+            session_gap_s=(60.0, 360.0),
+        )
+    )
+
+    diagnoses = framework.diagnose(corpus.records)
+
+    # Congestion rarely shows up as stalls — adaptive players absorb it
+    # by downswitching — so the per-daypart KPI is the estimated MOS,
+    # which charges both low quality and stalling.
+    from repro.core.mos import mos_from_diagnosis
+
+    DAYPARTS = (
+        ("night (00-06)", range(0, 6)),
+        ("morning (06-12)", range(6, 12)),
+        ("afternoon (12-18)", range(12, 18)),
+        ("evening (18-24)", range(18, 24)),
+    )
+    by_part = defaultdict(lambda: {"mos": [], "ld": 0, "sessions": 0})
+    for record, diagnosis in zip(corpus.records, diagnoses):
+        hour = int((record.timestamps[0] / 3600.0) % 24)
+        part = next(name for name, hours in DAYPARTS if hour in hours)
+        bucket = by_part[part]
+        bucket["sessions"] += 1
+        bucket["mos"].append(mos_from_diagnosis(diagnosis).mos)
+        if diagnosis.representation_class == "LD":
+            bucket["ld"] += 1
+
+    print("\nestimated QoE by daypart (from encrypted traffic only):")
+    worst_part, worst_mos = None, 10.0
+    for part, _ in DAYPARTS:
+        bucket = by_part[part]
+        if not bucket["sessions"]:
+            continue
+        mean_mos = float(np.mean(bucket["mos"]))
+        ld_share = bucket["ld"] / bucket["sessions"]
+        bar = "#" * int(mean_mos * 10)
+        print(
+            f"  {part:<18} {bucket['sessions']:>4} sessions  "
+            f"MOS {mean_mos:.2f} {bar}  (LD share {ld_share:.0%})"
+        )
+        if mean_mos < worst_mos:
+            worst_part, worst_mos = part, mean_mos
+    print(
+        f"\nworst daypart: {worst_part} (mean MOS {worst_mos:.2f}) — "
+        "players absorb evening congestion by dropping quality, and the "
+        "framework surfaces it without decrypting a single byte."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Controlled lab experiments: forcing impairments and watching the
+signals the paper's detectors key on.
+
+Reproduces the mechanics behind Figures 1 and 3 with ASCII plots:
+
+* a progressive session pushed through two coverage outages — the
+  chunk sizes collapse at each stall and ramp back (Figure 1);
+* a DASH session that starts at 144p and climbs to 480p — Δt and
+  Δsize spike at every representation switch (Figure 3);
+* the CUSUM switch score of both a steady and a switching session.
+
+Run:  python examples/controlled_experiments.py
+"""
+
+import numpy as np
+
+from repro.core.switching import SwitchDetector
+from repro.datasets.preparation import record_from_video_session
+from repro.experiments.figures import figure1_chunk_sizes, figure3_switch_session
+from repro.network.path import NetworkPath
+from repro.streaming.adaptive import AdaptivePlayer
+from repro.streaming.catalog import Video
+from repro.timeseries.detection import product_series
+
+
+def ascii_series(values, width: int = 48, height: int = 8) -> str:
+    """Tiny ASCII bar rendering of a series."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return "(empty)"
+    top = values.max() or 1.0
+    step = max(1, values.size // width)
+    sampled = values[::step][:width]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * level / height
+        rows.append(
+            "".join("#" if v >= threshold else " " for v in sampled)
+        )
+    rows.append("-" * len(sampled))
+    return "\n".join(rows)
+
+
+def figure1_demo() -> None:
+    print("=" * 64)
+    print("Figure 1 — chunk sizes in a session with forced stalls")
+    print("=" * 64)
+    data = figure1_chunk_sizes(seed=5)
+    print(ascii_series(data.sizes_bytes))
+    print(
+        f"stalls begin at t = "
+        f"{[round(t, 1) for t in data.stall_starts_s]} s; chunks shrink "
+        f"right after each stall: {data.sizes_dip_after_stalls()}"
+    )
+    print(f"min chunk {data.sizes_bytes.min()/1e3:.0f} KB, "
+          f"max {data.sizes_bytes.max()/1e3:.0f} KB\n")
+
+
+def figure3_demo() -> None:
+    print("=" * 64)
+    print("Figure 3 — Δt and Δsize around representation switches")
+    print("=" * 64)
+    data = figure3_switch_session(seed=12)
+    print("chunk sizes:")
+    print(ascii_series(data.sizes_bytes))
+    walk = " -> ".join(
+        f"{r}p" for r in dict.fromkeys(data.resolutions.tolist())
+    )
+    print(f"resolution walk: {walk}")
+    dt, dsize = data.deltas()
+    print(f"Δt ranges {dt.min():.2f}..{dt.max():.2f} s, "
+          f"Δsize ranges {dsize.min()/1e3:.0f}..{dsize.max()/1e3:.0f} KB\n")
+
+
+def cusum_demo() -> None:
+    print("=" * 64)
+    print("CUSUM switch score: steady vs switching session")
+    print("=" * 64)
+    from repro.network.path import Outage
+    from repro.streaming.adaptive import AdaptivePlayerConfig
+    from repro.streaming.catalog import DASH_LADDER
+
+    rng = np.random.default_rng(42)
+    video = Video(video_id="cusum-demo0", duration_s=240.0)
+    # Same quality scale for both sessions: the score is unit-bearing
+    # (KB x s), so comparisons should hold the ladder fixed.
+    config = AdaptivePlayerConfig(
+        ladder=[q for q in DASH_LADDER if q.resolution_p <= 360],
+        mean_patience_stall_s=300.0,
+    )
+
+    # Same regime for both sessions; only the outages differ.
+    steady_path = NetworkPath("good", 1200.0, rng)
+    steady = AdaptivePlayer(config).play(video, steady_path, rng)
+
+    # Cold start (no bandwidth hint) + mid-session outages: the player
+    # walks the ladder up at the start and drops during the outages.
+    switch_config = AdaptivePlayerConfig(
+        ladder=config.ladder,
+        mean_patience_stall_s=300.0,
+        initial_bandwidth_hint=False,
+    )
+    rough_path = NetworkPath(
+        "good",
+        1200.0,
+        rng,
+        outages=[Outage(40.0, 80.0, 0.03), Outage(140.0, 170.0, 0.05)],
+    )
+    switching = AdaptivePlayer(switch_config).play(video, rough_path, rng)
+
+    detector = SwitchDetector()
+    for name, session in (("steady", steady), ("switching", switching)):
+        record = record_from_video_session(session)
+        score = detector.score(record)
+        series = product_series(record.timestamps, record.sizes / 1000.0)
+        print(
+            f"{name:10s}: {session.switch_count()} switches, "
+            f"score STD(CUSUM(Δsize×Δt)) = {score:8.1f}, "
+            f"series length {series.size}"
+        )
+    print(
+        f"\nsessions scoring above the calibrated threshold "
+        f"(~{detector.threshold:.0f} by default) are flagged as having "
+        "quality switches — no DPI, no ground truth needed."
+    )
+
+
+def main() -> None:
+    figure1_demo()
+    figure3_demo()
+    cusum_demo()
+
+
+if __name__ == "__main__":
+    main()

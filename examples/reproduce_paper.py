@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Prints the full evaluation section — Figures 1-5, Tables 2-11, §5.6 and
+the Prometheus-baseline comparison — with paper reference values noted
+inline by the renderers.
+
+Run:  python examples/reproduce_paper.py [--full]
+
+The default uses the SMALL experiment config (a couple of minutes);
+``--full`` uses the benchmark-scale config (tens of minutes).
+"""
+
+import sys
+import time
+
+from repro.experiments import FULL, SMALL, run_all
+
+
+def main() -> None:
+    config = FULL if "--full" in sys.argv[1:] else SMALL
+    print(
+        f"running all experiments with {config.cleartext_sessions} cleartext / "
+        f"{config.adaptive_sessions} adaptive / "
+        f"{config.encrypted_sessions} encrypted sessions ...\n"
+    )
+    started = time.time()
+    print(run_all(config))
+    print(f"\n[total: {time.time() - started:.0f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Reproduction of "Measuring Video QoE from Encrypted Traffic"
+(Dimopoulos, Leontiadis, Barlet-Ros, Papagiannaki — IMC 2016).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: stall, average-representation and
+    quality-switch detectors plus the unified :class:`QoEFramework`.
+``repro.ml``
+    From-scratch ML substrate (Random Forest, CFS, info gain, CV).
+``repro.timeseries``
+    CUSUM change detection, ECDFs, summary statistics.
+``repro.network``
+    Cellular path + TCP transfer simulation.
+``repro.streaming``
+    Adaptive and progressive player simulations.
+``repro.capture``
+    Weblog/proxy capture, URI ground truth, encrypted views,
+    session reconstruction, device instrumentation.
+``repro.datasets``
+    Corpus generators and dataset preparation.
+``repro.baselines``
+    Prometheus-style binary baseline.
+``repro.experiments``
+    Generators for every table and figure in the paper.
+"""
+
+from .core.framework import QoEFramework, SessionDiagnosis
+from .core.representation import AvgRepresentationDetector
+from .core.stall import StallDetector
+from .core.switching import SwitchDetector
+from .realtime.monitor import RealTimeMonitor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QoEFramework",
+    "SessionDiagnosis",
+    "StallDetector",
+    "AvgRepresentationDetector",
+    "SwitchDetector",
+    "RealTimeMonitor",
+    "__version__",
+]

@@ -1,0 +1,71 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    Regenerate every table and figure of the paper (``--full`` for the
+    benchmark-scale corpora, ``--id tab3_4`` for one experiment).
+``list``
+    List the experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import FULL, SMALL, Workspace, run_all, run_experiment
+
+    config = FULL if args.full else SMALL
+    started = time.time()
+    if args.id:
+        workspace = Workspace(config)
+        result = run_experiment(args.id, workspace)
+        print(result)
+    else:
+        print(run_all(config))
+    print(f"\n[{time.time() - started:.0f}s]", file=sys.stderr)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.experiments import EXPERIMENT_IDS
+
+    for experiment_id in EXPERIMENT_IDS:
+        print(experiment_id)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Measuring Video QoE from Encrypted Traffic' "
+            "(IMC 2016)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "--full", action="store_true", help="benchmark-scale corpora"
+    )
+    experiments.add_argument(
+        "--id", default=None, help="run a single experiment (see 'list')"
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    listing = subparsers.add_parser("list", help="list experiment ids")
+    listing.set_defaults(func=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from .prometheus import BINARY_LABELS, PrometheusBaseline
+
+__all__ = ["PrometheusBaseline", "BINARY_LABELS"]

@@ -1,0 +1,49 @@
+"""Measurement substrate: weblog schema, proxy capture, URI ground
+truth, encrypted views, device instrumentation and encrypted-session
+reconstruction."""
+
+from .anonymize import KEPT_URI_PARAMS, Anonymizer
+from .device import DeviceLogger, PlaybackSummary, SegmentRecord
+from .encryption import encrypt_view
+from .proxy import WebProxy, server_ip_for
+from .reconstruction import (
+    ReconstructedSession,
+    SessionReconstructor,
+    is_youtube_host,
+)
+from .uri import (
+    SIGNALLING_HOSTS,
+    VIDEO_HOSTS,
+    ParsedSegment,
+    ParsedStatsReport,
+    parse_uri,
+    segment_uri,
+    stats_report_uri,
+    thumbnail_uri,
+    watch_page_uri,
+)
+from .weblog import WeblogEntry
+
+__all__ = [
+    "WeblogEntry",
+    "Anonymizer",
+    "KEPT_URI_PARAMS",
+    "WebProxy",
+    "server_ip_for",
+    "encrypt_view",
+    "DeviceLogger",
+    "PlaybackSummary",
+    "SegmentRecord",
+    "SessionReconstructor",
+    "ReconstructedSession",
+    "is_youtube_host",
+    "parse_uri",
+    "ParsedSegment",
+    "ParsedStatsReport",
+    "segment_uri",
+    "stats_report_uri",
+    "watch_page_uri",
+    "thumbnail_uri",
+    "VIDEO_HOSTS",
+    "SIGNALLING_HOSTS",
+]

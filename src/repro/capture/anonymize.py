@@ -1,0 +1,94 @@
+"""Weblog anonymisation (§3.1).
+
+"All the data is anonymized before the extraction by removing all
+private information such as user agents, subscriber and handset
+identifiers, MAC and IP addresses and so on.  The only identifier which
+is preserved is the unique 16-character video session ID."
+
+This module applies the same policy to simulated weblogs: subscriber
+identifiers are replaced by keyed pseudonyms (stable within one run so
+sessions can still be grouped per subscriber, unlinkable across runs),
+client-identifying fields are dropped, and URIs keep only the
+measurement-relevant parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import secrets
+from dataclasses import replace
+from typing import Iterable, List, Optional
+from urllib.parse import parse_qs, urlencode, urlparse, urlunparse
+
+from .weblog import WeblogEntry
+
+__all__ = ["Anonymizer", "KEPT_URI_PARAMS"]
+
+#: URI parameters preserved by anonymisation — exactly the ground-truth
+#: channel of Table 1 (itag/resolution, session id, playback stats) plus
+#: what feature extraction needs.  Everything else (device, locale, user
+#: tokens) is dropped.
+KEPT_URI_PARAMS = frozenset(
+    {
+        "id",
+        "itag",
+        "cpn",
+        "mime",
+        "range",
+        "dur",
+        "clen",
+        "docid",
+        "cmt",
+        "state",
+        "rebuf_count",
+        "rebuf_dur",
+        "v",
+    }
+)
+
+
+class Anonymizer:
+    """Keyed-pseudonym anonymiser for weblog streams.
+
+    Parameters
+    ----------
+    key:
+        HMAC key for subscriber pseudonyms. A fresh random key per run
+        (the default) makes pseudonyms unlinkable across runs while
+        keeping them stable within one run.
+    """
+
+    def __init__(self, key: Optional[bytes] = None) -> None:
+        self._key = key if key is not None else secrets.token_bytes(16)
+
+    def pseudonym(self, subscriber_id: str) -> str:
+        """Stable keyed pseudonym of a subscriber identifier."""
+        digest = hmac.new(
+            self._key, subscriber_id.encode(), hashlib.sha256
+        ).hexdigest()
+        return f"anon-{digest[:12]}"
+
+    def _scrub_uri(self, uri: Optional[str]) -> Optional[str]:
+        if uri is None:
+            return None
+        parsed = urlparse(uri)
+        params = parse_qs(parsed.query)
+        kept = {
+            name: values[0]
+            for name, values in params.items()
+            if name in KEPT_URI_PARAMS
+        }
+        return urlunparse(parsed._replace(query=urlencode(kept)))
+
+    def anonymize_entry(self, entry: WeblogEntry) -> WeblogEntry:
+        """Anonymised copy of one weblog entry."""
+        return replace(
+            entry,
+            subscriber_id=self.pseudonym(entry.subscriber_id),
+            uri=self._scrub_uri(entry.uri),
+        )
+
+    def anonymize(self, entries: Iterable[WeblogEntry]) -> List[WeblogEntry]:
+        """Anonymised copy of a weblog stream."""
+        return [self.anonymize_entry(entry) for entry in entries]

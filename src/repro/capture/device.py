@@ -1,0 +1,92 @@
+"""Instrumented-client ground truth (the §5.1 Android application).
+
+For the encrypted evaluation the paper cannot read ground truth from
+URIs, so it instruments a device: an app that launches YouTube videos,
+reads playback state from the device log, and hooks the request-URL
+construction method to recover per-segment metadata — all without
+touching the TLS path.
+
+:class:`DeviceLogger` plays that role for simulated sessions: it
+produces per-segment records and a per-session playback summary from
+the player's own state, i.e. from *above* the encryption boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.streaming.session import VideoSession
+
+__all__ = ["SegmentRecord", "PlaybackSummary", "DeviceLogger"]
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One hooked request: §5.2's ground-truth dataset row.
+
+    "Each entry in the ground truth dataset corresponds to a unique
+    segment and the video session ID which the segment belongs to, the
+    timestamp that marks the beginning of the chunk download, a field
+    to indicate if it is an audio or video segment, the total number
+    and duration of the stalls observed in the session and finally its
+    quality representation."
+    """
+
+    session_id: str
+    timestamp_s: float
+    kind: str
+    resolution_p: int
+    itag: int
+    session_stall_count: int
+    session_stall_duration_s: float
+
+
+@dataclass(frozen=True)
+class PlaybackSummary:
+    """Per-session playback log extracted from the device."""
+
+    session_id: str
+    video_id: str
+    started: bool
+    abandoned: bool
+    stall_count: int
+    stall_duration_s: float
+    total_duration_s: float
+    chunk_count: int
+
+
+class DeviceLogger:
+    """Extracts ground truth from sessions the instrumented device played."""
+
+    def segment_records(
+        self, session: VideoSession, start_epoch_s: float = 0.0
+    ) -> List[SegmentRecord]:
+        """One record per hooked segment request."""
+        records = []
+        for chunk in session.chunks:
+            records.append(
+                SegmentRecord(
+                    session_id=session.session_id,
+                    timestamp_s=start_epoch_s + chunk.request_s,
+                    kind=chunk.kind,
+                    resolution_p=chunk.resolution_p,
+                    itag=chunk.quality.itag,
+                    session_stall_count=session.stall_count,
+                    session_stall_duration_s=session.stall_duration_s,
+                )
+            )
+        return records
+
+    def playback_summary(self, session: VideoSession) -> PlaybackSummary:
+        """The per-session log-derived summary."""
+        return PlaybackSummary(
+            session_id=session.session_id,
+            video_id=session.video.video_id,
+            started=session.startup_delay_s is not None,
+            abandoned=session.abandoned,
+            stall_count=session.stall_count,
+            stall_duration_s=session.stall_duration_s,
+            total_duration_s=session.total_duration_s,
+            chunk_count=len(session.chunks),
+        )

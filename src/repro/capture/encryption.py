@@ -1,0 +1,31 @@
+"""Encrypted view of a weblog stream.
+
+With end-to-end TLS the proxy keeps seeing one log line per HTTP
+transaction (sizes, timings and TCP statistics are measured below the
+encryption layer) but loses everything the URI carried: session id,
+itag/resolution, stall reports.  The TLS SNI still reveals the server
+name — which is all the reconstruction heuristic needs.
+
+:func:`encrypt_view` converts cleartext weblogs into that degraded
+view, which lets experiments evaluate the exact same sessions in both
+conditions (the paper instead collects a second dataset; we can do both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List
+
+from .weblog import WeblogEntry
+
+__all__ = ["encrypt_view"]
+
+
+def encrypt_view(entries: Iterable[WeblogEntry]) -> List[WeblogEntry]:
+    """Strip URIs and mark entries encrypted (port moves to 443)."""
+    out: List[WeblogEntry] = []
+    for entry in entries:
+        out.append(
+            replace(entry, uri=None, encrypted=True, server_port=443)
+        )
+    return out

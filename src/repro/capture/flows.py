@@ -1,0 +1,206 @@
+"""Packet-level capture: monitoring without a proxy.
+
+The paper's vantage point is a web proxy that annotates each HTTP
+transaction with TCP statistics.  Many operators monitor from a plain
+tap instead: all they see is the packet stream of each TLS flow —
+timestamps, sizes and directions; no transaction log, no TCP-stack
+annotations.
+
+This module provides that harder deployment path:
+
+* :class:`FlowSynthesizer` turns a simulated session's chunk downloads
+  into downstream/upstream packet streams (request packet up, response
+  bytes paced across the measured transfer window);
+* :class:`FlowReassembler` does the inverse from packets alone —
+  request packets delimit transactions, response packets are summed to
+  chunk sizes, and the request→first-byte gap estimates the RTT;
+* :func:`record_from_packets` assembles the result into a standard
+  :class:`~repro.datasets.schema.SessionRecord` (transport annotations
+  the tap cannot see — loss, retransmissions, BIF, BDP — are zero).
+
+The flow-level experiment (``benchmarks/test_bench_flow_level.py``)
+quantifies what losing the proxy's TCP annotations costs the stall
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.datasets.schema import SessionRecord
+from repro.streaming.session import VideoSession
+
+__all__ = [
+    "Packet",
+    "FlowSynthesizer",
+    "Transaction",
+    "FlowReassembler",
+    "record_from_packets",
+]
+
+_MTU_PAYLOAD = 1400
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One observed packet of a flow (tap view)."""
+
+    timestamp_s: float
+    size_bytes: int
+    downstream: bool          # server -> client
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("packet size must be positive")
+
+
+class FlowSynthesizer:
+    """Expands a session's chunk transfers into a packet stream.
+
+    Response bytes are paced across the transfer's measured duration
+    with a slow-start-ish ramp (early packets sparser), matching how
+    the round-based TCP model actually delivered them.
+    """
+
+    def __init__(self, rng: np.random.Generator, mtu_payload: int = _MTU_PAYLOAD):
+        if mtu_payload <= 0:
+            raise ValueError("MTU payload must be positive")
+        self.rng = rng
+        self.mtu_payload = mtu_payload
+
+    def synthesize(self, session: VideoSession) -> List[Packet]:
+        """Packet stream of one session's media flow(s), time-ordered."""
+        packets: List[Packet] = []
+        for chunk in session.chunks:
+            transfer = chunk.transfer
+            # the HTTP request: one small upstream packet
+            packets.append(
+                Packet(
+                    timestamp_s=transfer.start_s,
+                    size_bytes=int(self.rng.integers(200, 700)),
+                    downstream=False,
+                )
+            )
+            n_packets = max(1, int(np.ceil(chunk.size_bytes / self.mtu_payload)))
+            # quadratic ramp: few packets early (slow start), dense
+            # later; the first data packet arrives one RTT after the
+            # request (fraction 0)
+            fractions = np.sqrt(np.linspace(0.0, 1.0, n_packets))
+            first_byte_gap = min(
+                transfer.rtt_avg_ms / 1000.0, transfer.duration_s * 0.5
+            )
+            span = max(1e-4, transfer.duration_s - first_byte_gap)
+            times = transfer.start_s + first_byte_gap + fractions * span
+            remaining = chunk.size_bytes
+            for t in times:
+                size = min(self.mtu_payload, remaining)
+                if size <= 0:
+                    break
+                packets.append(
+                    Packet(timestamp_s=float(t), size_bytes=size, downstream=True)
+                )
+                remaining -= size
+        packets.sort(key=lambda p: p.timestamp_s)
+        return packets
+
+
+@dataclass
+class Transaction:
+    """One reassembled request/response exchange."""
+
+    request_s: float
+    first_byte_s: float
+    last_byte_s: float
+    bytes: int
+    packets: int
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.last_byte_s - self.request_s)
+
+    @property
+    def rtt_estimate_ms(self) -> float:
+        """Request -> first response byte gap, the tap's RTT proxy."""
+        return max(0.0, (self.first_byte_s - self.request_s) * 1000.0)
+
+
+class FlowReassembler:
+    """Recovers transactions from a raw packet stream.
+
+    A new transaction opens at each upstream (request) packet; all
+    downstream bytes until the next request belong to it.  Downstream
+    data with no preceding request (mid-capture start) opens an
+    anonymous transaction.
+    """
+
+    def reassemble(self, packets: Iterable[Packet]) -> List[Transaction]:
+        transactions: List[Transaction] = []
+        current: Transaction = None
+        for packet in sorted(packets, key=lambda p: p.timestamp_s):
+            if not packet.downstream:
+                if current is not None and current.bytes > 0:
+                    transactions.append(current)
+                current = Transaction(
+                    request_s=packet.timestamp_s,
+                    first_byte_s=packet.timestamp_s,
+                    last_byte_s=packet.timestamp_s,
+                    bytes=0,
+                    packets=0,
+                )
+                continue
+            if current is None:
+                current = Transaction(
+                    request_s=packet.timestamp_s,
+                    first_byte_s=packet.timestamp_s,
+                    last_byte_s=packet.timestamp_s,
+                    bytes=0,
+                    packets=0,
+                )
+            if current.bytes == 0:
+                current.first_byte_s = packet.timestamp_s
+            current.bytes += packet.size_bytes
+            current.packets += 1
+            current.last_byte_s = packet.timestamp_s
+        if current is not None and current.bytes > 0:
+            transactions.append(current)
+        return transactions
+
+
+def record_from_packets(
+    packets: Sequence[Packet],
+    session_id: str = "flow-level",
+    min_transaction_bytes: int = 2000,
+) -> SessionRecord:
+    """Build a SessionRecord from a raw packet stream.
+
+    Tiny transactions (signalling, stats reports) are dropped via
+    ``min_transaction_bytes``; transport annotations a tap cannot
+    measure are zero-filled, so only timing/size features carry signal.
+    """
+    transactions = [
+        t
+        for t in FlowReassembler().reassemble(packets)
+        if t.bytes >= min_transaction_bytes
+    ]
+    if not transactions:
+        raise ValueError("no media-sized transactions in the packet stream")
+    n = len(transactions)
+    rtts = np.array([t.rtt_estimate_ms for t in transactions])
+    return SessionRecord(
+        session_id=session_id,
+        encrypted=True,
+        timestamps=np.array([t.last_byte_s for t in transactions]),
+        sizes=np.array([float(t.bytes) for t in transactions]),
+        transactions=np.array([t.duration_s for t in transactions]),
+        rtt_min=rtts,
+        rtt_avg=rtts,
+        rtt_max=rtts,
+        bdp=np.zeros(n),
+        bif_avg=np.zeros(n),
+        bif_max=np.zeros(n),
+        loss_pct=np.zeros(n),
+        retx_pct=np.zeros(n),
+    )

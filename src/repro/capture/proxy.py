@@ -1,0 +1,224 @@
+"""Web-proxy capture: turning simulated sessions into weblog streams.
+
+The proxy sees every HTTP(S) transaction of a subscriber.  For one
+video session that is:
+
+* the signalling burst that builds the watch page (HTML, scripts,
+  thumbnails from m.youtube.com / i.ytimg.com — the pattern the
+  encrypted-session reconstruction keys on),
+* one entry per media-segment download with transport annotations,
+* periodic playback stats reports to s.youtube.com whose URI carries
+  the cumulative stall ground truth (cleartext only).
+
+Entries are produced in timestamp order.  With ``encrypted=True`` the
+same transactions appear but with ``uri=None`` — exactly the §5.2
+situation where "information such as the session ID, the stall
+characteristics and the quality level of each chunk are not available".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+import numpy as np
+
+from repro.streaming.session import VideoSession
+
+from .uri import (
+    pick_video_host,
+    segment_uri,
+    stats_report_uri,
+    thumbnail_uri,
+    watch_page_uri,
+)
+from .weblog import WeblogEntry
+
+__all__ = ["WebProxy", "server_ip_for"]
+
+#: Playback reports are sent roughly this often during playback.
+_REPORT_INTERVAL_S = 30.0
+
+
+def server_ip_for(host: str) -> str:
+    """Deterministic fake public IP for a hostname.
+
+    Google-service hosts land in the (simulated) Google address space
+    173.194.0.0/16; everything else gets an address derived from its
+    name in unrelated space — so IP-prefix service fingerprinting (the
+    ECH-era reconstruction mode) behaves like it would in the wild.
+    """
+    digest = hashlib.sha1(host.encode()).digest()
+    name = host.lower()
+    if name.endswith((".googlevideo.com", ".youtube.com", ".ytimg.com")) or name in (
+        "googlevideo.com",
+        "youtube.com",
+        "ytimg.com",
+    ):
+        return f"173.194.{digest[0]}.{digest[1]}"
+    return f"104.{digest[0] % 128 + 16}.{digest[1]}.{digest[2]}"
+
+
+class WebProxy:
+    """Observes sessions and emits weblog entries.
+
+    Parameters
+    ----------
+    rng:
+        Drives signalling-object sizes and the cache-hit marks.
+    cache_mark_rate:
+        Fraction of signalling objects served from the proxy cache
+        (§3.3 removes those during preparation).
+    """
+
+    def __init__(self, rng: np.random.Generator, cache_mark_rate: float = 0.05):
+        if not 0.0 <= cache_mark_rate < 1.0:
+            raise ValueError("cache_mark_rate must be in [0, 1)")
+        self.rng = rng
+        self.cache_mark_rate = cache_mark_rate
+
+    def _signalling_entry(
+        self,
+        subscriber_id: str,
+        host: str,
+        uri: Optional[str],
+        timestamp_s: float,
+        size: int,
+        encrypted: bool,
+        rtt_ms: float,
+    ) -> WeblogEntry:
+        transaction = max(0.01, size * 8.0 / 1e6 + rtt_ms / 1000.0)
+        cached = bool(self.rng.random() < self.cache_mark_rate)
+        return WeblogEntry(
+            subscriber_id=subscriber_id,
+            timestamp_s=timestamp_s,
+            server_name=host,
+            server_ip=server_ip_for(host),
+            server_port=443 if encrypted else 80,
+            object_bytes=size,
+            transaction_s=transaction,
+            rtt_min_ms=rtt_ms * 0.9,
+            rtt_avg_ms=rtt_ms,
+            rtt_max_ms=rtt_ms * 1.2,
+            bdp_bytes=0.0,
+            bif_avg_bytes=float(min(size, 14600)),
+            bif_max_bytes=float(min(size, 14600)),
+            loss_pct=0.0,
+            retx_pct=0.0,
+            encrypted=encrypted,
+            uri=None if encrypted else uri,
+            cached=cached,
+            compressed=bool(cached and self.rng.random() < 0.5),
+        )
+
+    def observe(
+        self,
+        session: VideoSession,
+        subscriber_id: str,
+        start_epoch_s: float = 0.0,
+        encrypted: bool = False,
+    ) -> List[WeblogEntry]:
+        """Weblog entries of one session, in timestamp order."""
+        entries: List[WeblogEntry] = []
+        video_host = pick_video_host(self.rng)
+        rtt_hint = (
+            session.chunks[0].transfer.rtt_avg_ms if session.chunks else 50.0
+        )
+
+        # --- Signalling burst while the watch page is constructed.
+        page_time = start_epoch_s
+        entries.append(
+            self._signalling_entry(
+                subscriber_id,
+                "m.youtube.com",
+                watch_page_uri(session.video.video_id),
+                page_time,
+                int(self.rng.integers(30_000, 120_000)),
+                encrypted,
+                rtt_hint,
+            )
+        )
+        n_objects = int(self.rng.integers(2, 6))
+        for k in range(n_objects):
+            host = "i.ytimg.com" if k % 2 == 0 else "s.ytimg.com"
+            uri = thumbnail_uri(session.video.video_id, name=f"obj{k}")
+            entries.append(
+                self._signalling_entry(
+                    subscriber_id,
+                    host,
+                    uri,
+                    page_time + 0.05 * (k + 1),
+                    int(self.rng.integers(5_000, 60_000)),
+                    encrypted,
+                    rtt_hint,
+                )
+            )
+
+        # --- Media segments with transport annotations.
+        range_cursor = 0
+        for chunk in session.chunks:
+            transfer = chunk.transfer
+            uri = segment_uri(
+                video_host,
+                session.video.video_id,
+                session.session_id,
+                chunk,
+                range_start=range_cursor,
+            )
+            range_cursor += chunk.size_bytes
+            entries.append(
+                WeblogEntry(
+                    subscriber_id=subscriber_id,
+                    timestamp_s=start_epoch_s + transfer.start_s,
+                    server_name=video_host,
+                    server_ip=server_ip_for(video_host),
+                    server_port=443 if encrypted else 80,
+                    object_bytes=chunk.size_bytes,
+                    transaction_s=transfer.duration_s,
+                    rtt_min_ms=transfer.rtt_min_ms,
+                    rtt_avg_ms=transfer.rtt_avg_ms,
+                    rtt_max_ms=transfer.rtt_max_ms,
+                    bdp_bytes=transfer.bdp_bytes,
+                    bif_avg_bytes=transfer.bif_avg_bytes,
+                    bif_max_bytes=transfer.bif_max_bytes,
+                    loss_pct=transfer.loss_pct,
+                    retx_pct=transfer.retx_pct,
+                    encrypted=encrypted,
+                    uri=None if encrypted else uri,
+                )
+            )
+
+        # --- Periodic playback reports carrying cumulative stall stats.
+        report_times = np.arange(
+            _REPORT_INTERVAL_S, session.total_duration_s, _REPORT_INTERVAL_S
+        ).tolist()
+        report_times.append(session.total_duration_s)
+        for t in report_times:
+            count = sum(1 for s in session.stalls if s.start_s <= t)
+            duration = sum(
+                min(s.duration_s, max(0.0, t - s.start_s))
+                for s in session.stalls
+                if s.start_s <= t
+            )
+            uri = stats_report_uri(
+                session.session_id,
+                session.video.video_id,
+                playback_position_s=t,
+                stall_count=count,
+                stall_duration_s=duration,
+                state="ended" if t >= session.total_duration_s else "playing",
+            )
+            entries.append(
+                self._signalling_entry(
+                    subscriber_id,
+                    "s.youtube.com",
+                    uri,
+                    start_epoch_s + t,
+                    int(self.rng.integers(300, 900)),
+                    encrypted,
+                    rtt_hint,
+                )
+            )
+
+        entries.sort(key=lambda e: e.timestamp_s)
+        return entries

@@ -1,0 +1,188 @@
+"""Encrypted session reconstruction (§5.2 heuristic).
+
+Encrypted weblogs carry no session id, so segments must be regrouped
+into sessions from traffic shape alone.  The paper's three steps:
+
+1. "Identify the traffic that corresponds to a single subscriber and
+   remove all requests that do not belong to YouTube by filtering out
+   those that have domain names not related to the service."
+2. "Look for the unique HTTP traffic patterns that take place at the
+   beginning of a new video session [...] requests to m.youtube.com and
+   i.ytimg.com which are responsible for downloading multiple web
+   objects such as HTML, scripts and images."
+3. "Longer periods without traffic that correspond to the time between
+   consecutive sessions are identified in order to clearly define the
+   beginning and ending of each session."
+
+The known limitation is preserved too: parallel sessions of one
+subscriber interleave and cannot be separated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from .weblog import WeblogEntry
+
+__all__ = [
+    "ReconstructedSession",
+    "SessionReconstructor",
+    "is_youtube_host",
+    "is_youtube_ip",
+]
+
+_YOUTUBE_SUFFIXES = (".youtube.com", ".googlevideo.com", ".ytimg.com")
+_SIGNALLING_PAGE_HOSTS = ("m.youtube.com", "www.youtube.com")
+
+#: Address space the simulated Google CDN lives in (see
+#: :func:`repro.capture.proxy.server_ip_for`).  With encrypted SNI
+#: (TLS ECH) the IP prefix is the only service fingerprint left.
+_YOUTUBE_IP_PREFIX = "173.194."
+
+
+def is_youtube_host(server_name: str) -> bool:
+    """Whether a server name belongs to the YouTube service."""
+    name = server_name.lower()
+    return name.endswith(_YOUTUBE_SUFFIXES) or name in (
+        "youtube.com",
+        "googlevideo.com",
+        "ytimg.com",
+    )
+
+
+def is_youtube_ip(server_ip: str) -> bool:
+    """Whether a server IP falls in the service's address space.
+
+    The ECH-era fallback: when the SNI itself is encrypted, prefix
+    matching against published CDN ranges is what remains.  Coarser
+    than SNI — any service hosted in the same ranges matches too.
+    """
+    return server_ip.startswith(_YOUTUBE_IP_PREFIX)
+
+
+def _is_media_host(server_name: str) -> bool:
+    return server_name.lower().endswith(".googlevideo.com")
+
+
+def _is_page_host(server_name: str) -> bool:
+    return server_name.lower() in _SIGNALLING_PAGE_HOSTS
+
+
+@dataclass
+class ReconstructedSession:
+    """One regrouped encrypted session."""
+
+    media: List[WeblogEntry] = field(default_factory=list)
+    signalling: List[WeblogEntry] = field(default_factory=list)
+
+    @property
+    def start_s(self) -> float:
+        entries = self.signalling + self.media
+        return min(e.timestamp_s for e in entries)
+
+    @property
+    def end_s(self) -> float:
+        entries = self.signalling + self.media
+        return max(e.arrival_s for e in entries)
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.media)
+
+
+class SessionReconstructor:
+    """Groups a subscriber's encrypted weblogs into video sessions.
+
+    Parameters
+    ----------
+    idle_gap_s:
+        A silence longer than this between consecutive YouTube entries
+        closes the current session.
+    min_media_chunks:
+        Groups with fewer media entries are discarded (page visits that
+        never started a playback).
+    use_sni:
+        With True (default) the service filter and the media/signalling
+        distinction use the TLS SNI, as in the paper.  With False the
+        reconstructor operates in ECH mode: the service filter matches
+        the CDN IP prefix and — since signalling hosts are no longer
+        distinguishable — sessions split on idle gaps and a size
+        heuristic only (small transactions are treated as signalling).
+    """
+
+    #: ECH mode: transactions at most this large count as signalling.
+    SIGNALLING_MAX_BYTES = 150_000
+
+    def __init__(
+        self,
+        idle_gap_s: float = 30.0,
+        min_media_chunks: int = 3,
+        use_sni: bool = True,
+    ):
+        if idle_gap_s <= 0:
+            raise ValueError("idle gap must be positive")
+        if min_media_chunks < 1:
+            raise ValueError("min_media_chunks must be >= 1")
+        self.idle_gap_s = idle_gap_s
+        self.min_media_chunks = min_media_chunks
+        self.use_sni = use_sni
+
+    def _is_service(self, entry: WeblogEntry) -> bool:
+        if self.use_sni:
+            return is_youtube_host(entry.server_name)
+        return is_youtube_ip(entry.server_ip)
+
+    def _is_media(self, entry: WeblogEntry) -> bool:
+        if self.use_sni:
+            return _is_media_host(entry.server_name)
+        return entry.object_bytes > self.SIGNALLING_MAX_BYTES
+
+    def _is_page(self, entry: WeblogEntry) -> bool:
+        if self.use_sni:
+            return _is_page_host(entry.server_name)
+        return False    # page requests are indistinguishable under ECH
+
+    def reconstruct(
+        self, entries: Iterable[WeblogEntry]
+    ) -> List[ReconstructedSession]:
+        """Run the 3-step heuristic over one subscriber's weblogs."""
+        # Step 1: service filter.
+        youtube = sorted(
+            (e for e in entries if self._is_service(e)),
+            key=lambda e: e.timestamp_s,
+        )
+
+        sessions: List[ReconstructedSession] = []
+        current: ReconstructedSession = None
+        last_time: float = None
+
+        for entry in youtube:
+            gap_break = (
+                last_time is not None
+                and entry.timestamp_s - last_time > self.idle_gap_s
+            )
+            # Step 2: a watch-page request after media activity marks a
+            # new session even without an idle gap (back-to-back videos).
+            page_break = (
+                current is not None
+                and self._is_page(entry)
+                and current.media
+            )
+            if current is None or gap_break or page_break:
+                if current is not None:
+                    sessions.append(current)
+                current = ReconstructedSession()
+            if self._is_media(entry):
+                current.media.append(entry)
+            else:
+                current.signalling.append(entry)
+            last_time = entry.arrival_s
+
+        if current is not None:
+            sessions.append(current)
+
+        # Drop page visits that never played media.
+        return [
+            s for s in sessions if len(s.media) >= self.min_media_chunks
+        ]

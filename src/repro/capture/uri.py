@@ -1,0 +1,175 @@
+"""YouTube-like URI synthesis and parsing.
+
+§3.2: the ground truth lives in "the meta-data that are passed as
+parameters in the URIs of the HTTP requests" — the ``itag`` encodes the
+representation of each segment, the 16-character ``cpn`` (client
+playback nonce) identifies the session, and periodic statistical
+reports carry playback state including stall counts and durations.
+
+This module synthesises such URIs for the simulated cleartext traffic
+and parses them back — the parse side is exactly the reverse
+engineering step the paper performs on real weblogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+from urllib.parse import parse_qs, quote, urlencode, urlparse
+
+import numpy as np
+
+from repro.streaming.catalog import quality_for_itag
+from repro.streaming.segments import ChunkDownload
+
+__all__ = [
+    "VIDEO_HOSTS",
+    "SIGNALLING_HOSTS",
+    "segment_uri",
+    "stats_report_uri",
+    "watch_page_uri",
+    "thumbnail_uri",
+    "ParsedSegment",
+    "ParsedStatsReport",
+    "parse_uri",
+]
+
+#: googlevideo CDN edge hostnames (content servers).
+VIDEO_HOSTS = (
+    "r1---sn-h5q7dnl6.googlevideo.com",
+    "r3---sn-h5q7dner.googlevideo.com",
+    "r4---sn-4g5ednsl.googlevideo.com",
+    "r6---sn-25ge7nsl.googlevideo.com",
+)
+
+#: Hosts involved in session signalling (page, scripts, thumbnails, stats).
+SIGNALLING_HOSTS = (
+    "m.youtube.com",
+    "www.youtube.com",
+    "i.ytimg.com",
+    "s.ytimg.com",
+    "s.youtube.com",
+)
+
+
+def pick_video_host(rng: np.random.Generator) -> str:
+    """CDN edge assigned to a session (sticky per session in practice)."""
+    return str(rng.choice(list(VIDEO_HOSTS)))
+
+
+def segment_uri(
+    host: str,
+    video_id: str,
+    session_id: str,
+    chunk: ChunkDownload,
+    range_start: int = 0,
+) -> str:
+    """URL of one media-segment request, ground truth in the params."""
+    params = {
+        "id": video_id,
+        "itag": str(chunk.quality.itag),
+        "cpn": session_id,
+        "mime": "video/mp4" if chunk.kind == "video" else "audio/mp4",
+        "range": f"{range_start}-{range_start + chunk.size_bytes - 1}",
+        "dur": f"{chunk.media_seconds:.3f}",
+        "clen": str(chunk.size_bytes),
+    }
+    return f"https://{host}/videoplayback?{urlencode(params)}"
+
+
+def stats_report_uri(
+    session_id: str,
+    video_id: str,
+    playback_position_s: float,
+    stall_count: int,
+    stall_duration_s: float,
+    state: str = "playing",
+) -> str:
+    """Periodic playback report sent by the player to s.youtube.com.
+
+    Carries the cumulative stall statistics since playback began —
+    the stall ground truth the paper mines (§3.2 "playback stats").
+    """
+    params = {
+        "cpn": session_id,
+        "docid": video_id,
+        "cmt": f"{playback_position_s:.1f}",
+        "state": state,
+        "rebuf_count": str(stall_count),
+        "rebuf_dur": f"{stall_duration_s:.2f}",
+    }
+    return f"https://s.youtube.com/api/stats/watchtime?{urlencode(params)}"
+
+
+def watch_page_uri(video_id: str) -> str:
+    """The HTML watch page requested when a session starts."""
+    return f"https://m.youtube.com/watch?v={quote(video_id)}"
+
+
+def thumbnail_uri(video_id: str, name: str = "hqdefault") -> str:
+    """Thumbnail image fetched while the page is constructed."""
+    return f"https://i.ytimg.com/vi/{quote(video_id)}/{name}.jpg"
+
+
+@dataclass(frozen=True)
+class ParsedSegment:
+    """Ground truth recovered from a segment URI."""
+
+    video_id: str
+    session_id: str
+    itag: int
+    resolution_p: int
+    kind: str
+    media_seconds: float
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class ParsedStatsReport:
+    """Ground truth recovered from a playback report URI."""
+
+    session_id: str
+    video_id: str
+    playback_position_s: float
+    state: str
+    stall_count: int
+    stall_duration_s: float
+
+
+def _single(params: Dict[str, list], key: str) -> Optional[str]:
+    values = params.get(key)
+    return values[0] if values else None
+
+
+def parse_uri(uri: str):
+    """Parse a weblog URI into its ground-truth record.
+
+    Returns a :class:`ParsedSegment`, a :class:`ParsedStatsReport`, or
+    ``None`` for signalling/unknown URIs (watch pages, thumbnails,
+    scripts carry no per-session ground truth we use).
+    """
+    parsed = urlparse(uri)
+    params = parse_qs(parsed.query)
+    if parsed.path == "/videoplayback":
+        itag = int(_single(params, "itag"))
+        quality = quality_for_itag(itag)
+        mime = _single(params, "mime") or "video/mp4"
+        return ParsedSegment(
+            video_id=_single(params, "id") or "",
+            session_id=_single(params, "cpn") or "",
+            itag=itag,
+            resolution_p=quality.resolution_p,
+            kind="video" if mime.startswith("video") else "audio",
+            media_seconds=float(_single(params, "dur") or 0.0),
+            size_bytes=int(_single(params, "clen") or 0),
+        )
+    if parsed.path.startswith("/api/stats/"):
+        return ParsedStatsReport(
+            session_id=_single(params, "cpn") or "",
+            video_id=_single(params, "docid") or "",
+            playback_position_s=float(_single(params, "cmt") or 0.0),
+            state=_single(params, "state") or "unknown",
+            stall_count=int(_single(params, "rebuf_count") or 0),
+            stall_duration_s=float(_single(params, "rebuf_dur") or 0.0),
+        )
+    return None

@@ -1,0 +1,79 @@
+"""Weblog records — the proxy's view of one HTTP(S) transaction.
+
+§3.1: "The proxy is capable of registering all unencrypted HTTP traffic
+including IP-port tuples, URI's, object sizes, transaction times,
+request time-stamps and more.  Moreover, each log is annotated with a
+set of transport layer performance metrics, i.e. bandwidth-delay
+product (BDP), bytes-in-flight (BIF), packet loss, packet
+retransmissions and RTT."
+
+For encrypted flows the URI is absent (§5.2): "we only extract the
+timestamp of the HTTP request, the server IP address and port, the size
+of the requested object and the TCP statistics".  The TLS SNI still
+exposes the server *name*, which is what the session-reconstruction
+heuristic keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["WeblogEntry"]
+
+
+@dataclass
+class WeblogEntry:
+    """One proxy log line.
+
+    Attributes mirror the left column of Table 1 plus bookkeeping:
+
+    * ``timestamp_s`` — absolute request time (epoch-like seconds).
+    * ``transaction_s`` — transfer duration; the *chunk time* feature is
+      ``timestamp_s + transaction_s`` (when the chunk arrives).
+    * ``object_bytes`` — the *chunk size* feature.
+    * RTT min/avg/max, ``bdp_bytes``, ``bif_avg/max_bytes``,
+      ``loss_pct``, ``retx_pct`` — transport annotations.
+    * ``uri`` — full request URI for cleartext, ``None`` when encrypted.
+    * ``server_name`` — Host header (cleartext) or TLS SNI (encrypted).
+    * ``cached``/``compressed`` — proxy service marks; such entries are
+      dropped during data preparation (§3.3).
+    """
+
+    subscriber_id: str
+    timestamp_s: float
+    server_name: str
+    server_ip: str
+    server_port: int
+    object_bytes: int
+    transaction_s: float
+    rtt_min_ms: float
+    rtt_avg_ms: float
+    rtt_max_ms: float
+    bdp_bytes: float
+    bif_avg_bytes: float
+    bif_max_bytes: float
+    loss_pct: float
+    retx_pct: float
+    encrypted: bool = False
+    uri: Optional[str] = None
+    cached: bool = False
+    compressed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.object_bytes < 0:
+            raise ValueError("object size must be >= 0")
+        if self.transaction_s < 0:
+            raise ValueError("transaction time must be >= 0")
+        if self.encrypted and self.uri is not None:
+            raise ValueError("encrypted entries cannot carry a URI")
+
+    @property
+    def arrival_s(self) -> float:
+        """Chunk arrival time (request timestamp + transaction time)."""
+        return self.timestamp_s + self.transaction_s
+
+    @property
+    def chunk_size(self) -> int:
+        """Alias matching the paper's feature name."""
+        return self.object_bytes

@@ -1,0 +1,153 @@
+"""Mean-Opinion-Score estimation from the three detected impairments.
+
+The paper detects impairment *levels* but stops short of a single QoE
+score.  This module closes that gap using the models of the works the
+paper builds its QoE taxonomy on (§2.2):
+
+* **Base quality -> MOS**: subjective studies (Lewcio et al. [10])
+  place higher representations at higher MOS; we interpolate a base
+  score over the resolution ladder.
+* **Stalling**: Hoßfeld et al. [8] fit an exponential decay of MOS in
+  the amount of stalling ("2 stalls of 3 seconds each lead to
+  significantly lower MOS"); Mok et al. [9] report that medium
+  rebuffering frequency alone costs about 2 MOS points.  We apply an
+  exponential penalty in the rebuffering ratio, scaled so RR = 0.1
+  (the paper's severe threshold, the Krishnan abandonment point) costs
+  roughly 1.5 points and heavy stalling saturates near the scale floor.
+* **Switching**: Hoßfeld et al. [11] find the switching *amplitude*
+  has the strongest impact, frequency a weaker one; we subtract a
+  bounded linear penalty in both.
+
+Two entry points:
+
+* :func:`mos_from_ground_truth` — exact score from a ground-truth
+  :class:`~repro.datasets.schema.SessionRecord` (simulation/validation).
+* :func:`mos_from_diagnosis` — operator-side score from a
+  :class:`~repro.core.framework.SessionDiagnosis`, using representative
+  values per detected class (all an encrypted vantage point offers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.schema import SessionRecord
+
+from .framework import SessionDiagnosis
+
+__all__ = [
+    "MosBreakdown",
+    "mos_from_ground_truth",
+    "mos_from_diagnosis",
+    "BASE_QUALITY_MOS",
+]
+
+#: Resolution -> base MOS anchor points (no impairments), interpolated.
+BASE_QUALITY_MOS = (
+    (144.0, 2.0),
+    (240.0, 2.6),
+    (360.0, 3.3),
+    (480.0, 3.8),
+    (720.0, 4.3),
+    (1080.0, 4.5),
+)
+
+#: Exponential stall-decay coefficient: exp(-_STALL_DECAY * RR) scaled
+#: onto the MOS range; RR = 0.1 costs ~1.5 points from a 4.5 ceiling.
+_STALL_DECAY = 7.0
+
+#: Switching penalties (bounded): per normalised amplitude line and per
+#: switch; amplitude dominates per [11].
+_AMPLITUDE_PENALTY_PER_LINE = 0.004
+_FREQUENCY_PENALTY_PER_SWITCH = 0.05
+_MAX_SWITCH_PENALTY = 1.0
+
+_MOS_FLOOR = 1.0
+_MOS_CEIL = 5.0
+
+
+@dataclass(frozen=True)
+class MosBreakdown:
+    """A MOS estimate with its per-factor decomposition."""
+
+    base_quality: float
+    stall_penalty: float
+    switch_penalty: float
+
+    @property
+    def mos(self) -> float:
+        value = self.base_quality - self.stall_penalty - self.switch_penalty
+        return float(min(_MOS_CEIL, max(_MOS_FLOOR, value)))
+
+
+def _base_mos(mean_resolution: float) -> float:
+    """Interpolated base MOS of a mean resolution."""
+    xs = np.array([x for x, _ in BASE_QUALITY_MOS])
+    ys = np.array([y for _, y in BASE_QUALITY_MOS])
+    return float(np.interp(mean_resolution, xs, ys))
+
+
+def _stall_penalty(rebuffering_ratio: float, base: float) -> float:
+    """Exponential-decay penalty of Hoßfeld-style stalling impact."""
+    if rebuffering_ratio <= 0:
+        return 0.0
+    rr = min(1.0, rebuffering_ratio)
+    retained = math.exp(-_STALL_DECAY * rr)
+    return (base - _MOS_FLOOR) * (1.0 - retained)
+
+
+def _switch_penalty(amplitude: float, count: int) -> float:
+    """Bounded linear penalty in switch amplitude and frequency [11]."""
+    penalty = (
+        _AMPLITUDE_PENALTY_PER_LINE * max(0.0, amplitude)
+        + _FREQUENCY_PENALTY_PER_SWITCH * max(0, count)
+    )
+    return min(_MAX_SWITCH_PENALTY, penalty)
+
+
+def mos_from_ground_truth(record: SessionRecord) -> MosBreakdown:
+    """Exact MOS decomposition of a record with full ground truth."""
+    base = _base_mos(record.mean_resolution())
+    return MosBreakdown(
+        base_quality=base,
+        stall_penalty=_stall_penalty(record.rebuffering_ratio(), base),
+        switch_penalty=_switch_penalty(
+            record.switch_amplitude(), record.switch_count()
+        ),
+    )
+
+
+#: Representative per-class values used when only detected classes are
+#: available: class midpoints of the labelling rules.
+_CLASS_RESOLUTION = {"LD": 240.0, "SD": 420.0, "HD": 720.0}
+_CLASS_RR = {"no stalls": 0.0, "mild stalls": 0.05, "severe stalls": 0.2}
+
+
+def mos_from_diagnosis(
+    diagnosis: SessionDiagnosis,
+    assumed_switch_amplitude: float = 150.0,
+    assumed_switch_count: int = 2,
+) -> MosBreakdown:
+    """MOS estimate from detected classes only (the encrypted view).
+
+    Uses the midpoint of each detected class: LD/SD/HD map to 240/420/
+    720 lines, the stall classes to RR 0 / 0.05 / 0.2, and a detected
+    switching session is charged a typical amplitude/frequency.
+    """
+    resolution = _CLASS_RESOLUTION.get(diagnosis.representation_class, 360.0)
+    base = _base_mos(resolution)
+    rr = _CLASS_RR.get(diagnosis.stall_class, 0.0)
+    if diagnosis.has_quality_switches:
+        switch_penalty = _switch_penalty(
+            assumed_switch_amplitude, assumed_switch_count
+        )
+    else:
+        switch_penalty = 0.0
+    return MosBreakdown(
+        base_quality=base,
+        stall_penalty=_stall_penalty(rr, base),
+        switch_penalty=switch_penalty,
+    )

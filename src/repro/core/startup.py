@@ -1,0 +1,81 @@
+"""Initial-delay estimation from encrypted traffic (a §2.2 extension).
+
+The paper excludes the initial delay from its QoE model ("lowest impact
+on the QoE") but operators still track it.  This module estimates it
+from the same encrypted weblog view the detectors use: playback starts
+once the player has buffered its start-up threshold of media, which at
+the traffic level corresponds to the first few media chunks having
+arrived.
+
+The estimator returns the arrival time of the chunk at which the
+cumulative downloaded bytes first cover ``startup_media_s`` seconds of
+playback at the session's estimated bitrate (bitrate itself estimated
+from the steady-state byte rate), measured from the session's first
+request.  On simulated ground truth this tracks the player's true
+startup delay closely (see ``tests/core/test_startup.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.schema import SessionRecord
+
+__all__ = ["StartupEstimate", "estimate_startup_delay"]
+
+
+@dataclass(frozen=True)
+class StartupEstimate:
+    """Estimated initial delay of one session."""
+
+    delay_s: float
+    bitrate_kbps: float
+    chunks_used: int
+
+
+def _steady_bitrate_kbps(record: SessionRecord) -> float:
+    """Estimate the media bitrate from steady-state byte throughput.
+
+    In steady state the player downloads at the media consumption rate
+    (ON-OFF pacing), so total bytes / session span approximates the
+    bitrate.  The first chunks (start-up burst) are excluded.
+    """
+    n = record.n_chunks
+    skip = min(3, n - 1)
+    sizes = record.sizes[skip:]
+    times = record.timestamps[skip:]
+    if sizes.size < 2 or times[-1] <= times[0]:
+        # degenerate: fall back to whole-session average rate
+        span = max(1e-3, record.timestamps[-1] - record.timestamps[0])
+        return float(record.sizes.sum() * 8.0 / 1000.0 / span)
+    span = times[-1] - times[0]
+    return float(sizes.sum() * 8.0 / 1000.0 / max(span, 1e-3))
+
+
+def estimate_startup_delay(
+    record: SessionRecord,
+    startup_media_s: float = 4.0,
+) -> Optional[StartupEstimate]:
+    """Estimate the initial delay of a session from traffic alone.
+
+    Returns ``None`` for sessions too short to estimate (fewer than two
+    chunks).
+    """
+    if record.n_chunks < 2:
+        return None
+    bitrate = max(16.0, _steady_bitrate_kbps(record))
+    bytes_needed = startup_media_s * bitrate * 1000.0 / 8.0
+
+    cumulative = np.cumsum(record.sizes)
+    reached = np.nonzero(cumulative >= bytes_needed)[0]
+    index = int(reached[0]) if reached.size else record.n_chunks - 1
+    start = record.timestamps[0] - record.transactions[0]
+    delay = float(record.timestamps[index] - start)
+    return StartupEstimate(
+        delay_s=max(0.0, delay),
+        bitrate_kbps=bitrate,
+        chunks_used=index + 1,
+    )

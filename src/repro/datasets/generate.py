@@ -1,0 +1,319 @@
+"""Corpus generators.
+
+Two corpora mirror the paper's two datasets:
+
+* **Cleartext corpus** (§3.1): sessions from many subscribers of the
+  operator, dominated by legacy progressive players ("only 3% of these
+  are adaptive streaming sessions"), observed by the proxy in
+  cleartext so URIs provide ground truth.
+* **Encrypted corpus** (§5.2): 722 sessions from a single instrumented
+  commuter device, encrypted end-to-end, with device-side ground truth
+  and weblog-side traffic that must be regrouped by the reconstruction
+  heuristic.
+
+A third helper generates an all-adaptive corpus for the HAS-only
+experiments (average representation, quality switching) — the paper
+derives those from the adaptive subset of its dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.capture.device import DeviceLogger, PlaybackSummary, SegmentRecord
+from repro.capture.proxy import WebProxy, server_ip_for
+from repro.capture.reconstruction import SessionReconstructor
+from repro.capture.weblog import WeblogEntry
+from repro.network.diurnal import DiurnalLoadModel
+from repro.network.mobility import COMMUTER_USER, STATIC_USER, MobilityModel
+from repro.network.path import NetworkPath, Outage
+from repro.streaming.adaptive import AdaptivePlayer, AdaptivePlayerConfig
+from repro.streaming.catalog import DASH_LADDER, VideoCatalog
+from repro.streaming.progressive import ProgressivePlayer
+from repro.streaming.session import VideoSession
+
+from .preparation import (
+    group_cleartext_sessions,
+    records_from_reconstruction,
+)
+from .schema import SessionRecord
+
+__all__ = [
+    "CorpusConfig",
+    "Corpus",
+    "generate_corpus",
+    "generate_cleartext_corpus",
+    "generate_adaptive_corpus",
+    "generate_encrypted_corpus",
+]
+
+#: Screen/data-plan quality caps users impose on adaptive playback
+#: (§4.2: "videos are streamed using limited mobile data plans and on
+#: handheld devices that often come with smaller screens which leads
+#: users to opt for LD and SD video qualities").
+DEFAULT_QUALITY_CAPS: Dict[int, float] = {
+    240: 0.46,
+    360: 0.26,
+    480: 0.21,
+    720: 0.05,
+    1080: 0.02,
+}
+
+_NOISE_HOSTS = (
+    "www.facebook.com",
+    "cdn.twitter.com",
+    "www.google.com",
+    "static.news-site.example",
+    "api.weatherapp.example",
+)
+
+
+@dataclass
+class CorpusConfig:
+    """Parameters of a corpus generation run."""
+
+    n_sessions: int
+    seed: int = 0
+    adaptive_fraction: float = 0.03
+    mobility: MobilityModel = field(default_factory=lambda: STATIC_USER)
+    quality_caps: Dict[int, float] = field(
+        default_factory=lambda: dict(DEFAULT_QUALITY_CAPS)
+    )
+    encrypted: bool = False
+    single_subscriber: bool = False
+    session_gap_s: Tuple[float, float] = (60.0, 1800.0)
+    noise_entries_per_gap: float = 2.0
+    mean_video_duration_s: float = 180.0
+    #: Probability that a session's path suffers transient coverage dips
+    #: (handovers, tunnels, cell congestion bursts).  These are what
+    #: produce *mild* stalls and mid-session quality switches on
+    #: otherwise healthy links.
+    transient_outage_prob: float = 0.15
+    transient_outage_count: Tuple[int, int] = (1, 3)
+    transient_outage_duration_s: Tuple[float, float] = (12.0, 45.0)
+    transient_outage_factor: Tuple[float, float] = (0.03, 0.20)
+    #: Optional time-of-day load model: sessions generated during busy
+    #: hours see reduced capacity (and more QoE issues).
+    diurnal: Optional[DiurnalLoadModel] = None
+    #: Epoch of the first session (seconds; 0 = midnight of day one).
+    start_epoch_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_sessions < 0:
+            raise ValueError("n_sessions must be >= 0")
+        if not 0.0 <= self.adaptive_fraction <= 1.0:
+            raise ValueError("adaptive_fraction must be in [0, 1]")
+
+
+@dataclass
+class Corpus:
+    """A generated corpus: simulation truth + capture views."""
+
+    sessions: List[VideoSession]
+    records: List[SessionRecord]
+    weblogs: List[WeblogEntry]
+    summaries: List[PlaybackSummary]
+    segment_records: List[SegmentRecord]
+
+    def adaptive_records(self) -> List[SessionRecord]:
+        return [r for r in self.records if r.kind == "adaptive"]
+
+    def records_with_stall_truth(self) -> List[SessionRecord]:
+        return [
+            r
+            for r in self.records
+            if r.stall_duration_s is not None and r.total_duration_s
+        ]
+
+
+def _capped_ladder(cap: int):
+    return [q for q in DASH_LADDER if q.resolution_p <= cap]
+
+
+def _noise_entry(
+    rng: np.random.Generator, subscriber: str, timestamp: float, encrypted: bool
+) -> WeblogEntry:
+    host = str(rng.choice(list(_NOISE_HOSTS)))
+    size = int(rng.integers(500, 200_000))
+    return WeblogEntry(
+        subscriber_id=subscriber,
+        timestamp_s=timestamp,
+        server_name=host,
+        server_ip=server_ip_for(host),
+        server_port=443 if encrypted else 80,
+        object_bytes=size,
+        transaction_s=float(rng.uniform(0.02, 1.5)),
+        rtt_min_ms=40.0,
+        rtt_avg_ms=55.0,
+        rtt_max_ms=80.0,
+        bdp_bytes=0.0,
+        bif_avg_bytes=float(min(size, 14600)),
+        bif_max_bytes=float(min(size, 14600)),
+        loss_pct=0.0,
+        retx_pct=0.0,
+        encrypted=encrypted,
+        uri=None if encrypted else f"https://{host}/page",
+    )
+
+
+def generate_corpus(config: CorpusConfig) -> Corpus:
+    """Simulate sessions, capture them through the proxy, prepare records."""
+    rng = np.random.default_rng(config.seed)
+    catalog = VideoCatalog(mean_duration_s=config.mean_video_duration_s)
+    proxy = WebProxy(rng)
+    device = DeviceLogger()
+    places = config.mobility.walk(config.n_sessions, rng)
+
+    cap_values = list(config.quality_caps.keys())
+    cap_probs = np.array(list(config.quality_caps.values()), dtype=float)
+    cap_probs = cap_probs / cap_probs.sum()
+
+    sessions: List[VideoSession] = []
+    weblogs: List[WeblogEntry] = []
+    summaries: List[PlaybackSummary] = []
+    segment_records: List[SegmentRecord] = []
+
+    epoch = config.start_epoch_s
+    for i in range(config.n_sessions):
+        place = places[i]
+        video = catalog.sample(rng)
+        outages = []
+        # Coverage dips concentrate on mobile regimes (tunnels, cell
+        # handovers); static cells rarely see them.
+        outage_prob = config.transient_outage_prob * (
+            0.4 if place.static else 1.6
+        )
+        if rng.random() < outage_prob:
+            lo, hi = config.transient_outage_count
+            for _ in range(int(rng.integers(lo, hi + 1))):
+                start = float(rng.uniform(5.0, max(10.0, video.duration_s)))
+                duration = float(rng.uniform(*config.transient_outage_duration_s))
+                factor = float(rng.uniform(*config.transient_outage_factor))
+                outages.append(Outage(start, start + duration, factor))
+        profile = place.profile
+        if config.diurnal is not None:
+            profile = config.diurnal.scale_profile(profile, epoch)
+        path = NetworkPath(
+            profile,
+            video.duration_s * 4.0 + 180.0,
+            rng,
+            outages=outages,
+        )
+        if rng.random() < config.adaptive_fraction:
+            cap = int(rng.choice(cap_values, p=cap_probs))
+            player = AdaptivePlayer(
+                AdaptivePlayerConfig(ladder=_capped_ladder(cap))
+            )
+            session = player.play(video, path, rng, place=place.name)
+        else:
+            session = ProgressivePlayer().play(video, path, rng, place=place.name)
+        sessions.append(session)
+
+        subscriber = "sub-000" if config.single_subscriber else f"sub-{i:06d}"
+        entries = proxy.observe(
+            session,
+            subscriber_id=subscriber,
+            start_epoch_s=epoch,
+            encrypted=config.encrypted,
+        )
+        weblogs.extend(entries)
+        summaries.append(device.playback_summary(session))
+        segment_records.extend(device.segment_records(session, start_epoch_s=epoch))
+
+        gap = float(rng.uniform(*config.session_gap_s))
+        n_noise = int(rng.poisson(config.noise_entries_per_gap))
+        for _ in range(n_noise):
+            weblogs.append(
+                _noise_entry(
+                    rng,
+                    subscriber,
+                    epoch + session.total_duration_s + rng.uniform(5.0, max(6.0, gap)),
+                    config.encrypted,
+                )
+            )
+        epoch += session.total_duration_s + gap
+
+    weblogs.sort(key=lambda e: e.timestamp_s)
+
+    if config.encrypted:
+        reconstructor = SessionReconstructor()
+        by_subscriber: Dict[str, List[WeblogEntry]] = {}
+        for entry in weblogs:
+            by_subscriber.setdefault(entry.subscriber_id, []).append(entry)
+        reconstructed = []
+        for entries in by_subscriber.values():
+            reconstructed.extend(reconstructor.reconstruct(entries))
+        records = records_from_reconstruction(
+            reconstructed, summaries, segment_records
+        )
+    else:
+        records = group_cleartext_sessions(weblogs)
+
+    return Corpus(
+        sessions=sessions,
+        records=records,
+        weblogs=weblogs,
+        summaries=summaries,
+        segment_records=segment_records,
+    )
+
+
+def generate_cleartext_corpus(
+    n_sessions: int, seed: int = 0, adaptive_fraction: float = 0.03
+) -> Corpus:
+    """The §3.1-style operator corpus (legacy-heavy, cleartext)."""
+    return generate_corpus(
+        CorpusConfig(
+            n_sessions=n_sessions,
+            seed=seed,
+            adaptive_fraction=adaptive_fraction,
+            mobility=STATIC_USER,
+        )
+    )
+
+
+def generate_adaptive_corpus(
+    n_sessions: int, seed: int = 0, transient_outage_prob: float = 0.45
+) -> Corpus:
+    """All-HAS cleartext corpus for the representation experiments.
+
+    Transient dips are more frequent than in the default corpus so both
+    populations of Figure 4 (with/without quality switches) are well
+    represented.
+    """
+    return generate_corpus(
+        CorpusConfig(
+            n_sessions=n_sessions,
+            seed=seed,
+            adaptive_fraction=1.0,
+            mobility=STATIC_USER,
+            transient_outage_prob=transient_outage_prob,
+        )
+    )
+
+
+def generate_encrypted_corpus(
+    n_sessions: int = 722,
+    seed: int = 42,
+    adaptive_fraction: float = 1.0,
+) -> Corpus:
+    """The §5.2 instrumented-commuter corpus (encrypted, one subscriber).
+
+    The stock Android app always streams adaptively, so the default is
+    all-HAS; the commuter mobility makes degraded conditions (and thus
+    stalls and low/variable qualities) more frequent than in the
+    cleartext corpus, reproducing the §5.3 distribution shift.
+    """
+    return generate_corpus(
+        CorpusConfig(
+            n_sessions=n_sessions,
+            seed=seed,
+            adaptive_fraction=adaptive_fraction,
+            mobility=COMMUTER_USER,
+            encrypted=True,
+            single_subscriber=True,
+        )
+    )

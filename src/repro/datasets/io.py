@@ -1,0 +1,138 @@
+"""Dataset import/export: weblogs and session records as JSON Lines.
+
+A reproduction corpus is only useful if it can leave the process:
+operators exchange weblog extracts, researchers archive prepared
+datasets.  This module serialises both layers to JSONL —
+one record per line, append-friendly, greppable:
+
+* weblog streams (:class:`~repro.capture.weblog.WeblogEntry`), the raw
+  capture layer;
+* prepared session records
+  (:class:`~repro.datasets.schema.SessionRecord`), the model input.
+
+Round trips are exact for every field the pipeline reads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, List, Union
+
+import numpy as np
+
+from repro.capture.weblog import WeblogEntry
+
+from .schema import SessionRecord
+
+__all__ = [
+    "write_weblogs",
+    "read_weblogs",
+    "write_records",
+    "read_records",
+]
+
+_PathLike = Union[str, Path]
+
+_RECORD_ARRAYS = (
+    "timestamps",
+    "sizes",
+    "transactions",
+    "rtt_min",
+    "rtt_avg",
+    "rtt_max",
+    "bdp",
+    "bif_avg",
+    "bif_max",
+    "loss_pct",
+    "retx_pct",
+)
+
+_RECORD_OPTIONAL_ARRAYS = ("resolutions", "resolution_media_s")
+
+_RECORD_SCALARS = (
+    "session_id",
+    "encrypted",
+    "stall_count",
+    "stall_duration_s",
+    "total_duration_s",
+    "kind",
+    "abandoned",
+    "place",
+)
+
+
+def write_weblogs(entries: Iterable[WeblogEntry], path: _PathLike) -> int:
+    """Write weblog entries as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for entry in entries:
+            handle.write(json.dumps(asdict(entry)) + "\n")
+            count += 1
+    return count
+
+
+def read_weblogs(path: _PathLike) -> List[WeblogEntry]:
+    """Read a weblog JSONL file written by :func:`write_weblogs`."""
+    entries: List[WeblogEntry] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                entries.append(WeblogEntry(**payload))
+            except (json.JSONDecodeError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid weblog line ({exc})"
+                ) from exc
+    return entries
+
+
+def _record_to_payload(record: SessionRecord) -> dict:
+    payload = {name: getattr(record, name) for name in _RECORD_SCALARS}
+    for name in _RECORD_ARRAYS:
+        payload[name] = getattr(record, name).tolist()
+    for name in _RECORD_OPTIONAL_ARRAYS:
+        value = getattr(record, name)
+        payload[name] = value.tolist() if value is not None else None
+    return payload
+
+
+def _record_from_payload(payload: dict) -> SessionRecord:
+    kwargs = {name: payload.get(name) for name in _RECORD_SCALARS}
+    for name in _RECORD_ARRAYS:
+        kwargs[name] = np.asarray(payload[name], dtype=float)
+    for name in _RECORD_OPTIONAL_ARRAYS:
+        value = payload.get(name)
+        kwargs[name] = np.asarray(value, dtype=float) if value is not None else None
+    return SessionRecord(**kwargs)
+
+
+def write_records(records: Iterable[SessionRecord], path: _PathLike) -> int:
+    """Write session records as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(_record_to_payload(record)) + "\n")
+            count += 1
+    return count
+
+
+def read_records(path: _PathLike) -> List[SessionRecord]:
+    """Read a record JSONL file written by :func:`write_records`."""
+    records: List[SessionRecord] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(_record_from_payload(json.loads(line)))
+            except (json.JSONDecodeError, TypeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid record line ({exc})"
+                ) from exc
+    return records

@@ -1,0 +1,146 @@
+"""Per-session dataset schema.
+
+After data preparation (§3.3) "each entry in the dataset corresponds to
+a unique video session which includes information about the total
+number of stalls and their duration, as well as the characteristics of
+each chunk such as the quality representation, size, download
+time-stamp, but also the transport layer statistics like RTT, loss,
+re-transmissions, BDP and bytes-in-flight for each chunk download."
+
+:class:`SessionRecord` is that entry.  The chunk-level arrays cover all
+*media* chunks (video and audio — encrypted traffic cannot tell them
+apart, so the feature pipeline never relies on the distinction), while
+the ground-truth fields are only populated where a ground-truth channel
+existed (URIs for cleartext, the instrumented device for encrypted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SessionRecord"]
+
+
+@dataclass
+class SessionRecord:
+    """One prepared dataset row (a unique video session).
+
+    Chunk-level arrays are aligned with each other and sorted by
+    arrival time.  Ground-truth fields are ``None`` when unavailable
+    (e.g. resolution for encrypted sessions without device logs).
+    """
+
+    session_id: str
+    encrypted: bool
+
+    # --- per-chunk network features (Table 1, left column)
+    timestamps: np.ndarray          # chunk arrival times (chunk time)
+    sizes: np.ndarray               # chunk sizes in bytes
+    transactions: np.ndarray        # transfer durations (s) per chunk
+    rtt_min: np.ndarray             # per-chunk minimum RTT (ms)
+    rtt_avg: np.ndarray
+    rtt_max: np.ndarray
+    bdp: np.ndarray                 # bandwidth-delay product (bytes)
+    bif_avg: np.ndarray             # average bytes-in-flight
+    bif_max: np.ndarray
+    loss_pct: np.ndarray
+    retx_pct: np.ndarray
+
+    # --- ground truth (Table 1, right column + playback reports)
+    stall_count: Optional[int] = None
+    stall_duration_s: Optional[float] = None
+    total_duration_s: Optional[float] = None
+    resolutions: Optional[np.ndarray] = None    # per *video* chunk
+    resolution_media_s: Optional[np.ndarray] = None  # media secs per video chunk
+    kind: Optional[str] = None                  # adaptive / progressive
+    abandoned: Optional[bool] = None
+    place: Optional[str] = None                 # diagnostics only
+
+    def __post_init__(self) -> None:
+        arrays = (
+            self.timestamps,
+            self.sizes,
+            self.transactions,
+            self.rtt_min,
+            self.rtt_avg,
+            self.rtt_max,
+            self.bdp,
+            self.bif_avg,
+            self.bif_max,
+            self.loss_pct,
+            self.retx_pct,
+        )
+        n = self.timestamps.size
+        if any(a.size != n for a in arrays):
+            raise ValueError("chunk-level arrays must be aligned")
+        if n == 0:
+            raise ValueError("a session record needs at least one chunk")
+        order = np.argsort(self.timestamps, kind="mergesort")
+        if not np.array_equal(order, np.arange(n)):
+            for name in (
+                "timestamps",
+                "sizes",
+                "transactions",
+                "rtt_min",
+                "rtt_avg",
+                "rtt_max",
+                "bdp",
+                "bif_avg",
+                "bif_max",
+                "loss_pct",
+                "retx_pct",
+            ):
+                setattr(self, name, getattr(self, name)[order])
+
+    @property
+    def n_chunks(self) -> int:
+        return int(self.timestamps.size)
+
+    # ------------------------------------------------------------------
+    # Ground-truth-derived label inputs
+    # ------------------------------------------------------------------
+
+    def rebuffering_ratio(self) -> float:
+        """RR (eq. 1); requires stall + duration ground truth."""
+        if self.stall_duration_s is None or self.total_duration_s is None:
+            raise ValueError("RR needs stall and duration ground truth")
+        if self.total_duration_s <= 0:
+            raise ValueError("total duration must be positive")
+        return self.stall_duration_s / self.total_duration_s
+
+    def mean_resolution(self) -> float:
+        """Media-time-weighted mean resolution of the session."""
+        if self.resolutions is None or self.resolutions.size == 0:
+            raise ValueError("no resolution ground truth")
+        if (
+            self.resolution_media_s is not None
+            and self.resolution_media_s.size == self.resolutions.size
+            and self.resolution_media_s.sum() > 0
+        ):
+            weights = self.resolution_media_s
+            return float(
+                (weights * self.resolutions).sum() / weights.sum()
+            )
+        return float(np.mean(self.resolutions))
+
+    def switch_count(self) -> int:
+        """Number of representation changes between consecutive chunks."""
+        if self.resolutions is None:
+            raise ValueError("no resolution ground truth")
+        r = self.resolutions
+        return int(np.count_nonzero(np.diff(r)))
+
+    def switch_amplitude(self) -> float:
+        """Normalised mean switch amplitude A (eq. 2)."""
+        if self.resolutions is None:
+            raise ValueError("no resolution ground truth")
+        r = self.resolutions.astype(float)
+        if r.size < 2:
+            return 0.0
+        return float(np.abs(np.diff(r)).sum() / (r.size - 1))
+
+    def has_switches(self) -> bool:
+        return self.switch_count() > 0

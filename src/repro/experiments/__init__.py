@@ -1,0 +1,57 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from .config import FULL, SMALL, ExperimentConfig
+from .figures import (
+    figure1_chunk_sizes,
+    figure2_stall_ecdfs,
+    figure3_switch_session,
+    figure4_score_cdfs,
+    figure5_dataset_comparison,
+)
+from .generalization import (
+    OTHER_SERVICES,
+    GeneralizationResult,
+    ServiceProfile,
+    evaluate_generalization,
+    generate_service_records,
+)
+from .runner import EXPERIMENT_IDS, run_all, run_experiment
+from .tables import (
+    baseline_comparison,
+    section56_encrypted_switching,
+    table2_stall_features,
+    table5_representation_features,
+    tables3_4_stall_classifier,
+    tables6_7_representation_classifier,
+    tables8_9_encrypted_stall,
+    tables10_11_encrypted_representation,
+)
+from .workspace import Workspace
+
+__all__ = [
+    "ExperimentConfig",
+    "FULL",
+    "SMALL",
+    "Workspace",
+    "EXPERIMENT_IDS",
+    "run_experiment",
+    "run_all",
+    "figure1_chunk_sizes",
+    "figure2_stall_ecdfs",
+    "figure3_switch_session",
+    "figure4_score_cdfs",
+    "figure5_dataset_comparison",
+    "table2_stall_features",
+    "tables3_4_stall_classifier",
+    "table5_representation_features",
+    "tables6_7_representation_classifier",
+    "tables8_9_encrypted_stall",
+    "tables10_11_encrypted_representation",
+    "section56_encrypted_switching",
+    "baseline_comparison",
+    "ServiceProfile",
+    "OTHER_SERVICES",
+    "GeneralizationResult",
+    "generate_service_records",
+    "evaluate_generalization",
+]

@@ -1,0 +1,55 @@
+"""Experiment configuration presets.
+
+``FULL`` is the default for the benchmark harness (big enough for
+stable paper-shaped numbers); ``SMALL`` keeps integration tests fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentConfig", "FULL", "SMALL"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizes and seeds of one full experiment run.
+
+    Attributes
+    ----------
+    cleartext_sessions:
+        Size of the §3.1-style operator corpus (stall experiments).
+    adaptive_sessions:
+        Size of the all-HAS corpus (representation / switching).
+    encrypted_sessions:
+        Size of the §5.2 instrumented-device corpus (722 in the paper).
+    seed:
+        Base seed; each corpus derives its own stream from it.
+    n_estimators:
+        Forest size for the two classifiers.
+    """
+
+    cleartext_sessions: int = 3000
+    adaptive_sessions: int = 1200
+    encrypted_sessions: int = 722
+    seed: int = 7
+    n_estimators: int = 60
+
+    def __post_init__(self) -> None:
+        if min(
+            self.cleartext_sessions,
+            self.adaptive_sessions,
+            self.encrypted_sessions,
+        ) < 10:
+            raise ValueError("corpora must have at least 10 sessions")
+
+
+FULL = ExperimentConfig()
+
+SMALL = ExperimentConfig(
+    cleartext_sessions=400,
+    adaptive_sessions=250,
+    encrypted_sessions=150,
+    seed=7,
+    n_estimators=25,
+)

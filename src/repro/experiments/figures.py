@@ -1,0 +1,238 @@
+"""Generators for every figure in the paper's evaluation.
+
+Each function returns the *data* of the figure (series / ECDFs /
+distributions) plus the summary quantities the paper quotes in prose,
+so benchmarks can both regenerate and sanity-check the shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.datasets.schema import SessionRecord
+from repro.network.path import NetworkPath, Outage
+from repro.streaming.adaptive import AdaptivePlayer, AdaptivePlayerConfig
+from repro.streaming.catalog import DASH_LADDER, Video
+from repro.streaming.progressive import (
+    ProgressivePlayer,
+    ProgressivePlayerConfig,
+)
+from repro.timeseries.stats import Ecdf, ecdf
+
+from .workspace import Workspace
+
+__all__ = [
+    "Figure1Data",
+    "figure1_chunk_sizes",
+    "Figure2Data",
+    "figure2_stall_ecdfs",
+    "Figure3Data",
+    "figure3_switch_session",
+    "Figure4Data",
+    "figure4_score_cdfs",
+    "Figure5Data",
+    "figure5_dataset_comparison",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — chunk sizes in a video session with stalls
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure1Data:
+    """Per-chunk (arrival time, size) series of a stalled session."""
+
+    times_s: np.ndarray
+    sizes_bytes: np.ndarray
+    stall_starts_s: List[float]
+
+    def sizes_dip_after_stalls(self) -> bool:
+        """The Figure-1 signature: post-stall chunks shrink markedly."""
+        if not self.stall_starts_s:
+            return False
+        for stall_start in self.stall_starts_s:
+            after = self.sizes_bytes[self.times_s > stall_start][:3]
+            before = self.sizes_bytes[self.times_s <= stall_start]
+            if after.size and before.size and after.min() < 0.5 * before.max():
+                return True
+        return False
+
+
+def figure1_chunk_sizes(seed: int = 5) -> Figure1Data:
+    """One progressive session forced through two bandwidth outages."""
+    rng = np.random.default_rng(seed)
+    video = Video(video_id="fig1-video", duration_s=240.0, complexity=1.0)
+    path = NetworkPath(
+        "good",
+        video.duration_s * 4 + 180.0,
+        rng,
+        outages=[Outage(25.0, 55.0, 0.04), Outage(110.0, 145.0, 0.04)],
+    )
+    session = ProgressivePlayer(
+        ProgressivePlayerConfig(mean_patience_stall_s=120.0)
+    ).play(video, path, rng)
+    return Figure1Data(
+        times_s=session.chunk_times(),
+        sizes_bytes=session.chunk_sizes(),
+        stall_starts_s=[stall.start_s for stall in session.stalls],
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — ECDFs of stall count and rebuffering ratio per session
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure2Data:
+    stall_count_ecdf: Ecdf
+    rebuffering_ratio_ecdf: Ecdf
+    frac_with_stalls: float
+    frac_more_than_one: float
+    frac_severe: float
+
+
+def figure2_stall_ecdfs(workspace: Workspace) -> Figure2Data:
+    """ECDFs over the cleartext corpus (paper: 12% stalled, ~10% RR>=0.1)."""
+    records = workspace.stall_records()
+    counts = np.array([r.stall_count for r in records], dtype=float)
+    ratios = np.array([r.rebuffering_ratio() for r in records])
+    return Figure2Data(
+        stall_count_ecdf=ecdf(counts),
+        rebuffering_ratio_ecdf=ecdf(ratios),
+        frac_with_stalls=float(np.mean(counts > 0)),
+        frac_more_than_one=float(np.mean(counts > 1)),
+        frac_severe=float(np.mean(ratios > 0.1)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — Δt and Δsize at a representation switch
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure3Data:
+    times_s: np.ndarray
+    sizes_bytes: np.ndarray
+    resolutions: np.ndarray
+    switch_times_s: List[float]
+
+    def deltas(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(Δt, Δsize) between consecutive video chunks."""
+        return np.diff(self.times_s), np.abs(np.diff(self.sizes_bytes))
+
+    def has_upswitch(self) -> bool:
+        return bool(np.any(np.diff(self.resolutions) > 0))
+
+
+def figure3_switch_session(seed: int = 12) -> Figure3Data:
+    """A HAS session that starts low and upswitches (the 144p->480p walk).
+
+    An initial throughput under-estimate forces a low first rung; the
+    hybrid ABR then walks the ladder up — each step re-entering the
+    fast-start phase, which is what the figure visualises.
+    """
+    rng = np.random.default_rng(seed)
+    video = Video(video_id="fig3-video", duration_s=180.0, complexity=1.0)
+    path = NetworkPath("good", video.duration_s * 4 + 180.0, rng)
+    ladder = [q for q in DASH_LADDER if q.resolution_p <= 480]
+    config = AdaptivePlayerConfig(
+        ladder=ladder,
+        initial_bandwidth_hint=False,   # cold start -> begins at 144p
+        include_audio=False,
+    )
+    session = AdaptivePlayer(config).play(video, path, rng)
+    times = session.chunk_times()
+    sizes = session.chunk_sizes()
+    resolutions = np.array([c.resolution_p for c in session.video_chunks])
+    switches = [
+        float(times[i + 1])
+        for i in range(resolutions.size - 1)
+        if resolutions[i + 1] != resolutions[i]
+    ]
+    return Figure3Data(
+        times_s=times,
+        sizes_bytes=sizes,
+        resolutions=resolutions,
+        switch_times_s=switches,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — CDFs of STD(CUSUM(Δsize × Δt)) with/without switches
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure4Data:
+    cdf_without: Ecdf
+    cdf_with: Ecdf
+    threshold: float
+    accuracy_without: float
+    accuracy_with: float
+
+
+def figure4_score_cdfs(workspace: Workspace) -> Figure4Data:
+    """The two switch-score CDFs and the calibrated threshold (§4.3)."""
+    records = workspace.representation_records()
+    detector = workspace.switch_detector()
+    distributions = detector.score_distributions(records)
+    evaluation = detector.evaluate(records)
+    return Figure4Data(
+        cdf_without=ecdf(distributions["without"]),
+        cdf_with=ecdf(distributions["with"]),
+        threshold=detector.threshold,
+        accuracy_without=evaluation.accuracy_without,
+        accuracy_with=evaluation.accuracy_with,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — segment size / inter-arrival CDFs, encrypted vs cleartext
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Figure5Data:
+    size_cdf_clear: Ecdf
+    size_cdf_encrypted: Ecdf
+    iat_cdf_clear: Ecdf
+    iat_cdf_encrypted: Ecdf
+    frac_clear_over_1mb: float
+    frac_encrypted_over_1mb: float
+    median_iat_clear: float
+    median_iat_encrypted: float
+
+
+def _interarrivals(records: List[SessionRecord]) -> np.ndarray:
+    out = []
+    for record in records:
+        if record.n_chunks >= 2:
+            out.append(np.diff(record.timestamps))
+    return np.concatenate(out) if out else np.empty(0)
+
+
+def figure5_dataset_comparison(workspace: Workspace) -> Figure5Data:
+    """Size and inter-arrival distributions of both corpora (§5.3)."""
+    clear = workspace.stall_records()
+    encrypted = workspace.encrypted_stall_records()
+    sizes_clear = np.concatenate([r.sizes for r in clear])
+    sizes_enc = np.concatenate([r.sizes for r in encrypted])
+    iat_clear = _interarrivals(clear)
+    iat_enc = _interarrivals(encrypted)
+    return Figure5Data(
+        size_cdf_clear=ecdf(sizes_clear),
+        size_cdf_encrypted=ecdf(sizes_enc),
+        iat_cdf_clear=ecdf(iat_clear),
+        iat_cdf_encrypted=ecdf(iat_enc),
+        frac_clear_over_1mb=float(np.mean(sizes_clear > 1e6)),
+        frac_encrypted_over_1mb=float(np.mean(sizes_enc > 1e6)),
+        median_iat_clear=float(np.median(iat_clear)),
+        median_iat_encrypted=float(np.median(iat_enc)),
+    )

@@ -1,0 +1,110 @@
+"""Terminal plotting for the figure experiments.
+
+The figure generators return data; this module renders it as compact
+ASCII plots so ``run_all`` / the CLI can show the *shapes* the paper's
+figures show (chunk-size collapses, separated CDFs) without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.timeseries.stats import Ecdf
+
+__all__ = ["ascii_series", "ascii_cdfs"]
+
+
+def ascii_series(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """Render a value series as ASCII bars (one column per sample bin)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return "(empty series)"
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be positive")
+    # bin to the target width by taking per-bin maxima (peaks matter)
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        sampled = np.array(
+            [arr[a:b].max() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    else:
+        sampled = arr
+    top = sampled.max()
+    if top <= 0:
+        top = 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = top * (level - 0.5) / height
+        rows.append("".join("#" if v >= threshold else " " for v in sampled))
+    rows.append("-" * sampled.size)
+    if title:
+        rows.insert(0, title)
+    rows.append(f"max={top:.3g}  n={arr.size}")
+    return "\n".join(rows)
+
+
+def ascii_cdfs(
+    curves: Sequence[Tuple[str, Ecdf]],
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more ECDFs on a shared grid.
+
+    Each curve gets its own glyph (`*`, `o`, `+`, ...); overlapping
+    cells show the later curve's glyph.
+    """
+    if not curves:
+        return "(no curves)"
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    glyphs = "*o+x@%"
+
+    supports = [c.x for _, c in curves if c.x.size > 0]
+    if not supports:
+        return "(empty curves)"
+    lo = min(float(s.min()) for s in supports)
+    hi = max(float(s.max()) for s in supports)
+    if hi <= lo:
+        hi = lo + 1.0
+    if log_x:
+        # zero values cannot live on a log axis: start the grid at the
+        # smallest positive support point instead
+        positives = np.concatenate([s[s > 0] for s in supports])
+        lo = float(positives.min()) if positives.size else 1e-9
+        if hi <= lo:
+            hi = lo * 10.0
+        xs = np.logspace(np.log10(lo), np.log10(hi), width)
+    else:
+        xs = np.linspace(lo, hi, width)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, curve) in enumerate(curves):
+        glyph = glyphs[index % len(glyphs)]
+        for col, x in enumerate(xs):
+            p = curve(float(x))
+            row = height - 1 - int(round(p * (height - 1)))
+            grid[row][col] = glyph
+
+    rows = []
+    if title:
+        rows.append(title)
+    for i, cells in enumerate(grid):
+        p = 1.0 - i / (height - 1)
+        rows.append(f"{p:4.1f} |" + "".join(cells))
+    rows.append("     +" + "-" * width)
+    rows.append(f"      {lo:.3g} ... {hi:.3g}" + ("  (log x)" if log_x else ""))
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, (name, _) in enumerate(curves)
+    )
+    rows.append("      " + legend)
+    return "\n".join(rows)

@@ -1,0 +1,96 @@
+"""Text rendering of experiment outputs in the paper's table format."""
+
+from __future__ import annotations
+
+
+
+from repro.core.switching import SwitchEvaluation
+
+from .tables import BaselineComparison, ClassifierTable, FeatureGainTable
+
+__all__ = [
+    "render_classifier_table",
+    "render_confusion_matrix",
+    "render_feature_gains",
+    "render_switch_evaluation",
+    "render_baseline_comparison",
+]
+
+
+def render_classifier_table(table: ClassifierTable, title: str) -> str:
+    """Render the TP/FP/Precision/Recall rows (Tables 3/6/8/10 style)."""
+    report = table.report
+    lines = [
+        f"{title}  [{table.protocol}]",
+        f"{'Class':<16}{'TP Rate':>9}{'FP Rate':>9}{'Precision':>11}{'Recall':>8}",
+    ]
+    for row in report.classes:
+        lines.append(
+            f"{str(row.label):<16}{row.tp_rate:>9.3f}{row.fp_rate:>9.3f}"
+            f"{row.precision:>11.3f}{row.recall:>8.3f}"
+        )
+    lines.append(
+        f"{'weighted avg.':<16}{report.weighted_tp_rate:>9.3f}"
+        f"{report.weighted_fp_rate:>9.3f}{report.weighted_precision:>11.3f}"
+        f"{report.weighted_recall:>8.3f}"
+    )
+    lines.append(f"overall accuracy: {report.accuracy:.3f}")
+    return "\n".join(lines)
+
+
+def render_confusion_matrix(table: ClassifierTable, title: str) -> str:
+    """Render the row-percentage confusion matrix (Tables 4/7/9/11 style)."""
+    report = table.report
+    matrix = report.row_percentages()
+    labels = [str(label) for label in report.labels]
+    width = max(14, max(len(label) for label in labels) + 2)
+    header = " " * width + "".join(f"{label:>{width}}" for label in labels)
+    lines = [f"{title}  (rows: truth, cols: predicted, %)", header]
+    for i, label in enumerate(labels):
+        cells = "".join(f"{matrix[i, j]:>{width}.1f}" for j in range(len(labels)))
+        lines.append(f"{label:<{width}}{cells}")
+    return "\n".join(lines)
+
+
+def render_feature_gains(table: FeatureGainTable, title: str) -> str:
+    """Render a Table 2 / Table 5 style info-gain ranking."""
+    lines = [title, f"{'info. gain':>10}  feature"]
+    for name, gain in sorted(table.rows, key=lambda r: -r[1]):
+        lines.append(f"{gain:>10.3f}  {name}")
+    lines.append(
+        f"chunk-derived feature share: {table.chunk_feature_share():.0%}"
+    )
+    return "\n".join(lines)
+
+
+def render_switch_evaluation(
+    evaluation: SwitchEvaluation, title: str
+) -> str:
+    """Render the §4.3 / §5.6 switch-detection percentages."""
+    return "\n".join(
+        [
+            title,
+            f"threshold STD(CUSUM(Δsize×Δt)) = {evaluation.threshold:.0f}",
+            f"sessions without switches correctly below threshold: "
+            f"{evaluation.accuracy_without:.1%} (n={evaluation.n_without})",
+            f"sessions with switches correctly above threshold:    "
+            f"{evaluation.accuracy_with:.1%} (n={evaluation.n_with})",
+        ]
+    )
+
+
+def render_baseline_comparison(
+    comparison: BaselineComparison, title: str
+) -> str:
+    """Render the Prometheus-baseline comparison."""
+    return "\n".join(
+        [
+            title,
+            f"Prometheus-style binary (QoS features only): "
+            f"{comparison.baseline_binary_accuracy:.1%}",
+            f"paper model, 3-class task:                   "
+            f"{comparison.model_three_class_accuracy:.1%}",
+            f"paper model collapsed to binary task:        "
+            f"{comparison.model_binary_accuracy:.1%}",
+        ]
+    )

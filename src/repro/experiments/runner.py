@@ -1,0 +1,193 @@
+"""Run experiments by id.
+
+``run_experiment("tab3_4", workspace)`` returns the experiment's data
+object and prints nothing; :func:`run_all` renders every table and
+figure as text — the closest equivalent of regenerating the paper's
+evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .config import FULL, ExperimentConfig
+from .figures import (
+    figure1_chunk_sizes,
+    figure2_stall_ecdfs,
+    figure3_switch_session,
+    figure4_score_cdfs,
+    figure5_dataset_comparison,
+)
+from .report import (
+    render_baseline_comparison,
+    render_classifier_table,
+    render_confusion_matrix,
+    render_feature_gains,
+    render_switch_evaluation,
+)
+from .tables import (
+    baseline_comparison,
+    section56_encrypted_switching,
+    table2_stall_features,
+    table5_representation_features,
+    tables3_4_stall_classifier,
+    tables6_7_representation_classifier,
+    tables8_9_encrypted_stall,
+    tables10_11_encrypted_representation,
+)
+from .workspace import Workspace
+
+__all__ = ["EXPERIMENT_IDS", "run_experiment", "run_all"]
+
+_RUNNERS: Dict[str, Callable[[Workspace], object]] = {
+    "fig1": lambda ws: figure1_chunk_sizes(),
+    "fig2": figure2_stall_ecdfs,
+    "fig3": lambda ws: figure3_switch_session(),
+    "fig4": figure4_score_cdfs,
+    "fig5": figure5_dataset_comparison,
+    "tab2": table2_stall_features,
+    "tab3_4": tables3_4_stall_classifier,
+    "tab5": table5_representation_features,
+    "tab6_7": tables6_7_representation_classifier,
+    "tab8_9": tables8_9_encrypted_stall,
+    "tab10_11": tables10_11_encrypted_representation,
+    "sec56": section56_encrypted_switching,
+    "baseline": baseline_comparison,
+}
+
+EXPERIMENT_IDS: List[str] = list(_RUNNERS)
+
+
+def run_experiment(experiment_id: str, workspace: Workspace):
+    """Run one experiment; returns its data object."""
+    if experiment_id not in _RUNNERS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {', '.join(EXPERIMENT_IDS)}"
+        )
+    return _RUNNERS[experiment_id](workspace)
+
+
+def run_all(config: ExperimentConfig = FULL) -> str:
+    """Regenerate every table/figure; returns the full text report."""
+    workspace = Workspace(config)
+    sections: List[str] = []
+
+    from .plots import ascii_cdfs, ascii_series
+
+    fig1 = figure1_chunk_sizes()
+    sections.append(
+        "Figure 1 — chunk sizes in a stalled session\n"
+        f"chunks: {fig1.times_s.size}, stalls at "
+        f"{[round(t, 1) for t in fig1.stall_starts_s]}; "
+        f"post-stall size dip observed: {fig1.sizes_dip_after_stalls()}\n"
+        + ascii_series(fig1.sizes_bytes, title="chunk sizes over time:")
+    )
+
+    fig2 = figure2_stall_ecdfs(workspace)
+    sections.append(
+        "Figure 2 — stall ECDFs\n"
+        f"sessions with >=1 stall: {fig2.frac_with_stalls:.1%} (paper ~12%)\n"
+        f"sessions with >1 stall:  {fig2.frac_more_than_one:.1%} (paper ~8%)\n"
+        f"sessions with RR>0.1:    {fig2.frac_severe:.1%} (paper ~10%)"
+    )
+
+    fig3 = figure3_switch_session()
+    sections.append(
+        "Figure 3 — Δt / Δsize at a representation switch\n"
+        f"resolution walk: {sorted(set(fig3.resolutions.tolist()))}, "
+        f"switches at {[round(t, 1) for t in fig3.switch_times_s]}"
+    )
+
+    sections.append(
+        render_feature_gains(
+            table2_stall_features(workspace),
+            "Table 2 — stall-model features",
+        )
+    )
+
+    tab34 = tables3_4_stall_classifier(workspace)
+    sections.append(render_classifier_table(tab34, "Table 3 — stall classifier"))
+    sections.append(render_confusion_matrix(tab34, "Table 4 — stall confusion"))
+
+    sections.append(
+        render_feature_gains(
+            table5_representation_features(workspace),
+            "Table 5 — representation-model features",
+        )
+    )
+
+    tab67 = tables6_7_representation_classifier(workspace)
+    sections.append(
+        render_classifier_table(tab67, "Table 6 — representation classifier")
+    )
+    sections.append(
+        render_confusion_matrix(tab67, "Table 7 — representation confusion")
+    )
+
+    fig4 = figure4_score_cdfs(workspace)
+    sections.append(
+        "Figure 4 — switch-score CDFs (cleartext)\n"
+        f"threshold={fig4.threshold:.0f}; "
+        f"without-switches below: {fig4.accuracy_without:.1%} (paper 78%), "
+        f"with-switches above: {fig4.accuracy_with:.1%} (paper 76%)\n"
+        + ascii_cdfs(
+            [("no switches", fig4.cdf_without), ("switches", fig4.cdf_with)],
+            log_x=True,
+            title="CDF of STD(CUSUM(Δsize×Δt)):",
+        )
+    )
+
+    fig5 = figure5_dataset_comparison(workspace)
+    sections.append(
+        "Figure 5 — dataset comparison (encrypted vs cleartext)\n"
+        f"chunks >1MB: clear {fig5.frac_clear_over_1mb:.1%}, "
+        f"encrypted {fig5.frac_encrypted_over_1mb:.1%} (paper ~10%)\n"
+        f"median inter-arrival: clear {fig5.median_iat_clear:.2f}s, "
+        f"encrypted {fig5.median_iat_encrypted:.2f}s "
+        "(paper: encrypted slightly lower)\n"
+        + ascii_cdfs(
+            [
+                ("cleartext", fig5.size_cdf_clear),
+                ("encrypted", fig5.size_cdf_encrypted),
+            ],
+            log_x=True,
+            title="CDF of segment sizes (bytes):",
+        )
+    )
+
+    tab89 = tables8_9_encrypted_stall(workspace)
+    sections.append(
+        render_classifier_table(tab89, "Table 8 — stall model on encrypted")
+    )
+    sections.append(
+        render_confusion_matrix(tab89, "Table 9 — encrypted stall confusion")
+    )
+
+    tab1011 = tables10_11_encrypted_representation(workspace)
+    sections.append(
+        render_classifier_table(
+            tab1011, "Table 10 — representation model on encrypted"
+        )
+    )
+    sections.append(
+        render_confusion_matrix(
+            tab1011, "Table 11 — encrypted representation confusion"
+        )
+    )
+
+    sections.append(
+        render_switch_evaluation(
+            section56_encrypted_switching(workspace),
+            "§5.6 — switch detection on encrypted",
+        )
+    )
+
+    sections.append(
+        render_baseline_comparison(
+            baseline_comparison(workspace),
+            "Baseline — Prometheus-style binary classifier",
+        )
+    )
+
+    return "\n\n".join(sections)

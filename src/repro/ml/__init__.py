@@ -1,0 +1,48 @@
+"""From-scratch ML substrate replacing the paper's Weka toolchain.
+
+Provides CART decision trees, Random Forests, information-gain ranking,
+CFS subset selection with best-first search, stratified k-fold CV,
+class balancing and paper-format classification reports.
+"""
+
+from .balance import balanced_indices, oversample, undersample
+from .crossval import cross_validate, stratified_kfold, train_test_split
+from .forest import RandomForestClassifier
+from .information import (
+    conditional_entropy,
+    entropy,
+    information_gain,
+    symmetrical_uncertainty,
+)
+from .metrics import (
+    ClassificationReport,
+    ClassReport,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+)
+from .selection import CfsSubsetSelector, InfoGainRanker, SelectionResult
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "InfoGainRanker",
+    "CfsSubsetSelector",
+    "SelectionResult",
+    "entropy",
+    "conditional_entropy",
+    "information_gain",
+    "symmetrical_uncertainty",
+    "accuracy",
+    "confusion_matrix",
+    "classification_report",
+    "ClassificationReport",
+    "ClassReport",
+    "stratified_kfold",
+    "train_test_split",
+    "cross_validate",
+    "balanced_indices",
+    "undersample",
+    "oversample",
+]

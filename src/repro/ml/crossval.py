@@ -1,0 +1,116 @@
+"""Cross-validation and train/test-split helpers.
+
+The paper uses 10-fold cross-validation during model development
+(§4) and a balanced-train / full-test protocol for the reported
+tables.  This module provides stratified k-fold index generation and a
+CV runner that aggregates predictions across folds so a single
+:func:`repro.ml.metrics.classification_report` can be produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .metrics import ClassificationReport, classification_report
+
+__all__ = ["stratified_kfold", "train_test_split", "cross_validate"]
+
+
+def stratified_kfold(
+    y: np.ndarray,
+    n_splits: int = 10,
+    shuffle: bool = True,
+    random_state=None,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_idx, test_idx) pairs with per-class proportions kept.
+
+    Each class's indices are dealt round-robin into the folds, so every
+    fold receives ``floor`` or ``ceil`` of the class share — the same
+    guarantee scikit-learn's ``StratifiedKFold`` gives.
+    """
+    y = np.asarray(y)
+    if n_splits < 2:
+        raise ValueError("n_splits must be >= 2")
+    classes, y_enc = np.unique(y, return_inverse=True)
+    smallest = np.bincount(y_enc).min()
+    if smallest < n_splits:
+        raise ValueError(
+            f"n_splits={n_splits} > smallest class size {smallest}"
+        )
+    rng = np.random.default_rng(random_state)
+    fold_of = np.empty(y.size, dtype=np.int64)
+    for c in range(classes.size):
+        idx = np.nonzero(y_enc == c)[0]
+        if shuffle:
+            idx = rng.permutation(idx)
+        fold_of[idx] = np.arange(idx.size) % n_splits
+    all_idx = np.arange(y.size)
+    for fold in range(n_splits):
+        test = all_idx[fold_of == fold]
+        train = all_idx[fold_of != fold]
+        yield train, test
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.3,
+    stratify: bool = True,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split into (X_train, X_test, y_train, y_test).
+
+    With ``stratify`` the class proportions are preserved in both parts.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y have inconsistent lengths")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    n = y.size
+    test_mask = np.zeros(n, dtype=bool)
+    if stratify:
+        _, y_enc = np.unique(y, return_inverse=True)
+        for c in np.unique(y_enc):
+            idx = rng.permutation(np.nonzero(y_enc == c)[0])
+            n_test = max(1, int(round(test_size * idx.size)))
+            test_mask[idx[:n_test]] = True
+    else:
+        idx = rng.permutation(n)
+        test_mask[idx[: max(1, int(round(test_size * n)))]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 10,
+    random_state=None,
+    balance: Optional[Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]] = None,
+    labels: Optional[List] = None,
+) -> ClassificationReport:
+    """k-fold CV; returns one report over the pooled fold predictions.
+
+    ``model_factory`` builds a fresh estimator per fold (anything with
+    ``fit``/``predict``).  ``balance`` optionally rebalances each fold's
+    *training* partition only — matching the paper's "balance for
+    training, restore originals for testing" protocol.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    predictions = np.empty(y.shape, dtype=y.dtype)
+    for train_idx, test_idx in stratified_kfold(
+        y, n_splits=n_splits, random_state=random_state
+    ):
+        X_train, y_train = X[train_idx], y[train_idx]
+        if balance is not None:
+            X_train, y_train = balance(X_train, y_train)
+        model = model_factory()
+        model.fit(X_train, y_train)
+        predictions[test_idx] = model.predict(X[test_idx])
+    return classification_report(y, predictions, labels=labels)

@@ -1,0 +1,154 @@
+"""Random Forest classifier built on :mod:`repro.ml.tree`.
+
+The paper's detection models (stall severity, average representation)
+are Weka Random Forests.  This implementation follows Breiman's
+algorithm: bootstrap-sampled training sets, per-node random feature
+subsets of size sqrt(n_features), and aggregation by averaging the
+trees' leaf class distributions (soft voting), which is also what Weka
+does by default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of CART trees with random feature subsets.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (Weka's default is 100; the experiments here use
+        smaller forests where runtime matters, without changing results
+        qualitatively).
+    criterion, max_depth, min_samples_split, min_samples_leaf:
+        Passed to each :class:`DecisionTreeClassifier`.
+    max_features:
+        Per-node feature-subset size; defaults to ``"sqrt"``.
+    bootstrap:
+        Draw each tree's training set with replacement (size n).  When
+        False every tree sees the full training set and only feature
+        subsampling decorrelates them.
+    oob_score:
+        When True (and bootstrap), compute the out-of-bag accuracy after
+        fitting and expose it as ``oob_score_``.
+    random_state:
+        Seed for reproducible resampling and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features="sqrt",
+        bootstrap: bool = True,
+        oob_score: bool = False,
+        random_state=None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.oob_score = oob_score
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray):
+        """Fit the ensemble on ``X`` (n_samples, n_features), labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        rng = np.random.default_rng(self.random_state)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self.estimators_ = []
+
+        oob_votes = (
+            np.zeros((n, self.classes_.size)) if (self.oob_score and self.bootstrap) else None
+        )
+
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=rng,
+            )
+            if self.bootstrap:
+                sample = rng.integers(0, n, size=n)
+                tree.fit(X[sample], y_enc[sample])
+                if oob_votes is not None:
+                    mask = np.ones(n, dtype=bool)
+                    mask[sample] = False
+                    if mask.any():
+                        oob_votes[mask] += tree.predict_proba(X[mask])
+            else:
+                tree.fit(X, y_enc)
+            self.estimators_.append(tree)
+
+        if oob_votes is not None:
+            seen = oob_votes.sum(axis=1) > 0
+            if seen.any():
+                pred = np.argmax(oob_votes[seen], axis=1)
+                self.oob_score_ = float(np.mean(pred == y_enc[seen]))
+            else:
+                self.oob_score_ = float("nan")
+        return self
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "estimators_"):
+            raise RuntimeError("forest is not fitted; call fit() first")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average of the trees' leaf class distributions."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        proba = np.zeros((X.shape[0], self.classes_.size))
+        for tree in self.estimators_:
+            # Trees are fitted on encoded labels spanning all classes seen
+            # by the forest, but a bootstrap sample may miss some classes:
+            # align the tree's columns into the forest's class space.
+            tree_proba = tree.predict_proba(X)
+            cols = tree.classes_.astype(int)
+            proba[:, cols] += tree_proba
+        return proba / len(self.estimators_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority (soft) vote of the ensemble."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def feature_importances(self) -> np.ndarray:
+        """Mean impurity-decrease importances across trees."""
+        self._check_fitted()
+        importances = np.zeros(self.n_features_)
+        for tree in self.estimators_:
+            importances += tree.feature_importances()
+        importances /= len(self.estimators_)
+        total = importances.sum()
+        if total > 0:
+            importances /= total
+        return importances

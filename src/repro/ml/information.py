@@ -1,0 +1,246 @@
+"""Information-theoretic utilities used across the ML substrate.
+
+The paper relies on two Weka components that are both grounded in
+information theory:
+
+* ``InfoGainAttributeEval`` — ranks features by information gain with
+  respect to the class (used for Tables 2 and 5).
+* ``CfsSubsetEval`` — scores feature *subsets* by the ratio of
+  feature-class correlation to feature-feature redundancy, where the
+  correlations are symmetrical uncertainties.
+
+Both operate on discretised attributes, so this module also provides the
+discretisation helpers (equal-frequency binning and the Fayyad-Irani MDL
+split criterion used by Weka's default supervised discretiser).
+
+All functions accept plain numpy arrays.  Class labels may be any
+hashable values; continuous features are ``float`` arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "entropy",
+    "entropy_from_counts",
+    "conditional_entropy",
+    "information_gain",
+    "symmetrical_uncertainty",
+    "equal_frequency_bins",
+    "discretize",
+    "mdl_discretize",
+]
+
+
+def entropy_from_counts(counts: np.ndarray) -> float:
+    """Shannon entropy (bits) of a distribution given by raw counts.
+
+    Zero-count cells contribute nothing; an all-zero vector has zero
+    entropy by convention.
+    """
+    counts = np.asarray(counts, dtype=float)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log2(p)).sum())
+
+
+def entropy(labels: np.ndarray) -> float:
+    """Shannon entropy (bits) of a label vector."""
+    labels = np.asarray(labels)
+    if labels.size == 0:
+        return 0.0
+    _, counts = np.unique(labels, return_counts=True)
+    return entropy_from_counts(counts)
+
+
+def _contingency(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Contingency table of two discrete vectors."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same shape")
+    _, xi = np.unique(x, return_inverse=True)
+    _, yi = np.unique(y, return_inverse=True)
+    n_x = int(xi.max()) + 1 if xi.size else 0
+    n_y = int(yi.max()) + 1 if yi.size else 0
+    table = np.zeros((n_x, n_y), dtype=float)
+    np.add.at(table, (xi, yi), 1.0)
+    return table
+
+
+def conditional_entropy(y: np.ndarray, x: np.ndarray) -> float:
+    """H(Y | X) in bits for discrete vectors ``y`` and ``x``."""
+    table = _contingency(x, y)
+    n = table.sum()
+    if n == 0:
+        return 0.0
+    h = 0.0
+    for row in table:
+        row_total = row.sum()
+        if row_total > 0:
+            h += (row_total / n) * entropy_from_counts(row)
+    return float(h)
+
+
+def information_gain(y: np.ndarray, x: np.ndarray) -> float:
+    """Information gain IG(Y; X) = H(Y) - H(Y|X) for discrete vectors.
+
+    This is what Weka's ``InfoGainAttributeEval`` computes per attribute
+    (after discretisation for numeric attributes).
+    """
+    gain = entropy(y) - conditional_entropy(y, x)
+    # Clip tiny negative values caused by floating-point error.
+    return max(0.0, float(gain))
+
+
+def symmetrical_uncertainty(x: np.ndarray, y: np.ndarray) -> float:
+    """Symmetrical uncertainty SU(X, Y) = 2 * IG / (H(X) + H(Y)).
+
+    SU is the correlation measure used by CFS.  It is information gain
+    normalised to [0, 1] so that attributes with many values are not
+    unfairly favoured.  Returns 0 when both entropies are zero.
+    """
+    h_x = entropy(x)
+    h_y = entropy(y)
+    denom = h_x + h_y
+    if denom <= 0:
+        return 0.0
+    gain = information_gain(y, x)
+    return float(min(1.0, 2.0 * gain / denom))
+
+
+def equal_frequency_bins(values: np.ndarray, n_bins: int = 10) -> np.ndarray:
+    """Cut points for equal-frequency binning of a continuous vector.
+
+    Returns the interior cut points (length <= n_bins - 1, deduplicated),
+    suitable for :func:`numpy.searchsorted` / :func:`discretize`.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    values = np.asarray(values, dtype=float)
+    finite = values[np.isfinite(values)]
+    if finite.size == 0 or n_bins == 1:
+        return np.empty(0)
+    quantiles = np.linspace(0, 1, n_bins + 1)[1:-1]
+    cuts = np.quantile(finite, quantiles)
+    return np.unique(cuts)
+
+
+def discretize(values: np.ndarray, cuts: np.ndarray) -> np.ndarray:
+    """Map continuous values to integer bin ids given sorted cut points.
+
+    Non-finite values are mapped to an extra bin past the last one so
+    they never collide with real data.
+    """
+    values = np.asarray(values, dtype=float)
+    cuts = np.asarray(cuts, dtype=float)
+    bins = np.searchsorted(cuts, values, side="right")
+    bins = bins.astype(np.int64)
+    bins[~np.isfinite(values)] = len(cuts) + 1
+    return bins
+
+
+def _mdl_accept(y: np.ndarray, left: np.ndarray, right: np.ndarray) -> bool:
+    """Fayyad-Irani MDL acceptance criterion for a candidate binary split."""
+    n = y.size
+    h_full = entropy(y)
+    h_left = entropy(left)
+    h_right = entropy(right)
+    gain = h_full - (left.size / n) * h_left - (right.size / n) * h_right
+    k = np.unique(y).size
+    k_left = np.unique(left).size
+    k_right = np.unique(right).size
+    delta = (
+        math.log2(3.0**k - 2.0)
+        - (k * h_full - k_left * h_left - k_right * h_right)
+    )
+    threshold = (math.log2(n - 1) + delta) / n
+    return gain > threshold
+
+
+def _entropy_rows(counts: np.ndarray) -> np.ndarray:
+    """Entropy (bits) of each row of a (m, k) count matrix."""
+    totals = counts.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = np.where(totals > 0, counts / totals, 0.0)
+        terms = np.where(p > 0, p * np.log2(p), 0.0)
+    return -terms.sum(axis=1)
+
+
+def mdl_discretize(
+    values: np.ndarray,
+    labels: np.ndarray,
+    max_depth: int = 8,
+    fallback_bins: Optional[int] = 10,
+) -> np.ndarray:
+    """Supervised discretisation cut points via Fayyad-Irani MDL.
+
+    Recursively picks the boundary that minimises class-conditional
+    entropy, accepting it only if it passes the MDL criterion — the
+    behaviour of Weka's default ``Discretize`` filter used under both
+    ``InfoGainAttributeEval`` and ``CfsSubsetEval``.
+
+    If no cut is accepted at the top level and ``fallback_bins`` is not
+    None, equal-frequency cut points are returned instead so downstream
+    rankers still see *some* structure (Weka instead produces a single
+    "all" bin; the fallback gives strictly more information and avoids
+    degenerate all-zero rankings on small samples).
+    """
+    values = np.asarray(values, dtype=float)
+    labels = np.asarray(labels)
+    order = np.argsort(values, kind="mergesort")
+    v = values[order]
+    _, y = np.unique(labels[order], return_inverse=True)
+    n_classes = int(y.max()) + 1 if y.size else 0
+
+    cuts: list[float] = []
+
+    def recurse(lo: int, hi: int, depth: int) -> None:
+        if depth >= max_depth or hi - lo < 4:
+            return
+        seg_v = v[lo:hi]
+        seg_y = y[lo:hi]
+        change = np.nonzero(np.diff(seg_v) > 0)[0]
+        if change.size == 0:
+            return
+        n = seg_y.size
+        # Vectorised search: class-count prefix sums give left/right
+        # count matrices at every candidate boundary in one shot.
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), seg_y] = 1.0
+        prefix = np.cumsum(onehot, axis=0)
+        total = prefix[-1]
+        left_counts = prefix[change]
+        right_counts = total - left_counts
+        n_left = change + 1.0
+        n_right = n - n_left
+        h = (
+            n_left * _entropy_rows(left_counts)
+            + n_right * _entropy_rows(right_counts)
+        ) / n
+        best_pos = int(np.argmin(h))
+        best_idx = int(change[best_pos])
+        left = seg_y[: best_idx + 1]
+        right = seg_y[best_idx + 1 :]
+        if not _mdl_accept(seg_y, left, right):
+            return
+        cut = 0.5 * (seg_v[best_idx] + seg_v[best_idx + 1])
+        cuts.append(float(cut))
+        recurse(lo, lo + best_idx + 1, depth + 1)
+        recurse(lo + best_idx + 1, hi, depth + 1)
+
+    finite_mask = np.isfinite(v)
+    lo = int(np.argmax(finite_mask)) if finite_mask.any() else 0
+    hi = int(finite_mask.sum()) + lo
+    if hi - lo >= 4:
+        recurse(lo, hi, 0)
+
+    if not cuts and fallback_bins:
+        return equal_frequency_bins(values, fallback_bins)
+    return np.unique(np.asarray(cuts, dtype=float))

@@ -1,0 +1,153 @@
+"""Classification metrics matching the paper's reporting format.
+
+The paper reports, per class: TP rate, FP rate, Precision and Recall,
+plus a weighted average row (Tables 3, 6, 8, 10), and row-normalised
+confusion matrices in percent (Tables 4, 7, 9, 11).  This module
+produces exactly those quantities so experiment code can print
+paper-shaped tables directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "accuracy",
+    "ClassReport",
+    "ClassificationReport",
+    "classification_report",
+]
+
+
+def confusion_matrix(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: Optional[Sequence] = None,
+) -> np.ndarray:
+    """Confusion matrix with true labels on rows, predictions on columns.
+
+    ``labels`` fixes the row/column order; by default the sorted union
+    of observed labels is used.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("empty prediction arrays")
+    return float(np.mean(y_true == y_pred))
+
+
+@dataclass
+class ClassReport:
+    """Per-class row of the paper's classifier-output tables."""
+
+    label: object
+    tp_rate: float
+    fp_rate: float
+    precision: float
+    recall: float
+    support: int
+
+
+@dataclass
+class ClassificationReport:
+    """Full classifier report: per-class rows + weighted average.
+
+    Mirrors Tables 3/6/8/10: one :class:`ClassReport` per class in label
+    order, plus a support-weighted average across classes.
+    """
+
+    classes: List[ClassReport]
+    weighted_tp_rate: float
+    weighted_fp_rate: float
+    weighted_precision: float
+    weighted_recall: float
+    accuracy: float
+    matrix: np.ndarray
+    labels: List[object]
+
+    def row_percentages(self) -> np.ndarray:
+        """Row-normalised confusion matrix in percent (Tables 4/7/9/11)."""
+        matrix = self.matrix.astype(float)
+        totals = matrix.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return 100.0 * matrix / totals
+
+    def by_label(self) -> Dict[object, ClassReport]:
+        return {report.label: report for report in self.classes}
+
+
+def classification_report(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    labels: Optional[Sequence] = None,
+) -> ClassificationReport:
+    """Compute TP/FP rates, precision, recall per class + weighted averages.
+
+    TP rate is identical to recall (the paper reports both columns);
+    FP rate for class c is FP_c / (negatives of c); precision is
+    TP_c / (TP_c + FP_c), defined as 0 when the class is never predicted.
+    """
+    if labels is None:
+        labels = np.unique(np.concatenate([np.asarray(y_true), np.asarray(y_pred)]))
+    labels = list(labels)
+    matrix = confusion_matrix(y_true, y_pred, labels=labels)
+    n = matrix.sum()
+    rows: List[ClassReport] = []
+    for i, label in enumerate(labels):
+        tp = matrix[i, i]
+        fn = matrix[i].sum() - tp
+        fp = matrix[:, i].sum() - tp
+        tn = n - tp - fn - fp
+        support = int(tp + fn)
+        recall = tp / support if support else 0.0
+        precision = tp / (tp + fp) if (tp + fp) else 0.0
+        fp_rate = fp / (fp + tn) if (fp + tn) else 0.0
+        rows.append(
+            ClassReport(
+                label=label,
+                tp_rate=float(recall),
+                fp_rate=float(fp_rate),
+                precision=float(precision),
+                recall=float(recall),
+                support=support,
+            )
+        )
+    supports = np.array([r.support for r in rows], dtype=float)
+    total = supports.sum()
+    weights = supports / total if total else np.zeros_like(supports)
+
+    def wavg(attr: str) -> float:
+        return float(sum(w * getattr(r, attr) for w, r in zip(weights, rows)))
+
+    return ClassificationReport(
+        classes=rows,
+        weighted_tp_rate=wavg("tp_rate"),
+        weighted_fp_rate=wavg("fp_rate"),
+        weighted_precision=wavg("precision"),
+        weighted_recall=wavg("recall"),
+        accuracy=float(np.trace(matrix) / n) if n else 0.0,
+        matrix=matrix,
+        labels=labels,
+    )

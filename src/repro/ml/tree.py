@@ -1,0 +1,337 @@
+"""CART decision-tree classifier implemented on numpy.
+
+This is the base learner for :class:`repro.ml.forest.RandomForestClassifier`.
+It supports the features the paper's Weka pipeline depends on:
+
+* Gini or entropy split criterion on continuous features.
+* Per-node random feature subsampling (``max_features``) so it can serve
+  as a random-forest base learner.
+* Probability estimates from leaf class frequencies (used for the
+  forest's soft voting).
+
+Split search is vectorised: for each candidate feature the rows are
+sorted once and class-count prefix sums give the impurity of every
+possible threshold in O(n * k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+_LEAF = -1
+
+
+@dataclass
+class _TreeBuffers:
+    """Growable flat arrays describing the fitted tree."""
+
+    feature: list = field(default_factory=list)    # split feature or _LEAF
+    threshold: list = field(default_factory=list)  # split threshold
+    left: list = field(default_factory=list)       # left child index
+    right: list = field(default_factory=list)      # right child index
+    value: list = field(default_factory=list)      # class-count vector
+
+    def add_node(self, counts: np.ndarray) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(counts)
+        return len(self.feature) - 1
+
+
+def _impurity(counts: np.ndarray, criterion: str) -> float:
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    if criterion == "gini":
+        return float(1.0 - (p * p).sum())
+    p = p[p > 0]
+    return float(-(p * np.log2(p)).sum())
+
+
+class DecisionTreeClassifier:
+    """CART classifier over continuous features.
+
+    Parameters
+    ----------
+    criterion:
+        ``"gini"`` (default) or ``"entropy"``.
+    max_depth:
+        Maximum tree depth; ``None`` grows until pure/exhausted.
+    min_samples_split:
+        Minimum number of samples required to attempt a split.
+    min_samples_leaf:
+        Minimum number of samples in each child of a split.
+    max_features:
+        Number of features examined per node. ``None`` uses all,
+        ``"sqrt"`` uses ``ceil(sqrt(n_features))`` (the random-forest
+        default), or an explicit int.
+    random_state:
+        Seed or :class:`numpy.random.Generator` for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        criterion: str = "gini",
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        random_state=None,
+    ) -> None:
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"unknown criterion: {criterion!r}")
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray, sample_weight=None):
+        """Grow the tree on ``X`` (n_samples, n_features) and labels ``y``."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-dimensional")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_classes_ = self.classes_.size
+        self.n_features_ = X.shape[1]
+        self._rng = (
+            self.random_state
+            if isinstance(self.random_state, np.random.Generator)
+            else np.random.default_rng(self.random_state)
+        )
+        self._n_sub = self._resolve_max_features()
+
+        buffers = _TreeBuffers()
+        indices = np.arange(X.shape[0])
+        self._grow(buffers, X, y_enc, indices, depth=0)
+
+        self._feature = np.asarray(buffers.feature, dtype=np.int64)
+        self._threshold = np.asarray(buffers.threshold, dtype=float)
+        self._left = np.asarray(buffers.left, dtype=np.int64)
+        self._right = np.asarray(buffers.right, dtype=np.int64)
+        self._value = np.asarray(buffers.value, dtype=float)
+        return self
+
+    def _resolve_max_features(self) -> int:
+        mf = self.max_features
+        if mf is None:
+            return self.n_features_
+        if mf == "sqrt":
+            return max(1, int(np.ceil(np.sqrt(self.n_features_))))
+        if mf == "log2":
+            return max(1, int(np.ceil(np.log2(self.n_features_ + 1))))
+        n = int(mf)
+        if n < 1 or n > self.n_features_:
+            raise ValueError("max_features out of range")
+        return n
+
+    def _grow(
+        self,
+        buffers: _TreeBuffers,
+        X: np.ndarray,
+        y: np.ndarray,
+        indices: np.ndarray,
+        depth: int,
+    ) -> int:
+        counts = np.bincount(y[indices], minlength=self.n_classes_).astype(float)
+        node = buffers.add_node(counts)
+
+        if (
+            indices.size < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+
+        split = self._best_split(X, y, indices)
+        if split is None:
+            return node
+
+        feat, thr = split
+        mask = X[indices, feat] <= thr
+        left_idx = indices[mask]
+        right_idx = indices[~mask]
+        if (
+            left_idx.size < self.min_samples_leaf
+            or right_idx.size < self.min_samples_leaf
+        ):
+            return node
+
+        buffers.feature[node] = feat
+        buffers.threshold[node] = thr
+        buffers.left[node] = self._grow(buffers, X, y, left_idx, depth + 1)
+        buffers.right[node] = self._grow(buffers, X, y, right_idx, depth + 1)
+        return node
+
+    def _best_split(self, X, y, indices):
+        """Return (feature, threshold) of the impurity-minimising split."""
+        n = indices.size
+        k = self.n_classes_
+        y_node = y[indices]
+        parent_counts = np.bincount(y_node, minlength=k).astype(float)
+        parent_imp = _impurity(parent_counts, self.criterion)
+        if parent_imp <= 0:
+            return None
+
+        if self._n_sub < self.n_features_:
+            features = self._rng.choice(
+                self.n_features_, size=self._n_sub, replace=False
+            )
+        else:
+            features = np.arange(self.n_features_)
+
+        best_gain = 1e-12
+        best: Optional[tuple] = None
+        min_leaf = self.min_samples_leaf
+
+        for feat in features:
+            col = X[indices, feat]
+            order = np.argsort(col, kind="mergesort")
+            v = col[order]
+            labels = y_node[order]
+            if v[0] == v[-1]:
+                continue
+            # one-hot prefix sums -> left counts at every cut position
+            onehot = np.zeros((n, k))
+            onehot[np.arange(n), labels] = 1.0
+            prefix = np.cumsum(onehot, axis=0)
+            # valid cut after position i (1-based count i+1 on the left)
+            # only where the value changes
+            boundaries = np.nonzero(np.diff(v) > 0)[0]
+            if boundaries.size == 0:
+                continue
+            if min_leaf > 1:
+                boundaries = boundaries[
+                    (boundaries + 1 >= min_leaf) & (n - boundaries - 1 >= min_leaf)
+                ]
+                if boundaries.size == 0:
+                    continue
+            left_counts = prefix[boundaries]
+            right_counts = parent_counts - left_counts
+            n_left = left_counts.sum(axis=1)
+            n_right = n - n_left
+            if self.criterion == "gini":
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    gl = 1.0 - ((left_counts / n_left[:, None]) ** 2).sum(axis=1)
+                    gr = 1.0 - ((right_counts / n_right[:, None]) ** 2).sum(axis=1)
+            else:
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    pl = left_counts / n_left[:, None]
+                    pr = right_counts / n_right[:, None]
+                    gl = -np.nansum(np.where(pl > 0, pl * np.log2(pl), 0.0), axis=1)
+                    gr = -np.nansum(np.where(pr > 0, pr * np.log2(pr), 0.0), axis=1)
+            child = (n_left * gl + n_right * gr) / n
+            gains = parent_imp - child
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain:
+                best_gain = float(gains[best_local])
+                cut_pos = int(boundaries[best_local])
+                thr = 0.5 * (v[cut_pos] + v[cut_pos + 1])
+                best = (int(feat), float(thr))
+        return best
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "_feature"):
+            raise RuntimeError("tree is not fitted; call fit() first")
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by each row of ``X``."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError("X has the wrong shape")
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self._feature[nodes] != _LEAF
+        while active.any():
+            idx = np.nonzero(active)[0]
+            cur = nodes[idx]
+            feat = self._feature[cur]
+            go_left = X[idx, feat] <= self._threshold[cur]
+            nodes[idx] = np.where(go_left, self._left[cur], self._right[cur])
+            active[idx] = self._feature[nodes[idx]] != _LEAF
+        return nodes
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates from leaf frequencies."""
+        leaves = self.apply(X)
+        counts = self._value[leaves]
+        totals = counts.sum(axis=1, keepdims=True)
+        totals[totals == 0] = 1.0
+        return counts / totals
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class label for each row of ``X``."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        self._check_fitted()
+        return int(self._feature.size)
+
+    @property
+    def max_depth_(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._check_fitted()
+        depth = np.zeros(self._feature.size, dtype=np.int64)
+        out = 0
+        for node in range(self._feature.size):
+            if self._feature[node] != _LEAF:
+                for child in (self._left[node], self._right[node]):
+                    depth[child] = depth[node] + 1
+                    out = max(out, int(depth[child]))
+        return out
+
+    def feature_importances(self) -> np.ndarray:
+        """Impurity-decrease feature importances, normalised to sum 1."""
+        self._check_fitted()
+        importances = np.zeros(self.n_features_)
+        total_samples = self._value[0].sum()
+        for node in range(self._feature.size):
+            feat = self._feature[node]
+            if feat == _LEAF:
+                continue
+            counts = self._value[node]
+            left = self._value[self._left[node]]
+            right = self._value[self._right[node]]
+            n = counts.sum()
+            decrease = n * _impurity(counts, self.criterion) - (
+                left.sum() * _impurity(left, self.criterion)
+                + right.sum() * _impurity(right, self.criterion)
+            )
+            importances[feat] += decrease / total_samples
+        total = importances.sum()
+        if total > 0:
+            importances /= total
+        return importances

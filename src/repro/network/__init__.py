@@ -1,0 +1,25 @@
+"""Cellular network substrate: condition profiles, mobility regimes,
+time-varying paths and the round-based TCP transfer model."""
+
+from .conditions import PROFILES, ConditionProfile, LinkState
+from .diurnal import DEFAULT_HOURLY_LOAD, DiurnalLoadModel
+from .mobility import COMMUTER_USER, STATIC_USER, MobilityModel, Place
+from .path import NetworkPath, Outage
+from .tcp import MSS_BYTES, TcpConnection, TransferResult
+
+__all__ = [
+    "ConditionProfile",
+    "LinkState",
+    "PROFILES",
+    "DiurnalLoadModel",
+    "DEFAULT_HOURLY_LOAD",
+    "MobilityModel",
+    "Place",
+    "STATIC_USER",
+    "COMMUTER_USER",
+    "NetworkPath",
+    "Outage",
+    "TcpConnection",
+    "TransferResult",
+    "MSS_BYTES",
+]

@@ -1,0 +1,137 @@
+"""Network condition profiles for the simulated cellular access network.
+
+The paper's corpus comes from a production 3G/4G network where
+conditions range from stable home/office WiFi-like cells to heavily
+degraded conditions while commuting.  A :class:`ConditionProfile`
+describes the *distribution* of link parameters in one such regime;
+sampling it yields a concrete :class:`LinkState`.
+
+Bandwidth is in kbit/s, RTT in milliseconds, loss as a probability per
+packet.  These are the three drivers of every transport-layer metric in
+Table 1 (BDP, BIF, retransmissions, RTT statistics) and, through the
+player, of every QoE impairment the paper detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["LinkState", "ConditionProfile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """Instantaneous bottleneck-link state."""
+
+    bandwidth_kbps: float
+    rtt_ms: float
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_kbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.rtt_ms <= 0:
+            raise ValueError("RTT must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product in bytes (capacity × RTT)."""
+        return self.bandwidth_kbps * 1000.0 / 8.0 * (self.rtt_ms / 1000.0)
+
+
+@dataclass(frozen=True)
+class ConditionProfile:
+    """Log-normal-ish distribution of link states within one regime.
+
+    ``bandwidth_kbps`` / ``rtt_ms`` give the median; the ``*_sigma``
+    values are the log-space standard deviations of the multiplicative
+    variation around it.  ``loss_rate`` is the mean packet-loss
+    probability, jittered by ``loss_sigma`` (truncated at 0).
+    ``volatility`` in [0, 1] controls how fast the AR(1) fading process
+    wanders inside a session (0 = frozen, 1 = memoryless).
+    """
+
+    name: str
+    bandwidth_kbps: float
+    bandwidth_sigma: float
+    rtt_ms: float
+    rtt_sigma: float
+    loss_rate: float
+    loss_sigma: float
+    volatility: float
+
+    def sample(self, rng: np.random.Generator) -> LinkState:
+        """Draw one concrete link state from the profile."""
+        bw = self.bandwidth_kbps * float(
+            np.exp(rng.normal(0.0, self.bandwidth_sigma))
+        )
+        rtt = self.rtt_ms * float(np.exp(rng.normal(0.0, self.rtt_sigma)))
+        loss = max(0.0, float(rng.normal(self.loss_rate, self.loss_sigma)))
+        return LinkState(
+            bandwidth_kbps=max(16.0, bw),
+            rtt_ms=max(5.0, rtt),
+            loss_rate=min(0.5, loss),
+        )
+
+
+#: Named regimes used by the corpus generators and the mobility model.
+#: The medians are loosely calibrated to 2016-era European cellular
+#: networks: a good static 3G/HSPA+ cell sustains a few Mbit/s, a
+#: congested or moving cell drops well below video bitrates.
+PROFILES: Dict[str, ConditionProfile] = {
+    "excellent": ConditionProfile(
+        name="excellent",
+        bandwidth_kbps=8000.0,
+        bandwidth_sigma=0.25,
+        rtt_ms=55.0,
+        rtt_sigma=0.40,
+        loss_rate=0.002,
+        loss_sigma=0.001,
+        volatility=0.05,
+    ),
+    "good": ConditionProfile(
+        name="good",
+        bandwidth_kbps=4000.0,
+        bandwidth_sigma=0.35,
+        rtt_ms=65.0,
+        rtt_sigma=0.45,
+        loss_rate=0.003,
+        loss_sigma=0.002,
+        volatility=0.1,
+    ),
+    "fair": ConditionProfile(
+        name="fair",
+        bandwidth_kbps=1600.0,
+        bandwidth_sigma=0.45,
+        rtt_ms=80.0,
+        rtt_sigma=0.50,
+        loss_rate=0.005,
+        loss_sigma=0.003,
+        volatility=0.2,
+    ),
+    "poor": ConditionProfile(
+        name="poor",
+        bandwidth_kbps=350.0,
+        bandwidth_sigma=0.60,
+        rtt_ms=100.0,
+        rtt_sigma=0.55,
+        loss_rate=0.008,
+        loss_sigma=0.004,
+        volatility=0.35,
+    ),
+    "bad": ConditionProfile(
+        name="bad",
+        bandwidth_kbps=300.0,
+        bandwidth_sigma=0.6,
+        rtt_ms=140.0,
+        rtt_sigma=0.60,
+        loss_rate=0.015,
+        loss_sigma=0.006,
+        volatility=0.4,
+    ),
+}

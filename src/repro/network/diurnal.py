@@ -1,0 +1,86 @@
+"""Diurnal load model: time-of-day effects on cell capacity.
+
+The paper's corpus spans 45 days of production traffic, so it bakes in
+the daily rhythm of a cellular network — evening busy hours congest
+cells and degrade QoE, night hours leave them idle.  This model scales
+a condition profile's capacity by the hour of day, letting corpora (and
+the time-of-day analyses operators actually run) reflect that rhythm.
+
+The shape is the classic two-peak weekday curve: a mild midday bump, a
+deep evening busy hour, and a quiet night.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+
+from .conditions import ConditionProfile
+
+__all__ = ["DiurnalLoadModel", "DEFAULT_HOURLY_LOAD"]
+
+#: Relative cell load per hour of day (0-23), 1.0 = busy-hour peak.
+DEFAULT_HOURLY_LOAD: Tuple[float, ...] = (
+    0.15, 0.10, 0.08, 0.07, 0.08, 0.12,   # 00-05: night
+    0.25, 0.45, 0.60, 0.55, 0.50, 0.55,   # 06-11: morning ramp
+    0.65, 0.60, 0.55, 0.55, 0.60, 0.70,   # 12-17: afternoon
+    0.85, 1.00, 0.95, 0.85, 0.60, 0.30,   # 18-23: evening busy hour
+)
+
+
+@dataclass(frozen=True)
+class DiurnalLoadModel:
+    """Scales capacity with the time of day.
+
+    Parameters
+    ----------
+    hourly_load:
+        Relative load per hour (24 values, peak = 1.0).
+    busy_hour_capacity_factor:
+        Fraction of nominal capacity left at peak load; capacity
+        interpolates linearly in load between 1.0 (idle) and this.
+    """
+
+    hourly_load: Sequence[float] = DEFAULT_HOURLY_LOAD
+    busy_hour_capacity_factor: float = 0.45
+
+    def __post_init__(self) -> None:
+        if len(self.hourly_load) != 24:
+            raise ValueError("hourly_load needs 24 values")
+        if any(v < 0 for v in self.hourly_load):
+            raise ValueError("loads must be >= 0")
+        if not 0.0 < self.busy_hour_capacity_factor <= 1.0:
+            raise ValueError("busy_hour_capacity_factor must be in (0, 1]")
+
+    def load_at(self, epoch_s: float) -> float:
+        """Relative load at an absolute time (linear between hours)."""
+        hours = (epoch_s / 3600.0) % 24.0
+        lower = int(hours) % 24
+        upper = (lower + 1) % 24
+        frac = hours - int(hours)
+        return float(
+            (1 - frac) * self.hourly_load[lower]
+            + frac * self.hourly_load[upper]
+        )
+
+    def capacity_factor_at(self, epoch_s: float) -> float:
+        """Capacity multiplier at an absolute time."""
+        load = self.load_at(epoch_s)
+        peak = max(self.hourly_load)
+        normalised = load / peak if peak > 0 else 0.0
+        return 1.0 - normalised * (1.0 - self.busy_hour_capacity_factor)
+
+    def scale_profile(
+        self, profile: ConditionProfile, epoch_s: float
+    ) -> ConditionProfile:
+        """Profile with its median capacity scaled for this time of day.
+
+        Loss also rises mildly with load (congested cells drop more).
+        """
+        factor = self.capacity_factor_at(epoch_s)
+        return replace(
+            profile,
+            bandwidth_kbps=profile.bandwidth_kbps * factor,
+            loss_rate=min(0.5, profile.loss_rate * (2.0 - factor)),
+        )

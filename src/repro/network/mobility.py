@@ -1,0 +1,117 @@
+"""Regime-switching mobility model.
+
+§5.2 of the paper collects the encrypted corpus from a phone carried by
+a commuting user: "a large part of the encrypted videos was downloaded
+while the user was commuting where network conditions can significantly
+deteriorate", while "the majority of [healthy] sessions are generated
+when the user is static either at the office or at home, where the
+network conditions have a constant performance".
+
+This module models a user's day as a Markov chain over *places*
+(home, office, commute, outdoors), each mapped to a condition profile.
+Sampling the chain yields the regime active when a video session
+starts; within-session fading is handled by :mod:`repro.network.path`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .conditions import PROFILES, ConditionProfile
+
+__all__ = ["Place", "MobilityModel", "STATIC_USER", "COMMUTER_USER"]
+
+
+@dataclass(frozen=True)
+class Place:
+    """A location regime: a name, a condition profile and a stability flag."""
+
+    name: str
+    profile: ConditionProfile
+    static: bool
+
+
+def _places() -> Dict[str, Place]:
+    return {
+        "home": Place("home", PROFILES["good"], static=True),
+        "office": Place("office", PROFILES["excellent"], static=True),
+        "commute": Place("commute", PROFILES["poor"], static=False),
+        "outdoors": Place("outdoors", PROFILES["fair"], static=False),
+    }
+
+
+@dataclass
+class MobilityModel:
+    """Markov chain over places with a stationary initial distribution.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic matrix over ``order``; entry [i][j] is the
+        probability of moving from place i to place j between two
+        consecutive video sessions.
+    order:
+        Place names indexing the matrix rows/columns.
+    """
+
+    transition: Sequence[Sequence[float]]
+    order: Sequence[str] = ("home", "office", "commute", "outdoors")
+    places: Dict[str, Place] = field(default_factory=_places)
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.transition, dtype=float)
+        n = len(self.order)
+        if matrix.shape != (n, n):
+            raise ValueError("transition matrix shape mismatch")
+        if np.any(matrix < 0) or not np.allclose(matrix.sum(axis=1), 1.0):
+            raise ValueError("transition matrix must be row-stochastic")
+        self._matrix = matrix
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Left eigenvector of the transition matrix with eigenvalue 1."""
+        values, vectors = np.linalg.eig(self._matrix.T)
+        idx = int(np.argmin(np.abs(values - 1.0)))
+        pi = np.real(vectors[:, idx])
+        pi = np.abs(pi)
+        return pi / pi.sum()
+
+    def walk(self, n_steps: int, rng: np.random.Generator) -> List[Place]:
+        """Sample a sequence of places, starting from the stationary law."""
+        if n_steps < 0:
+            raise ValueError("n_steps must be >= 0")
+        if n_steps == 0:
+            return []
+        pi = self.stationary_distribution()
+        state = int(rng.choice(len(self.order), p=pi))
+        out = [self.places[self.order[state]]]
+        for _ in range(n_steps - 1):
+            state = int(rng.choice(len(self.order), p=self._matrix[state]))
+            out.append(self.places[self.order[state]])
+        return out
+
+
+#: A mostly-static user: generates the cleartext corpus's diversity
+#: (most sessions on stable links, a tail of mobile/degraded ones).
+STATIC_USER = MobilityModel(
+    transition=[
+        # home   office commute outdoors
+        [0.68, 0.06, 0.17, 0.09],   # home
+        [0.06, 0.68, 0.17, 0.09],   # office
+        [0.30, 0.28, 0.28, 0.14],   # commute
+        [0.25, 0.20, 0.25, 0.30],   # outdoors
+    ]
+)
+
+#: The §5.2 instrumented user, "motivated to launch the application when
+#: moving": commute/outdoors states dominate.
+COMMUTER_USER = MobilityModel(
+    transition=[
+        [0.55, 0.05, 0.30, 0.10],   # home
+        [0.05, 0.55, 0.30, 0.10],   # office
+        [0.25, 0.25, 0.35, 0.15],   # commute
+        [0.20, 0.15, 0.30, 0.35],   # outdoors
+    ]
+)

@@ -1,0 +1,142 @@
+"""Time-varying bottleneck path.
+
+A :class:`NetworkPath` realises one video session's network environment:
+a base :class:`LinkState` drawn from a :class:`ConditionProfile`, with
+AR(1) log-space fading around it (faster-wandering for volatile
+regimes) and optional deterministic *outages* — deep bandwidth dips used
+by experiments that force stalls at known times (Figure 1) or quality
+switches (Figure 3).
+
+The trace is precomputed at a fixed time step so that lookups during
+the TCP simulation are O(1) and deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .conditions import PROFILES, ConditionProfile, LinkState
+
+__all__ = ["Outage", "NetworkPath"]
+
+
+@dataclass(frozen=True)
+class Outage:
+    """A forced bandwidth dip on [start_s, end_s) scaling capacity by factor."""
+
+    start_s: float
+    end_s: float
+    factor: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("outage must have positive duration")
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+
+
+class NetworkPath:
+    """Precomputed per-step link-state trace for one session.
+
+    Parameters
+    ----------
+    profile:
+        Condition regime, by object or by name from
+        :data:`repro.network.conditions.PROFILES`.
+    duration_s:
+        Length of the precomputed trace; lookups beyond it clamp to the
+        last step (sessions occasionally overrun their nominal length
+        when the network is slow).
+    rng:
+        Seeded generator; the path is fully deterministic given it.
+    time_step_s:
+        Trace resolution.
+    outages:
+        Deterministic bandwidth dips applied on top of the fading.
+    """
+
+    def __init__(
+        self,
+        profile,
+        duration_s: float,
+        rng: np.random.Generator,
+        time_step_s: float = 1.0,
+        outages: Optional[Sequence[Outage]] = None,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = PROFILES[profile]
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if time_step_s <= 0:
+            raise ValueError("time step must be positive")
+        self.profile: ConditionProfile = profile
+        self.duration_s = float(duration_s)
+        self.time_step_s = float(time_step_s)
+        self.outages: List[Outage] = list(outages or [])
+
+        base = profile.sample(rng)
+        self.base_state = base
+        n = max(2, int(np.ceil(duration_s / time_step_s)) + 1)
+
+        # AR(1) fading in log space around the base values.  rho close
+        # to 1 for calm regimes, lower for volatile ones.
+        rho = float(np.clip(1.0 - profile.volatility, 0.5, 0.995))
+        sigma_bw = 0.5 * profile.bandwidth_sigma * np.sqrt(1.0 - rho**2)
+        sigma_rtt = 0.5 * profile.rtt_sigma * np.sqrt(1.0 - rho**2)
+        eps_bw = rng.normal(0.0, 1.0, size=n)
+        eps_rtt = rng.normal(0.0, 1.0, size=n)
+        log_bw = np.empty(n)
+        log_rtt = np.empty(n)
+        log_bw[0] = 0.0
+        log_rtt[0] = 0.0
+        for t in range(1, n):
+            log_bw[t] = rho * log_bw[t - 1] + sigma_bw * eps_bw[t]
+            log_rtt[t] = rho * log_rtt[t - 1] + sigma_rtt * eps_rtt[t]
+
+        bw = base.bandwidth_kbps * np.exp(log_bw)
+        rtt = base.rtt_ms * np.exp(log_rtt)
+
+        # Loss grows when bandwidth fades below the base level (deep
+        # fades mean a congested or weak cell).
+        fade = np.clip(1.0 - bw / base.bandwidth_kbps, 0.0, 1.0)
+        loss = base.loss_rate * (1.0 + 4.0 * fade)
+        # Random radio-layer loss bursts, uncorrelated with the fading
+        # (interference, handovers that do not dent throughput).
+        burst_mask = rng.random(n) < 0.012
+        loss = loss + burst_mask * rng.uniform(0.01, 0.08, size=n)
+
+        # Apply forced outages: capacity dip, RTT inflation, loss burst.
+        times = np.arange(n) * time_step_s
+        for outage in self.outages:
+            mask = (times >= outage.start_s) & (times < outage.end_s)
+            bw[mask] *= outage.factor
+            rtt[mask] *= 1.0 + (1.0 - outage.factor)
+            loss[mask] = np.minimum(0.5, loss[mask] * 3.0 + 0.01)
+
+        self._bw = np.maximum(16.0, bw)
+        self._rtt = np.maximum(5.0, rtt)
+        self._loss = np.clip(loss, 0.0, 0.5)
+
+    def _index(self, t: float) -> int:
+        idx = int(t / self.time_step_s)
+        return min(max(idx, 0), self._bw.size - 1)
+
+    def state_at(self, t: float) -> LinkState:
+        """Link state active at absolute session time ``t`` seconds."""
+        i = self._index(t)
+        return LinkState(
+            bandwidth_kbps=float(self._bw[i]),
+            rtt_ms=float(self._rtt[i]),
+            loss_rate=float(self._loss[i]),
+        )
+
+    def bandwidth_trace(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, bandwidth_kbps) arrays of the whole precomputed trace."""
+        times = np.arange(self._bw.size) * self.time_step_s
+        return times, self._bw.copy()
+
+    def mean_bandwidth_kbps(self) -> float:
+        return float(np.mean(self._bw))

@@ -1,0 +1,177 @@
+"""Model persistence: save and load trained detectors as JSON.
+
+An operator trains the framework once, while cleartext ground truth is
+still available, and then runs the frozen models for months (§8's
+deployment story).  That requires durable model storage.  This module
+serialises every fitted component — forests, trees, selected feature
+subsets, the calibrated switch threshold — to plain JSON: portable,
+diff-able and free of pickle's code-execution hazards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.framework import QoEFramework
+from repro.core.representation import AvgRepresentationDetector
+from repro.core.stall import StallDetector
+from repro.core.switching import SwitchDetector
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.selection import SelectionResult
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "forest_to_dict",
+    "forest_from_dict",
+    "framework_to_dict",
+    "framework_from_dict",
+    "save_framework",
+    "load_framework",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _classes_to_json(classes: np.ndarray) -> Dict:
+    kind = "str" if classes.dtype.kind in ("U", "S", "O") else "num"
+    values = [str(c) if kind == "str" else float(c) for c in classes.tolist()]
+    return {"kind": kind, "values": values}
+
+
+def _classes_from_json(payload: Dict) -> np.ndarray:
+    if payload["kind"] == "str":
+        return np.array([str(v) for v in payload["values"]])
+    values = np.array(payload["values"], dtype=float)
+    if np.all(values == np.round(values)):
+        return values.astype(np.int64)
+    return values
+
+
+def _tree_to_dict(tree: DecisionTreeClassifier) -> Dict:
+    return {
+        "feature": tree._feature.tolist(),
+        "threshold": tree._threshold.tolist(),
+        "left": tree._left.tolist(),
+        "right": tree._right.tolist(),
+        "value": tree._value.tolist(),
+        "classes": _classes_to_json(tree.classes_),
+        "n_features": tree.n_features_,
+        "criterion": tree.criterion,
+    }
+
+
+def _tree_from_dict(payload: Dict) -> DecisionTreeClassifier:
+    tree = DecisionTreeClassifier(criterion=payload["criterion"])
+    tree._feature = np.asarray(payload["feature"], dtype=np.int64)
+    tree._threshold = np.asarray(payload["threshold"], dtype=float)
+    tree._left = np.asarray(payload["left"], dtype=np.int64)
+    tree._right = np.asarray(payload["right"], dtype=np.int64)
+    tree._value = np.asarray(payload["value"], dtype=float)
+    tree.classes_ = _classes_from_json(payload["classes"])
+    tree.n_classes_ = tree.classes_.size
+    tree.n_features_ = int(payload["n_features"])
+    return tree
+
+
+def forest_to_dict(forest: RandomForestClassifier) -> Dict:
+    """Serialise a fitted forest."""
+    if not hasattr(forest, "estimators_"):
+        raise ValueError("forest is not fitted")
+    return {
+        "classes": _classes_to_json(forest.classes_),
+        "n_features": forest.n_features_,
+        "n_estimators": forest.n_estimators,
+        "trees": [_tree_to_dict(tree) for tree in forest.estimators_],
+    }
+
+
+def forest_from_dict(payload: Dict) -> RandomForestClassifier:
+    """Rebuild a fitted forest."""
+    forest = RandomForestClassifier(n_estimators=payload["n_estimators"])
+    forest.classes_ = _classes_from_json(payload["classes"])
+    forest.n_features_ = int(payload["n_features"])
+    forest.estimators_ = [_tree_from_dict(t) for t in payload["trees"]]
+    return forest
+
+
+def _detector_to_dict(detector) -> Dict:
+    if detector._model is None:
+        raise ValueError("detector is not fitted")
+    return {
+        "selected_indices": list(detector.selected_indices_),
+        "selected_names": list(detector.selected_names_),
+        "selection_scores": list(detector.selection_result_.scores),
+        "n_estimators": detector.n_estimators,
+        "random_state": detector.random_state,
+        "model": forest_to_dict(detector._model),
+    }
+
+
+def _detector_from_dict(payload: Dict, cls):
+    detector = cls(
+        n_estimators=payload["n_estimators"],
+        random_state=payload["random_state"],
+    )
+    detector.selected_indices_ = list(payload["selected_indices"])
+    detector.selected_names_ = list(payload["selected_names"])
+    detector.selection_result_ = SelectionResult(
+        selected=list(payload["selected_indices"]),
+        scores=list(payload["selection_scores"]),
+        names=list(payload["selected_names"]),
+    )
+    detector._model = forest_from_dict(payload["model"])
+    return detector
+
+
+def framework_to_dict(framework: QoEFramework) -> Dict:
+    """Serialise a fitted framework (all three detectors)."""
+    if not framework._fitted:
+        raise ValueError("framework is not fitted")
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "stall": _detector_to_dict(framework.stall),
+        "switching": {
+            "threshold": framework.switching.threshold,
+            "startup_skip_s": framework.switching.startup_skip_s,
+            "size_unit_bytes": framework.switching.size_unit_bytes,
+        },
+    }
+    if framework.representation._model is not None:
+        payload["representation"] = _detector_to_dict(framework.representation)
+    return payload
+
+
+def framework_from_dict(payload: Dict) -> QoEFramework:
+    """Rebuild a fitted framework."""
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format: {payload.get('format_version')!r}"
+        )
+    framework = QoEFramework()
+    framework.stall = _detector_from_dict(payload["stall"], StallDetector)
+    if "representation" in payload:
+        framework.representation = _detector_from_dict(
+            payload["representation"], AvgRepresentationDetector
+        )
+    switching = payload["switching"]
+    framework.switching = SwitchDetector(
+        threshold=switching["threshold"],
+        startup_skip_s=switching["startup_skip_s"],
+        size_unit_bytes=switching["size_unit_bytes"],
+    )
+    framework._fitted = True
+    return framework
+
+
+def save_framework(framework: QoEFramework, path: Union[str, Path]) -> None:
+    """Write a fitted framework to a JSON file."""
+    Path(path).write_text(json.dumps(framework_to_dict(framework)))
+
+
+def load_framework(path: Union[str, Path]) -> QoEFramework:
+    """Load a framework previously written by :func:`save_framework`."""
+    return framework_from_dict(json.loads(Path(path).read_text()))

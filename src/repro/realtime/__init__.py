@@ -1,0 +1,12 @@
+"""Real-time monitoring: online session tracking and live QoE diagnosis."""
+
+from .monitor import Alarm, RealTimeMonitor, SubscriberHealth
+from .tracker import OnlineSessionTracker, OpenSession
+
+__all__ = [
+    "OnlineSessionTracker",
+    "OpenSession",
+    "RealTimeMonitor",
+    "SubscriberHealth",
+    "Alarm",
+]

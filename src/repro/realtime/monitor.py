@@ -1,0 +1,159 @@
+"""Real-time QoE monitor: live weblogs in, diagnoses and alarms out.
+
+Couples the :class:`~repro.realtime.tracker.OnlineSessionTracker` with a
+trained :class:`~repro.core.framework.QoEFramework`: every time a video
+session closes, it is diagnosed immediately, per-subscriber health is
+updated, and alarm rules fire — the operator-side loop the paper's
+conclusion sketches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.capture.weblog import WeblogEntry
+from repro.core.framework import QoEFramework, SessionDiagnosis
+
+from .tracker import OnlineSessionTracker
+
+__all__ = ["SubscriberHealth", "Alarm", "RealTimeMonitor"]
+
+
+@dataclass
+class SubscriberHealth:
+    """Rolling per-subscriber QoE counters."""
+
+    sessions: int = 0
+    stalled: int = 0
+    severe: int = 0
+    low_definition: int = 0
+    with_switches: int = 0
+
+    def update(self, diagnosis: SessionDiagnosis) -> None:
+        self.sessions += 1
+        if diagnosis.stall_class != "no stalls":
+            self.stalled += 1
+        if diagnosis.stall_class == "severe stalls":
+            self.severe += 1
+        if diagnosis.representation_class == "LD":
+            self.low_definition += 1
+        if diagnosis.has_quality_switches:
+            self.with_switches += 1
+
+    @property
+    def stall_ratio(self) -> float:
+        return self.stalled / self.sessions if self.sessions else 0.0
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """An operator alarm raised by the monitor."""
+
+    subscriber_id: str
+    reason: str
+    sessions_observed: int
+
+
+class RealTimeMonitor:
+    """Online monitoring loop.
+
+    Parameters
+    ----------
+    framework:
+        A fitted :class:`QoEFramework`.
+    tracker:
+        Session tracker (a default one is created if omitted).
+    severe_alarm_after:
+        Raise an alarm once a subscriber accumulates this many severe
+        sessions.
+    stall_ratio_alarm:
+        Raise an alarm once a subscriber's stall ratio exceeds this
+        (evaluated only after ``min_sessions_for_ratio`` sessions).
+    on_diagnosis:
+        Optional callback invoked with every fresh diagnosis.
+    """
+
+    def __init__(
+        self,
+        framework: QoEFramework,
+        tracker: Optional[OnlineSessionTracker] = None,
+        severe_alarm_after: int = 3,
+        stall_ratio_alarm: float = 0.5,
+        min_sessions_for_ratio: int = 5,
+        on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
+    ) -> None:
+        if severe_alarm_after < 1:
+            raise ValueError("severe_alarm_after must be >= 1")
+        if not 0.0 < stall_ratio_alarm <= 1.0:
+            raise ValueError("stall_ratio_alarm must be in (0, 1]")
+        self.framework = framework
+        self.tracker = tracker or OnlineSessionTracker()
+        self.severe_alarm_after = severe_alarm_after
+        self.stall_ratio_alarm = stall_ratio_alarm
+        self.min_sessions_for_ratio = min_sessions_for_ratio
+        self.on_diagnosis = on_diagnosis
+
+        self.health: Dict[str, SubscriberHealth] = defaultdict(SubscriberHealth)
+        self.diagnoses: List[SessionDiagnosis] = []
+        self.alarms: List[Alarm] = []
+        self._alarmed: set = set()
+
+    # ------------------------------------------------------------------
+
+    def _diagnose_closed(self, records) -> List[SessionDiagnosis]:
+        if not records:
+            return []
+        diagnoses = self.framework.diagnose(records)
+        for record, diagnosis in zip(records, diagnoses):
+            subscriber = record.session_id.split("/", 1)[0]
+            health = self.health[subscriber]
+            health.update(diagnosis)
+            self.diagnoses.append(diagnosis)
+            if self.on_diagnosis is not None:
+                self.on_diagnosis(diagnosis)
+            self._check_alarms(subscriber, health)
+        return diagnoses
+
+    def _check_alarms(self, subscriber: str, health: SubscriberHealth) -> None:
+        if subscriber in self._alarmed:
+            return
+        if health.severe >= self.severe_alarm_after:
+            self.alarms.append(
+                Alarm(
+                    subscriber_id=subscriber,
+                    reason=f"{health.severe} sessions with severe stalling",
+                    sessions_observed=health.sessions,
+                )
+            )
+            self._alarmed.add(subscriber)
+        elif (
+            health.sessions >= self.min_sessions_for_ratio
+            and health.stall_ratio >= self.stall_ratio_alarm
+        ):
+            self.alarms.append(
+                Alarm(
+                    subscriber_id=subscriber,
+                    reason=f"stall ratio {health.stall_ratio:.0%}",
+                    sessions_observed=health.sessions,
+                )
+            )
+            self._alarmed.add(subscriber)
+
+    # ------------------------------------------------------------------
+
+    def feed(self, entry: WeblogEntry) -> List[SessionDiagnosis]:
+        """Feed one weblog entry; returns diagnoses of sessions it closed."""
+        return self._diagnose_closed(self.tracker.observe(entry))
+
+    def feed_many(self, entries: Iterable[WeblogEntry]) -> List[SessionDiagnosis]:
+        """Feed a batch of entries (must be time-ordered per subscriber)."""
+        out: List[SessionDiagnosis] = []
+        for entry in entries:
+            out.extend(self.feed(entry))
+        return out
+
+    def flush(self, now_s: Optional[float] = None) -> List[SessionDiagnosis]:
+        """Close idle/open sessions and diagnose them."""
+        return self._diagnose_closed(self.tracker.flush(now_s))

@@ -1,0 +1,140 @@
+"""Online session tracking over a live encrypted weblog stream.
+
+The paper's deployment story (§8): "The trained models can be then
+directly applied on the passively monitored traffic and report issues
+in real time."  The offline reconstruction of §5.2 needs the whole
+trace; this module is its *online* counterpart: weblog entries are fed
+one at a time (in timestamp order per subscriber), open sessions are
+maintained incrementally, and a :class:`~repro.datasets.schema.SessionRecord`
+is emitted the moment a session closes (idle gap or new watch page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.capture.reconstruction import is_youtube_host
+from repro.capture.weblog import WeblogEntry
+from repro.datasets.schema import SessionRecord
+
+__all__ = ["OpenSession", "OnlineSessionTracker"]
+
+_PAGE_HOSTS = ("m.youtube.com", "www.youtube.com")
+
+
+@dataclass
+class OpenSession:
+    """A session still accumulating entries."""
+
+    subscriber_id: str
+    media: List[WeblogEntry] = field(default_factory=list)
+    signalling: List[WeblogEntry] = field(default_factory=list)
+
+    @property
+    def last_activity_s(self) -> float:
+        entries = self.media + self.signalling
+        return max(e.arrival_s for e in entries) if entries else 0.0
+
+    def to_record(self, sequence: int) -> Optional[SessionRecord]:
+        """Freeze into a SessionRecord (None if no media was seen)."""
+        if not self.media:
+            return None
+        media = sorted(self.media, key=lambda e: e.arrival_s)
+        return SessionRecord(
+            session_id=f"{self.subscriber_id}/online-{sequence}",
+            encrypted=True,
+            timestamps=np.array([e.arrival_s for e in media]),
+            sizes=np.array([float(e.object_bytes) for e in media]),
+            transactions=np.array([e.transaction_s for e in media]),
+            rtt_min=np.array([e.rtt_min_ms for e in media]),
+            rtt_avg=np.array([e.rtt_avg_ms for e in media]),
+            rtt_max=np.array([e.rtt_max_ms for e in media]),
+            bdp=np.array([e.bdp_bytes for e in media]),
+            bif_avg=np.array([e.bif_avg_bytes for e in media]),
+            bif_max=np.array([e.bif_max_bytes for e in media]),
+            loss_pct=np.array([e.loss_pct for e in media]),
+            retx_pct=np.array([e.retx_pct for e in media]),
+        )
+
+
+class OnlineSessionTracker:
+    """Incremental version of the §5.2 reconstruction heuristic.
+
+    Feed entries with :meth:`observe`; closed sessions are returned as
+    records.  Call :meth:`flush` (e.g. at end of capture, or on a
+    timer) to close sessions that have been idle longer than the gap.
+
+    Parameters
+    ----------
+    idle_gap_s:
+        Silence that closes a subscriber's current session.
+    min_media_chunks:
+        Sessions with fewer media entries are discarded on close.
+    """
+
+    def __init__(self, idle_gap_s: float = 30.0, min_media_chunks: int = 3):
+        if idle_gap_s <= 0:
+            raise ValueError("idle gap must be positive")
+        if min_media_chunks < 1:
+            raise ValueError("min_media_chunks must be >= 1")
+        self.idle_gap_s = idle_gap_s
+        self.min_media_chunks = min_media_chunks
+        self._open: Dict[str, OpenSession] = {}
+        self._sequence = 0
+
+    @property
+    def open_sessions(self) -> int:
+        """Number of subscribers with a session currently open."""
+        return len(self._open)
+
+    def _close(self, subscriber_id: str) -> Optional[SessionRecord]:
+        session = self._open.pop(subscriber_id, None)
+        if session is None or len(session.media) < self.min_media_chunks:
+            return None
+        self._sequence += 1
+        return session.to_record(self._sequence)
+
+    def observe(self, entry: WeblogEntry) -> List[SessionRecord]:
+        """Feed one weblog entry; returns any sessions this closes."""
+        if not is_youtube_host(entry.server_name):
+            return []
+        closed: List[SessionRecord] = []
+        subscriber = entry.subscriber_id
+        current = self._open.get(subscriber)
+
+        if current is not None:
+            gap_break = (
+                entry.timestamp_s - current.last_activity_s > self.idle_gap_s
+            )
+            page_break = (
+                entry.server_name.lower() in _PAGE_HOSTS and current.media
+            )
+            if gap_break or page_break:
+                record = self._close(subscriber)
+                if record is not None:
+                    closed.append(record)
+                current = None
+
+        if current is None:
+            current = OpenSession(subscriber_id=subscriber)
+            self._open[subscriber] = current
+
+        if entry.server_name.lower().endswith(".googlevideo.com"):
+            current.media.append(entry)
+        else:
+            current.signalling.append(entry)
+        return closed
+
+    def flush(self, now_s: Optional[float] = None) -> List[SessionRecord]:
+        """Close idle (or, with ``now_s=None``, all) open sessions."""
+        closed: List[SessionRecord] = []
+        for subscriber in list(self._open):
+            session = self._open[subscriber]
+            if now_s is None or now_s - session.last_activity_s > self.idle_gap_s:
+                record = self._close(subscriber)
+                if record is not None:
+                    closed.append(record)
+        return closed

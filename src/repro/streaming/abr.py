@@ -1,0 +1,179 @@
+"""Adaptive bit-rate (ABR) algorithms.
+
+§2.1: "The quality profile of the next segment is determined as a
+function of the throughput with which the previous segment was
+downloaded and the available seconds of playback in the buffer."
+
+Three selectors are provided — throughput-based, buffer-based and the
+hybrid of both that the simulations use by default (it matches the
+quoted YouTube behaviour).  All share a tiny stateless interface so the
+ablation benches can swap them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+
+from .catalog import QualityLevel, Video
+
+__all__ = [
+    "AbrAlgorithm",
+    "ThroughputAbr",
+    "BufferAbr",
+    "HybridAbr",
+    "ThroughputEstimator",
+]
+
+
+class AbrAlgorithm(Protocol):
+    """Protocol every ABR selector implements."""
+
+    def select(
+        self,
+        ladder: Sequence[QualityLevel],
+        video: Video,
+        throughput_kbps: float,
+        buffer_s: float,
+        current: Optional[QualityLevel],
+        playback_started: bool = True,
+    ) -> QualityLevel:
+        """Pick the rung for the next segment."""
+        ...
+
+
+class ThroughputEstimator:
+    """EWMA estimator of download throughput (kbit/s)."""
+
+    def __init__(self, alpha: float = 0.4) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._estimate: Optional[float] = None
+
+    @property
+    def estimate_kbps(self) -> float:
+        """Current estimate; 0 before any samples."""
+        return self._estimate if self._estimate is not None else 0.0
+
+    def update(self, sample_kbps: float) -> float:
+        if sample_kbps < 0:
+            raise ValueError("throughput sample must be >= 0")
+        if self._estimate is None:
+            self._estimate = float(sample_kbps)
+        else:
+            self._estimate = (
+                self.alpha * float(sample_kbps)
+                + (1.0 - self.alpha) * self._estimate
+            )
+        return self._estimate
+
+
+def _sorted_ladder(ladder: Sequence[QualityLevel]) -> List[QualityLevel]:
+    return sorted(ladder, key=lambda level: level.bitrate_kbps)
+
+
+@dataclass
+class ThroughputAbr:
+    """Highest rung whose bitrate fits under ``safety * throughput``."""
+
+    safety: float = 0.8
+
+    def select(
+        self, ladder, video, throughput_kbps, buffer_s, current,
+        playback_started=True,
+    ):
+        rungs = _sorted_ladder(ladder)
+        budget = self.safety * throughput_kbps
+        choice = rungs[0]
+        for level in rungs:
+            if video.bitrate_kbps(level) <= budget:
+                choice = level
+        return choice
+
+
+@dataclass
+class BufferAbr:
+    """BBA-style linear mapping from buffer occupancy to the ladder.
+
+    Below ``reservoir_s`` the lowest rung is used; above ``cushion_s``
+    the highest; in between the rung index scales linearly.
+    """
+
+    reservoir_s: float = 5.0
+    cushion_s: float = 25.0
+
+    def select(
+        self, ladder, video, throughput_kbps, buffer_s, current,
+        playback_started=True,
+    ):
+        rungs = _sorted_ladder(ladder)
+        if buffer_s <= self.reservoir_s:
+            return rungs[0]
+        if buffer_s >= self.cushion_s:
+            return rungs[-1]
+        frac = (buffer_s - self.reservoir_s) / (self.cushion_s - self.reservoir_s)
+        idx = int(frac * (len(rungs) - 1))
+        return rungs[idx]
+
+
+@dataclass
+class HybridAbr:
+    """Throughput-driven selection tempered by buffer state.
+
+    * Throughput picks the candidate rung (with a safety margin).
+    * A low buffer (< ``panic_s``) forces the lowest rung.
+    * Upswitches are only allowed when the buffer is comfortable
+      (> ``upswitch_min_buffer_s``) and happen one rung at a time —
+      which is what produces the gradual ladder walks seen in real
+      players (and in the paper's Figure 3).
+    * Downswitches are suppressed while the buffer is healthy
+      (> ``downswitch_max_buffer_s``): a full buffer absorbs transient
+      throughput dips, and reacting to the slow-start-skewed sample of
+      the first chunk after an OFF period would make every paced
+      session oscillate.
+    """
+
+    safety: float = 0.8
+    panic_s: float = 2.5
+    upswitch_min_buffer_s: float = 10.0
+    downswitch_max_buffer_s: float = 15.0
+
+    def select(
+        self, ladder, video, throughput_kbps, buffer_s, current,
+        playback_started=True,
+    ):
+        rungs = _sorted_ladder(ladder)
+        budget = self.safety * throughput_kbps
+        candidate = rungs[0]
+        for level in rungs:
+            if video.bitrate_kbps(level) <= budget:
+                candidate = level
+        if current is None:
+            return candidate
+        cur_idx = next(
+            (i for i, level in enumerate(rungs) if level.itag == current.itag), 0
+        )
+        cand_idx = next(
+            (i for i, level in enumerate(rungs) if level.itag == candidate.itag), 0
+        )
+        # Panic when the buffer is about to run dry AND the measured
+        # throughput cannot sustain the current rung: drop straight to
+        # the sustainable rung (skipping the one-rung-at-a-time rule).
+        # A low buffer alone is normal right after playback start.
+        if (
+            playback_started
+            and buffer_s < self.panic_s
+            and cand_idx < cur_idx
+        ):
+            return rungs[cand_idx]
+        if cand_idx > cur_idx:
+            if buffer_s < self.upswitch_min_buffer_s:
+                return rungs[cur_idx]
+            return rungs[cur_idx + 1]            # one rung up at a time
+        if cand_idx < cur_idx:
+            if buffer_s > self.downswitch_max_buffer_s:
+                return rungs[cur_idx]            # buffer absorbs the dip
+            return rungs[cand_idx]               # downswitch immediately
+        return rungs[cur_idx]

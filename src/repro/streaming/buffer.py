@@ -1,0 +1,130 @@
+"""Playout buffer model shared by both player simulations.
+
+Tracks buffered media seconds against wall-clock playback, recording
+startup delay and every stall (start + duration) — the ground truth the
+paper extracts from YouTube's playback reports.
+
+The buffer is advanced in two kinds of steps:
+
+* :meth:`add_media` — a chunk finished downloading at some wall time.
+* :meth:`advance_to` — wall clock moves forward; if the player is in
+  the playing state the buffer drains in real time, stalling when it
+  empties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["StallEvent", "PlayoutBuffer"]
+
+
+@dataclass(frozen=True)
+class StallEvent:
+    """One rebuffering event: playback paused at ``start_s`` for ``duration_s``."""
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("stall duration must be >= 0")
+
+
+class PlayoutBuffer:
+    """Media buffer with startup threshold and rebuffer threshold.
+
+    Parameters
+    ----------
+    startup_threshold_s:
+        Media seconds required before initial playback starts.
+    rebuffer_threshold_s:
+        Media seconds required to resume after a stall (players resume
+        with a small cushion rather than the full startup fill).
+    """
+
+    def __init__(
+        self,
+        startup_threshold_s: float = 4.0,
+        rebuffer_threshold_s: float = 2.0,
+    ) -> None:
+        if startup_threshold_s <= 0 or rebuffer_threshold_s <= 0:
+            raise ValueError("thresholds must be positive")
+        self.startup_threshold_s = startup_threshold_s
+        self.rebuffer_threshold_s = rebuffer_threshold_s
+
+        self.level_s: float = 0.0          # buffered media seconds
+        self.played_s: float = 0.0         # media seconds consumed
+        self.playback_started: bool = False
+        self.startup_delay_s: Optional[float] = None
+        self.stalls: List[StallEvent] = []
+
+        self._clock_s: float = 0.0
+        self._stalled_since: Optional[float] = None
+
+    @property
+    def clock_s(self) -> float:
+        """Current wall-clock position of the buffer model."""
+        return self._clock_s
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled_since is not None
+
+    @property
+    def stalled_since(self) -> Optional[float]:
+        """Wall time the current stall began, or None when not stalled."""
+        return self._stalled_since
+
+    def total_stall_s(self) -> float:
+        return sum(stall.duration_s for stall in self.stalls)
+
+    def advance_to(self, wall_s: float) -> None:
+        """Move wall clock forward, draining the buffer while playing."""
+        if wall_s < self._clock_s - 1e-9:
+            raise ValueError("clock cannot move backwards")
+        dt = max(0.0, wall_s - self._clock_s)
+        if self.playback_started and not self.stalled and dt > 0:
+            # Small epsilon so a buffer draining *exactly* to zero (the
+            # normal end of a session) is not recorded as a stall.
+            if self.level_s >= dt - 1e-6:
+                self.level_s = max(0.0, self.level_s - dt)
+                self.played_s += dt
+            else:
+                # Buffer runs dry partway through the step: play what is
+                # buffered, then stall for the remainder.
+                played = self.level_s
+                self.played_s += played
+                self.level_s = 0.0
+                self._stalled_since = self._clock_s + played
+        self._clock_s = wall_s
+
+    def add_media(self, wall_s: float, media_s: float) -> None:
+        """A chunk with ``media_s`` seconds of content arrived at ``wall_s``."""
+        if media_s < 0:
+            raise ValueError("media seconds must be >= 0")
+        self.advance_to(wall_s)
+        self.level_s += media_s
+
+        if not self.playback_started:
+            if self.level_s >= self.startup_threshold_s:
+                self.playback_started = True
+                self.startup_delay_s = wall_s
+        elif self.stalled and self.level_s >= self.rebuffer_threshold_s:
+            self._close_stall(wall_s)
+
+    def _close_stall(self, wall_s: float) -> None:
+        start = self._stalled_since
+        duration = wall_s - start
+        # Sub-perceptual pauses (scheduler/rounding artifacts) are not
+        # stalls: real players absorb them without a visible rebuffer.
+        if duration > 0.01:
+            self.stalls.append(StallEvent(start_s=start, duration_s=duration))
+        self._stalled_since = None
+
+    def finish(self, wall_s: float) -> None:
+        """Close the session at ``wall_s``, flushing an open stall."""
+        self.advance_to(wall_s)
+        if self.stalled:
+            self._close_stall(wall_s)

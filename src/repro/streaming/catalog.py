@@ -1,0 +1,147 @@
+"""Video catalog: quality ladder, itags, bitrates and content sampling.
+
+The ground truth in the paper's weblogs is carried by YouTube URI
+parameters — most importantly the ``itag``, "used to specify the
+bit-rate, frame-rate and resolution of the segment".  This module
+defines a 2016-era YouTube-like ladder (144p-1080p DASH itags plus the
+legacy progressive ones) and a catalog that samples videos with
+realistic duration and content-complexity distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = [
+    "QualityLevel",
+    "DASH_LADDER",
+    "PROGRESSIVE_LADDER",
+    "AUDIO_LEVEL",
+    "quality_for_itag",
+    "Video",
+    "VideoCatalog",
+]
+
+
+@dataclass(frozen=True)
+class QualityLevel:
+    """One rung of the encoding ladder."""
+
+    resolution_p: int
+    itag: int
+    bitrate_kbps: float
+    adaptive: bool
+
+    def __post_init__(self) -> None:
+        # resolution 0 marks audio-only levels
+        if self.resolution_p < 0 or self.bitrate_kbps <= 0:
+            raise ValueError("resolution must be >= 0 and bitrate positive")
+
+
+#: DASH (adaptive) video itags with 2016-era nominal bitrates.
+DASH_LADDER: List[QualityLevel] = [
+    QualityLevel(144, 160, 110.0, adaptive=True),
+    QualityLevel(240, 133, 250.0, adaptive=True),
+    QualityLevel(360, 134, 500.0, adaptive=True),
+    QualityLevel(480, 135, 1000.0, adaptive=True),
+    QualityLevel(720, 136, 2300.0, adaptive=True),
+    QualityLevel(1080, 137, 4300.0, adaptive=True),
+]
+
+#: Legacy progressive (muxed) itags served to old devices/players.
+PROGRESSIVE_LADDER: List[QualityLevel] = [
+    QualityLevel(144, 17, 120.0, adaptive=False),
+    QualityLevel(240, 36, 280.0, adaptive=False),
+    QualityLevel(360, 18, 620.0, adaptive=False),
+    QualityLevel(720, 22, 2700.0, adaptive=False),
+]
+
+#: DASH audio (m4a 128k); audio segments appear in the weblogs too.
+AUDIO_LEVEL = QualityLevel(0, 140, 128.0, adaptive=True)
+
+_ITAG_INDEX: Dict[int, QualityLevel] = {
+    level.itag: level
+    for level in [*DASH_LADDER, *PROGRESSIVE_LADDER, AUDIO_LEVEL]
+}
+
+
+def quality_for_itag(itag: int) -> QualityLevel:
+    """Resolve an itag to its :class:`QualityLevel` (KeyError if unknown)."""
+    return _ITAG_INDEX[itag]
+
+
+@dataclass(frozen=True)
+class Video:
+    """A catalog entry.
+
+    ``complexity`` is a per-title multiplicative factor on the nominal
+    ladder bitrates (fast-motion sports encode heavier than talking
+    heads at the same resolution); it is what makes chunk sizes vary
+    between titles at equal quality.
+    """
+
+    video_id: str
+    duration_s: float
+    complexity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration must be positive")
+        if self.complexity <= 0:
+            raise ValueError("complexity must be positive")
+
+    def bitrate_kbps(self, level: QualityLevel) -> float:
+        """Effective bitrate of this title at a ladder rung."""
+        if level.resolution_p == 0:    # audio does not scale with content
+            return level.bitrate_kbps
+        return level.bitrate_kbps * self.complexity
+
+
+class VideoCatalog:
+    """Sampler of videos with realistic duration/complexity spread.
+
+    The paper reports an average session duration of ~180 s; durations
+    here are log-normal with that mean and a heavy-ish tail, truncated
+    to [30 s, 1 hour].
+    """
+
+    _ID_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_"
+
+    def __init__(
+        self,
+        mean_duration_s: float = 180.0,
+        duration_sigma: float = 0.6,
+        complexity_sigma: float = 0.25,
+    ) -> None:
+        if mean_duration_s <= 0:
+            raise ValueError("mean duration must be positive")
+        self.mean_duration_s = mean_duration_s
+        self.duration_sigma = duration_sigma
+        self.complexity_sigma = complexity_sigma
+
+    def random_video_id(self, rng: np.random.Generator, length: int = 11) -> str:
+        """YouTube-style 11-character base64ish video id."""
+        chars = rng.choice(list(self._ID_ALPHABET), size=length)
+        return "".join(chars)
+
+    def sample(self, rng: np.random.Generator) -> Video:
+        """Draw one video."""
+        mu = np.log(self.mean_duration_s) - self.duration_sigma**2 / 2.0
+        duration = float(np.exp(rng.normal(mu, self.duration_sigma)))
+        duration = float(np.clip(duration, 30.0, 3600.0))
+        complexity = float(np.exp(rng.normal(0.0, self.complexity_sigma)))
+        complexity = float(np.clip(complexity, 0.4, 2.5))
+        return Video(
+            video_id=self.random_video_id(rng),
+            duration_s=duration,
+            complexity=complexity,
+        )
+
+    def sample_many(self, n: int, rng: np.random.Generator) -> List[Video]:
+        """Draw ``n`` videos."""
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        return [self.sample(rng) for _ in range(n)]

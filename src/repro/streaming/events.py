@@ -1,0 +1,82 @@
+"""Playback event timeline of a session.
+
+§3.2: the player's statistical reports carry "different flags ... to
+specify if the video has successfully loaded, if the playback has
+started, paused or stopped and if there was a stall and how long it
+lasted".  This module derives that client-side event log from a
+simulated :class:`~repro.streaming.session.VideoSession` — the same
+view the instrumented device of §5.1 reads from the Android log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["PlaybackEvent", "build_event_log"]
+
+#: Event kinds, in the vocabulary of the player's own reports.
+EVENT_KINDS = (
+    "loaded",        # first media request issued
+    "play",          # playback started
+    "stall_start",
+    "stall_end",
+    "switch",        # representation change (detail: "144p->480p")
+    "ended",         # played to the end
+    "abandoned",     # user gave up
+)
+
+
+@dataclass(frozen=True)
+class PlaybackEvent:
+    """One timestamped playback-state transition."""
+
+    kind: str
+    time_s: float
+    detail: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind: {self.kind!r}")
+
+
+def build_event_log(session) -> List[PlaybackEvent]:
+    """Full, time-ordered playback event log of a session."""
+    events: List[PlaybackEvent] = []
+
+    video_chunks = session.video_chunks
+    if video_chunks:
+        events.append(
+            PlaybackEvent(kind="loaded", time_s=video_chunks[0].request_s)
+        )
+
+    if session.startup_delay_s is not None:
+        events.append(PlaybackEvent(kind="play", time_s=session.startup_delay_s))
+
+    for stall in session.stalls:
+        events.append(PlaybackEvent(kind="stall_start", time_s=stall.start_s))
+        events.append(
+            PlaybackEvent(
+                kind="stall_end",
+                time_s=stall.start_s + stall.duration_s,
+                detail=f"{stall.duration_s:.2f}s",
+            )
+        )
+
+    previous = None
+    for chunk in video_chunks:
+        if previous is not None and chunk.resolution_p != previous.resolution_p:
+            events.append(
+                PlaybackEvent(
+                    kind="switch",
+                    time_s=chunk.request_s,
+                    detail=f"{previous.resolution_p}p->{chunk.resolution_p}p",
+                )
+            )
+        previous = chunk
+
+    final_kind = "abandoned" if session.abandoned else "ended"
+    events.append(PlaybackEvent(kind=final_kind, time_s=session.total_duration_s))
+
+    events.sort(key=lambda e: e.time_s)
+    return events

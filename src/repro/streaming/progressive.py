@@ -1,0 +1,209 @@
+"""Traditional (progressive) HTTP video streaming simulation.
+
+§2.1: the video is a single continuous file at one quality, downloaded
+through a start-up phase ("download the first part of the video as fast
+as possible") followed by a steady state of ON-OFF pacing cycles.
+
+The legacy YouTube player fetches the file in HTTP range requests, so
+the proxy still sees per-request weblog entries.  The player sizes its
+range requests by the playback time it wants to cover: small requests
+while the buffer is low (start-up and post-stall refills — the Figure 1
+behaviour) and large steady-state blocks once the buffer is healthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.path import NetworkPath
+from repro.network.tcp import TcpConnection
+
+from .buffer import PlayoutBuffer
+from .catalog import PROGRESSIVE_LADDER, QualityLevel, Video
+from .segments import ChunkDownload
+from .session import VideoSession, make_session_id
+
+__all__ = ["ProgressivePlayerConfig", "ProgressivePlayer", "select_static_quality"]
+
+
+@dataclass
+class ProgressivePlayerConfig:
+    """Tunables of the legacy-player simulation."""
+
+    startup_threshold_s: float = 4.0
+    rebuffer_threshold_s: float = 2.0
+    pace_high_s: float = 28.0           # stop downloading above this buffer
+    pace_low_s: float = 18.0            # resume below this buffer
+    min_block_media_s: float = 1.0      # smallest range request (media secs)
+    max_block_media_s: float = 6.0      # steady-state range request
+    initial_block_media_s: float = 3.0  # first range (moov atom + head)
+    size_noise_sigma: float = 0.10
+    request_gap_s: float = 0.05
+    initial_signalling_s: float = 0.5
+    mean_patience_stall_s: float = 30.0
+    ladder: Sequence[QualityLevel] = field(
+        default_factory=lambda: list(PROGRESSIVE_LADDER)
+    )
+
+
+def select_static_quality(
+    ladder: Sequence[QualityLevel],
+    video: Video,
+    bandwidth_hint_kbps: float,
+    rng: np.random.Generator,
+) -> QualityLevel:
+    """Quality the legacy user/player picks for the whole session.
+
+    Mostly the highest rung sustainable at half the (roughly known)
+    access bandwidth, with user noise: sometimes a deliberately lower
+    pick (data plans, small screens — the paper's explanation for the
+    LD-heavy corpus), rarely an over-ambitious higher one.
+    """
+    rungs = sorted(ladder, key=lambda level: level.bitrate_kbps)
+    budget = 0.5 * bandwidth_hint_kbps
+    idx = 0
+    for i, level in enumerate(rungs):
+        if video.bitrate_kbps(level) <= budget:
+            idx = i
+    roll = rng.random()
+    if roll < 0.25 and idx > 0:
+        idx -= 1                       # cautious/data-capped user
+    elif roll > 0.92 and idx < len(rungs) - 1:
+        idx += 1                       # optimistic user; may stall
+    return rungs[idx]
+
+
+class ProgressivePlayer:
+    """Simulates one legacy progressive playback."""
+
+    def __init__(self, config: Optional[ProgressivePlayerConfig] = None) -> None:
+        self.config = config or ProgressivePlayerConfig()
+
+    def play(
+        self,
+        video: Video,
+        path: NetworkPath,
+        rng: np.random.Generator,
+        place: str = "unknown",
+        quality: Optional[QualityLevel] = None,
+    ) -> VideoSession:
+        """Play ``video`` over ``path`` at a fixed quality."""
+        cfg = self.config
+        if quality is None:
+            quality = select_static_quality(
+                cfg.ladder, video, path.base_state.bandwidth_kbps, rng
+            )
+        conn = TcpConnection(path, rng)
+        buffer = PlayoutBuffer(
+            startup_threshold_s=cfg.startup_threshold_s,
+            rebuffer_threshold_s=cfg.rebuffer_threshold_s,
+        )
+        patience_s = float(
+            rng.gamma(shape=4.0, scale=cfg.mean_patience_stall_s / 4.0)
+        )
+        bitrate = video.bitrate_kbps(quality)
+
+        chunks: List[ChunkDownload] = []
+        now = cfg.initial_signalling_s
+        buffer.advance_to(now)
+        media_pos = 0.0
+        abandoned = False
+        index = 0
+        # Refill ramp: after a buffer outage the player switches to small
+        # fast-turnaround range requests that grow back to the steady
+        # block size (the Figure 1 chunk-size signature of a stall).
+        refill_media: float = None
+
+        while media_pos < video.duration_s - 1e-9:
+            # OFF period of the pacing cycle.
+            if (
+                buffer.playback_started
+                and not buffer.stalled
+                and buffer.level_s >= cfg.pace_high_s
+            ):
+                now += buffer.level_s - cfg.pace_low_s
+                buffer.advance_to(now)
+
+            if refill_media is not None:
+                block_media = refill_media
+                refill_media = min(cfg.max_block_media_s, refill_media * 1.6)
+                if refill_media >= cfg.max_block_media_s:
+                    refill_media = None
+            elif index == 0:
+                # The first range is smaller: file header plus the first
+                # seconds of media to get playback going quickly.
+                block_media = cfg.initial_block_media_s
+            else:
+                # Start-up and steady state both use full-size range
+                # requests (the classic player downloads "as fast as
+                # possible" during start-up — big bursts, not trickles).
+                block_media = cfg.max_block_media_s
+            remaining = video.duration_s - media_pos
+            media = min(block_media, remaining)
+            # Merge a sub-block tail into this request: the final range
+            # simply extends to the end of the file.
+            if remaining - media < cfg.min_block_media_s:
+                media = remaining
+            media = max(media, 0.25)
+            noise = float(np.exp(rng.normal(0.0, cfg.size_noise_sigma)))
+            size = max(1, int(bitrate * media * 1000.0 / 8.0 * noise))
+            transfer = conn.download(size, now)
+            chunks.append(
+                ChunkDownload(
+                    index=index,
+                    kind="video",
+                    quality=quality,
+                    media_seconds=media,
+                    size_bytes=size,
+                    transfer=transfer,
+                )
+            )
+            index += 1
+            media_pos += media
+
+            # The response body streams into the player, so media becomes
+            # playable continuously during the transfer, not only at its
+            # end — on a slow link the video plays/stalls *while* a large
+            # range is still downloading.
+            stalls_before = len(buffer.stalls)
+            slices = max(1, int(np.ceil(media)))
+            slice_media = media / slices
+            span = transfer.end_s - transfer.start_s
+            for k in range(1, slices + 1):
+                buffer.add_media(
+                    transfer.start_s + span * k / slices, slice_media
+                )
+            now = transfer.end_s
+
+            # A stall during (or still open after) this transfer switches
+            # the player to small fast-turnaround refill requests.
+            if len(buffer.stalls) > stalls_before or buffer.stalled:
+                refill_media = cfg.min_block_media_s
+            now += cfg.request_gap_s
+
+            ongoing_stall = now - buffer.stalled_since if buffer.stalled else 0.0
+            if buffer.total_stall_s() + ongoing_stall > patience_s:
+                abandoned = True
+                break
+
+        buffer.advance_to(now)
+        if abandoned or not buffer.playback_started:
+            end = now
+        else:
+            end = now + buffer.level_s
+        buffer.finish(end)
+
+        return VideoSession(
+            session_id=make_session_id(rng),
+            video=video,
+            kind="progressive",
+            place=place,
+            chunks=chunks,
+            stalls=buffer.stalls,
+            startup_delay_s=buffer.startup_delay_s,
+            total_duration_s=max(end, 1e-3),
+            abandoned=abandoned,
+        )

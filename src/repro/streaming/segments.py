@@ -1,0 +1,67 @@
+"""Chunk records produced by the player simulations.
+
+A :class:`ChunkDownload` couples the application-level view of a chunk
+(what media it carries) with the transport-level view (the
+:class:`~repro.network.tcp.TransferResult` of its download).  The
+capture layer turns these into weblog entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.tcp import TransferResult
+
+from .catalog import QualityLevel
+
+__all__ = ["ChunkDownload"]
+
+
+@dataclass
+class ChunkDownload:
+    """One media chunk fetched by the player.
+
+    Attributes
+    ----------
+    index:
+        Ordinal position within the session's request sequence.
+    kind:
+        ``"video"`` or ``"audio"``.
+    quality:
+        Ladder rung the chunk was encoded at (audio uses the audio level).
+    media_seconds:
+        Seconds of playback the chunk carries.
+    size_bytes:
+        Chunk payload size.
+    transfer:
+        Transport-layer outcome of the download.
+    """
+
+    index: int
+    kind: str
+    quality: QualityLevel
+    media_seconds: float
+    size_bytes: int
+    transfer: TransferResult
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("video", "audio"):
+            raise ValueError(f"unknown chunk kind: {self.kind!r}")
+        if self.media_seconds < 0:
+            raise ValueError("media seconds must be >= 0")
+        if self.size_bytes <= 0:
+            raise ValueError("size must be positive")
+
+    @property
+    def request_s(self) -> float:
+        """Wall-clock time the chunk was requested (session-relative)."""
+        return self.transfer.start_s
+
+    @property
+    def arrival_s(self) -> float:
+        """Wall-clock time the chunk finished downloading."""
+        return self.transfer.end_s
+
+    @property
+    def resolution_p(self) -> int:
+        return self.quality.resolution_p

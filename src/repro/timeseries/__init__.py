@@ -1,0 +1,33 @@
+"""Time-series substrate: CUSUM change detection, summary statistics,
+ECDFs and the paper's Δsize × Δt switch signal."""
+
+from .cusum import CusumResult, cusum_score, cusum_series, detect_changes
+from .detection import (
+    DEFAULT_STARTUP_SKIP_S,
+    delta_series,
+    product_series,
+    switch_score,
+)
+from .stats import (
+    SUMMARY_STATS_BASIC,
+    SUMMARY_STATS_EXTENDED,
+    Ecdf,
+    ecdf,
+    summary_statistics,
+)
+
+__all__ = [
+    "CusumResult",
+    "cusum_series",
+    "cusum_score",
+    "detect_changes",
+    "delta_series",
+    "product_series",
+    "switch_score",
+    "DEFAULT_STARTUP_SKIP_S",
+    "SUMMARY_STATS_BASIC",
+    "SUMMARY_STATS_EXTENDED",
+    "summary_statistics",
+    "Ecdf",
+    "ecdf",
+]

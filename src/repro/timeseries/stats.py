@@ -1,0 +1,118 @@
+"""Summary statistics and empirical distributions.
+
+The feature-construction steps of §4.1 and §4.2 expand every per-chunk
+metric into a fixed vector of summary statistics; the figures of the
+paper (Figs. 2, 4, 5) are ECDFs.  Both primitives live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SUMMARY_STATS_BASIC",
+    "SUMMARY_STATS_EXTENDED",
+    "summary_statistics",
+    "Ecdf",
+    "ecdf",
+]
+
+#: §4.1 — "max, min, mean, standard deviation, 25th, 50th and 75th
+#: percentiles" (7 statistics; 10 metrics -> 70 features).
+SUMMARY_STATS_BASIC: Tuple[str, ...] = (
+    "min",
+    "max",
+    "mean",
+    "std",
+    "p25",
+    "p50",
+    "p75",
+)
+
+#: §4.2 — "minimum, mean, maximum, std. deviation and 5th, 10th, 15th,
+#: 20th, 25th, 50th, 75th, 80th, 85th, 90th and 95th percentiles"
+#: (15 statistics; 14 metrics -> 210 features).
+SUMMARY_STATS_EXTENDED: Tuple[str, ...] = (
+    "min",
+    "mean",
+    "max",
+    "std",
+    "p5",
+    "p10",
+    "p15",
+    "p20",
+    "p25",
+    "p50",
+    "p75",
+    "p80",
+    "p85",
+    "p90",
+    "p95",
+)
+
+
+def _single_stat(values: np.ndarray, stat: str) -> float:
+    if stat == "min":
+        return float(np.min(values))
+    if stat == "max":
+        return float(np.max(values))
+    if stat == "mean":
+        return float(np.mean(values))
+    if stat == "std":
+        return float(np.std(values))
+    if stat.startswith("p"):
+        return float(np.percentile(values, float(stat[1:])))
+    raise ValueError(f"unknown statistic: {stat!r}")
+
+
+def summary_statistics(
+    values: Sequence[float],
+    stats: Sequence[str] = SUMMARY_STATS_BASIC,
+) -> Dict[str, float]:
+    """Compute the named summary statistics of a value sequence.
+
+    Empty sequences map every statistic to 0.0 (a session with no
+    observations of a metric carries no signal; zeros keep the feature
+    matrix rectangular without NaN handling downstream).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return {stat: 0.0 for stat in stats}
+    return {stat: _single_stat(arr, stat) for stat in stats}
+
+
+@dataclass
+class Ecdf:
+    """Empirical CDF: sorted support points and cumulative probabilities."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __call__(self, value: float) -> float:
+        """P(X <= value) under the empirical distribution."""
+        if self.x.size == 0:
+            return 0.0
+        return float(np.searchsorted(self.x, value, side="right") / self.x.size)
+
+    def quantile(self, q: float) -> float:
+        """Smallest support point with cumulative probability >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.x.size == 0:
+            raise ValueError("empty ECDF has no quantiles")
+        idx = int(np.ceil(q * self.x.size)) - 1
+        return float(self.x[max(0, idx)])
+
+
+def ecdf(values: Sequence[float]) -> Ecdf:
+    """Build the empirical CDF of ``values`` (NaNs dropped)."""
+    arr = np.asarray(list(values), dtype=float)
+    arr = arr[np.isfinite(arr)]
+    x = np.sort(arr)
+    n = x.size
+    y = np.arange(1, n + 1, dtype=float) / n if n else np.empty(0)
+    return Ecdf(x=x, y=y)

@@ -1,0 +1,97 @@
+"""Tests for the §3.1 anonymisation step."""
+
+import numpy as np
+import pytest
+
+from repro.capture.anonymize import KEPT_URI_PARAMS, Anonymizer
+from repro.capture.proxy import WebProxy
+from repro.capture.uri import ParsedSegment, parse_uri
+from repro.datasets.preparation import group_cleartext_sessions
+
+
+@pytest.fixture()
+def entries(one_adaptive_session):
+    proxy = WebProxy(np.random.default_rng(0))
+    return proxy.observe(one_adaptive_session, "subscriber-12345")
+
+
+class TestAnonymizer:
+    def test_subscriber_ids_pseudonymised(self, entries):
+        anonymized = Anonymizer().anonymize(entries)
+        ids = {e.subscriber_id for e in anonymized}
+        assert ids != {"subscriber-12345"}
+        assert all(i.startswith("anon-") for i in ids)
+
+    def test_pseudonyms_stable_within_run(self, entries):
+        anonymizer = Anonymizer()
+        a = anonymizer.anonymize(entries)
+        b = anonymizer.anonymize(entries)
+        assert {e.subscriber_id for e in a} == {e.subscriber_id for e in b}
+
+    def test_pseudonyms_unlinkable_across_runs(self, entries):
+        a = Anonymizer().anonymize(entries)
+        b = Anonymizer().anonymize(entries)
+        assert {e.subscriber_id for e in a} != {e.subscriber_id for e in b}
+
+    def test_keyed_pseudonyms_reproducible_with_key(self):
+        key = b"secret-key"
+        assert (
+            Anonymizer(key).pseudonym("x") == Anonymizer(key).pseudonym("x")
+        )
+
+    def test_session_id_survives(self, entries, one_adaptive_session):
+        """§3.1: 'The only identifier which is preserved is the unique
+        16-character video session ID.'"""
+        anonymized = Anonymizer().anonymize(entries)
+        segments = [
+            parse_uri(e.uri)
+            for e in anonymized
+            if e.uri and "/videoplayback" in e.uri
+        ]
+        assert segments
+        assert {s.session_id for s in segments} == {
+            one_adaptive_session.session_id
+        }
+
+    def test_ground_truth_still_extractable(self, entries):
+        """Grouping + labelling must work identically on anonymised logs."""
+        original = group_cleartext_sessions(entries)
+        anonymized = group_cleartext_sessions(Anonymizer().anonymize(entries))
+        assert len(original) == len(anonymized) == 1
+        assert original[0].stall_count == anonymized[0].stall_count
+        assert np.array_equal(
+            original[0].resolutions, anonymized[0].resolutions
+        )
+
+    def test_foreign_params_stripped(self):
+        anonymizer = Anonymizer()
+        from repro.capture.weblog import WeblogEntry
+
+        entry = WeblogEntry(
+            subscriber_id="s",
+            timestamp_s=0.0,
+            server_name="m.youtube.com",
+            server_ip="1.2.3.4",
+            server_port=80,
+            object_bytes=10,
+            transaction_s=0.1,
+            rtt_min_ms=1, rtt_avg_ms=2, rtt_max_ms=3,
+            bdp_bytes=0, bif_avg_bytes=0, bif_max_bytes=0,
+            loss_pct=0, retx_pct=0,
+            uri="https://m.youtube.com/watch?v=abc&user_agent=secret&locale=ca",
+        )
+        scrubbed = anonymizer.anonymize_entry(entry)
+        assert "user_agent" not in scrubbed.uri
+        assert "locale" not in scrubbed.uri
+        assert "v=abc" in scrubbed.uri
+
+    def test_kept_params_cover_ground_truth_channel(self):
+        for param in ("itag", "cpn", "rebuf_count", "rebuf_dur", "dur"):
+            assert param in KEPT_URI_PARAMS
+
+    def test_transport_stats_untouched(self, entries):
+        anonymized = Anonymizer().anonymize(entries)
+        for original, scrubbed in zip(entries, anonymized):
+            assert scrubbed.object_bytes == original.object_bytes
+            assert scrubbed.rtt_avg_ms == original.rtt_avg_ms
+            assert scrubbed.timestamp_s == original.timestamp_s

@@ -1,0 +1,54 @@
+"""Unit tests for the instrumented-device ground-truth collector."""
+
+import pytest
+
+from repro.capture.device import DeviceLogger
+
+
+class TestSegmentRecords:
+    def test_one_record_per_chunk(self, one_adaptive_session):
+        records = DeviceLogger().segment_records(one_adaptive_session)
+        assert len(records) == len(one_adaptive_session.chunks)
+
+    def test_records_carry_session_id(self, one_adaptive_session):
+        records = DeviceLogger().segment_records(one_adaptive_session)
+        assert {r.session_id for r in records} == {
+            one_adaptive_session.session_id
+        }
+
+    def test_kinds_match_chunks(self, one_adaptive_session):
+        records = DeviceLogger().segment_records(one_adaptive_session)
+        for record, chunk in zip(records, one_adaptive_session.chunks):
+            assert record.kind == chunk.kind
+            assert record.resolution_p == chunk.resolution_p
+            assert record.itag == chunk.quality.itag
+
+    def test_epoch_offset(self, one_adaptive_session):
+        records = DeviceLogger().segment_records(
+            one_adaptive_session, start_epoch_s=5000.0
+        )
+        assert min(r.timestamp_s for r in records) >= 5000.0
+
+    def test_stall_totals_attached(self, one_progressive_session):
+        records = DeviceLogger().segment_records(one_progressive_session)
+        for record in records:
+            assert record.session_stall_count == one_progressive_session.stall_count
+
+
+class TestPlaybackSummary:
+    def test_summary_fields(self, one_adaptive_session):
+        summary = DeviceLogger().playback_summary(one_adaptive_session)
+        assert summary.session_id == one_adaptive_session.session_id
+        assert summary.video_id == one_adaptive_session.video.video_id
+        assert summary.stall_count == one_adaptive_session.stall_count
+        assert summary.stall_duration_s == pytest.approx(
+            one_adaptive_session.stall_duration_s
+        )
+        assert summary.total_duration_s == one_adaptive_session.total_duration_s
+        assert summary.chunk_count == len(one_adaptive_session.chunks)
+
+    def test_started_flag(self, one_adaptive_session):
+        summary = DeviceLogger().playback_summary(one_adaptive_session)
+        assert summary.started == (
+            one_adaptive_session.startup_delay_s is not None
+        )

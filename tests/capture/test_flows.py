@@ -1,0 +1,110 @@
+"""Tests for the packet-level (proxy-less) capture path."""
+
+import numpy as np
+import pytest
+
+from repro.capture.flows import (
+    FlowReassembler,
+    FlowSynthesizer,
+    Packet,
+    record_from_packets,
+)
+
+
+@pytest.fixture()
+def packets(one_adaptive_session):
+    return FlowSynthesizer(np.random.default_rng(0)).synthesize(
+        one_adaptive_session
+    )
+
+
+class TestPacket:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Packet(timestamp_s=0.0, size_bytes=0, downstream=True)
+
+
+class TestFlowSynthesizer:
+    def test_packets_time_ordered(self, packets):
+        times = [p.timestamp_s for p in packets]
+        assert times == sorted(times)
+
+    def test_byte_conservation(self, packets, one_adaptive_session):
+        downstream = sum(p.size_bytes for p in packets if p.downstream)
+        expected = sum(c.size_bytes for c in one_adaptive_session.chunks)
+        assert downstream == expected
+
+    def test_one_request_per_chunk(self, packets, one_adaptive_session):
+        requests = sum(1 for p in packets if not p.downstream)
+        assert requests == len(one_adaptive_session.chunks)
+
+    def test_packets_within_transfer_windows(self, packets, one_adaptive_session):
+        last_end = max(c.arrival_s for c in one_adaptive_session.chunks)
+        assert max(p.timestamp_s for p in packets) <= last_end + 1e-6
+
+
+class TestFlowReassembler:
+    def test_roundtrip_chunk_count(self, packets, one_adaptive_session):
+        transactions = FlowReassembler().reassemble(packets)
+        assert len(transactions) == len(one_adaptive_session.chunks)
+
+    def test_roundtrip_chunk_sizes(self, packets, one_adaptive_session):
+        transactions = FlowReassembler().reassemble(packets)
+        recovered = sorted(t.bytes for t in transactions)
+        expected = sorted(c.size_bytes for c in one_adaptive_session.chunks)
+        assert recovered == expected
+
+    def test_rtt_estimate_close_to_true_rtt(self, packets, one_adaptive_session):
+        transactions = FlowReassembler().reassemble(packets)
+        estimates = np.array([t.rtt_estimate_ms for t in transactions])
+        true_rtts = np.array(
+            [c.transfer.rtt_avg_ms for c in one_adaptive_session.chunks]
+        )
+        # the first-byte gap is capped at half the duration, so compare
+        # medians loosely
+        assert np.median(estimates) <= np.median(true_rtts) * 2.0
+        assert np.median(estimates) > 0
+
+    def test_empty_stream(self):
+        assert FlowReassembler().reassemble([]) == []
+
+    def test_mid_capture_start_without_request(self):
+        stream = [
+            Packet(timestamp_s=1.0, size_bytes=1400, downstream=True),
+            Packet(timestamp_s=1.1, size_bytes=1400, downstream=True),
+        ]
+        transactions = FlowReassembler().reassemble(stream)
+        assert len(transactions) == 1
+        assert transactions[0].bytes == 2800
+
+
+class TestRecordFromPackets:
+    def test_record_built(self, packets, one_adaptive_session):
+        record = record_from_packets(packets)
+        assert record.encrypted
+        assert record.n_chunks >= len(one_adaptive_session.video_chunks) * 0.5
+        # tap cannot see TCP internals
+        assert np.all(record.loss_pct == 0)
+        assert np.all(record.bdp == 0)
+
+    def test_small_transactions_filtered(self, packets):
+        record = record_from_packets(packets, min_transaction_bytes=2000)
+        assert record.sizes.min() >= 2000
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            record_from_packets(
+                [Packet(timestamp_s=0.0, size_bytes=100, downstream=False)]
+            )
+
+    def test_detector_runs_on_flow_level_record(
+        self, packets, stall_records
+    ):
+        from repro.core.stall import StallDetector
+
+        detector = StallDetector(n_estimators=8, random_state=0).fit(
+            stall_records
+        )
+        record = record_from_packets(packets)
+        prediction = detector.predict([record])
+        assert prediction[0] in ("no stalls", "mild stalls", "severe stalls")

@@ -1,0 +1,89 @@
+"""Unit tests for URI synthesis and parsing (the ground-truth channel)."""
+
+import numpy as np
+import pytest
+
+from repro.capture.uri import (
+    ParsedSegment,
+    ParsedStatsReport,
+    parse_uri,
+    pick_video_host,
+    segment_uri,
+    stats_report_uri,
+    thumbnail_uri,
+    watch_page_uri,
+)
+from repro.network.tcp import TransferResult
+from repro.streaming.catalog import DASH_LADDER
+from repro.streaming.segments import ChunkDownload
+
+
+def _chunk(resolution=480, kind="video", size=250_000, media=5.0):
+    quality = next(q for q in DASH_LADDER if q.resolution_p == resolution)
+    transfer = TransferResult(
+        bytes=size, start_s=0.0, duration_s=1.0,
+        rtt_min_ms=40, rtt_avg_ms=50, rtt_max_ms=60,
+        loss_pct=0, retx_pct=0, bif_avg_bytes=1, bif_max_bytes=1, bdp_bytes=1,
+    )
+    return ChunkDownload(
+        index=0, kind=kind, quality=quality,
+        media_seconds=media, size_bytes=size, transfer=transfer,
+    )
+
+
+class TestSegmentUri:
+    def test_roundtrip(self):
+        chunk = _chunk()
+        uri = segment_uri("r1---sn-x.googlevideo.com", "videoid0123", "S" * 16, chunk)
+        parsed = parse_uri(uri)
+        assert isinstance(parsed, ParsedSegment)
+        assert parsed.video_id == "videoid0123"
+        assert parsed.session_id == "S" * 16
+        assert parsed.resolution_p == 480
+        assert parsed.size_bytes == 250_000
+        assert parsed.media_seconds == pytest.approx(5.0, abs=0.001)
+        assert parsed.kind == "video"
+
+    def test_itag_carries_quality(self):
+        for level in DASH_LADDER:
+            chunk = _chunk(resolution=level.resolution_p)
+            uri = segment_uri("h.googlevideo.com", "v", "c" * 16, chunk)
+            assert parse_uri(uri).itag == level.itag
+
+    def test_range_param_present(self):
+        uri = segment_uri("h.googlevideo.com", "v", "c" * 16, _chunk(), range_start=100)
+        assert "range=100-" in uri
+
+
+class TestStatsReportUri:
+    def test_roundtrip(self):
+        uri = stats_report_uri(
+            "c" * 16, "vid", playback_position_s=62.5,
+            stall_count=2, stall_duration_s=7.25, state="playing",
+        )
+        parsed = parse_uri(uri)
+        assert isinstance(parsed, ParsedStatsReport)
+        assert parsed.session_id == "c" * 16
+        assert parsed.stall_count == 2
+        assert parsed.stall_duration_s == pytest.approx(7.25)
+        assert parsed.playback_position_s == pytest.approx(62.5)
+        assert parsed.state == "playing"
+
+
+class TestSignallingUris:
+    def test_watch_page_host(self):
+        assert watch_page_uri("abc").startswith("https://m.youtube.com/watch")
+
+    def test_thumbnail_host(self):
+        assert "i.ytimg.com" in thumbnail_uri("abc")
+
+    def test_signalling_parses_to_none(self):
+        assert parse_uri(watch_page_uri("abc")) is None
+        assert parse_uri(thumbnail_uri("abc")) is None
+
+    def test_foreign_uri_parses_to_none(self):
+        assert parse_uri("https://example.com/index.html") is None
+
+    def test_pick_video_host_is_googlevideo(self):
+        host = pick_video_host(np.random.default_rng(0))
+        assert host.endswith(".googlevideo.com")

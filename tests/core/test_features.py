@@ -1,0 +1,103 @@
+"""Unit tests for feature construction (§4.1 / §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    REPRESENTATION_METRICS,
+    STALL_METRICS,
+    build_representation_matrix,
+    build_stall_matrix,
+    representation_feature_names,
+    representation_features,
+    stall_feature_names,
+    stall_features,
+)
+from repro.datasets.preparation import record_from_video_session
+
+
+class TestFeatureCounts:
+    def test_stall_features_are_70(self):
+        """10 metrics x 7 statistics (§4.1)."""
+        assert len(STALL_METRICS) == 10
+        assert len(stall_feature_names()) == 70
+
+    def test_representation_features_are_210(self):
+        """14 metrics x 15 statistics (§4.2)."""
+        assert len(REPRESENTATION_METRICS) == 14
+        assert len(representation_feature_names()) == 210
+
+    def test_paper_table2_features_present(self):
+        names = stall_feature_names()
+        for feature in (
+            "chunk size min",
+            "chunk size std",
+            "BDP mean",
+            "packet retransmissions max",
+        ):
+            assert feature in names
+
+    def test_paper_table5_features_present(self):
+        names = representation_feature_names()
+        for feature in (
+            "chunk size p75",
+            "chunk avg size mean",
+            "cumsum throughput min",
+            "chunk Δsize max",
+            "chunk Δt p25",
+            "BDP p90",
+            "BIF maximum min",
+            "RTT minimum min",
+        ):
+            assert feature in names
+
+
+class TestFeatureValues:
+    def test_vector_complete_and_finite(self, one_record):
+        features = stall_features(one_record)
+        assert set(features) == set(stall_feature_names())
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_representation_vector_complete(self, one_record):
+        features = representation_features(one_record)
+        assert set(features) == set(representation_feature_names())
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_chunk_size_stats_correct(self, one_record):
+        features = stall_features(one_record)
+        assert features["chunk size min"] == one_record.sizes.min()
+        assert features["chunk size max"] == one_record.sizes.max()
+        assert features["chunk size mean"] == pytest.approx(
+            one_record.sizes.mean()
+        )
+
+    def test_chunk_time_is_relative(self, one_record):
+        features = stall_features(one_record)
+        assert features["chunk time min"] == 0.0
+
+    def test_delta_features_from_diffs(self, one_record):
+        features = representation_features(one_record)
+        expected = np.abs(np.diff(one_record.sizes)).max()
+        assert features["chunk Δsize max"] == pytest.approx(expected)
+
+    def test_throughput_from_transactions(self, one_record):
+        features = representation_features(one_record)
+        tput = one_record.sizes * 8 / 1000 / np.maximum(one_record.transactions, 1e-3)
+        assert features["throughput mean"] == pytest.approx(tput.mean())
+
+
+class TestMatrices:
+    def test_stall_matrix_shape(self, stall_records):
+        X, names = build_stall_matrix(stall_records[:10])
+        assert X.shape == (10, 70)
+        assert names == stall_feature_names()
+
+    def test_representation_matrix_shape(self, adaptive_records):
+        X, names = build_representation_matrix(adaptive_records[:10])
+        assert X.shape == (10, 210)
+        assert names == representation_feature_names()
+
+    def test_matrix_rows_match_single_extraction(self, stall_records):
+        X, names = build_stall_matrix(stall_records[:3])
+        single = stall_features(stall_records[0])
+        np.testing.assert_allclose(X[0], [single[n] for n in names])

@@ -1,0 +1,128 @@
+"""Unit tests for the MOS estimation extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.framework import SessionDiagnosis
+from repro.core.mos import (
+    BASE_QUALITY_MOS,
+    MosBreakdown,
+    mos_from_diagnosis,
+    mos_from_ground_truth,
+)
+from repro.datasets.schema import SessionRecord
+
+
+def _record(resolutions, stall_s=0.0, duration=100.0):
+    resolutions = np.asarray(resolutions)
+    n = resolutions.size
+    return SessionRecord(
+        session_id="x",
+        encrypted=False,
+        timestamps=np.arange(n, dtype=float),
+        sizes=np.full(n, 1000.0),
+        transactions=np.full(n, 0.5),
+        rtt_min=np.zeros(n),
+        rtt_avg=np.zeros(n),
+        rtt_max=np.zeros(n),
+        bdp=np.zeros(n),
+        bif_avg=np.zeros(n),
+        bif_max=np.zeros(n),
+        loss_pct=np.zeros(n),
+        retx_pct=np.zeros(n),
+        resolutions=resolutions,
+        stall_duration_s=stall_s,
+        stall_count=1 if stall_s else 0,
+        total_duration_s=duration,
+    )
+
+
+def _diagnosis(stall="no stalls", rep="SD", switches=False):
+    return SessionDiagnosis(
+        session_id="x",
+        stall_class=stall,
+        representation_class=rep,
+        has_quality_switches=switches,
+    )
+
+
+class TestGroundTruthMos:
+    def test_perfect_hd_session_scores_high(self):
+        breakdown = mos_from_ground_truth(_record([1080, 1080, 1080]))
+        assert breakdown.mos > 4.0
+        assert breakdown.stall_penalty == 0.0
+        assert breakdown.switch_penalty == 0.0
+
+    def test_mos_monotone_in_resolution(self):
+        scores = [
+            mos_from_ground_truth(_record([r, r])).mos
+            for r in (144, 240, 360, 480, 720, 1080)
+        ]
+        assert scores == sorted(scores)
+
+    def test_stalling_reduces_mos(self):
+        clean = mos_from_ground_truth(_record([480, 480])).mos
+        stalled = mos_from_ground_truth(_record([480, 480], stall_s=10.0)).mos
+        assert stalled < clean
+
+    def test_severe_stalling_costs_over_a_point(self):
+        clean = mos_from_ground_truth(_record([480, 480])).mos
+        severe = mos_from_ground_truth(_record([480, 480], stall_s=10.0)).mos
+        assert clean - severe >= 1.0
+
+    def test_mos_monotone_in_stalling(self):
+        scores = [
+            mos_from_ground_truth(_record([480, 480], stall_s=s)).mos
+            for s in (0.0, 2.0, 5.0, 10.0, 30.0)
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_switching_reduces_mos(self):
+        steady = mos_from_ground_truth(_record([480, 480, 480, 480])).mos
+        switching = mos_from_ground_truth(_record([480, 144, 480, 144])).mos
+        assert switching < steady
+
+    def test_mos_bounded(self):
+        worst = mos_from_ground_truth(
+            _record([144, 1080] * 20, stall_s=90.0)
+        )
+        assert 1.0 <= worst.mos <= 5.0
+
+    def test_anchor_points_respected(self):
+        for resolution, expected in BASE_QUALITY_MOS:
+            breakdown = mos_from_ground_truth(_record([resolution] * 2))
+            assert breakdown.base_quality == pytest.approx(expected)
+
+
+class TestDiagnosisMos:
+    def test_class_ordering(self):
+        ld = mos_from_diagnosis(_diagnosis(rep="LD")).mos
+        sd = mos_from_diagnosis(_diagnosis(rep="SD")).mos
+        hd = mos_from_diagnosis(_diagnosis(rep="HD")).mos
+        assert ld < sd < hd
+
+    def test_stall_class_ordering(self):
+        scores = [
+            mos_from_diagnosis(_diagnosis(stall=s)).mos
+            for s in ("no stalls", "mild stalls", "severe stalls")
+        ]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_switches_penalised(self):
+        without = mos_from_diagnosis(_diagnosis(switches=False)).mos
+        with_sw = mos_from_diagnosis(_diagnosis(switches=True)).mos
+        assert with_sw < without
+
+    def test_diagnosis_and_truth_agree_on_ordering(self):
+        """Predicted-class MOS preserves the ranking of exact MOS."""
+        good_truth = mos_from_ground_truth(_record([720, 720])).mos
+        bad_truth = mos_from_ground_truth(
+            _record([240, 240], stall_s=20.0)
+        ).mos
+        good_pred = mos_from_diagnosis(
+            _diagnosis(stall="no stalls", rep="HD")
+        ).mos
+        bad_pred = mos_from_diagnosis(
+            _diagnosis(stall="severe stalls", rep="LD")
+        ).mos
+        assert (good_truth > bad_truth) == (good_pred > bad_pred)

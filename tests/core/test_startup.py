@@ -1,0 +1,61 @@
+"""Unit tests for the startup-delay estimator extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.startup import estimate_startup_delay
+from repro.datasets.preparation import record_from_video_session
+
+
+class TestEstimateStartupDelay:
+    def test_returns_none_for_single_chunk(self, one_record):
+        import copy
+
+        record = copy.deepcopy(one_record)
+        for name in (
+            "timestamps", "sizes", "transactions", "rtt_min", "rtt_avg",
+            "rtt_max", "bdp", "bif_avg", "bif_max", "loss_pct", "retx_pct",
+        ):
+            setattr(record, name, getattr(record, name)[:1])
+        assert estimate_startup_delay(record) is None
+
+    def test_estimate_positive_and_bounded(self, one_record):
+        estimate = estimate_startup_delay(one_record)
+        assert estimate is not None
+        assert estimate.delay_s >= 0.0
+        assert estimate.delay_s <= one_record.timestamps[-1]
+        assert estimate.bitrate_kbps > 0
+        assert 1 <= estimate.chunks_used <= one_record.n_chunks
+
+    def test_tracks_true_startup_on_corpus(self, adaptive_corpus):
+        """Median estimation error within a few seconds of ground truth."""
+        errors = []
+        for session in adaptive_corpus.sessions:
+            if session.startup_delay_s is None:
+                continue
+            record = record_from_video_session(session)
+            estimate = estimate_startup_delay(record)
+            if estimate is not None:
+                errors.append(estimate.delay_s - session.startup_delay_s)
+        errors = np.array(errors)
+        assert errors.size > 20
+        assert abs(np.median(errors)) < 3.0
+        assert np.percentile(np.abs(errors), 75) < 8.0
+
+    def test_slower_network_longer_estimate(self):
+        """Sessions that buffered slowly get larger estimates."""
+        from repro.network.path import NetworkPath
+        from repro.streaming.adaptive import AdaptivePlayer
+        from repro.streaming.catalog import Video
+
+        delays = {}
+        for profile in ("excellent", "bad"):
+            rng = np.random.default_rng(3)
+            video = Video(video_id="startup-test", duration_s=90.0)
+            path = NetworkPath(profile, 600.0, np.random.default_rng(3))
+            session = AdaptivePlayer().play(video, path, rng)
+            estimate = estimate_startup_delay(
+                record_from_video_session(session)
+            )
+            delays[profile] = estimate.delay_s
+        assert delays["bad"] > delays["excellent"]

@@ -1,0 +1,118 @@
+"""Integration tests for corpus generation (uses session fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generate import CorpusConfig, generate_corpus
+
+
+class TestCleartextCorpus:
+    def test_record_per_session(self, cleartext_corpus):
+        assert len(cleartext_corpus.records) == len(cleartext_corpus.sessions)
+
+    def test_records_have_ground_truth(self, cleartext_corpus):
+        with_gt = [
+            r
+            for r in cleartext_corpus.records
+            if r.stall_duration_s is not None
+        ]
+        assert len(with_gt) >= 0.95 * len(cleartext_corpus.records)
+
+    def test_mostly_progressive(self, cleartext_corpus):
+        kinds = [r.kind for r in cleartext_corpus.records]
+        progressive = sum(1 for k in kinds if k == "progressive")
+        assert progressive / len(kinds) > 0.85
+
+    def test_stall_prevalence_in_paper_range(self, cleartext_corpus):
+        """Paper Figure 2: ~12% of sessions stall; allow a wide band."""
+        rrs = [
+            r.rebuffering_ratio()
+            for r in cleartext_corpus.records
+            if r.stall_duration_s is not None and r.total_duration_s
+        ]
+        stalled = np.mean([rr > 0 for rr in rrs])
+        assert 0.03 <= stalled <= 0.40
+
+    def test_weblogs_cover_all_sessions(self, cleartext_corpus):
+        assert len(cleartext_corpus.weblogs) > len(cleartext_corpus.sessions)
+
+    def test_deterministic_given_seed(self):
+        from repro.datasets.generate import generate_cleartext_corpus
+
+        a = generate_cleartext_corpus(10, seed=55)
+        b = generate_cleartext_corpus(10, seed=55)
+        assert [s.session_id for s in a.sessions] == [
+            s.session_id for s in b.sessions
+        ]
+
+
+class TestAdaptiveCorpus:
+    def test_all_adaptive(self, adaptive_corpus):
+        kinds = {r.kind for r in adaptive_corpus.records}
+        assert kinds == {"adaptive"}
+
+    def test_quality_class_mix_ld_dominant(self, adaptive_corpus):
+        """Paper §4.2: 57% LD / 38% SD / 5% HD — LD must dominate."""
+        mus = [
+            r.mean_resolution()
+            for r in adaptive_corpus.records
+            if r.resolutions is not None and r.resolutions.size
+        ]
+        ld = np.mean([mu < 360 for mu in mus])
+        hd = np.mean([mu > 480 for mu in mus])
+        assert ld > 0.35
+        assert hd < 0.25
+
+    def test_switch_populations_exist(self, adaptive_corpus):
+        has = [
+            r.has_switches()
+            for r in adaptive_corpus.records
+            if r.resolutions is not None and r.resolutions.size
+        ]
+        assert 0.02 < np.mean(has) < 0.95
+
+
+class TestEncryptedCorpus:
+    def test_all_encrypted(self, encrypted_corpus):
+        assert all(r.encrypted for r in encrypted_corpus.records)
+
+    def test_no_uris_visible(self, encrypted_corpus):
+        assert all(e.uri is None for e in encrypted_corpus.weblogs)
+
+    def test_reconstruction_recovers_most_sessions(self, encrypted_corpus):
+        """The §5.2 heuristic 'successfully identified the vast majority
+        of the sessions'."""
+        recovered = len(encrypted_corpus.records)
+        launched = len(encrypted_corpus.sessions)
+        assert recovered >= 0.9 * launched
+
+    def test_device_ground_truth_joined(self, encrypted_corpus):
+        matched = [
+            r
+            for r in encrypted_corpus.records
+            if r.stall_duration_s is not None
+        ]
+        assert len(matched) >= 0.9 * len(encrypted_corpus.records)
+
+    def test_resolutions_joined_from_device(self, encrypted_corpus):
+        with_res = [
+            r
+            for r in encrypted_corpus.records
+            if r.resolutions is not None and r.resolutions.size
+        ]
+        assert len(with_res) >= 0.8 * len(encrypted_corpus.records)
+
+
+class TestCorpusConfig:
+    def test_invalid_sessions(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(n_sessions=-1)
+
+    def test_invalid_adaptive_fraction(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(n_sessions=1, adaptive_fraction=2.0)
+
+    def test_zero_sessions(self):
+        corpus = generate_corpus(CorpusConfig(n_sessions=0))
+        assert corpus.sessions == []
+        assert corpus.records == []

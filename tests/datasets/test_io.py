@@ -1,0 +1,90 @@
+"""Tests for dataset JSONL import/export."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import (
+    read_records,
+    read_weblogs,
+    write_records,
+    write_weblogs,
+)
+
+
+class TestWeblogIo:
+    def test_roundtrip(self, cleartext_corpus, tmp_path):
+        path = tmp_path / "weblogs.jsonl"
+        original = cleartext_corpus.weblogs[:200]
+        assert write_weblogs(original, path) == 200
+        restored = read_weblogs(path)
+        assert restored == original
+
+    def test_encrypted_entries_roundtrip(self, encrypted_corpus, tmp_path):
+        path = tmp_path / "enc.jsonl"
+        original = encrypted_corpus.weblogs[:100]
+        write_weblogs(original, path)
+        restored = read_weblogs(path)
+        assert all(e.uri is None and e.encrypted for e in restored)
+        assert restored == original
+
+    def test_corrupt_line_reported_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a weblog"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            read_weblogs(path)
+
+    def test_blank_lines_skipped(self, cleartext_corpus, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        write_weblogs(cleartext_corpus.weblogs[:5], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_weblogs(path)) == 5
+
+
+class TestRecordIo:
+    def test_roundtrip_preserves_arrays(self, stall_records, tmp_path):
+        path = tmp_path / "records.jsonl"
+        original = stall_records[:30]
+        assert write_records(original, path) == 30
+        restored = read_records(path)
+        assert len(restored) == 30
+        for a, b in zip(original, restored):
+            assert a.session_id == b.session_id
+            np.testing.assert_allclose(a.sizes, b.sizes)
+            np.testing.assert_allclose(a.timestamps, b.timestamps)
+            np.testing.assert_allclose(a.bdp, b.bdp)
+
+    def test_roundtrip_preserves_ground_truth(self, stall_records, tmp_path):
+        path = tmp_path / "records.jsonl"
+        write_records(stall_records[:20], path)
+        restored = read_records(path)
+        for a, b in zip(stall_records[:20], restored):
+            assert a.stall_count == b.stall_count
+            assert a.stall_duration_s == b.stall_duration_s
+            assert a.kind == b.kind
+            if a.resolutions is None:
+                assert b.resolutions is None
+            else:
+                np.testing.assert_array_equal(a.resolutions, b.resolutions)
+
+    def test_detector_works_on_restored_records(
+        self, stall_records, tmp_path
+    ):
+        from repro.core.stall import StallDetector
+
+        path = tmp_path / "records.jsonl"
+        write_records(stall_records, path)
+        restored = read_records(path)
+        detector = StallDetector(n_estimators=8, random_state=0).fit(restored)
+        original_detector = StallDetector(n_estimators=8, random_state=0).fit(
+            stall_records
+        )
+        assert (
+            detector.predict(restored).tolist()
+            == original_detector.predict(stall_records).tolist()
+        )
+
+    def test_corrupt_record_reported(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\n")
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            read_records(path)

@@ -1,0 +1,130 @@
+"""Unit tests for data preparation: cleaning, grouping, GT joining."""
+
+import numpy as np
+import pytest
+
+from repro.capture.device import DeviceLogger
+from repro.capture.proxy import WebProxy
+from repro.capture.reconstruction import SessionReconstructor
+from repro.datasets.preparation import (
+    group_cleartext_sessions,
+    record_from_video_session,
+    records_from_reconstruction,
+    remove_proxy_artifacts,
+)
+
+
+class TestRemoveProxyArtifacts:
+    def test_cached_and_compressed_dropped(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(0), cache_mark_rate=0.9)
+        entries = proxy.observe(one_adaptive_session, "s")
+        cleaned = remove_proxy_artifacts(entries)
+        assert all(not (e.cached or e.compressed) for e in cleaned)
+        assert len(cleaned) < len(entries)
+
+
+class TestGroupCleartext:
+    def test_one_record_per_session(
+        self, one_adaptive_session, one_progressive_session
+    ):
+        proxy = WebProxy(np.random.default_rng(1))
+        entries = proxy.observe(one_adaptive_session, "s1")
+        entries += proxy.observe(
+            one_progressive_session, "s2", start_epoch_s=10_000.0
+        )
+        records = group_cleartext_sessions(entries)
+        assert len(records) == 2
+        ids = {r.session_id for r in records}
+        assert ids == {
+            one_adaptive_session.session_id,
+            one_progressive_session.session_id,
+        }
+
+    def test_stall_ground_truth_attached(self, one_progressive_session):
+        proxy = WebProxy(np.random.default_rng(2))
+        entries = proxy.observe(one_progressive_session, "s")
+        record = group_cleartext_sessions(entries)[0]
+        assert record.stall_count == one_progressive_session.stall_count
+        assert record.stall_duration_s == pytest.approx(
+            one_progressive_session.stall_duration_s, abs=0.05
+        )
+
+    def test_resolutions_from_itags(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(3))
+        entries = proxy.observe(one_adaptive_session, "s")
+        record = group_cleartext_sessions(entries)[0]
+        expected = [c.resolution_p for c in one_adaptive_session.video_chunks]
+        assert record.resolutions.tolist() == expected
+
+    def test_kind_detection(self, one_adaptive_session, one_progressive_session):
+        proxy = WebProxy(np.random.default_rng(4))
+        entries = proxy.observe(one_adaptive_session, "s1")
+        entries += proxy.observe(
+            one_progressive_session, "s2", start_epoch_s=10_000.0
+        )
+        by_id = {r.session_id: r for r in group_cleartext_sessions(entries)}
+        assert by_id[one_adaptive_session.session_id].kind == "adaptive"
+        assert by_id[one_progressive_session.session_id].kind == "progressive"
+
+    def test_min_chunks_filter(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(5))
+        entries = proxy.observe(one_adaptive_session, "s")
+        records = group_cleartext_sessions(entries, min_chunks=10_000)
+        assert records == []
+
+    def test_chunk_arrays_sorted(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(6))
+        entries = proxy.observe(one_adaptive_session, "s")
+        record = group_cleartext_sessions(entries)[0]
+        assert np.all(np.diff(record.timestamps) >= -1e-9)
+
+
+class TestRecordFromVideoSession:
+    def test_arrays_aligned(self, one_adaptive_session):
+        record = record_from_video_session(one_adaptive_session)
+        assert record.n_chunks == len(one_adaptive_session.chunks)
+        assert record.sizes.size == record.timestamps.size
+
+    def test_ground_truth_copied(self, one_adaptive_session):
+        record = record_from_video_session(one_adaptive_session)
+        assert record.stall_count == one_adaptive_session.stall_count
+        assert record.kind == one_adaptive_session.kind
+        assert record.place == one_adaptive_session.place
+
+    def test_without_ground_truth(self, one_adaptive_session):
+        record = record_from_video_session(
+            one_adaptive_session, with_ground_truth=False
+        )
+        assert record.stall_count is None
+        assert record.resolutions is None
+
+
+class TestRecordsFromReconstruction:
+    def test_join_by_timestamp(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(7))
+        entries = proxy.observe(
+            one_adaptive_session, "s", start_epoch_s=500.0, encrypted=True
+        )
+        reconstructed = SessionReconstructor().reconstruct(entries)
+        device = DeviceLogger()
+        records = records_from_reconstruction(
+            reconstructed,
+            [device.playback_summary(one_adaptive_session)],
+            device.segment_records(one_adaptive_session, start_epoch_s=500.0),
+        )
+        assert len(records) == 1
+        record = records[0]
+        assert record.encrypted
+        assert record.session_id == one_adaptive_session.session_id
+        assert record.stall_count == one_adaptive_session.stall_count
+        assert record.resolutions is not None
+
+    def test_unmatched_reconstruction_kept_without_gt(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(8))
+        entries = proxy.observe(
+            one_adaptive_session, "s", start_epoch_s=500.0, encrypted=True
+        )
+        reconstructed = SessionReconstructor().reconstruct(entries)
+        records = records_from_reconstruction(reconstructed, [], [])
+        assert len(records) == 1
+        assert records[0].stall_count is None

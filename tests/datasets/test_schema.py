@@ -1,0 +1,119 @@
+"""Unit tests for the SessionRecord schema."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.schema import SessionRecord
+
+
+def _record(n=5, **gt):
+    arrays = dict(
+        timestamps=np.arange(n, dtype=float),
+        sizes=np.full(n, 1000.0),
+        transactions=np.full(n, 0.5),
+        rtt_min=np.full(n, 40.0),
+        rtt_avg=np.full(n, 50.0),
+        rtt_max=np.full(n, 60.0),
+        bdp=np.full(n, 1e4),
+        bif_avg=np.full(n, 1e3),
+        bif_max=np.full(n, 2e3),
+        loss_pct=np.zeros(n),
+        retx_pct=np.zeros(n),
+    )
+    return SessionRecord(session_id="x", encrypted=False, **arrays, **gt)
+
+
+class TestValidation:
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            record = _record()
+            SessionRecord(
+                session_id="x",
+                encrypted=False,
+                timestamps=np.arange(3, dtype=float),
+                sizes=np.zeros(4),
+                transactions=np.zeros(3),
+                rtt_min=np.zeros(3),
+                rtt_avg=np.zeros(3),
+                rtt_max=np.zeros(3),
+                bdp=np.zeros(3),
+                bif_avg=np.zeros(3),
+                bif_max=np.zeros(3),
+                loss_pct=np.zeros(3),
+                retx_pct=np.zeros(3),
+            )
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError):
+            SessionRecord(
+                session_id="x",
+                encrypted=False,
+                timestamps=np.empty(0),
+                sizes=np.empty(0),
+                transactions=np.empty(0),
+                rtt_min=np.empty(0),
+                rtt_avg=np.empty(0),
+                rtt_max=np.empty(0),
+                bdp=np.empty(0),
+                bif_avg=np.empty(0),
+                bif_max=np.empty(0),
+                loss_pct=np.empty(0),
+                retx_pct=np.empty(0),
+            )
+
+    def test_unsorted_arrays_get_sorted_together(self):
+        record = SessionRecord(
+            session_id="x",
+            encrypted=False,
+            timestamps=np.array([3.0, 1.0, 2.0]),
+            sizes=np.array([30.0, 10.0, 20.0]),
+            transactions=np.zeros(3),
+            rtt_min=np.zeros(3),
+            rtt_avg=np.zeros(3),
+            rtt_max=np.zeros(3),
+            bdp=np.zeros(3),
+            bif_avg=np.zeros(3),
+            bif_max=np.zeros(3),
+            loss_pct=np.zeros(3),
+            retx_pct=np.zeros(3),
+        )
+        assert record.timestamps.tolist() == [1.0, 2.0, 3.0]
+        assert record.sizes.tolist() == [10.0, 20.0, 30.0]
+
+
+class TestGroundTruthDerived:
+    def test_rebuffering_ratio(self):
+        record = _record(stall_duration_s=10.0, total_duration_s=100.0)
+        assert record.rebuffering_ratio() == pytest.approx(0.1)
+
+    def test_rr_requires_ground_truth(self):
+        with pytest.raises(ValueError):
+            _record().rebuffering_ratio()
+
+    def test_mean_resolution_weighted(self):
+        record = _record(
+            resolutions=np.array([144, 480]),
+            resolution_media_s=np.array([10.0, 30.0]),
+        )
+        assert record.mean_resolution() == pytest.approx((1440 + 14400) / 40)
+
+    def test_mean_resolution_unweighted_fallback(self):
+        record = _record(resolutions=np.array([144, 480]))
+        assert record.mean_resolution() == pytest.approx(312.0)
+
+    def test_mean_resolution_requires_truth(self):
+        with pytest.raises(ValueError):
+            _record().mean_resolution()
+
+    def test_switch_count_and_amplitude(self):
+        record = _record(resolutions=np.array([144, 240, 240, 480]))
+        assert record.switch_count() == 2
+        assert record.switch_amplitude() == pytest.approx((96 + 0 + 240) / 3)
+
+    def test_has_switches(self):
+        assert _record(resolutions=np.array([144, 240])).has_switches()
+        assert not _record(resolutions=np.array([240, 240])).has_switches()
+
+    def test_single_chunk_amplitude_zero(self):
+        record = _record(resolutions=np.array([360]))
+        assert record.switch_amplitude() == 0.0

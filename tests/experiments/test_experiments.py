@@ -1,0 +1,183 @@
+"""Integration tests for the experiment harness (tiny config)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    figure1_chunk_sizes,
+    figure2_stall_ecdfs,
+    figure3_switch_session,
+    figure4_score_cdfs,
+    figure5_dataset_comparison,
+)
+from repro.experiments.report import (
+    render_classifier_table,
+    render_confusion_matrix,
+    render_feature_gains,
+)
+from repro.experiments.runner import EXPERIMENT_IDS, run_experiment
+from repro.experiments.tables import (
+    baseline_comparison,
+    table2_stall_features,
+    tables3_4_stall_classifier,
+    tables8_9_encrypted_stall,
+)
+from repro.experiments.workspace import Workspace
+
+TINY = ExperimentConfig(
+    cleartext_sessions=150,
+    adaptive_sessions=120,
+    encrypted_sessions=60,
+    seed=3,
+    n_estimators=12,
+)
+
+
+@pytest.fixture(scope="module")
+def workspace():
+    return Workspace(TINY)
+
+
+class TestWorkspace:
+    def test_corpora_cached(self, workspace):
+        assert workspace.cleartext_corpus() is workspace.cleartext_corpus()
+
+    def test_detector_cached(self, workspace):
+        assert workspace.stall_detector() is workspace.stall_detector()
+
+    def test_record_views_nonempty(self, workspace):
+        assert workspace.stall_records()
+        assert workspace.representation_records()
+        assert workspace.encrypted_stall_records()
+
+
+class TestFigures:
+    def test_fig1_has_stalls_and_dip(self):
+        data = figure1_chunk_sizes()
+        assert data.stall_starts_s
+        assert data.sizes_dip_after_stalls()
+
+    def test_fig2_fractions_consistent(self, workspace):
+        data = figure2_stall_ecdfs(workspace)
+        assert 0.0 <= data.frac_severe <= data.frac_with_stalls <= 1.0
+        assert data.frac_more_than_one <= data.frac_with_stalls
+
+    def test_fig3_shows_upswitch(self):
+        data = figure3_switch_session()
+        assert data.has_upswitch()
+        assert data.switch_times_s
+
+    def test_fig4_threshold_separates(self, workspace):
+        data = figure4_score_cdfs(workspace)
+        assert data.threshold > 0
+        assert data.accuracy_without > 0.5
+        assert data.accuracy_with > 0.4
+
+    def test_fig5_encrypted_shifted_lower(self, workspace):
+        data = figure5_dataset_comparison(workspace)
+        # §5.3: encrypted inter-arrivals slightly lower / sizes smaller
+        assert (
+            data.size_cdf_encrypted.quantile(0.5)
+            <= data.size_cdf_clear.quantile(0.5) * 1.5
+        )
+
+
+class TestTables:
+    def test_table2_chunk_features_selected(self, workspace):
+        table = table2_stall_features(workspace)
+        assert table.rows
+        assert table.chunk_feature_share() > 0.0
+
+    def test_tables3_4_better_than_majority(self, workspace):
+        table = tables3_4_stall_classifier(workspace)
+        assert table.accuracy > 0.6
+        matrix = table.confusion_percent()
+        np.testing.assert_allclose(matrix.sum(axis=1), 100.0)
+
+    def test_tables8_9_cross_dataset(self, workspace):
+        table = tables8_9_encrypted_stall(workspace)
+        assert table.protocol == "cross-dataset"
+        assert 0.3 < table.accuracy <= 1.0
+
+    def test_baseline_comparison_model_wins(self, workspace):
+        comparison = baseline_comparison(workspace)
+        assert comparison.model_wins()
+
+
+class TestRunner:
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENT_IDS) == {
+            "fig1", "fig2", "fig3", "fig4", "fig5",
+            "tab2", "tab3_4", "tab5", "tab6_7",
+            "tab8_9", "tab10_11", "sec56", "baseline",
+        }
+
+    def test_unknown_id_raises(self, workspace):
+        with pytest.raises(KeyError):
+            run_experiment("tab99", workspace)
+
+    def test_run_single_experiment(self, workspace):
+        table = run_experiment("tab2", workspace)
+        assert table.rows
+
+
+class TestRendering:
+    def test_render_classifier_table(self, workspace):
+        table = tables3_4_stall_classifier(workspace)
+        text = render_classifier_table(table, "Table 3")
+        assert "weighted avg." in text
+        assert "overall accuracy" in text
+
+    def test_render_confusion(self, workspace):
+        table = tables3_4_stall_classifier(workspace)
+        text = render_confusion_matrix(table, "Table 4")
+        assert "no stalls" in text
+
+    def test_render_gains(self, workspace):
+        text = render_feature_gains(table2_stall_features(workspace), "Table 2")
+        assert "info. gain" in text
+
+
+class TestRenderingExtras:
+    def test_render_switch_evaluation(self, workspace):
+        from repro.experiments.report import render_switch_evaluation
+        from repro.experiments.tables import section56_encrypted_switching
+
+        evaluation = section56_encrypted_switching(workspace)
+        text = render_switch_evaluation(evaluation, "§5.6")
+        assert "threshold" in text
+        assert "%" in text
+
+    def test_render_baseline_comparison(self, workspace):
+        from repro.experiments.report import render_baseline_comparison
+        from repro.experiments.tables import baseline_comparison
+
+        text = render_baseline_comparison(
+            baseline_comparison(workspace), "Baseline"
+        )
+        assert "Prometheus" in text
+        assert "binary" in text
+
+    def test_feature_gain_table_render_sorted(self, workspace):
+        from repro.experiments.report import render_feature_gains
+        from repro.experiments.tables import table2_stall_features
+
+        text = render_feature_gains(table2_stall_features(workspace), "T2")
+        lines = [l for l in text.split("\n")[2:-1] if l.strip()]
+        gains = [float(l.split()[0]) for l in lines]
+        assert gains == sorted(gains, reverse=True)
+
+
+class TestPaperProtocol:
+    def test_paper_protocol_variant(self, workspace):
+        """The optimistic balanced-train/full-test protocol remains
+        available and scores at least as high as honest CV."""
+        from repro.experiments.tables import tables3_4_stall_classifier
+
+        paper = tables3_4_stall_classifier(
+            workspace, protocol="balanced-train/full-test"
+        )
+        cv = tables3_4_stall_classifier(workspace)
+        assert paper.protocol == "balanced-train/full-test"
+        assert paper.accuracy >= cv.accuracy - 0.01

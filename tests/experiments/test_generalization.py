@@ -1,0 +1,70 @@
+"""Tests for the §7 generalisation extension."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.generalization import (
+    OTHER_SERVICES,
+    ServiceProfile,
+    evaluate_generalization,
+    generate_service_records,
+)
+from repro.core.stall import StallDetector
+from repro.core.switching import SwitchDetector
+from repro.core.labeling import has_variation
+
+
+class TestServiceProfiles:
+    def test_two_services_defined(self):
+        assert set(OTHER_SERVICES) == {"vimeo-like", "dailymotion-like"}
+
+    def test_itags_disjoint_from_youtube(self):
+        from repro.streaming.catalog import DASH_LADDER, PROGRESSIVE_LADDER
+
+        youtube_itags = {q.itag for q in DASH_LADDER + PROGRESSIVE_LADDER}
+        for service in OTHER_SERVICES.values():
+            assert not youtube_itags & {q.itag for q in service.ladder}
+
+    def test_ladders_differ_from_youtube(self):
+        from repro.streaming.catalog import DASH_LADDER
+
+        youtube = {(q.resolution_p, q.bitrate_kbps) for q in DASH_LADDER}
+        for service in OTHER_SERVICES.values():
+            theirs = {(q.resolution_p, q.bitrate_kbps) for q in service.ladder}
+            assert theirs != youtube
+
+
+class TestServiceCorpus:
+    def test_records_generated(self):
+        service = OTHER_SERVICES["vimeo-like"]
+        records = generate_service_records(service, 20, seed=1)
+        assert len(records) == 20
+        assert all(r.n_chunks > 0 for r in records)
+
+    def test_resolutions_come_from_service_ladder(self):
+        service = OTHER_SERVICES["dailymotion-like"]
+        records = generate_service_records(service, 15, seed=2)
+        allowed = {q.resolution_p for q in service.ladder} | {0}
+        for record in records:
+            assert set(record.resolutions.tolist()) <= allowed
+
+    def test_deterministic(self):
+        service = OTHER_SERVICES["vimeo-like"]
+        a = generate_service_records(service, 5, seed=3)
+        b = generate_service_records(service, 5, seed=3)
+        assert [r.session_id for r in a] == [r.session_id for r in b]
+
+
+class TestTransfer:
+    def test_detectors_transfer_above_chance(self, stall_records, adaptive_records):
+        detector = StallDetector(n_estimators=12, random_state=0).fit(stall_records)
+        switch = SwitchDetector()
+        truth = np.array([has_variation(r) for r in adaptive_records])
+        if truth.any() and not truth.all():
+            switch.calibrate(adaptive_records, truth)
+        results = evaluate_generalization(
+            detector, switch, n_sessions=60, seed=5
+        )
+        assert len(results) == len(OTHER_SERVICES)
+        for result in results:
+            assert result.stall_accuracy > 0.45

@@ -1,0 +1,73 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import ascii_cdfs, ascii_series
+from repro.timeseries.stats import ecdf
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert ascii_series([]) == "(empty series)"
+
+    def test_dimensions(self):
+        out = ascii_series(np.arange(100.0), width=40, height=8)
+        lines = out.split("\n")
+        assert len(lines) == 10                # 8 rows + axis + footer
+        assert all(len(line) <= 40 for line in lines[:-1])
+
+    def test_monotone_series_renders_staircase(self):
+        out = ascii_series(np.arange(10.0), width=10, height=5)
+        rows = out.split("\n")[:-2]
+        # the top row must have fewer marks than the bottom row
+        assert rows[0].count("#") < rows[-2].count("#")
+
+    def test_title_included(self):
+        out = ascii_series([1.0, 2.0], title="my plot")
+        assert out.startswith("my plot")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ascii_series([1.0], width=0)
+
+    def test_peaks_survive_binning(self):
+        values = np.ones(1000)
+        values[500] = 100.0
+        out = ascii_series(values, width=50, height=5)
+        assert "max=100" in out
+
+
+class TestAsciiCdfs:
+    def test_empty(self):
+        assert ascii_cdfs([]) == "(no curves)"
+
+    def test_single_curve(self):
+        out = ascii_cdfs([("sizes", ecdf(np.arange(1, 101, dtype=float)))])
+        assert "* sizes" in out
+        assert "+" + "-" * 60 in out
+
+    def test_two_curves_distinct_glyphs(self):
+        a = ecdf(np.arange(1, 50, dtype=float))
+        b = ecdf(np.arange(30, 120, dtype=float))
+        out = ascii_cdfs([("a", a), ("b", b)])
+        assert "* a" in out and "o b" in out
+        assert "*" in out and "o" in out
+
+    def test_log_scale_annotated(self):
+        out = ascii_cdfs(
+            [("x", ecdf(np.logspace(0, 4, 50)))], log_x=True
+        )
+        assert "(log x)" in out
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            ascii_cdfs([("x", ecdf([1.0, 2.0]))], width=1)
+
+    def test_shifted_curves_visibly_separate(self):
+        """A curve over larger values sits to the right: at the midpoint
+        of the range, its probability is lower."""
+        small = ecdf(np.random.default_rng(0).uniform(0, 10, 200))
+        large = ecdf(np.random.default_rng(1).uniform(50, 60, 200))
+        midpoint = 30.0
+        assert small(midpoint) > large(midpoint)

@@ -1,0 +1,73 @@
+"""Unit tests for class balancing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.balance import balanced_indices, oversample, undersample
+
+
+class TestUndersample:
+    def test_classes_equalised_to_minority(self):
+        y = np.array([0] * 50 + [1] * 10 + [2] * 25)
+        X = np.arange(85).reshape(-1, 1).astype(float)
+        Xb, yb = undersample(X, y, random_state=0)
+        _, counts = np.unique(yb, return_counts=True)
+        assert counts.tolist() == [10, 10, 10]
+
+    def test_no_duplicates_within_class(self):
+        y = np.array([0] * 20 + [1] * 5)
+        X = np.arange(25).reshape(-1, 1).astype(float)
+        Xb, yb = undersample(X, y, random_state=1)
+        values = Xb[yb == 0][:, 0]
+        assert len(set(values.tolist())) == len(values)
+
+    def test_rows_stay_aligned(self):
+        y = np.array([0] * 10 + [1] * 10)
+        X = np.column_stack([np.arange(20), y * 100]).astype(float)
+        Xb, yb = undersample(X, y, random_state=2)
+        assert np.array_equal(Xb[:, 1], yb * 100)
+
+
+class TestOversample:
+    def test_classes_equalised_to_majority(self):
+        y = np.array([0] * 50 + [1] * 10)
+        X = np.arange(60).reshape(-1, 1).astype(float)
+        Xb, yb = oversample(X, y, random_state=0)
+        _, counts = np.unique(yb, return_counts=True)
+        assert counts.tolist() == [50, 50]
+
+    def test_majority_class_fully_kept(self):
+        y = np.array([0] * 30 + [1] * 5)
+        X = np.arange(35).reshape(-1, 1).astype(float)
+        Xb, yb = oversample(X, y, random_state=0)
+        majority_values = set(Xb[yb == 0][:, 0].tolist())
+        assert majority_values == set(range(30))
+
+    def test_minority_duplicated(self):
+        y = np.array([0] * 30 + [1] * 5)
+        X = np.arange(35).reshape(-1, 1).astype(float)
+        Xb, yb = oversample(X, y, random_state=0)
+        minority = Xb[yb == 1][:, 0]
+        assert len(minority) == 30
+        assert len(set(minority.tolist())) <= 5
+
+
+class TestBalancedIndices:
+    def test_shuffled(self):
+        y = np.array([0] * 100 + [1] * 100)
+        idx = balanced_indices(y, strategy="under", random_state=0)
+        assert not np.array_equal(idx, np.sort(idx))
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            balanced_indices(np.array([0, 1]), strategy="smote")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            balanced_indices(np.array([]))
+
+    def test_deterministic_with_seed(self):
+        y = np.array([0] * 20 + [1] * 8)
+        a = balanced_indices(y, random_state=7)
+        b = balanced_indices(y, random_state=7)
+        assert np.array_equal(a, b)

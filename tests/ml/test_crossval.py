@@ -1,0 +1,113 @@
+"""Unit tests for stratified k-fold CV and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import cross_validate, stratified_kfold, train_test_split
+from repro.ml.forest import RandomForestClassifier
+
+
+class TestStratifiedKfold:
+    def test_every_index_tested_once(self):
+        y = np.array([0] * 30 + [1] * 20)
+        seen = []
+        for _, test in stratified_kfold(y, n_splits=5, random_state=0):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(50))
+
+    def test_folds_disjoint_from_train(self):
+        y = np.array([0] * 30 + [1] * 20)
+        for train, test in stratified_kfold(y, n_splits=5, random_state=0):
+            assert not set(train) & set(test)
+
+    def test_stratification_preserved(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _, test in stratified_kfold(y, n_splits=5, random_state=1):
+            labels, counts = np.unique(y[test], return_counts=True)
+            assert set(labels) == {0, 1}
+            ratio = counts[0] / counts[1]
+            assert 2.0 <= ratio <= 8.0
+
+    def test_too_many_splits_raises(self):
+        y = np.array([0] * 10 + [1] * 3)
+        with pytest.raises(ValueError):
+            list(stratified_kfold(y, n_splits=5))
+
+    def test_min_two_splits(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(np.zeros(10), n_splits=1))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X = np.arange(100).reshape(50, 2).astype(float)
+        y = np.array([0, 1] * 25)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert len(y_te) == 10
+        assert len(y_tr) == 40
+
+    def test_stratified_keeps_both_classes(self):
+        X = np.zeros((60, 1))
+        y = np.array([0] * 50 + [1] * 10)
+        _, __, ___, y_te = train_test_split(X, y, test_size=0.3, random_state=0)
+        assert set(y_te) == {0, 1}
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), np.zeros(5), test_size=1.5)
+
+    def test_no_overlap(self):
+        X = np.arange(40).reshape(40, 1).astype(float)
+        y = np.array([0, 1] * 20)
+        X_tr, X_te, _, __ = train_test_split(X, y, test_size=0.25, random_state=1)
+        assert not set(X_tr[:, 0]) & set(X_te[:, 0])
+
+
+class TestCrossValidate:
+    def test_learnable_problem_scores_high(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] > 0).astype(int)
+        report = cross_validate(
+            lambda: RandomForestClassifier(n_estimators=10, random_state=0),
+            X,
+            y,
+            n_splits=5,
+            random_state=0,
+        )
+        assert report.accuracy > 0.85
+
+    def test_balance_hook_called_on_train_only(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y = np.array([0] * 80 + [1] * 20)
+        calls = []
+
+        def balance(Xb, yb):
+            calls.append(len(yb))
+            return Xb, yb
+
+        cross_validate(
+            lambda: RandomForestClassifier(n_estimators=5, random_state=0),
+            X,
+            y,
+            n_splits=5,
+            random_state=0,
+            balance=balance,
+        )
+        assert len(calls) == 5
+        assert all(n == 80 for n in calls)   # train folds of 100 * 4/5
+
+    def test_labels_order_respected(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(60, 2))
+        y = np.array(["b", "a"] * 30)
+        report = cross_validate(
+            lambda: RandomForestClassifier(n_estimators=5, random_state=0),
+            X,
+            y,
+            n_splits=3,
+            random_state=0,
+            labels=["b", "a"],
+        )
+        assert report.labels == ["b", "a"]

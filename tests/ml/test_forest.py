@@ -1,0 +1,118 @@
+"""Unit tests for the Random Forest classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+
+
+def _dataset(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestFit:
+    def test_basic_accuracy(self):
+        X, y = _dataset()
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.95
+
+    def test_n_estimators_created(self):
+        X, y = _dataset()
+        forest = RandomForestClassifier(n_estimators=7, random_state=0).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((5, 2)), np.zeros(6))
+
+    def test_deterministic_given_seed(self):
+        X, y = _dataset(seed=2)
+        f1 = RandomForestClassifier(n_estimators=10, random_state=3).fit(X, y)
+        f2 = RandomForestClassifier(n_estimators=10, random_state=3).fit(X, y)
+        assert (f1.predict(X) == f2.predict(X)).all()
+
+    def test_string_labels(self):
+        X, y = _dataset()
+        labels = np.where(y == 0, "healthy", "stalled")
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(
+            X, labels
+        )
+        assert set(forest.predict(X)) <= {"healthy", "stalled"}
+
+    def test_no_bootstrap_mode(self):
+        X, y = _dataset(seed=4)
+        forest = RandomForestClassifier(
+            n_estimators=5, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.95
+
+
+class TestOob:
+    def test_oob_score_in_unit_interval(self):
+        X, y = _dataset(seed=5)
+        forest = RandomForestClassifier(
+            n_estimators=25, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert 0.0 <= forest.oob_score_ <= 1.0
+
+    def test_oob_reasonable_on_learnable_data(self):
+        X, y = _dataset(n=500, seed=6)
+        forest = RandomForestClassifier(
+            n_estimators=30, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert forest.oob_score_ > 0.8
+
+
+class TestPredict:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict(np.zeros((2, 3)))
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = _dataset()
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        proba = forest.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_three_class_bootstrap_may_miss_class(self):
+        """Tiny classes can be absent from a bootstrap sample; the
+        column alignment must still produce full-width probabilities."""
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(60, 3))
+        y = np.array([0] * 28 + [1] * 28 + [2] * 4)
+        X[y == 2] += 5.0
+        forest = RandomForestClassifier(n_estimators=12, random_state=1).fit(X, y)
+        proba = forest.predict_proba(X)
+        assert proba.shape == (60, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_generalises_to_held_out(self):
+        X, y = _dataset(n=600, seed=8)
+        forest = RandomForestClassifier(n_estimators=25, random_state=0).fit(
+            X[:400], y[:400]
+        )
+        assert (forest.predict(X[400:]) == y[400:]).mean() > 0.85
+
+
+class TestImportances:
+    def test_sum_to_one(self):
+        X, y = _dataset(seed=9)
+        forest = RandomForestClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert forest.feature_importances().sum() == pytest.approx(1.0)
+
+    def test_informative_features_lead(self):
+        X, y = _dataset(n=500, seed=10)
+        forest = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        importances = forest.feature_importances()
+        assert importances[0] + importances[1] > 0.6

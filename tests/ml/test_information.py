@@ -1,0 +1,155 @@
+"""Unit tests for entropy / information-gain / discretisation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.ml.information import (
+    conditional_entropy,
+    discretize,
+    entropy,
+    entropy_from_counts,
+    equal_frequency_bins,
+    information_gain,
+    mdl_discretize,
+    symmetrical_uncertainty,
+)
+
+
+class TestEntropy:
+    def test_uniform_binary_is_one_bit(self):
+        assert entropy(np.array([0, 1, 0, 1])) == pytest.approx(1.0)
+
+    def test_pure_vector_is_zero(self):
+        assert entropy(np.array([3, 3, 3, 3])) == 0.0
+
+    def test_empty_vector_is_zero(self):
+        assert entropy(np.array([])) == 0.0
+
+    def test_uniform_k_classes(self):
+        y = np.repeat(np.arange(8), 5)
+        assert entropy(y) == pytest.approx(3.0)
+
+    def test_counts_ignore_zero_cells(self):
+        assert entropy_from_counts(np.array([5, 0, 5])) == pytest.approx(1.0)
+
+    def test_all_zero_counts(self):
+        assert entropy_from_counts(np.zeros(4)) == 0.0
+
+    def test_string_labels_supported(self):
+        assert entropy(np.array(["a", "b", "a", "b"])) == pytest.approx(1.0)
+
+
+class TestConditionalEntropyAndGain:
+    def test_perfect_predictor_gain_equals_entropy(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        x = np.array([9, 9, 5, 5, 7, 7])
+        assert conditional_entropy(y, x) == pytest.approx(0.0)
+        assert information_gain(y, x) == pytest.approx(entropy(y))
+
+    def test_independent_predictor_gain_zero(self):
+        y = np.array([0, 1, 0, 1])
+        x = np.array([0, 0, 0, 0])
+        assert information_gain(y, x) == pytest.approx(0.0)
+
+    def test_gain_never_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            y = rng.integers(0, 3, 50)
+            x = rng.integers(0, 4, 50)
+            assert information_gain(y, x) >= 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            conditional_entropy(np.array([1, 2]), np.array([1, 2, 3]))
+
+
+class TestSymmetricalUncertainty:
+    def test_identical_vectors_su_one(self):
+        x = np.array([0, 1, 2, 0, 1, 2])
+        assert symmetrical_uncertainty(x, x) == pytest.approx(1.0)
+
+    def test_independent_su_zero(self):
+        x = np.array([0, 0, 1, 1])
+        y = np.array([0, 1, 0, 1])
+        assert symmetrical_uncertainty(x, y) == pytest.approx(0.0)
+
+    def test_constant_vectors_su_zero(self):
+        x = np.zeros(10)
+        assert symmetrical_uncertainty(x, x) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 3, 100)
+        y = rng.integers(0, 3, 100)
+        assert symmetrical_uncertainty(x, y) == pytest.approx(
+            symmetrical_uncertainty(y, x)
+        )
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            x = rng.integers(0, 5, 60)
+            y = rng.integers(0, 5, 60)
+            assert 0.0 <= symmetrical_uncertainty(x, y) <= 1.0
+
+
+class TestBinning:
+    def test_equal_frequency_cut_count(self):
+        values = np.arange(100, dtype=float)
+        cuts = equal_frequency_bins(values, n_bins=4)
+        assert cuts.size == 3
+
+    def test_equal_frequency_balanced(self):
+        values = np.arange(1000, dtype=float)
+        cuts = equal_frequency_bins(values, n_bins=10)
+        bins = discretize(values, cuts)
+        _, counts = np.unique(bins, return_counts=True)
+        assert counts.max() - counts.min() <= 2
+
+    def test_single_bin_no_cuts(self):
+        assert equal_frequency_bins(np.arange(10.0), n_bins=1).size == 0
+
+    def test_invalid_bins_raises(self):
+        with pytest.raises(ValueError):
+            equal_frequency_bins(np.arange(10.0), n_bins=0)
+
+    def test_discretize_nan_gets_own_bin(self):
+        values = np.array([1.0, 2.0, np.nan])
+        cuts = np.array([1.5])
+        bins = discretize(values, cuts)
+        assert bins[2] not in (bins[0], bins[1])
+
+    def test_discretize_monotone(self):
+        values = np.array([0.0, 1.0, 2.0, 3.0])
+        cuts = np.array([0.5, 2.5])
+        assert discretize(values, cuts).tolist() == [0, 1, 1, 2]
+
+
+class TestMdlDiscretize:
+    def test_finds_obvious_boundary(self):
+        values = np.concatenate([np.linspace(0, 1, 50), np.linspace(10, 11, 50)])
+        labels = np.array([0] * 50 + [1] * 50)
+        cuts = mdl_discretize(values, labels, fallback_bins=None)
+        assert cuts.size >= 1
+        assert np.any((cuts > 1) & (cuts < 10))
+
+    def test_no_signal_falls_back_to_equal_frequency(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=40)
+        labels = rng.integers(0, 2, 40)
+        cuts = mdl_discretize(values, labels, fallback_bins=5)
+        # With pure noise MDL rejects cuts; fallback returns quantiles.
+        assert cuts.size >= 1
+
+    def test_no_signal_without_fallback_empty(self):
+        values = np.ones(30)
+        labels = np.array([0, 1] * 15)
+        cuts = mdl_discretize(values, labels, fallback_bins=None)
+        assert cuts.size == 0
+
+    def test_cuts_sorted_unique(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=200)
+        labels = (values > 0).astype(int)
+        cuts = mdl_discretize(values, labels)
+        assert np.all(np.diff(cuts) > 0)

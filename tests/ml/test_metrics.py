@@ -1,0 +1,105 @@
+"""Unit tests for classification metrics in the paper's format."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import accuracy, classification_report, confusion_matrix
+
+
+class TestConfusionMatrix:
+    def test_perfect_predictions_diagonal(self):
+        y = np.array(["a", "b", "a", "c"])
+        matrix = confusion_matrix(y, y)
+        assert np.trace(matrix) == 4
+        assert matrix.sum() == 4
+
+    def test_label_order_respected(self):
+        y_true = np.array(["x", "y"])
+        y_pred = np.array(["y", "y"])
+        matrix = confusion_matrix(y_true, y_pred, labels=["y", "x"])
+        # truth "x" predicted "y": row of x (index 1), col of y (index 0)
+        assert matrix[1, 0] == 1
+
+    def test_rows_are_truth(self):
+        y_true = np.array([0, 0, 0, 1])
+        y_pred = np.array([1, 1, 0, 1])
+        matrix = confusion_matrix(y_true, y_pred)
+        assert matrix[0].sum() == 3     # three true 0s
+        assert matrix[0, 1] == 2        # two of them predicted 1
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([1]), np.array([1, 2]))
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([1, 2]), np.array([1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([1, 2]), np.array([1, 3])) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestClassificationReport:
+    def _report(self):
+        y_true = np.array(["no"] * 8 + ["mild"] * 4 + ["severe"] * 4)
+        y_pred = np.array(
+            ["no"] * 7 + ["mild"]          # one no -> mild
+            + ["mild"] * 3 + ["severe"]     # one mild -> severe
+            + ["severe"] * 3 + ["mild"]     # one severe -> mild
+        )
+        return classification_report(
+            y_true, y_pred, labels=["no", "mild", "severe"]
+        )
+
+    def test_accuracy(self):
+        report = self._report()
+        assert report.accuracy == pytest.approx(13 / 16)
+
+    def test_tp_rate_equals_recall(self):
+        report = self._report()
+        for row in report.classes:
+            assert row.tp_rate == row.recall
+
+    def test_recall_values(self):
+        report = self._report()
+        by_label = report.by_label()
+        assert by_label["no"].recall == pytest.approx(7 / 8)
+        assert by_label["mild"].recall == pytest.approx(3 / 4)
+        assert by_label["severe"].recall == pytest.approx(3 / 4)
+
+    def test_precision_values(self):
+        report = self._report()
+        by_label = report.by_label()
+        # "mild" predicted 5 times, 3 correct
+        assert by_label["mild"].precision == pytest.approx(3 / 5)
+
+    def test_fp_rate(self):
+        report = self._report()
+        by_label = report.by_label()
+        # "mild": 2 FP out of 12 negatives
+        assert by_label["mild"].fp_rate == pytest.approx(2 / 12)
+
+    def test_weighted_recall_matches_accuracy(self):
+        report = self._report()
+        assert report.weighted_recall == pytest.approx(report.accuracy)
+
+    def test_row_percentages_sum_to_100(self):
+        report = self._report()
+        rows = report.row_percentages()
+        np.testing.assert_allclose(rows.sum(axis=1), 100.0)
+
+    def test_supports(self):
+        report = self._report()
+        assert [r.support for r in report.classes] == [8, 4, 4]
+
+    def test_unpredicted_class_zero_precision(self):
+        y_true = np.array(["a", "b", "b"])
+        y_pred = np.array(["a", "a", "a"])
+        report = classification_report(y_true, y_pred, labels=["a", "b"])
+        assert report.by_label()["b"].precision == 0.0
+        assert report.by_label()["b"].recall == 0.0

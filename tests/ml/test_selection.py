@@ -1,0 +1,101 @@
+"""Unit tests for CFS subset selection and info-gain ranking."""
+
+import numpy as np
+import pytest
+
+from repro.ml.selection import CfsSubsetSelector, InfoGainRanker, SelectionResult
+
+
+def _dataset(seed=0, n=400):
+    """Two informative features (one redundant pair) + noise."""
+    rng = np.random.default_rng(seed)
+    informative = rng.normal(size=n)
+    second = rng.normal(size=n)
+    X = np.column_stack(
+        [
+            informative,                       # 0: informative
+            informative + rng.normal(0, 0.05, n),  # 1: redundant copy of 0
+            second,                            # 2: independently informative
+            rng.normal(size=n),                # 3: noise
+            rng.normal(size=n),                # 4: noise
+        ]
+    )
+    y = ((informative > 0) & (second > 0)).astype(int)
+    return X, y
+
+
+class TestInfoGainRanker:
+    def test_informative_features_ranked_first(self):
+        X, y = _dataset()
+        result = InfoGainRanker().rank(X, y)
+        assert set(result.selected[:3]) >= {0, 2} or set(result.selected[:3]) >= {1, 2}
+
+    def test_scores_descending(self):
+        X, y = _dataset()
+        result = InfoGainRanker().rank(X, y)
+        assert all(a >= b for a, b in zip(result.scores, result.scores[1:]))
+
+    def test_names_aligned(self):
+        X, y = _dataset()
+        names = [f"f{i}" for i in range(X.shape[1])]
+        result = InfoGainRanker().rank(X, y, names=names)
+        assert result.names == [names[j] for j in result.selected]
+
+    def test_top_restricts(self):
+        X, y = _dataset()
+        result = InfoGainRanker().rank(X, y).top(2)
+        assert len(result.selected) == 2
+        assert len(result.scores) == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            InfoGainRanker().rank(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestCfs:
+    def test_selects_informative_not_noise(self):
+        X, y = _dataset()
+        result = CfsSubsetSelector().select(X, y)
+        assert 2 in result.selected
+        assert 0 in result.selected or 1 in result.selected
+        assert 3 not in result.selected and 4 not in result.selected
+
+    def test_redundant_pair_not_both_kept(self):
+        X, y = _dataset()
+        result = CfsSubsetSelector().select(X, y)
+        assert not (0 in result.selected and 1 in result.selected)
+
+    def test_merit_positive(self):
+        X, y = _dataset()
+        result = CfsSubsetSelector().select(X, y)
+        assert result.merit > 0
+
+    def test_max_subset_size_enforced(self):
+        X, y = _dataset(seed=1)
+        result = CfsSubsetSelector(max_subset_size=1).select(X, y)
+        assert len(result.selected) == 1
+
+    def test_names_propagated(self):
+        X, y = _dataset()
+        names = [f"feat{i}" for i in range(X.shape[1])]
+        result = CfsSubsetSelector().select(X, y, names=names)
+        assert all(name in names for name in result.names)
+
+    def test_invalid_max_stale(self):
+        with pytest.raises(ValueError):
+            CfsSubsetSelector(max_stale=0)
+
+    def test_pure_noise_selects_little(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(200, 6))
+        y = rng.integers(0, 2, 200)
+        result = CfsSubsetSelector().select(X, y)
+        # With no real signal the merit stays near zero.
+        assert result.merit < 0.3
+
+
+class TestSelectionResult:
+    def test_top_preserves_merit(self):
+        result = SelectionResult(selected=[3, 1, 2], scores=[0.5, 0.4, 0.1], merit=0.7)
+        assert result.top(2).merit == 0.7
+        assert result.top(2).selected == [3, 1]

@@ -1,0 +1,133 @@
+"""Unit tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] > 0).astype(int)
+    return X, y
+
+
+class TestFit:
+    def test_perfectly_separable_data_fits_exactly(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).all()
+
+    def test_classes_attribute_sorted(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier().fit(X, y + 5)
+        assert tree.classes_.tolist() == [5, 6]
+
+    def test_string_labels(self):
+        X, y = _separable()
+        labels = np.where(y == 0, "low", "high")
+        tree = DecisionTreeClassifier().fit(X, labels)
+        assert set(tree.predict(X)) <= {"low", "high"}
+
+    def test_max_depth_respected(self):
+        X, y = _separable(400)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.max_depth_ <= 3
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _separable(300, seed=1)
+        tree = DecisionTreeClassifier(min_samples_leaf=20).fit(X, y)
+        leaves = tree.apply(X)
+        _, counts = np.unique(leaves, return_counts=True)
+        assert counts.min() >= 20
+
+    def test_single_class_gives_single_leaf(self):
+        X = np.random.default_rng(2).normal(size=(50, 3))
+        y = np.zeros(50)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.node_count == 1
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.empty((0, 3)), np.empty(0))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+
+    def test_invalid_criterion_raises(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(criterion="mse")
+
+    def test_entropy_criterion_works(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier(criterion="entropy").fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+
+class TestPredict:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict(np.zeros((2, 3)))
+
+    def test_wrong_feature_count_raises(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 7)))
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_proba_in_unit_interval(self):
+        X, y = _separable(seed=5)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.min() >= 0.0 and proba.max() <= 1.0
+
+    def test_three_class_problem(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(300, 3))
+        y = np.digitize(X[:, 0], [-0.5, 0.5])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.95
+
+
+class TestFeatureSubsampling:
+    def test_max_features_sqrt(self):
+        X, y = _separable()
+        tree = DecisionTreeClassifier(max_features="sqrt", random_state=0).fit(X, y)
+        assert tree._n_sub == 2    # ceil(sqrt(4))
+
+    def test_max_features_int_out_of_range(self):
+        X, y = _separable()
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_features=10).fit(X, y)
+
+    def test_deterministic_given_seed(self):
+        X, y = _separable(seed=9)
+        t1 = DecisionTreeClassifier(max_features=2, random_state=42).fit(X, y)
+        t2 = DecisionTreeClassifier(max_features=2, random_state=42).fit(X, y)
+        assert (t1.predict(X) == t2.predict(X)).all()
+
+
+class TestImportances:
+    def test_importances_sum_to_one(self):
+        X, y = _separable(seed=3)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances().sum() == pytest.approx(1.0)
+
+    def test_informative_feature_dominates(self):
+        X, y = _separable(seed=4)
+        tree = DecisionTreeClassifier().fit(X, y)
+        importances = tree.feature_importances()
+        assert importances[0] == importances.max()
+        assert importances[0] > 0.8

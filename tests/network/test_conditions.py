@@ -1,0 +1,62 @@
+"""Unit tests for link-state and condition profiles."""
+
+import numpy as np
+import pytest
+
+from repro.network.conditions import PROFILES, ConditionProfile, LinkState
+
+
+class TestLinkState:
+    def test_bdp_formula(self):
+        state = LinkState(bandwidth_kbps=8000.0, rtt_ms=100.0, loss_rate=0.0)
+        # 8 Mbit/s = 1 MB/s; 100 ms -> 100 KB
+        assert state.bdp_bytes == pytest.approx(100_000.0)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            LinkState(bandwidth_kbps=0.0, rtt_ms=50.0, loss_rate=0.0)
+
+    def test_invalid_rtt(self):
+        with pytest.raises(ValueError):
+            LinkState(bandwidth_kbps=100.0, rtt_ms=-1.0, loss_rate=0.0)
+
+    def test_invalid_loss(self):
+        with pytest.raises(ValueError):
+            LinkState(bandwidth_kbps=100.0, rtt_ms=50.0, loss_rate=1.0)
+
+
+class TestProfiles:
+    def test_all_named_profiles_present(self):
+        assert set(PROFILES) == {"excellent", "good", "fair", "poor", "bad"}
+
+    def test_bandwidth_ordering(self):
+        order = ["excellent", "good", "fair", "poor", "bad"]
+        bandwidths = [PROFILES[name].bandwidth_kbps for name in order]
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_loss_ordering(self):
+        order = ["excellent", "fair", "bad"]
+        losses = [PROFILES[name].loss_rate for name in order]
+        assert losses == sorted(losses)
+
+    def test_sample_returns_valid_state(self):
+        rng = np.random.default_rng(0)
+        for profile in PROFILES.values():
+            for _ in range(20):
+                state = profile.sample(rng)
+                assert state.bandwidth_kbps >= 16.0
+                assert state.rtt_ms >= 5.0
+                assert 0.0 <= state.loss_rate <= 0.5
+
+    def test_sample_centres_near_median(self):
+        rng = np.random.default_rng(1)
+        profile = PROFILES["good"]
+        samples = [profile.sample(rng).bandwidth_kbps for _ in range(500)]
+        median = np.median(samples)
+        assert 0.7 * profile.bandwidth_kbps <= median <= 1.3 * profile.bandwidth_kbps
+
+    def test_sampling_deterministic_given_seed(self):
+        p = PROFILES["fair"]
+        a = p.sample(np.random.default_rng(5))
+        b = p.sample(np.random.default_rng(5))
+        assert a == b

@@ -1,0 +1,82 @@
+"""Tests for the diurnal load model."""
+
+import numpy as np
+import pytest
+
+from repro.network.conditions import PROFILES
+from repro.network.diurnal import DEFAULT_HOURLY_LOAD, DiurnalLoadModel
+
+
+class TestDiurnalLoadModel:
+    def test_default_has_24_hours(self):
+        assert len(DEFAULT_HOURLY_LOAD) == 24
+
+    def test_invalid_hour_count(self):
+        with pytest.raises(ValueError):
+            DiurnalLoadModel(hourly_load=(1.0,) * 23)
+
+    def test_invalid_capacity_factor(self):
+        with pytest.raises(ValueError):
+            DiurnalLoadModel(busy_hour_capacity_factor=0.0)
+
+    def test_load_wraps_around_midnight(self):
+        model = DiurnalLoadModel()
+        assert model.load_at(0.0) == model.load_at(24 * 3600.0)
+
+    def test_load_interpolates_between_hours(self):
+        model = DiurnalLoadModel()
+        at_19 = model.load_at(19 * 3600.0)
+        at_20 = model.load_at(20 * 3600.0)
+        halfway = model.load_at(19.5 * 3600.0)
+        assert min(at_19, at_20) <= halfway <= max(at_19, at_20)
+
+    def test_busy_hour_capacity_lowest(self):
+        model = DiurnalLoadModel()
+        factors = [model.capacity_factor_at(h * 3600.0) for h in range(24)]
+        assert int(np.argmin(factors)) in (18, 19, 20, 21)
+        assert min(factors) == pytest.approx(
+            model.busy_hour_capacity_factor, abs=0.05
+        )
+
+    def test_night_capacity_near_nominal(self):
+        model = DiurnalLoadModel()
+        assert model.capacity_factor_at(3 * 3600.0) > 0.9
+
+    def test_scale_profile_reduces_bandwidth(self):
+        model = DiurnalLoadModel()
+        base = PROFILES["good"]
+        busy = model.scale_profile(base, 19 * 3600.0)
+        night = model.scale_profile(base, 3 * 3600.0)
+        assert busy.bandwidth_kbps < night.bandwidth_kbps
+        assert busy.loss_rate >= night.loss_rate
+
+    def test_scaled_profile_still_valid(self):
+        model = DiurnalLoadModel()
+        profile = model.scale_profile(PROFILES["bad"], 19 * 3600.0)
+        state = profile.sample(np.random.default_rng(0))
+        assert state.bandwidth_kbps > 0
+
+
+class TestDiurnalCorpus:
+    def test_busy_hour_sessions_stall_more(self):
+        """End-to-end: evening sessions see more QoE issues than night."""
+        from repro.datasets import CorpusConfig, generate_corpus
+
+        def stall_rate(start_hour):
+            config = CorpusConfig(
+                n_sessions=60,
+                seed=5,
+                adaptive_fraction=0.1,
+                diurnal=DiurnalLoadModel(busy_hour_capacity_factor=0.25),
+                start_epoch_s=start_hour * 3600.0,
+                session_gap_s=(10.0, 30.0),   # stay within the hour band
+            )
+            corpus = generate_corpus(config)
+            ratios = [
+                r.rebuffering_ratio()
+                for r in corpus.records
+                if r.stall_duration_s is not None and r.total_duration_s
+            ]
+            return np.mean([rr > 0 for rr in ratios])
+
+        assert stall_rate(19) > stall_rate(3)

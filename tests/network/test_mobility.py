@@ -1,0 +1,59 @@
+"""Unit tests for the mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.network.mobility import COMMUTER_USER, STATIC_USER, MobilityModel
+
+
+class TestMobilityModel:
+    def test_stationary_distribution_sums_to_one(self):
+        pi = STATIC_USER.stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_commuter_more_mobile_than_static(self):
+        """The instrumented §5.2 user spends more time moving."""
+        static_pi = STATIC_USER.stationary_distribution()
+        commuter_pi = COMMUTER_USER.stationary_distribution()
+        order = list(STATIC_USER.order)
+        mobile = [order.index("commute"), order.index("outdoors")]
+        assert commuter_pi[mobile].sum() > static_pi[mobile].sum()
+
+    def test_walk_length(self):
+        rng = np.random.default_rng(0)
+        walk = STATIC_USER.walk(25, rng)
+        assert len(walk) == 25
+
+    def test_walk_zero_steps(self):
+        assert STATIC_USER.walk(0, np.random.default_rng(0)) == []
+
+    def test_walk_negative_raises(self):
+        with pytest.raises(ValueError):
+            STATIC_USER.walk(-1, np.random.default_rng(0))
+
+    def test_walk_places_valid(self):
+        rng = np.random.default_rng(1)
+        for place in COMMUTER_USER.walk(50, rng):
+            assert place.name in COMMUTER_USER.order
+            assert place.profile is not None
+
+    def test_walk_visits_match_stationary(self):
+        rng = np.random.default_rng(2)
+        walk = STATIC_USER.walk(4000, rng)
+        home_frac = sum(1 for p in walk if p.name == "home") / len(walk)
+        pi = STATIC_USER.stationary_distribution()
+        assert abs(home_frac - pi[0]) < 0.05
+
+    def test_non_stochastic_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityModel(transition=[[0.5] * 4] * 4)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            MobilityModel(transition=[[1.0]])
+
+    def test_static_flags(self):
+        places = STATIC_USER.places
+        assert places["home"].static and places["office"].static
+        assert not places["commute"].static

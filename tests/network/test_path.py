@@ -1,0 +1,83 @@
+"""Unit tests for the time-varying network path."""
+
+import numpy as np
+import pytest
+
+from repro.network.conditions import PROFILES
+from repro.network.path import NetworkPath, Outage
+
+
+class TestOutage:
+    def test_valid(self):
+        outage = Outage(10.0, 20.0, 0.1)
+        assert outage.end_s > outage.start_s
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Outage(10.0, 10.0)
+
+    def test_factor_bounds(self):
+        with pytest.raises(ValueError):
+            Outage(0.0, 1.0, factor=0.0)
+        with pytest.raises(ValueError):
+            Outage(0.0, 1.0, factor=1.5)
+
+
+class TestNetworkPath:
+    def test_profile_by_name(self):
+        path = NetworkPath("good", 60.0, np.random.default_rng(0))
+        assert path.profile is PROFILES["good"]
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            NetworkPath("good", 0.0, np.random.default_rng(0))
+
+    def test_states_valid_over_time(self):
+        path = NetworkPath("poor", 120.0, np.random.default_rng(1))
+        for t in np.linspace(0, 120, 50):
+            state = path.state_at(float(t))
+            assert state.bandwidth_kbps >= 16.0
+            assert state.rtt_ms >= 5.0
+            assert 0.0 <= state.loss_rate <= 0.5
+
+    def test_lookup_beyond_duration_clamps(self):
+        path = NetworkPath("good", 30.0, np.random.default_rng(2))
+        assert path.state_at(1000.0) == path.state_at(1e9)
+
+    def test_negative_time_clamps_to_start(self):
+        path = NetworkPath("good", 30.0, np.random.default_rng(3))
+        assert path.state_at(-5.0) == path.state_at(0.0)
+
+    def test_deterministic_given_seed(self):
+        a = NetworkPath("fair", 60.0, np.random.default_rng(7))
+        b = NetworkPath("fair", 60.0, np.random.default_rng(7))
+        assert a.state_at(30.0) == b.state_at(30.0)
+
+    def test_fading_varies_over_time(self):
+        path = NetworkPath("poor", 300.0, np.random.default_rng(4))
+        bandwidths = {round(path.state_at(t).bandwidth_kbps) for t in range(0, 300, 10)}
+        assert len(bandwidths) > 5
+
+    def test_outage_cuts_bandwidth(self):
+        rng = np.random.default_rng(5)
+        path = NetworkPath(
+            "good", 120.0, rng, outages=[Outage(40.0, 60.0, 0.05)]
+        )
+        inside = path.state_at(50.0).bandwidth_kbps
+        outside = path.state_at(10.0).bandwidth_kbps
+        assert inside < 0.3 * outside
+
+    def test_outage_inflates_rtt_and_loss(self):
+        rng = np.random.default_rng(6)
+        path = NetworkPath("good", 120.0, rng, outages=[Outage(40.0, 60.0, 0.05)])
+        assert path.state_at(50.0).loss_rate > path.state_at(10.0).loss_rate
+
+    def test_bandwidth_trace_shape(self):
+        path = NetworkPath("good", 60.0, np.random.default_rng(8))
+        times, bw = path.bandwidth_trace()
+        assert times.size == bw.size
+        assert times[0] == 0.0
+
+    def test_mean_bandwidth_positive(self):
+        path = NetworkPath("bad", 60.0, np.random.default_rng(9))
+        assert path.mean_bandwidth_kbps() > 0

@@ -1,0 +1,146 @@
+"""Unit tests for the round-based TCP transfer model."""
+
+import numpy as np
+import pytest
+
+from repro.network.path import NetworkPath, Outage
+from repro.network.tcp import MSS_BYTES, TcpConnection, TransferResult
+
+
+def _conn(profile="good", seed=0, duration=600.0, outages=None):
+    rng = np.random.default_rng(seed)
+    path = NetworkPath(profile, duration, rng, outages=outages)
+    return TcpConnection(path, rng), path
+
+
+class TestDownload:
+    def test_invalid_size(self):
+        conn, _ = _conn()
+        with pytest.raises(ValueError):
+            conn.download(0, 0.0)
+
+    def test_invalid_start(self):
+        conn, _ = _conn()
+        with pytest.raises(ValueError):
+            conn.download(1000, -1.0)
+
+    def test_duration_positive(self):
+        conn, _ = _conn()
+        result = conn.download(500_000, 1.0)
+        assert result.duration_s > 0
+        assert result.end_s == pytest.approx(result.start_s + result.duration_s)
+
+    def test_throughput_bounded_by_capacity(self):
+        conn, path = _conn("good", seed=1)
+        result = conn.download(2_000_000, 1.0)
+        # Goodput cannot exceed ~2x the best instantaneous capacity
+        # (2x headroom for trace fading between lookups).
+        peak = max(path.state_at(t).bandwidth_kbps for t in range(0, 60))
+        assert result.throughput_kbps <= 2 * peak
+
+    def test_bigger_transfer_takes_longer(self):
+        conn_a, _ = _conn(seed=2)
+        conn_b, _ = _conn(seed=2)
+        small = conn_a.download(100_000, 1.0)
+        large = conn_b.download(5_000_000, 1.0)
+        assert large.duration_s > small.duration_s
+
+    def test_slow_network_slower(self):
+        fast, _ = _conn("excellent", seed=3)
+        slow, _ = _conn("bad", seed=3)
+        assert (
+            slow.download(500_000, 1.0).duration_s
+            > fast.download(500_000, 1.0).duration_s
+        )
+
+    def test_rtt_stats_ordered(self):
+        conn, _ = _conn(seed=4)
+        result = conn.download(1_000_000, 0.0)
+        assert result.rtt_min_ms <= result.rtt_avg_ms <= result.rtt_max_ms
+
+    def test_bif_stats_ordered_and_bounded(self):
+        conn, _ = _conn(seed=5)
+        result = conn.download(1_000_000, 0.0)
+        assert 0 < result.bif_avg_bytes <= result.bif_max_bytes
+
+    def test_loss_and_retx_match(self):
+        conn, _ = _conn("bad", seed=6)
+        result = conn.download(2_000_000, 0.0)
+        assert result.loss_pct == result.retx_pct
+        assert 0.0 <= result.loss_pct < 50.0
+
+    def test_lossy_network_more_retransmissions(self):
+        results_bad, results_good = [], []
+        for seed in range(5):
+            bad, _ = _conn("bad", seed=seed)
+            good, _ = _conn("excellent", seed=seed)
+            results_bad.append(bad.download(2_000_000, 0.0).retx_pct)
+            results_good.append(good.download(2_000_000, 0.0).retx_pct)
+        assert np.mean(results_bad) > np.mean(results_good)
+
+    def test_bdp_reflects_link(self):
+        conn, path = _conn("good", seed=7)
+        result = conn.download(500_000, 0.0)
+        nominal = path.base_state.bdp_bytes
+        assert 0.05 * nominal < result.bdp_bytes < 20 * nominal
+
+
+class TestConnectionState:
+    def test_cwnd_grows_across_back_to_back_chunks(self):
+        conn, _ = _conn("excellent", seed=8)
+        first = conn.download(500_000, 0.0)
+        second = conn.download(500_000, first.end_s + 0.01)
+        assert second.duration_s <= first.duration_s * 1.5
+        assert second.bif_max_bytes >= first.bif_max_bytes * 0.5
+
+    def test_idle_restart_resets_window(self):
+        conn, _ = _conn("excellent", seed=9)
+        first = conn.download(2_000_000, 0.0)
+        # long idle -> slow-start restart -> first rounds small again
+        late = conn.download(2_000_000, first.end_s + 120.0)
+        assert conn._cwnd > 0     # still sane
+        assert late.bif_avg_bytes < first.bif_max_bytes * 1.5
+
+    def test_outage_slows_transfer(self):
+        slow, _ = _conn("good", seed=10, outages=[Outage(5.0, 60.0, 0.05)])
+        fast, _ = _conn("good", seed=10)
+        assert (
+            slow.download(1_000_000, 10.0).duration_s
+            > fast.download(1_000_000, 10.0).duration_s
+        )
+
+    def test_transfer_result_fields_finite(self):
+        conn, _ = _conn("fair", seed=11)
+        result = conn.download(750_000, 3.0)
+        for value in (
+            result.duration_s,
+            result.rtt_min_ms,
+            result.rtt_avg_ms,
+            result.rtt_max_ms,
+            result.bdp_bytes,
+            result.bif_avg_bytes,
+            result.bif_max_bytes,
+            result.loss_pct,
+        ):
+            assert np.isfinite(value)
+
+
+class TestMss:
+    def test_mss_constant(self):
+        assert MSS_BYTES == 1460
+
+    def test_throughput_property_zero_duration(self):
+        result = TransferResult(
+            bytes=100,
+            start_s=0.0,
+            duration_s=0.0,
+            rtt_min_ms=1,
+            rtt_avg_ms=1,
+            rtt_max_ms=1,
+            loss_pct=0,
+            retx_pct=0,
+            bif_avg_bytes=1,
+            bif_max_bytes=1,
+            bdp_bytes=1,
+        )
+        assert result.throughput_kbps == 0.0

@@ -1,0 +1,89 @@
+"""Integration tests for the real-time monitor."""
+
+import numpy as np
+import pytest
+
+from repro import QoEFramework
+from repro.capture.proxy import WebProxy
+from repro.realtime import RealTimeMonitor
+
+
+@pytest.fixture(scope="module")
+def framework(stall_records, adaptive_records):
+    return QoEFramework(random_state=0, n_estimators=12).fit(
+        stall_records, adaptive_records
+    )
+
+
+def _stream(sessions, seed=0, subscriber="sub-x", gap=200.0):
+    proxy = WebProxy(np.random.default_rng(seed))
+    entries = []
+    epoch = 0.0
+    for session in sessions:
+        entries.extend(
+            proxy.observe(session, subscriber, start_epoch_s=epoch, encrypted=True)
+        )
+        epoch += session.total_duration_s + gap
+    entries.sort(key=lambda e: e.timestamp_s)
+    return entries
+
+
+class TestRealTimeMonitor:
+    def test_invalid_parameters(self, framework):
+        with pytest.raises(ValueError):
+            RealTimeMonitor(framework, severe_alarm_after=0)
+        with pytest.raises(ValueError):
+            RealTimeMonitor(framework, stall_ratio_alarm=0.0)
+
+    def test_sessions_diagnosed_as_they_close(
+        self, framework, one_adaptive_session, one_progressive_session
+    ):
+        monitor = RealTimeMonitor(framework)
+        stream = _stream([one_adaptive_session, one_progressive_session])
+        live = monitor.feed_many(stream)
+        live += monitor.flush()
+        assert len(live) == 2
+        assert len(monitor.diagnoses) == 2
+
+    def test_health_counters_update(self, framework, one_adaptive_session):
+        monitor = RealTimeMonitor(framework)
+        monitor.feed_many(_stream([one_adaptive_session]))
+        monitor.flush()
+        health = monitor.health["sub-x"]
+        assert health.sessions == 1
+        assert 0.0 <= health.stall_ratio <= 1.0
+
+    def test_callback_invoked(self, framework, one_adaptive_session):
+        seen = []
+        monitor = RealTimeMonitor(framework, on_diagnosis=seen.append)
+        monitor.feed_many(_stream([one_adaptive_session]))
+        monitor.flush()
+        assert len(seen) == 1
+
+    def test_severe_alarm_fires_once(self, framework, one_adaptive_session):
+        monitor = RealTimeMonitor(framework, severe_alarm_after=1)
+        # force every diagnosis severe by monkeypatching the stall model
+        monitor.framework.stall.predict = lambda records: np.array(
+            ["severe stalls"] * len(records)
+        )
+        stream = _stream([one_adaptive_session, one_adaptive_session], seed=1)
+        monitor.feed_many(stream)
+        monitor.flush()
+        assert len(monitor.alarms) == 1
+        assert "severe" in monitor.alarms[0].reason
+
+    def test_stall_ratio_alarm(self, framework, one_adaptive_session):
+        monitor = RealTimeMonitor(
+            framework,
+            severe_alarm_after=10_000,
+            stall_ratio_alarm=0.5,
+            min_sessions_for_ratio=2,
+        )
+        monitor.framework.stall.predict = lambda records: np.array(
+            ["mild stalls"] * len(records)
+        )
+        stream = _stream([one_adaptive_session] * 3, seed=2)
+        monitor.feed_many(stream)
+        monitor.flush()
+        assert monitor.alarms
+        assert "ratio" in monitor.alarms[0].reason

@@ -1,0 +1,104 @@
+"""Unit tests for the online session tracker."""
+
+import numpy as np
+import pytest
+
+from repro.capture.proxy import WebProxy
+from repro.realtime.tracker import OnlineSessionTracker
+
+
+def _entries(session, epoch, seed=0, subscriber="sub-a"):
+    proxy = WebProxy(np.random.default_rng(seed))
+    return proxy.observe(session, subscriber, start_epoch_s=epoch, encrypted=True)
+
+
+class TestOnlineSessionTracker:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            OnlineSessionTracker(idle_gap_s=0)
+        with pytest.raises(ValueError):
+            OnlineSessionTracker(min_media_chunks=0)
+
+    def test_non_youtube_traffic_ignored(self, one_adaptive_session):
+        tracker = OnlineSessionTracker()
+        entries = _entries(one_adaptive_session, 0.0)
+        for entry in entries:
+            entry = type(entry)(**{**entry.__dict__, "server_name": "cdn.other.example"})
+            assert tracker.observe(entry) == []
+        assert tracker.open_sessions == 0
+
+    def test_single_session_closed_on_flush(self, one_adaptive_session):
+        tracker = OnlineSessionTracker()
+        closed = []
+        for entry in _entries(one_adaptive_session, 0.0):
+            closed.extend(tracker.observe(entry))
+        assert closed == []              # still open: no gap seen yet
+        closed = tracker.flush()
+        assert len(closed) == 1
+        assert closed[0].n_chunks == len(one_adaptive_session.chunks)
+
+    def test_gap_closes_session(self, one_adaptive_session, one_progressive_session):
+        tracker = OnlineSessionTracker(idle_gap_s=30.0)
+        stream = _entries(one_adaptive_session, 0.0)
+        stream += _entries(
+            one_progressive_session,
+            one_adaptive_session.total_duration_s + 300.0,
+            seed=1,
+        )
+        stream.sort(key=lambda e: e.timestamp_s)
+        closed = []
+        for entry in stream:
+            closed.extend(tracker.observe(entry))
+        closed.extend(tracker.flush())
+        assert len(closed) == 2
+
+    def test_online_matches_offline_reconstruction(
+        self, one_adaptive_session, one_progressive_session
+    ):
+        """The incremental tracker groups exactly like the batch one."""
+        from repro.capture.reconstruction import SessionReconstructor
+
+        stream = _entries(one_adaptive_session, 0.0)
+        stream += _entries(
+            one_progressive_session,
+            one_adaptive_session.total_duration_s + 200.0,
+            seed=1,
+        )
+        stream.sort(key=lambda e: e.timestamp_s)
+
+        offline = SessionReconstructor().reconstruct(stream)
+
+        tracker = OnlineSessionTracker()
+        online = []
+        for entry in stream:
+            online.extend(tracker.observe(entry))
+        online.extend(tracker.flush())
+
+        assert sorted(s.chunk_count for s in offline) == sorted(
+            r.n_chunks for r in online
+        )
+
+    def test_per_subscriber_isolation(self, one_adaptive_session):
+        tracker = OnlineSessionTracker()
+        a = _entries(one_adaptive_session, 0.0, subscriber="sub-a")
+        b = _entries(one_adaptive_session, 0.0, seed=1, subscriber="sub-b")
+        merged = sorted(a + b, key=lambda e: e.timestamp_s)
+        for entry in merged:
+            tracker.observe(entry)
+        assert tracker.open_sessions == 2
+        closed = tracker.flush()
+        assert len(closed) == 2
+
+    def test_flush_with_now_only_closes_idle(self, one_adaptive_session):
+        tracker = OnlineSessionTracker(idle_gap_s=30.0)
+        for entry in _entries(one_adaptive_session, 0.0):
+            tracker.observe(entry)
+        last = one_adaptive_session.total_duration_s
+        assert tracker.flush(now_s=last + 5.0) == []       # still fresh
+        assert len(tracker.flush(now_s=last + 500.0)) == 1  # now idle
+
+    def test_short_fragments_discarded(self, one_adaptive_session):
+        tracker = OnlineSessionTracker(min_media_chunks=10_000)
+        for entry in _entries(one_adaptive_session, 0.0):
+            tracker.observe(entry)
+        assert tracker.flush() == []

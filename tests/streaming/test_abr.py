@@ -1,0 +1,128 @@
+"""Unit tests for the ABR algorithms."""
+
+import pytest
+
+from repro.streaming.abr import (
+    BufferAbr,
+    HybridAbr,
+    ThroughputAbr,
+    ThroughputEstimator,
+)
+from repro.streaming.catalog import DASH_LADDER, Video
+
+VIDEO = Video(video_id="v", duration_s=120.0, complexity=1.0)
+LADDER = DASH_LADDER
+
+
+def _rung(resolution):
+    return next(q for q in LADDER if q.resolution_p == resolution)
+
+
+class TestThroughputEstimator:
+    def test_first_sample_is_estimate(self):
+        est = ThroughputEstimator()
+        est.update(1000.0)
+        assert est.estimate_kbps == 1000.0
+
+    def test_ewma_moves_toward_new_samples(self):
+        est = ThroughputEstimator(alpha=0.5)
+        est.update(1000.0)
+        est.update(2000.0)
+        assert est.estimate_kbps == pytest.approx(1500.0)
+
+    def test_zero_before_samples(self):
+        assert ThroughputEstimator().estimate_kbps == 0.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputEstimator().update(-1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ThroughputEstimator(alpha=0.0)
+
+
+class TestThroughputAbr:
+    def test_high_throughput_gets_top_rung(self):
+        abr = ThroughputAbr(safety=0.8)
+        choice = abr.select(LADDER, VIDEO, 100_000.0, 20.0, None)
+        assert choice.resolution_p == 1080
+
+    def test_low_throughput_gets_bottom_rung(self):
+        abr = ThroughputAbr()
+        choice = abr.select(LADDER, VIDEO, 50.0, 20.0, None)
+        assert choice.resolution_p == 144
+
+    def test_safety_margin_applied(self):
+        abr = ThroughputAbr(safety=0.5)
+        # 1000 kbps * 0.5 = 500 -> exactly the 360p rung
+        choice = abr.select(LADDER, VIDEO, 1000.0, 20.0, None)
+        assert choice.resolution_p == 360
+
+
+class TestBufferAbr:
+    def test_empty_buffer_lowest(self):
+        abr = BufferAbr(reservoir_s=5.0, cushion_s=25.0)
+        assert abr.select(LADDER, VIDEO, 1e9, 2.0, None).resolution_p == 144
+
+    def test_full_buffer_highest(self):
+        abr = BufferAbr(reservoir_s=5.0, cushion_s=25.0)
+        assert abr.select(LADDER, VIDEO, 0.0, 30.0, None).resolution_p == 1080
+
+    def test_midpoint_intermediate(self):
+        abr = BufferAbr(reservoir_s=5.0, cushion_s=25.0)
+        choice = abr.select(LADDER, VIDEO, 0.0, 15.0, None)
+        assert 144 < choice.resolution_p < 1080
+
+
+class TestHybridAbr:
+    def test_panic_drops_to_sustainable_rung(self):
+        """Panic needs low buffer AND insufficient throughput; it then
+        drops straight to the sustainable rung (skipping the one-rung
+        downswitch rule)."""
+        abr = HybridAbr(panic_s=2.5)
+        current = _rung(480)
+        choice = abr.select(LADDER, VIDEO, 400.0, 1.0, current, playback_started=True)
+        # budget 320 sustains the 240p rung (250 kbps)
+        assert choice.resolution_p == 240
+
+    def test_no_panic_when_throughput_sufficient(self):
+        abr = HybridAbr(panic_s=2.5)
+        current = _rung(480)
+        choice = abr.select(LADDER, VIDEO, 1e9, 1.0, current, playback_started=True)
+        assert choice.resolution_p >= 480
+
+    def test_no_panic_during_initial_fill(self):
+        abr = HybridAbr(panic_s=2.5)
+        current = _rung(480)
+        choice = abr.select(LADDER, VIDEO, 5000.0, 1.0, current, playback_started=False)
+        assert choice.resolution_p >= 480
+
+    def test_upswitch_one_rung_at_a_time(self):
+        abr = HybridAbr(upswitch_min_buffer_s=10.0)
+        current = _rung(240)
+        choice = abr.select(LADDER, VIDEO, 1e9, 20.0, current)
+        assert choice.resolution_p == 360
+
+    def test_upswitch_blocked_on_thin_buffer(self):
+        abr = HybridAbr(upswitch_min_buffer_s=10.0)
+        current = _rung(240)
+        choice = abr.select(LADDER, VIDEO, 1e9, 5.0, current)
+        assert choice.resolution_p == 240
+
+    def test_downswitch_immediate_when_buffer_thin(self):
+        abr = HybridAbr(downswitch_max_buffer_s=15.0)
+        current = _rung(1080)
+        choice = abr.select(LADDER, VIDEO, 400.0, 8.0, current)
+        assert choice.resolution_p == 240
+
+    def test_downswitch_suppressed_on_full_buffer(self):
+        abr = HybridAbr(downswitch_max_buffer_s=15.0)
+        current = _rung(1080)
+        choice = abr.select(LADDER, VIDEO, 400.0, 28.0, current)
+        assert choice.resolution_p == 1080
+
+    def test_initial_selection_uses_throughput(self):
+        abr = HybridAbr(safety=0.8)
+        choice = abr.select(LADDER, VIDEO, 3000.0, 0.0, None, playback_started=False)
+        assert choice.resolution_p == 720

@@ -1,0 +1,106 @@
+"""Unit tests for the playout buffer model."""
+
+import pytest
+
+from repro.streaming.buffer import PlayoutBuffer, StallEvent
+
+
+class TestStartup:
+    def test_playback_waits_for_threshold(self):
+        buffer = PlayoutBuffer(startup_threshold_s=4.0)
+        buffer.add_media(1.0, 2.0)
+        assert not buffer.playback_started
+        buffer.add_media(2.0, 3.0)
+        assert buffer.playback_started
+        assert buffer.startup_delay_s == 2.0
+
+    def test_no_drain_before_start(self):
+        buffer = PlayoutBuffer()
+        buffer.add_media(1.0, 2.0)
+        buffer.advance_to(100.0)
+        assert buffer.level_s == 2.0
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            PlayoutBuffer(startup_threshold_s=0.0)
+
+
+class TestDrainAndStall:
+    def _started(self):
+        buffer = PlayoutBuffer(startup_threshold_s=4.0, rebuffer_threshold_s=2.0)
+        buffer.add_media(1.0, 10.0)
+        assert buffer.playback_started
+        return buffer
+
+    def test_real_time_drain(self):
+        buffer = self._started()
+        buffer.advance_to(5.0)
+        assert buffer.level_s == pytest.approx(6.0)
+        assert buffer.played_s == pytest.approx(4.0)
+
+    def test_stall_when_buffer_empties(self):
+        buffer = self._started()
+        buffer.advance_to(20.0)    # needs 19s, has 10
+        assert buffer.stalled
+        assert buffer.stalled_since == pytest.approx(11.0)
+
+    def test_stall_closed_on_refill(self):
+        buffer = self._started()
+        buffer.advance_to(20.0)
+        buffer.add_media(22.0, 3.0)   # refill above the 2s threshold
+        assert not buffer.stalled
+        assert len(buffer.stalls) == 1
+        stall = buffer.stalls[0]
+        assert stall.start_s == pytest.approx(11.0)
+        assert stall.duration_s == pytest.approx(11.0)
+
+    def test_small_refill_keeps_stalling(self):
+        buffer = self._started()
+        buffer.advance_to(20.0)
+        buffer.add_media(21.0, 1.0)   # below rebuffer threshold of 2
+        assert buffer.stalled
+
+    def test_exact_drain_is_not_a_stall(self):
+        buffer = self._started()
+        buffer.advance_to(11.0)       # exactly 10s of playback
+        buffer.finish(11.0)
+        assert buffer.stalls == []
+
+    def test_clock_cannot_go_backwards(self):
+        buffer = self._started()
+        buffer.advance_to(5.0)
+        with pytest.raises(ValueError):
+            buffer.advance_to(4.0)
+
+    def test_negative_media_rejected(self):
+        buffer = PlayoutBuffer()
+        with pytest.raises(ValueError):
+            buffer.add_media(0.0, -1.0)
+
+    def test_finish_flushes_open_stall(self):
+        buffer = self._started()
+        buffer.advance_to(30.0)
+        buffer.finish(30.0)
+        assert not buffer.stalled
+        assert len(buffer.stalls) == 1
+        assert buffer.stalls[0].duration_s == pytest.approx(19.0)
+
+    def test_total_stall_time(self):
+        buffer = self._started()
+        buffer.advance_to(13.0)       # stall from 11
+        buffer.add_media(14.0, 5.0)   # stall 11->14 = 3s
+        buffer.advance_to(25.0)       # stall again from 19
+        buffer.finish(26.0)
+        assert buffer.total_stall_s() == pytest.approx(3.0 + 7.0)
+
+    def test_sub_perceptual_stall_ignored(self):
+        buffer = self._started()
+        buffer.advance_to(11.0001)
+        buffer.add_media(11.005, 5.0)
+        assert buffer.stalls == []
+
+
+class TestStallEvent:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            StallEvent(start_s=1.0, duration_s=-0.1)

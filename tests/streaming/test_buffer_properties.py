@@ -1,0 +1,73 @@
+"""Property-based tests of the playout-buffer invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streaming.buffer import PlayoutBuffer
+
+# A random schedule of (dt_to_next_event, media_delivered) steps.
+schedule_st = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=15.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run(schedule):
+    buffer = PlayoutBuffer(startup_threshold_s=4.0, rebuffer_threshold_s=2.0)
+    clock = 0.0
+    total_media = 0.0
+    for dt, media in schedule:
+        clock += dt
+        buffer.add_media(clock, media)
+        total_media += media
+    buffer.finish(clock + 5.0)
+    return buffer, total_media
+
+
+@given(schedule_st)
+def test_media_conservation(schedule):
+    """played + buffered never exceeds what was delivered."""
+    buffer, total_media = _run(schedule)
+    assert buffer.played_s + buffer.level_s <= total_media + 1e-6
+
+
+@given(schedule_st)
+def test_level_never_negative(schedule):
+    buffer, _ = _run(schedule)
+    assert buffer.level_s >= -1e-9
+    assert buffer.played_s >= -1e-9
+
+
+@given(schedule_st)
+def test_stalls_sorted_and_disjoint(schedule):
+    buffer, _ = _run(schedule)
+    stalls = buffer.stalls
+    for a, b in zip(stalls, stalls[1:]):
+        assert a.start_s + a.duration_s <= b.start_s + 1e-6
+
+
+@given(schedule_st)
+def test_stalls_only_after_playback_started(schedule):
+    buffer, _ = _run(schedule)
+    if buffer.stalls:
+        assert buffer.playback_started
+        assert buffer.startup_delay_s is not None
+        assert buffer.stalls[0].start_s >= buffer.startup_delay_s - 1e-6
+
+
+@given(schedule_st)
+def test_total_stall_bounded_by_wall_clock(schedule):
+    buffer, _ = _run(schedule)
+    assert buffer.total_stall_s() <= buffer.clock_s + 1e-6
+
+
+@given(schedule_st)
+def test_no_open_stall_after_finish(schedule):
+    buffer, _ = _run(schedule)
+    assert not buffer.stalled

@@ -1,0 +1,100 @@
+"""Unit tests for the video catalog and quality ladder."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.catalog import (
+    AUDIO_LEVEL,
+    DASH_LADDER,
+    PROGRESSIVE_LADDER,
+    QualityLevel,
+    Video,
+    VideoCatalog,
+    quality_for_itag,
+)
+
+
+class TestLadder:
+    def test_dash_ladder_covers_paper_resolutions(self):
+        resolutions = {q.resolution_p for q in DASH_LADDER}
+        assert resolutions == {144, 240, 360, 480, 720, 1080}
+
+    def test_bitrates_increase_with_resolution(self):
+        ordered = sorted(DASH_LADDER, key=lambda q: q.resolution_p)
+        bitrates = [q.bitrate_kbps for q in ordered]
+        assert bitrates == sorted(bitrates)
+
+    def test_itags_unique(self):
+        itags = [q.itag for q in DASH_LADDER + PROGRESSIVE_LADDER] + [AUDIO_LEVEL.itag]
+        assert len(itags) == len(set(itags))
+
+    def test_itag_lookup_roundtrip(self):
+        for level in DASH_LADDER:
+            assert quality_for_itag(level.itag) is level
+
+    def test_unknown_itag_raises(self):
+        with pytest.raises(KeyError):
+            quality_for_itag(9999)
+
+    def test_audio_level_is_adaptive(self):
+        assert AUDIO_LEVEL.adaptive
+        assert AUDIO_LEVEL.resolution_p == 0
+
+    def test_invalid_quality_level(self):
+        with pytest.raises(ValueError):
+            QualityLevel(resolution_p=-1, itag=1, bitrate_kbps=100.0, adaptive=True)
+
+
+class TestVideo:
+    def test_bitrate_scales_with_complexity(self):
+        video = Video(video_id="v", duration_s=60.0, complexity=2.0)
+        level = DASH_LADDER[2]
+        assert video.bitrate_kbps(level) == pytest.approx(2.0 * level.bitrate_kbps)
+
+    def test_audio_bitrate_not_scaled(self):
+        video = Video(video_id="v", duration_s=60.0, complexity=2.0)
+        assert video.bitrate_kbps(AUDIO_LEVEL) == AUDIO_LEVEL.bitrate_kbps
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            Video(video_id="v", duration_s=0.0)
+
+    def test_invalid_complexity(self):
+        with pytest.raises(ValueError):
+            Video(video_id="v", duration_s=10.0, complexity=0.0)
+
+
+class TestCatalog:
+    def test_sample_within_bounds(self):
+        catalog = VideoCatalog()
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            video = catalog.sample(rng)
+            assert 30.0 <= video.duration_s <= 3600.0
+            assert 0.4 <= video.complexity <= 2.5
+
+    def test_mean_duration_roughly_matches(self):
+        catalog = VideoCatalog(mean_duration_s=180.0)
+        rng = np.random.default_rng(1)
+        durations = [catalog.sample(rng).duration_s for _ in range(800)]
+        assert 120.0 <= np.mean(durations) <= 260.0
+
+    def test_video_ids_unique_and_11_chars(self):
+        catalog = VideoCatalog()
+        rng = np.random.default_rng(2)
+        ids = [catalog.sample(rng).video_id for _ in range(50)]
+        assert all(len(i) == 11 for i in ids)
+        assert len(set(ids)) == 50
+
+    def test_sample_many(self):
+        catalog = VideoCatalog()
+        videos = catalog.sample_many(7, np.random.default_rng(3))
+        assert len(videos) == 7
+
+    def test_sample_many_negative_raises(self):
+        with pytest.raises(ValueError):
+            VideoCatalog().sample_many(-1, np.random.default_rng(0))
+
+    def test_invalid_mean_duration(self):
+        with pytest.raises(ValueError):
+            VideoCatalog(mean_duration_s=-5.0)

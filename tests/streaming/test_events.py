@@ -1,0 +1,58 @@
+"""Tests for the playback event timeline."""
+
+import numpy as np
+import pytest
+
+from repro.network.path import NetworkPath, Outage
+from repro.streaming import AdaptivePlayer, AdaptivePlayerConfig, Video
+from repro.streaming.events import PlaybackEvent, build_event_log
+
+
+class TestPlaybackEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            PlaybackEvent(kind="rewind", time_s=0.0)
+
+
+class TestEventLog:
+    def _session(self, outages=None, seed=0):
+        rng = np.random.default_rng(seed)
+        video = Video(video_id="evt-video-0", duration_s=150.0)
+        path = NetworkPath("good", 900.0, np.random.default_rng(seed), outages=outages)
+        config = AdaptivePlayerConfig(mean_patience_stall_s=300.0)
+        return AdaptivePlayer(config).play(video, path, rng)
+
+    def test_events_time_ordered(self):
+        events = self._session().event_log()
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+
+    def test_loaded_then_play_first(self):
+        events = self._session().event_log()
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "loaded"
+        assert "play" in kinds
+        assert kinds.index("loaded") < kinds.index("play")
+
+    def test_terminal_event_last(self):
+        events = self._session().event_log()
+        assert events[-1].kind in ("ended", "abandoned")
+
+    def test_stall_events_paired(self):
+        session = self._session(outages=[Outage(20.0, 65.0, 0.03)], seed=3)
+        events = session.event_log()
+        starts = [e for e in events if e.kind == "stall_start"]
+        ends = [e for e in events if e.kind == "stall_end"]
+        assert len(starts) == len(ends) == session.stall_count
+
+    def test_switch_events_match_switch_count(self):
+        session = self._session(outages=[Outage(20.0, 65.0, 0.03)], seed=3)
+        events = session.event_log()
+        switches = [e for e in events if e.kind == "switch"]
+        assert len(switches) == session.switch_count()
+        for event in switches:
+            assert "->" in event.detail
+
+    def test_healthy_session_has_no_stall_events(self):
+        events = self._session(seed=1).event_log()
+        assert not any(e.kind.startswith("stall") for e in events)

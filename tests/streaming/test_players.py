@@ -1,0 +1,175 @@
+"""Unit/behaviour tests for the adaptive and progressive player sims."""
+
+import numpy as np
+import pytest
+
+from repro.network.path import NetworkPath, Outage
+from repro.streaming.adaptive import AdaptivePlayer, AdaptivePlayerConfig
+from repro.streaming.catalog import DASH_LADDER, PROGRESSIVE_LADDER, Video
+from repro.streaming.progressive import (
+    ProgressivePlayer,
+    ProgressivePlayerConfig,
+    select_static_quality,
+)
+
+
+def _video(duration=120.0):
+    return Video(video_id="test-video0", duration_s=duration, complexity=1.0)
+
+
+def _path(profile="good", seed=0, duration=900.0, outages=None):
+    return NetworkPath(profile, duration, np.random.default_rng(seed), outages=outages)
+
+
+class TestProgressivePlayer:
+    def test_full_video_downloaded(self):
+        rng = np.random.default_rng(1)
+        session = ProgressivePlayer().play(_video(), _path(seed=1), rng)
+        media = sum(c.media_seconds for c in session.video_chunks)
+        assert media == pytest.approx(120.0, abs=0.5)
+
+    def test_single_quality_throughout(self):
+        rng = np.random.default_rng(2)
+        session = ProgressivePlayer().play(_video(), _path(seed=2), rng)
+        assert len({c.resolution_p for c in session.video_chunks}) == 1
+
+    def test_no_stalls_on_excellent_network(self):
+        rng = np.random.default_rng(3)
+        session = ProgressivePlayer().play(
+            _video(), _path("excellent", seed=3), rng
+        )
+        assert session.stall_count == 0
+
+    def test_outage_causes_stall_and_small_chunks(self):
+        rng = np.random.default_rng(4)
+        path = _path("good", seed=4, outages=[Outage(20.0, 60.0, 0.03)])
+        session = ProgressivePlayer().play(
+            _video(240.0), path, rng,
+            quality=PROGRESSIVE_LADDER[2],       # 360p on a dying link
+        )
+        assert session.stall_count >= 1
+        sizes = session.chunk_sizes()
+        assert sizes.min() < 0.4 * sizes.max()
+
+    def test_chunks_are_time_ordered(self):
+        rng = np.random.default_rng(5)
+        session = ProgressivePlayer().play(_video(), _path(seed=5), rng)
+        times = session.chunk_times()
+        assert np.all(np.diff(times) > -1e-9)
+
+    def test_abandonment_on_hopeless_network(self):
+        rng = np.random.default_rng(6)
+        config = ProgressivePlayerConfig(mean_patience_stall_s=5.0)
+        session = ProgressivePlayer(config).play(
+            _video(600.0), _path("bad", seed=6, duration=3000.0), rng,
+            quality=PROGRESSIVE_LADDER[-1],      # 720p on a bad link
+        )
+        assert session.abandoned
+
+    def test_session_metadata(self):
+        rng = np.random.default_rng(7)
+        session = ProgressivePlayer().play(
+            _video(), _path(seed=7), rng, place="office"
+        )
+        assert session.kind == "progressive"
+        assert session.place == "office"
+        assert len(session.session_id) == 16
+        assert session.total_duration_s > 0
+
+
+class TestSelectStaticQuality:
+    def test_fast_network_high_quality(self):
+        rng = np.random.default_rng(8)
+        picks = [
+            select_static_quality(
+                PROGRESSIVE_LADDER, _video(), 20_000.0, rng
+            ).resolution_p
+            for _ in range(30)
+        ]
+        assert np.median(picks) >= 360
+
+    def test_slow_network_low_quality(self):
+        rng = np.random.default_rng(9)
+        picks = [
+            select_static_quality(
+                PROGRESSIVE_LADDER, _video(), 200.0, rng
+            ).resolution_p
+            for _ in range(30)
+        ]
+        assert np.median(picks) <= 240
+
+
+class TestAdaptivePlayer:
+    def test_full_video_downloaded(self):
+        rng = np.random.default_rng(10)
+        session = AdaptivePlayer().play(_video(), _path(seed=10), rng)
+        media = sum(c.media_seconds for c in session.video_chunks)
+        assert media == pytest.approx(120.0, abs=0.5)
+
+    def test_audio_media_matches_video_media(self):
+        rng = np.random.default_rng(11)
+        session = AdaptivePlayer().play(_video(), _path(seed=11), rng)
+        video_media = sum(c.media_seconds for c in session.video_chunks)
+        audio_media = sum(
+            c.media_seconds for c in session.chunks if c.kind == "audio"
+        )
+        assert audio_media == pytest.approx(video_media, abs=0.5)
+
+    def test_audio_disabled(self):
+        rng = np.random.default_rng(12)
+        config = AdaptivePlayerConfig(include_audio=False)
+        session = AdaptivePlayer(config).play(_video(), _path(seed=12), rng)
+        assert all(c.kind == "video" for c in session.chunks)
+
+    def test_quality_adapts_down_under_outage(self):
+        rng = np.random.default_rng(13)
+        path = _path("good", seed=13, outages=[Outage(20.0, 70.0, 0.03)])
+        config = AdaptivePlayerConfig(mean_patience_stall_s=300.0)
+        session = AdaptivePlayer(config).play(_video(240.0), path, rng)
+        resolutions = [c.resolution_p for c in session.video_chunks]
+        assert min(resolutions) < max(resolutions)
+
+    def test_ladder_cap_respected(self):
+        rng = np.random.default_rng(14)
+        ladder = [q for q in DASH_LADDER if q.resolution_p <= 360]
+        config = AdaptivePlayerConfig(ladder=ladder)
+        session = AdaptivePlayer(config).play(
+            _video(), _path("excellent", seed=14), rng
+        )
+        assert max(c.resolution_p for c in session.video_chunks) <= 360
+
+    def test_no_stalls_on_excellent_network(self):
+        rng = np.random.default_rng(15)
+        session = AdaptivePlayer().play(
+            _video(), _path("excellent", seed=15), rng
+        )
+        assert session.stall_count == 0
+
+    def test_switch_free_sessions_exist_on_stable_networks(self):
+        """Figure 4 needs a population of sessions without any quality
+        switch; stable links with a good initial estimate provide it."""
+        counts = []
+        for seed in range(16, 26):
+            rng = np.random.default_rng(seed)
+            session = AdaptivePlayer().play(
+                _video(), _path("excellent", seed=seed), rng
+            )
+            counts.append(session.switch_count())
+        assert min(counts) == 0
+        # and stable sessions never rack up pathological switch counts
+        assert np.median(counts) <= 5
+
+    def test_faststart_after_switch(self):
+        """After a forced switch the request sizes re-ramp (Figure 3)."""
+        rng = np.random.default_rng(17)
+        path = _path("good", seed=17, outages=[Outage(30.0, 75.0, 0.03)])
+        session = AdaptivePlayer().play(_video(300.0), path, rng)
+        video_chunks = session.video_chunks
+        media = [c.media_seconds for c in video_chunks]
+        # at least one post-start chunk drops back to the fast-start size
+        assert min(media[1:]) <= AdaptivePlayerConfig().faststart_media_s + 1e-9
+
+    def test_kind_is_adaptive(self):
+        rng = np.random.default_rng(18)
+        session = AdaptivePlayer().play(_video(), _path(seed=18), rng)
+        assert session.kind == "adaptive"

@@ -1,0 +1,157 @@
+"""Unit tests for the VideoSession record and its derived quantities."""
+
+import numpy as np
+import pytest
+
+from repro.network.tcp import TransferResult
+from repro.streaming.buffer import StallEvent
+from repro.streaming.catalog import AUDIO_LEVEL, DASH_LADDER, Video
+from repro.streaming.segments import ChunkDownload
+from repro.streaming.session import VideoSession, make_session_id
+
+
+def _transfer(start, duration=1.0, size=1000):
+    return TransferResult(
+        bytes=size,
+        start_s=start,
+        duration_s=duration,
+        rtt_min_ms=40.0,
+        rtt_avg_ms=50.0,
+        rtt_max_ms=60.0,
+        loss_pct=0.0,
+        retx_pct=0.0,
+        bif_avg_bytes=1000.0,
+        bif_max_bytes=2000.0,
+        bdp_bytes=10_000.0,
+    )
+
+
+def _chunk(index, start, resolution=360, media=5.0, size=100_000, kind="video"):
+    quality = (
+        AUDIO_LEVEL
+        if kind == "audio"
+        else next(q for q in DASH_LADDER if q.resolution_p == resolution)
+    )
+    return ChunkDownload(
+        index=index,
+        kind=kind,
+        quality=quality,
+        media_seconds=media,
+        size_bytes=size,
+        transfer=_transfer(start, size=size),
+    )
+
+
+def _session(chunks, stalls=(), duration=100.0):
+    return VideoSession(
+        session_id="S" * 16,
+        video=Video(video_id="v", duration_s=90.0),
+        kind="adaptive",
+        place="home",
+        chunks=list(chunks),
+        stalls=list(stalls),
+        startup_delay_s=1.0,
+        total_duration_s=duration,
+    )
+
+
+class TestSessionBasics:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            VideoSession(
+                session_id="x",
+                video=Video(video_id="v", duration_s=10.0),
+                kind="multicast",
+                place="home",
+                chunks=[],
+                stalls=[],
+                startup_delay_s=None,
+                total_duration_s=10.0,
+            )
+
+    def test_video_chunks_filtered(self):
+        session = _session(
+            [_chunk(0, 0.0), _chunk(1, 1.0, kind="audio"), _chunk(2, 2.0)]
+        )
+        assert len(session.video_chunks) == 2
+
+    def test_rebuffering_ratio(self):
+        session = _session(
+            [_chunk(0, 0.0)],
+            stalls=[StallEvent(10.0, 5.0), StallEvent(30.0, 5.0)],
+            duration=100.0,
+        )
+        assert session.rebuffering_ratio == pytest.approx(0.1)
+
+    def test_stall_totals(self):
+        session = _session([_chunk(0, 0.0)], stalls=[StallEvent(5.0, 2.5)])
+        assert session.stall_count == 1
+        assert session.stall_duration_s == 2.5
+
+
+class TestResolutionMetrics:
+    def test_mean_resolution_weighted_by_media(self):
+        session = _session(
+            [
+                _chunk(0, 0.0, resolution=144, media=10.0),
+                _chunk(1, 1.0, resolution=480, media=30.0),
+            ]
+        )
+        expected = (144 * 10 + 480 * 30) / 40
+        assert session.mean_resolution() == pytest.approx(expected)
+
+    def test_mean_resolution_no_chunks_raises(self):
+        session = _session([_chunk(0, 0.0, kind="audio")])
+        with pytest.raises(ValueError):
+            session.mean_resolution()
+
+    def test_switch_count(self):
+        session = _session(
+            [
+                _chunk(0, 0.0, resolution=144),
+                _chunk(1, 1.0, resolution=240),
+                _chunk(2, 2.0, resolution=240),
+                _chunk(3, 3.0, resolution=144),
+            ]
+        )
+        assert session.switch_count() == 2
+
+    def test_switch_amplitude_eq2(self):
+        session = _session(
+            [
+                _chunk(0, 0.0, resolution=144),
+                _chunk(1, 1.0, resolution=480),
+                _chunk(2, 2.0, resolution=480),
+            ]
+        )
+        # |480-144| + |480-480| over (K-1)=2
+        assert session.switch_amplitude() == pytest.approx(336 / 2)
+
+    def test_switch_amplitude_single_chunk_zero(self):
+        session = _session([_chunk(0, 0.0)])
+        assert session.switch_amplitude() == 0.0
+
+    def test_resolution_timeline_ordered(self):
+        session = _session([_chunk(0, 5.0), _chunk(1, 2.0)])
+        timeline = session.resolution_timeline()
+        assert len(timeline) == 2
+
+
+class TestChunkSeries:
+    def test_times_and_sizes_aligned(self):
+        session = _session([_chunk(0, 0.0, size=111), _chunk(1, 3.0, size=222)])
+        assert session.chunk_times().size == session.chunk_sizes().size == 2
+        assert session.chunk_sizes().tolist() == [111.0, 222.0]
+
+    def test_kind_none_includes_audio(self):
+        session = _session([_chunk(0, 0.0), _chunk(1, 1.0, kind="audio")])
+        assert session.chunk_times(kind=None).size == 2
+        assert session.chunk_times(kind="video").size == 1
+
+
+class TestMakeSessionId:
+    def test_length_and_uniqueness(self):
+        rng = np.random.default_rng(0)
+        ids = [make_session_id(rng) for _ in range(100)]
+        assert all(len(i) == 16 for i in ids)
+        assert len(set(ids)) == 100

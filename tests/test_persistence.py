@@ -1,0 +1,105 @@
+"""Tests for JSON model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import QoEFramework
+from repro.ml.forest import RandomForestClassifier
+from repro.persistence import (
+    forest_from_dict,
+    forest_to_dict,
+    framework_from_dict,
+    framework_to_dict,
+    load_framework,
+    save_framework,
+)
+
+
+@pytest.fixture(scope="module")
+def framework(stall_records, adaptive_records):
+    return QoEFramework(random_state=0, n_estimators=10).fit(
+        stall_records, adaptive_records
+    )
+
+
+class TestForestRoundtrip:
+    def _forest(self, labels):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(150, 4))
+        y = labels[(X[:, 0] > 0).astype(int)]
+        return (
+            RandomForestClassifier(n_estimators=8, random_state=0).fit(X, y),
+            X,
+        )
+
+    def test_numeric_labels_roundtrip(self):
+        forest, X = self._forest(np.array([0, 1]))
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert (clone.predict(X) == forest.predict(X)).all()
+        np.testing.assert_allclose(
+            clone.predict_proba(X), forest.predict_proba(X)
+        )
+
+    def test_string_labels_roundtrip(self):
+        forest, X = self._forest(np.array(["healthy", "stalled"]))
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert (clone.predict(X) == forest.predict(X)).all()
+
+    def test_unfitted_forest_rejected(self):
+        with pytest.raises(ValueError):
+            forest_to_dict(RandomForestClassifier())
+
+    def test_payload_is_json_serialisable(self):
+        forest, _ = self._forest(np.array([0, 1]))
+        json.dumps(forest_to_dict(forest))   # must not raise
+
+
+class TestFrameworkRoundtrip:
+    def test_unfitted_framework_rejected(self):
+        with pytest.raises(ValueError):
+            framework_to_dict(QoEFramework())
+
+    def test_dict_roundtrip_preserves_predictions(
+        self, framework, stall_records, adaptive_records
+    ):
+        clone = framework_from_dict(framework_to_dict(framework))
+        original = framework.diagnose(adaptive_records[:10])
+        restored = clone.diagnose(adaptive_records[:10])
+        assert [d.stall_class for d in original] == [
+            d.stall_class for d in restored
+        ]
+        assert [d.representation_class for d in original] == [
+            d.representation_class for d in restored
+        ]
+        assert [d.has_quality_switches for d in original] == [
+            d.has_quality_switches for d in restored
+        ]
+
+    def test_file_roundtrip(self, framework, adaptive_records, tmp_path):
+        path = tmp_path / "models.json"
+        save_framework(framework, path)
+        clone = load_framework(path)
+        original = framework.diagnose(adaptive_records[:5])
+        restored = clone.diagnose(adaptive_records[:5])
+        assert [d.stall_class for d in original] == [
+            d.stall_class for d in restored
+        ]
+
+    def test_switch_threshold_preserved(self, framework, tmp_path):
+        path = tmp_path / "models.json"
+        save_framework(framework, path)
+        clone = load_framework(path)
+        assert clone.switching.threshold == framework.switching.threshold
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            framework_from_dict({"format_version": 99})
+
+    def test_selected_features_preserved(self, framework, tmp_path):
+        path = tmp_path / "models.json"
+        save_framework(framework, path)
+        clone = load_framework(path)
+        assert clone.stall.selected_names_ == framework.stall.selected_names_
+        assert clone.stall.feature_gains()   # selection result restored

@@ -1,0 +1,138 @@
+"""Robustness and failure-injection tests across the stack.
+
+A monitoring system meets broken inputs: sampled packet captures that
+lose entries, single-chunk sessions, degenerate feature values.  These
+tests verify the pipeline degrades gracefully instead of crashing or
+silently producing garbage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capture.proxy import WebProxy
+from repro.capture.reconstruction import SessionReconstructor
+from repro.core.features import stall_features
+from repro.core.stall import StallDetector
+from repro.core.switching import SwitchDetector
+from repro.datasets.preparation import record_from_video_session
+from repro.datasets.schema import SessionRecord
+from repro.realtime import OnlineSessionTracker
+
+
+def _minimal_record(n=1, **gt):
+    return SessionRecord(
+        session_id="tiny",
+        encrypted=True,
+        timestamps=np.arange(n, dtype=float),
+        sizes=np.full(n, 1000.0),
+        transactions=np.full(n, 0.5),
+        rtt_min=np.full(n, 40.0),
+        rtt_avg=np.full(n, 50.0),
+        rtt_max=np.full(n, 60.0),
+        bdp=np.full(n, 1e4),
+        bif_avg=np.full(n, 1e3),
+        bif_max=np.full(n, 2e3),
+        loss_pct=np.zeros(n),
+        retx_pct=np.zeros(n),
+        **gt,
+    )
+
+
+class TestDegenerateSessions:
+    def test_single_chunk_features_finite(self):
+        features = stall_features(_minimal_record(1))
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_single_chunk_switch_score_zero(self):
+        assert SwitchDetector().score(_minimal_record(1)) == 0.0
+
+    def test_two_chunk_switch_score_finite(self):
+        score = SwitchDetector().score(_minimal_record(2))
+        assert np.isfinite(score)
+
+    def test_detector_predicts_on_single_chunk(self, stall_records):
+        detector = StallDetector(n_estimators=8, random_state=0).fit(
+            stall_records
+        )
+        prediction = detector.predict([_minimal_record(1)])
+        assert prediction[0] in ("no stalls", "mild stalls", "severe stalls")
+
+
+class TestSampledCapture:
+    """A monitor that samples 1-in-N packets loses weblog entries."""
+
+    def _sampled_entries(self, session, keep_fraction, seed=0):
+        proxy = WebProxy(np.random.default_rng(seed))
+        entries = proxy.observe(session, "s", encrypted=True)
+        rng = np.random.default_rng(seed + 1)
+        return [e for e in entries if rng.random() < keep_fraction]
+
+    def test_reconstruction_survives_50pct_loss(self, one_adaptive_session):
+        entries = self._sampled_entries(one_adaptive_session, 0.5)
+        sessions = SessionReconstructor().reconstruct(entries)
+        # one (possibly fragmented) session with roughly half the chunks
+        assert sessions
+        total = sum(s.chunk_count for s in sessions)
+        assert 0.2 * len(one_adaptive_session.chunks) <= total
+
+    def test_detector_still_runs_on_sampled_records(
+        self, one_adaptive_session, stall_records
+    ):
+        entries = self._sampled_entries(one_adaptive_session, 0.5)
+        sessions = SessionReconstructor().reconstruct(entries)
+        from repro.datasets.preparation import records_from_reconstruction
+
+        records = records_from_reconstruction(sessions, [], [])
+        detector = StallDetector(n_estimators=8, random_state=0).fit(
+            stall_records
+        )
+        predictions = detector.predict(records)
+        assert len(predictions) == len(records)
+
+
+class TestOnlineTrackerRobustness:
+    def test_duplicate_entries_do_not_crash(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(0))
+        entries = proxy.observe(one_adaptive_session, "s", encrypted=True)
+        tracker = OnlineSessionTracker()
+        for entry in entries + entries[:10]:
+            tracker.observe(entry)
+        closed = tracker.flush()
+        assert closed
+
+    def test_interleaved_subscribers(self, one_adaptive_session):
+        proxy = WebProxy(np.random.default_rng(0))
+        a = proxy.observe(one_adaptive_session, "sub-a", encrypted=True)
+        b = proxy.observe(one_adaptive_session, "sub-b", encrypted=True)
+        merged = sorted(a + b, key=lambda e: e.timestamp_s)
+        tracker = OnlineSessionTracker()
+        for entry in merged:
+            tracker.observe(entry)
+        closed = tracker.flush()
+        assert len(closed) == 2
+        assert {r.session_id.split("/")[0] for r in closed} == {
+            "sub-a",
+            "sub-b",
+        }
+
+
+class TestExtremeFeatureValues:
+    def test_huge_sizes_do_not_overflow(self, stall_records):
+        record = _minimal_record(5)
+        record.sizes = np.full(5, 1e12)
+        features = stall_features(record)
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_zero_transactions_handled(self):
+        record = _minimal_record(4)
+        record.transactions = np.zeros(4)
+        from repro.core.features import representation_features
+
+        features = representation_features(record)
+        assert all(np.isfinite(v) for v in features.values())
+
+    def test_identical_timestamps_handled(self):
+        record = _minimal_record(4)
+        record.timestamps = np.zeros(4)
+        score = SwitchDetector().score(record)
+        assert np.isfinite(score)

@@ -1,0 +1,78 @@
+"""Unit tests for the Δsize × Δt switch signal."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries.detection import (
+    DEFAULT_STARTUP_SKIP_S,
+    delta_series,
+    product_series,
+    switch_score,
+)
+
+
+class TestDeltaSeries:
+    def test_basic_deltas(self):
+        times = [0.0, 12.0, 14.0, 17.0]
+        sizes = [100.0, 200.0, 150.0, 150.0]
+        dt, dsize = delta_series(times, sizes, startup_skip_s=0.0)
+        np.testing.assert_allclose(dt, [12.0, 2.0, 3.0])
+        np.testing.assert_allclose(dsize, [100.0, 50.0, 0.0])
+
+    def test_startup_skip_removes_head(self):
+        times = [0.0, 5.0, 11.0, 16.0, 21.0]
+        sizes = [10.0, 20.0, 30.0, 40.0, 50.0]
+        dt, dsize = delta_series(times, sizes)   # default skips 10s
+        # only chunks at t >= 10 relative to first survive: 11,16,21
+        assert dt.size == 2
+
+    def test_default_skip_is_ten_seconds(self):
+        assert DEFAULT_STARTUP_SKIP_S == 10.0
+
+    def test_unsorted_input_sorted(self):
+        times = [5.0, 0.0, 10.0]
+        sizes = [2.0, 1.0, 3.0]
+        dt, dsize = delta_series(times, sizes, startup_skip_s=0.0)
+        np.testing.assert_allclose(dt, [5.0, 5.0])
+        np.testing.assert_allclose(dsize, [1.0, 1.0])
+
+    def test_absolute_size_deltas(self):
+        dt, dsize = delta_series([0, 1, 2], [100.0, 50.0, 100.0], startup_skip_s=0.0)
+        assert (dsize >= 0).all()
+
+    def test_short_session_empty(self):
+        dt, dsize = delta_series([0.0], [1.0], startup_skip_s=0.0)
+        assert dt.size == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            delta_series([1.0, 2.0], [1.0])
+
+
+class TestProductSeries:
+    def test_product_of_deltas(self):
+        series = product_series([0, 2, 4], [100.0, 300.0, 300.0], startup_skip_s=0.0)
+        np.testing.assert_allclose(series, [400.0, 0.0])
+
+    def test_empty_when_all_skipped(self):
+        series = product_series([0.0, 1.0], [10.0, 20.0])   # both inside 10s
+        assert series.size == 0
+
+
+class TestSwitchScore:
+    def test_steady_session_scores_low(self):
+        # uniform chunks every 5s, constant size
+        times = np.arange(0, 300, 5.0)
+        sizes = np.full(times.size, 500.0)
+        assert switch_score(times, sizes) == pytest.approx(0.0)
+
+    def test_switching_session_scores_higher(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.uniform(4, 6, 60))
+        steady = 500.0 + rng.normal(0, 20, 60)
+        switching = steady.copy()
+        switching[30:] = 1500.0 + rng.normal(0, 20, 30)   # big level shift
+        assert switch_score(times, switching) > switch_score(times, steady)
+
+    def test_empty_session_scores_zero(self):
+        assert switch_score([], []) == 0.0
