@@ -5,6 +5,9 @@ Commands
 ``experiments``
     Regenerate every table and figure of the paper (``--full`` for the
     benchmark-scale corpora, ``--id tab3_4`` for one experiment).
+    ``--metrics-out PATH`` drops a JSON telemetry snapshot (metrics +
+    span trees) next to the results; ``--log-level DEBUG`` turns on
+    structured key=value logging.
 ``list``
     List the experiment ids.
 """
@@ -13,21 +16,49 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from repro.experiments import FULL, SMALL, Workspace, run_all, run_experiment
+    from repro.experiments import (
+        EXPERIMENT_IDS,
+        FULL,
+        SMALL,
+        Workspace,
+        run_all,
+        run_experiment,
+    )
+    from repro.obs import (
+        configure_logging,
+        get_logger,
+        get_tracer,
+        trace,
+        write_snapshot,
+    )
+
+    configure_logging(args.log_level)
+    log = get_logger("cli")
 
     config = FULL if args.full else SMALL
-    started = time.time()
-    if args.id:
-        workspace = Workspace(config)
-        result = run_experiment(args.id, workspace)
-        print(result)
-    else:
-        print(run_all(config))
-    print(f"\n[{time.time() - started:.0f}s]", file=sys.stderr)
+    with trace("repro.experiments") as root:
+        if args.id:
+            workspace = Workspace(config)
+            result = run_experiment(args.id, workspace)
+            print(result)
+            root.add("experiments", 1)
+        else:
+            print(run_all(config))
+            root.add("experiments", len(EXPERIMENT_IDS))
+
+    # The root span's timing tree replaces the old bare wall-clock line.
+    print(f"\n{get_tracer().render()}", file=sys.stderr)
+
+    if args.metrics_out:
+        snapshot = write_snapshot(args.metrics_out)
+        log.info(
+            "metrics_written",
+            path=args.metrics_out,
+            families=len(snapshot["metrics"]),
+        )
     return 0
 
 
@@ -57,6 +88,18 @@ def main(argv=None) -> int:
     )
     experiments.add_argument(
         "--id", default=None, help="run a single experiment (see 'list')"
+    )
+    experiments.add_argument(
+        "--log-level",
+        default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="structured-logging threshold (default: INFO)",
+    )
+    experiments.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON telemetry snapshot (metrics + spans) to PATH",
     )
     experiments.set_defaults(func=_cmd_experiments)
 

@@ -11,6 +11,12 @@ statistics only — no chunk-size or chunk-timing features, which are the
 paper's key addition.  Comparing it with the 3-class chunk-aware model
 reproduces the paper's claim that the proposed model "not only achieves
 much higher accuracy but it also can predict the severity".
+
+Naming note: this module is the Prometheus *baseline classifier* from
+the QoE literature and has nothing to do with the Prometheus
+*monitoring system* — the metrics exporter for the latter lives in
+:mod:`repro.obs.exposition` (deliberately not named ``prometheus`` so
+neither module shadows the other).
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import get_registry
 from repro.streaming.session import VideoSession
 
 from .uri import (
@@ -38,6 +39,23 @@ __all__ = ["WebProxy", "server_ip_for"]
 
 #: Playback reports are sent roughly this often during playback.
 _REPORT_INTERVAL_S = 30.0
+
+_REG = get_registry()
+_SESSIONS_OBSERVED = _REG.counter(
+    "repro_capture_sessions_observed_total",
+    "Video sessions that passed through the capture proxy.",
+    labelnames=("encrypted",),
+)
+_ENTRIES_OBSERVED = _REG.counter(
+    "repro_capture_weblog_entries_total",
+    "Weblog entries emitted by the capture proxy.",
+    labelnames=("encrypted",),
+)
+_BYTES_OBSERVED = _REG.counter(
+    "repro_capture_bytes_observed_total",
+    "Object bytes seen by the capture proxy.",
+    labelnames=("encrypted",),
+)
 
 
 def server_ip_for(host: str) -> str:
@@ -221,4 +239,10 @@ class WebProxy:
             )
 
         entries.sort(key=lambda e: e.timestamp_s)
+        mode = "true" if encrypted else "false"
+        _SESSIONS_OBSERVED.labels(encrypted=mode).inc()
+        _ENTRIES_OBSERVED.labels(encrypted=mode).inc(len(entries))
+        _BYTES_OBSERVED.labels(encrypted=mode).inc(
+            sum(e.object_bytes for e in entries)
+        )
         return entries

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List
 
+from repro.obs import get_registry, trace
+
 from .weblog import WeblogEntry
 
 __all__ = [
@@ -39,6 +41,23 @@ _SIGNALLING_PAGE_HOSTS = ("m.youtube.com", "www.youtube.com")
 #: :func:`repro.capture.proxy.server_ip_for`).  With encrypted SNI
 #: (TLS ECH) the IP prefix is the only service fingerprint left.
 _YOUTUBE_IP_PREFIX = "173.194."
+
+_REG = get_registry()
+_SESSIONS_RECONSTRUCTED = _REG.counter(
+    "repro_capture_sessions_reconstructed_total",
+    "Encrypted sessions regrouped by the reconstruction heuristic.",
+    labelnames=("mode",),
+)
+_SESSIONS_DISCARDED = _REG.counter(
+    "repro_capture_sessions_discarded_total",
+    "Reconstructed groups dropped for having too few media chunks.",
+    labelnames=("mode",),
+)
+_CHUNKS_RECONSTRUCTED = _REG.counter(
+    "repro_capture_chunks_reconstructed_total",
+    "Media chunks placed into reconstructed sessions.",
+    labelnames=("mode",),
+)
 
 
 def is_youtube_host(server_name: str) -> bool:
@@ -147,6 +166,15 @@ class SessionReconstructor:
         self, entries: Iterable[WeblogEntry]
     ) -> List[ReconstructedSession]:
         """Run the 3-step heuristic over one subscriber's weblogs."""
+        with trace("capture.reconstruct") as span:
+            sessions = self._reconstruct(entries)
+            span.add("sessions", len(sessions))
+            span.add("chunks", sum(s.chunk_count for s in sessions))
+        return sessions
+
+    def _reconstruct(
+        self, entries: Iterable[WeblogEntry]
+    ) -> List[ReconstructedSession]:
         # Step 1: service filter.
         youtube = sorted(
             (e for e in entries if self._is_service(e)),
@@ -183,6 +211,11 @@ class SessionReconstructor:
             sessions.append(current)
 
         # Drop page visits that never played media.
-        return [
-            s for s in sessions if len(s.media) >= self.min_media_chunks
-        ]
+        kept = [s for s in sessions if len(s.media) >= self.min_media_chunks]
+        mode = "sni" if self.use_sni else "ech"
+        _SESSIONS_RECONSTRUCTED.labels(mode=mode).inc(len(kept))
+        _SESSIONS_DISCARDED.labels(mode=mode).inc(len(sessions) - len(kept))
+        _CHUNKS_RECONSTRUCTED.labels(mode=mode).inc(
+            sum(s.chunk_count for s in kept)
+        )
+        return kept

@@ -21,11 +21,13 @@ tables read like Tables 2 and 5.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.datasets.schema import SessionRecord
+from repro.obs import get_registry, trace
 from repro.timeseries.stats import (
     SUMMARY_STATS_BASIC,
     SUMMARY_STATS_EXTENDED,
@@ -42,6 +44,24 @@ __all__ = [
     "build_stall_matrix",
     "build_representation_matrix",
 ]
+
+
+_REG = get_registry()
+_BUILD_SECONDS = _REG.histogram(
+    "repro_features_build_seconds",
+    "Wall-clock time to build one feature matrix.",
+    labelnames=("model",),
+)
+_ROWS_BUILT = _REG.counter(
+    "repro_features_rows_total",
+    "Session rows expanded into feature vectors.",
+    labelnames=("model",),
+)
+_ROWS_PER_SECOND = _REG.gauge(
+    "repro_features_last_rows_per_second",
+    "Throughput of the most recent feature-matrix build.",
+    labelnames=("model",),
+)
 
 
 def _relative_times(record: SessionRecord) -> np.ndarray:
@@ -141,11 +161,20 @@ def _build_matrix(
     records: Sequence[SessionRecord],
     feature_fn: Callable[[SessionRecord], Dict[str, float]],
     names: List[str],
+    model: str,
 ) -> np.ndarray:
-    matrix = np.empty((len(records), len(names)))
-    for i, record in enumerate(records):
-        features = feature_fn(record)
-        matrix[i] = [features[name] for name in names]
+    with trace("core.build_feature_matrix") as span:
+        started = time.perf_counter()
+        matrix = np.empty((len(records), len(names)))
+        for i, record in enumerate(records):
+            features = feature_fn(record)
+            matrix[i] = [features[name] for name in names]
+        elapsed = time.perf_counter() - started
+        span.add("rows", len(records))
+    _BUILD_SECONDS.labels(model=model).observe(elapsed)
+    _ROWS_BUILT.labels(model=model).inc(len(records))
+    if elapsed > 0:
+        _ROWS_PER_SECOND.labels(model=model).set(len(records) / elapsed)
     return matrix
 
 
@@ -154,7 +183,7 @@ def build_stall_matrix(
 ) -> Tuple[np.ndarray, List[str]]:
     """(n_sessions, 70) stall feature matrix + column names."""
     names = stall_feature_names()
-    return _build_matrix(records, stall_features, names), names
+    return _build_matrix(records, stall_features, names, "stall"), names
 
 
 def build_representation_matrix(
@@ -162,4 +191,7 @@ def build_representation_matrix(
 ) -> Tuple[np.ndarray, List[str]]:
     """(n_sessions, 210) representation feature matrix + column names."""
     names = representation_feature_names()
-    return _build_matrix(records, representation_features, names), names
+    matrix = _build_matrix(
+        records, representation_features, names, "representation"
+    )
+    return matrix, names

@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.datasets.schema import SessionRecord
+from repro.obs import get_registry, trace
 
 from .labeling import has_variation
 from .representation import AvgRepresentationDetector
@@ -22,6 +23,17 @@ from .stall import StallDetector
 from .switching import SwitchDetector
 
 __all__ = ["QoEFramework", "SessionDiagnosis"]
+
+_REG = get_registry()
+_MODEL_PREDICTIONS = _REG.counter(
+    "repro_ml_predictions_total",
+    "Sessions scored per detector inside the QoE framework.",
+    labelnames=("model",),
+)
+_DIAGNOSES = _REG.counter(
+    "repro_core_diagnoses_total",
+    "Full session diagnoses produced by QoEFramework.diagnose.",
+)
 
 
 @dataclass(frozen=True)
@@ -71,13 +83,18 @@ class QoEFramework:
             adaptive_records = [
                 r for r in stall_records if r.kind == "adaptive"
             ]
-        self.stall.fit(stall_records)
-        if len(adaptive_records) > 0:
-            self.representation.fit(adaptive_records)
-            if calibrate_switch_threshold:
-                truth = np.array([has_variation(r) for r in adaptive_records])
-                if truth.any() and not truth.all():
-                    self.switching.calibrate(adaptive_records, truth)
+        with trace("core.framework_fit") as span:
+            span.add("stall_records", len(stall_records))
+            span.add("adaptive_records", len(adaptive_records))
+            self.stall.fit(stall_records)
+            if len(adaptive_records) > 0:
+                self.representation.fit(adaptive_records)
+                if calibrate_switch_threshold:
+                    truth = np.array(
+                        [has_variation(r) for r in adaptive_records]
+                    )
+                    if truth.any() and not truth.all():
+                        self.switching.calibrate(adaptive_records, truth)
         self._fitted = True
         return self
 
@@ -97,13 +114,21 @@ class QoEFramework:
         mode, not the per-session one).
         """
         self._check_fitted()
-        stall_classes = self.stall.predict(records)
-        if adaptive and self.representation._model is not None:
-            rep_classes = self.representation.predict(records)
-            switches = self.switching.predict(records)
-        else:
-            rep_classes = [None] * len(records)
-            switches = [None] * len(records)
+        with trace("core.framework_diagnose") as span:
+            span.add("sessions", len(records))
+            stall_classes = self.stall.predict(records)
+            _MODEL_PREDICTIONS.labels(model="stall").inc(len(records))
+            if adaptive and self.representation._model is not None:
+                rep_classes = self.representation.predict(records)
+                switches = self.switching.predict(records)
+                _MODEL_PREDICTIONS.labels(model="representation").inc(
+                    len(records)
+                )
+                _MODEL_PREDICTIONS.labels(model="switching").inc(len(records))
+            else:
+                rep_classes = [None] * len(records)
+                switches = [None] * len(records)
+        _DIAGNOSES.inc(len(records))
         return [
             SessionDiagnosis(
                 session_id=record.session_id,

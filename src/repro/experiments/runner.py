@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from repro.obs import get_registry, trace
+
 from .config import FULL, ExperimentConfig
 from .figures import (
     figure1_chunk_sizes,
@@ -57,6 +59,18 @@ _RUNNERS: Dict[str, Callable[[Workspace], object]] = {
 
 EXPERIMENT_IDS: List[str] = list(_RUNNERS)
 
+_REG = get_registry()
+_RUNS = _REG.counter(
+    "repro_experiments_runs_total",
+    "Experiments executed, by experiment id.",
+    labelnames=("experiment",),
+)
+_LAST_RUN_SECONDS = _REG.gauge(
+    "repro_experiments_last_run_seconds",
+    "Duration of the most recent run of each experiment.",
+    labelnames=("experiment",),
+)
+
 
 def run_experiment(experiment_id: str, workspace: Workspace):
     """Run one experiment; returns its data object."""
@@ -65,7 +79,11 @@ def run_experiment(experiment_id: str, workspace: Workspace):
             f"unknown experiment {experiment_id!r}; "
             f"known: {', '.join(EXPERIMENT_IDS)}"
         )
-    return _RUNNERS[experiment_id](workspace)
+    with trace(f"experiments.{experiment_id}") as span:
+        result = _RUNNERS[experiment_id](workspace)
+    _RUNS.labels(experiment=experiment_id).inc()
+    _LAST_RUN_SECONDS.labels(experiment=experiment_id).set(span.duration_s)
+    return result
 
 
 def run_all(config: ExperimentConfig = FULL) -> str:
@@ -75,7 +93,7 @@ def run_all(config: ExperimentConfig = FULL) -> str:
 
     from .plots import ascii_cdfs, ascii_series
 
-    fig1 = figure1_chunk_sizes()
+    fig1 = run_experiment("fig1", workspace)
     sections.append(
         "Figure 1 — chunk sizes in a stalled session\n"
         f"chunks: {fig1.times_s.size}, stalls at "
@@ -84,7 +102,7 @@ def run_all(config: ExperimentConfig = FULL) -> str:
         + ascii_series(fig1.sizes_bytes, title="chunk sizes over time:")
     )
 
-    fig2 = figure2_stall_ecdfs(workspace)
+    fig2 = run_experiment("fig2", workspace)
     sections.append(
         "Figure 2 — stall ECDFs\n"
         f"sessions with >=1 stall: {fig2.frac_with_stalls:.1%} (paper ~12%)\n"
@@ -92,7 +110,7 @@ def run_all(config: ExperimentConfig = FULL) -> str:
         f"sessions with RR>0.1:    {fig2.frac_severe:.1%} (paper ~10%)"
     )
 
-    fig3 = figure3_switch_session()
+    fig3 = run_experiment("fig3", workspace)
     sections.append(
         "Figure 3 — Δt / Δsize at a representation switch\n"
         f"resolution walk: {sorted(set(fig3.resolutions.tolist()))}, "
@@ -101,23 +119,23 @@ def run_all(config: ExperimentConfig = FULL) -> str:
 
     sections.append(
         render_feature_gains(
-            table2_stall_features(workspace),
+            run_experiment("tab2", workspace),
             "Table 2 — stall-model features",
         )
     )
 
-    tab34 = tables3_4_stall_classifier(workspace)
+    tab34 = run_experiment("tab3_4", workspace)
     sections.append(render_classifier_table(tab34, "Table 3 — stall classifier"))
     sections.append(render_confusion_matrix(tab34, "Table 4 — stall confusion"))
 
     sections.append(
         render_feature_gains(
-            table5_representation_features(workspace),
+            run_experiment("tab5", workspace),
             "Table 5 — representation-model features",
         )
     )
 
-    tab67 = tables6_7_representation_classifier(workspace)
+    tab67 = run_experiment("tab6_7", workspace)
     sections.append(
         render_classifier_table(tab67, "Table 6 — representation classifier")
     )
@@ -125,7 +143,7 @@ def run_all(config: ExperimentConfig = FULL) -> str:
         render_confusion_matrix(tab67, "Table 7 — representation confusion")
     )
 
-    fig4 = figure4_score_cdfs(workspace)
+    fig4 = run_experiment("fig4", workspace)
     sections.append(
         "Figure 4 — switch-score CDFs (cleartext)\n"
         f"threshold={fig4.threshold:.0f}; "
@@ -138,7 +156,7 @@ def run_all(config: ExperimentConfig = FULL) -> str:
         )
     )
 
-    fig5 = figure5_dataset_comparison(workspace)
+    fig5 = run_experiment("fig5", workspace)
     sections.append(
         "Figure 5 — dataset comparison (encrypted vs cleartext)\n"
         f"chunks >1MB: clear {fig5.frac_clear_over_1mb:.1%}, "
@@ -156,7 +174,7 @@ def run_all(config: ExperimentConfig = FULL) -> str:
         )
     )
 
-    tab89 = tables8_9_encrypted_stall(workspace)
+    tab89 = run_experiment("tab8_9", workspace)
     sections.append(
         render_classifier_table(tab89, "Table 8 — stall model on encrypted")
     )
@@ -164,7 +182,7 @@ def run_all(config: ExperimentConfig = FULL) -> str:
         render_confusion_matrix(tab89, "Table 9 — encrypted stall confusion")
     )
 
-    tab1011 = tables10_11_encrypted_representation(workspace)
+    tab1011 = run_experiment("tab10_11", workspace)
     sections.append(
         render_classifier_table(
             tab1011, "Table 10 — representation model on encrypted"
@@ -178,14 +196,14 @@ def run_all(config: ExperimentConfig = FULL) -> str:
 
     sections.append(
         render_switch_evaluation(
-            section56_encrypted_switching(workspace),
+            run_experiment("sec56", workspace),
             "§5.6 — switch detection on encrypted",
         )
     )
 
     sections.append(
         render_baseline_comparison(
-            baseline_comparison(workspace),
+            run_experiment("baseline", workspace),
             "Baseline — Prometheus-style binary classifier",
         )
     )

@@ -14,9 +14,20 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import get_registry, trace
+
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
+
+_REG = get_registry()
+_FITS = _REG.counter(
+    "repro_ml_forest_fits_total", "Random-Forest ensembles fitted."
+)
+_PREDICTIONS = _REG.counter(
+    "repro_ml_forest_predictions_total",
+    "Rows scored through RandomForestClassifier.predict_proba.",
+)
 
 
 class RandomForestClassifier:
@@ -69,6 +80,14 @@ class RandomForestClassifier:
 
     def fit(self, X: np.ndarray, y: np.ndarray):
         """Fit the ensemble on ``X`` (n_samples, n_features), labels ``y``."""
+        with trace("ml.forest_fit") as span:
+            self._fit(X, y)
+            span.add("trees", self.n_estimators)
+            span.add("rows", int(np.asarray(X).shape[0]))
+        _FITS.inc()
+        return self
+
+    def _fit(self, X: np.ndarray, y: np.ndarray):
         X = np.asarray(X, dtype=float)
         y = np.asarray(y)
         if X.ndim != 2:
@@ -126,14 +145,18 @@ class RandomForestClassifier:
         """Average of the trees' leaf class distributions."""
         self._check_fitted()
         X = np.asarray(X, dtype=float)
-        proba = np.zeros((X.shape[0], self.classes_.size))
-        for tree in self.estimators_:
-            # Trees are fitted on encoded labels spanning all classes seen
-            # by the forest, but a bootstrap sample may miss some classes:
-            # align the tree's columns into the forest's class space.
-            tree_proba = tree.predict_proba(X)
-            cols = tree.classes_.astype(int)
-            proba[:, cols] += tree_proba
+        with trace("ml.forest_predict") as span:
+            proba = np.zeros((X.shape[0], self.classes_.size))
+            for tree in self.estimators_:
+                # Trees are fitted on encoded labels spanning all classes
+                # seen by the forest, but a bootstrap sample may miss some
+                # classes: align the tree's columns into the forest's
+                # class space.
+                tree_proba = tree.predict_proba(X)
+                cols = tree.classes_.astype(int)
+                proba[:, cols] += tree_proba
+            span.add("rows", X.shape[0])
+        _PREDICTIONS.inc(X.shape[0])
         return proba / len(self.estimators_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -1,0 +1,89 @@
+"""Prometheus text-exposition rendering of a metrics registry.
+
+Produces the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4): ``# HELP`` / ``# TYPE`` headers per family, one
+``name{label="value"} value`` sample line per child, and the
+``_bucket``/``_sum``/``_count`` triplet for histograms with cumulative
+``le`` buckets ending at ``+Inf``.
+
+Naming note: this module is deliberately called ``exposition`` and not
+``prometheus`` — :mod:`repro.baselines.prometheus` already holds the
+*Prometheus baseline classifier* (Aggarwal et al., HotMobile 2014)
+that the paper compares against, an unrelated system that happens to
+share the name.  This module is about the monitoring ecosystem;
+that one is about QoE inference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["render_prometheus", "escape_label_value", "format_sample_line"]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_sample_line(
+    name: str, labels: Dict[str, str], value: float
+) -> str:
+    """One ``name{labels} value`` sample line."""
+    if labels:
+        body = ",".join(
+            f'{key}="{escape_label_value(str(val))}"'
+            for key, val in labels.items()
+        )
+        return f"{name}{{{body}}} {_format_number(value)}"
+    return f"{name} {_format_number(value)}"
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The whole registry in Prometheus text format (trailing newline)."""
+    registry = registry if registry is not None else get_registry()
+    lines = []
+    for family in registry.collect():
+        help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {family.name} {help_text}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for labels, child in family.samples():
+            if family.type == "histogram":
+                cumulative = child.cumulative_counts()
+                for bound, count in zip(child.bounds, cumulative):
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _format_number(bound)
+                    lines.append(
+                        format_sample_line(
+                            f"{family.name}_bucket", bucket_labels, count
+                        )
+                    )
+                lines.append(
+                    format_sample_line(f"{family.name}_sum", labels, child.sum)
+                )
+                lines.append(
+                    format_sample_line(
+                        f"{family.name}_count", labels, child.count
+                    )
+                )
+            else:
+                lines.append(
+                    format_sample_line(family.name, labels, child.value)
+                )
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,120 @@
+"""Structured key=value event logging on stdlib ``logging``.
+
+Events are a short snake_case name plus keyword fields, rendered as
+``ts=... level=... logger=... event=... key=value ...`` — grep-able
+with no parser, and machine-splittable on spaces outside quotes.
+
+Nothing is configured implicitly: importing this module attaches no
+handlers, so library users keep full control of their logging tree.
+``configure_logging("DEBUG")`` (or the CLI's ``--log-level``) installs
+one stream handler on the ``repro`` root logger.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import IO, Optional
+
+__all__ = ["StructuredLogger", "get_logger", "configure_logging"]
+
+_ROOT_LOGGER_NAME = "repro"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    elif isinstance(value, bool) or value is None:
+        text = str(value).lower()
+    else:
+        text = str(value)
+    if " " in text or '"' in text or "=" in text:
+        text = '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+def format_event(event: str, fields: dict) -> str:
+    parts = [f"event={_format_value(event)}"]
+    parts.extend(f"{key}={_format_value(val)}" for key, val in fields.items())
+    return " ".join(parts)
+
+
+class StructuredLogger:
+    """Thin key=value façade over one stdlib logger."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def stdlib(self) -> logging.Logger:
+        return self._logger
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, format_event(event, fields))
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._log(logging.ERROR, event, fields)
+
+    def exception(self, event: str, **fields: object) -> None:
+        """Like :meth:`error` but appends the active traceback."""
+        if self._logger.isEnabledFor(logging.ERROR):
+            self._logger.error(format_event(event, fields), exc_info=True)
+
+
+def get_logger(name: str = "") -> StructuredLogger:
+    """A structured logger under the ``repro`` logging namespace.
+
+    ``get_logger("realtime.monitor")`` logs as ``repro.realtime.monitor``.
+    """
+    full = f"{_ROOT_LOGGER_NAME}.{name}" if name else _ROOT_LOGGER_NAME
+    return StructuredLogger(logging.getLogger(full))
+
+
+class _KeyValueFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        head = (
+            f"ts={self.formatTime(record, '%Y-%m-%dT%H:%M:%S')}"
+            f" level={record.levelname.lower()}"
+            f" logger={record.name}"
+        )
+        message = record.getMessage()
+        if record.exc_info:
+            exc = self.formatException(record.exc_info).replace("\n", " | ")
+            exc = exc.replace('"', '\\"')
+            message += f' exc="{exc}"'
+        return f"{head} {message}"
+
+
+def configure_logging(
+    level: str = "INFO", stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Install one key=value stream handler on the ``repro`` logger.
+
+    Idempotent: calling it again replaces the previously installed
+    handler instead of stacking a second one.
+    """
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger(_ROOT_LOGGER_NAME)
+    root.setLevel(numeric)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream) if stream else logging.StreamHandler()
+    handler.setFormatter(_KeyValueFormatter())
+    handler._repro_obs = True
+    root.addHandler(handler)
+    # Keep records from also flowing into the (often unconfigured)
+    # stdlib root logger, which would double-print them.
+    root.propagate = False
+    return root

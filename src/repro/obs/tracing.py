@@ -1,0 +1,261 @@
+"""Span tracer: nested timing trees with per-span counters.
+
+``with trace("capture.reconstruct"):`` opens a span; spans started
+inside it become children.  When a span closes it is *aggregated* into
+its parent by name — a thousand ``ml.forest_predict`` calls under one
+experiment collapse into a single tree node carrying count, total and
+min/max duration — so tracing long runs stays O(distinct span names),
+not O(calls).
+
+Span names follow the ``layer.operation`` convention
+(``capture.reconstruct``, ``ml.forest_fit``, ``experiments.tab3_4``).
+Closed spans also feed the ``repro_span_duration_seconds`` histogram in
+the default metrics registry, labelled by span name, so exporters see
+latency distributions without separate plumbing.
+
+Per-thread span stacks keep concurrent pipelines from interleaving
+their trees; each thread grows its own roots.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .registry import get_registry
+
+__all__ = [
+    "SpanNode",
+    "Span",
+    "Tracer",
+    "trace",
+    "traced",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+]
+
+_SPAN_SECONDS = get_registry().histogram(
+    "repro_span_duration_seconds",
+    "Wall-clock duration of traced spans, labelled by span name.",
+    labelnames=("span",),
+)
+
+
+class SpanNode:
+    """Aggregated statistics of all closed spans with one name/position."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s", "counters", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+        self.counters: Dict[str, float] = {}
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def _absorb(self, other: "SpanNode") -> None:
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        for name, child in other.children.items():
+            mine = self.children.get(name)
+            if mine is None:
+                self.children[name] = child
+            else:
+                mine._absorb(child)
+
+    def to_dict(self) -> dict:
+        out: dict = {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [
+                child.to_dict() for child in self.children.values()
+            ]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable timing tree."""
+        mean = self.total_s / self.count if self.count else 0.0
+        line = (
+            f"{'  ' * indent}{self.name}: {self.total_s:.3f}s"
+            f" (n={self.count}, mean={mean:.3f}s)"
+        )
+        if self.counters:
+            extras = ", ".join(
+                f"{k}={v:g}" for k, v in sorted(self.counters.items())
+            )
+            line += f" [{extras}]"
+        lines = [line]
+        for child in self.children.values():
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class Span:
+    """A live (still-open) span."""
+
+    __slots__ = ("name", "_started", "duration_s", "counters", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._started = time.perf_counter()
+        #: Filled in when the span closes (None while still open).
+        self.duration_s: Optional[float] = None
+        self.counters: Dict[str, float] = {}
+        self.children: Dict[str, SpanNode] = {}
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Bump a per-span counter (rows seen, sessions closed, …)."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    def _close(self) -> SpanNode:
+        node = SpanNode(self.name)
+        duration = time.perf_counter() - self._started
+        self.duration_s = duration
+        node.count = 1
+        node.total_s = duration
+        node.min_s = duration
+        node.max_s = duration
+        node.counters = self.counters
+        node.children = self.children
+        return node
+
+
+class Tracer:
+    """Holds per-thread span stacks and the forest of closed roots."""
+
+    def __init__(self, registry=None) -> None:
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: Dict[str, SpanNode] = {}
+        self._registry = registry
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        stack = self._stack()
+        span = Span(name)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            node = span._close()
+            if stack:
+                parent = stack[-1]
+                mine = parent.children.get(name)
+                if mine is None:
+                    parent.children[name] = node
+                else:
+                    mine._absorb(node)
+            else:
+                with self._lock:
+                    root = self._roots.get(name)
+                    if root is None:
+                        self._roots[name] = node
+                    else:
+                        root._absorb(node)
+            histogram = _SPAN_SECONDS
+            if self._registry is not None:
+                histogram = self._registry.histogram(
+                    "repro_span_duration_seconds",
+                    "Wall-clock duration of traced spans, labelled by span name.",
+                    labelnames=("span",),
+                )
+            histogram.labels(span=name).observe(node.total_s)
+
+    def roots(self) -> List[SpanNode]:
+        """Closed root spans, aggregated by name."""
+        with self._lock:
+            return list(self._roots.values())
+
+    def to_dict(self) -> List[dict]:
+        return [root.to_dict() for root in self.roots()]
+
+    def render(self) -> str:
+        """All root timing trees as text."""
+        return "\n".join(root.render() for root in self.roots())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+_tracer = Tracer()
+_tracer_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process default (tests); returns the previous one."""
+    global _tracer
+    with _tracer_lock:
+        previous, _tracer = _tracer, tracer
+    return previous
+
+
+@contextmanager
+def trace(name: str) -> Iterator[Span]:
+    """Open a span on the default tracer: ``with trace("ml.fit") as s:``."""
+    with _tracer.span(name) as span:
+        yield span
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of this thread (None outside any trace)."""
+    return _tracer.current()
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """Decorator form: ``@traced("ml.forest_fit")``.
+
+    With no argument the span is named after the function's module tail
+    and name (``forest.fit`` → ``forest.fit``).
+    """
+
+    def decorate(func: Callable) -> Callable:
+        span_name = name or (
+            f"{func.__module__.rsplit('.', 1)[-1]}.{func.__name__}"
+        )
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with _tracer.span(span_name):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    # Support bare @traced (func passed directly).
+    if callable(name):
+        func, name = name, None
+        return decorate(func)
+    return decorate

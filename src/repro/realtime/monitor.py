@@ -5,20 +5,63 @@ trained :class:`~repro.core.framework.QoEFramework`: every time a video
 session closes, it is diagnosed immediately, per-subscriber health is
 updated, and alarm rules fire — the operator-side loop the paper's
 conclusion sketches.
+
+The loop is instrumented through :mod:`repro.obs`: open-session and
+subscriber-health gauges, a diagnosis-latency histogram, and alarm
+counters.  Subscriber callbacks (``on_diagnosis`` / ``on_alarm``) are
+error-isolated — one raising callback cannot kill the monitor loop;
+failures are logged and counted instead.
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.capture.weblog import WeblogEntry
 from repro.core.framework import QoEFramework, SessionDiagnosis
+from repro.obs import get_logger, get_registry
 
 from .tracker import OnlineSessionTracker
 
 __all__ = ["SubscriberHealth", "Alarm", "RealTimeMonitor"]
+
+_LOG = get_logger("realtime.monitor")
+
+_REG = get_registry()
+_DIAGNOSIS_LATENCY = _REG.histogram(
+    "repro_realtime_diagnosis_latency_seconds",
+    "Time from session close to finished diagnosis (per closed batch).",
+    buckets=(
+        0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+        0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    ),
+)
+_DIAGNOSES = _REG.counter(
+    "repro_realtime_diagnoses_total",
+    "Sessions diagnosed by the real-time monitor.",
+)
+_ALARMS = _REG.counter(
+    "repro_realtime_alarms_total",
+    "Operator alarms raised, by alarm rule.",
+    labelnames=("rule",),
+)
+_CALLBACK_ERRORS = _REG.counter(
+    "repro_realtime_alarms_callback_errors_total",
+    "Subscriber callbacks that raised and were isolated.",
+    labelnames=("callback",),
+)
+_SUBSCRIBERS = _REG.gauge(
+    "repro_realtime_subscribers_tracked",
+    "Subscribers with accumulated health state.",
+)
+_HEALTH = _REG.gauge(
+    "repro_realtime_health_sessions",
+    "SubscriberHealth rollups summed over all subscribers.",
+    labelnames=("status",),
+)
 
 
 @dataclass
@@ -31,16 +74,23 @@ class SubscriberHealth:
     low_definition: int = 0
     with_switches: int = 0
 
+    @staticmethod
+    def flags(diagnosis: SessionDiagnosis) -> Dict[str, bool]:
+        """Which health buckets one diagnosis falls into."""
+        return {
+            "stalled": diagnosis.stall_class != "no stalls",
+            "severe": diagnosis.stall_class == "severe stalls",
+            "low_definition": diagnosis.representation_class == "LD",
+            "with_switches": bool(diagnosis.has_quality_switches),
+        }
+
     def update(self, diagnosis: SessionDiagnosis) -> None:
+        flags = self.flags(diagnosis)
         self.sessions += 1
-        if diagnosis.stall_class != "no stalls":
-            self.stalled += 1
-        if diagnosis.stall_class == "severe stalls":
-            self.severe += 1
-        if diagnosis.representation_class == "LD":
-            self.low_definition += 1
-        if diagnosis.has_quality_switches:
-            self.with_switches += 1
+        self.stalled += flags["stalled"]
+        self.severe += flags["severe"]
+        self.low_definition += flags["low_definition"]
+        self.with_switches += flags["with_switches"]
 
     @property
     def stall_ratio(self) -> float:
@@ -73,6 +123,12 @@ class RealTimeMonitor:
         (evaluated only after ``min_sessions_for_ratio`` sessions).
     on_diagnosis:
         Optional callback invoked with every fresh diagnosis.
+    on_alarm:
+        Optional callback invoked with every alarm as it is raised.
+
+    Both callbacks are error-isolated: an exception inside one is
+    logged, counted in ``repro_realtime_alarms_callback_errors_total``
+    and swallowed, so a broken subscriber cannot take the monitor down.
     """
 
     def __init__(
@@ -83,6 +139,7 @@ class RealTimeMonitor:
         stall_ratio_alarm: float = 0.5,
         min_sessions_for_ratio: int = 5,
         on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
     ) -> None:
         if severe_alarm_after < 1:
             raise ValueError("severe_alarm_after must be >= 1")
@@ -94,52 +151,90 @@ class RealTimeMonitor:
         self.stall_ratio_alarm = stall_ratio_alarm
         self.min_sessions_for_ratio = min_sessions_for_ratio
         self.on_diagnosis = on_diagnosis
+        self.on_alarm = on_alarm
 
         self.health: Dict[str, SubscriberHealth] = defaultdict(SubscriberHealth)
         self.diagnoses: List[SessionDiagnosis] = []
         self.alarms: List[Alarm] = []
+        self.callback_errors = 0
         self._alarmed: set = set()
 
     # ------------------------------------------------------------------
 
+    def _safe_callback(self, callback, argument, kind: str) -> None:
+        if callback is None:
+            return
+        try:
+            callback(argument)
+        except Exception:
+            self.callback_errors += 1
+            _CALLBACK_ERRORS.labels(callback=kind).inc()
+            _LOG.exception(
+                "callback_failed",
+                callback=kind,
+                subscriber=getattr(argument, "subscriber_id", None)
+                or getattr(argument, "session_id", None),
+            )
+
     def _diagnose_closed(self, records) -> List[SessionDiagnosis]:
         if not records:
             return []
+        started = time.perf_counter()
         diagnoses = self.framework.diagnose(records)
         for record, diagnosis in zip(records, diagnoses):
             subscriber = record.session_id.split("/", 1)[0]
             health = self.health[subscriber]
             health.update(diagnosis)
             self.diagnoses.append(diagnosis)
-            if self.on_diagnosis is not None:
-                self.on_diagnosis(diagnosis)
+            flags = SubscriberHealth.flags(diagnosis)
+            _HEALTH.labels(status="all").inc()
+            for status, hit in flags.items():
+                if hit:
+                    _HEALTH.labels(status=status).inc()
+            self._safe_callback(self.on_diagnosis, diagnosis, "diagnosis")
             self._check_alarms(subscriber, health)
+        _DIAGNOSES.inc(len(diagnoses))
+        _SUBSCRIBERS.set(len(self.health))
+        _DIAGNOSIS_LATENCY.observe(time.perf_counter() - started)
         return diagnoses
+
+    def _raise_alarm(self, alarm: Alarm, rule: str) -> None:
+        self.alarms.append(alarm)
+        self._alarmed.add(alarm.subscriber_id)
+        _ALARMS.labels(rule=rule).inc()
+        _LOG.warning(
+            "alarm_raised",
+            rule=rule,
+            subscriber=alarm.subscriber_id,
+            reason=alarm.reason,
+            sessions=alarm.sessions_observed,
+        )
+        self._safe_callback(self.on_alarm, alarm, "alarm")
 
     def _check_alarms(self, subscriber: str, health: SubscriberHealth) -> None:
         if subscriber in self._alarmed:
             return
         if health.severe >= self.severe_alarm_after:
-            self.alarms.append(
+            self._raise_alarm(
                 Alarm(
                     subscriber_id=subscriber,
                     reason=f"{health.severe} sessions with severe stalling",
                     sessions_observed=health.sessions,
-                )
+                ),
+                rule="severe",
             )
-            self._alarmed.add(subscriber)
         elif (
             health.sessions >= self.min_sessions_for_ratio
             and health.stall_ratio >= self.stall_ratio_alarm
         ):
-            self.alarms.append(
+            self._raise_alarm(
                 Alarm(
                     subscriber_id=subscriber,
                     reason=f"stall ratio {health.stall_ratio:.0%}",
                     sessions_observed=health.sessions,
-                )
+                ),
+                rule="stall_ratio",
             )
-            self._alarmed.add(subscriber)
 
     # ------------------------------------------------------------------
 

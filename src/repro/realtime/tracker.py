@@ -19,10 +19,29 @@ import numpy as np
 from repro.capture.reconstruction import is_youtube_host
 from repro.capture.weblog import WeblogEntry
 from repro.datasets.schema import SessionRecord
+from repro.obs import get_registry
 
 __all__ = ["OpenSession", "OnlineSessionTracker"]
 
 _PAGE_HOSTS = ("m.youtube.com", "www.youtube.com")
+
+_REG = get_registry()
+_OPEN_SESSIONS = _REG.gauge(
+    "repro_realtime_open_sessions",
+    "Sessions currently open in the online tracker.",
+)
+_SESSIONS_CLOSED = _REG.counter(
+    "repro_realtime_sessions_closed_total",
+    "Sessions closed by the online tracker and emitted as records.",
+)
+_SESSIONS_DISCARDED = _REG.counter(
+    "repro_realtime_sessions_discarded_total",
+    "Sessions closed with too few media chunks to emit.",
+)
+_ENTRIES_TRACKED = _REG.counter(
+    "repro_realtime_entries_tracked_total",
+    "Service weblog entries fed into the online tracker.",
+)
 
 
 @dataclass
@@ -92,15 +111,21 @@ class OnlineSessionTracker:
 
     def _close(self, subscriber_id: str) -> Optional[SessionRecord]:
         session = self._open.pop(subscriber_id, None)
-        if session is None or len(session.media) < self.min_media_chunks:
+        _OPEN_SESSIONS.set(len(self._open))
+        if session is None:
+            return None
+        if len(session.media) < self.min_media_chunks:
+            _SESSIONS_DISCARDED.inc()
             return None
         self._sequence += 1
+        _SESSIONS_CLOSED.inc()
         return session.to_record(self._sequence)
 
     def observe(self, entry: WeblogEntry) -> List[SessionRecord]:
         """Feed one weblog entry; returns any sessions this closes."""
         if not is_youtube_host(entry.server_name):
             return []
+        _ENTRIES_TRACKED.inc()
         closed: List[SessionRecord] = []
         subscriber = entry.subscriber_id
         current = self._open.get(subscriber)
@@ -121,6 +146,7 @@ class OnlineSessionTracker:
         if current is None:
             current = OpenSession(subscriber_id=subscriber)
             self._open[subscriber] = current
+            _OPEN_SESSIONS.set(len(self._open))
 
         if entry.server_name.lower().endswith(".googlevideo.com"):
             current.media.append(entry)

@@ -17,6 +17,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_registry
+
 from .cusum import cusum_score
 
 __all__ = [
@@ -28,6 +30,16 @@ __all__ = [
 
 #: §4.3 — "we remove the first ten seconds of all video sessions".
 DEFAULT_STARTUP_SKIP_S: float = 10.0
+
+_REG = get_registry()
+_SCORES = _REG.counter(
+    "repro_timeseries_switch_scores_total",
+    "CUSUM switch scores computed over Δsize×Δt product series.",
+)
+_EMPTY_SERIES = _REG.counter(
+    "repro_timeseries_empty_series_total",
+    "Sessions whose product series was empty after startup filtering.",
+)
 
 
 def _filter_startup(
@@ -82,6 +94,8 @@ def switch_score(
 ) -> float:
     """STD(CUSUM(Δsize × Δt)) — the paper's switch-detection score (eq. 3)."""
     series = product_series(times, sizes, startup_skip_s=startup_skip_s)
+    _SCORES.inc()
     if series.size == 0:
+        _EMPTY_SERIES.inc()
         return 0.0
     return cusum_score(series)

@@ -1,0 +1,127 @@
+"""Exact Prometheus text-exposition format."""
+
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.exposition import escape_label_value, format_sample_line
+
+#: One sample line: name, optional {labels}, then a number / +Inf / NaN.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"
+    r" (\+Inf|-Inf|NaN|-?[0-9.e+-]+)$"
+)
+
+
+def _assert_parses(text: str) -> None:
+    """Line-by-line validation of the text format."""
+    for line in text.splitlines():
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            continue
+        assert _SAMPLE_RE.match(line), f"unparseable line: {line!r}"
+
+
+class TestExactOutput:
+    def test_counter_exact(self):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total", "Jobs processed.").inc(3)
+        assert render_prometheus(registry) == (
+            "# HELP jobs_total Jobs processed.\n"
+            "# TYPE jobs_total counter\n"
+            "jobs_total 3\n"
+        )
+
+    def test_labelled_counter_exact(self):
+        registry = MetricsRegistry()
+        family = registry.counter("jobs_total", "Jobs.", labelnames=("kind",))
+        family.labels(kind="fast").inc(2)
+        family.labels(kind="slow").inc()
+        assert render_prometheus(registry) == (
+            "# HELP jobs_total Jobs.\n"
+            "# TYPE jobs_total counter\n"
+            'jobs_total{kind="fast"} 2\n'
+            'jobs_total{kind="slow"} 1\n'
+        )
+
+    def test_gauge_exact(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue_depth", "Depth.").set(1.5)
+        assert render_prometheus(registry) == (
+            "# HELP queue_depth Depth.\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 1.5\n"
+        )
+
+    def test_histogram_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latency_seconds", "Latency.", buckets=[0.5, 1.0]
+        )
+        for v in (0.2, 0.7, 3.0):
+            hist.observe(v)
+        assert render_prometheus(registry) == (
+            "# HELP latency_seconds Latency.\n"
+            "# TYPE latency_seconds histogram\n"
+            'latency_seconds_bucket{le="0.5"} 1\n'
+            'latency_seconds_bucket{le="1"} 2\n'
+            'latency_seconds_bucket{le="+Inf"} 3\n'
+            "latency_seconds_sum 3.9\n"
+            "latency_seconds_count 3\n"
+        )
+
+    def test_labelled_histogram_puts_le_last(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latency_seconds", labelnames=("op",), buckets=[1.0]
+        )
+        hist.labels(op="read").observe(0.4)
+        text = render_prometheus(registry)
+        assert 'latency_seconds_bucket{op="read",le="1"} 1' in text
+        assert 'latency_seconds_sum{op="read"} 0.4' in text
+        assert 'latency_seconds_count{op="read"} 1' in text
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaped_values_render_and_parse(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labelnames=("path",))
+        family.labels(path='with "quotes" and\nnewline').inc()
+        text = render_prometheus(registry)
+        _assert_parses(text)
+
+    def test_format_sample_line_without_labels(self):
+        assert format_sample_line("x", {}, 2.0) == "x 2"
+
+
+class TestWholeRegistryParses:
+    def test_every_line_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "A.", labelnames=("x",)).labels(x="1").inc()
+        registry.gauge("b", "B gauge.").set(-2.25)
+        hist = registry.histogram("c_seconds", "C.", buckets=[0.1, 1, 10])
+        hist.observe(0.05)
+        hist.observe(5)
+        text = render_prometheus(registry)
+        _assert_parses(text)
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_default_process_registry_parses(self):
+        # The real, instrumented process registry must also expose cleanly.
+        import repro.core.framework    # noqa: F401  (registers metrics)
+        import repro.realtime.monitor  # noqa: F401
+
+        text = render_prometheus()
+        _assert_parses(text)
+        assert "# TYPE repro_realtime_open_sessions gauge" in text
+        assert "# TYPE repro_ml_predictions_total counter" in text

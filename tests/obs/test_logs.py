@@ -1,0 +1,104 @@
+"""Structured key=value logging."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+from repro.obs.logs import format_event
+
+
+@pytest.fixture
+def stream():
+    buffer = io.StringIO()
+    configure_logging("DEBUG", stream=buffer)
+    yield buffer
+    # Restore a quiet default so other tests are unaffected.
+    configure_logging("WARNING", stream=io.StringIO())
+
+
+class TestFormatEvent:
+    def test_plain_fields(self):
+        assert (
+            format_event("session_closed", {"subscriber": "s1", "chunks": 12})
+            == "event=session_closed subscriber=s1 chunks=12"
+        )
+
+    def test_values_with_spaces_are_quoted(self):
+        assert (
+            format_event("alarm", {"reason": "stall ratio 60%"})
+            == 'event=alarm reason="stall ratio 60%"'
+        )
+
+    def test_floats_are_compact(self):
+        assert format_event("x", {"ratio": 0.3333333333}) == (
+            "event=x ratio=0.333333"
+        )
+
+    def test_none_and_bool(self):
+        assert format_event("x", {"a": None, "b": True}) == (
+            "event=x a=none b=true"
+        )
+
+
+class TestLogger:
+    def test_emits_key_value_line(self, stream):
+        get_logger("capture").info("session_observed", chunks=3)
+        line = stream.getvalue().strip()
+        assert "logger=repro.capture" in line
+        assert "level=info" in line
+        assert "event=session_observed" in line
+        assert "chunks=3" in line
+        assert line.startswith("ts=")
+
+    def test_level_filtering(self, stream):
+        configure_logging("WARNING", stream=stream)
+        logger = get_logger("x")
+        logger.debug("quiet")
+        logger.info("quiet_too")
+        logger.warning("loud")
+        output = stream.getvalue()
+        assert "quiet" not in output
+        assert "event=loud" in output
+
+    def test_exception_appends_traceback(self, stream):
+        logger = get_logger("y")
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            logger.exception("callback_failed", callback="alarm")
+        output = stream.getvalue()
+        assert "event=callback_failed" in output
+        assert "ValueError: boom" in output
+
+    def test_exception_value_quotes_are_escaped(self, stream):
+        logger = get_logger("y")
+        try:
+            raise ValueError('path "/tmp/x" missing')
+        except ValueError:
+            logger.exception("callback_failed", callback="alarm")
+        line = stream.getvalue().strip()
+        # The exc="..." payload embeds file paths quoted by the
+        # traceback itself; they must be escaped so the line still
+        # splits on spaces outside (unescaped) quotes.
+        exc_part = line.split(' exc="', 1)[1]
+        assert exc_part.endswith('"')
+        body = exc_part[:-1]
+        assert '"' not in body.replace('\\"', "")
+
+    def test_configure_is_idempotent(self, stream):
+        configure_logging("INFO", stream=stream)
+        configure_logging("INFO", stream=stream)
+        root = logging.getLogger("repro")
+        handlers = [
+            h for h in root.handlers if getattr(h, "_repro_obs", False)
+        ]
+        assert len(handlers) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("LOUD")
+
+    def test_does_not_propagate_to_root(self, stream):
+        assert logging.getLogger("repro").propagate is False

@@ -1,0 +1,229 @@
+"""Counter/gauge/histogram semantics, labels, quantiles, thread-safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self, registry):
+        counter = registry.counter("c_total", "help")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        counter = registry.counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self, registry):
+        family = registry.counter("c_total", labelnames=("kind",))
+        family.labels(kind="a").inc(5)
+        family.labels(kind="b").inc(7)
+        assert family.labels(kind="a").value == 5
+        assert family.labels(kind="b").value == 7
+
+    def test_same_labels_return_same_child(self, registry):
+        family = registry.counter("c_total", labelnames=("kind",))
+        assert family.labels(kind="x") is family.labels(kind="x")
+
+    def test_wrong_label_names_rejected(self, registry):
+        family = registry.counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            family.labels(wrong="x")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_unlabelled_family_rejects_bare_calls_when_labelled(self, registry):
+        family = registry.counter("c_total", labelnames=("kind",))
+        with pytest.raises(ValueError):
+            family.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("g")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(7)
+        assert gauge.value == 5.0
+
+    def test_can_go_negative(self, registry):
+        gauge = registry.gauge("g")
+        gauge.dec(3)
+        assert gauge.value == -3.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self, registry):
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        for v in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(13.0)
+        assert hist._require_default().mean == pytest.approx(3.25)
+
+    def test_cumulative_buckets(self, registry):
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        for v in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(v)
+        child = hist._require_default()
+        assert child.bounds == (1.0, 2.0, 4.0, float("inf"))
+        assert child.cumulative_counts() == [1, 2, 3, 4]
+
+    def test_quantiles_on_uniform_distribution(self, registry):
+        # Uniform values over [0, 100) with bucket bounds every 5:
+        # interpolation should recover quantiles within one bucket width.
+        hist = registry.histogram(
+            "h", buckets=[5 * i for i in range(1, 21)]
+        )
+        rng = np.random.default_rng(42)
+        for v in rng.uniform(0, 100, size=20_000):
+            hist.observe(float(v))
+        assert hist.quantile(0.5) == pytest.approx(50.0, abs=2.5)
+        assert hist.quantile(0.9) == pytest.approx(90.0, abs=2.5)
+        assert hist.quantile(0.99) == pytest.approx(99.0, abs=2.5)
+
+    def test_quantiles_on_exponential_distribution(self, registry):
+        hist = registry.histogram(
+            "h", buckets=[0.1 * i for i in range(1, 101)]
+        )
+        rng = np.random.default_rng(7)
+        for v in rng.exponential(1.0, size=20_000):
+            hist.observe(float(v))
+        # Median of Exp(1) is ln 2 ≈ 0.693.
+        assert hist.quantile(0.5) == pytest.approx(0.693, abs=0.06)
+
+    def test_quantile_edge_cases(self, registry):
+        hist = registry.histogram("h", buckets=[1, 10])
+        assert np.isnan(hist.quantile(0.5))    # empty
+        hist.observe(3.0)
+        assert hist.quantile(0.0) == pytest.approx(3.0, abs=7.0)
+        assert hist.quantile(1.0) == pytest.approx(3.0, abs=7.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_overflow_bucket_clamps_to_observed_range(self, registry):
+        # Everything lands in the +Inf bucket: interpolation falls back
+        # to the observed [min, max] window instead of exploding.
+        hist = registry.histogram("h", buckets=[1])
+        hist.observe(50.0)
+        hist.observe(99.0)
+        assert 50.0 <= hist.quantile(0.5) <= 99.0
+        assert hist.quantile(1.0) == 99.0
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[])
+        with pytest.raises(ValueError):
+            Histogram(buckets=[1, 1])
+
+    def test_default_buckets_end_with_inf(self):
+        hist = Histogram()
+        assert hist.bounds[-1] == float("inf")
+        assert hist.bounds[:-1] == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_declaration_is_idempotent(self, registry):
+        first = registry.counter("c_total", "help")
+        second = registry.counter("c_total", "help")
+        assert first is second
+
+    def test_type_mismatch_rejected(self, registry):
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_labelset_mismatch_rejected(self, registry):
+        registry.counter("m", labelnames=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("m", labelnames=("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("bad-name")
+        with pytest.raises(ValueError):
+            registry.counter("0starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("ok", labelnames=("bad-label",))
+
+    def test_collect_preserves_registration_order(self, registry):
+        registry.counter("first")
+        registry.gauge("second")
+        registry.histogram("third")
+        assert [f.name for f in registry.collect()] == [
+            "first", "second", "third",
+        ]
+
+    def test_reset_zeroes_but_keeps_families(self, registry):
+        counter = registry.counter("c_total", labelnames=("k",))
+        counter.labels(k="a").inc(9)
+        gauge = registry.gauge("g")
+        gauge.set(4)
+        registry.reset()
+        assert counter.labels(k="a").value == 0.0
+        assert gauge.value == 0.0
+        assert registry.get("c_total") is counter
+
+
+class TestThreadSafety:
+    def test_concurrent_counter_increments_are_exact(self, registry):
+        counter = registry.counter("c_total")
+        n_threads, per_thread = 8, 10_000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+    def test_concurrent_histogram_observations_are_exact(self, registry):
+        hist = registry.histogram("h", buckets=[0.5, 1.0])
+        n_threads, per_thread = 8, 5_000
+
+        def work():
+            for i in range(per_thread):
+                hist.observe((i % 3) * 0.4)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == n_threads * per_thread
+        assert sum(hist._require_default()._counts) == n_threads * per_thread
+
+    def test_concurrent_label_creation(self, registry):
+        family = registry.counter("c_total", labelnames=("k",))
+
+        def work(tag):
+            for i in range(1_000):
+                family.labels(k=str(i % 20)).inc()
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(child.value for _, child in family.samples())
+        assert total == 8 * 1_000
+        assert len(family.samples()) == 20

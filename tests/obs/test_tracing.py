@@ -1,0 +1,176 @@
+"""Span tracer: nested trees, aggregation, counters, decorator, threads."""
+
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer, current_span, trace, traced
+from repro.obs.tracing import get_tracer, set_tracer
+
+
+@pytest.fixture
+def tracer():
+    """Install a fresh default tracer for the test, restore after."""
+    fresh = Tracer(registry=MetricsRegistry())
+    previous = set_tracer(fresh)
+    yield fresh
+    set_tracer(previous)
+
+
+class TestSpanTrees:
+    def test_nested_spans_build_a_tree(self, tracer):
+        with trace("outer"):
+            with trace("inner.a"):
+                pass
+            with trace("inner.b"):
+                pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert sorted(roots[0].children) == ["inner.a", "inner.b"]
+
+    def test_repeated_spans_aggregate_by_name(self, tracer):
+        with trace("outer"):
+            for _ in range(5):
+                with trace("inner"):
+                    pass
+        inner = tracer.roots()[0].children["inner"]
+        assert inner.count == 5
+        assert inner.min_s <= inner.max_s
+        assert inner.total_s >= 5 * inner.min_s
+
+    def test_parent_duration_covers_children(self, tracer):
+        with trace("outer"):
+            with trace("inner"):
+                pass
+        outer = tracer.roots()[0]
+        assert outer.total_s >= outer.children["inner"].total_s
+
+    def test_per_span_counters(self, tracer):
+        with trace("work") as span:
+            span.add("rows", 100)
+            span.add("rows", 50)
+            span.add("errors")
+        node = tracer.roots()[0]
+        assert node.counters == {"rows": 150.0, "errors": 1.0}
+
+    def test_counters_aggregate_across_repeats(self, tracer):
+        for _ in range(3):
+            with trace("work") as span:
+                span.add("rows", 10)
+        node = tracer.roots()[0]
+        assert node.count == 3
+        assert node.counters["rows"] == 30.0
+
+    def test_duration_recorded_on_span_after_close(self, tracer):
+        with trace("work") as span:
+            assert span.duration_s is None
+        assert span.duration_s is not None
+        assert span.duration_s >= 0.0
+
+    def test_current_span(self, tracer):
+        assert current_span() is None
+        with trace("outer"):
+            assert current_span().name == "outer"
+            with trace("inner"):
+                assert current_span().name == "inner"
+            assert current_span().name == "outer"
+        assert current_span() is None
+
+    def test_exception_still_closes_span(self, tracer):
+        with pytest.raises(RuntimeError):
+            with trace("boom"):
+                raise RuntimeError("x")
+        assert [r.name for r in tracer.roots()] == ["boom"]
+
+    def test_reset(self, tracer):
+        with trace("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+
+
+class TestTracedDecorator:
+    def test_named(self, tracer):
+        @traced("ml.fit")
+        def fit():
+            return 42
+
+        assert fit() == 42
+        assert [r.name for r in tracer.roots()] == ["ml.fit"]
+
+    def test_bare_uses_module_and_function(self, tracer):
+        @traced
+        def compute():
+            return 1
+
+        compute()
+        (root,) = tracer.roots()
+        assert root.name.endswith(".compute")
+
+
+class TestRendering:
+    def test_render_tree_text(self, tracer):
+        with trace("outer") as span:
+            span.add("rows", 7)
+            with trace("inner"):
+                pass
+        text = tracer.render()
+        assert "outer:" in text
+        assert "  inner:" in text
+        assert "rows=7" in text
+        assert "(n=1" in text
+
+    def test_to_dict_round_trips(self, tracer):
+        with trace("outer") as span:
+            span.add("rows", 3)
+            with trace("inner"):
+                pass
+        (data,) = tracer.to_dict()
+        assert data["name"] == "outer"
+        assert data["count"] == 1
+        assert data["counters"] == {"rows": 3.0}
+        assert data["children"][0]["name"] == "inner"
+
+
+class TestSpanHistogram:
+    def test_closed_spans_feed_duration_histogram(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry)
+        with tracer.span("layer.op"):
+            pass
+        family = registry.get("repro_span_duration_seconds")
+        assert family is not None
+        assert family.labels(span="layer.op").count == 1
+
+
+class TestThreading:
+    def test_threads_have_independent_stacks(self, tracer):
+        errors = []
+
+        def work(tag):
+            try:
+                for _ in range(200):
+                    with trace(f"root.{tag}"):
+                        with trace("child"):
+                            assert current_span().name == "child"
+            except Exception as exc:    # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = {r.name: r for r in tracer.roots()}
+        assert len(roots) == 4
+        for tag in range(4):
+            node = roots[f"root.{tag}"]
+            assert node.count == 200
+            assert node.children["child"].count == 200
+
+
+def test_default_tracer_is_process_wide():
+    assert get_tracer() is get_tracer()

@@ -87,3 +87,75 @@ class TestRealTimeMonitor:
         monitor.flush()
         assert monitor.alarms
         assert "ratio" in monitor.alarms[0].reason
+
+
+class TestCallbackIsolation:
+    """One raising subscriber callback must not kill the monitor loop."""
+
+    def test_raising_diagnosis_callback_is_isolated(
+        self, framework, one_adaptive_session, one_progressive_session
+    ):
+        def explode(diagnosis):
+            raise RuntimeError("subscriber callback bug")
+
+        monitor = RealTimeMonitor(framework, on_diagnosis=explode)
+        stream = _stream([one_adaptive_session, one_progressive_session])
+        live = monitor.feed_many(stream)
+        live += monitor.flush()
+        # The loop survived and still diagnosed everything.
+        assert len(live) == 2
+        assert len(monitor.diagnoses) == 2
+        assert monitor.callback_errors == 2
+
+    def test_raising_alarm_callback_is_isolated(
+        self, framework, one_adaptive_session
+    ):
+        def explode(alarm):
+            raise RuntimeError("alarm sink down")
+
+        monitor = RealTimeMonitor(
+            framework, severe_alarm_after=1, on_alarm=explode
+        )
+        monitor.framework.stall.predict = lambda records: np.array(
+            ["severe stalls"] * len(records)
+        )
+        monitor.feed_many(_stream([one_adaptive_session], seed=3))
+        monitor.flush()
+        # The alarm itself was still recorded.
+        assert len(monitor.alarms) == 1
+        assert monitor.callback_errors == 1
+
+    def test_callback_errors_counted_in_registry(
+        self, framework, one_adaptive_session
+    ):
+        from repro.obs import get_registry
+
+        errors = get_registry().counter(
+            "repro_realtime_alarms_callback_errors_total",
+            labelnames=("callback",),
+        )
+        before = errors.labels(callback="diagnosis").value
+
+        def explode(diagnosis):
+            raise RuntimeError("boom")
+
+        monitor = RealTimeMonitor(framework, on_diagnosis=explode)
+        monitor.feed_many(_stream([one_adaptive_session], seed=4))
+        monitor.flush()
+        assert errors.labels(callback="diagnosis").value == before + 1
+
+    def test_alarm_callback_invoked_on_alarm(
+        self, framework, one_adaptive_session
+    ):
+        raised = []
+        monitor = RealTimeMonitor(
+            framework, severe_alarm_after=1, on_alarm=raised.append
+        )
+        monitor.framework.stall.predict = lambda records: np.array(
+            ["severe stalls"] * len(records)
+        )
+        monitor.feed_many(_stream([one_adaptive_session], seed=5))
+        monitor.flush()
+        assert len(raised) == 1
+        assert raised[0].subscriber_id == "sub-x"
+        assert monitor.callback_errors == 0

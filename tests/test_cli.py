@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -23,3 +25,32 @@ class TestCli:
     def test_unknown_experiment_id(self):
         with pytest.raises(KeyError):
             main(["experiments", "--id", "tab99"])
+
+    def test_unknown_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--id", "fig1", "--log-level", "LOUD"])
+
+
+class TestCliObservability:
+    """--metrics-out / --log-level and the root timing tree."""
+
+    def test_metrics_out_writes_valid_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        # fig1 needs no corpus, so this stays fast.
+        assert main(["experiments", "--id", "fig1", "--metrics-out", str(path)]) == 0
+        snapshot = json.loads(path.read_text())
+        assert snapshot["schema"].startswith("repro.obs/")
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "repro_experiments_runs_total" in names
+        assert "repro_span_duration_seconds" in names
+
+    def test_root_span_tree_printed_to_stderr(self, capsys):
+        assert main(["experiments", "--id", "fig1"]) == 0
+        err = capsys.readouterr().err
+        assert "repro.experiments:" in err
+        assert "experiments.fig1:" in err
+
+    def test_log_level_flag_accepted(self, capsys):
+        assert main(
+            ["experiments", "--id", "fig1", "--log-level", "ERROR"]
+        ) == 0
