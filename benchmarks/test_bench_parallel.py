@@ -1,0 +1,110 @@
+"""Serial-vs-parallel benchmark for the n_jobs execution layer.
+
+Acceptance shape: on a 100-tree forest, ``fit(n_jobs=4)`` must be at
+least 2x faster than serial when the machine has the cores to show it,
+and — on any machine — serial and parallel runs must be bit-identical.
+The speedup assertion is skipped (not weakened) on boxes with fewer
+than 4 usable cores, where a process pool can only add overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import cross_validate
+from repro.ml.forest import RandomForestClassifier
+
+from conftest import paper_row
+
+N_TREES = 100
+N_JOBS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:   # non-Linux
+        return os.cpu_count() or 1
+
+
+def _training_set(n=2000, features=12, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, features))
+    y = np.digitize(X[:, 0] + 0.4 * X[:, 1] - 0.2 * X[:, 2], [-0.5, 0.5])
+    return X, y
+
+
+def _fit_seconds(n_jobs: int, X, y) -> float:
+    start = time.perf_counter()
+    RandomForestClassifier(
+        n_estimators=N_TREES, random_state=0, n_jobs=n_jobs
+    ).fit(X, y)
+    return time.perf_counter() - start
+
+
+def test_forest_fit_parallel_speedup(benchmark):
+    """100-tree fit: n_jobs=4 >= 2x faster than serial (given cores)."""
+    X, y = _training_set()
+    serial_s = _fit_seconds(1, X, y)
+    parallel_s = benchmark.pedantic(
+        _fit_seconds, args=(N_JOBS, X, y), rounds=1, iterations=1
+    )
+    speedup = serial_s / parallel_s
+    paper_row(
+        f"forest fit, {N_TREES} trees",
+        "embarrassingly parallel",
+        f"serial {serial_s:.2f}s / n_jobs={N_JOBS} {parallel_s:.2f}s "
+        f"= {speedup:.2f}x",
+    )
+    if _usable_cpus() < N_JOBS:
+        pytest.skip(
+            f"only {_usable_cpus()} usable core(s); "
+            f">=2x speedup needs >= {N_JOBS}"
+        )
+    assert speedup >= 2.0, (
+        f"expected >=2x speedup with n_jobs={N_JOBS}, got {speedup:.2f}x "
+        f"(serial {serial_s:.2f}s, parallel {parallel_s:.2f}s)"
+    )
+
+
+def test_forest_parallel_is_bit_identical():
+    """The determinism guarantee, at benchmark scale."""
+    X, y = _training_set()
+    serial = RandomForestClassifier(
+        n_estimators=N_TREES, random_state=0, n_jobs=1
+    ).fit(X, y)
+    parallel = RandomForestClassifier(
+        n_estimators=N_TREES, random_state=0, n_jobs=N_JOBS
+    ).fit(X, y)
+    assert np.array_equal(serial.predict_proba(X), parallel.predict_proba(X))
+
+
+def test_cross_validate_parallel_matches_serial(benchmark):
+    """Per-fold fan-out: identical pooled report, less wall-clock on
+    multi-core machines."""
+    X, y = _training_set(n=1200)
+
+    def factory():
+        return RandomForestClassifier(n_estimators=20, random_state=0)
+
+    serial = cross_validate(
+        factory, X, y, n_splits=5, random_state=0, n_jobs=1
+    )
+    parallel = benchmark.pedantic(
+        cross_validate,
+        args=(factory, X, y),
+        kwargs=dict(n_splits=5, random_state=0, n_jobs=N_JOBS),
+        rounds=1,
+        iterations=1,
+    )
+    assert serial.accuracy == parallel.accuracy
+    assert np.array_equal(serial.matrix, parallel.matrix)
+    paper_row(
+        "5-fold CV pooled accuracy",
+        "n_jobs-invariant",
+        f"{parallel.accuracy:.1%} (serial == parallel)",
+    )

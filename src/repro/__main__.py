@@ -5,9 +5,12 @@ Commands
 ``experiments``
     Regenerate every table and figure of the paper (``--full`` for the
     benchmark-scale corpora, ``--id tab3_4`` for one experiment).
-    ``--metrics-out PATH`` drops a JSON telemetry snapshot (metrics +
-    span trees) next to the results; ``--log-level DEBUG`` turns on
-    structured key=value logging.
+    ``--jobs N`` fans forest fitting/scoring and CV folds out over N
+    worker processes (results are identical for any N; see
+    docs/ARCHITECTURE.md "Parallel execution").  ``--metrics-out PATH``
+    drops a JSON telemetry snapshot (metrics + span trees) next to the
+    results; ``--log-level DEBUG`` turns on structured key=value
+    logging.
 ``list``
     List the experiment ids.
 """
@@ -15,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 
@@ -39,6 +43,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     log = get_logger("cli")
 
     config = FULL if args.full else SMALL
+    if args.jobs != config.n_jobs:
+        config = dataclasses.replace(config, n_jobs=args.jobs)
     with trace("repro.experiments") as root:
         if args.id:
             workspace = Workspace(config)
@@ -88,6 +94,16 @@ def main(argv=None) -> int:
     )
     experiments.add_argument(
         "--id", default=None, help="run a single experiment (see 'list')"
+    )
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for forest fitting/scoring and CV folds "
+            "(1 serial, -1 all cores; results identical for any value)"
+        ),
     )
     experiments.add_argument(
         "--log-level",

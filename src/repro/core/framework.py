@@ -55,14 +55,23 @@ class QoEFramework:
         Seed shared by the two Random-Forest detectors.
     n_estimators:
         Forest size for both classifiers.
+    n_jobs:
+        Worker processes shared by the two forest detectors
+        (``None``/1 serial, ``-1`` all cores); diagnoses are identical
+        for any value.
     """
 
-    def __init__(self, random_state: int = 0, n_estimators: int = 40) -> None:
+    def __init__(
+        self,
+        random_state: int = 0,
+        n_estimators: int = 40,
+        n_jobs: Optional[int] = None,
+    ) -> None:
         self.stall = StallDetector(
-            n_estimators=n_estimators, random_state=random_state
+            n_estimators=n_estimators, random_state=random_state, n_jobs=n_jobs
         )
         self.representation = AvgRepresentationDetector(
-            n_estimators=n_estimators, random_state=random_state
+            n_estimators=n_estimators, random_state=random_state, n_jobs=n_jobs
         )
         self.switching = SwitchDetector()
         self._fitted = False

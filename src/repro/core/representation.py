@@ -40,6 +40,7 @@ class AvgRepresentationDetector:
         feature_selection: str = "cfs",
         n_features: int = 15,
         random_state: int = 0,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if feature_selection not in ("cfs", "infogain", "none"):
             raise ValueError(f"unknown selection mode: {feature_selection!r}")
@@ -47,6 +48,7 @@ class AvgRepresentationDetector:
         self.feature_selection = feature_selection
         self.n_features = n_features
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
         self.selected_indices_: Optional[List[int]] = None
         self.selected_names_: Optional[List[str]] = None
@@ -84,6 +86,7 @@ class AvgRepresentationDetector:
             n_estimators=self.n_estimators,
             min_samples_leaf=3,
             random_state=self.random_state,
+            n_jobs=self.n_jobs,
         )
 
     def fit(
@@ -173,4 +176,5 @@ class AvgRepresentationDetector:
                 Xb, yb, random_state=self.random_state
             ),
             labels=list(REPRESENTATION_LABELS),
+            n_jobs=self.n_jobs,
         )

@@ -43,6 +43,10 @@ class StallDetector:
         many; CFS is capped at it).
     random_state:
         Seed for balancing and the forest.
+    n_jobs:
+        Worker processes for forest fitting/scoring and CV folds
+        (``None``/1 serial, ``-1`` all cores); results are identical
+        for any value.
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class StallDetector:
         feature_selection: str = "cfs",
         n_features: int = 8,
         random_state: int = 0,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if feature_selection not in ("cfs", "infogain", "none"):
             raise ValueError(f"unknown selection mode: {feature_selection!r}")
@@ -58,6 +63,7 @@ class StallDetector:
         self.feature_selection = feature_selection
         self.n_features = n_features
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
         self.selected_indices_: Optional[List[int]] = None
         self.selected_names_: Optional[List[str]] = None
@@ -99,6 +105,7 @@ class StallDetector:
             n_estimators=self.n_estimators,
             min_samples_leaf=3,
             random_state=self.random_state,
+            n_jobs=self.n_jobs,
         )
 
     def fit(
@@ -196,4 +203,5 @@ class StallDetector:
                 Xb, yb, random_state=self.random_state
             ),
             labels=list(STALL_LABELS),
+            n_jobs=self.n_jobs,
         )

@@ -27,6 +27,10 @@ class ExperimentConfig:
         Base seed; each corpus derives its own stream from it.
     n_estimators:
         Forest size for the two classifiers.
+    n_jobs:
+        Worker processes for forest fitting/scoring and CV folds
+        (1 serial, -1 all cores).  Results are identical for any
+        value — only wall-clock changes.
     """
 
     cleartext_sessions: int = 3000
@@ -34,6 +38,7 @@ class ExperimentConfig:
     encrypted_sessions: int = 722
     seed: int = 7
     n_estimators: int = 60
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if min(
@@ -42,6 +47,8 @@ class ExperimentConfig:
             self.encrypted_sessions,
         ) < 10:
             raise ValueError("corpora must have at least 10 sessions")
+        if self.n_jobs == 0:
+            raise ValueError("n_jobs must not be 0 (use 1 for serial)")
 
 
 FULL = ExperimentConfig()

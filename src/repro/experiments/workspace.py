@@ -108,6 +108,7 @@ class Workspace:
             detector = StallDetector(
                 n_estimators=self.config.n_estimators,
                 random_state=self.config.seed,
+                n_jobs=self.config.n_jobs,
             )
             detector.fit(self.stall_records())
             self._cache["stall_detector"] = detector
@@ -118,6 +119,7 @@ class Workspace:
             detector = AvgRepresentationDetector(
                 n_estimators=self.config.n_estimators,
                 random_state=self.config.seed,
+                n_jobs=self.config.n_jobs,
             )
             detector.fit(self.representation_records())
             self._cache["representation_detector"] = detector

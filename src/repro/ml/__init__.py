@@ -21,6 +21,7 @@ from .metrics import (
     classification_report,
     confusion_matrix,
 )
+from .parallel import block_ranges, effective_n_jobs, run_tasks
 from .selection import CfsSubsetSelector, InfoGainRanker, SelectionResult
 from .tree import DecisionTreeClassifier
 
@@ -45,4 +46,7 @@ __all__ = [
     "balanced_indices",
     "undersample",
     "oversample",
+    "effective_n_jobs",
+    "block_ranges",
+    "run_tasks",
 ]

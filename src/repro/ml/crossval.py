@@ -14,6 +14,7 @@ from typing import Callable, Iterator, List, Optional, Tuple
 import numpy as np
 
 from .metrics import ClassificationReport, classification_report
+from .parallel import effective_n_jobs, run_tasks
 
 __all__ = ["stratified_kfold", "train_test_split", "cross_validate"]
 
@@ -77,12 +78,29 @@ def train_test_split(
         _, y_enc = np.unique(y, return_inverse=True)
         for c in np.unique(y_enc):
             idx = rng.permutation(np.nonzero(y_enc == c)[0])
-            n_test = max(1, int(round(test_size * idx.size)))
+            # Cap at size-1 so every class keeps >= 1 training sample; a
+            # singleton class goes entirely to training (n_test = 0)
+            # rather than vanishing from the training partition.
+            n_test = min(
+                max(1, int(round(test_size * idx.size))), idx.size - 1
+            )
             test_mask[idx[:n_test]] = True
     else:
         idx = rng.permutation(n)
         test_mask[idx[: max(1, int(round(test_size * n)))]] = True
     return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+def _fit_predict_fold(payload):
+    """Fit one fold's model and score its test partition.
+
+    Module-level so it pickles into process workers; the model instance
+    (not the factory) ships with the payload, which keeps lambdas and
+    closures usable as ``model_factory``.
+    """
+    model, X_train, y_train, X_test = payload
+    model.fit(X_train, y_train)
+    return model.predict(X_test)
 
 
 def cross_validate(
@@ -93,24 +111,37 @@ def cross_validate(
     random_state=None,
     balance: Optional[Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]] = None,
     labels: Optional[List] = None,
+    n_jobs: Optional[int] = 1,
 ) -> ClassificationReport:
     """k-fold CV; returns one report over the pooled fold predictions.
 
     ``model_factory`` builds a fresh estimator per fold (anything with
     ``fit``/``predict``).  ``balance`` optionally rebalances each fold's
     *training* partition only — matching the paper's "balance for
-    training, restore originals for testing" protocol.
+    training, restore originals for testing" protocol.  Folds are
+    independent, so ``n_jobs > 1`` fits them in parallel worker
+    processes; the pooled report is identical for any ``n_jobs``.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
     predictions = np.empty(y.shape, dtype=y.dtype)
-    for train_idx, test_idx in stratified_kfold(
-        y, n_splits=n_splits, random_state=random_state
-    ):
+    folds = list(
+        stratified_kfold(y, n_splits=n_splits, random_state=random_state)
+    )
+    payloads = []
+    for train_idx, test_idx in folds:
         X_train, y_train = X[train_idx], y[train_idx]
         if balance is not None:
             X_train, y_train = balance(X_train, y_train)
         model = model_factory()
-        model.fit(X_train, y_train)
-        predictions[test_idx] = model.predict(X[test_idx])
+        if effective_n_jobs(n_jobs) > 1 and getattr(model, "n_jobs", None):
+            # One pool level is enough: fold workers fit their forests
+            # serially (results are n_jobs-invariant anyway).
+            model.n_jobs = 1
+        payloads.append((model, X_train, y_train, X[test_idx]))
+    fold_predictions = run_tasks(
+        _fit_predict_fold, payloads, n_jobs=n_jobs, task="cv_fold"
+    )
+    for (_, test_idx), fold_pred in zip(folds, fold_predictions):
+        predictions[test_idx] = fold_pred
     return classification_report(y, predictions, labels=labels)

@@ -6,16 +6,25 @@ algorithm: bootstrap-sampled training sets, per-node random feature
 subsets of size sqrt(n_features), and aggregation by averaging the
 trees' leaf class distributions (soft voting), which is also what Weka
 does by default.
+
+Trees are independent once seeded, so both :meth:`fit` and
+:meth:`predict_proba` fan out over an ``n_jobs`` worker pool
+(:mod:`repro.ml.parallel`).  Each tree draws its RNG from its own
+``np.random.SeedSequence.spawn`` child — never from a generator shared
+across trees — and floating-point partials are combined per fixed-size
+tree block in block order, so a fitted forest and its predictions are
+bit-identical for any ``n_jobs`` given the same ``random_state``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.obs import get_registry, trace
 
+from .parallel import block_ranges, run_tasks
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
@@ -28,6 +37,75 @@ _PREDICTIONS = _REG.counter(
     "repro_ml_forest_predictions_total",
     "Rows scored through RandomForestClassifier.predict_proba.",
 )
+
+#: Trees per dispatched pool task.  Fixed (independent of ``n_jobs``)
+#: because float partials are summed per block in block order — the
+#: determinism anchor that makes serial and parallel runs bit-identical.
+_TREE_BLOCK = 8
+
+
+def _tree_seed_sequences(random_state, n: int) -> List[np.random.SeedSequence]:
+    """One independent SeedSequence per tree.
+
+    Spawned children have disjoint, order-independent streams: tree i
+    gets the same stream whether fitted first, last, or in another
+    process.  (Handing one shared Generator to every tree — the old
+    scheme — made each tree's stream depend on how much entropy the
+    previous trees consumed, which is inherently serial.)
+    """
+    if isinstance(random_state, np.random.SeedSequence):
+        base = random_state
+    elif isinstance(random_state, np.random.Generator):
+        base = np.random.SeedSequence(int(random_state.integers(2**63)))
+    else:
+        base = np.random.SeedSequence(random_state)
+    return base.spawn(n)
+
+
+def _fit_tree_block(payload):
+    """Fit one block of trees; returns (trees, oob_votes_or_None).
+
+    Module-level so it pickles into process workers.  The OOB partial is
+    accumulated in tree order within the block; the caller sums block
+    partials in block order.
+    """
+    X, y_enc, n_classes, params, seeds, bootstrap, want_oob = payload
+    n = X.shape[0]
+    trees: List[DecisionTreeClassifier] = []
+    oob_votes = np.zeros((n, n_classes)) if (want_oob and bootstrap) else None
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        tree = DecisionTreeClassifier(random_state=rng, **params)
+        if bootstrap:
+            sample = rng.integers(0, n, size=n)
+            tree.fit(X[sample], y_enc[sample])
+            if oob_votes is not None:
+                mask = np.ones(n, dtype=bool)
+                mask[sample] = False
+                if mask.any():
+                    # A bootstrap sample can miss classes; align the
+                    # tree's columns into the forest's class space.
+                    rows = np.nonzero(mask)[0]
+                    cols = tree.classes_.astype(int)
+                    oob_votes[np.ix_(rows, cols)] += tree.predict_proba(X[rows])
+        else:
+            tree.fit(X, y_enc)
+        trees.append(tree)
+    return trees, oob_votes
+
+
+def _predict_proba_block(payload):
+    """Summed class votes of one block of trees over ``X``."""
+    trees, X, n_classes = payload
+    proba = np.zeros((X.shape[0], n_classes))
+    for tree in trees:
+        # Trees are fitted on encoded labels spanning all classes seen
+        # by the forest, but a bootstrap sample may miss some classes:
+        # align the tree's columns into the forest's class space.
+        tree_proba = tree.predict_proba(X)
+        cols = tree.classes_.astype(int)
+        proba[:, cols] += tree_proba
+    return proba
 
 
 class RandomForestClassifier:
@@ -52,6 +130,10 @@ class RandomForestClassifier:
         fitting and expose it as ``oob_score_``.
     random_state:
         Seed for reproducible resampling and feature subsampling.
+    n_jobs:
+        Worker processes for fitting and prediction.  ``None``/1 runs
+        serially; ``-1`` uses all cores.  Results are bit-identical for
+        any value.
     """
 
     def __init__(
@@ -65,6 +147,7 @@ class RandomForestClassifier:
         bootstrap: bool = True,
         oob_score: bool = False,
         random_state=None,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -77,6 +160,7 @@ class RandomForestClassifier:
         self.bootstrap = bootstrap
         self.oob_score = oob_score
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, X: np.ndarray, y: np.ndarray):
         """Fit the ensemble on ``X`` (n_samples, n_features), labels ``y``."""
@@ -86,6 +170,15 @@ class RandomForestClassifier:
             span.add("rows", int(np.asarray(X).shape[0]))
         _FITS.inc()
         return self
+
+    def _tree_params(self) -> dict:
+        return {
+            "criterion": self.criterion,
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
 
     def _fit(self, X: np.ndarray, y: np.ndarray):
         X = np.asarray(X, dtype=float)
@@ -98,35 +191,27 @@ class RandomForestClassifier:
         if n == 0:
             raise ValueError("cannot fit on an empty dataset")
 
-        rng = np.random.default_rng(self.random_state)
         self.classes_, y_enc = np.unique(y, return_inverse=True)
         self.n_features_ = X.shape[1]
-        self.estimators_ = []
 
-        oob_votes = (
-            np.zeros((n, self.classes_.size)) if (self.oob_score and self.bootstrap) else None
+        seeds = _tree_seed_sequences(self.random_state, self.n_estimators)
+        params = self._tree_params()
+        want_oob = self.oob_score and self.bootstrap
+        payloads = [
+            (X, y_enc, self.classes_.size, params, seeds[a:b],
+             self.bootstrap, want_oob)
+            for a, b in block_ranges(self.n_estimators, _TREE_BLOCK)
+        ]
+        results = run_tasks(
+            _fit_tree_block, payloads, n_jobs=self.n_jobs, task="forest_fit"
         )
 
-        for _ in range(self.n_estimators):
-            tree = DecisionTreeClassifier(
-                criterion=self.criterion,
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                random_state=rng,
-            )
-            if self.bootstrap:
-                sample = rng.integers(0, n, size=n)
-                tree.fit(X[sample], y_enc[sample])
-                if oob_votes is not None:
-                    mask = np.ones(n, dtype=bool)
-                    mask[sample] = False
-                    if mask.any():
-                        oob_votes[mask] += tree.predict_proba(X[mask])
-            else:
-                tree.fit(X, y_enc)
-            self.estimators_.append(tree)
+        self.estimators_ = []
+        oob_votes = np.zeros((n, self.classes_.size)) if want_oob else None
+        for trees, oob_partial in results:
+            self.estimators_.extend(trees)
+            if oob_votes is not None and oob_partial is not None:
+                oob_votes += oob_partial
 
         if oob_votes is not None:
             seen = oob_votes.sum(axis=1) > 0
@@ -145,16 +230,30 @@ class RandomForestClassifier:
         """Average of the trees' leaf class distributions."""
         self._check_fitted()
         X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError(
+                f"X must be 2-dimensional, got ndim={X.ndim}; reshape a "
+                "single sample to (1, n_features)"
+            )
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, but the forest was fitted "
+                f"with {self.n_features_}"
+            )
         with trace("ml.forest_predict") as span:
+            payloads = [
+                (self.estimators_[a:b], X, self.classes_.size)
+                for a, b in block_ranges(len(self.estimators_), _TREE_BLOCK)
+            ]
+            partials = run_tasks(
+                _predict_proba_block,
+                payloads,
+                n_jobs=self.n_jobs,
+                task="forest_predict",
+            )
             proba = np.zeros((X.shape[0], self.classes_.size))
-            for tree in self.estimators_:
-                # Trees are fitted on encoded labels spanning all classes
-                # seen by the forest, but a bootstrap sample may miss some
-                # classes: align the tree's columns into the forest's
-                # class space.
-                tree_proba = tree.predict_proba(X)
-                cols = tree.classes_.astype(int)
-                proba[:, cols] += tree_proba
+            for partial in partials:
+                proba += partial
             span.add("rows", X.shape[0])
         _PREDICTIONS.inc(X.shape[0])
         return proba / len(self.estimators_)

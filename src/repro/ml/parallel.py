@@ -1,0 +1,149 @@
+"""Shared worker-pool helper for the ML stack.
+
+Bagged trees and CV folds are embarrassingly parallel: every task is a
+pure function of its payload, and results only need to be combined in
+submission order.  This module provides that one primitive —
+:func:`run_tasks`, an order-preserving map — with three execution
+modes:
+
+* ``n_jobs=1`` (the default): a plain serial loop, zero overhead.
+* ``n_jobs>1``: a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (numpy releases the GIL rarely enough that threads do not help tree
+  growing).  Task functions must be module-level so they pickle.
+* thread fallback: if the platform cannot create a process pool
+  (sandboxes without POSIX semaphores, restricted spawn), the helper
+  degrades to a :class:`~concurrent.futures.ThreadPoolExecutor` rather
+  than failing — results are identical either way, only the speedup is
+  lost.
+
+Determinism is the caller's contract: payloads must carry their own
+RNG state (see ``np.random.SeedSequence.spawn`` in
+:mod:`repro.ml.forest`) and the caller must combine results in the
+returned order, so ``n_jobs`` never changes a computed value.
+
+Pool size and per-task latency are instrumented through
+:mod:`repro.obs` (``repro_ml_pool_workers``,
+``repro_ml_pool_task_seconds``, ``repro_ml_pool_tasks_total``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import get_registry
+
+__all__ = ["effective_n_jobs", "block_ranges", "run_tasks"]
+
+_REG = get_registry()
+_POOL_WORKERS = _REG.gauge(
+    "repro_ml_pool_workers",
+    "Workers in the currently active ML worker pool (0 when idle).",
+)
+_POOL_TASKS = _REG.counter(
+    "repro_ml_pool_tasks_total",
+    "Tasks executed by the ML worker-pool helper.",
+    labelnames=("task", "mode"),
+)
+_TASK_SECONDS = _REG.histogram(
+    "repro_ml_pool_task_seconds",
+    "Wall-clock duration of individual ML pool tasks.",
+    labelnames=("task",),
+)
+
+
+def effective_n_jobs(n_jobs: Optional[int]) -> int:
+    """Resolve an ``n_jobs`` parameter to a concrete worker count.
+
+    ``None`` means 1 (serial); negative values count back from the CPU
+    count joblib-style (``-1`` = all cores, ``-2`` = all but one).
+    """
+    if n_jobs is None:
+        return 1
+    n_jobs = int(n_jobs)
+    if n_jobs == 0:
+        raise ValueError("n_jobs must not be 0 (use None or 1 for serial)")
+    if n_jobs < 0:
+        return max(1, (os.cpu_count() or 1) + 1 + n_jobs)
+    return n_jobs
+
+
+def block_ranges(n_items: int, block_size: int) -> List[Tuple[int, int]]:
+    """Partition ``range(n_items)`` into ``[start, stop)`` blocks.
+
+    The block structure is a *determinism anchor*: callers that sum
+    floating-point partials must always combine per-block (in block
+    order) so serial and parallel runs add in the same order.  The
+    partition therefore depends only on ``n_items`` and ``block_size``,
+    never on the worker count.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    return [
+        (start, min(start + block_size, n_items))
+        for start in range(0, n_items, block_size)
+    ]
+
+
+def _timed_call(fn: Callable, payload) -> Tuple[float, object]:
+    """Run one task and return (elapsed_seconds, result).
+
+    Executes inside the worker so the recorded latency excludes queue
+    wait and result pickling.
+    """
+    start = time.perf_counter()
+    result = fn(payload)
+    return time.perf_counter() - start, result
+
+
+def _make_pool(workers: int):
+    """Process pool, or thread pool where processes are unavailable."""
+    try:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        # Creation is lazy on some platforms; force the failure early so
+        # the fallback engages here rather than mid-map.
+        pool.submit(int, 0).result()
+        return pool, "process"
+    except (OSError, ValueError, RuntimeError, NotImplementedError):
+        return ThreadPoolExecutor(max_workers=workers), "thread"
+
+
+def run_tasks(
+    fn: Callable,
+    payloads: Sequence,
+    n_jobs: Optional[int] = 1,
+    task: str = "task",
+) -> List:
+    """Map ``fn`` over ``payloads``; results in submission order.
+
+    ``fn`` must be a module-level function (it is pickled for process
+    workers).  Exceptions raised by a task propagate to the caller.
+    ``task`` labels the observability series.
+    """
+    payloads = list(payloads)
+    jobs = min(effective_n_jobs(n_jobs), len(payloads))
+    if jobs <= 1:
+        results = []
+        for payload in payloads:
+            elapsed, result = _timed_call(fn, payload)
+            _TASK_SECONDS.labels(task=task).observe(elapsed)
+            _POOL_TASKS.labels(task=task, mode="serial").inc()
+            results.append(result)
+        return results
+
+    pool, mode = _make_pool(jobs)
+    _POOL_WORKERS.set(jobs)
+    try:
+        futures = [pool.submit(_timed_call, fn, p) for p in payloads]
+        results = []
+        for future in futures:
+            elapsed, result = future.result()
+            _TASK_SECONDS.labels(task=task).observe(elapsed)
+            _POOL_TASKS.labels(task=task, mode=mode).inc()
+            results.append(result)
+        return results
+    finally:
+        pool.shutdown(wait=True)
+        _POOL_WORKERS.set(0)

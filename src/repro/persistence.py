@@ -33,18 +33,38 @@ __all__ = [
     "load_framework",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+#: Versions this module can still load.  Version 1 payloads lack the
+#: per-tree/forest hyperparameters (defaults are substituted) and use
+#: the ambiguous ``"num"`` class kind.
+_READABLE_VERSIONS = (1, _FORMAT_VERSION)
 
 
 def _classes_to_json(classes: np.ndarray) -> Dict:
-    kind = "str" if classes.dtype.kind in ("U", "S", "O") else "num"
-    values = [str(c) if kind == "str" else float(c) for c in classes.tolist()]
+    if classes.dtype.kind in ("U", "S", "O"):
+        kind = "str"
+    elif classes.dtype.kind in ("i", "u", "b"):
+        kind = "int"
+    else:
+        kind = "float"
+    values = [
+        str(c) if kind == "str" else (int(c) if kind == "int" else float(c))
+        for c in classes.tolist()
+    ]
     return {"kind": kind, "values": values}
 
 
 def _classes_from_json(payload: Dict) -> np.ndarray:
-    if payload["kind"] == "str":
+    kind = payload["kind"]
+    if kind == "str":
         return np.array([str(v) for v in payload["values"]])
+    if kind == "int":
+        return np.array(payload["values"], dtype=np.int64)
+    if kind == "float":
+        return np.array(payload["values"], dtype=float)
+    # Legacy "num" (format version 1) lost the original dtype; fall back
+    # to the old guess — integral values were integer labels.
     values = np.array(payload["values"], dtype=float)
     if np.all(values == np.round(values)):
         return values.astype(np.int64)
@@ -61,11 +81,21 @@ def _tree_to_dict(tree: DecisionTreeClassifier) -> Dict:
         "classes": _classes_to_json(tree.classes_),
         "n_features": tree.n_features_,
         "criterion": tree.criterion,
+        "max_depth": tree.max_depth,
+        "min_samples_split": tree.min_samples_split,
+        "min_samples_leaf": tree.min_samples_leaf,
+        "max_features": tree.max_features,
     }
 
 
 def _tree_from_dict(payload: Dict) -> DecisionTreeClassifier:
-    tree = DecisionTreeClassifier(criterion=payload["criterion"])
+    tree = DecisionTreeClassifier(
+        criterion=payload["criterion"],
+        max_depth=payload.get("max_depth"),
+        min_samples_split=payload.get("min_samples_split", 2),
+        min_samples_leaf=payload.get("min_samples_leaf", 1),
+        max_features=payload.get("max_features"),
+    )
     tree._feature = np.asarray(payload["feature"], dtype=np.int64)
     tree._threshold = np.asarray(payload["threshold"], dtype=float)
     tree._left = np.asarray(payload["left"], dtype=np.int64)
@@ -78,20 +108,56 @@ def _tree_from_dict(payload: Dict) -> DecisionTreeClassifier:
 
 
 def forest_to_dict(forest: RandomForestClassifier) -> Dict:
-    """Serialise a fitted forest."""
+    """Serialise a fitted forest (structure *and* hyperparameters).
+
+    The hyperparameters matter beyond bookkeeping: a reloaded forest
+    that is ``fit()`` again must grow the same kind of ensemble the
+    original did, not silently revert to constructor defaults.
+    ``n_jobs`` is deliberately not persisted — it is an execution
+    setting of the host machine, not part of the model.
+    """
     if not hasattr(forest, "estimators_"):
         raise ValueError("forest is not fitted")
+    random_state = forest.random_state
     return {
         "classes": _classes_to_json(forest.classes_),
         "n_features": forest.n_features_,
         "n_estimators": forest.n_estimators,
+        "criterion": forest.criterion,
+        "max_depth": forest.max_depth,
+        "min_samples_split": forest.min_samples_split,
+        "min_samples_leaf": forest.min_samples_leaf,
+        "max_features": forest.max_features,
+        "bootstrap": forest.bootstrap,
+        "oob_score": forest.oob_score,
+        # Generators/SeedSequences are process state, not JSON; only
+        # int/None seeds survive a round-trip.
+        "random_state": (
+            int(random_state)
+            if isinstance(random_state, (int, np.integer))
+            else None
+        ),
         "trees": [_tree_to_dict(tree) for tree in forest.estimators_],
     }
 
 
 def forest_from_dict(payload: Dict) -> RandomForestClassifier:
-    """Rebuild a fitted forest."""
-    forest = RandomForestClassifier(n_estimators=payload["n_estimators"])
+    """Rebuild a fitted forest.
+
+    Tolerates format-version-1 payloads, which carried no
+    hyperparameters: constructor defaults are substituted there.
+    """
+    forest = RandomForestClassifier(
+        n_estimators=payload["n_estimators"],
+        criterion=payload.get("criterion", "gini"),
+        max_depth=payload.get("max_depth"),
+        min_samples_split=payload.get("min_samples_split", 2),
+        min_samples_leaf=payload.get("min_samples_leaf", 1),
+        max_features=payload.get("max_features", "sqrt"),
+        bootstrap=payload.get("bootstrap", True),
+        oob_score=payload.get("oob_score", False),
+        random_state=payload.get("random_state"),
+    )
     forest.classes_ = _classes_from_json(payload["classes"])
     forest.n_features_ = int(payload["n_features"])
     forest.estimators_ = [_tree_from_dict(t) for t in payload["trees"]]
@@ -147,7 +213,7 @@ def framework_to_dict(framework: QoEFramework) -> Dict:
 
 def framework_from_dict(payload: Dict) -> QoEFramework:
     """Rebuild a fitted framework."""
-    if payload.get("format_version") != _FORMAT_VERSION:
+    if payload.get("format_version") not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported model format: {payload.get('format_version')!r}"
         )

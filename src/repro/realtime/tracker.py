@@ -51,11 +51,19 @@ class OpenSession:
     subscriber_id: str
     media: List[WeblogEntry] = field(default_factory=list)
     signalling: List[WeblogEntry] = field(default_factory=list)
+    #: Latest arrival time seen so far, maintained incrementally by
+    #: :meth:`add` — recomputing it by scanning ``media + signalling``
+    #: on every observe() made a live stream O(n^2) per session.
+    last_activity_s: float = 0.0
 
-    @property
-    def last_activity_s(self) -> float:
-        entries = self.media + self.signalling
-        return max(e.arrival_s for e in entries) if entries else 0.0
+    def add(self, entry: WeblogEntry) -> None:
+        """Append one entry and update the activity watermark."""
+        if entry.server_name.lower().endswith(".googlevideo.com"):
+            self.media.append(entry)
+        else:
+            self.signalling.append(entry)
+        if entry.arrival_s > self.last_activity_s:
+            self.last_activity_s = entry.arrival_s
 
     def to_record(self, sequence: int) -> Optional[SessionRecord]:
         """Freeze into a SessionRecord (None if no media was seen)."""
@@ -148,10 +156,7 @@ class OnlineSessionTracker:
             self._open[subscriber] = current
             _OPEN_SESSIONS.set(len(self._open))
 
-        if entry.server_name.lower().endswith(".googlevideo.com"):
-            current.media.append(entry)
-        else:
-            current.signalling.append(entry)
+        current.add(entry)
         return closed
 
     def flush(self, now_s: Optional[float] = None) -> List[SessionRecord]:

@@ -52,6 +52,24 @@ class TestTrainTestSplit:
         _, __, ___, y_te = train_test_split(X, y, test_size=0.3, random_state=0)
         assert set(y_te) == {0, 1}
 
+    def test_singleton_class_stays_in_training(self):
+        """A class with one sample must not be swallowed whole by the
+        test split — training would then never see that class."""
+        X = np.zeros((21, 1))
+        y = np.array([0] * 20 + [1])
+        _, __, y_tr, y_te = train_test_split(X, y, test_size=0.3, random_state=0)
+        assert 1 in y_tr
+        assert 1 not in y_te
+
+    def test_every_class_keeps_a_training_sample(self):
+        X = np.zeros((12, 1))
+        y = np.array([0] * 8 + [1] * 2 + [2] * 2)
+        for seed in range(5):
+            _, __, y_tr, ___ = train_test_split(
+                X, y, test_size=0.5, random_state=seed
+            )
+            assert set(y_tr) == {0, 1, 2}
+
     def test_invalid_test_size(self):
         with pytest.raises(ValueError):
             train_test_split(np.zeros((5, 1)), np.zeros(5), test_size=1.5)

@@ -97,6 +97,27 @@ class TestPredict:
         assert proba.shape == (60, 3)
         np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
 
+    def test_one_dimensional_input_rejected(self):
+        X, y = _dataset()
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="2-dimensional"):
+            forest.predict_proba(X[0])
+        with pytest.raises(ValueError, match="2-dimensional"):
+            forest.predict(X[0])
+
+    def test_feature_count_mismatch_rejected(self):
+        X, y = _dataset()
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        with pytest.raises(ValueError, match="features"):
+            forest.predict_proba(X[:, :4])
+        with pytest.raises(ValueError, match="features"):
+            forest.predict(np.zeros((3, X.shape[1] + 2)))
+
+    def test_single_row_2d_accepted(self):
+        X, y = _dataset()
+        forest = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert forest.predict_proba(X[:1]).shape == (1, 2)
+
     def test_generalises_to_held_out(self):
         X, y = _dataset(n=600, seed=8)
         forest = RandomForestClassifier(n_estimators=25, random_state=0).fit(

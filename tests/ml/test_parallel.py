@@ -1,0 +1,214 @@
+"""Tests for the ML worker-pool helper and the n_jobs determinism
+guarantee (serial and parallel runs must be bit-identical)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.crossval import cross_validate
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.parallel import block_ranges, effective_n_jobs, run_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise RuntimeError(f"task {x} failed")
+
+
+class TestEffectiveNJobs:
+    def test_none_is_serial(self):
+        assert effective_n_jobs(None) == 1
+
+    def test_positive_passthrough(self):
+        assert effective_n_jobs(3) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            effective_n_jobs(0)
+
+    def test_negative_counts_back_from_cpus(self):
+        import os
+
+        cpus = os.cpu_count() or 1
+        assert effective_n_jobs(-1) == cpus
+        assert effective_n_jobs(-cpus - 5) == 1   # clamped to 1
+
+
+class TestBlockRanges:
+    def test_covers_all_items_in_order(self):
+        ranges = block_ranges(20, 8)
+        assert ranges == [(0, 8), (8, 16), (16, 20)]
+
+    def test_single_block(self):
+        assert block_ranges(3, 8) == [(0, 3)]
+
+    def test_empty(self):
+        assert block_ranges(0, 8) == []
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            block_ranges(10, 0)
+
+    def test_independent_of_worker_count(self):
+        """The determinism anchor: the partition is a function of the
+        item count only, never of n_jobs."""
+        assert block_ranges(100, 8) == block_ranges(100, 8)
+
+
+class TestRunTasks:
+    def test_serial_preserves_order(self):
+        assert run_tasks(_square, [1, 2, 3, 4], n_jobs=1) == [1, 4, 9, 16]
+
+    def test_parallel_preserves_order(self):
+        assert run_tasks(_square, list(range(10)), n_jobs=4) == [
+            x * x for x in range(10)
+        ]
+
+    def test_empty_payloads(self):
+        assert run_tasks(_square, [], n_jobs=4) == []
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="task 1 failed"):
+            run_tasks(_boom, [1], n_jobs=1)
+
+    def test_parallel_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="failed"):
+            run_tasks(_boom, [1, 2], n_jobs=2)
+
+    def test_task_metrics_recorded(self):
+        from repro.obs import get_registry
+
+        counter = get_registry().get("repro_ml_pool_tasks_total")
+        before = counter.labels(task="unit", mode="serial").value
+        run_tasks(_square, [1, 2, 3], n_jobs=1, task="unit")
+        assert counter.labels(task="unit", mode="serial").value == before + 3
+
+
+def _dataset(n=300, seed=0, classes=2):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    y = np.digitize(X[:, 0] + 0.5 * X[:, 1], np.linspace(-1, 1, classes - 1))
+    return X, y
+
+
+class TestForestDeterminism:
+    """Same random_state => bit-identical forests for any n_jobs."""
+
+    def test_fit_bit_identical_serial_vs_parallel(self):
+        X, y = _dataset(seed=1)
+        serial = RandomForestClassifier(
+            n_estimators=20, random_state=5, n_jobs=1
+        ).fit(X, y)
+        parallel = RandomForestClassifier(
+            n_estimators=20, random_state=5, n_jobs=4
+        ).fit(X, y)
+        assert np.array_equal(
+            serial.predict_proba(X), parallel.predict_proba(X)
+        )
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+
+    def test_fit_bit_identical_three_classes(self):
+        X, y = _dataset(seed=2, classes=3)
+        serial = RandomForestClassifier(
+            n_estimators=17, random_state=9, n_jobs=1
+        ).fit(X, y)
+        parallel = RandomForestClassifier(
+            n_estimators=17, random_state=9, n_jobs=3
+        ).fit(X, y)
+        assert np.array_equal(
+            serial.predict_proba(X), parallel.predict_proba(X)
+        )
+
+    def test_predict_bit_identical_serial_vs_parallel(self):
+        """Parallel *prediction* on one fitted forest matches serial."""
+        X, y = _dataset(seed=3)
+        forest = RandomForestClassifier(
+            n_estimators=20, random_state=1, n_jobs=1
+        ).fit(X, y)
+        serial_proba = forest.predict_proba(X)
+        forest.n_jobs = 4
+        assert np.array_equal(forest.predict_proba(X), serial_proba)
+
+    def test_oob_score_identical(self):
+        X, y = _dataset(seed=4)
+        serial = RandomForestClassifier(
+            n_estimators=25, oob_score=True, random_state=2, n_jobs=1
+        ).fit(X, y)
+        parallel = RandomForestClassifier(
+            n_estimators=25, oob_score=True, random_state=2, n_jobs=4
+        ).fit(X, y)
+        assert serial.oob_score_ == parallel.oob_score_
+
+    def test_trees_seeded_independently_of_fit_order(self):
+        """Tree i's structure must not depend on how much RNG entropy
+        trees 0..i-1 consumed (the old shared-generator bug)."""
+        X, y = _dataset(seed=5)
+        short = RandomForestClassifier(
+            n_estimators=4, random_state=11, n_jobs=1
+        ).fit(X, y)
+        long = RandomForestClassifier(
+            n_estimators=12, random_state=11, n_jobs=1
+        ).fit(X, y)
+        for a, b in zip(short.estimators_, long.estimators_[:4]):
+            assert np.array_equal(a._feature, b._feature)
+            assert np.array_equal(a._threshold, b._threshold)
+            assert np.array_equal(a._value, b._value)
+
+    def test_generator_random_state_still_reproducible(self):
+        X, y = _dataset(seed=6)
+        f1 = RandomForestClassifier(
+            n_estimators=8, random_state=np.random.default_rng(3)
+        ).fit(X, y)
+        f2 = RandomForestClassifier(
+            n_estimators=8, random_state=np.random.default_rng(3)
+        ).fit(X, y)
+        assert np.array_equal(f1.predict_proba(X), f2.predict_proba(X))
+
+
+class TestCrossValidateParallel:
+    def test_report_identical_serial_vs_parallel(self):
+        X, y = _dataset(n=200, seed=7)
+        kwargs = dict(n_splits=5, random_state=0)
+        serial = cross_validate(
+            lambda: RandomForestClassifier(n_estimators=10, random_state=0),
+            X, y, n_jobs=1, **kwargs
+        )
+        parallel = cross_validate(
+            lambda: RandomForestClassifier(n_estimators=10, random_state=0),
+            X, y, n_jobs=4, **kwargs
+        )
+        assert serial.accuracy == parallel.accuracy
+        assert np.array_equal(serial.matrix, parallel.matrix)
+
+    def test_balance_hook_runs_in_parent(self):
+        """Balance callbacks may be closures; they must never be
+        shipped to (and pickled for) worker processes."""
+        X, y = _dataset(n=100, seed=8)
+        calls = []
+
+        def balance(Xb, yb):   # closure: unpicklable by reference
+            calls.append(len(yb))
+            return Xb, yb
+
+        cross_validate(
+            lambda: RandomForestClassifier(n_estimators=5, random_state=0),
+            X, y, n_splits=5, random_state=0, balance=balance, n_jobs=2,
+        )
+        assert len(calls) == 5
+
+    def test_nested_parallelism_disabled_in_folds(self):
+        X, y = _dataset(n=150, seed=9)
+        made = []
+
+        def factory():
+            model = RandomForestClassifier(
+                n_estimators=5, random_state=0, n_jobs=4
+            )
+            made.append(model)
+            return model
+
+        cross_validate(X=X, y=y, model_factory=factory,
+                       n_splits=3, random_state=0, n_jobs=2)
+        assert all(m.n_jobs == 1 for m in made)

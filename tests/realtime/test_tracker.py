@@ -97,6 +97,37 @@ class TestOnlineSessionTracker:
         assert tracker.flush(now_s=last + 5.0) == []       # still fresh
         assert len(tracker.flush(now_s=last + 500.0)) == 1  # now idle
 
+    def test_last_activity_maintained_incrementally(self, one_adaptive_session):
+        """The watermark must match a full rescan after every entry
+        (it used to be recomputed by concatenating media + signalling —
+        O(n^2) over a live stream)."""
+        tracker = OnlineSessionTracker()
+        for entry in _entries(one_adaptive_session, 0.0):
+            tracker.observe(entry)
+            session = tracker._open[entry.subscriber_id]
+            expected = max(
+                e.arrival_s for e in session.media + session.signalling
+            )
+            assert session.last_activity_s == expected
+
+    def test_out_of_order_arrivals_keep_watermark(self, one_adaptive_session):
+        """An entry arriving with an older arrival_s must not move the
+        watermark backwards."""
+        from repro.realtime.tracker import OpenSession
+
+        entries = _entries(one_adaptive_session, 0.0)[:3]
+        session = OpenSession(subscriber_id="sub-a")
+        for entry in entries:
+            session.add(entry)
+        high = session.last_activity_s
+        stale = type(entries[0])(
+            **{**entries[0].__dict__,
+               "timestamp_s": entries[0].timestamp_s - 100.0}
+        )
+        assert stale.arrival_s < high
+        session.add(stale)
+        assert session.last_activity_s == high
+
     def test_short_fragments_discarded(self, one_adaptive_session):
         tracker = OnlineSessionTracker(min_media_chunks=10_000)
         for entry in _entries(one_adaptive_session, 0.0):

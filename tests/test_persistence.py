@@ -55,6 +55,82 @@ class TestForestRoundtrip:
         forest, _ = self._forest(np.array([0, 1]))
         json.dumps(forest_to_dict(forest))   # must not raise
 
+    def test_hyperparameters_roundtrip(self):
+        """A reloaded forest that is re-fit() must grow the same kind
+        of ensemble, not silently revert to constructor defaults."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(120, 5))
+        y = (X[:, 0] > 0).astype(int)
+        forest = RandomForestClassifier(
+            n_estimators=6,
+            criterion="entropy",
+            max_depth=4,
+            min_samples_split=5,
+            min_samples_leaf=2,
+            max_features=3,
+            bootstrap=False,
+            oob_score=False,
+            random_state=42,
+        ).fit(X, y)
+        clone = forest_from_dict(forest_to_dict(forest))
+        for attr in (
+            "n_estimators", "criterion", "max_depth", "min_samples_split",
+            "min_samples_leaf", "max_features", "bootstrap", "oob_score",
+            "random_state",
+        ):
+            assert getattr(clone, attr) == getattr(forest, attr), attr
+        # Re-fitting the clone reproduces the original forest exactly.
+        refit = clone.fit(X, y)
+        np.testing.assert_array_equal(
+            refit.predict_proba(X), forest.predict_proba(X)
+        )
+
+    def test_tree_hyperparameters_roundtrip(self):
+        forest, _ = self._forest(np.array([0, 1]))
+        clone = forest_from_dict(forest_to_dict(forest))
+        for orig, restored in zip(forest.estimators_, clone.estimators_):
+            assert restored.max_depth == orig.max_depth
+            assert restored.min_samples_split == orig.min_samples_split
+            assert restored.min_samples_leaf == orig.min_samples_leaf
+            assert restored.max_features == orig.max_features
+
+    def test_float_labels_stay_float(self):
+        """Integral *float* labels (0.0/1.0) must not come back int64."""
+        forest, X = self._forest(np.array([0.0, 1.0]))
+        assert forest.classes_.dtype.kind == "f"
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert clone.classes_.dtype.kind == "f"
+        assert clone.predict(X).dtype.kind == "f"
+        assert (clone.predict(X) == forest.predict(X)).all()
+
+    def test_int_labels_stay_int(self):
+        forest, X = self._forest(np.array([0, 1]))
+        clone = forest_from_dict(forest_to_dict(forest))
+        assert clone.classes_.dtype.kind == "i"
+        assert clone.predict(X).dtype.kind == "i"
+
+    def test_legacy_v1_forest_payload_loads(self):
+        """Version-1 payloads (no hyperparameters, 'num' class kind)
+        must still deserialise, with defaults substituted."""
+        forest, X = self._forest(np.array([0, 1]))
+        payload = forest_to_dict(forest)
+        for key in ("criterion", "max_depth", "min_samples_split",
+                    "min_samples_leaf", "max_features", "bootstrap",
+                    "oob_score", "random_state"):
+            payload.pop(key)
+        payload["classes"] = {
+            "kind": "num",
+            "values": [float(c) for c in forest.classes_],
+        }
+        for tree in payload["trees"]:
+            for key in ("max_depth", "min_samples_split",
+                        "min_samples_leaf", "max_features"):
+                tree.pop(key)
+        clone = forest_from_dict(payload)
+        assert clone.criterion == "gini"
+        assert clone.max_features == "sqrt"
+        assert (clone.predict(X) == forest.predict(X)).all()
+
 
 class TestFrameworkRoundtrip:
     def test_unfitted_framework_rejected(self):
@@ -96,6 +172,13 @@ class TestFrameworkRoundtrip:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError):
             framework_from_dict({"format_version": 99})
+
+    def test_legacy_v1_framework_format_tolerated(self, framework):
+        payload = framework_to_dict(framework)
+        assert payload["format_version"] == 2
+        payload["format_version"] = 1   # a pre-upgrade model file
+        clone = framework_from_dict(payload)
+        assert clone._fitted
 
     def test_selected_features_preserved(self, framework, tmp_path):
         path = tmp_path / "models.json"
