@@ -1,0 +1,166 @@
+"""Benchmark gate for the sharded online serving layer.
+
+Acceptance shape: replaying a 1k-session synthetic trace through a
+4-shard :class:`~repro.serving.QoEService` must (a) produce the exact
+diagnosis multiset of the serial :class:`RealTimeMonitor` — the
+determinism guarantee at scale — and (b) sustain at least 1.5x the
+serial monitor's sessions/sec, the dividend of micro-batched
+vectorized diagnosis.  The speedup assertion is skipped (not
+weakened) on boxes with fewer than 4 usable cores.  A final check
+asserts the serving telemetry (queue depth, drops, model reloads)
+lands in the Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import QoEFramework
+from repro.datasets.generate import (
+    generate_adaptive_corpus,
+    generate_cleartext_corpus,
+)
+from repro.obs.exposition import render_prometheus
+from repro.persistence import save_framework
+from repro.realtime.monitor import RealTimeMonitor
+from repro.serving.models import ModelManager
+from repro.serving.replay import TraceReplayer, synthetic_trace
+from repro.serving.service import QoEService
+
+from conftest import paper_row
+
+TRACE_SESSIONS = 1000
+N_SHARDS = 4
+SPEEDUP_FLOOR = 1.5
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:   # non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def framework():
+    cleartext = generate_cleartext_corpus(400, seed=3)
+    adaptive = generate_adaptive_corpus(200, seed=4)
+    return QoEFramework(random_state=0, n_estimators=20).fit(
+        cleartext.records_with_stall_truth(),
+        [r for r in adaptive.records if r.resolutions is not None],
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_trace(TRACE_SESSIONS, seed=11, subscribers=64)
+
+
+def _diagnosis_multiset(diagnoses):
+    return sorted(
+        (
+            d.session_id,
+            d.stall_class,
+            d.representation_class,
+            d.has_quality_switches,
+        )
+        for d in diagnoses
+    )
+
+
+def _serial_seconds(framework, trace):
+    monitor = RealTimeMonitor(framework)
+    start = time.perf_counter()
+    monitor.feed_many(trace)
+    monitor.drain()
+    return time.perf_counter() - start, monitor
+
+
+def _service_seconds(framework, trace):
+    service = QoEService(framework, n_shards=N_SHARDS)
+    service.start()
+    start = time.perf_counter()
+    TraceReplayer(service, speedup=0.0).replay(trace)
+    service.drain()
+    return time.perf_counter() - start, service
+
+
+def test_sharded_service_is_deterministic_at_scale(framework, trace):
+    """1k sessions, 4 shards: diagnosis AND alarm multisets identical
+    to the serial monitor."""
+    _, serial = _serial_seconds(framework, trace)
+    _, service = _service_seconds(framework, trace)
+    # a handful of simulated sessions can fall under min_media_chunks
+    # and are (rightly) never diagnosed — by either path
+    assert len(serial.diagnoses) >= TRACE_SESSIONS * 0.98
+    assert _diagnosis_multiset(service.diagnoses) == _diagnosis_multiset(
+        serial.diagnoses
+    )
+    assert sorted(
+        (a.subscriber_id, a.reason, a.sessions_observed) for a in service.alarms
+    ) == sorted(
+        (a.subscriber_id, a.reason, a.sessions_observed) for a in serial.alarms
+    )
+    paper_row(
+        f"serving determinism, {TRACE_SESSIONS} sessions",
+        "multiset-identical",
+        f"{len(service.diagnoses)} diagnoses, "
+        f"{len(service.alarms)} alarms (sharded == serial)",
+    )
+
+
+def test_serving_throughput_gate(benchmark, framework, trace):
+    """4-shard micro-batched service >= 1.5x serial sessions/sec."""
+    serial_s, serial = _serial_seconds(framework, trace)
+
+    def run():
+        return _service_seconds(framework, trace)[0]
+
+    service_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedup = serial_s / service_s
+    paper_row(
+        f"serving throughput, {N_SHARDS} shards",
+        f">={SPEEDUP_FLOOR}x serial",
+        f"serial {TRACE_SESSIONS / serial_s:.0f}/s, sharded "
+        f"{TRACE_SESSIONS / service_s:.0f}/s = {speedup:.2f}x",
+    )
+    if _usable_cpus() < N_SHARDS:
+        pytest.skip(
+            f"only {_usable_cpus()} usable core(s); "
+            f">={SPEEDUP_FLOOR}x needs >= {N_SHARDS}"
+        )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"expected >={SPEEDUP_FLOOR}x sessions/sec with {N_SHARDS} shards, "
+        f"got {speedup:.2f}x (serial {serial_s:.2f}s, service {service_s:.2f}s)"
+    )
+
+
+def test_serving_metrics_land_in_exposition(framework, trace, tmp_path):
+    """Queue depth/drops and model reloads are all scrapeable."""
+    model_path = tmp_path / "model.json"
+    save_framework(framework, model_path)
+    models = ModelManager(model_path)
+    # a deliberately tiny shedding queue forces visible drops
+    service = QoEService(
+        models, n_shards=2, queue_capacity=2, policy="drop_oldest"
+    )
+    with service:
+        service.submit_many(trace[:2000])
+        assert models.reload()           # hot-reload mid-flight
+    exposition = render_prometheus()
+    for family in (
+        "repro_serving_queue_depth",
+        "repro_serving_queue_dropped_total",
+        "repro_serving_queue_enqueued_total",
+        "repro_serving_model_reloads_total",
+        "repro_serving_model_version",
+        "repro_serving_entries_total",
+        "repro_serving_batches_total",
+        "repro_serving_replay_entries_total",
+    ):
+        assert f"# TYPE {family}" in exposition, family
+    assert 'repro_serving_model_reloads_total{status="ok"}' in exposition
+    assert 'policy="drop_oldest"' in exposition

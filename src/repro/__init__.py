@@ -23,6 +23,11 @@ Subpackages
     Prometheus-style binary baseline.
 ``repro.experiments``
     Generators for every table and figure in the paper.
+``repro.realtime``
+    Online session tracking + the serial real-time monitor loop.
+``repro.serving``
+    Sharded, back-pressured online inference service (micro-batching,
+    model hot-reload, trace replay).
 """
 
 from .core.framework import QoEFramework, SessionDiagnosis
@@ -30,6 +35,7 @@ from .core.representation import AvgRepresentationDetector
 from .core.stall import StallDetector
 from .core.switching import SwitchDetector
 from .realtime.monitor import RealTimeMonitor
+from .serving.service import QoEService
 
 __version__ = "1.0.0"
 
@@ -40,5 +46,6 @@ __all__ = [
     "AvgRepresentationDetector",
     "SwitchDetector",
     "RealTimeMonitor",
+    "QoEService",
     "__version__",
 ]

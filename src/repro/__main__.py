@@ -9,8 +9,18 @@ Commands
     worker processes (results are identical for any N; see
     docs/ARCHITECTURE.md "Parallel execution").  ``--metrics-out PATH``
     drops a JSON telemetry snapshot (metrics + span trees) next to the
-    results; ``--log-level DEBUG`` turns on structured key=value
-    logging.
+    results; ``--metrics-port N`` additionally serves the live
+    Prometheus exposition over HTTP for the duration of the run;
+    ``--log-level DEBUG`` turns on structured key=value logging.
+``serve-replay``
+    Run the sharded online inference service
+    (:class:`repro.serving.QoEService`) against a synthetic encrypted
+    trace, replayed at ``--speedup`` (0 = as fast as possible).  Loads
+    a model from ``--model`` (a ``repro.persistence`` file) or trains
+    a fresh one on simulated cleartext corpora.  ``--check-serial``
+    re-runs the same trace through the serial ``RealTimeMonitor`` and
+    fails unless the diagnosis multisets match exactly — the serving
+    determinism gate CI runs.
 ``list``
     List the experiment ids.
 """
@@ -20,6 +30,24 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+from contextlib import contextmanager
+
+
+@contextmanager
+def _maybe_metrics_server(port, log):
+    """Serve /metrics for the duration of the command, if asked to."""
+    if port is None:
+        yield None
+        return
+    from repro.obs import start_metrics_server
+
+    server = start_metrics_server(port=port)
+    print(f"serving metrics on {server.url}", file=sys.stderr)
+    log.info("metrics_port_open", url=server.url)
+    try:
+        yield server
+    finally:
+        server.close()
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -45,15 +73,16 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     config = FULL if args.full else SMALL
     if args.jobs != config.n_jobs:
         config = dataclasses.replace(config, n_jobs=args.jobs)
-    with trace("repro.experiments") as root:
-        if args.id:
-            workspace = Workspace(config)
-            result = run_experiment(args.id, workspace)
-            print(result)
-            root.add("experiments", 1)
-        else:
-            print(run_all(config))
-            root.add("experiments", len(EXPERIMENT_IDS))
+    with _maybe_metrics_server(args.metrics_port, log):
+        with trace("repro.experiments") as root:
+            if args.id:
+                workspace = Workspace(config)
+                result = run_experiment(args.id, workspace)
+                print(result)
+                root.add("experiments", 1)
+            else:
+                print(run_all(config))
+                root.add("experiments", len(EXPERIMENT_IDS))
 
     # The root span's timing tree replaces the old bare wall-clock line.
     print(f"\n{get_tracer().render()}", file=sys.stderr)
@@ -68,12 +97,140 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _train_or_load_framework(args, log):
+    """A fitted QoEFramework from --model, or trained on simulated data."""
+    if args.model:
+        from repro.persistence import load_framework
+
+        framework = load_framework(args.model)
+        log.info("model_loaded", path=args.model)
+        return framework
+
+    from repro import QoEFramework
+    from repro.datasets.generate import (
+        generate_adaptive_corpus,
+        generate_cleartext_corpus,
+    )
+
+    log.info("training_model", sessions=args.train_sessions)
+    cleartext = generate_cleartext_corpus(args.train_sessions, seed=args.seed)
+    adaptive = generate_adaptive_corpus(
+        max(40, args.train_sessions // 2), seed=args.seed + 1
+    )
+    return QoEFramework(random_state=args.seed, n_estimators=20).fit(
+        cleartext.records_with_stall_truth(),
+        [r for r in adaptive.records if r.resolutions is not None],
+    )
+
+
+def _diagnosis_multiset(diagnoses):
+    return sorted(
+        (
+            d.session_id,
+            d.stall_class,
+            d.representation_class,
+            d.has_quality_switches,
+        )
+        for d in diagnoses
+    )
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.obs import configure_logging, get_logger, write_snapshot
+    from repro.serving import QoEService, TraceReplayer, synthetic_trace
+
+    configure_logging(args.log_level)
+    log = get_logger("cli")
+
+    framework = _train_or_load_framework(args, log)
+    entries = synthetic_trace(
+        args.sessions, seed=args.trace_seed, subscribers=args.subscribers
+    )
+    log.info("trace_ready", sessions=args.sessions, entries=len(entries))
+
+    with _maybe_metrics_server(args.metrics_port, log):
+        service = QoEService(
+            framework,
+            n_shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            max_batch=args.batch_max,
+            max_delay_s=args.batch_delay,
+        )
+        service.start()
+        stats = TraceReplayer(service, speedup=args.speedup).replay(entries)
+        diagnoses = service.drain()
+
+    health = service.health()
+    print(
+        f"replayed {stats.entries} entries ({stats.trace_span_s:.0f}s of "
+        f"trace) in {stats.wall_s:.2f}s through {args.shards} shard(s): "
+        f"{len(diagnoses)} diagnoses, {len(service.alarms)} alarms, "
+        f"{stats.shed} shed, model v{health['model_version']}"
+    )
+
+    if args.metrics_out:
+        snapshot = write_snapshot(args.metrics_out)
+        log.info(
+            "metrics_written",
+            path=args.metrics_out,
+            families=len(snapshot["metrics"]),
+        )
+
+    if args.check_serial:
+        from repro import RealTimeMonitor
+
+        monitor = RealTimeMonitor(framework)
+        monitor.feed_many(entries)
+        monitor.drain()
+        serial = _diagnosis_multiset(monitor.diagnoses)
+        sharded = _diagnosis_multiset(diagnoses)
+        if serial != sharded:
+            print(
+                f"serving determinism check FAILED: serial produced "
+                f"{len(serial)} diagnoses, service produced {len(sharded)} "
+                "(or contents differ)",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"serving determinism check ok: {len(serial)} diagnoses, "
+            "sharded == serial"
+        )
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENT_IDS
 
     for experiment_id in EXPERIMENT_IDS:
         print(experiment_id)
     return 0
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="structured-logging threshold (default: INFO)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON telemetry snapshot (metrics + spans) to PATH",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live Prometheus text exposition on http://127.0.0.1:PORT"
+            "/metrics for the duration of the run (0 = ephemeral port)"
+        ),
+    )
 
 
 def main(argv=None) -> int:
@@ -105,19 +262,99 @@ def main(argv=None) -> int:
             "(1 serial, -1 all cores; results identical for any value)"
         ),
     )
-    experiments.add_argument(
-        "--log-level",
-        default="INFO",
-        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
-        help="structured-logging threshold (default: INFO)",
+    _add_telemetry_flags(experiments)
+    experiments.set_defaults(func=_cmd_experiments)
+
+    serve = subparsers.add_parser(
+        "serve-replay",
+        help="replay a synthetic trace through the sharded QoE service",
     )
-    experiments.add_argument(
-        "--metrics-out",
+    serve.add_argument(
+        "--sessions",
+        type=int,
+        default=100,
+        metavar="N",
+        help="video sessions in the synthetic trace (default: 100)",
+    )
+    serve.add_argument(
+        "--subscribers",
+        type=int,
+        default=16,
+        metavar="N",
+        help="fold the trace onto N subscribers (default: 16)",
+    )
+    serve.add_argument(
+        "--trace-seed", type=int, default=7, help="trace generation seed"
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4, metavar="N", help="shard workers"
+    )
+    serve.add_argument(
+        "--speedup",
+        type=float,
+        default=0.0,
+        metavar="X",
+        help=(
+            "trace seconds per wall-clock second; 0 replays as fast as "
+            "backpressure allows (default: 0)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="per-shard ingest queue bound (default: 1024)",
+    )
+    serve.add_argument(
+        "--policy",
+        default="block",
+        choices=["block", "drop_oldest", "shed_newest"],
+        help="backpressure policy when a shard queue fills (default: block)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=32,
+        metavar="N",
+        help="micro-batch size for vectorized diagnosis (default: 32)",
+    )
+    serve.add_argument(
+        "--batch-delay",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="max seconds a closed session waits in a partial batch",
+    )
+    serve.add_argument(
+        "--model",
         default=None,
         metavar="PATH",
-        help="write a JSON telemetry snapshot (metrics + spans) to PATH",
+        help=(
+            "load a saved framework (repro.persistence JSON) instead of "
+            "training one on simulated corpora"
+        ),
     )
-    experiments.set_defaults(func=_cmd_experiments)
+    serve.add_argument(
+        "--train-sessions",
+        type=int,
+        default=200,
+        metavar="N",
+        help="cleartext training sessions when no --model given",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="training seed (no --model)"
+    )
+    serve.add_argument(
+        "--check-serial",
+        action="store_true",
+        help=(
+            "also run the serial RealTimeMonitor on the same trace and "
+            "fail unless the diagnosis multisets match"
+        ),
+    )
+    _add_telemetry_flags(serve)
+    serve.set_defaults(func=_cmd_serve_replay)
 
     listing = subparsers.add_parser("list", help="list experiment ids")
     listing.set_defaults(func=_cmd_list)

@@ -22,6 +22,9 @@ substrate every later performance PR builds on:
     :mod:`repro.baselines.prometheus` baseline classifier.)
 ``snapshot``
     JSON snapshot writer (metrics + span trees) for benchmark runs.
+``httpd``
+    Live ``/metrics`` scrape endpoint (stdlib ``http.server`` thread)
+    for long-running serving processes (CLI ``--metrics-port``).
 
 Instrumentation is pull-based and passive: modules record into the
 default registry/tracer unconditionally; cost without an attached
@@ -30,6 +33,7 @@ hot paths stay within a few percent of their uninstrumented speed.
 """
 
 from .exposition import render_prometheus
+from .httpd import MetricsServer, start_metrics_server
 from .logs import configure_logging, get_logger
 from .registry import (
     Counter,
@@ -50,6 +54,8 @@ __all__ = [
     "get_registry",
     "set_registry",
     "render_prometheus",
+    "MetricsServer",
+    "start_metrics_server",
     "configure_logging",
     "get_logger",
     "registry_snapshot",

@@ -1,0 +1,115 @@
+"""Live Prometheus scrape endpoint over stdlib ``http.server``.
+
+``--metrics-out`` writes one JSON snapshot when a run *ends*; a serving
+process needs its telemetry observable *while it runs*.  This module
+exposes the existing text exposition (:mod:`repro.obs.exposition`) on a
+daemon-threaded HTTP server:
+
+* ``GET /metrics`` (or ``/``) → the registry in Prometheus text format
+* anything else → 404
+
+Dependency-free (``http.server`` + ``threading``), bound to localhost
+by default, and cheap: rendering happens per scrape, nothing is pushed.
+Port ``0`` binds an ephemeral port — read it back from
+:attr:`MetricsServer.port`.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from .exposition import render_prometheus
+from .logs import get_logger
+from .registry import MetricsRegistry
+
+__all__ = ["MetricsServer", "start_metrics_server"]
+
+_LOG = get_logger("obs.httpd")
+
+#: Content type mandated by the text exposition format, version 0.0.4.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The registry to render is attached to the *server* instance so
+    # one handler class serves any number of servers.
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path not in ("/", "/metrics"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        body = render_prometheus(self.server.registry).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:
+        # Route scrape logs through the structured logger at DEBUG
+        # instead of stderr spam.
+        _LOG.debug("scrape", client=self.address_string(), line=format % args)
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    registry: Optional[MetricsRegistry] = None
+
+
+class MetricsServer:
+    """A running metrics endpoint; close it with :meth:`close`.
+
+    Usable as a context manager::
+
+        with start_metrics_server(port=0) as server:
+            print(server.url)  # http://127.0.0.1:<ephemeral>/metrics
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.registry = registry
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        _LOG.info("metrics_server_started", url=self.url)
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves port 0)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and release the port (idempotent)."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def start_metrics_server(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsServer:
+    """Start serving the (default) registry; returns the live server."""
+    return MetricsServer(port=port, host=host, registry=registry)

@@ -10,6 +10,7 @@ diff-able and free of pickle's code-execution hazards.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, Union
@@ -29,9 +30,15 @@ __all__ = [
     "forest_from_dict",
     "framework_to_dict",
     "framework_from_dict",
+    "payload_checksum",
     "save_framework",
     "load_framework",
 ]
+
+#: Key under which :func:`save_framework` embeds the payload checksum.
+#: Stored alongside the payload (not in a wrapper object) so files
+#: written by older versions — which have no checksum — still load.
+_CHECKSUM_KEY = "payload_sha256"
 
 _FORMAT_VERSION = 2
 
@@ -212,32 +219,94 @@ def framework_to_dict(framework: QoEFramework) -> Dict:
 
 
 def framework_from_dict(payload: Dict) -> QoEFramework:
-    """Rebuild a fitted framework."""
+    """Rebuild a fitted framework.
+
+    Raises :class:`ValueError` (never ``KeyError``/``TypeError``) on
+    malformed payloads, so callers — in particular the hot-reload path
+    in :mod:`repro.serving.models` — can treat every corruption mode
+    uniformly.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"model payload must be a JSON object, got {type(payload).__name__}"
+        )
     if payload.get("format_version") not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported model format: {payload.get('format_version')!r}"
         )
-    framework = QoEFramework()
-    framework.stall = _detector_from_dict(payload["stall"], StallDetector)
-    if "representation" in payload:
-        framework.representation = _detector_from_dict(
-            payload["representation"], AvgRepresentationDetector
+    missing = [key for key in ("stall", "switching") if key not in payload]
+    if missing:
+        raise ValueError(
+            f"model payload is missing required section(s): {missing} "
+            "(file truncated or not a saved framework?)"
         )
-    switching = payload["switching"]
-    framework.switching = SwitchDetector(
-        threshold=switching["threshold"],
-        startup_skip_s=switching["startup_skip_s"],
-        size_unit_bytes=switching["size_unit_bytes"],
-    )
+    framework = QoEFramework()
+    try:
+        framework.stall = _detector_from_dict(payload["stall"], StallDetector)
+        if "representation" in payload:
+            framework.representation = _detector_from_dict(
+                payload["representation"], AvgRepresentationDetector
+            )
+        switching = payload["switching"]
+        framework.switching = SwitchDetector(
+            threshold=switching["threshold"],
+            startup_skip_s=switching["startup_skip_s"],
+            size_unit_bytes=switching["size_unit_bytes"],
+        )
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ValueError(f"corrupt model payload: {exc!r}") from exc
     framework._fitted = True
     return framework
 
 
+def payload_checksum(payload: Dict) -> str:
+    """SHA-256 over the canonical JSON form of a model payload.
+
+    The checksum key itself is excluded, so the digest of a loaded file
+    can be recomputed and compared against the embedded value.
+    """
+    body = {k: v for k, v in payload.items() if k != _CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def save_framework(framework: QoEFramework, path: Union[str, Path]) -> None:
-    """Write a fitted framework to a JSON file."""
-    Path(path).write_text(json.dumps(framework_to_dict(framework)))
+    """Write a fitted framework to a JSON file (checksummed)."""
+    payload = framework_to_dict(framework)
+    payload[_CHECKSUM_KEY] = payload_checksum(payload)
+    Path(path).write_text(json.dumps(payload))
 
 
 def load_framework(path: Union[str, Path]) -> QoEFramework:
-    """Load a framework previously written by :func:`save_framework`."""
-    return framework_from_dict(json.loads(Path(path).read_text()))
+    """Load a framework previously written by :func:`save_framework`.
+
+    Validates three layers before trusting the blob — JSON
+    well-formedness (truncated files), the embedded SHA-256 payload
+    checksum (bit rot, partial overwrites), and the model format
+    (version + required sections) — raising :class:`ValueError` with
+    the failing layer named.  Files written before checksums existed
+    load fine; only a *present-but-wrong* digest is rejected.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            f"model file {path} is not valid JSON (truncated or corrupt "
+            f"write?): {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"model file {path} must hold a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    stored = payload.get(_CHECKSUM_KEY)
+    if stored is not None:
+        actual = payload_checksum(payload)
+        if stored != actual:
+            raise ValueError(
+                f"model file {path} failed its checksum "
+                f"(stored {stored[:12]}…, computed {actual[:12]}…): "
+                "file corrupted or hand-edited"
+            )
+    return framework_from_dict(payload)

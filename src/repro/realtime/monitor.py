@@ -158,6 +158,7 @@ class RealTimeMonitor:
         self.alarms: List[Alarm] = []
         self.callback_errors = 0
         self._alarmed: set = set()
+        self._drained = False
 
     # ------------------------------------------------------------------
 
@@ -238,8 +239,35 @@ class RealTimeMonitor:
 
     # ------------------------------------------------------------------
 
+    def diagnose_records(self, records) -> List[SessionDiagnosis]:
+        """Diagnose already-closed session records through the monitor.
+
+        Public entry point for the serving layer
+        (:mod:`repro.serving`), which closes sessions through its own
+        shard-local trackers and micro-batches the records before
+        handing them here — health rollups, alarm rules and callbacks
+        behave exactly as for :meth:`feed`.
+        """
+        return self._diagnose_closed(records)
+
+    def final_alarm_sweep(self) -> List[Alarm]:
+        """Run the alarm rules once more over every subscriber's health.
+
+        Part of graceful shutdown (:meth:`drain`): alarm rules normally
+        fire per diagnosis, so this sweep is a defensive final pass that
+        guarantees shutdown never loses an alarm that the accumulated
+        health state warrants.  Returns the alarms it raised (normally
+        none — per-diagnosis checks already saw the same state).
+        """
+        before = len(self.alarms)
+        for subscriber, health in list(self.health.items()):
+            self._check_alarms(subscriber, health)
+        return self.alarms[before:]
+
     def feed(self, entry: WeblogEntry) -> List[SessionDiagnosis]:
         """Feed one weblog entry; returns diagnoses of sessions it closed."""
+        if self._drained:
+            raise RuntimeError("monitor is drained; create a new one")
         return self._diagnose_closed(self.tracker.observe(entry))
 
     def feed_many(self, entries: Iterable[WeblogEntry]) -> List[SessionDiagnosis]:
@@ -252,3 +280,17 @@ class RealTimeMonitor:
     def flush(self, now_s: Optional[float] = None) -> List[SessionDiagnosis]:
         """Close idle/open sessions and diagnose them."""
         return self._diagnose_closed(self.tracker.flush(now_s))
+
+    def drain(self) -> List[SessionDiagnosis]:
+        """Graceful shutdown: flush everything, then a final alarm sweep.
+
+        Closes and diagnoses every still-open session (idle or not),
+        runs the alarm rules one last time over each subscriber's
+        accumulated health, and marks the monitor drained — further
+        :meth:`feed` calls raise.  Returns the final diagnoses.
+        Idempotent: draining twice returns an empty list.
+        """
+        final = self._diagnose_closed(self.tracker.flush())
+        self.final_alarm_sweep()
+        self._drained = True
+        return final

@@ -110,7 +110,12 @@ class OnlineSessionTracker:
         self.idle_gap_s = idle_gap_s
         self.min_media_chunks = min_media_chunks
         self._open: Dict[str, OpenSession] = {}
-        self._sequence = 0
+        #: Emitted-session count per subscriber.  Session ids are built
+        #: from *this* counter (not a tracker-global one) so an id is a
+        #: pure function of the subscriber's own entry stream: a trace
+        #: partitioned across N shard-local trackers produces exactly
+        #: the ids one serial tracker would (see ``repro.serving``).
+        self._sequence: Dict[str, int] = {}
 
     @property
     def open_sessions(self) -> int:
@@ -125,9 +130,10 @@ class OnlineSessionTracker:
         if len(session.media) < self.min_media_chunks:
             _SESSIONS_DISCARDED.inc()
             return None
-        self._sequence += 1
+        sequence = self._sequence.get(subscriber_id, 0) + 1
+        self._sequence[subscriber_id] = sequence
         _SESSIONS_CLOSED.inc()
-        return session.to_record(self._sequence)
+        return session.to_record(sequence)
 
     def observe(self, entry: WeblogEntry) -> List[SessionRecord]:
         """Feed one weblog entry; returns any sessions this closes."""

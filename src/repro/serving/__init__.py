@@ -1,0 +1,63 @@
+"""Online QoE inference serving: shards, backpressure, batching, reload.
+
+The paper's deployment story (§8) — "apply the trained models on
+passively monitored traffic and report issues in real time" at
+10M-subscriber scale — needs more than the single-threaded
+:class:`~repro.realtime.monitor.RealTimeMonitor` loop: it needs ingest
+buffering, explicit overload behaviour, concurrency, and model updates
+without restarts.  This package is that serving substrate:
+
+``queue``
+    Bounded ingest queues with ``block`` / ``drop_oldest`` /
+    ``shed_newest`` backpressure policies, fully obs-instrumented.
+``shard``
+    Stable hash-partitioning of subscribers over N worker threads,
+    each owning its own tracker + monitor so per-subscriber order and
+    health/alarm semantics are exactly the serial monitor's.
+``batcher``
+    Micro-batching of closed sessions so feature extraction and forest
+    ``predict_proba`` run vectorized per batch instead of per session.
+``models``
+    Versioned model hot-reload from :mod:`repro.persistence` files
+    with atomic swap; a bad file never dislodges the serving model.
+``service``
+    :class:`QoEService` — lifecycle (start / drain / stop), health and
+    readiness snapshots, aggregated diagnoses/alarms/health.
+``replay``
+    Captured/simulated trace replay at a configurable speed-up
+    (CLI: ``python -m repro serve-replay``).
+
+Guarantee worth restating: for any shard count, queue capacity and
+batch size (with a lossless policy), the service's diagnosis and alarm
+multisets are identical to the serial monitor's on the same trace —
+concurrency changes wall-clock, never results.
+"""
+
+from .batcher import MicroBatcher
+from .models import ModelManager
+from .queue import (
+    POLICIES,
+    BoundedQueue,
+    QueueClosed,
+    QueueEmpty,
+    QueueFull,
+)
+from .replay import ReplayStats, TraceReplayer, synthetic_trace
+from .service import QoEService
+from .shard import ShardWorker, shard_index
+
+__all__ = [
+    "POLICIES",
+    "BoundedQueue",
+    "QueueClosed",
+    "QueueEmpty",
+    "QueueFull",
+    "MicroBatcher",
+    "ModelManager",
+    "QoEService",
+    "ShardWorker",
+    "shard_index",
+    "ReplayStats",
+    "TraceReplayer",
+    "synthetic_trace",
+]

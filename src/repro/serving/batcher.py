@@ -1,0 +1,134 @@
+"""Micro-batching of closed sessions before diagnosis.
+
+``QoEFramework.diagnose`` is vectorized over its record list: the
+feature matrix is built once and every tree of the forests traverses
+all rows in one numpy pass.  The serial monitor wastes that — sessions
+close one at a time, so each diagnosis call carries one row through a
+40-tree ensemble plus span/metric overhead.  The micro-batcher
+accumulates closed :class:`~repro.datasets.schema.SessionRecord`\\ s and
+releases them in batches, bounded two ways:
+
+* **size** — a full batch (``max_batch`` records) is released
+  immediately;
+* **latency** — a partial batch is released once its *oldest* record
+  has waited ``max_delay_s``, so a quiet shard still diagnoses promptly.
+
+Batching is invisible in the results: per-row forest predictions are
+independent of batch composition, so any batching of an ordered record
+stream yields the same diagnoses (``repro.serving.service`` leans on
+this for its serial-equivalence guarantee; forests with ``n_jobs > 1``
+additionally fan each batched predict out over the PR-2 worker pool).
+
+The batcher is single-consumer and not thread-safe by itself — each
+shard worker owns one.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.datasets.schema import SessionRecord
+from repro.obs import get_registry
+
+__all__ = ["MicroBatcher"]
+
+_REG = get_registry()
+_BATCHES = _REG.counter(
+    "repro_serving_batches_total",
+    "Diagnosis batches released by the micro-batcher, by trigger.",
+    labelnames=("reason",),
+)
+_BATCH_SIZE = _REG.histogram(
+    "repro_serving_batch_size",
+    "Sessions per released diagnosis batch.",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+)
+
+
+class MicroBatcher:
+    """Accumulate session records; release size- or deadline-bounded batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Records per batch (>= 1).  1 degenerates to per-session
+        diagnosis, i.e. exactly the serial monitor's behaviour.
+    max_delay_s:
+        Longest a record may sit in a partial batch before it is
+        released anyway.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        max_batch: int = 32,
+        max_delay_s: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._clock = clock
+        self._pending: List[SessionRecord] = []
+        self._oldest_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def _release(self, batch: List[SessionRecord], reason: str) -> List[SessionRecord]:
+        _BATCHES.labels(reason=reason).inc()
+        _BATCH_SIZE.observe(len(batch))
+        return batch
+
+    def add(self, records: Sequence[SessionRecord]) -> List[List[SessionRecord]]:
+        """Queue freshly closed records; return any now-full batches.
+
+        Order is preserved: records leave in exactly the order they
+        entered, which is what keeps per-subscriber diagnosis order
+        identical to the serial monitor's.
+        """
+        ready: List[List[SessionRecord]] = []
+        for record in records:
+            if not self._pending:
+                self._oldest_at = self._clock()
+            self._pending.append(record)
+            if len(self._pending) >= self.max_batch:
+                ready.append(self._release(self._pending, "size"))
+                self._pending = []
+                self._oldest_at = None
+        return ready
+
+    def seconds_until_due(self, now: Optional[float] = None) -> Optional[float]:
+        """Time until the pending partial batch must be released.
+
+        ``None`` when nothing is pending; 0 when already overdue.  The
+        shard worker uses this as its queue-poll timeout so deadline
+        flushes happen without a dedicated timer thread.
+        """
+        if self._oldest_at is None:
+            return None
+        now = self._clock() if now is None else now
+        return max(0.0, self._oldest_at + self.max_delay_s - now)
+
+    def take_due(self, now: Optional[float] = None) -> Optional[List[SessionRecord]]:
+        """The pending batch, if its deadline has passed (else ``None``)."""
+        due = self.seconds_until_due(now)
+        if due is None or due > 0:
+            return None
+        batch, self._pending, self._oldest_at = self._pending, [], None
+        return self._release(batch, "deadline")
+
+    def flush(self) -> List[SessionRecord]:
+        """Everything pending, regardless of deadline (drain path)."""
+        if not self._pending:
+            return []
+        batch, self._pending, self._oldest_at = self._pending, [], None
+        return self._release(batch, "drain")

@@ -1,0 +1,123 @@
+"""Versioned model hot-reload for the serving layer.
+
+The deployment story (paper §8) runs frozen models for months — but
+not the *same* models forever: operators retrain as players and
+codecs drift, and a serving process that must restart to pick up a new
+model drops its open sessions and its subscriber health state.  The
+:class:`ModelManager` closes that gap:
+
+* models come from :mod:`repro.persistence` files, so everything a
+  reload admits has already passed the checksum + format validation
+  there;
+* the swap is atomic — a single reference assignment under a lock.
+  Shard workers resolve :attr:`ModelManager.current` once per
+  diagnosis batch, so every batch is scored by exactly one model
+  version, never a mix;
+* a failed reload (missing/corrupt/truncated file) keeps the current
+  model serving and is counted, not raised — an operator copying a new
+  file into place must never be able to take the service down.
+
+``repro_serving_model_reloads_total{status}`` counts attempts and
+``repro_serving_model_version`` exposes the live version (1 = the
+model the service started with, +1 per successful reload).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.framework import QoEFramework
+from repro.obs import get_logger, get_registry
+from repro.persistence import load_framework
+
+__all__ = ["ModelManager"]
+
+_LOG = get_logger("serving.models")
+
+_REG = get_registry()
+_RELOADS = _REG.counter(
+    "repro_serving_model_reloads_total",
+    "Model hot-reload attempts, by outcome.",
+    labelnames=("status",),
+)
+_VERSION = _REG.gauge(
+    "repro_serving_model_version",
+    "Version of the model currently serving (increments per reload).",
+)
+
+
+class ModelManager:
+    """Owns the live :class:`QoEFramework` and swaps it atomically.
+
+    Construct from a persistence file path (hot-reloadable) or from an
+    already-fitted framework (fixed; :meth:`reload` then raises — an
+    in-memory model has no source of truth to re-read).
+    """
+
+    def __init__(self, source: Union[str, Path, QoEFramework]) -> None:
+        self._lock = threading.Lock()
+        if isinstance(source, QoEFramework):
+            if not source._fitted:
+                raise ValueError("framework is not fitted")
+            self._path: Optional[Path] = None
+            self._current = source
+        else:
+            self._path = Path(source)
+            self._current = load_framework(self._path)
+        self._version = 1
+        _VERSION.set(self._version)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    @property
+    def version(self) -> int:
+        """1 for the initial model, +1 per successful :meth:`reload`."""
+        with self._lock:
+            return self._version
+
+    @property
+    def current(self) -> QoEFramework:
+        """The live framework (atomic read)."""
+        with self._lock:
+            return self._current
+
+    @property
+    def reloadable(self) -> bool:
+        return self._path is not None
+
+    def reload(self) -> bool:
+        """Re-read the model file and swap it in if it validates.
+
+        Returns ``True`` on a successful swap.  A file that fails to
+        load (missing, truncated, bad checksum, wrong format) leaves
+        the current model untouched and returns ``False`` — the
+        failure is logged and counted (``status="error"``), never
+        propagated into the serving loop.
+        """
+        if self._path is None:
+            raise RuntimeError(
+                "manager was built from an in-memory framework; "
+                "there is no file to reload"
+            )
+        try:
+            fresh = load_framework(self._path)
+        except (ValueError, OSError) as exc:
+            _RELOADS.labels(status="error").inc()
+            _LOG.warning(
+                "model_reload_failed", path=str(self._path), error=str(exc)
+            )
+            return False
+        with self._lock:
+            self._current = fresh
+            self._version += 1
+            version = self._version
+        _RELOADS.labels(status="ok").inc()
+        _VERSION.set(version)
+        _LOG.info("model_reloaded", path=str(self._path), version=version)
+        return True

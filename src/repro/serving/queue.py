@@ -1,0 +1,200 @@
+"""Bounded ingest queues with selectable backpressure policies.
+
+An online inference service sits between an unbounded producer (the
+packet tap) and a finite consumer (the shard workers).  The queue in
+between must have a *policy* for the moment it fills, and the right one
+depends on the deployment:
+
+``block``
+    Lossless: the producer waits for space.  Right for replay and for
+    upstream taps that can themselves buffer.  Invariant: every
+    accepted entry is eventually consumed — nothing is dropped.
+``drop_oldest``
+    Bounded staleness: evict the oldest queued entry to admit the new
+    one.  Right for live monitoring where a fresh entry is worth more
+    than a stale one.  Invariant: depth never exceeds capacity and the
+    newest entries survive.
+``shed_newest``
+    Bounded work: reject the new entry outright (``put`` returns
+    ``False``).  Right when admission control should push loss to the
+    edge.  Invariant: depth never exceeds capacity and queued entries
+    are never evicted.
+
+Every enqueue, drop and the live depth are instrumented through
+:mod:`repro.obs` (``repro_serving_queue_*``), labelled by queue name,
+so overload is visible on the Prometheus endpoint before it becomes a
+diagnosis gap.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Optional
+
+from repro.obs import get_registry
+
+__all__ = [
+    "POLICIES",
+    "QueueClosed",
+    "QueueFull",
+    "QueueEmpty",
+    "BoundedQueue",
+]
+
+POLICIES = ("block", "drop_oldest", "shed_newest")
+
+_REG = get_registry()
+_ENQUEUED = _REG.counter(
+    "repro_serving_queue_enqueued_total",
+    "Entries accepted into a serving ingest queue.",
+    labelnames=("queue",),
+)
+_DROPPED = _REG.counter(
+    "repro_serving_queue_dropped_total",
+    "Entries lost to backpressure, by queue and policy.",
+    labelnames=("queue", "policy"),
+)
+_DEPTH = _REG.gauge(
+    "repro_serving_queue_depth",
+    "Current depth of a serving ingest queue.",
+    labelnames=("queue",),
+)
+
+
+class QueueClosed(Exception):
+    """The queue was closed; no further puts, and gets have drained it."""
+
+
+class QueueFull(Exception):
+    """A ``block``-policy put timed out waiting for space."""
+
+
+class QueueEmpty(Exception):
+    """A get timed out with no entry available."""
+
+
+class BoundedQueue:
+    """Thread-safe bounded FIFO with an explicit overflow policy.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued entries (>= 1).
+    policy:
+        One of :data:`POLICIES`; see the module docstring.
+    name:
+        Label for the observability series (e.g. ``"shard3"``).
+    """
+
+    def __init__(
+        self, capacity: int, policy: str = "block", name: str = "default"
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r}; use one of {POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self.name = name
+        self._items: Deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        #: Instance-level mirrors of the obs counters, so tests and
+        #: health snapshots need no registry delta arithmetic.
+        self.enqueued = 0
+        self.dropped = 0
+        self._depth_gauge = _DEPTH.labels(queue=name)
+        self._enqueued_counter = _ENQUEUED.labels(queue=name)
+        self._dropped_counter = _DROPPED.labels(queue=name, policy=policy)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def _admit(self, item) -> None:
+        # Caller holds the lock.
+        self._items.append(item)
+        self.enqueued += 1
+        self._enqueued_counter.inc()
+        self._depth_gauge.set(len(self._items))
+        # notify_all, not notify: producers and consumers share one
+        # condition, so a single wakeup could land on the wrong side
+        # and strand a blocked peer.
+        self._cond.notify_all()
+
+    def put(self, item, timeout: Optional[float] = None) -> bool:
+        """Enqueue one entry under the configured policy.
+
+        Returns ``True`` if the entry was admitted, ``False`` if it was
+        shed (``shed_newest`` only).  Raises :class:`QueueClosed` after
+        :meth:`close`, and :class:`QueueFull` if a ``block`` put times
+        out (``timeout=None`` blocks indefinitely).
+        """
+        with self._cond:
+            if self._closed:
+                raise QueueClosed(f"queue {self.name!r} is closed")
+            if len(self._items) < self.capacity:
+                self._admit(item)
+                return True
+            if self.policy == "shed_newest":
+                self.dropped += 1
+                self._dropped_counter.inc()
+                return False
+            if self.policy == "drop_oldest":
+                self._items.popleft()
+                self.dropped += 1
+                self._dropped_counter.inc()
+                self._admit(item)
+                return True
+            # block
+            admitted = self._cond.wait_for(
+                lambda: self._closed or len(self._items) < self.capacity,
+                timeout=timeout,
+            )
+            if self._closed:
+                raise QueueClosed(f"queue {self.name!r} is closed")
+            if not admitted:
+                raise QueueFull(
+                    f"queue {self.name!r} full after {timeout}s (block policy)"
+                )
+            self._admit(item)
+            return True
+
+    def get(self, timeout: Optional[float] = None):
+        """Dequeue the oldest entry.
+
+        Blocks up to ``timeout`` seconds (``None`` = forever).  Raises
+        :class:`QueueEmpty` on timeout and :class:`QueueClosed` once the
+        queue is closed *and* fully drained — the consumer's signal to
+        shut down without losing queued entries.
+        """
+        with self._cond:
+            ready = self._cond.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            )
+            if self._items:
+                item = self._items.popleft()
+                self._depth_gauge.set(len(self._items))
+                self._cond.notify_all()
+                return item
+            if self._closed:
+                raise QueueClosed(f"queue {self.name!r} is closed and drained")
+            assert not ready
+            raise QueueEmpty(f"queue {self.name!r}: nothing within {timeout}s")
+
+    def close(self) -> None:
+        """Refuse further puts; queued entries remain gettable."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

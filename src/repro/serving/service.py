@@ -1,0 +1,305 @@
+"""`QoEService`: the sharded, back-pressured online inference service.
+
+This is the deployment shape the paper's §8 sketches at operator
+scale: weblog entries stream in from a passive tap, and per-session
+QoE diagnoses, per-subscriber health and operator alarms stream out —
+continuously, concurrently, and with explicit overload behaviour.
+
+Data flow::
+
+    submit(entry)
+        │  shard_index(subscriber)          ← stable CRC32 partition
+        ▼
+    BoundedQueue[0..N-1]                    ← block / drop_oldest / shed_newest
+        │  (one worker thread per shard)
+        ▼
+    OnlineSessionTracker  ──closed──▶  MicroBatcher  ──batch──▶
+    RealTimeMonitor.diagnose_records      (health, alarms, callbacks)
+                          ▲
+                          └── ModelManager.current   (hot-reload boundary)
+
+**Determinism.**  Replaying a trace through N shards yields the same
+diagnosis *multiset* (and alarm multiset, and per-subscriber health)
+as the serial :class:`~repro.realtime.monitor.RealTimeMonitor`:
+subscribers never span shards, per-subscriber entry order is preserved
+by the FIFO queues, session ids are per-subscriber (tracker), batching
+cannot change per-row forest outputs, and each shard reuses the serial
+monitor's own diagnosis/alarm code.  Only the interleaving *across*
+subscribers differs.
+
+**Lifecycle.**  ``start()`` → ``running`` → ``drain()`` (stop intake,
+process everything queued, force-close open sessions, final alarm
+sweep, join workers) → ``stopped``.  ``stop()`` is drain-then-stop and
+is idempotent.  :meth:`health` returns a liveness/readiness snapshot
+suitable for a ``/healthz`` endpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.capture.weblog import WeblogEntry
+from repro.core.framework import QoEFramework, SessionDiagnosis
+from repro.obs import get_logger, get_registry, trace
+from repro.realtime.monitor import Alarm, SubscriberHealth
+
+from .batcher import MicroBatcher
+from .models import ModelManager
+from .queue import BoundedQueue
+from .shard import ShardWorker, shard_index
+
+__all__ = ["QoEService"]
+
+_LOG = get_logger("serving.service")
+
+_REG = get_registry()
+_SHARDS = _REG.gauge(
+    "repro_serving_shards",
+    "Shard workers in the running QoE service.",
+)
+_STATE = _REG.gauge(
+    "repro_serving_up",
+    "1 while a QoEService is running, 0 otherwise.",
+)
+_DRAIN_SECONDS = _REG.histogram(
+    "repro_serving_drain_seconds",
+    "Wall-clock duration of QoEService.drain() calls.",
+)
+
+
+class QoEService:
+    """Sharded online QoE inference over a live weblog stream.
+
+    Parameters
+    ----------
+    models:
+        A :class:`~repro.serving.models.ModelManager`, a fitted
+        :class:`QoEFramework`, or a path to a persistence file.
+    n_shards:
+        Concurrent shard workers (>= 1).  1 is the serial monitor with
+        an ingest queue in front.
+    queue_capacity, policy:
+        Per-shard ingest bound and backpressure policy
+        (see :mod:`repro.serving.queue`).
+    max_batch, max_delay_s:
+        Micro-batching bounds (see :mod:`repro.serving.batcher`).
+    idle_gap_s, min_media_chunks:
+        Tracker parameters, as in
+        :class:`~repro.realtime.tracker.OnlineSessionTracker`.
+    severe_alarm_after, stall_ratio_alarm, min_sessions_for_ratio:
+        Alarm rules, as in :class:`~repro.realtime.monitor.RealTimeMonitor`.
+    on_diagnosis, on_alarm:
+        Callbacks, forwarded to every shard's monitor (error-isolated
+        there).  Note they run on shard threads.
+    """
+
+    def __init__(
+        self,
+        models: Union[ModelManager, QoEFramework, str],
+        n_shards: int = 4,
+        queue_capacity: int = 1024,
+        policy: str = "block",
+        max_batch: int = 32,
+        max_delay_s: float = 0.25,
+        idle_gap_s: float = 30.0,
+        min_media_chunks: int = 3,
+        severe_alarm_after: int = 3,
+        stall_ratio_alarm: float = 0.5,
+        min_sessions_for_ratio: int = 5,
+        on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.models = (
+            models if isinstance(models, ModelManager) else ModelManager(models)
+        )
+        self.n_shards = n_shards
+        self.state = "created"
+        self.submitted = 0
+        self.shed = 0
+        self._shards: List[ShardWorker] = [
+            ShardWorker(
+                index=i,
+                models=self.models,
+                queue=BoundedQueue(
+                    capacity=queue_capacity, policy=policy, name=f"shard{i}"
+                ),
+                batcher=MicroBatcher(max_batch=max_batch, max_delay_s=max_delay_s),
+                idle_gap_s=idle_gap_s,
+                min_media_chunks=min_media_chunks,
+                severe_alarm_after=severe_alarm_after,
+                stall_ratio_alarm=stall_ratio_alarm,
+                min_sessions_for_ratio=min_sessions_for_ratio,
+                on_diagnosis=on_diagnosis,
+                on_alarm=on_alarm,
+            )
+            for i in range(n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "QoEService":
+        """Spin up the shard workers; the service becomes ready."""
+        if self.state != "created":
+            raise RuntimeError(f"cannot start a {self.state} service")
+        for shard in self._shards:
+            shard.start()
+        self.state = "running"
+        _SHARDS.set(self.n_shards)
+        _STATE.set(1)
+        _LOG.info(
+            "service_started",
+            shards=self.n_shards,
+            model_version=self.models.version,
+        )
+        return self
+
+    def submit(self, entry: WeblogEntry) -> bool:
+        """Route one entry to its subscriber's shard.
+
+        Returns ``False`` if the entry was shed by backpressure
+        (``shed_newest`` policy); ``True`` otherwise.  ``drop_oldest``
+        admissions return ``True`` even when they evicted — the loss is
+        visible in the queue's drop counter.
+        """
+        if self.state != "running":
+            raise RuntimeError(f"cannot submit to a {self.state} service")
+        shard = self._shards[shard_index(entry.subscriber_id, self.n_shards)]
+        accepted = shard.queue.put(entry)
+        self.submitted += 1
+        if not accepted:
+            self.shed += 1
+        return accepted
+
+    def submit_many(self, entries: Iterable[WeblogEntry]) -> int:
+        """Submit a time-ordered entry stream; returns how many were accepted."""
+        accepted = 0
+        for entry in entries:
+            accepted += self.submit(entry)
+        return accepted
+
+    def drain(self) -> List[SessionDiagnosis]:
+        """Graceful shutdown: flush every shard, join every worker.
+
+        Closes the ingest queues (queued entries are still processed),
+        waits for each worker to force-close its open sessions,
+        diagnose its final batches and run the final alarm sweep, then
+        returns *all* diagnoses the service ever produced.  A worker
+        that died with an exception re-raises it here rather than
+        silently truncating results.
+        """
+        if self.state == "stopped":
+            return self.diagnoses
+        if self.state != "running":
+            raise RuntimeError(f"cannot drain a {self.state} service")
+        self.state = "draining"
+        started = time.perf_counter()
+        with trace("serving.drain") as span:
+            for shard in self._shards:
+                shard.queue.close()
+            for shard in self._shards:
+                shard.join()
+            span.add("diagnoses", sum(len(s.diagnoses) for s in self._shards))
+        self.state = "stopped"
+        _STATE.set(0)
+        _SHARDS.set(0)
+        _DRAIN_SECONDS.observe(time.perf_counter() - started)
+        for shard in self._shards:
+            if shard.error is not None:
+                raise RuntimeError(
+                    f"shard {shard.index} failed during serving"
+                ) from shard.error
+        _LOG.info(
+            "service_drained",
+            diagnoses=len(self.diagnoses),
+            alarms=len(self.alarms),
+            shed=self.shed,
+        )
+        return self.diagnoses
+
+    def stop(self) -> None:
+        """Drain if needed; idempotent."""
+        if self.state == "running":
+            self.drain()
+
+    def __enter__(self) -> "QoEService":
+        if self.state == "created":
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Aggregated results
+    # ------------------------------------------------------------------
+
+    @property
+    def diagnoses(self) -> List[SessionDiagnosis]:
+        """All diagnoses across shards (stable within a subscriber)."""
+        out: List[SessionDiagnosis] = []
+        for shard in self._shards:
+            out.extend(shard.diagnoses)
+        return out
+
+    @property
+    def alarms(self) -> List[Alarm]:
+        out: List[Alarm] = []
+        for shard in self._shards:
+            out.extend(shard.alarms)
+        return out
+
+    @property
+    def health_by_subscriber(self) -> Dict[str, SubscriberHealth]:
+        """Merged per-subscriber health (subscribers never span shards)."""
+        merged: Dict[str, SubscriberHealth] = {}
+        for shard in self._shards:
+            merged.update(shard.monitor.health)
+        return merged
+
+    @property
+    def callback_errors(self) -> int:
+        return sum(shard.monitor.callback_errors for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # Health / readiness
+    # ------------------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        """True while the service accepts traffic."""
+        return self.state == "running" and all(s.alive for s in self._shards)
+
+    def health(self) -> Dict:
+        """Liveness/readiness snapshot (shape suitable for ``/healthz``).
+
+        Best-effort under concurrency: counters may lag by a few
+        entries while workers run; exact totals are available after
+        :meth:`drain`.
+        """
+        return {
+            "state": self.state,
+            "ready": self.ready,
+            "model_version": self.models.version,
+            "model_reloadable": self.models.reloadable,
+            "submitted": self.submitted,
+            "shed": self.shed,
+            "shards": [
+                {
+                    "index": shard.index,
+                    "alive": shard.alive,
+                    "queue_depth": shard.queue.depth,
+                    "queue_dropped": shard.queue.dropped,
+                    "entries_processed": shard.entries_processed,
+                    "open_sessions": shard.monitor.tracker.open_sessions,
+                    "pending_batch": shard.batcher.pending,
+                    "diagnoses": len(shard.diagnoses),
+                    "alarms": len(shard.alarms),
+                }
+                for shard in self._shards
+            ],
+        }

@@ -1,0 +1,181 @@
+"""Shard workers: subscriber-partitioned online inference loops.
+
+The correctness unit of the online pipeline is the *subscriber*: the
+tracker needs each subscriber's entries in timestamp order, and health
+rollups and alarm rules accumulate per subscriber.  Nothing couples
+two subscribers — which makes subscriber identity the natural
+partition key.  :func:`shard_index` hash-partitions subscribers over N
+shards (a *stable* hash: ``zlib.crc32``, not Python's salted ``hash``)
+and :class:`ShardWorker` runs one shard:
+
+    ingest queue → OnlineSessionTracker → MicroBatcher →
+    RealTimeMonitor.diagnose_records (health, alarms, callbacks)
+
+Each worker owns its own tracker, batcher and
+:class:`~repro.realtime.monitor.RealTimeMonitor`, and reuses the
+monitor's diagnosis/health/alarm code verbatim — so N concurrent
+shards produce exactly the diagnoses and alarms one serial monitor
+would, merely interleaved differently across subscribers (the
+``repro.serving.service`` determinism guarantee).
+
+The model is resolved from the :class:`~repro.serving.models.ModelManager`
+once per batch, so a hot-reload takes effect at the next batch
+boundary and no batch ever mixes model versions.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Callable, List, Optional
+
+from repro.capture.weblog import WeblogEntry
+from repro.core.framework import SessionDiagnosis
+from repro.obs import get_logger, get_registry
+from repro.realtime.monitor import Alarm, RealTimeMonitor
+from repro.realtime.tracker import OnlineSessionTracker
+
+from .batcher import MicroBatcher
+from .models import ModelManager
+from .queue import BoundedQueue, QueueClosed, QueueEmpty
+
+__all__ = ["shard_index", "ShardWorker"]
+
+_LOG = get_logger("serving.shard")
+
+_REG = get_registry()
+_ENTRIES = _REG.counter(
+    "repro_serving_entries_total",
+    "Weblog entries processed by shard workers.",
+    labelnames=("shard",),
+)
+
+#: Poll timeout when a shard has nothing batched and nothing queued;
+#: bounds how long shutdown and deadline checks can lag.
+_IDLE_POLL_S = 0.05
+
+
+def shard_index(subscriber_id: str, n_shards: int) -> int:
+    """Stable hash partition of a subscriber over ``n_shards``.
+
+    CRC32 of the UTF-8 id — deterministic across processes, runs and
+    Python versions (the built-in ``hash`` is salted per process, which
+    would re-partition subscribers on every restart).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return zlib.crc32(subscriber_id.encode("utf-8")) % n_shards
+
+
+class ShardWorker:
+    """One shard: a thread draining its queue into tracker + batcher + monitor.
+
+    Not constructed directly in normal use —
+    :class:`~repro.serving.service.QoEService` builds one per shard.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        models: ModelManager,
+        queue: BoundedQueue,
+        batcher: MicroBatcher,
+        idle_gap_s: float = 30.0,
+        min_media_chunks: int = 3,
+        severe_alarm_after: int = 3,
+        stall_ratio_alarm: float = 0.5,
+        min_sessions_for_ratio: int = 5,
+        on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+    ) -> None:
+        self.index = index
+        self.queue = queue
+        self.batcher = batcher
+        self._models = models
+        self.monitor = RealTimeMonitor(
+            models.current,
+            tracker=OnlineSessionTracker(
+                idle_gap_s=idle_gap_s, min_media_chunks=min_media_chunks
+            ),
+            severe_alarm_after=severe_alarm_after,
+            stall_ratio_alarm=stall_ratio_alarm,
+            min_sessions_for_ratio=min_sessions_for_ratio,
+            on_diagnosis=on_diagnosis,
+            on_alarm=on_alarm,
+        )
+        self.entries_processed = 0
+        self.error: Optional[BaseException] = None
+        self._entries_counter = _ENTRIES.labels(shard=str(index))
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{index}", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def diagnoses(self) -> List[SessionDiagnosis]:
+        return self.monitor.diagnoses
+
+    @property
+    def alarms(self) -> List[Alarm]:
+        return self.monitor.alarms
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+
+    def _diagnose(self, batch) -> None:
+        if not batch:
+            return
+        # One model version per batch: resolve the hot-swappable
+        # reference exactly once, at the batch boundary.
+        self.monitor.framework = self._models.current
+        self.monitor.diagnose_records(batch)
+
+    def _step(self) -> bool:
+        """Process one queue item or one deadline; False once closed+drained."""
+        until_due = self.batcher.seconds_until_due()
+        wait = _IDLE_POLL_S if until_due is None else min(until_due, _IDLE_POLL_S)
+        try:
+            entry: WeblogEntry = self.queue.get(timeout=wait)
+        except QueueEmpty:
+            self._diagnose(self.batcher.take_due())
+            return True
+        except QueueClosed:
+            return False
+        self.entries_processed += 1
+        self._entries_counter.inc()
+        closed = self.monitor.tracker.observe(entry)
+        for batch in self.batcher.add(closed):
+            self._diagnose(batch)
+        self._diagnose(self.batcher.take_due())
+        return True
+
+    def _shutdown(self) -> None:
+        """Drain path: flush the batcher and the tracker, final alarm sweep.
+
+        Pending batched records precede the tracker's force-closed
+        sessions — preserving the per-subscriber order the serial
+        monitor would have produced.
+        """
+        final = self.batcher.flush()
+        final.extend(self.monitor.tracker.flush())
+        self._diagnose(final)
+        self.monitor.final_alarm_sweep()
+
+    def _run(self) -> None:
+        try:
+            while self._step():
+                pass
+            self._shutdown()
+        except BaseException as exc:  # pragma: no cover - defensive
+            self.error = exc
+            _LOG.exception("shard_worker_failed", shard=self.index)

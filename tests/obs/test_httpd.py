@@ -1,0 +1,80 @@
+"""Metrics HTTP endpoint: scrape semantics over the stdlib server."""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import get_registry, start_metrics_server
+from repro.obs.httpd import CONTENT_TYPE, MetricsServer
+
+
+@pytest.fixture()
+def server():
+    server = start_metrics_server(port=0)
+    yield server
+    server.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, dict(response.headers), response.read().decode()
+
+
+class TestScrape:
+    def test_metrics_path_serves_exposition(self, server):
+        get_registry().counter(
+            "repro_test_httpd_scrapes_total", "Test family."
+        ).inc()
+        status, headers, body = _get(server.url)
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        assert "# TYPE repro_test_httpd_scrapes_total counter" in body
+        assert "repro_test_httpd_scrapes_total" in body
+
+    def test_root_path_serves_exposition_too(self, server):
+        status, _, body = _get(f"http://127.0.0.1:{server.port}/")
+        assert status == 200
+        assert "# TYPE" in body
+
+    def test_other_paths_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"http://127.0.0.1:{server.port}/not-metrics")
+        assert excinfo.value.code == 404
+
+    def test_scrape_reflects_live_updates(self, server):
+        counter = get_registry().counter(
+            "repro_test_httpd_live_total", "Test family."
+        )
+        counter.inc(3)
+        _, _, before = _get(server.url)
+        counter.inc(2)
+        _, _, after = _get(server.url)
+        assert before != after
+        assert "repro_test_httpd_live_total 5" in after
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolved(self, server):
+        assert server.port > 0
+        assert str(server.port) in server.url
+
+    def test_close_releases_port(self):
+        server = start_metrics_server(port=0)
+        url = server.url
+        server.close()
+        with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+            _get(url)
+
+    def test_context_manager(self):
+        with start_metrics_server(port=0) as server:
+            status, _, _ = _get(server.url)
+            assert status == 200
+
+    def test_two_servers_coexist(self):
+        with MetricsServer(port=0) as first, MetricsServer(port=0) as second:
+            assert first.port != second.port
+            assert _get(first.url)[0] == 200
+            assert _get(second.url)[0] == 200

@@ -89,6 +89,64 @@ class TestRealTimeMonitor:
         assert "ratio" in monitor.alarms[0].reason
 
 
+class TestDrain:
+    """Graceful-shutdown regression: drain() must flush the tracker and
+    run the alarm rules exactly once over the final state."""
+
+    def test_drain_diagnoses_open_sessions(
+        self, framework, one_adaptive_session, one_progressive_session
+    ):
+        monitor = RealTimeMonitor(framework)
+        stream = _stream([one_adaptive_session, one_progressive_session])
+        live = monitor.feed_many(stream)
+        final = monitor.drain()
+        # both sessions were still open (no trailing idle gap): drain
+        # must surface whatever feed_many did not
+        assert len(live) + len(final) == 2
+        assert len(monitor.diagnoses) == 2
+        assert monitor.tracker.open_sessions == 0
+
+    def test_drain_runs_final_alarm_sweep(self, framework, one_adaptive_session):
+        monitor = RealTimeMonitor(framework, severe_alarm_after=1)
+        monitor.framework.stall.predict = lambda records: np.array(
+            ["severe stalls"] * len(records)
+        )
+        monitor.feed_many(_stream([one_adaptive_session], seed=6))
+        assert monitor.alarms == []  # session still open, nothing diagnosed
+        monitor.drain()
+        assert len(monitor.alarms) == 1
+
+    def test_drain_is_idempotent(self, framework, one_adaptive_session):
+        monitor = RealTimeMonitor(framework)
+        monitor.feed_many(_stream([one_adaptive_session], seed=7))
+        first = monitor.drain()
+        assert len(first) == 1
+        assert monitor.drain() == []
+        assert len(monitor.diagnoses) == 1
+
+    def test_feed_after_drain_raises(self, framework, one_adaptive_session):
+        monitor = RealTimeMonitor(framework)
+        stream = _stream([one_adaptive_session], seed=8)
+        monitor.feed_many(stream)
+        monitor.drain()
+        with pytest.raises(RuntimeError, match="drained"):
+            monitor.feed(stream[0])
+
+    def test_final_alarm_sweep_returns_only_new_alarms(
+        self, framework, one_adaptive_session
+    ):
+        monitor = RealTimeMonitor(framework, severe_alarm_after=1)
+        monitor.framework.stall.predict = lambda records: np.array(
+            ["severe stalls"] * len(records)
+        )
+        monitor.feed_many(_stream([one_adaptive_session] * 2, seed=9))
+        monitor.flush()
+        assert len(monitor.alarms) == 1  # raised during the stream
+        # sweep finds nothing new: the per-diagnosis check already fired
+        assert monitor.final_alarm_sweep() == []
+        assert len(monitor.alarms) == 1
+
+
 class TestCallbackIsolation:
     """One raising subscriber callback must not kill the monitor loop."""
 

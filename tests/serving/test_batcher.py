@@ -1,0 +1,91 @@
+"""Micro-batcher: size and deadline bounds, order preservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_registry
+from repro.serving.batcher import MicroBatcher
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestValidation:
+    def test_max_batch_validated(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+
+    def test_max_delay_validated(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_delay_s=-1.0)
+
+
+class TestSizeTrigger:
+    def test_full_batches_released_in_order(self):
+        batcher = MicroBatcher(max_batch=3, max_delay_s=100.0)
+        ready = batcher.add(list(range(8)))
+        assert ready == [[0, 1, 2], [3, 4, 5]]
+        assert batcher.pending == 2
+        assert batcher.flush() == [6, 7]
+        assert batcher.pending == 0
+
+    def test_max_batch_one_degenerates_to_per_record(self):
+        batcher = MicroBatcher(max_batch=1, max_delay_s=100.0)
+        assert batcher.add(["a", "b"]) == [["a"], ["b"]]
+        assert batcher.pending == 0
+
+
+class TestDeadlineTrigger:
+    def test_partial_batch_released_after_delay(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch=100, max_delay_s=0.5, clock=clock)
+        batcher.add(["a", "b"])
+        assert batcher.take_due() is None           # fresh
+        assert batcher.seconds_until_due() == pytest.approx(0.5)
+        clock.now = 0.4
+        assert batcher.take_due() is None           # not yet
+        clock.now = 0.6
+        assert batcher.take_due() == ["a", "b"]     # overdue
+        assert batcher.take_due() is None           # nothing pending now
+        assert batcher.seconds_until_due() is None
+
+    def test_deadline_anchored_to_oldest_record(self):
+        clock = FakeClock()
+        batcher = MicroBatcher(max_batch=100, max_delay_s=1.0, clock=clock)
+        batcher.add(["old"])
+        clock.now = 0.9
+        batcher.add(["young"])                      # must not reset the clock
+        clock.now = 1.1
+        assert batcher.take_due() == ["old", "young"]
+
+    def test_empty_batcher_has_no_deadline(self):
+        batcher = MicroBatcher()
+        assert batcher.seconds_until_due() is None
+        assert batcher.take_due() is None
+        assert batcher.flush() == []
+
+
+class TestObservability:
+    def test_batches_counted_by_reason(self):
+        batches = get_registry().counter(
+            "repro_serving_batches_total", labelnames=("reason",)
+        )
+        before_size = batches.labels(reason="size").value
+        before_drain = batches.labels(reason="drain").value
+        batcher = MicroBatcher(max_batch=2, max_delay_s=100.0)
+        batcher.add([1, 2, 3])
+        batcher.flush()
+        assert batches.labels(reason="size").value == before_size + 1
+        assert batches.labels(reason="drain").value == before_drain + 1
+
+    def test_batch_size_histogram_observes(self):
+        histogram = get_registry().histogram("repro_serving_batch_size")
+        before = histogram.count
+        MicroBatcher(max_batch=4, max_delay_s=100.0).add([1, 2, 3, 4])
+        assert histogram.count == before + 1

@@ -1,0 +1,80 @@
+"""Trace replay: synthetic traces, pacing, and run accounting."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serving.replay import ReplayStats, TraceReplayer, synthetic_trace
+from repro.serving.service import QoEService
+
+
+class TestSyntheticTrace:
+    def test_time_ordered(self, serving_trace):
+        timestamps = [entry.timestamp_s for entry in serving_trace]
+        assert timestamps == sorted(timestamps)
+
+    def test_deterministic_for_seed(self):
+        first = synthetic_trace(10, seed=3, subscribers=4)
+        second = synthetic_trace(10, seed=3, subscribers=4)
+        assert first == second
+        different = synthetic_trace(10, seed=4, subscribers=4)
+        assert first != different
+
+    def test_folds_onto_subscriber_population(self, serving_trace):
+        subscribers = {entry.subscriber_id for entry in serving_trace}
+        assert len(subscribers) == 8
+        assert all(s.startswith("sub-") for s in subscribers)
+
+    def test_fold_preserves_per_subscriber_order(self, serving_trace):
+        last_seen = {}
+        for entry in serving_trace:
+            previous = last_seen.get(entry.subscriber_id)
+            assert previous is None or entry.timestamp_s >= previous
+            last_seen[entry.subscriber_id] = entry.timestamp_s
+
+    def test_unfolded_trace_keeps_original_subscribers(self):
+        trace = synthetic_trace(6, seed=1)
+        assert len({entry.subscriber_id for entry in trace}) == 6
+
+    def test_invalid_subscriber_count(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(4, subscribers=0)
+
+
+class TestTraceReplayer:
+    def test_speedup_validated(self, serving_framework):
+        service = QoEService(serving_framework, n_shards=1)
+        with pytest.raises(ValueError):
+            TraceReplayer(service, speedup=-1.0)
+
+    def test_unpaced_replay_stats(self, serving_framework, serving_trace):
+        with QoEService(serving_framework, n_shards=2) as service:
+            stats = TraceReplayer(service, speedup=0.0).replay(serving_trace)
+        assert isinstance(stats, ReplayStats)
+        assert stats.entries == len(serving_trace)
+        assert stats.accepted == len(serving_trace)
+        assert stats.shed == 0
+        assert stats.trace_span_s > 0
+        assert stats.entries_per_s > 0
+
+    def test_paced_replay_honours_speedup(self, serving_framework):
+        """With a finite speedup the replay must take at least
+        trace_span / speedup of wall clock."""
+        trace = synthetic_trace(3, seed=5, subscribers=2)
+        span = trace[-1].timestamp_s - trace[0].timestamp_s
+        speedup = span / 0.2  # ~0.2 s of pacing however long the trace is
+        with QoEService(serving_framework, n_shards=1) as service:
+            started = time.perf_counter()
+            stats = TraceReplayer(service, speedup=speedup).replay(trace)
+            elapsed = time.perf_counter() - started
+        assert elapsed >= 0.15
+        assert stats.wall_s >= 0.15
+
+    def test_empty_trace(self, serving_framework):
+        with QoEService(serving_framework, n_shards=1) as service:
+            stats = TraceReplayer(service).replay([])
+        assert stats.entries == 0
+        assert stats.trace_span_s == 0.0
+        assert stats.entries_per_s == float("inf") or stats.entries_per_s == 0.0

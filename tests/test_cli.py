@@ -54,3 +54,73 @@ class TestCliObservability:
         assert main(
             ["experiments", "--id", "fig1", "--log-level", "ERROR"]
         ) == 0
+
+
+class TestServeReplay:
+    """``python -m repro serve-replay`` — the online serving loop."""
+
+    @pytest.fixture(scope="class")
+    def model_file(self, tmp_path_factory, stall_records, adaptive_records):
+        """A saved model so the CLI skips its (slow) training path."""
+        from repro import QoEFramework
+        from repro.persistence import save_framework
+
+        framework = QoEFramework(random_state=0, n_estimators=12).fit(
+            stall_records, adaptive_records
+        )
+        path = tmp_path_factory.mktemp("serve") / "model.json"
+        save_framework(framework, path)
+        return str(path)
+
+    def _run(self, model_file, *extra):
+        return main(
+            [
+                "serve-replay",
+                "--model", model_file,
+                "--sessions", "20",
+                "--subscribers", "6",
+                "--shards", "2",
+                *extra,
+            ]
+        )
+
+    def test_replay_summary_printed(self, model_file, capsys):
+        assert self._run(model_file) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "2 shard(s)" in out
+        assert "diagnoses" in out
+
+    def test_check_serial_passes(self, model_file, capsys):
+        assert self._run(model_file, "--check-serial") == 0
+        out = capsys.readouterr().out
+        assert "serving determinism check ok" in out
+
+    def test_metrics_out_includes_serving_families(
+        self, model_file, tmp_path, capsys
+    ):
+        path = tmp_path / "metrics.json"
+        assert self._run(model_file, "--metrics-out", str(path)) == 0
+        snapshot = json.loads(path.read_text())
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "repro_serving_queue_depth" in names
+        assert "repro_serving_replay_entries_total" in names
+
+    def test_metrics_port_serves_during_run(self, model_file, capsys):
+        assert self._run(model_file, "--metrics-port", "0") == 0
+        err = capsys.readouterr().err
+        assert "serving metrics on http://127.0.0.1:" in err
+
+    def test_bad_policy_rejected(self, model_file):
+        with pytest.raises(SystemExit):
+            self._run(model_file, "--policy", "yolo")
+
+    def test_missing_model_file_fails_loudly(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(
+                [
+                    "serve-replay",
+                    "--model", str(tmp_path / "nope.json"),
+                    "--sessions", "5",
+                ]
+            )

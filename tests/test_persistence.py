@@ -13,6 +13,7 @@ from repro.persistence import (
     framework_from_dict,
     framework_to_dict,
     load_framework,
+    payload_checksum,
     save_framework,
 )
 
@@ -186,3 +187,68 @@ class TestFrameworkRoundtrip:
         clone = load_framework(path)
         assert clone.stall.selected_names_ == framework.stall.selected_names_
         assert clone.stall.feature_gains()   # selection result restored
+
+
+class TestLoadValidation:
+    """Corruption of a saved model file must fail loudly, as ValueError,
+    naming the failing layer — never a KeyError ten frames deep."""
+
+    @pytest.fixture()
+    def saved(self, framework, tmp_path):
+        path = tmp_path / "models.json"
+        save_framework(framework, path)
+        return path
+
+    def test_saved_file_embeds_checksum(self, saved):
+        payload = json.loads(saved.read_text())
+        assert payload["payload_sha256"] == payload_checksum(payload)
+
+    def test_checksum_ignores_key_order(self, saved):
+        payload = json.loads(saved.read_text())
+        reordered = dict(reversed(list(payload.items())))
+        assert payload_checksum(reordered) == payload["payload_sha256"]
+
+    def test_tampered_payload_rejected(self, saved):
+        payload = json.loads(saved.read_text())
+        payload["switching"]["threshold"] += 1.0
+        saved.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="checksum"):
+            load_framework(saved)
+
+    def test_truncated_file_rejected(self, saved):
+        text = saved.read_text()
+        saved.write_text(text[: len(text) // 2])
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_framework(saved)
+
+    def test_non_object_json_rejected(self, saved):
+        saved.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_framework(saved)
+
+    def test_missing_section_rejected(self, framework, tmp_path):
+        payload = framework_to_dict(framework)
+        del payload["switching"]
+        path = tmp_path / "models.json"
+        path.write_text(json.dumps(payload))  # no checksum: format check hits
+        with pytest.raises(ValueError, match="switching"):
+            load_framework(path)
+
+    def test_corrupt_section_rejected_as_value_error(self, framework):
+        payload = framework_to_dict(framework)
+        del payload["stall"]["model"]
+        with pytest.raises(ValueError, match="corrupt model payload"):
+            framework_from_dict(payload)
+
+    def test_legacy_file_without_checksum_loads(self, framework, tmp_path):
+        """Files written before checksums existed must keep loading."""
+        payload = framework_to_dict(framework)
+        assert "payload_sha256" not in payload
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        clone = load_framework(path)
+        assert clone._fitted
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            framework_from_dict(["not", "a", "dict"])
