@@ -1,0 +1,83 @@
+"""Benchmark gate for the fault-injection layer's idle overhead.
+
+The resilience machinery rides in the hot path: a validation call and
+a monotonicity check per entry, a fault-hook branch per dequeue, a
+supervisor watchdog thread polling shard state.  The contract is that
+all of it is effectively free when no faults are planned: a service
+built with a no-op :class:`~repro.faults.FaultPlan` wired all the way
+through must replay a 500-session trace within 5% of the plain
+service's wall-clock (best-of-3 each, plus a small epsilon absorbing
+scheduler noise on short runs).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import QoEFramework
+from repro.datasets.generate import (
+    generate_adaptive_corpus,
+    generate_cleartext_corpus,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.serving.replay import TraceReplayer, synthetic_trace
+from repro.serving.service import QoEService
+
+from conftest import paper_row
+
+TRACE_SESSIONS = 500
+N_SHARDS = 4
+ROUNDS = 3
+OVERHEAD_CEILING = 1.05
+#: Absolute slack absorbing thread-scheduling noise on runs this short.
+EPSILON_S = 0.15
+
+
+@pytest.fixture(scope="module")
+def framework():
+    cleartext = generate_cleartext_corpus(300, seed=3)
+    adaptive = generate_adaptive_corpus(150, seed=4)
+    return QoEFramework(random_state=0, n_estimators=20).fit(
+        cleartext.records_with_stall_truth(),
+        [r for r in adaptive.records if r.resolutions is not None],
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_trace(TRACE_SESSIONS, seed=11, subscribers=32)
+
+
+def _replay_seconds(framework, trace, faults):
+    service = QoEService(framework, n_shards=N_SHARDS, faults=faults)
+    service.start()
+    start = time.perf_counter()
+    TraceReplayer(service, speedup=0.0, faults=faults).replay(trace)
+    service.drain()
+    elapsed = time.perf_counter() - start
+    assert not service.degraded
+    assert service.supervisor.total_restarts == 0
+    assert service.dead_letters.quarantined == 0
+    return elapsed
+
+
+def test_noop_fault_plan_overhead_under_five_percent(framework, trace):
+    """A wired-through no-op FaultPlan costs <5% wall-clock."""
+    base_s = min(_replay_seconds(framework, trace, None) for _ in range(ROUNDS))
+    noop_s = min(
+        _replay_seconds(framework, trace, FaultInjector(FaultPlan()))
+        for _ in range(ROUNDS)
+    )
+    overhead = noop_s / base_s
+    paper_row(
+        f"no-fault overhead, {TRACE_SESSIONS} sessions",
+        f"<{(OVERHEAD_CEILING - 1) * 100:.0f}%",
+        f"base {base_s:.3f}s, noop-plan {noop_s:.3f}s = "
+        f"{(overhead - 1) * 100:+.1f}%",
+    )
+    assert noop_s <= base_s * OVERHEAD_CEILING + EPSILON_S, (
+        f"no-op fault plan cost {(overhead - 1) * 100:.1f}% "
+        f"(base {base_s:.3f}s, with plan {noop_s:.3f}s)"
+    )

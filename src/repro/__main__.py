@@ -20,7 +20,11 @@ Commands
     a fresh one on simulated cleartext corpora.  ``--check-serial``
     re-runs the same trace through the serial ``RealTimeMonitor`` and
     fails unless the diagnosis multisets match exactly — the serving
-    determinism gate CI runs.
+    determinism gate CI runs.  ``--faults SPEC`` injects a
+    deterministic chaos plan (:mod:`repro.faults`) into the replay:
+    record corruption/drops/duplicates/reordering, clock skew, shard
+    kills and reload failures; with ``--check-serial`` the determinism
+    gate then compares only the subscribers the plan never touched.
 ``list``
     List the experiment ids.
 """
@@ -123,7 +127,13 @@ def _train_or_load_framework(args, log):
     )
 
 
-def _diagnosis_multiset(diagnoses):
+def _diagnosis_multiset(diagnoses, exclude_subscribers=frozenset()):
+    """Comparable multiset of diagnoses, optionally minus some subscribers.
+
+    Session ids are ``{subscriber}/online-{n}``, so the subscriber is
+    recoverable here — used to restrict the determinism check to
+    fault-untouched subscribers under an active chaos plan.
+    """
     return sorted(
         (
             d.session_id,
@@ -132,15 +142,22 @@ def _diagnosis_multiset(diagnoses):
             d.has_quality_switches,
         )
         for d in diagnoses
+        if d.session_id.rsplit("/online-", 1)[0] not in exclude_subscribers
     )
 
 
 def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    from repro.faults import FaultInjector, FaultPlan
     from repro.obs import configure_logging, get_logger, write_snapshot
     from repro.serving import QoEService, TraceReplayer, synthetic_trace
 
     configure_logging(args.log_level)
     log = get_logger("cli")
+
+    plan = FaultPlan.parse(args.faults)
+    injector = None if plan.is_noop else FaultInjector(plan)
+    if injector is not None:
+        log.info("fault_plan_active", plan=plan.describe())
 
     framework = _train_or_load_framework(args, log)
     entries = synthetic_trace(
@@ -156,9 +173,12 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             policy=args.policy,
             max_batch=args.batch_max,
             max_delay_s=args.batch_delay,
+            faults=injector,
         )
         service.start()
-        stats = TraceReplayer(service, speedup=args.speedup).replay(entries)
+        stats = TraceReplayer(
+            service, speedup=args.speedup, faults=injector
+        ).replay(entries)
         diagnoses = service.drain()
 
     health = service.health()
@@ -168,6 +188,17 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         f"{len(diagnoses)} diagnoses, {len(service.alarms)} alarms, "
         f"{stats.shed} shed, model v{health['model_version']}"
     )
+    if injector is not None:
+        summary = injector.summary()
+        print(
+            f"chaos: {summary['injected']} injections "
+            f"({summary['by_kind']}), {injector.kills_fired} kill(s), "
+            f"{health['restarts']} shard restart(s), "
+            f"{health['dead_letter']['quarantined']} dead-lettered, "
+            f"{health['rejected']} rejected, "
+            f"circuits open: {service.supervisor.open_circuits or 'none'}, "
+            f"degraded={health['degraded']}"
+        )
 
     if args.metrics_out:
         snapshot = write_snapshot(args.metrics_out)
@@ -180,22 +211,37 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     if args.check_serial:
         from repro import RealTimeMonitor
 
+        # The serial reference always consumes the CLEAN trace.  Under
+        # an active chaos plan the comparison is restricted to the
+        # subscribers the plan never touched — for those the service
+        # guarantees bit-identical diagnoses; fault-affected
+        # subscribers legitimately diverge (quarantined records, lost
+        # in-flight entries).
+        affected = (
+            injector.affected_subscribers if injector is not None else frozenset()
+        )
         monitor = RealTimeMonitor(framework)
         monitor.feed_many(entries)
         monitor.drain()
-        serial = _diagnosis_multiset(monitor.diagnoses)
-        sharded = _diagnosis_multiset(diagnoses)
+        serial = _diagnosis_multiset(monitor.diagnoses, affected)
+        sharded = _diagnosis_multiset(diagnoses, affected)
+        scope = (
+            "all subscribers"
+            if not affected
+            else f"{args.subscribers - len(affected)}/{args.subscribers} "
+            "fault-untouched subscribers"
+        )
         if serial != sharded:
             print(
-                f"serving determinism check FAILED: serial produced "
-                f"{len(serial)} diagnoses, service produced {len(sharded)} "
-                "(or contents differ)",
+                f"serving determinism check FAILED ({scope}): serial "
+                f"produced {len(serial)} diagnoses, service produced "
+                f"{len(sharded)} (or contents differ)",
                 file=sys.stderr,
             )
             return 1
         print(
-            f"serving determinism check ok: {len(serial)} diagnoses, "
-            "sharded == serial"
+            f"serving determinism check ok ({scope}): {len(serial)} "
+            "diagnoses, sharded == serial"
         )
     return 0
 
@@ -344,6 +390,16 @@ def main(argv=None) -> int:
     )
     serve.add_argument(
         "--seed", type=int, default=0, help="training seed (no --model)"
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject a deterministic chaos plan: compact form "
+            "'corrupt=0.02,kill_shard=1@100,reload_fail=2,seed=7', "
+            "inline JSON, or a path to a JSON file (see repro.faults)"
+        ),
     )
     serve.add_argument(
         "--check-serial",

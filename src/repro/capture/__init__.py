@@ -22,9 +22,10 @@ from .uri import (
     thumbnail_uri,
     watch_page_uri,
 )
-from .weblog import WeblogEntry
+from .weblog import MalformedRecordError, WeblogEntry
 
 __all__ = [
+    "MalformedRecordError",
     "WeblogEntry",
     "Anonymizer",
     "KEPT_URI_PARAMS",

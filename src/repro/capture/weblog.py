@@ -16,10 +16,37 @@ heuristic keys on.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["WeblogEntry"]
+__all__ = ["MalformedRecordError", "WeblogEntry"]
+
+
+class MalformedRecordError(ValueError):
+    """A weblog record carries a field no real transaction could produce.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    ``ValueError`` keep working, while the serving layer can catch the
+    *typed* error and quarantine the record in its dead-letter queue
+    instead of letting a garbled log line kill a shard worker.
+    """
+
+
+#: Transport-annotation fields that must be finite and non-negative.
+#: Collector glitches (the dominant failure mode in the deployments
+#: Schmitt et al. describe) show up here as NaN or negative readings.
+_METRIC_FIELDS = (
+    "transaction_s",
+    "rtt_min_ms",
+    "rtt_avg_ms",
+    "rtt_max_ms",
+    "bdp_bytes",
+    "bif_avg_bytes",
+    "bif_max_bytes",
+    "loss_pct",
+    "retx_pct",
+)
 
 
 @dataclass
@@ -61,12 +88,34 @@ class WeblogEntry:
     compressed: bool = False
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`MalformedRecordError` unless every field is sane.
+
+        Runs at construction, but is also re-invoked by consumers of
+        *untrusted* streams (the serving shards, the real-time monitor):
+        a record deserialised or fault-injected past ``__init__`` must
+        still be caught before it poisons a tracker session.
+        """
+        if not self.subscriber_id:
+            raise MalformedRecordError("subscriber_id must be non-empty")
+        if not math.isfinite(self.timestamp_s):
+            raise MalformedRecordError(
+                f"timestamp must be finite, got {self.timestamp_s!r}"
+            )
         if self.object_bytes < 0:
-            raise ValueError("object size must be >= 0")
-        if self.transaction_s < 0:
-            raise ValueError("transaction time must be >= 0")
+            raise MalformedRecordError(
+                f"object size must be >= 0, got {self.object_bytes!r}"
+            )
+        for field_name in _METRIC_FIELDS:
+            value = getattr(self, field_name)
+            if not math.isfinite(value) or value < 0:
+                raise MalformedRecordError(
+                    f"{field_name} must be finite and >= 0, got {value!r}"
+                )
         if self.encrypted and self.uri is not None:
-            raise ValueError("encrypted entries cannot carry a URI")
+            raise MalformedRecordError("encrypted entries cannot carry a URI")
 
     @property
     def arrival_s(self) -> float:

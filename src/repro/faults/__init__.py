@@ -1,0 +1,43 @@
+"""Fault injection and recovery primitives.
+
+The paper's methodology is built to run *inside an operator network*,
+where the dominant realities are the ones a clean simulator never
+produces: truncated and garbled log records, skewed collector clocks,
+stalled processes, half-written model files.  Deployment reports on
+this class of system (Schmitt et al.) make the same point — the hard
+part is not the model, it is surviving the input.
+
+This package makes failure a first-class, *testable* event:
+
+``plan``
+    :class:`FaultPlan` — a frozen, seedable description of which
+    faults a run experiences, parseable from a compact string, inline
+    JSON or a JSON file (``serve-replay --faults SPEC``).
+``injector``
+    :class:`FaultInjector` — executes a plan: rewrites traces
+    (corrupt/drop/duplicate/reorder/skew), kills shard workers via
+    :class:`InjectedFault`, delays/fails model reloads.  Logs every
+    committed fault and the set of affected subscribers, so chaos
+    tests can assert untouched sessions are bit-identical to a
+    fault-free run.
+``retry``
+    :func:`retry_with_backoff` — the bounded, deterministic retry
+    helper used by model reloads and snapshot/model writes.
+
+The matching *recovery* machinery lives where the state is:
+:mod:`repro.serving.supervisor` (watchdog restarts + circuit breaker),
+:mod:`repro.serving.dlq` (malformed-record quarantine) and
+:class:`repro.capture.weblog.MalformedRecordError` (typed validation).
+"""
+
+from .injector import FaultInjector, InjectedFault, Injection
+from .plan import FaultPlan
+from .retry import retry_with_backoff
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "Injection",
+    "retry_with_backoff",
+]

@@ -1,0 +1,258 @@
+"""Fault execution: apply a :class:`~repro.faults.plan.FaultPlan` to a run.
+
+One :class:`FaultInjector` owns all the randomness and all the
+bookkeeping for a chaos run:
+
+* :meth:`plan_trace` rewrites a weblog trace record by record —
+  corrupting fields past ``__init__`` validation (exactly what a
+  garbled collector line looks like to a parser that trusts its
+  input), skewing clocks, dropping, duplicating and reordering;
+* :meth:`shard_fault_hook` plugs into the serving shards and raises
+  :class:`InjectedFault` inside a chosen worker thread at a chosen
+  record index — the supervised-restart and circuit-breaker drill;
+* :meth:`reload_gate` plugs into the model manager and delays or
+  fails hot-reload attempts.
+
+Everything injected is logged in :attr:`FaultInjector.injections` and
+every subscriber whose stream was touched lands in
+:attr:`affected_subscribers` — which is what lets a chaos test assert
+the strong property: *sessions of untouched subscribers are
+bit-identical to a fault-free run*.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.capture.weblog import WeblogEntry
+from repro.obs import get_logger
+
+from .plan import FaultPlan
+
+__all__ = ["InjectedFault", "Injection", "FaultInjector"]
+
+_LOG = get_logger("faults.injector")
+
+
+class InjectedFault(RuntimeError):
+    """Raised inside a component on the injector's order (never in prod)."""
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault the injector actually committed."""
+
+    kind: str
+    index: int
+    subscriber_id: str
+    detail: str = ""
+
+
+def _unchecked_replace(entry: WeblogEntry, **overrides) -> WeblogEntry:
+    """Clone an entry with fields overridden, *bypassing* validation.
+
+    ``dataclasses.replace`` would re-run ``__post_init__`` and refuse
+    the garbage we are deliberately producing; real malformed records
+    enter systems the same way — through code paths that never
+    validate.
+    """
+    clone = object.__new__(WeblogEntry)
+    clone.__dict__.update(entry.__dict__)
+    clone.__dict__.update(overrides)
+    return clone
+
+
+#: Corruption modes cycle in this order, so a given plan garbles a
+#: reproducible mix of field-level failures.
+_CORRUPTIONS = (
+    ("negative_size", lambda e: _unchecked_replace(e, object_bytes=-1)),
+    ("nan_timestamp", lambda e: _unchecked_replace(e, timestamp_s=float("nan"))),
+    (
+        "nan_transaction",
+        lambda e: _unchecked_replace(e, transaction_s=float("nan")),
+    ),
+    (
+        "negative_transaction",
+        lambda e: _unchecked_replace(e, transaction_s=-1.0),
+    ),
+    ("nan_rtt", lambda e: _unchecked_replace(e, rtt_avg_ms=float("nan"))),
+    ("negative_loss", lambda e: _unchecked_replace(e, loss_pct=-5.0)),
+)
+
+
+class FaultInjector:
+    """Deterministic executor of one :class:`FaultPlan`.
+
+    A fresh injector is built per run; its RNG is seeded from the plan,
+    so equal plans inject equal faults into equal traces.  Thread-safe
+    where it must be (the shard hook and reload gate are called from
+    worker threads); :meth:`plan_trace` is single-threaded by design —
+    call it before the replay starts.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self._lock = threading.Lock()
+        self._kills_fired = 0
+        self._reload_failures_left = plan.reload_failures
+        self._corruption_cursor = 0
+        self.injections: List[Injection] = []
+        self._affected: Set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def affected_subscribers(self) -> Set[str]:
+        """Subscribers whose entry stream any fault touched (a copy)."""
+        with self._lock:
+            return set(self._affected)
+
+    @property
+    def kills_fired(self) -> int:
+        with self._lock:
+            return self._kills_fired
+
+    def summary(self) -> Dict:
+        """Accounting for the run, keyed by fault kind."""
+        with self._lock:
+            by_kind: Dict[str, int] = {}
+            for injection in self.injections:
+                by_kind[injection.kind] = by_kind.get(injection.kind, 0) + 1
+            return {
+                "plan": self.plan.describe(),
+                "injected": len(self.injections),
+                "by_kind": by_kind,
+                "affected_subscribers": len(self._affected),
+            }
+
+    def _record(self, kind: str, index: int, entry: WeblogEntry, detail: str = "") -> None:
+        with self._lock:
+            self.injections.append(
+                Injection(kind, index, entry.subscriber_id, detail)
+            )
+            self._affected.add(entry.subscriber_id)
+
+    # ------------------------------------------------------------------
+    # Record-level faults (applied to the trace before replay)
+    # ------------------------------------------------------------------
+
+    def _corrupt(self, entry: WeblogEntry, index: int) -> WeblogEntry:
+        name, mutate = _CORRUPTIONS[self._corruption_cursor % len(_CORRUPTIONS)]
+        self._corruption_cursor += 1
+        self._record("corrupt", index, entry, name)
+        return mutate(entry)
+
+    def plan_trace(self, entries: Sequence[WeblogEntry]) -> List[WeblogEntry]:
+        """The trace with every record-level fault applied.
+
+        A no-op plan returns the input records unchanged (the same
+        objects, zero RNG draws) — the bit-identical baseline the
+        determinism tests pin.
+        """
+        plan = self.plan
+        if (
+            plan.corrupt_fraction == 0.0
+            and plan.drop_fraction == 0.0
+            and plan.duplicate_fraction == 0.0
+            and plan.reorder_fraction == 0.0
+            and plan.skew_fraction == 0.0
+        ):
+            return list(entries)
+        rng = self._rng
+        out: List[WeblogEntry] = []
+        for index, entry in enumerate(entries):
+            if plan.drop_fraction and rng.random() < plan.drop_fraction:
+                self._record("drop", index, entry)
+                continue
+            faulted = entry
+            if plan.skew_fraction and rng.random() < plan.skew_fraction:
+                faulted = _unchecked_replace(
+                    faulted, timestamp_s=faulted.timestamp_s - plan.skew_s
+                )
+                self._record("skew", index, entry, f"-{plan.skew_s:g}s")
+            if plan.corrupt_fraction and rng.random() < plan.corrupt_fraction:
+                faulted = self._corrupt(faulted, index)
+            out.append(faulted)
+            if plan.duplicate_fraction and rng.random() < plan.duplicate_fraction:
+                out.append(faulted)
+                self._record("duplicate", index, entry)
+        if plan.reorder_fraction:
+            for index in range(len(out) - 1):
+                if rng.random() < plan.reorder_fraction:
+                    out[index], out[index + 1] = out[index + 1], out[index]
+                    # Swapping entries of two different subscribers only
+                    # changes the cross-subscriber interleaving, which
+                    # the service is insensitive to by construction; a
+                    # same-subscriber swap breaks that stream's order.
+                    if out[index].subscriber_id == out[index + 1].subscriber_id:
+                        self._record("reorder", index, out[index])
+        injected = len(self.injections)
+        if injected:
+            _LOG.info(
+                "trace_faults_planned",
+                entries=len(entries),
+                injected=injected,
+                affected_subscribers=len(self._affected),
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # Component hooks (wired in by QoEService / ModelManager)
+    # ------------------------------------------------------------------
+
+    def shard_fault_hook(
+        self, shard_index: int, entry: WeblogEntry, picked_up: int
+    ) -> None:
+        """Kill the targeted shard worker at the planned record index.
+
+        Installed as the shard's per-entry fault hook; raises
+        :class:`InjectedFault` when this pickup matches the plan, at
+        most ``kill_times`` times.  The in-flight entry is lost with
+        the worker — exactly the at-most-once boundary a real crash
+        has — so its subscriber is marked affected.
+        """
+        plan = self.plan
+        if plan.kill_shard is None or shard_index != plan.kill_shard:
+            return
+        if picked_up < plan.kill_at_entry:
+            return
+        with self._lock:
+            if self._kills_fired >= plan.kill_times:
+                return
+            self._kills_fired += 1
+            self.injections.append(
+                Injection(
+                    "kill_worker",
+                    picked_up,
+                    entry.subscriber_id,
+                    f"shard {shard_index}",
+                )
+            )
+            self._affected.add(entry.subscriber_id)
+        raise InjectedFault(
+            f"injected kill: shard {shard_index} at its entry #{picked_up}"
+        )
+
+    def reload_gate(self) -> None:
+        """Delay and/or fail a model reload attempt, per the plan.
+
+        Installed as the :class:`~repro.serving.models.ModelManager`
+        fault gate; runs inside the (retried) load attempt.
+        """
+        plan = self.plan
+        if plan.reload_delay_s > 0:
+            time.sleep(plan.reload_delay_s)
+        with self._lock:
+            if self._reload_failures_left <= 0:
+                return
+            self._reload_failures_left -= 1
+            self.injections.append(
+                Injection("reload_failure", -1, "", "injected OSError")
+            )
+        raise OSError("injected model reload failure")

@@ -1,0 +1,96 @@
+"""Bounded retry with exponential backoff.
+
+The recovery primitive the rest of the resilience layer leans on:
+model hot-reloads (an operator copying a new file into place is
+mid-write for a moment), snapshot/model writes (transient filesystem
+errors), and anything else where the second attempt is usually the one
+that works.
+
+Deliberately deterministic — no jitter — so a retried operation under
+a seeded fault plan behaves identically run to run.  Every retry is
+counted in ``repro_faults_retries_total{op}`` and logged; the *caller*
+decides what exhaustion means (the last exception is re-raised).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.obs.logs import get_logger
+from repro.obs.registry import get_registry
+
+__all__ = ["retry_with_backoff"]
+
+_LOG = get_logger("faults.retry")
+
+_RETRIES = get_registry().counter(
+    "repro_faults_retries_total",
+    "Operations retried after a transient failure, by operation.",
+    labelnames=("op",),
+)
+
+T = TypeVar("T")
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    retries: int = 3,
+    base_delay_s: float = 0.05,
+    factor: float = 2.0,
+    max_delay_s: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+    op: str = "default",
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the retry budget is spent.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument operation.  Its return value is passed through.
+    retries:
+        Additional attempts after the first (``retries=3`` means up to
+        4 calls).  ``0`` degenerates to a plain call.
+    base_delay_s, factor, max_delay_s:
+        Backoff schedule: attempt *k* (1-based) sleeps
+        ``min(base_delay_s * factor**(k-1), max_delay_s)`` before
+        retrying.
+    retry_on:
+        Exception types worth retrying.  Anything else propagates
+        immediately — a programming error is not transient.
+    op:
+        Label for the retry counter and log lines.
+    sleep:
+        Injectable clock (tests pass a recorder instead of sleeping).
+    on_retry:
+        Optional hook ``(attempt, exception)`` invoked before each
+        sleep.
+
+    Raises the final exception unchanged once the budget is exhausted.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = min(base_delay_s * factor ** (attempt - 1), max_delay_s)
+            _RETRIES.labels(op=op).inc()
+            _LOG.warning(
+                "retrying",
+                op=op,
+                attempt=attempt,
+                retries=retries,
+                delay_s=round(delay, 4),
+                error=str(exc),
+            )
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(delay)

@@ -84,9 +84,22 @@ def write_snapshot(
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
 ) -> dict:
-    """Write the snapshot to ``path``; returns the written dict."""
+    """Write the snapshot to ``path``; returns the written dict.
+
+    The file write is retried with backoff (``OSError`` only) — a
+    snapshot is usually the last act of a run, and losing it to a
+    transient filesystem hiccup wastes the whole run's evidence.
+    """
+    # Imported lazily: repro.faults.retry records its retries through
+    # this registry's counters, so a module-level import would cycle.
+    from repro.faults.retry import retry_with_backoff
+
     snapshot = registry_snapshot(registry, tracer)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+
+    def _write() -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    retry_with_backoff(_write, retry_on=(OSError,), op="write_snapshot")
     return snapshot

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Dict, Union
 
 import numpy as np
 
 from repro.core.framework import QoEFramework
+from repro.faults.retry import retry_with_backoff
 from repro.core.representation import AvgRepresentationDetector
 from repro.core.stall import StallDetector
 from repro.core.switching import SwitchDetector
@@ -271,10 +273,29 @@ def payload_checksum(payload: Dict) -> str:
 
 
 def save_framework(framework: QoEFramework, path: Union[str, Path]) -> None:
-    """Write a fitted framework to a JSON file (checksummed)."""
+    """Write a fitted framework to a JSON file (checksummed, atomic).
+
+    The payload lands in a same-directory temp file first and is moved
+    into place with :func:`os.replace` — a reader (notably the serving
+    layer's hot-reload) can never observe a half-written model, only
+    the old file or the new one.  Transient I/O errors are retried
+    with backoff before propagating.
+    """
     payload = framework_to_dict(framework)
     payload[_CHECKSUM_KEY] = payload_checksum(payload)
-    Path(path).write_text(json.dumps(payload))
+    body = json.dumps(payload)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+
+    def _write() -> None:
+        try:
+            tmp.write_text(body)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+
+    retry_with_backoff(_write, retry_on=(OSError,), op="save_framework")
 
 
 def load_framework(path: Union[str, Path]) -> QoEFramework:

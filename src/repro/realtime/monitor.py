@@ -265,9 +265,19 @@ class RealTimeMonitor:
         return self.alarms[before:]
 
     def feed(self, entry: WeblogEntry) -> List[SessionDiagnosis]:
-        """Feed one weblog entry; returns diagnoses of sessions it closed."""
+        """Feed one weblog entry; returns diagnoses of sessions it closed.
+
+        Re-validates the entry
+        (:meth:`~repro.capture.weblog.WeblogEntry.validate`) before it
+        can touch tracker state, raising
+        :class:`~repro.capture.weblog.MalformedRecordError` — the
+        serial-path counterpart of the serving layer's dead-letter
+        quarantine (a record can arrive through replay/deserialization
+        paths that skipped ``__init__``).
+        """
         if self._drained:
             raise RuntimeError("monitor is drained; create a new one")
+        entry.validate()
         return self._diagnose_closed(self.tracker.observe(entry))
 
     def feed_many(self, entries: Iterable[WeblogEntry]) -> List[SessionDiagnosis]:

@@ -1,11 +1,12 @@
-"""Online QoE inference serving: shards, backpressure, batching, reload.
+"""Online QoE inference serving: shards, backpressure, batching, healing.
 
 The paper's deployment story (§8) — "apply the trained models on
 passively monitored traffic and report issues in real time" at
 10M-subscriber scale — needs more than the single-threaded
 :class:`~repro.realtime.monitor.RealTimeMonitor` loop: it needs ingest
-buffering, explicit overload behaviour, concurrency, and model updates
-without restarts.  This package is that serving substrate:
+buffering, explicit overload behaviour, concurrency, model updates
+without restarts, and explicit *failure* behaviour.  This package is
+that serving substrate:
 
 ``queue``
     Bounded ingest queues with ``block`` / ``drop_oldest`` /
@@ -13,27 +14,42 @@ without restarts.  This package is that serving substrate:
 ``shard``
     Stable hash-partitioning of subscribers over N worker threads,
     each owning its own tracker + monitor so per-subscriber order and
-    health/alarm semantics are exactly the serial monitor's.
+    health/alarm semantics are exactly the serial monitor's.  Workers
+    are *restartable*: the thread is a replaceable vehicle over
+    surviving queue/tracker/monitor state.
 ``batcher``
     Micro-batching of closed sessions so feature extraction and forest
     ``predict_proba`` run vectorized per batch instead of per session.
 ``models``
     Versioned model hot-reload from :mod:`repro.persistence` files
-    with atomic swap; a bad file never dislodges the serving model.
+    with atomic swap and retry-with-backoff; a bad file never
+    dislodges the serving model.
+``dlq``
+    Dead-letter quarantine for records the pipeline refuses to trust
+    (malformed fields, regressed clocks, circuit-open backlogs).
+``supervisor``
+    Watchdog over the shard workers: prompt failure detection,
+    bounded restarts with exponential backoff, per-shard circuit
+    breakers, stalled-worker flagging.
 ``service``
-    :class:`QoEService` — lifecycle (start / drain / stop), health and
-    readiness snapshots, aggregated diagnoses/alarms/health.
+    :class:`QoEService` — lifecycle (start / drain / stop), health,
+    readiness and degradation snapshots, aggregated
+    diagnoses/alarms/health.
 ``replay``
-    Captured/simulated trace replay at a configurable speed-up
-    (CLI: ``python -m repro serve-replay``).
+    Captured/simulated trace replay at a configurable speed-up, with
+    optional deterministic fault injection from :mod:`repro.faults`
+    (CLI: ``python -m repro serve-replay [--faults SPEC]``).
 
 Guarantee worth restating: for any shard count, queue capacity and
 batch size (with a lossless policy), the service's diagnosis and alarm
 multisets are identical to the serial monitor's on the same trace —
-concurrency changes wall-clock, never results.
+concurrency changes wall-clock, never results.  Under injected faults
+the guarantee narrows to the *unaffected* subscribers: records the
+chaos plan never touched diagnose bit-identically to a fault-free run.
 """
 
 from .batcher import MicroBatcher
+from .dlq import DeadLetter, DeadLetterQueue
 from .models import ModelManager
 from .queue import (
     POLICIES,
@@ -45,6 +61,7 @@ from .queue import (
 from .replay import ReplayStats, TraceReplayer, synthetic_trace
 from .service import QoEService
 from .shard import ShardWorker, shard_index
+from .supervisor import ShardSupervisor
 
 __all__ = [
     "POLICIES",
@@ -52,9 +69,12 @@ __all__ = [
     "QueueClosed",
     "QueueEmpty",
     "QueueFull",
+    "DeadLetter",
+    "DeadLetterQueue",
     "MicroBatcher",
     "ModelManager",
     "QoEService",
+    "ShardSupervisor",
     "ShardWorker",
     "shard_index",
     "ReplayStats",

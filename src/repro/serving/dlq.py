@@ -1,0 +1,155 @@
+"""Dead-letter quarantine for records the pipeline refuses to trust.
+
+A garbled weblog record used to have exactly two fates: crash the
+shard worker mid-stream, or silently poison a tracker session (a NaN
+timestamp propagates into the feature matrix and every downstream
+diagnosis of that session).  The dead-letter queue gives it a third:
+*quarantine* — the record is set aside with the reason it was
+rejected, counted, capacity-bounded, and available for offline
+inspection, while the subscriber's remaining healthy entries keep
+flowing.
+
+Reasons in use today:
+
+``malformed``
+    Failed :meth:`~repro.capture.weblog.WeblogEntry.validate`
+    (negative sizes, NaN timestamps/metrics).
+``non_monotonic``
+    Timestamp regressed beyond the shard's clock-skew tolerance —
+    a skewed or replayed collector.
+``circuit_open``
+    Queued on a shard whose circuit breaker tripped; the entries had
+    nowhere left to go and are preserved here instead of leaking.
+
+Bounded like everything else in the serving layer: past ``capacity``
+the *oldest* quarantined record is evicted (newest evidence is worth
+most when debugging a live incident) and the eviction is counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List
+
+from repro.capture.weblog import WeblogEntry
+from repro.obs import get_logger, get_registry
+
+__all__ = ["DeadLetter", "DeadLetterQueue"]
+
+_LOG = get_logger("serving.dlq")
+
+_REG = get_registry()
+_QUARANTINED = _REG.counter(
+    "repro_serving_dead_letter_total",
+    "Records quarantined in the dead-letter queue, by rejection reason.",
+    labelnames=("reason",),
+)
+_EVICTED = _REG.counter(
+    "repro_serving_dead_letter_evicted_total",
+    "Quarantined records evicted once the dead-letter queue filled.",
+)
+_DEPTH = _REG.gauge(
+    "repro_serving_dead_letter_depth",
+    "Records currently held in the dead-letter queue.",
+)
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined record and why it was rejected."""
+
+    entry: WeblogEntry
+    reason: str
+    shard: int
+    detail: str = ""
+
+
+@dataclass
+class _Stats:
+    quarantined: int = 0
+    evicted: int = 0
+    by_reason: Dict[str, int] = field(default_factory=dict)
+
+
+class DeadLetterQueue:
+    """Thread-safe, bounded quarantine for rejected weblog records.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records held (>= 1).  Totals keep counting past the
+        bound; only the stored evidence is ring-buffered.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("dead-letter capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._items: Deque[DeadLetter] = deque()
+        self._stats = _Stats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def quarantined(self) -> int:
+        """Total records ever quarantined (monotonic)."""
+        with self._lock:
+            return self._stats.quarantined
+
+    @property
+    def evicted(self) -> int:
+        with self._lock:
+            return self._stats.evicted
+
+    @property
+    def by_reason(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._stats.by_reason)
+
+    def put(
+        self, entry: WeblogEntry, reason: str, shard: int, detail: str = ""
+    ) -> DeadLetter:
+        """Quarantine one record; evicts the oldest letter when full."""
+        letter = DeadLetter(entry=entry, reason=reason, shard=shard, detail=detail)
+        with self._lock:
+            if len(self._items) >= self.capacity:
+                self._items.popleft()
+                self._stats.evicted += 1
+                _EVICTED.inc()
+            self._items.append(letter)
+            self._stats.quarantined += 1
+            self._stats.by_reason[reason] = (
+                self._stats.by_reason.get(reason, 0) + 1
+            )
+            depth = len(self._items)
+        _QUARANTINED.labels(reason=reason).inc()
+        _DEPTH.set(depth)
+        _LOG.warning(
+            "record_quarantined",
+            reason=reason,
+            shard=shard,
+            subscriber=entry.subscriber_id,
+            detail=detail or None,
+        )
+        return letter
+
+    def items(self) -> List[DeadLetter]:
+        """Snapshot of the currently held letters, oldest first."""
+        with self._lock:
+            return list(self._items)
+
+    def snapshot(self) -> Dict:
+        """Health-endpoint shape: totals, depth, per-reason counts."""
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "quarantined": self._stats.quarantined,
+                "evicted": self._stats.evicted,
+                "by_reason": dict(self._stats.by_reason),
+            }

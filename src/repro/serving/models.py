@@ -13,9 +13,12 @@ model drops its open sessions and its subscriber health state.  The
   Shard workers resolve :attr:`ModelManager.current` once per
   diagnosis batch, so every batch is scored by exactly one model
   version, never a mix;
-* a failed reload (missing/corrupt/truncated file) keeps the current
-  model serving and is counted, not raised — an operator copying a new
-  file into place must never be able to take the service down.
+* a failed reload (missing/corrupt/truncated file) is retried with
+  exponential backoff — the classic race is an operator mid-copy over
+  the model file, gone a beat later — and only after the retry budget
+  keeps the current model serving, counted, not raised: an operator
+  copying a new file into place must never be able to take the
+  service down.
 
 ``repro_serving_model_reloads_total{status}`` counts attempts and
 ``repro_serving_model_version`` exposes the live version (1 = the
@@ -26,9 +29,10 @@ from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 from repro.core.framework import QoEFramework
+from repro.faults.retry import retry_with_backoff
 from repro.obs import get_logger, get_registry
 from repro.persistence import load_framework
 
@@ -54,10 +58,40 @@ class ModelManager:
     Construct from a persistence file path (hot-reloadable) or from an
     already-fitted framework (fixed; :meth:`reload` then raises — an
     in-memory model has no source of truth to re-read).
+
+    Parameters
+    ----------
+    source:
+        Persistence file path or fitted :class:`QoEFramework`.
+    reload_retries:
+        Transient-failure retries *per reload attempt* before the
+        reload is declared failed (the serving model stays).  The
+        initial construction-time load is never retried — a service
+        that cannot load its model at startup should fail fast.
+    retry_base_delay_s:
+        First retry delay; doubles per attempt (capped at 2 s).
+
+    Attributes
+    ----------
+    fault_gate:
+        Chaos-plan hook (see :meth:`repro.faults.FaultInjector.reload_gate`)
+        invoked inside every reload's load attempt; ``None`` in
+        production.  Installed by :class:`~repro.serving.service.QoEService`
+        when it is built with a fault injector.
     """
 
-    def __init__(self, source: Union[str, Path, QoEFramework]) -> None:
+    def __init__(
+        self,
+        source: Union[str, Path, QoEFramework],
+        reload_retries: int = 2,
+        retry_base_delay_s: float = 0.05,
+    ) -> None:
+        if reload_retries < 0:
+            raise ValueError("reload_retries must be >= 0")
         self._lock = threading.Lock()
+        self.reload_retries = reload_retries
+        self.retry_base_delay_s = retry_base_delay_s
+        self.fault_gate: Optional[Callable[[], None]] = None
         if isinstance(source, QoEFramework):
             if not source._fitted:
                 raise ValueError("framework is not fitted")
@@ -91,14 +125,22 @@ class ModelManager:
     def reloadable(self) -> bool:
         return self._path is not None
 
+    def _load(self) -> QoEFramework:
+        """One load attempt; the chaos gate fires first if installed."""
+        if self.fault_gate is not None:
+            self.fault_gate()
+        return load_framework(self._path)
+
     def reload(self) -> bool:
         """Re-read the model file and swap it in if it validates.
 
-        Returns ``True`` on a successful swap.  A file that fails to
-        load (missing, truncated, bad checksum, wrong format) leaves
-        the current model untouched and returns ``False`` — the
-        failure is logged and counted (``status="error"``), never
-        propagated into the serving loop.
+        Returns ``True`` on a successful swap.  Load failures
+        (missing, truncated, bad checksum, wrong format) are retried
+        ``reload_retries`` times with exponential backoff — a reload
+        typically races the very file copy that triggered it — and a
+        reload that still fails leaves the current model untouched and
+        returns ``False``: logged and counted (``status="error"``),
+        never propagated into the serving loop.
         """
         if self._path is None:
             raise RuntimeError(
@@ -106,7 +148,13 @@ class ModelManager:
                 "there is no file to reload"
             )
         try:
-            fresh = load_framework(self._path)
+            fresh = retry_with_backoff(
+                self._load,
+                retries=self.reload_retries,
+                base_delay_s=self.retry_base_delay_s,
+                retry_on=(ValueError, OSError),
+                op="model_reload",
+            )
         except (ValueError, OSError) as exc:
             _RELOADS.labels(status="error").inc()
             _LOG.warning(

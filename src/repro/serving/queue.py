@@ -193,6 +193,22 @@ class BoundedQueue:
             assert not ready
             raise QueueEmpty(f"queue {self.name!r}: nothing within {timeout}s")
 
+    def drain_remaining(self) -> list:
+        """Atomically remove and return everything still queued.
+
+        The circuit-breaker path: when a shard is declared
+        non-restartable its queue has entries nobody will ever consume.
+        They are handed back (the supervisor quarantines them in the
+        dead-letter queue) instead of leaking — and blocked ``block``
+        -policy producers are released by the space this frees.
+        """
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            self._depth_gauge.set(0)
+            self._cond.notify_all()
+        return items
+
     def close(self) -> None:
         """Refuse further puts; queued entries remain gettable."""
         with self._cond:

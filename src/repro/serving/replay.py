@@ -13,7 +13,11 @@ loop's driver:
 * :class:`TraceReplayer` — feeds a trace into a
   :class:`~repro.serving.service.QoEService` honouring the original
   inter-arrival gaps scaled by ``speedup`` (``0`` = as fast as the
-  service admits, the mode benchmarks and CI use).
+  service admits, the mode benchmarks and CI use).  Give it a
+  :class:`~repro.faults.FaultInjector` and the trace is first run
+  through the chaos plan's deterministic record transforms
+  (corrupt/drop/duplicate/reorder/skew) — the harness the fault tests
+  and the CI chaos smoke drive.
 """
 
 from __future__ import annotations
@@ -21,13 +25,16 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.capture.weblog import WeblogEntry
 from repro.datasets.generate import CorpusConfig, generate_corpus
 from repro.obs import get_logger, get_registry, trace
 
 from .service import QoEService
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.faults import FaultInjector
 
 __all__ = ["ReplayStats", "TraceReplayer", "synthetic_trace"]
 
@@ -68,17 +75,30 @@ class TraceReplayer:
         ten-minute capture into one minute; ``0`` (the default)
         disables pacing entirely and submits as fast as backpressure
         allows.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`; its record
+        transforms (:meth:`~repro.faults.FaultInjector.plan_trace`)
+        are applied to the trace before submission.  A no-op plan
+        passes the trace through byte-identical.
     """
 
-    def __init__(self, service: QoEService, speedup: float = 0.0) -> None:
+    def __init__(
+        self,
+        service: QoEService,
+        speedup: float = 0.0,
+        faults: Optional["FaultInjector"] = None,
+    ) -> None:
         if speedup < 0:
             raise ValueError("speedup must be >= 0 (0 = unpaced)")
         self.service = service
         self.speedup = speedup
+        self.faults = faults
 
     def replay(self, entries: Sequence[WeblogEntry]) -> ReplayStats:
         """Submit the whole trace; returns accounting for the run."""
         entries = list(entries)
+        if self.faults is not None:
+            entries = self.faults.plan_trace(entries)
         accepted = 0
         previous_ts: Optional[float] = None
         started = time.perf_counter()

@@ -1,9 +1,10 @@
-"""`QoEService`: the sharded, back-pressured online inference service.
+"""`QoEService`: the sharded, back-pressured, self-healing inference service.
 
 This is the deployment shape the paper's §8 sketches at operator
 scale: weblog entries stream in from a passive tap, and per-session
 QoE diagnoses, per-subscriber health and operator alarms stream out —
-continuously, concurrently, and with explicit overload behaviour.
+continuously, concurrently, and with explicit overload *and failure*
+behaviour.
 
 Data flow::
 
@@ -11,8 +12,10 @@ Data flow::
         │  shard_index(subscriber)          ← stable CRC32 partition
         ▼
     BoundedQueue[0..N-1]                    ← block / drop_oldest / shed_newest
-        │  (one worker thread per shard)
-        ▼
+        │  (one worker thread per shard; ShardSupervisor watchdog
+        ▼   restarts dead workers, trips per-shard circuit breakers)
+    validate ──reject──▶ DeadLetterQueue    ← malformed / non-monotonic
+        │
     OnlineSessionTracker  ──closed──▶  MicroBatcher  ──batch──▶
     RealTimeMonitor.diagnose_records      (health, alarms, callbacks)
                           ▲
@@ -25,7 +28,19 @@ subscribers never span shards, per-subscriber entry order is preserved
 by the FIFO queues, session ids are per-subscriber (tracker), batching
 cannot change per-row forest outputs, and each shard reuses the serial
 monitor's own diagnosis/alarm code.  Only the interleaving *across*
-subscribers differs.
+subscribers differs.  Supervision does not perturb this: a fault-free
+run never restarts anything, and the watchdog only reads state.
+
+**Failure.**  A dead shard worker is detected by the supervisor's
+watchdog (not at drain time), restarted up to ``max_restarts`` times
+with exponential backoff — the replacement inherits the shard's queue
+backlog and tracker state — and past the budget the shard's circuit
+breaker opens: ``submit`` rejects its traffic, its backlog is
+quarantined in the :class:`~repro.serving.dlq.DeadLetterQueue`, and
+the service degrades instead of crashing.  Malformed records
+(:class:`~repro.capture.weblog.MalformedRecordError`) are quarantined
+per record.  All of it is visible in :meth:`health` and the
+``repro_serving_*`` metric families.
 
 **Lifecycle.**  ``start()`` → ``running`` → ``drain()`` (stop intake,
 process everything queued, force-close open sessions, final alarm
@@ -37,7 +52,7 @@ suitable for a ``/healthz`` endpoint.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
 
 from repro.capture.weblog import WeblogEntry
 from repro.core.framework import QoEFramework, SessionDiagnosis
@@ -45,9 +60,14 @@ from repro.obs import get_logger, get_registry, trace
 from repro.realtime.monitor import Alarm, SubscriberHealth
 
 from .batcher import MicroBatcher
+from .dlq import DeadLetterQueue
 from .models import ModelManager
 from .queue import BoundedQueue
 from .shard import ShardWorker, shard_index
+from .supervisor import ShardSupervisor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.faults import FaultInjector
 
 __all__ = ["QoEService"]
 
@@ -65,6 +85,10 @@ _STATE = _REG.gauge(
 _DRAIN_SECONDS = _REG.histogram(
     "repro_serving_drain_seconds",
     "Wall-clock duration of QoEService.drain() calls.",
+)
+_REJECTED = _REG.counter(
+    "repro_serving_rejected_total",
+    "Submits refused because the target shard's circuit breaker is open.",
 )
 
 
@@ -92,6 +116,19 @@ class QoEService:
     on_diagnosis, on_alarm:
         Callbacks, forwarded to every shard's monitor (error-isolated
         there).  Note they run on shard threads.
+    max_restarts, restart_backoff_s, supervisor_poll_s, heartbeat_timeout_s:
+        Supervision policy (see
+        :class:`~repro.serving.supervisor.ShardSupervisor`).
+    dead_letter_capacity:
+        Bound on quarantined records retained for inspection.
+    clock_skew_tolerance_s:
+        Per-subscriber timestamp regression the shards tolerate before
+        quarantining the record as a skewed-clock artifact.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` — installs the
+        chaos plan's worker-kill hook on every shard and its reload
+        gate on the model manager.  ``None`` (production) adds a single
+        ``is None`` branch per entry.
     """
 
     def __init__(
@@ -109,16 +146,28 @@ class QoEService:
         min_sessions_for_ratio: int = 5,
         on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
         on_alarm: Optional[Callable[[Alarm], None]] = None,
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.05,
+        supervisor_poll_s: float = 0.02,
+        heartbeat_timeout_s: float = 5.0,
+        dead_letter_capacity: int = 1024,
+        clock_skew_tolerance_s: float = 5.0,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self.models = (
             models if isinstance(models, ModelManager) else ModelManager(models)
         )
+        self.faults = faults
+        if faults is not None:
+            self.models.fault_gate = faults.reload_gate
         self.n_shards = n_shards
         self.state = "created"
         self.submitted = 0
         self.shed = 0
+        self.rejected = 0
+        self.dead_letters = DeadLetterQueue(capacity=dead_letter_capacity)
         self._shards: List[ShardWorker] = [
             ShardWorker(
                 index=i,
@@ -134,20 +183,32 @@ class QoEService:
                 min_sessions_for_ratio=min_sessions_for_ratio,
                 on_diagnosis=on_diagnosis,
                 on_alarm=on_alarm,
+                dead_letters=self.dead_letters,
+                clock_skew_tolerance_s=clock_skew_tolerance_s,
+                fault_hook=faults.shard_fault_hook if faults is not None else None,
             )
             for i in range(n_shards)
         ]
+        self.supervisor = ShardSupervisor(
+            self._shards,
+            self.dead_letters,
+            max_restarts=max_restarts,
+            backoff_base_s=restart_backoff_s,
+            poll_interval_s=supervisor_poll_s,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def start(self) -> "QoEService":
-        """Spin up the shard workers; the service becomes ready."""
+        """Spin up the shard workers and their watchdog; become ready."""
         if self.state != "created":
             raise RuntimeError(f"cannot start a {self.state} service")
         for shard in self._shards:
             shard.start()
+        self.supervisor.start()
         self.state = "running"
         _SHARDS.set(self.n_shards)
         _STATE.set(1)
@@ -162,15 +223,23 @@ class QoEService:
         """Route one entry to its subscriber's shard.
 
         Returns ``False`` if the entry was shed by backpressure
-        (``shed_newest`` policy); ``True`` otherwise.  ``drop_oldest``
-        admissions return ``True`` even when they evicted — the loss is
-        visible in the queue's drop counter.
+        (``shed_newest`` policy) or *rejected* because the target
+        shard's circuit breaker is open (a dead, non-restartable shard
+        must not accumulate a queue nobody will ever drain); ``True``
+        otherwise.  ``drop_oldest`` admissions return ``True`` even
+        when they evicted — the loss is visible in the queue's drop
+        counter.  A shard that is dead but still within its restart
+        budget keeps accepting: its queue survives the restart.
         """
         if self.state != "running":
             raise RuntimeError(f"cannot submit to a {self.state} service")
-        shard = self._shards[shard_index(entry.subscriber_id, self.n_shards)]
-        accepted = shard.queue.put(entry)
+        index = shard_index(entry.subscriber_id, self.n_shards)
         self.submitted += 1
+        if self.supervisor.circuit_open(index):
+            self.rejected += 1
+            _REJECTED.inc()
+            return False
+        accepted = self._shards[index].queue.put(entry)
         if not accepted:
             self.shed += 1
         return accepted
@@ -186,11 +255,16 @@ class QoEService:
         """Graceful shutdown: flush every shard, join every worker.
 
         Closes the ingest queues (queued entries are still processed),
-        waits for each worker to force-close its open sessions,
-        diagnose its final batches and run the final alarm sweep, then
-        returns *all* diagnoses the service ever produced.  A worker
-        that died with an exception re-raises it here rather than
-        silently truncating results.
+        then lets the supervisor finish its job synchronously: a shard
+        found dead mid-restart is revived immediately (no backoff —
+        intake has ceased) so its backlog still drains; a shard that
+        exhausts its restart budget trips its circuit breaker and its
+        backlog is quarantined in the dead-letter queue.  Each
+        surviving worker force-closes its open sessions, diagnoses its
+        final batches and runs the final alarm sweep.  Returns *all*
+        diagnoses the service ever produced.  Supervised failures
+        never raise here — they degrade :meth:`health` instead of
+        crashing the caller.
         """
         if self.state == "stopped":
             return self.diagnoses
@@ -199,25 +273,27 @@ class QoEService:
         self.state = "draining"
         started = time.perf_counter()
         with trace("serving.drain") as span:
+            self.supervisor.stop()
             for shard in self._shards:
                 shard.queue.close()
+            self.supervisor.ensure_drained()
             for shard in self._shards:
-                shard.join()
+                if not self.supervisor.circuit_open(shard.index):
+                    shard.join()
             span.add("diagnoses", sum(len(s.diagnoses) for s in self._shards))
         self.state = "stopped"
         _STATE.set(0)
         _SHARDS.set(0)
         _DRAIN_SECONDS.observe(time.perf_counter() - started)
-        for shard in self._shards:
-            if shard.error is not None:
-                raise RuntimeError(
-                    f"shard {shard.index} failed during serving"
-                ) from shard.error
         _LOG.info(
             "service_drained",
             diagnoses=len(self.diagnoses),
             alarms=len(self.alarms),
             shed=self.shed,
+            rejected=self.rejected,
+            restarts=self.supervisor.total_restarts,
+            dead_letter=self.dead_letters.quarantined,
+            degraded=self.degraded,
         )
         return self.diagnoses
 
@@ -271,8 +347,18 @@ class QoEService:
 
     @property
     def ready(self) -> bool:
-        """True while the service accepts traffic."""
-        return self.state == "running" and all(s.alive for s in self._shards)
+        """True while the service accepts traffic on every shard.
+
+        A shard that is dead but restartable does not clear readiness —
+        its queue keeps buffering and the supervisor is already on it;
+        an open circuit does (that partition of subscribers is refused).
+        """
+        return self.state == "running" and not self.supervisor.open_circuits
+
+    @property
+    def degraded(self) -> bool:
+        """True once any shard is non-restartable or wedged."""
+        return self.supervisor.degraded
 
     def health(self) -> Dict:
         """Liveness/readiness snapshot (shape suitable for ``/healthz``).
@@ -284,17 +370,26 @@ class QoEService:
         return {
             "state": self.state,
             "ready": self.ready,
+            "degraded": self.degraded,
             "model_version": self.models.version,
             "model_reloadable": self.models.reloadable,
             "submitted": self.submitted,
             "shed": self.shed,
+            "rejected": self.rejected,
+            "restarts": self.supervisor.total_restarts,
+            "dead_letter": self.dead_letters.snapshot(),
             "shards": [
                 {
                     "index": shard.index,
                     "alive": shard.alive,
+                    "state": shard.state,
+                    "restarts": shard.restarts,
+                    "circuit_open": self.supervisor.circuit_open(shard.index),
+                    "stalled": shard.index in self.supervisor.stalled_shards,
                     "queue_depth": shard.queue.depth,
                     "queue_dropped": shard.queue.dropped,
                     "entries_processed": shard.entries_processed,
+                    "quarantined": shard.quarantined,
                     "open_sessions": shard.monitor.tracker.open_sessions,
                     "pending_batch": shard.batcher.pending,
                     "diagnoses": len(shard.diagnoses),

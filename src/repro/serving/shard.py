@@ -8,7 +8,8 @@ partition key.  :func:`shard_index` hash-partitions subscribers over N
 shards (a *stable* hash: ``zlib.crc32``, not Python's salted ``hash``)
 and :class:`ShardWorker` runs one shard:
 
-    ingest queue → OnlineSessionTracker → MicroBatcher →
+    ingest queue → validate (reject → dead-letter) →
+    OnlineSessionTracker → MicroBatcher →
     RealTimeMonitor.diagnose_records (health, alarms, callbacks)
 
 Each worker owns its own tracker, batcher and
@@ -21,21 +22,38 @@ would, merely interleaved differently across subscribers (the
 The model is resolved from the :class:`~repro.serving.models.ModelManager`
 once per batch, so a hot-reload takes effect at the next batch
 boundary and no batch ever mixes model versions.
+
+**Failure model.**  The worker is *restartable*: its queue, tracker,
+batcher and monitor are plain state owned by this object, and the
+thread is a replaceable execution vehicle.  When the run loop dies
+(a bug — or an :class:`~repro.faults.injector.InjectedFault` from a
+chaos plan), the worker lands in the ``failed`` state with the
+exception preserved; :meth:`restart` mounts a fresh thread over the
+same state and queue, losing at most the single in-flight entry.
+A per-iteration heartbeat lets the
+:class:`~repro.serving.supervisor.ShardSupervisor` distinguish dead
+(restart) from wedged (flag) without waiting for drain.  Malformed
+records never reach that path at all: they fail
+:meth:`~repro.capture.weblog.WeblogEntry.validate` (or the
+per-subscriber clock-monotonicity guard) and are quarantined in the
+:class:`~repro.serving.dlq.DeadLetterQueue` instead.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import zlib
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
-from repro.capture.weblog import WeblogEntry
+from repro.capture.weblog import MalformedRecordError, WeblogEntry
 from repro.core.framework import SessionDiagnosis
 from repro.obs import get_logger, get_registry
 from repro.realtime.monitor import Alarm, RealTimeMonitor
 from repro.realtime.tracker import OnlineSessionTracker
 
 from .batcher import MicroBatcher
+from .dlq import DeadLetterQueue
 from .models import ModelManager
 from .queue import BoundedQueue, QueueClosed, QueueEmpty
 
@@ -72,6 +90,18 @@ class ShardWorker:
 
     Not constructed directly in normal use —
     :class:`~repro.serving.service.QoEService` builds one per shard.
+
+    Parameters beyond the PR-3 set
+    ------------------------------
+    dead_letters:
+        Shared :class:`DeadLetterQueue` for rejected records (a private
+        one is created when omitted, for standalone use in tests).
+    clock_skew_tolerance_s:
+        How far a subscriber's timestamps may regress before the entry
+        is treated as a skewed-clock artifact and quarantined.
+    fault_hook:
+        Chaos-plan hook called with ``(shard_index, entry, picked_up)``
+        for every dequeued entry; may raise to kill this worker.
     """
 
     def __init__(
@@ -87,7 +117,12 @@ class ShardWorker:
         min_sessions_for_ratio: int = 5,
         on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
         on_alarm: Optional[Callable[[Alarm], None]] = None,
+        dead_letters: Optional[DeadLetterQueue] = None,
+        clock_skew_tolerance_s: float = 5.0,
+        fault_hook: Optional[Callable[[int, WeblogEntry, int], None]] = None,
     ) -> None:
+        if clock_skew_tolerance_s < 0:
+            raise ValueError("clock_skew_tolerance_s must be >= 0")
         self.index = index
         self.queue = queue
         self.batcher = batcher
@@ -103,8 +138,24 @@ class ShardWorker:
             on_diagnosis=on_diagnosis,
             on_alarm=on_alarm,
         )
+        self.dead_letters = (
+            dead_letters if dead_letters is not None else DeadLetterQueue()
+        )
+        self.clock_skew_tolerance_s = clock_skew_tolerance_s
+        self.fault_hook = fault_hook
         self.entries_processed = 0
+        self.quarantined = 0
+        self.restarts = 0
         self.error: Optional[BaseException] = None
+        #: created → running → stopped (clean exit) | failed (exception).
+        #: Written only by the worker thread / restart(); read by the
+        #: supervisor and health snapshots.
+        self.state = "created"
+        #: Monotonic timestamp of the last run-loop iteration; the
+        #: supervisor's watchdog compares it against its staleness bound.
+        self.heartbeat_s = 0.0
+        #: Per-subscriber high-water timestamp for the monotonicity guard.
+        self._last_ts: Dict[str, float] = {}
         self._entries_counter = _ENTRIES.labels(shard=str(index))
         self._thread = threading.Thread(
             target=self._run, name=f"repro-shard-{index}", daemon=True
@@ -124,7 +175,37 @@ class ShardWorker:
     def alive(self) -> bool:
         return self._thread.is_alive()
 
+    def heartbeat_age_s(self, now: Optional[float] = None) -> float:
+        """Seconds since the run loop last iterated (0 before start)."""
+        if self.heartbeat_s == 0.0:
+            return 0.0
+        now = time.monotonic() if now is None else now
+        return max(0.0, now - self.heartbeat_s)
+
     def start(self) -> None:
+        self.state = "running"
+        self.heartbeat_s = time.monotonic()
+        self._thread.start()
+
+    def restart(self) -> None:
+        """Mount a fresh thread over the surviving shard state.
+
+        The queue (with everything still buffered), tracker, batcher,
+        monitor, health rollups and the monotonicity watermark all
+        carry over; only the entry that was in flight when the previous
+        thread died is lost (at-most-once across a crash boundary).
+        """
+        if self._thread.is_alive():
+            raise RuntimeError(f"shard {self.index} is alive; cannot restart")
+        self.error = None
+        self.restarts += 1
+        self.state = "running"
+        self.heartbeat_s = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-shard-{self.index}-r{self.restarts}",
+            daemon=True,
+        )
         self._thread.start()
 
     def join(self, timeout: Optional[float] = None) -> None:
@@ -140,6 +221,34 @@ class ShardWorker:
         self.monitor.framework = self._models.current
         self.monitor.diagnose_records(batch)
 
+    def _dead_letter(self, entry: WeblogEntry, reason: str, detail: str) -> None:
+        self.quarantined += 1
+        self.dead_letters.put(entry, reason, self.index, detail)
+
+    def _admit(self, entry: WeblogEntry) -> None:
+        """Validate one entry; raises :class:`MalformedRecordError`.
+
+        Field validation re-runs here (not just at construction)
+        because a replay/capture path can hand over records that never
+        went through ``__init__`` — which is exactly how garbled
+        collector output arrives.  The monotonicity guard then rejects
+        timestamps that regress beyond the skew tolerance: a
+        backwards-jumping clock would otherwise fold entries into the
+        wrong session or fake an idle gap.
+        """
+        entry.validate()
+        last = self._last_ts.get(entry.subscriber_id)
+        if last is not None and entry.timestamp_s < last - self.clock_skew_tolerance_s:
+            error = MalformedRecordError(
+                f"timestamp regressed {last - entry.timestamp_s:.1f}s for "
+                f"subscriber {entry.subscriber_id} (tolerance "
+                f"{self.clock_skew_tolerance_s:g}s)"
+            )
+            error.reason = "non_monotonic"
+            raise error
+        if last is None or entry.timestamp_s > last:
+            self._last_ts[entry.subscriber_id] = entry.timestamp_s
+
     def _step(self) -> bool:
         """Process one queue item or one deadline; False once closed+drained."""
         until_due = self.batcher.seconds_until_due()
@@ -153,11 +262,22 @@ class ShardWorker:
             return False
         self.entries_processed += 1
         self._entries_counter.inc()
+        if self.fault_hook is not None:
+            self.fault_hook(self.index, entry, self.entries_processed)
+        try:
+            self._admit(entry)
+        except MalformedRecordError as exc:
+            self._dead_letter(entry, self._reject_reason(exc), str(exc))
+            return True
         closed = self.monitor.tracker.observe(entry)
         for batch in self.batcher.add(closed):
             self._diagnose(batch)
         self._diagnose(self.batcher.take_due())
         return True
+
+    @staticmethod
+    def _reject_reason(exc: MalformedRecordError) -> str:
+        return getattr(exc, "reason", "malformed")
 
     def _shutdown(self) -> None:
         """Drain path: flush the batcher and the tracker, final alarm sweep.
@@ -174,8 +294,10 @@ class ShardWorker:
     def _run(self) -> None:
         try:
             while self._step():
-                pass
+                self.heartbeat_s = time.monotonic()
             self._shutdown()
-        except BaseException as exc:  # pragma: no cover - defensive
+            self.state = "stopped"
+        except BaseException as exc:
             self.error = exc
+            self.state = "failed"
             _LOG.exception("shard_worker_failed", shard=self.index)

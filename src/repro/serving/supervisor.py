@@ -1,0 +1,314 @@
+"""Shard supervision: watchdog, bounded restarts, circuit breaker.
+
+Before this module existed a shard-thread exception was invisible
+until ``drain()``: the queue kept filling, nobody consumed it, and the
+service found out at shutdown.  The supervisor closes that gap with a
+small state machine per shard::
+
+    running ──exception──► failed ──restart (≤ max_restarts,────► running
+       │                     │      exponential backoff)
+       │                     └─budget exhausted─► circuit OPEN
+       └──heartbeat stale──► stalled flag (observable; threads
+                             cannot be killed, only reported)
+
+* **Watchdog.**  A daemon thread polls every ``poll_interval_s``:
+  thread liveness (``Thread.is_alive``) catches death promptly, the
+  per-iteration heartbeat catches a *wedged* worker (e.g. blocked in a
+  subscriber callback) that is technically alive.
+* **Restart.**  :meth:`ShardWorker.restart` mounts a fresh thread over
+  the surviving shard state — same queue (with its backlog), tracker,
+  batcher, monitor — so a restart re-homes the shard's entire pending
+  workload and loses at most one in-flight entry.  Attempts are spaced
+  by exponential backoff so a crash-looping shard cannot spin the CPU.
+* **Circuit breaker.**  After ``max_restarts`` failed revivals the
+  shard's circuit opens: the service stops routing to it
+  (``submit`` rejects), everything still queued is quarantined in the
+  dead-letter queue (reason ``circuit_open``), and the service reports
+  itself *degraded* instead of crashing — the paper's operator-network
+  setting wants a monitor that limps, not one that takes the tap down.
+
+All transitions are observable: ``repro_serving_shard_restarts_total``,
+``repro_serving_circuit_open{shard}``, ``repro_serving_shard_stalled``
+and the per-shard block of :meth:`QoEService.health`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Sequence, Set
+
+from repro.obs import get_logger, get_registry
+
+from .dlq import DeadLetterQueue
+from .shard import ShardWorker
+
+__all__ = ["ShardSupervisor"]
+
+_LOG = get_logger("serving.supervisor")
+
+_REG = get_registry()
+_RESTARTS = _REG.counter(
+    "repro_serving_shard_restarts_total",
+    "Shard workers restarted by the supervisor, by shard.",
+    labelnames=("shard",),
+)
+_CIRCUIT = _REG.gauge(
+    "repro_serving_circuit_open",
+    "1 while a shard's circuit breaker is open (non-restartable).",
+    labelnames=("shard",),
+)
+_STALLED = _REG.gauge(
+    "repro_serving_shard_stalled",
+    "Shards whose heartbeat exceeded the watchdog staleness bound.",
+)
+
+
+class ShardSupervisor:
+    """Watchdog over a fixed set of :class:`ShardWorker` objects.
+
+    Parameters
+    ----------
+    shards:
+        The workers to supervise (owned by the :class:`QoEService`).
+    dead_letters:
+        Where a broken shard's queued entries are quarantined.
+    max_restarts:
+        Restart budget *per shard*; the budget spent, the circuit
+        opens.  ``0`` disables restarts (first failure trips the
+        breaker).
+    backoff_base_s, backoff_factor, backoff_max_s:
+        Restart *n* of a shard waits
+        ``min(base * factor**(n-1), max)`` after the failure was seen.
+    poll_interval_s:
+        Watchdog cadence.
+    heartbeat_timeout_s:
+        Heartbeat staleness beyond which a live worker is flagged
+        stalled.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[ShardWorker],
+        dead_letters: DeadLetterQueue,
+        max_restarts: int = 3,
+        backoff_base_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_max_s: float = 2.0,
+        poll_interval_s: float = 0.02,
+        heartbeat_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        if heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+        self._shards = list(shards)
+        self._dlq = dead_letters
+        self.max_restarts = max_restarts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_factor = backoff_factor
+        self.backoff_max_s = backoff_max_s
+        self.poll_interval_s = poll_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._open_circuits: Set[int] = set()
+        self._stalled: Set[int] = set()
+        #: Shard index → monotonic deadline of its next restart attempt.
+        self._next_attempt: dict = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def circuit_open(self, index: int) -> bool:
+        with self._lock:
+            return index in self._open_circuits
+
+    @property
+    def open_circuits(self) -> List[int]:
+        with self._lock:
+            return sorted(self._open_circuits)
+
+    @property
+    def stalled_shards(self) -> List[int]:
+        with self._lock:
+            return sorted(self._stalled)
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(shard.restarts for shard in self._shards)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any shard is non-restartable or wedged."""
+        with self._lock:
+            return bool(self._open_circuits or self._stalled)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        self._thread = threading.Thread(
+            target=self._watch, name="repro-shard-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the watchdog thread (idempotent).
+
+        Restart authority passes to the caller — ``drain()`` uses
+        :meth:`ensure_drained` for its synchronous final pass.
+        """
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            self._tick()
+
+    # ------------------------------------------------------------------
+    # Supervision logic
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self._clock()
+        with self._lock:
+            for shard in self._shards:
+                if shard.index in self._open_circuits:
+                    continue
+                if shard.state == "failed":
+                    self._handle_failed(shard, now, honour_backoff=True)
+                elif shard.state == "running" and shard.alive:
+                    self._check_heartbeat(shard, now)
+
+    def _handle_failed(
+        self, shard: ShardWorker, now: float, honour_backoff: bool
+    ) -> None:
+        # Caller holds the lock.
+        if shard.restarts >= self.max_restarts:
+            self._trip_circuit(shard)
+            return
+        deadline = self._next_attempt.get(shard.index)
+        if deadline is None:
+            delay = min(
+                self.backoff_base_s * self.backoff_factor ** shard.restarts,
+                self.backoff_max_s,
+            )
+            self._next_attempt[shard.index] = now + delay
+            _LOG.warning(
+                "shard_failure_detected",
+                shard=shard.index,
+                error=repr(shard.error),
+                restart_in_s=round(delay, 3),
+                restarts_used=shard.restarts,
+                max_restarts=self.max_restarts,
+            )
+            if not honour_backoff:
+                self._restart(shard)
+            return
+        if not honour_backoff or now >= deadline:
+            self._restart(shard)
+
+    def _restart(self, shard: ShardWorker) -> None:
+        # Caller holds the lock.
+        self._next_attempt.pop(shard.index, None)
+        shard.restart()
+        _RESTARTS.labels(shard=str(shard.index)).inc()
+        _LOG.info(
+            "shard_restarted",
+            shard=shard.index,
+            restart=shard.restarts,
+            queue_depth=shard.queue.depth,
+        )
+
+    def _trip_circuit(self, shard: ShardWorker) -> None:
+        # Caller holds the lock.
+        if shard.index in self._open_circuits:
+            return
+        self._open_circuits.add(shard.index)
+        self._next_attempt.pop(shard.index, None)
+        _CIRCUIT.labels(shard=str(shard.index)).set(1)
+        abandoned = shard.queue.drain_remaining()
+        for entry in abandoned:
+            self._dlq.put(
+                entry,
+                "circuit_open",
+                shard.index,
+                f"restart budget ({self.max_restarts}) exhausted",
+            )
+        _LOG.error(
+            "shard_circuit_open",
+            shard=shard.index,
+            restarts=shard.restarts,
+            quarantined=len(abandoned),
+            error=repr(shard.error),
+        )
+
+    def _check_heartbeat(self, shard: ShardWorker, now: float) -> None:
+        # Caller holds the lock.
+        stale = shard.heartbeat_age_s(now) > self.heartbeat_timeout_s
+        if stale and shard.index not in self._stalled:
+            self._stalled.add(shard.index)
+            _STALLED.set(len(self._stalled))
+            _LOG.error(
+                "shard_stalled",
+                shard=shard.index,
+                heartbeat_age_s=round(shard.heartbeat_age_s(now), 2),
+            )
+        elif not stale and shard.index in self._stalled:
+            self._stalled.discard(shard.index)
+            _STALLED.set(len(self._stalled))
+            _LOG.info("shard_recovered_from_stall", shard=shard.index)
+
+    # ------------------------------------------------------------------
+    # Drain support
+    # ------------------------------------------------------------------
+
+    def ensure_drained(self, timeout_s: float = 60.0) -> None:
+        """Synchronous final pass: every shard ends stopped or broken.
+
+        Called by ``QoEService.drain()`` *after* :meth:`stop` and after
+        the ingest queues are closed.  A shard found dead mid-restart
+        (or failing again while flushing) is restarted immediately —
+        backoff is pointless once intake has ceased — until its budget
+        runs out, at which point its circuit opens and its backlog is
+        quarantined.  Returns once no shard is running, or after
+        ``timeout_s`` (workers are daemon threads; a wedged one cannot
+        block shutdown forever).
+        """
+        deadline = self._clock() + timeout_s
+        while self._clock() < deadline:
+            pending = False
+            with self._lock:
+                for shard in self._shards:
+                    if shard.index in self._open_circuits:
+                        continue
+                    if shard.state == "failed":
+                        self._handle_failed(
+                            shard, self._clock(), honour_backoff=False
+                        )
+                        pending = True
+                    elif shard.alive:
+                        pending = True
+            if not pending:
+                return
+            time.sleep(self.poll_interval_s)
+        with self._lock:
+            still_running = [s.index for s in self._shards if s.alive]
+        if still_running:
+            _LOG.error(
+                "drain_timeout", shards=still_running, timeout_s=timeout_s
+            )

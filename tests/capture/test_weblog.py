@@ -1,0 +1,98 @@
+"""Unit tests for WeblogEntry validation (MalformedRecordError)."""
+
+import math
+
+import pytest
+
+from repro.capture.weblog import MalformedRecordError, WeblogEntry
+
+from tests.faults.conftest import make_entry
+
+
+class TestValidEntries:
+    def test_valid_entry_constructs(self):
+        entry = make_entry()
+        assert entry.arrival_s == entry.timestamp_s + entry.transaction_s
+        assert entry.chunk_size == entry.object_bytes
+
+    def test_zero_metrics_are_valid(self):
+        # idle links legitimately report zeros everywhere
+        make_entry(
+            object_bytes=0,
+            transaction_s=0.0,
+            rtt_min_ms=0.0,
+            rtt_avg_ms=0.0,
+            rtt_max_ms=0.0,
+            bdp_bytes=0.0,
+            bif_avg_bytes=0.0,
+            bif_max_bytes=0.0,
+            loss_pct=0.0,
+            retx_pct=0.0,
+        )
+
+
+class TestConstructionRejects:
+    def test_empty_subscriber(self):
+        with pytest.raises(MalformedRecordError, match="subscriber_id"):
+            make_entry(subscriber="")
+
+    def test_nan_timestamp(self):
+        with pytest.raises(MalformedRecordError, match="timestamp"):
+            make_entry(timestamp=float("nan"))
+
+    def test_infinite_timestamp(self):
+        with pytest.raises(MalformedRecordError, match="timestamp"):
+            make_entry(timestamp=math.inf)
+
+    def test_negative_object_size(self):
+        with pytest.raises(MalformedRecordError, match="object size"):
+            make_entry(object_bytes=-1)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "transaction_s",
+            "rtt_min_ms",
+            "rtt_avg_ms",
+            "rtt_max_ms",
+            "bdp_bytes",
+            "bif_avg_bytes",
+            "bif_max_bytes",
+            "loss_pct",
+            "retx_pct",
+        ],
+    )
+    def test_metric_fields_must_be_finite_and_non_negative(self, field):
+        with pytest.raises(MalformedRecordError, match=field):
+            make_entry(**{field: float("nan")})
+        with pytest.raises(MalformedRecordError, match=field):
+            make_entry(**{field: -1.0})
+
+    def test_encrypted_entry_cannot_carry_uri(self):
+        with pytest.raises(MalformedRecordError, match="URI"):
+            make_entry(encrypted=True, uri="/watch?v=x")
+
+    def test_error_is_a_value_error(self):
+        # backward compatibility: pre-existing except ValueError blocks
+        with pytest.raises(ValueError):
+            make_entry(object_bytes=-1)
+
+
+class TestBypassedInstances:
+    """Records built past __init__ (deserialisation, fault injection)
+    must still be catchable through an explicit validate() call."""
+
+    def _bypass(self, **overrides):
+        good = make_entry()
+        clone = object.__new__(WeblogEntry)
+        clone.__dict__.update(good.__dict__)
+        clone.__dict__.update(overrides)
+        return clone
+
+    def test_bypassed_garbage_caught_by_validate(self):
+        bad = self._bypass(timestamp_s=float("nan"))
+        with pytest.raises(MalformedRecordError):
+            bad.validate()
+
+    def test_bypassed_valid_clone_passes(self):
+        self._bypass().validate()

@@ -1,0 +1,40 @@
+"""Shared helpers for the fault-injection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capture.weblog import WeblogEntry
+
+
+def make_entry(subscriber="sub-a", timestamp=100.0, **overrides):
+    """A minimal valid encrypted weblog entry."""
+    defaults = dict(
+        subscriber_id=subscriber,
+        timestamp_s=timestamp,
+        server_name="r1---sn-abc.googlevideo.com",
+        server_ip="10.0.0.1",
+        server_port=443,
+        object_bytes=500_000,
+        transaction_s=0.5,
+        rtt_min_ms=10.0,
+        rtt_avg_ms=20.0,
+        rtt_max_ms=30.0,
+        bdp_bytes=1000.0,
+        bif_avg_bytes=500.0,
+        bif_max_bytes=900.0,
+        loss_pct=0.1,
+        retx_pct=0.05,
+        encrypted=True,
+    )
+    defaults.update(overrides)
+    return WeblogEntry(**defaults)
+
+
+@pytest.fixture
+def small_trace():
+    """60 valid entries over 6 subscribers, time-ordered."""
+    return [
+        make_entry(subscriber=f"sub-{i % 6}", timestamp=100.0 + i)
+        for i in range(60)
+    ]

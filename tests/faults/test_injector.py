@@ -1,0 +1,151 @@
+"""Unit tests for FaultInjector: determinism, record faults, hooks."""
+
+import pytest
+
+from repro.capture.weblog import MalformedRecordError
+from repro.faults import FaultInjector, FaultPlan, InjectedFault
+
+from tests.faults.conftest import make_entry
+
+
+def _key(entry):
+    # repr() so NaN (a corruption mode) compares equal to itself
+    return (entry.subscriber_id, repr(entry.timestamp_s), entry.object_bytes)
+
+
+class TestNoopPlan:
+    def test_trace_passes_through_same_objects(self, small_trace):
+        injector = FaultInjector(FaultPlan())
+        out = injector.plan_trace(small_trace)
+        assert out == small_trace
+        assert all(a is b for a, b in zip(out, small_trace))
+        assert injector.injections == []
+        assert injector.affected_subscribers == set()
+
+    def test_kill_only_plan_leaves_records_alone(self, small_trace):
+        # Worker kills are not record faults; the trace is untouched.
+        injector = FaultInjector(FaultPlan(kill_shard=0))
+        out = injector.plan_trace(small_trace)
+        assert all(a is b for a, b in zip(out, small_trace))
+
+
+class TestDeterminism:
+    def test_equal_plans_inject_equal_faults(self, small_trace):
+        plan = FaultPlan(
+            seed=11,
+            corrupt_fraction=0.1,
+            drop_fraction=0.05,
+            duplicate_fraction=0.05,
+            skew_fraction=0.05,
+        )
+        one = FaultInjector(plan)
+        two = FaultInjector(plan)
+        assert list(map(_key, one.plan_trace(small_trace))) == list(
+            map(_key, two.plan_trace(small_trace))
+        )
+        assert one.injections == two.injections
+
+    def test_different_seeds_differ(self, small_trace):
+        plan = FaultPlan(seed=1, corrupt_fraction=0.2)
+        other = FaultPlan(seed=2, corrupt_fraction=0.2)
+        one = FaultInjector(plan).plan_trace(small_trace)
+        two = FaultInjector(other).plan_trace(small_trace)
+        assert list(map(_key, one)) != list(map(_key, two))
+
+
+class TestRecordFaults:
+    def test_corrupted_records_fail_validation(self, small_trace):
+        injector = FaultInjector(FaultPlan(seed=5, corrupt_fraction=0.3))
+        out = injector.plan_trace(small_trace)
+        corrupted = [i for i in injector.injections if i.kind == "corrupt"]
+        assert corrupted
+        bad = 0
+        for entry in out:
+            try:
+                entry.validate()
+            except MalformedRecordError:
+                bad += 1
+        assert bad == len(corrupted)
+        assert {i.subscriber_id for i in corrupted} <= injector.affected_subscribers
+
+    def test_drop_shrinks_and_duplicate_grows(self, small_trace):
+        dropped = FaultInjector(FaultPlan(seed=5, drop_fraction=0.5))
+        assert len(dropped.plan_trace(small_trace)) < len(small_trace)
+        doubled = FaultInjector(FaultPlan(seed=5, duplicate_fraction=0.5))
+        assert len(doubled.plan_trace(small_trace)) > len(small_trace)
+
+    def test_skew_moves_timestamps_backwards(self, small_trace):
+        # skew larger than the whole trace span, so every skewed
+        # timestamp lands strictly before the trace start
+        injector = FaultInjector(
+            FaultPlan(seed=5, skew_fraction=0.5, skew_s=500.0)
+        )
+        out = injector.plan_trace(small_trace)
+        skewed = [i for i in injector.injections if i.kind == "skew"]
+        assert skewed
+        shifted = sum(1 for e in out if e.timestamp_s < 100.0)
+        assert shifted == len(skewed)
+
+    def test_reorder_marks_only_same_subscriber_swaps(self):
+        # Alternating subscribers: any single adjacent swap crosses
+        # subscribers, which the service is insensitive to — no
+        # injection should be recorded for those.
+        trace = [
+            make_entry(subscriber=f"sub-{i % 2}", timestamp=100.0 + i)
+            for i in range(40)
+        ]
+        injector = FaultInjector(FaultPlan(seed=5, reorder_fraction=0.4))
+        out = injector.plan_trace(trace)
+        assert sorted(map(_key, out)) == sorted(map(_key, trace))
+        for injection in injector.injections:
+            assert injection.kind == "reorder"
+
+
+class TestShardFaultHook:
+    def test_kills_matching_shard_at_entry(self):
+        injector = FaultInjector(FaultPlan(kill_shard=1, kill_at_entry=3))
+        entry = make_entry()
+        # wrong shard: never fires
+        for n in range(1, 10):
+            injector.shard_fault_hook(0, entry, n)
+        # right shard, before the planned index: no fire
+        injector.shard_fault_hook(1, entry, 2)
+        with pytest.raises(InjectedFault):
+            injector.shard_fault_hook(1, entry, 3)
+        assert injector.kills_fired == 1
+        assert entry.subscriber_id in injector.affected_subscribers
+
+    def test_kill_budget_respected(self):
+        injector = FaultInjector(
+            FaultPlan(kill_shard=0, kill_at_entry=1, kill_times=2)
+        )
+        entry = make_entry()
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.shard_fault_hook(0, entry, 5)
+        # budget spent: the shard lives from here on
+        injector.shard_fault_hook(0, entry, 6)
+        assert injector.kills_fired == 2
+
+
+class TestReloadGate:
+    def test_fails_planned_number_of_times(self):
+        injector = FaultInjector(FaultPlan(reload_failures=2))
+        for _ in range(2):
+            with pytest.raises(OSError):
+                injector.reload_gate()
+        injector.reload_gate()  # third call passes
+        kinds = [i.kind for i in injector.injections]
+        assert kinds.count("reload_failure") == 2
+
+
+class TestSummary:
+    def test_summary_counts_by_kind(self, small_trace):
+        injector = FaultInjector(FaultPlan(seed=3, corrupt_fraction=0.2))
+        injector.plan_trace(small_trace)
+        summary = injector.summary()
+        assert summary["injected"] == len(injector.injections)
+        assert summary["by_kind"].get("corrupt") == len(injector.injections)
+        assert summary["affected_subscribers"] == len(
+            injector.affected_subscribers
+        )

@@ -1,0 +1,139 @@
+"""Unit tests for FaultPlan: validation, the three spec forms, describe."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+class TestDefaults:
+    def test_default_plan_is_noop(self):
+        assert FaultPlan().is_noop
+
+    def test_parse_none_and_empty_are_noop(self):
+        assert FaultPlan.parse(None).is_noop
+        assert FaultPlan.parse("").is_noop
+        assert FaultPlan.parse("   ").is_noop
+
+    def test_any_knob_defeats_noop(self):
+        assert not FaultPlan(corrupt_fraction=0.1).is_noop
+        assert not FaultPlan(kill_shard=0).is_noop
+        assert not FaultPlan(reload_failures=1).is_noop
+        assert not FaultPlan(reload_delay_s=0.1).is_noop
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "corrupt_fraction",
+            "drop_fraction",
+            "duplicate_fraction",
+            "reorder_fraction",
+            "skew_fraction",
+        ],
+    )
+    def test_fractions_bounded(self, field):
+        with pytest.raises(ValueError, match="must be in"):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ValueError, match="must be in"):
+            FaultPlan(**{field: -0.1})
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(skew_s=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(kill_shard=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(kill_at_entry=0)
+        with pytest.raises(ValueError):
+            FaultPlan(kill_times=0)
+        with pytest.raises(ValueError):
+            FaultPlan(reload_failures=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(reload_delay_s=-0.5)
+
+
+class TestCompactSpec:
+    def test_full_compact_form(self):
+        plan = FaultPlan.parse(
+            "corrupt=0.02,kill_shard=1@100,seed=7,reload_fail=2,"
+            "reload_delay=0.5,kill_times=3,drop=0.01,duplicate=0.03,"
+            "reorder=0.04"
+        )
+        assert plan.corrupt_fraction == 0.02
+        assert plan.kill_shard == 1
+        assert plan.kill_at_entry == 100
+        assert plan.seed == 7
+        assert plan.reload_failures == 2
+        assert plan.reload_delay_s == 0.5
+        assert plan.kill_times == 3
+        assert plan.drop_fraction == 0.01
+        assert plan.duplicate_fraction == 0.03
+        assert plan.reorder_fraction == 0.04
+
+    def test_kill_shard_without_at(self):
+        plan = FaultPlan.parse("kill_shard=2")
+        assert plan.kill_shard == 2
+        assert plan.kill_at_entry == 1
+
+    def test_skew_with_magnitude(self):
+        plan = FaultPlan.parse("skew=0.01:120")
+        assert plan.skew_fraction == 0.01
+        assert plan.skew_s == 120.0
+
+    def test_skew_fraction_only(self):
+        plan = FaultPlan.parse("skew=0.05")
+        assert plan.skew_fraction == 0.05
+        assert plan.skew_s == 120.0  # default magnitude
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultPlan.parse("frobnicate=1")
+
+    def test_bad_value_named_in_error(self):
+        with pytest.raises(ValueError, match="bad value for fault spec key"):
+            FaultPlan.parse("corrupt=lots")
+        with pytest.raises(ValueError, match="kill_shard"):
+            FaultPlan.parse("kill_shard=one")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="expected key=value"):
+            FaultPlan.parse("corrupt")
+
+
+class TestJsonSpec:
+    def test_inline_json(self):
+        plan = FaultPlan.parse('{"corrupt_fraction": 0.02, "kill_shard": 1}')
+        assert plan.corrupt_fraction == 0.02
+        assert plan.kill_shard == 1
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.parse('{"corrupt_fraction": ')
+
+    def test_unknown_json_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan key"):
+            FaultPlan.parse('{"corrupt": 0.02}')
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"drop_fraction": 0.1, "seed": 3}))
+        plan = FaultPlan.parse(str(path))
+        assert plan.drop_fraction == 0.1
+        assert plan.seed == 3
+
+    def test_round_trip_through_dict(self):
+        plan = FaultPlan(corrupt_fraction=0.1, kill_shard=2, kill_times=4)
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestDescribe:
+    def test_noop_description(self):
+        assert FaultPlan().describe() == "no faults"
+
+    def test_describe_names_active_knobs(self):
+        text = FaultPlan.parse("corrupt=0.02,kill_shard=1@100,kill_times=3").describe()
+        assert "corrupt=0.02" in text
+        assert "kill shard 1@100 x3" in text

@@ -1,0 +1,96 @@
+"""Unit tests for retry_with_backoff."""
+
+import pytest
+
+from repro.faults import retry_with_backoff
+
+
+class _Flaky:
+    """Fails the first ``failures`` calls with ``exc``, then returns 42."""
+
+    def __init__(self, failures, exc=OSError):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"transient #{self.calls}")
+        return 42
+
+
+class TestRetryWithBackoff:
+    def test_success_first_try_never_sleeps(self):
+        sleeps = []
+        assert retry_with_backoff(lambda: 7, sleep=sleeps.append) == 7
+        assert sleeps == []
+
+    def test_retries_with_exponential_schedule(self):
+        sleeps = []
+        flaky = _Flaky(2)
+        result = retry_with_backoff(
+            flaky, retries=3, base_delay_s=0.05, factor=2.0, sleep=sleeps.append
+        )
+        assert result == 42
+        assert flaky.calls == 3
+        assert sleeps == [0.05, 0.1]
+
+    def test_delay_capped(self):
+        sleeps = []
+        flaky = _Flaky(4)
+        retry_with_backoff(
+            flaky,
+            retries=4,
+            base_delay_s=1.0,
+            factor=10.0,
+            max_delay_s=2.0,
+            sleep=sleeps.append,
+        )
+        assert sleeps == [1.0, 2.0, 2.0, 2.0]
+
+    def test_budget_exhausted_reraises_last(self):
+        flaky = _Flaky(10)
+        with pytest.raises(OSError, match="transient #3"):
+            retry_with_backoff(flaky, retries=2, sleep=lambda _: None)
+        assert flaky.calls == 3
+
+    def test_non_retryable_propagates_immediately(self):
+        flaky = _Flaky(1, exc=KeyError)
+        with pytest.raises(KeyError):
+            retry_with_backoff(
+                flaky, retries=5, retry_on=(OSError,), sleep=lambda _: None
+            )
+        assert flaky.calls == 1
+
+    def test_zero_retries_is_a_plain_call(self):
+        flaky = _Flaky(1)
+        with pytest.raises(OSError):
+            retry_with_backoff(flaky, retries=0, sleep=lambda _: None)
+        assert flaky.calls == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda: 1, retries=-1)
+
+    def test_on_retry_hook_sees_attempt_and_error(self):
+        seen = []
+        retry_with_backoff(
+            _Flaky(2),
+            retries=2,
+            sleep=lambda _: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(1, "transient #1"), (2, "transient #2")]
+
+    def test_custom_retry_on_tuple(self):
+        flaky = _Flaky(1, exc=ValueError)
+        assert (
+            retry_with_backoff(
+                flaky,
+                retries=1,
+                retry_on=(ValueError, OSError),
+                sleep=lambda _: None,
+            )
+            == 42
+        )

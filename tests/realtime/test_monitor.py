@@ -217,3 +217,31 @@ class TestCallbackIsolation:
         assert len(raised) == 1
         assert raised[0].subscriber_id == "sub-x"
         assert monitor.callback_errors == 0
+
+
+class TestFeedValidation:
+    """feed() re-validates entries before they can touch tracker state —
+    the serial-path counterpart of the serving dead-letter quarantine."""
+
+    def test_malformed_entry_raises_typed_error(self, framework):
+        from repro.capture.weblog import MalformedRecordError, WeblogEntry
+        from tests.faults.conftest import make_entry
+
+        good = make_entry()
+        # build garbage past __init__, the way a replay/deserialisation
+        # path would hand it over
+        bad = object.__new__(WeblogEntry)
+        bad.__dict__.update(good.__dict__)
+        bad.__dict__["timestamp_s"] = float("nan")
+
+        monitor = RealTimeMonitor(framework)
+        with pytest.raises(MalformedRecordError):
+            monitor.feed(bad)
+        # nothing leaked into the tracker
+        assert monitor.tracker.open_sessions == 0
+        assert monitor.diagnoses == []
+
+    def test_malformed_error_is_still_a_value_error(self, framework):
+        from repro.capture.weblog import MalformedRecordError
+
+        assert issubclass(MalformedRecordError, ValueError)

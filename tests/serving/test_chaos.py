@@ -1,0 +1,189 @@
+"""End-to-end chaos acceptance: the ISSUE's headline scenario.
+
+Kill one shard worker mid-replay and corrupt 2% of the records.  The
+service must finish with zero unhandled exceptions, the restart must be
+visible in metrics and health, every malformed record must sit in the
+dead-letter queue — and the sessions of subscribers the chaos plan
+never touched must be diagnosed *bit-identically* to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import get_registry
+from repro.realtime.monitor import RealTimeMonitor
+from repro.realtime.tracker import OnlineSessionTracker
+from repro.serving import (
+    ModelManager,
+    QoEService,
+    TraceReplayer,
+    synthetic_trace,
+)
+from repro.serving.shard import shard_index
+
+from tests.serving.conftest import alarm_multiset, diagnosis_multiset
+
+
+@pytest.fixture(scope="module")
+def chaos_trace():
+    """Same corpus as serving_trace, folded onto 20 subscribers.
+
+    2% corruption on an 8-subscriber fold touches essentially every
+    subscriber (>200 entries each), which would make the
+    untouched-subscriber determinism check vacuous; 20 subscribers
+    leave a verifiable untouched population.
+    """
+    return synthetic_trace(40, seed=17, subscribers=20)
+
+
+def _subscriber(session_id):
+    return session_id.rsplit("/online-", 1)[0]
+
+
+def _filtered(diagnoses, excluded):
+    return diagnosis_multiset(
+        d for d in diagnoses if _subscriber(d.session_id) not in excluded
+    )
+
+
+def _counter_total(snapshot_name):
+    total = 0.0
+    for family in get_registry().collect():
+        if family.name == snapshot_name:
+            for _labels, child in family.samples():
+                total += child.value
+    return total
+
+
+class TestChaosScenario:
+    def test_kill_one_shard_and_corrupt_two_percent(
+        self, serving_framework, chaos_trace
+    ):
+        victim = shard_index(chaos_trace[0].subscriber_id, 4)
+        plan = FaultPlan(
+            seed=23, corrupt_fraction=0.02, kill_shard=victim, kill_at_entry=25
+        )
+        faults = FaultInjector(plan)
+
+        restarts_before = _counter_total("repro_serving_shard_restarts_total")
+        dead_before = _counter_total("repro_serving_dead_letter_total")
+
+        service = QoEService(serving_framework, n_shards=4, faults=faults)
+        service.start()
+        TraceReplayer(service, faults=faults).replay(chaos_trace)
+        diagnoses = service.drain()
+        health = service.health()
+
+        # the kill fired, the supervisor healed, nothing crashed the run
+        assert faults.kills_fired == 1
+        assert health["restarts"] >= 1
+        assert health["shards"][victim]["restarts"] >= 1
+        assert health["state"] == "stopped"
+        assert not service.degraded  # restarted within budget
+        assert service.supervisor.open_circuits == []
+
+        # corruption was quarantined, not crashed on and not diagnosed
+        corrupted = [i for i in faults.injections if i.kind == "corrupt"]
+        assert corrupted, "2% of 1700+ records must corrupt some"
+        assert health["dead_letter"]["quarantined"] == len(corrupted)
+        assert health["dead_letter"]["by_reason"] == {
+            "malformed": len(corrupted)
+        }
+        assert service.dead_letters.quarantined == len(corrupted)
+
+        # both recovery events are visible on the metrics registry
+        assert (
+            _counter_total("repro_serving_shard_restarts_total")
+            - restarts_before
+            >= 1
+        )
+        assert (
+            _counter_total("repro_serving_dead_letter_total") - dead_before
+            == len(corrupted)
+        )
+
+        # determinism under fire: subscribers the plan never touched
+        # diagnose bit-identically to a fault-free serial run
+        serial = RealTimeMonitor(
+            serving_framework, tracker=OnlineSessionTracker()
+        )
+        serial.feed_many(chaos_trace)
+        serial.drain()
+        affected = faults.affected_subscribers
+        assert affected  # the plan did touch someone
+        assert len(affected) < 20  # ...but not everyone
+        untouched_serial = _filtered(serial.diagnoses, affected)
+        assert untouched_serial  # the comparison is not vacuous
+        assert _filtered(diagnoses, affected) == untouched_serial
+
+    def test_noop_plan_is_bit_identical_to_no_fault_layer(
+        self, serving_framework, serving_trace
+    ):
+        """Running with a no-op FaultPlan wired all the way through must
+        equal running with no fault layer at all — the PR-3 baseline."""
+        baseline = QoEService(serving_framework, n_shards=4)
+        baseline.start()
+        TraceReplayer(baseline).replay(serving_trace)
+        baseline_diagnoses = baseline.drain()
+
+        noop = FaultInjector(FaultPlan())
+        wired = QoEService(serving_framework, n_shards=4, faults=noop)
+        wired.start()
+        TraceReplayer(wired, faults=noop).replay(serving_trace)
+        wired_diagnoses = wired.drain()
+
+        assert noop.injections == []
+        assert wired.supervisor.total_restarts == 0
+        assert wired.dead_letters.quarantined == 0
+        assert diagnosis_multiset(wired_diagnoses) == diagnosis_multiset(
+            baseline_diagnoses
+        )
+        assert alarm_multiset(wired.alarms) == alarm_multiset(baseline.alarms)
+
+    def test_skewed_clocks_are_quarantined_as_non_monotonic(
+        self, serving_framework, serving_trace
+    ):
+        """Backwards clock jumps beyond the tolerance must land in the
+        dead-letter queue under their own reason, not corrupt sessions."""
+        faults = FaultInjector(FaultPlan(seed=3, skew_fraction=0.02, skew_s=500.0))
+        service = QoEService(
+            serving_framework, n_shards=4, clock_skew_tolerance_s=5.0,
+            faults=faults,
+        )
+        service.start()
+        TraceReplayer(service, faults=faults).replay(serving_trace)
+        service.drain()
+        by_reason = service.dead_letters.by_reason
+        assert by_reason.get("non_monotonic", 0) > 0
+
+
+class TestReloadResilience:
+    def test_reload_heals_through_transient_failures(
+        self, serving_framework, tmp_path
+    ):
+        from repro.persistence import save_framework
+
+        path = tmp_path / "model.json"
+        save_framework(serving_framework, path)
+        faults = FaultInjector(FaultPlan(reload_failures=2))
+        manager = ModelManager(path, reload_retries=2, retry_base_delay_s=0.001)
+        manager.fault_gate = faults.reload_gate
+        assert manager.reload() is True  # 2 failures absorbed by 2 retries
+        assert manager.version == 2
+
+    def test_reload_fails_closed_past_retry_budget(
+        self, serving_framework, tmp_path
+    ):
+        from repro.persistence import save_framework
+
+        path = tmp_path / "model.json"
+        save_framework(serving_framework, path)
+        faults = FaultInjector(FaultPlan(reload_failures=5))
+        manager = ModelManager(path, reload_retries=1, retry_base_delay_s=0.001)
+        manager.fault_gate = faults.reload_gate
+        before = manager.current
+        assert manager.reload() is False
+        assert manager.current is before  # serving model untouched
+        assert manager.version == 1

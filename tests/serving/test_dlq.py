@@ -1,0 +1,55 @@
+"""Unit tests for the dead-letter quarantine."""
+
+import pytest
+
+from repro.serving import DeadLetterQueue
+
+from tests.faults.conftest import make_entry
+
+
+class TestDeadLetterQueue:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DeadLetterQueue(capacity=0)
+
+    def test_put_records_reason_shard_and_detail(self):
+        dlq = DeadLetterQueue()
+        entry = make_entry(subscriber="sub-bad")
+        letter = dlq.put(entry, "malformed", shard=2, detail="nan timestamp")
+        assert letter.entry is entry
+        assert letter.reason == "malformed"
+        assert letter.shard == 2
+        assert len(dlq) == 1
+        assert dlq.quarantined == 1
+        assert dlq.by_reason == {"malformed": 1}
+        assert dlq.items() == [letter]
+
+    def test_eviction_drops_oldest_keeps_counting(self):
+        dlq = DeadLetterQueue(capacity=3)
+        entries = [make_entry(timestamp=100.0 + i) for i in range(5)]
+        for entry in entries:
+            dlq.put(entry, "malformed", shard=0)
+        assert len(dlq) == 3
+        assert dlq.quarantined == 5
+        assert dlq.evicted == 2
+        held = [letter.entry.timestamp_s for letter in dlq.items()]
+        assert held == [102.0, 103.0, 104.0]  # newest evidence survives
+
+    def test_by_reason_accumulates_independently(self):
+        dlq = DeadLetterQueue()
+        dlq.put(make_entry(), "malformed", shard=0)
+        dlq.put(make_entry(), "non_monotonic", shard=1)
+        dlq.put(make_entry(), "malformed", shard=0)
+        assert dlq.by_reason == {"malformed": 2, "non_monotonic": 1}
+
+    def test_snapshot_shape(self):
+        dlq = DeadLetterQueue(capacity=8)
+        dlq.put(make_entry(), "circuit_open", shard=3)
+        snapshot = dlq.snapshot()
+        assert snapshot == {
+            "depth": 1,
+            "capacity": 8,
+            "quarantined": 1,
+            "evicted": 0,
+            "by_reason": {"circuit_open": 1},
+        }

@@ -1,0 +1,247 @@
+"""Supervision tests: restarts, circuit breaker, shutdown under failure."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.realtime.monitor import RealTimeMonitor
+from repro.realtime.tracker import OnlineSessionTracker
+from repro.serving import (
+    DeadLetterQueue,
+    ModelManager,
+    QoEService,
+    ShardSupervisor,
+)
+from repro.serving.batcher import MicroBatcher
+from repro.serving.queue import BoundedQueue
+from repro.serving.shard import ShardWorker, shard_index
+
+from tests.serving.conftest import diagnosis_multiset
+
+
+def _wait_for(predicate, timeout_s=10.0, interval_s=0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def _single_shard(framework, faults=None, name="t-sup", **kwargs):
+    return ShardWorker(
+        index=0,
+        models=ModelManager(framework),
+        queue=BoundedQueue(4096, name=name),
+        batcher=MicroBatcher(max_batch=8, max_delay_s=0.05),
+        fault_hook=faults.shard_fault_hook if faults is not None else None,
+        **kwargs,
+    )
+
+
+class TestWorkerRestart:
+    def test_restart_resumes_over_surviving_state(
+        self, serving_framework, serving_trace
+    ):
+        """Kill the worker mid-trace; the supervisor-restarted thread
+        drains the same queue and the only loss is the in-flight entry."""
+        faults = FaultInjector(FaultPlan(kill_shard=0, kill_at_entry=20))
+        dlq = DeadLetterQueue()
+        shard = _single_shard(serving_framework, faults, name="t-restart")
+        supervisor = ShardSupervisor(
+            [shard], dlq, max_restarts=3, backoff_base_s=0.01
+        )
+        shard.start()
+        supervisor.start()
+        for entry in serving_trace:
+            shard.queue.put(entry)
+        shard.queue.close()
+
+        assert _wait_for(lambda: shard.state == "stopped")
+        supervisor.stop()
+        assert shard.restarts == 1
+        assert supervisor.total_restarts == 1
+        assert not supervisor.circuit_open(0)
+        assert not supervisor.degraded
+        # exactly one entry (the in-flight one at kill time) was lost
+        assert shard.entries_processed == len(serving_trace)
+        assert len(faults.injections) == 1
+        assert faults.injections[0].kind == "kill_worker"
+
+    def test_restart_refused_while_alive(self, serving_framework, serving_trace):
+        shard = _single_shard(serving_framework, name="t-alive")
+        shard.start()
+        with pytest.raises(RuntimeError, match="alive"):
+            shard.restart()
+        shard.queue.close()
+        shard.join(timeout=30.0)
+
+
+class TestCircuitBreaker:
+    def test_budget_exhaustion_trips_circuit_and_quarantines(
+        self, serving_framework, serving_trace
+    ):
+        """A crash-looping shard opens its breaker; the stranded backlog
+        lands in the dead-letter queue with reason circuit_open."""
+        faults = FaultInjector(
+            FaultPlan(kill_shard=0, kill_at_entry=1, kill_times=100)
+        )
+        dlq = DeadLetterQueue()
+        shard = _single_shard(serving_framework, faults, name="t-circuit")
+        supervisor = ShardSupervisor(
+            [shard], dlq, max_restarts=2, backoff_base_s=0.005
+        )
+        shard.start()
+        supervisor.start()
+        for entry in serving_trace:
+            shard.queue.put(entry)
+
+        assert _wait_for(lambda: supervisor.circuit_open(0))
+        supervisor.stop()
+        assert supervisor.open_circuits == [0]
+        assert supervisor.degraded
+        assert shard.restarts == 2  # the full budget was spent first
+        assert dlq.quarantined > 0
+        assert set(dlq.by_reason) == {"circuit_open"}
+        # the queue was emptied so blocked producers cannot hang
+        assert shard.queue.depth == 0
+
+    def test_service_rejects_submits_to_open_circuit(
+        self, serving_framework, serving_trace
+    ):
+        """Once a shard's circuit opens, its subscribers are refused at
+        submit() while other shards keep accepting; stop() still works."""
+        victim = shard_index(serving_trace[0].subscriber_id, 2)
+        faults = FaultInjector(
+            FaultPlan(kill_shard=victim, kill_at_entry=1, kill_times=100)
+        )
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            max_restarts=1,
+            restart_backoff_s=0.005,
+            supervisor_poll_s=0.005,
+            faults=faults,
+        )
+        service.start()
+        # feed until the victim's circuit trips
+        for entry in serving_trace:
+            service.submit(entry)
+        assert _wait_for(lambda: service.supervisor.circuit_open(victim))
+        assert not service.ready
+        assert service.degraded
+
+        rejected_before = service.rejected
+        assert service.submit(serving_trace[0]) is False
+        assert service.rejected == rejected_before + 1
+
+        # the healthy shard still accepts
+        other = next(
+            e
+            for e in serving_trace
+            if shard_index(e.subscriber_id, 2) != victim
+        )
+        assert service.submit(other) is True
+
+        service.stop()  # must not raise despite the tripped breaker
+        assert service.state == "stopped"
+        health = service.health()
+        assert health["degraded"] is True
+        assert health["shards"][victim]["circuit_open"] is True
+        assert health["dead_letter"]["by_reason"].get("circuit_open", 0) > 0
+
+
+class TestDrainUnderFailure:
+    def test_drain_mid_restart_still_flushes_backlog(
+        self, serving_framework, serving_trace
+    ):
+        """drain() arriving while the shard is dead and waiting out its
+        restart backoff must revive it immediately and lose nothing but
+        the in-flight entry."""
+        victim = shard_index(serving_trace[0].subscriber_id, 2)
+        faults = FaultInjector(FaultPlan(kill_shard=victim, kill_at_entry=5))
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            # Room for the whole backlog: the victim's consumer stays
+            # dead until drain(), so submits must never block on it.
+            queue_capacity=4096,
+            max_restarts=3,
+            # Backoff far beyond the test: the watchdog alone would
+            # never restart in time, so drain() must do it.
+            restart_backoff_s=600.0,
+            faults=faults,
+        )
+        service.start()
+        for entry in serving_trace:
+            service.submit(entry)
+        assert _wait_for(lambda: faults.kills_fired == 1)
+        diagnoses = service.drain()
+
+        assert service.state == "stopped"
+        assert service.supervisor.total_restarts == 1
+        assert not service.degraded
+        # one in-flight entry died with the worker; everything queued
+        # behind it was still processed after the forced restart
+        total_processed = sum(
+            s["entries_processed"] for s in service.health()["shards"]
+        )
+        assert total_processed == len(serving_trace)
+        assert len(diagnoses) > 0
+
+    def test_fault_free_supervised_run_matches_serial(
+        self, serving_framework, serving_trace
+    ):
+        """Supervision machinery at rest must not perturb results: a
+        fault-free supervised service equals the serial monitor."""
+        serial = RealTimeMonitor(
+            serving_framework, tracker=OnlineSessionTracker()
+        )
+        serial.feed_many(serving_trace)
+        serial.drain()
+
+        service = QoEService(serving_framework, n_shards=4)
+        service.start()
+        for entry in serving_trace:
+            service.submit(entry)
+        diagnoses = service.drain()
+
+        assert service.supervisor.total_restarts == 0
+        assert not service.degraded
+        assert diagnosis_multiset(diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+
+
+class TestHeartbeat:
+    def test_stalled_worker_flagged_and_recovers(self, serving_framework):
+        """A live worker whose heartbeat goes stale is flagged degraded,
+        and the flag clears when the heartbeat catches up (the clock is
+        injected: no real wedged thread needed)."""
+        shard = _single_shard(serving_framework, name="t-stall")
+        dlq = DeadLetterQueue()
+        offset = [0.0]
+        supervisor = ShardSupervisor(
+            [shard],
+            dlq,
+            heartbeat_timeout_s=5.0,
+            clock=lambda: time.monotonic() + offset[0],
+        )
+        shard.start()
+        try:
+            supervisor._tick()
+            assert supervisor.stalled_shards == []
+            offset[0] = 100.0  # heartbeat now looks 100 s stale
+            supervisor._tick()
+            assert supervisor.stalled_shards == [0]
+            assert supervisor.degraded
+            offset[0] = 0.0
+            supervisor._tick()
+            assert supervisor.stalled_shards == []
+            assert not supervisor.degraded
+        finally:
+            shard.queue.close()
+            shard.join(timeout=30.0)
