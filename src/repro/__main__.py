@@ -5,9 +5,13 @@ Commands
 ``experiments``
     Regenerate every table and figure of the paper (``--full`` for the
     benchmark-scale corpora, ``--id tab3_4`` for one experiment).
-    ``--jobs N`` fans forest fitting/scoring and CV folds out over N
-    worker processes (results are identical for any N; see
-    docs/ARCHITECTURE.md "Parallel execution").  ``--metrics-out PATH``
+    ``--jobs N`` fans forest fitting/scoring, CV folds, and large
+    feature builds out over N worker processes (results are identical
+    for any N; see docs/ARCHITECTURE.md "Parallel execution").
+    ``--feature-engine`` selects the columnar batch engine (default)
+    or the per-record reference path; ``--feature-cache DIR`` enables
+    the on-disk feature-matrix cache (see docs/ARCHITECTURE.md
+    "Feature engine").  ``--metrics-out PATH``
     drops a JSON telemetry snapshot (metrics + span trees) next to the
     results; ``--metrics-port N`` additionally serves the live
     Prometheus exposition over HTTP for the duration of the run;
@@ -77,6 +81,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     config = FULL if args.full else SMALL
     if args.jobs != config.n_jobs:
         config = dataclasses.replace(config, n_jobs=args.jobs)
+    if args.feature_cache:
+        config = dataclasses.replace(
+            config, feature_cache_dir=args.feature_cache
+        )
+    if args.feature_engine:
+        from repro.core.featurex import set_default_engine
+
+        set_default_engine(args.feature_engine)
     with _maybe_metrics_server(args.metrics_port, log):
         with trace("repro.experiments") as root:
             if args.id:
@@ -304,8 +316,27 @@ def main(argv=None) -> int:
         default=1,
         metavar="N",
         help=(
-            "worker processes for forest fitting/scoring and CV folds "
-            "(1 serial, -1 all cores; results identical for any value)"
+            "worker processes for forest fitting/scoring, CV folds, and "
+            "feature builds (1 serial, -1 all cores; results identical "
+            "for any value)"
+        ),
+    )
+    experiments.add_argument(
+        "--feature-engine",
+        default=None,
+        choices=["columnar", "per-record"],
+        help=(
+            "feature-matrix build engine (default: columnar; per-record "
+            "is the bit-identical reference path)"
+        ),
+    )
+    experiments.add_argument(
+        "--feature-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "on-disk feature-matrix cache directory; repeated runs on an "
+            "unchanged corpus skip the feature builds entirely"
         ),
     )
     _add_telemetry_flags(experiments)

@@ -66,11 +66,20 @@ class PrometheusBaseline:
     n_estimators / random_state:
         Forest configuration (kept identical to the paper's model so
         the comparison isolates the feature set and label granularity).
+    n_jobs:
+        Worker processes for feature builds (``None``/1 serial, ``-1``
+        all cores); values are identical for any setting.
     """
 
-    def __init__(self, n_estimators: int = 40, random_state: int = 0) -> None:
+    def __init__(
+        self,
+        n_estimators: int = 40,
+        random_state: int = 0,
+        n_jobs: Optional[int] = None,
+    ) -> None:
         self.n_estimators = n_estimators
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self._indices = _qos_indices()
         self._model: Optional[RandomForestClassifier] = None
         self.train_report_: Optional[ClassificationReport] = None
@@ -84,7 +93,7 @@ class PrometheusBaseline:
         return np.array(out)
 
     def _features_of(self, records: Sequence[SessionRecord]) -> np.ndarray:
-        X, _ = build_stall_matrix(records)
+        X, _ = build_stall_matrix(records, n_jobs=self.n_jobs)
         return X[:, self._indices]
 
     def fit(self, records: Sequence[SessionRecord]) -> "PrometheusBaseline":

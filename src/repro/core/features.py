@@ -17,17 +17,26 @@ time* is superseded by *chunk time delta*; we follow that reading.)
 Feature names use the paper's vocabulary ("chunk size min", "BDP mean",
 "packet retransmissions max", "chunk Δsize max" …) so the experiment
 tables read like Tables 2 and 5.
+
+Two engines build the matrices (see :mod:`repro.core.featurex`): the
+default ``"columnar"`` batch engine, and the ``"per-record"`` path in
+this module, which stays as the bit-identical reference oracle and
+escape hatch.  ``engine``/``n_jobs``/``cache`` never change a value —
+only wall-clock.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.featurex.engine import ModelSpec, build_matrix as _engine_build
+from repro.core.featurex.series import (
+    representation_group_series,
+    stall_group_series,
+)
 from repro.datasets.schema import SessionRecord
-from repro.obs import get_registry, trace
 from repro.timeseries.stats import (
     SUMMARY_STATS_BASIC,
     SUMMARY_STATS_EXTENDED,
@@ -43,25 +52,8 @@ __all__ = [
     "representation_features",
     "build_stall_matrix",
     "build_representation_matrix",
+    "get_model_spec",
 ]
-
-
-_REG = get_registry()
-_BUILD_SECONDS = _REG.histogram(
-    "repro_features_build_seconds",
-    "Wall-clock time to build one feature matrix.",
-    labelnames=("model",),
-)
-_ROWS_BUILT = _REG.counter(
-    "repro_features_rows_total",
-    "Session rows expanded into feature vectors.",
-    labelnames=("model",),
-)
-_ROWS_PER_SECOND = _REG.gauge(
-    "repro_features_last_rows_per_second",
-    "Throughput of the most recent feature-matrix build.",
-    labelnames=("model",),
-)
 
 
 def _relative_times(record: SessionRecord) -> np.ndarray:
@@ -82,6 +74,8 @@ def _running_mean(values: np.ndarray) -> np.ndarray:
 
 
 #: Table-1 metrics available per chunk, stall-model set (10 metrics).
+#: Reference definitions — the hot paths below compute shared base
+#: series once per record instead of calling these one by one.
 STALL_METRICS: Dict[str, Callable[[SessionRecord], np.ndarray]] = {
     "RTT minimum": lambda r: r.rtt_min,
     "RTT average": lambda r: r.rtt_avg,
@@ -115,16 +109,59 @@ REPRESENTATION_METRICS: Dict[str, Callable[[SessionRecord], np.ndarray]] = {
 }
 
 
-def _expand(
+def _stall_record_series(record: SessionRecord) -> Dict[str, np.ndarray]:
+    """The 10 stall-model series of one record (base series shared)."""
+    return {
+        "RTT minimum": record.rtt_min,
+        "RTT average": record.rtt_avg,
+        "RTT maximum": record.rtt_max,
+        "BDP": record.bdp,
+        "BIF avg": record.bif_avg,
+        "BIF maximum": record.bif_max,
+        "packet loss": record.loss_pct,
+        "packet retransmissions": record.retx_pct,
+        "chunk size": record.sizes,
+        "chunk time": _relative_times(record),
+    }
+
+
+def _representation_record_series(
     record: SessionRecord,
-    metrics: Dict[str, Callable[[SessionRecord], np.ndarray]],
-    stats: Sequence[str],
+) -> Dict[str, np.ndarray]:
+    """The 14 §4.2 series of one record.
+
+    ``_chunk_throughput_kbps`` and ``_relative_times`` are computed
+    once and shared by their dependent metrics ("throughput" /
+    "cumsum throughput", "chunk Δt") instead of being re-derived per
+    metric as the reference ``REPRESENTATION_METRICS`` lambdas would.
+    """
+    rel_times = _relative_times(record)
+    throughput = _chunk_throughput_kbps(record)
+    return {
+        "RTT minimum": record.rtt_min,
+        "RTT average": record.rtt_avg,
+        "RTT maximum": record.rtt_max,
+        "BDP": record.bdp,
+        "BIF avg": record.bif_avg,
+        "BIF maximum": record.bif_max,
+        "packet loss": record.loss_pct,
+        "packet retransmissions": record.retx_pct,
+        "chunk size": record.sizes,
+        "chunk avg size": _running_mean(record.sizes),
+        "chunk Δsize": np.abs(np.diff(record.sizes)),
+        "chunk Δt": np.diff(rel_times),
+        "throughput": throughput,
+        "cumsum throughput": np.cumsum(throughput),
+    }
+
+
+def _expand(
+    series: Dict[str, np.ndarray], stats: Sequence[str]
 ) -> Dict[str, float]:
     out: Dict[str, float] = {}
-    for metric_name, extractor in metrics.items():
-        series = extractor(record)
-        values = summary_statistics(series, stats=stats)
-        for stat_name, value in values.items():
+    for metric_name, values in series.items():
+        expanded = summary_statistics(values, stats=stats)
+        for stat_name, value in expanded.items():
             out[f"{metric_name} {stat_name}"] = value
     return out
 
@@ -149,49 +186,79 @@ def representation_feature_names() -> List[str]:
 
 def stall_features(record: SessionRecord) -> Dict[str, float]:
     """70 summary-statistic features of one session (stall model)."""
-    return _expand(record, STALL_METRICS, SUMMARY_STATS_BASIC)
+    return _expand(_stall_record_series(record), SUMMARY_STATS_BASIC)
 
 
 def representation_features(record: SessionRecord) -> Dict[str, float]:
     """210 summary-statistic features of one session (representation model)."""
-    return _expand(record, REPRESENTATION_METRICS, SUMMARY_STATS_EXTENDED)
+    return _expand(
+        _representation_record_series(record), SUMMARY_STATS_EXTENDED
+    )
 
 
-def _build_matrix(
-    records: Sequence[SessionRecord],
-    feature_fn: Callable[[SessionRecord], Dict[str, float]],
-    names: List[str],
-    model: str,
-) -> np.ndarray:
-    with trace("core.build_feature_matrix") as span:
-        started = time.perf_counter()
-        matrix = np.empty((len(records), len(names)))
-        for i, record in enumerate(records):
-            features = feature_fn(record)
-            matrix[i] = [features[name] for name in names]
-        elapsed = time.perf_counter() - started
-        span.add("rows", len(records))
-    _BUILD_SECONDS.labels(model=model).observe(elapsed)
-    _ROWS_BUILT.labels(model=model).inc(len(records))
-    if elapsed > 0:
-        _ROWS_PER_SECOND.labels(model=model).set(len(records) / elapsed)
-    return matrix
+_SPECS: Dict[str, ModelSpec] = {
+    "stall": ModelSpec(
+        name="stall",
+        stats=tuple(SUMMARY_STATS_BASIC),
+        metric_names=tuple(STALL_METRICS),
+        feature_names=tuple(stall_feature_names()),
+        record_features=stall_features,
+        group_series=stall_group_series,
+    ),
+    "representation": ModelSpec(
+        name="representation",
+        stats=tuple(SUMMARY_STATS_EXTENDED),
+        metric_names=tuple(REPRESENTATION_METRICS),
+        feature_names=tuple(representation_feature_names()),
+        record_features=representation_features,
+        group_series=representation_group_series,
+    ),
+}
+
+
+def get_model_spec(model: str) -> ModelSpec:
+    """The engine spec of one feature model ("stall"/"representation")."""
+    try:
+        return _SPECS[model]
+    except KeyError:
+        raise KeyError(
+            f"unknown feature model {model!r}; known: {', '.join(_SPECS)}"
+        ) from None
 
 
 def build_stall_matrix(
     records: Sequence[SessionRecord],
+    engine: Optional[str] = None,
+    n_jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Tuple[np.ndarray, List[str]]:
-    """(n_sessions, 70) stall feature matrix + column names."""
-    names = stall_feature_names()
-    return _build_matrix(records, stall_features, names, "stall"), names
+    """(n_sessions, 70) stall feature matrix + column names.
+
+    ``engine`` selects the columnar batch engine (default) or the
+    per-record oracle; ``n_jobs`` fans large builds out in row chunks;
+    ``cache`` consults the content-addressed matrix cache.  All three
+    only change wall-clock, never a value.
+    """
+    spec = _SPECS["stall"]
+    matrix = _engine_build(
+        records, spec, engine=engine, n_jobs=n_jobs, cache=cache
+    )
+    return matrix, list(spec.feature_names)
 
 
 def build_representation_matrix(
     records: Sequence[SessionRecord],
+    engine: Optional[str] = None,
+    n_jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> Tuple[np.ndarray, List[str]]:
-    """(n_sessions, 210) representation feature matrix + column names."""
-    names = representation_feature_names()
-    matrix = _build_matrix(
-        records, representation_features, names, "representation"
+    """(n_sessions, 210) representation feature matrix + column names.
+
+    See :func:`build_stall_matrix` for the ``engine``/``n_jobs``/
+    ``cache`` knobs.
+    """
+    spec = _SPECS["representation"]
+    matrix = _engine_build(
+        records, spec, engine=engine, n_jobs=n_jobs, cache=cache
     )
-    return matrix, names
+    return matrix, list(spec.feature_names)

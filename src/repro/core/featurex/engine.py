@@ -1,0 +1,259 @@
+"""Build orchestration: engine selection, fan-out, caching, telemetry.
+
+``build_matrix`` is the single entry point behind
+``repro.core.features.build_stall_matrix`` /
+``build_representation_matrix``.  It:
+
+* resolves the engine (``"columnar"`` by default, ``"per-record"`` as
+  the reference oracle / escape hatch; overridable per call, via
+  :func:`set_default_engine`, or the ``REPRO_FEATURE_ENGINE``
+  environment variable),
+* consults the content-addressed cache (sha256 over the packed record
+  arrays + feature-set version) before building anything,
+* fans large builds out in row chunks through the
+  :mod:`repro.ml.parallel` worker pool — every row is a pure function
+  of its record, so the chunking never changes a value — and
+* exports build latency/throughput and per-engine build counts through
+  :mod:`repro.obs`.
+
+Both engines produce bit-identical matrices; ``engine`` and ``n_jobs``
+only change wall-clock, never a value.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.schema import SessionRecord
+from repro.ml.parallel import block_ranges, effective_n_jobs, run_tasks
+from repro.obs import get_registry, trace
+
+from .cache import batch_key, get_cache
+from .ragged import RaggedBatch, pack_records
+from .stats import grouped_summary
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "ModelSpec",
+    "build_matrix",
+    "get_default_engine",
+    "set_default_engine",
+]
+
+#: Recognised engines; "per-record" is the reference oracle.
+ENGINES: Tuple[str, ...] = ("columnar", "per-record")
+DEFAULT_ENGINE = "columnar"
+
+#: Below this many sessions a process pool costs more than it saves.
+_PARALLEL_MIN_ROWS = 256
+#: Row-chunk floor, so tiny blocks never dominate pool overhead.
+_MIN_BLOCK_ROWS = 128
+
+_REG = get_registry()
+_BUILD_SECONDS = _REG.histogram(
+    "repro_features_build_seconds",
+    "Wall-clock time to build one feature matrix.",
+    labelnames=("model",),
+)
+_ROWS_BUILT = _REG.counter(
+    "repro_features_rows_total",
+    "Session rows expanded into feature vectors.",
+    labelnames=("model",),
+)
+_ROWS_PER_SECOND = _REG.gauge(
+    "repro_features_last_rows_per_second",
+    "Throughput of the most recent feature-matrix build.",
+    labelnames=("model",),
+)
+_BUILDS = _REG.counter(
+    "repro_features_builds_total",
+    "Feature-matrix builds actually executed, by model and engine.",
+    labelnames=("model", "engine"),
+)
+
+_default_engine = os.environ.get("REPRO_FEATURE_ENGINE", DEFAULT_ENGINE)
+
+
+def get_default_engine() -> str:
+    """The engine used when ``build_matrix`` is called without one."""
+    return _default_engine
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide default engine (e.g. from the CLI)."""
+    global _default_engine
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown feature engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
+    _default_engine = engine
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Everything the engine needs to build one feature model.
+
+    ``record_features`` is the per-record oracle (one session in, the
+    name → value dict out); ``group_series`` the batch twin producing
+    dense metric matrices for one length group.  ``feature_names`` is
+    ``metric × stat`` in canonical column order.
+    """
+
+    name: str
+    stats: Tuple[str, ...]
+    metric_names: Tuple[str, ...]
+    feature_names: Tuple[str, ...]
+    record_features: Callable[[SessionRecord], Dict[str, float]]
+    group_series: Callable[[Dict[str, np.ndarray]], Dict[str, np.ndarray]]
+
+
+# ----------------------------------------------------------------------
+# Engine bodies
+# ----------------------------------------------------------------------
+
+
+def _columnar_rows(batch: RaggedBatch, spec: ModelSpec) -> np.ndarray:
+    n_stats = len(spec.stats)
+    out = np.empty(
+        (batch.n_sessions, len(spec.feature_names)), dtype=np.float64
+    )
+    metric_index = {m: i for i, m in enumerate(spec.metric_names)}
+    for group in batch.groups:
+        series = spec.group_series(group.base)
+        rows = group.rows.size
+        block = np.empty((rows, out.shape[1]), dtype=np.float64)
+        # All metric matrices of equal width stack into one tall block
+        # so each statistic is a single NumPy call per group — row
+        # values are unchanged by the stacking, so bit-identity holds.
+        by_width: Dict[int, list] = {}
+        for metric in spec.metric_names:
+            by_width.setdefault(series[metric].shape[1], []).append(metric)
+        for metrics in by_width.values():
+            stacked = (
+                series[metrics[0]]
+                if len(metrics) == 1
+                else np.concatenate([series[m] for m in metrics], axis=0)
+            )
+            summary = grouped_summary(stacked, spec.stats)
+            for j, metric in enumerate(metrics):
+                index = metric_index[metric]
+                block[:, index * n_stats:(index + 1) * n_stats] = summary[
+                    j * rows:(j + 1) * rows
+                ]
+        out[group.rows] = block
+    return out
+
+
+def _per_record_rows(
+    records: Sequence[SessionRecord], spec: ModelSpec
+) -> np.ndarray:
+    matrix = np.empty(
+        (len(records), len(spec.feature_names)), dtype=np.float64
+    )
+    for i, record in enumerate(records):
+        features = spec.record_features(record)
+        matrix[i] = [features[name] for name in spec.feature_names]
+    return matrix
+
+
+def _build_rows(
+    records: Sequence[SessionRecord],
+    spec: ModelSpec,
+    engine: str,
+    batch: Optional[RaggedBatch] = None,
+) -> np.ndarray:
+    if engine == "columnar":
+        return _columnar_rows(
+            batch if batch is not None else pack_records(records), spec
+        )
+    return _per_record_rows(records, spec)
+
+
+def _block_task(payload) -> np.ndarray:
+    """One row-chunk build; module-level so it pickles into the pool."""
+    model, engine, records = payload
+    # Lazy import: repro.core.features imports this module at load
+    # time, so the spec registry is only reachable after import.
+    from repro.core.features import get_model_spec
+
+    return _build_rows(records, get_model_spec(model), engine)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def build_matrix(
+    records: Sequence[SessionRecord],
+    spec: ModelSpec,
+    engine: Optional[str] = None,
+    n_jobs: Optional[int] = None,
+    cache: bool = True,
+) -> np.ndarray:
+    """Build the (N, F) feature matrix of a record batch.
+
+    Parameters
+    ----------
+    engine:
+        ``"columnar"`` or ``"per-record"``; ``None`` uses the process
+        default.  Bit-identical output either way.
+    n_jobs:
+        Worker processes for row-chunk fan-out (``None``/1 serial,
+        ``-1`` all cores).  Values are identical for any setting.
+    cache:
+        Consult/populate the content-addressed matrix cache.  Cached
+        matrices are shared objects — treat them as read-only.
+    """
+    engine = engine or _default_engine
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown feature engine {engine!r}; known: {', '.join(ENGINES)}"
+        )
+
+    with trace("core.build_feature_matrix") as span:
+        span.add("rows", len(records))
+
+        batch: Optional[RaggedBatch] = None
+        key: Optional[str] = None
+        if cache and len(records) > 0:
+            batch = pack_records(records)
+            key = batch_key(batch, spec.name)
+            cached = get_cache().get(key, spec.name)
+            if cached is not None:
+                span.add("cache_hits")
+                return cached
+
+        started = time.perf_counter()
+        jobs = min(effective_n_jobs(n_jobs), max(1, len(records)))
+        if jobs > 1 and len(records) >= _PARALLEL_MIN_ROWS:
+            block = max(
+                _MIN_BLOCK_ROWS, math.ceil(len(records) / jobs)
+            )
+            payloads = [
+                (spec.name, engine, list(records[start:stop]))
+                for start, stop in block_ranges(len(records), block)
+            ]
+            parts = run_tasks(
+                _block_task, payloads, n_jobs=jobs, task="featurex_build"
+            )
+            matrix = np.vstack(parts)
+        else:
+            matrix = _build_rows(records, spec, engine, batch=batch)
+        elapsed = time.perf_counter() - started
+
+    _BUILDS.labels(model=spec.name, engine=engine).inc()
+    _BUILD_SECONDS.labels(model=spec.name).observe(elapsed)
+    _ROWS_BUILT.labels(model=spec.name).inc(len(records))
+    if elapsed > 0:
+        _ROWS_PER_SECOND.labels(model=spec.name).set(len(records) / elapsed)
+    if key is not None:
+        get_cache().put(key, matrix)
+    return matrix

@@ -1,0 +1,134 @@
+"""Ragged batch layout: flat value vectors + offsets, grouped by length.
+
+A batch of N sessions with heterogeneous chunk counts is packed, per
+Table-1 base field, into one flat float64 vector holding every
+session's chunks back to back — but in *length-sorted* session order.
+Sorting by chunk count makes every run of equal-length sessions a
+contiguous slice of the flat vector, so the dense ``(rows, n_chunks)``
+matrix each group needs is a zero-copy ``reshape`` view.  The original
+row order is retained alongside, so results scatter back exactly where
+the caller expects them.
+
+C-contiguity of the group views is what carries the engine's
+bit-identity guarantee: NumPy's ``axis=-1`` reductions over contiguous
+rows use the same kernels and the same summation order as a whole-array
+call on each row (see the package docstring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.schema import SessionRecord
+
+__all__ = ["BASE_FIELDS", "LengthGroup", "RaggedBatch", "pack_records"]
+
+#: The eleven per-chunk base arrays of :class:`SessionRecord` (Table 1,
+#: left column) — everything the derived series are computed from.
+BASE_FIELDS: Tuple[str, ...] = (
+    "timestamps",
+    "sizes",
+    "transactions",
+    "rtt_min",
+    "rtt_avg",
+    "rtt_max",
+    "bdp",
+    "bif_avg",
+    "bif_max",
+    "loss_pct",
+    "retx_pct",
+)
+
+
+@dataclass(frozen=True)
+class LengthGroup:
+    """One run of equal-length sessions inside a :class:`RaggedBatch`.
+
+    ``base`` maps each field to a C-contiguous ``(rows, n_chunks)``
+    view into the batch's flat vector; ``rows`` holds the *original*
+    row index of each group row, for scattering results back.
+    """
+
+    n_chunks: int
+    rows: np.ndarray
+    base: Dict[str, np.ndarray]
+
+
+@dataclass(frozen=True)
+class RaggedBatch:
+    """Length-sorted columnar packing of a record batch.
+
+    Attributes
+    ----------
+    lengths:
+        Chunk count per session, in the caller's original order.
+    flat:
+        One concatenated float64 vector per base field, sessions in
+        length-sorted order.
+    offsets:
+        ``(n_sessions + 1,)`` segment boundaries into each flat vector
+        (shared by all fields), in length-sorted order.
+    order:
+        ``order[i]`` is the original row index of sorted position
+        ``i`` (a stable sort, so equal lengths keep input order).
+    groups:
+        Equal-length runs, each with dense views (see
+        :class:`LengthGroup`).
+    """
+
+    lengths: np.ndarray
+    flat: Dict[str, np.ndarray]
+    offsets: np.ndarray
+    order: np.ndarray
+    groups: List[LengthGroup]
+
+    @property
+    def n_sessions(self) -> int:
+        return int(self.lengths.size)
+
+    @property
+    def total_chunks(self) -> int:
+        return int(self.offsets[-1]) if self.offsets.size else 0
+
+
+def pack_records(records: Sequence[SessionRecord]) -> RaggedBatch:
+    """Pack a record batch into the length-sorted ragged layout."""
+    lengths = np.array([r.n_chunks for r in records], dtype=np.int64)
+    order = np.argsort(lengths, kind="stable")
+    sorted_lengths = lengths[order]
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(sorted_lengths, out=offsets[1:])
+
+    flat: Dict[str, np.ndarray] = {}
+    for field in BASE_FIELDS:
+        parts = [
+            np.asarray(getattr(records[i], field), dtype=np.float64)
+            for i in order
+        ]
+        flat[field] = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        )
+
+    groups: List[LengthGroup] = []
+    start = 0
+    while start < sorted_lengths.size:
+        n = int(sorted_lengths[start])
+        stop = start
+        while stop < sorted_lengths.size and sorted_lengths[stop] == n:
+            stop += 1
+        c0, c1 = int(offsets[start]), int(offsets[stop])
+        base = {
+            field: flat[field][c0:c1].reshape(stop - start, n)
+            for field in BASE_FIELDS
+        }
+        groups.append(
+            LengthGroup(n_chunks=n, rows=order[start:stop], base=base)
+        )
+        start = stop
+
+    return RaggedBatch(
+        lengths=lengths, flat=flat, offsets=offsets, order=order, groups=groups
+    )

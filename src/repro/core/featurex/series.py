@@ -1,0 +1,85 @@
+"""Batch twins of the per-record metric extractors.
+
+Each builder takes a :class:`~repro.core.featurex.ragged.LengthGroup`'s
+dense base matrices and returns the metric-name → ``(rows, len)``
+matrix mapping for one model, with each derived series computed by the
+*same elementwise operations, in the same order*, as the per-record
+extractors in :mod:`repro.core.features` — e.g. ``chunk Δt`` is
+``diff(t - t[0])``, not the algebraically equal but
+differently-rounded ``diff(t)``.  Row ``i`` of every matrix is
+bit-identical to the per-record extractor applied to session ``i``
+(``np.cumsum`` along the last axis accumulates sequentially per row,
+exactly like the 1-D call; everything else is elementwise).
+
+The property suite asserts this row-for-row against the
+``STALL_METRICS`` / ``REPRESENTATION_METRICS`` reference definitions,
+so the two copies cannot drift silently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["stall_group_series", "representation_group_series"]
+
+
+def _relative_times(base: Dict[str, np.ndarray]) -> np.ndarray:
+    t = base["timestamps"]
+    return t - t[:, :1]
+
+
+def _throughput_kbps(base: Dict[str, np.ndarray]) -> np.ndarray:
+    durations = np.maximum(base["transactions"], 1e-3)
+    return base["sizes"] * 8.0 / 1000.0 / durations
+
+
+def _running_mean(values: np.ndarray) -> np.ndarray:
+    n = values.shape[1]
+    return np.cumsum(values, axis=1) / np.arange(1, n + 1, dtype=np.float64)
+
+
+def stall_group_series(base: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """The 10 stall-model metric matrices of one length group."""
+    return {
+        "RTT minimum": base["rtt_min"],
+        "RTT average": base["rtt_avg"],
+        "RTT maximum": base["rtt_max"],
+        "BDP": base["bdp"],
+        "BIF avg": base["bif_avg"],
+        "BIF maximum": base["bif_max"],
+        "packet loss": base["loss_pct"],
+        "packet retransmissions": base["retx_pct"],
+        "chunk size": base["sizes"],
+        "chunk time": _relative_times(base),
+    }
+
+
+def representation_group_series(
+    base: Dict[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """The 14 §4.2 metric matrices of one length group.
+
+    The throughput and relative-time bases are computed once and shared
+    by their dependent metrics, mirroring the per-record path.
+    """
+    rel_times = _relative_times(base)
+    throughput = _throughput_kbps(base)
+    sizes = base["sizes"]
+    return {
+        "RTT minimum": base["rtt_min"],
+        "RTT average": base["rtt_avg"],
+        "RTT maximum": base["rtt_max"],
+        "BDP": base["bdp"],
+        "BIF avg": base["bif_avg"],
+        "BIF maximum": base["bif_max"],
+        "packet loss": base["loss_pct"],
+        "packet retransmissions": base["retx_pct"],
+        "chunk size": sizes,
+        "chunk avg size": _running_mean(sizes),
+        "chunk Δsize": np.abs(np.diff(sizes, axis=1)),
+        "chunk Δt": np.diff(rel_times, axis=1),
+        "throughput": throughput,
+        "cumsum throughput": np.cumsum(throughput, axis=1),
+    }

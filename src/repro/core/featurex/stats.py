@@ -1,0 +1,73 @@
+"""Block-wise summary statistics, bit-identical to the per-record path.
+
+For a dense ``(rows, n)`` metric block of one length group, every
+requested statistic is evaluated with a single ``axis=1`` NumPy call
+over all rows at once — including one fused multi-percentile call, the
+block twin of the fused call in
+:func:`repro.timeseries.stats.summary_statistics`.  Because the block
+rows are C-contiguous and reductions over the last axis use the same
+kernels (and the same pairwise summation order) as a 1-D call on each
+row, the results match the per-record path to the bit.
+
+Rows containing non-finite values cannot take that fast path — the
+per-record semantics drop NaN/inf *per metric* before computing — so
+they fall back, row by row, to ``summary_statistics`` itself: the
+filter and the empty-series → 0.0 rule stay shared code.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.timeseries.stats import summary_statistics
+
+__all__ = ["grouped_summary"]
+
+
+def grouped_summary(
+    matrix: np.ndarray, stats: Sequence[str]
+) -> np.ndarray:
+    """Summary statistics of every row of a dense metric block.
+
+    Returns a ``(rows, len(stats))`` array whose row ``i`` equals
+    ``[summary_statistics(matrix[i], stats)[s] for s in stats]``
+    bit-for-bit.
+    """
+    n_rows, n_values = matrix.shape
+    out = np.zeros((n_rows, len(stats)), dtype=np.float64)
+    if n_rows == 0 or n_values == 0:
+        return out   # empty series -> every statistic is 0.0
+
+    clean = np.isfinite(matrix).all(axis=1)
+    block = matrix if clean.all() else np.ascontiguousarray(matrix[clean])
+
+    if block.shape[0]:
+        percentile_stats = [s for s in stats if s.startswith("p")]
+        fused = {}
+        if percentile_stats:
+            points = np.percentile(
+                block, [float(s[1:]) for s in percentile_stats], axis=1
+            )
+            fused = dict(zip(percentile_stats, points))
+        for col, stat in enumerate(stats):
+            if stat in fused:
+                values = fused[stat]
+            elif stat == "min":
+                values = np.min(block, axis=1)
+            elif stat == "max":
+                values = np.max(block, axis=1)
+            elif stat == "mean":
+                values = np.mean(block, axis=1)
+            elif stat == "std":
+                values = np.std(block, axis=1)
+            else:
+                raise ValueError(f"unknown statistic: {stat!r}")
+            out[clean, col] = values
+
+    if not clean.all():
+        for row in np.nonzero(~clean)[0]:
+            row_stats = summary_statistics(matrix[row], stats=stats)
+            out[row] = [row_stats[s] for s in stats]
+    return out

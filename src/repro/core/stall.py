@@ -117,7 +117,7 @@ class StallDetector:
         if len(records) == 0:
             raise ValueError("cannot fit on an empty record set")
         y = np.asarray(labels) if labels is not None else self.labels_for(records)
-        X, names = build_stall_matrix(records)
+        X, names = build_stall_matrix(records, n_jobs=self.n_jobs)
         self._select(X, y, names)
         X_sel = X[:, self.selected_indices_]
         self._model, self.train_report_ = balanced_train_full_test(
@@ -136,7 +136,7 @@ class StallDetector:
             raise RuntimeError("detector is not fitted; call fit() first")
 
     def _features_of(self, records: Sequence[SessionRecord]) -> np.ndarray:
-        X, _ = build_stall_matrix(records)
+        X, _ = build_stall_matrix(records, n_jobs=self.n_jobs)
         return X[:, self.selected_indices_]
 
     def predict_proba(self, records: Sequence[SessionRecord]) -> np.ndarray:

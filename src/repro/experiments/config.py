@@ -7,6 +7,7 @@ stable paper-shaped numbers); ``SMALL`` keeps integration tests fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["ExperimentConfig", "FULL", "SMALL"]
 
@@ -28,9 +29,14 @@ class ExperimentConfig:
     n_estimators:
         Forest size for the two classifiers.
     n_jobs:
-        Worker processes for forest fitting/scoring and CV folds
-        (1 serial, -1 all cores).  Results are identical for any
-        value — only wall-clock changes.
+        Worker processes for forest fitting/scoring, CV folds, and
+        feature builds (1 serial, -1 all cores).  Results are identical
+        for any value — only wall-clock changes.
+    feature_cache_dir:
+        Directory of the on-disk feature-matrix cache; ``None`` keeps
+        caching in-memory only.  The workspace defaults this to
+        ``<workspace>/feature-cache`` so repeated runs on an unchanged
+        corpus skip the feature builds entirely.
     """
 
     cleartext_sessions: int = 3000
@@ -39,6 +45,7 @@ class ExperimentConfig:
     seed: int = 7
     n_estimators: int = 60
     n_jobs: int = 1
+    feature_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if min(

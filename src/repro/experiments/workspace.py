@@ -13,6 +13,7 @@ from typing import Dict, List
 import numpy as np
 
 from repro.baselines.prometheus import PrometheusBaseline
+from repro.core.featurex import configure_cache
 from repro.core.labeling import has_variation
 from repro.core.representation import AvgRepresentationDetector
 from repro.core.stall import StallDetector
@@ -36,6 +37,8 @@ class Workspace:
     def __init__(self, config: ExperimentConfig = FULL) -> None:
         self.config = config
         self._cache: Dict[str, object] = {}
+        if config.feature_cache_dir is not None:
+            configure_cache(directory=config.feature_cache_dir)
 
     # ------------------------------------------------------------------
     # Corpora
@@ -141,6 +144,7 @@ class Workspace:
             baseline = PrometheusBaseline(
                 n_estimators=self.config.n_estimators,
                 random_state=self.config.seed,
+                n_jobs=self.config.n_jobs,
             )
             baseline.fit(self.stall_records())
             self._cache["prometheus"] = baseline

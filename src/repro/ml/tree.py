@@ -207,17 +207,21 @@ class DecisionTreeClassifier:
         best: Optional[tuple] = None
         min_leaf = self.min_samples_leaf
 
+        # One-hot label matrix built once per node; each feature only
+        # reorders its rows.  Reordering a scatter equals scattering the
+        # reordered labels, so the prefix sums (and the chosen split)
+        # are unchanged.
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y_node] = 1.0
+
         for feat in features:
             col = X[indices, feat]
             order = np.argsort(col, kind="mergesort")
             v = col[order]
-            labels = y_node[order]
             if v[0] == v[-1]:
                 continue
             # one-hot prefix sums -> left counts at every cut position
-            onehot = np.zeros((n, k))
-            onehot[np.arange(n), labels] = 1.0
-            prefix = np.cumsum(onehot, axis=0)
+            prefix = np.cumsum(onehot[order], axis=0)
             # valid cut after position i (1-based count i+1 on the left)
             # only where the value changes
             boundaries = np.nonzero(np.diff(v) > 0)[0]

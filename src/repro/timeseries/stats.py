@@ -68,6 +68,21 @@ def _single_stat(values: np.ndarray, stat: str) -> float:
     raise ValueError(f"unknown statistic: {stat!r}")
 
 
+def _as_float_array(values: Sequence[float]) -> np.ndarray:
+    """``values`` as a float64 ndarray without a Python-list detour.
+
+    ndarrays pass straight through ``np.asarray`` (zero-copy when
+    already float64) — round-tripping them through ``list()`` copied
+    every element through Python objects on the per-record hot path.
+    Only true iterables (generators, map objects) are materialised.
+    """
+    if isinstance(values, np.ndarray):
+        return np.asarray(values, dtype=float)
+    if isinstance(values, (list, tuple)):
+        return np.asarray(values, dtype=float)
+    return np.asarray(list(values), dtype=float)
+
+
 def summary_statistics(
     values: Sequence[float],
     stats: Sequence[str] = SUMMARY_STATS_BASIC,
@@ -84,7 +99,7 @@ def summary_statistics(
     eleven.  This sits on the per-record hot path of every feature
     build, online and offline.
     """
-    arr = np.asarray(list(values), dtype=float)
+    arr = _as_float_array(values)
     arr = arr[np.isfinite(arr)]
     if arr.size == 0:
         return {stat: 0.0 for stat in stats}
@@ -124,7 +139,7 @@ class Ecdf:
 
 def ecdf(values: Sequence[float]) -> Ecdf:
     """Build the empirical CDF of ``values`` (NaNs dropped)."""
-    arr = np.asarray(list(values), dtype=float)
+    arr = _as_float_array(values)
     arr = arr[np.isfinite(arr)]
     x = np.sort(arr)
     n = x.size

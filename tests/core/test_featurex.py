@@ -1,0 +1,393 @@
+"""Batch feature engine: bit-identity, cache, and fan-out guarantees.
+
+The columnar engine's contract is ``np.array_equal`` equality with the
+per-record reference path for *every* input — the property suite here
+covers the corpus distributions plus the adversarial shapes (single
+chunk, constant series, NaN/inf rows, mixed lengths past the parallel
+block floor).  The cache tests pin down the memoization semantics: a
+memory hit returns the same object, a disk hit the same bytes, and a
+corrupted cache file is a rebuild, never a crash.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    REPRESENTATION_METRICS,
+    STALL_METRICS,
+    _representation_record_series,
+    _stall_record_series,
+    build_representation_matrix,
+    build_stall_matrix,
+    get_model_spec,
+)
+from repro.core.featurex import (
+    ENGINES,
+    FeatureMatrixCache,
+    RaggedBatch,
+    batch_key,
+    configure_cache,
+    get_cache,
+    get_default_engine,
+    pack_records,
+    set_default_engine,
+)
+from repro.datasets.schema import SessionRecord
+
+
+# ----------------------------------------------------------------------
+# Synthetic records
+# ----------------------------------------------------------------------
+
+
+def _make_record(
+    n_chunks: int,
+    seed: int = 0,
+    session_id: str = "synthetic",
+    constant: bool = False,
+) -> SessionRecord:
+    rng = np.random.default_rng(seed)
+    if constant:
+        series = lambda lo, hi: np.full(n_chunks, (lo + hi) / 2.0)
+    else:
+        series = lambda lo, hi: rng.uniform(lo, hi, size=n_chunks)
+    timestamps = np.sort(rng.uniform(0.0, 300.0, size=n_chunks))
+    if constant:
+        timestamps = np.arange(n_chunks, dtype=np.float64)
+    return SessionRecord(
+        session_id=f"{session_id}-{seed}",
+        encrypted=False,
+        timestamps=timestamps,
+        sizes=series(2e5, 4e6),
+        transactions=series(0.05, 4.0),
+        rtt_min=series(10.0, 40.0),
+        rtt_avg=series(40.0, 90.0),
+        rtt_max=series(90.0, 300.0),
+        bdp=series(1e4, 1e6),
+        bif_avg=series(1e3, 1e5),
+        bif_max=series(1e4, 5e5),
+        loss_pct=series(0.0, 2.0),
+        retx_pct=series(0.0, 3.0),
+    )
+
+
+def _with_nonfinite(record: SessionRecord) -> SessionRecord:
+    """A copy with NaN/inf planted in several per-chunk series."""
+    sizes = record.sizes.copy()
+    rtt_avg = record.rtt_avg.copy()
+    bdp = record.bdp.copy()
+    sizes[0] = np.nan
+    rtt_avg[-1] = np.inf
+    bdp[len(bdp) // 2] = -np.inf
+    return SessionRecord(
+        session_id=record.session_id + "-dirty",
+        encrypted=record.encrypted,
+        timestamps=record.timestamps,
+        sizes=sizes,
+        transactions=record.transactions,
+        rtt_min=record.rtt_min,
+        rtt_avg=rtt_avg,
+        rtt_max=record.rtt_max,
+        bdp=bdp,
+        bif_avg=record.bif_avg,
+        bif_max=record.bif_max,
+        loss_pct=record.loss_pct,
+        retx_pct=record.retx_pct,
+    )
+
+
+def _mixed_batch() -> list:
+    """Sessions of many lengths, including single-chunk and >128."""
+    lengths = [1, 1, 2, 3, 3, 3, 7, 16, 16, 40, 97, 130, 130, 200]
+    records = [
+        _make_record(n, seed=i, session_id="mixed")
+        for i, n in enumerate(lengths)
+    ]
+    records.append(_make_record(5, seed=99, constant=True))
+    records.append(_with_nonfinite(_make_record(24, seed=41)))
+    records.append(_with_nonfinite(_make_record(1, seed=42)))
+    return records
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path):
+    """Point the process cache at a fresh directory; restore after."""
+    cache = get_cache()
+    old_directory = cache.directory
+    configure_cache(directory=str(tmp_path))
+    cache.clear()
+    try:
+        yield cache
+    finally:
+        configure_cache(directory=old_directory)
+        cache.clear()
+
+
+def _build(model):
+    return build_stall_matrix if model == "stall" else build_representation_matrix
+
+
+# ----------------------------------------------------------------------
+# Bit-identity property suite
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model", ["stall", "representation"])
+class TestEngineEquality:
+    def test_corpus_records(self, model, stall_records, adaptive_records):
+        records = stall_records if model == "stall" else adaptive_records
+        columnar, names_c = _build(model)(records, engine="columnar", cache=False)
+        reference, names_r = _build(model)(
+            records, engine="per-record", cache=False
+        )
+        assert names_c == names_r
+        assert np.array_equal(columnar, reference)
+
+    def test_mixed_lengths_and_dirty_rows(self, model):
+        records = _mixed_batch()
+        columnar, _ = _build(model)(records, engine="columnar", cache=False)
+        reference, _ = _build(model)(records, engine="per-record", cache=False)
+        assert np.array_equal(columnar, reference)
+        # NaN/inf never leak into the matrix — the per-metric finite
+        # filter drops them before any statistic.
+        assert np.isfinite(columnar).all()
+
+    def test_single_chunk_sessions(self, model):
+        """n=1 sessions make every Δ series empty (the 0.0 rule)."""
+        records = [_make_record(1, seed=s) for s in range(5)]
+        columnar, _ = _build(model)(records, engine="columnar", cache=False)
+        reference, _ = _build(model)(records, engine="per-record", cache=False)
+        assert np.array_equal(columnar, reference)
+
+    def test_constant_series(self, model):
+        records = [_make_record(6, seed=s, constant=True) for s in range(3)]
+        columnar, _ = _build(model)(records, engine="columnar", cache=False)
+        reference, _ = _build(model)(records, engine="per-record", cache=False)
+        assert np.array_equal(columnar, reference)
+
+    def test_empty_batch(self, model):
+        matrix, names = _build(model)([], cache=False)
+        assert matrix.shape == (0, len(names))
+
+    def test_parallel_matches_serial(self, model):
+        """Row-chunk fan-out past _PARALLEL_MIN_ROWS is value-identical."""
+        records = [
+            _make_record(3 + (i % 11), seed=i, session_id="par")
+            for i in range(300)
+        ]
+        serial, _ = _build(model)(records, n_jobs=1, cache=False)
+        parallel, _ = _build(model)(records, n_jobs=2, cache=False)
+        assert np.array_equal(serial, parallel)
+
+
+class TestRecordSeriesDriftGuard:
+    """The shared-base-series builders must track the METRICS dicts."""
+
+    def test_stall_series_match_reference_lambdas(self, stall_records):
+        for record in stall_records[:10]:
+            fast = _stall_record_series(record)
+            assert set(fast) == set(STALL_METRICS)
+            for name, fn in STALL_METRICS.items():
+                assert np.array_equal(fast[name], fn(record)), name
+
+    def test_representation_series_match_reference_lambdas(
+        self, adaptive_records
+    ):
+        for record in adaptive_records[:10]:
+            fast = _representation_record_series(record)
+            assert set(fast) == set(REPRESENTATION_METRICS)
+            for name, fn in REPRESENTATION_METRICS.items():
+                assert np.array_equal(fast[name], fn(record)), name
+
+
+# ----------------------------------------------------------------------
+# Ragged packing
+# ----------------------------------------------------------------------
+
+
+class TestPacking:
+    def test_pack_roundtrip(self):
+        records = _mixed_batch()
+        batch = pack_records(records)
+        assert isinstance(batch, RaggedBatch)
+        assert batch.n_sessions == len(records)
+        assert batch.total_chunks == sum(r.timestamps.size for r in records)
+        # every session's chunk series is recoverable from the flats
+        for field in ("sizes", "rtt_avg", "loss_pct"):
+            for pos, rec_idx in enumerate(batch.order):
+                start, stop = batch.offsets[pos], batch.offsets[pos + 1]
+                assert np.array_equal(
+                    batch.flat[field][start:stop],
+                    np.asarray(getattr(records[rec_idx], field), dtype=float),
+                    equal_nan=True,
+                )
+
+    def test_groups_cover_all_rows(self):
+        batch = pack_records(_mixed_batch())
+        covered = np.concatenate([g.rows for g in batch.groups])
+        assert sorted(covered.tolist()) == list(range(batch.n_sessions))
+        for group in batch.groups:
+            for matrix in group.base.values():
+                assert matrix.shape == (group.rows.size, group.n_chunks)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache
+# ----------------------------------------------------------------------
+
+
+class TestBatchKey:
+    def test_key_is_content_addressed(self):
+        a = [_make_record(8, seed=1), _make_record(12, seed=2)]
+        b = [_make_record(8, seed=1), _make_record(12, seed=2)]
+        assert batch_key(pack_records(a), "stall") == batch_key(
+            pack_records(b), "stall"
+        )
+
+    def test_key_differs_by_model(self):
+        batch = pack_records([_make_record(8, seed=1)])
+        assert batch_key(batch, "stall") != batch_key(batch, "representation")
+
+    def test_mutation_changes_key(self):
+        records = [_make_record(8, seed=1)]
+        before = batch_key(pack_records(records), "stall")
+        records[0].sizes[3] += 1.0
+        assert batch_key(pack_records(records), "stall") != before
+
+    def test_permutation_changes_key(self):
+        a = [_make_record(8, seed=1), _make_record(12, seed=2)]
+        assert batch_key(pack_records(a), "stall") != batch_key(
+            pack_records(list(reversed(a))), "stall"
+        )
+
+
+class TestCache:
+    def test_memory_hit_returns_same_object(self, isolated_cache):
+        records = [_make_record(9, seed=s) for s in range(4)]
+        first, _ = build_stall_matrix(records)
+        second, _ = build_stall_matrix(records)
+        assert second is first
+
+    def test_disk_hit_after_memory_eviction(self, isolated_cache):
+        records = [_make_record(9, seed=s) for s in range(4)]
+        first, _ = build_stall_matrix(records)
+        isolated_cache._entries.clear()   # drop memory, keep disk
+        second, _ = build_stall_matrix(records)
+        assert second is not first
+        assert np.array_equal(second, first)
+
+    def test_corrupted_cache_file_rebuilds(self, isolated_cache, tmp_path):
+        records = [_make_record(9, seed=s) for s in range(4)]
+        first, _ = build_stall_matrix(records)
+        isolated_cache._entries.clear()
+        files = list(tmp_path.glob("*.npy"))
+        assert len(files) == 1
+        files[0].write_bytes(b"not a npy file at all")
+        rebuilt, _ = build_stall_matrix(records)
+        assert np.array_equal(rebuilt, first)
+
+    def test_cache_off_rebuilds(self, isolated_cache):
+        records = [_make_record(9, seed=s) for s in range(4)]
+        first, _ = build_stall_matrix(records, cache=False)
+        second, _ = build_stall_matrix(records, cache=False)
+        assert second is not first
+        assert np.array_equal(second, first)
+
+    def test_lru_eviction_is_bounded(self, tmp_path):
+        cache = FeatureMatrixCache(capacity=2, directory=None)
+        for i in range(5):
+            cache.put(f"key-{i}", np.zeros((1, 1)) + i)
+        assert len(cache._entries) == 2
+        assert cache._memory_get("key-4") is not None
+        assert cache._memory_get("key-0") is None
+
+    def test_engine_and_cache_share_values(self, isolated_cache):
+        """A matrix cached by one engine serves the other — same bits."""
+        records = [_make_record(9, seed=s) for s in range(4)]
+        columnar, _ = build_stall_matrix(records, engine="columnar")
+        cached, _ = build_stall_matrix(records, engine="per-record")
+        assert cached is columnar
+
+
+class TestWorkspaceCache:
+    def test_repeated_workspace_build_hits_cache(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments.config import SMALL
+        from repro.experiments.workspace import Workspace
+
+        cache = get_cache()
+        old_directory = cache.directory
+        try:
+            config = dataclasses.replace(
+                SMALL,
+                cleartext_sessions=40,
+                adaptive_sessions=20,
+                encrypted_sessions=10,
+                feature_cache_dir=str(tmp_path),
+            )
+            workspace = Workspace(config)
+            assert cache.directory == str(tmp_path)
+            records = workspace.stall_records()
+            first, _ = build_stall_matrix(records)
+            # a second workspace on the same config re-derives the same
+            # records -> same content hash -> zero rebuilds
+            second_ws = Workspace(config)
+            second, _ = build_stall_matrix(second_ws.stall_records())
+            assert second is first
+        finally:
+            configure_cache(directory=old_directory)
+            cache.clear()
+
+
+# ----------------------------------------------------------------------
+# Engine selection + observability
+# ----------------------------------------------------------------------
+
+
+class TestEngineSelection:
+    def test_engines_registry(self):
+        assert set(ENGINES) == {"columnar", "per-record"}
+        assert get_default_engine() in ENGINES
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown feature engine"):
+            build_stall_matrix([_make_record(4)], engine="turbo", cache=False)
+
+    def test_set_default_engine(self):
+        before = get_default_engine()
+        try:
+            set_default_engine("per-record")
+            assert get_default_engine() == "per-record"
+            with pytest.raises(ValueError):
+                set_default_engine("turbo")
+        finally:
+            set_default_engine(before)
+
+    def test_model_specs_are_complete(self):
+        for model, width in (("stall", 70), ("representation", 210)):
+            spec = get_model_spec(model)
+            assert len(spec.feature_names) == width
+            assert len(spec.feature_names) == len(spec.metric_names) * len(
+                spec.stats
+            )
+        with pytest.raises(KeyError):
+            get_model_spec("nope")
+
+    def test_build_metrics_exported(self, isolated_cache):
+        from repro.obs import render_prometheus
+
+        records = [_make_record(6, seed=s) for s in range(3)]
+        build_stall_matrix(records)      # miss + build
+        build_stall_matrix(records)      # memory hit
+        text = render_prometheus()
+        for family in (
+            "repro_features_cache_hits_total",
+            "repro_features_cache_misses_total",
+            "repro_features_builds_total",
+            "repro_features_build_seconds",
+            "repro_features_last_rows_per_second",
+        ):
+            assert family in text

@@ -131,3 +131,89 @@ class TestImportances:
         importances = tree.feature_importances()
         assert importances[0] == importances.max()
         assert importances[0] > 0.8
+
+
+class TestSplitSearchEquivalence:
+    """The hoisted one-hot split search must match the per-feature
+    scatter it replaced, split for split."""
+
+    @staticmethod
+    def _reference_best_split(tree, X, y, indices):
+        """The pre-hoist split search: one-hot rebuilt per feature."""
+        from repro.ml.tree import _impurity
+
+        n = indices.size
+        k = tree.n_classes_
+        y_node = y[indices]
+        parent_counts = np.bincount(y_node, minlength=k).astype(float)
+        parent_imp = _impurity(parent_counts, tree.criterion)
+        if parent_imp <= 0:
+            return None
+        features = np.arange(tree.n_features_)
+        best_gain = 1e-12
+        best = None
+        min_leaf = tree.min_samples_leaf
+        for feat in features:
+            col = X[indices, feat]
+            order = np.argsort(col, kind="mergesort")
+            v = col[order]
+            labels = y_node[order]
+            if v[0] == v[-1]:
+                continue
+            onehot = np.zeros((n, k))
+            onehot[np.arange(n), labels] = 1.0
+            prefix = np.cumsum(onehot, axis=0)
+            boundaries = np.nonzero(np.diff(v) > 0)[0]
+            if boundaries.size == 0:
+                continue
+            if min_leaf > 1:
+                boundaries = boundaries[
+                    (boundaries + 1 >= min_leaf)
+                    & (n - boundaries - 1 >= min_leaf)
+                ]
+                if boundaries.size == 0:
+                    continue
+            left_counts = prefix[boundaries]
+            right_counts = parent_counts - left_counts
+            n_left = left_counts.sum(axis=1)
+            n_right = n - n_left
+            with np.errstate(invalid="ignore", divide="ignore"):
+                gl = 1.0 - ((left_counts / n_left[:, None]) ** 2).sum(axis=1)
+                gr = 1.0 - ((right_counts / n_right[:, None]) ** 2).sum(axis=1)
+            child = (n_left * gl + n_right * gr) / n
+            gains = parent_imp - child
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_gain:
+                best_gain = float(gains[best_local])
+                cut_pos = int(boundaries[best_local])
+                thr = 0.5 * (v[cut_pos] + v[cut_pos + 1])
+                best = (int(feat), float(thr))
+        return best
+
+    def test_best_split_matches_per_feature_reference(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(200, 6))
+        X[:, 3] = np.round(X[:, 3])   # ties, so boundaries thin out
+        y_raw = np.digitize(X[:, 0] + 0.3 * X[:, 1], [-0.6, 0.6])
+        for min_leaf in (1, 5):
+            tree = DecisionTreeClassifier(min_samples_leaf=min_leaf)
+            tree.fit(X, y_raw)   # sets n_classes_/n_features_/_rng
+            y_enc = np.unique(y_raw, return_inverse=True)[1]
+            for seed in range(5):
+                idx_rng = np.random.default_rng(seed)
+                indices = np.sort(
+                    idx_rng.choice(X.shape[0], size=80, replace=False)
+                )
+                assert tree._best_split(
+                    X, y_enc, indices
+                ) == self._reference_best_split(tree, X, y_enc, indices)
+
+    def test_fitted_trees_bit_identical_predictions(self):
+        rng = np.random.default_rng(12)
+        X = rng.normal(size=(400, 8))
+        y = np.digitize(X[:, 0] - 0.5 * X[:, 2], [-0.4, 0.4])
+        a = DecisionTreeClassifier(max_features="sqrt", random_state=5).fit(X, y)
+        b = DecisionTreeClassifier(max_features="sqrt", random_state=5).fit(X, y)
+        assert np.array_equal(a._threshold, b._threshold)
+        assert np.array_equal(a._feature, b._feature)
+        assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
