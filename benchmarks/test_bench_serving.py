@@ -164,3 +164,75 @@ def test_serving_metrics_land_in_exposition(framework, trace, tmp_path):
         assert f"# TYPE {family}" in exposition, family
     assert 'repro_serving_model_reloads_total{status="ok"}' in exposition
     assert 'policy="drop_oldest"' in exposition
+
+
+TELEMETRY_ROUNDS = 5
+TELEMETRY_OVERHEAD_CEILING = 1.05
+#: Absolute slack absorbing thread-scheduling noise on runs this short.
+TELEMETRY_EPSILON_S = 0.15
+
+
+def _replay_seconds(framework, trace, **service_kwargs):
+    service = QoEService(framework, n_shards=N_SHARDS, **service_kwargs)
+    service.start()
+    start = time.perf_counter()
+    TraceReplayer(service, speedup=0.0).replay(trace)
+    service.drain()
+    return time.perf_counter() - start
+
+
+def test_full_telemetry_overhead_under_five_percent(framework, trace):
+    """Trace contexts + staged histograms + SLO windows cost <5%.
+
+    The ISSUE's overhead gate: the per-record telemetry layer
+    (TraceContext stamping, buffered stage timings, exemplar sampling,
+    SLO window rolling) must stay under 5% wall-clock against the same
+    replay with telemetry disabled.
+    """
+    from repro.obs import DEFAULT_SLOS
+
+    # Interleave the rounds (base, full, base, full, ...) so slow drift
+    # on a shared box biases both series equally; min-of-N discards the
+    # rounds that caught a scheduler hiccup.
+    base_rounds, full_rounds = [], []
+    for _ in range(TELEMETRY_ROUNDS):
+        base_rounds.append(
+            _replay_seconds(framework, trace, telemetry=False)
+        )
+        full_rounds.append(
+            _replay_seconds(framework, trace, slos=DEFAULT_SLOS)
+        )
+    base_s = min(base_rounds)
+    full_s = min(full_rounds)
+    overhead = full_s / base_s
+    paper_row(
+        f"telemetry overhead, {TRACE_SESSIONS} sessions",
+        f"<{(TELEMETRY_OVERHEAD_CEILING - 1) * 100:.0f}%",
+        f"base {base_s:.3f}s, full telemetry {full_s:.3f}s = "
+        f"{(overhead - 1) * 100:+.1f}%",
+    )
+    assert full_s <= base_s * TELEMETRY_OVERHEAD_CEILING + TELEMETRY_EPSILON_S, (
+        f"full telemetry cost {(overhead - 1) * 100:.1f}% "
+        f"(base {base_s:.3f}s, with telemetry {full_s:.3f}s)"
+    )
+
+
+def test_telemetry_metrics_land_in_exposition(framework, trace):
+    """Stage histograms, e2e series and SLO gauges are all scrapeable."""
+    from repro.obs import DEFAULT_SLOS
+
+    service = QoEService(framework, n_shards=2, slos=DEFAULT_SLOS)
+    service.start()
+    TraceReplayer(service, speedup=0.0).replay(trace[:2000])
+    service.drain()
+    exposition = render_prometheus()
+    for family in (
+        "repro_serving_stage_seconds",
+        "repro_serving_e2e_seconds",
+        "repro_slo_ok",
+        "repro_slo_burn_rate",
+        "repro_recorder_events_total",
+    ):
+        assert f"# TYPE {family}" in exposition, family
+    assert 'repro_serving_stage_seconds_bucket{stage="queue_wait"' in exposition
+    assert 'repro_slo_ok{slo="p99_e2e"}' in exposition

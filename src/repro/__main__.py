@@ -29,6 +29,12 @@ Commands
     record corruption/drops/duplicates/reordering, clock skew, shard
     kills and reload failures; with ``--check-serial`` the determinism
     gate then compares only the subscribers the plan never touched.
+    ``--slo SPEC`` (repeatable; ``--slo default`` for the built-in set)
+    evaluates latency/success objectives over the replay and prints
+    their burn rates; ``--postmortem-dir DIR`` arms the flight
+    recorder so shard deaths, open circuits and drain timeouts dump
+    JSON postmortems there.  ``--metrics-port`` additionally serves
+    the live ``/health`` JSON next to ``/metrics``.
 ``list``
     List the experiment ids.
 """
@@ -42,14 +48,14 @@ from contextlib import contextmanager
 
 
 @contextmanager
-def _maybe_metrics_server(port, log):
-    """Serve /metrics for the duration of the command, if asked to."""
+def _maybe_metrics_server(port, log, health=None):
+    """Serve /metrics (and /health, if given) for the command, if asked to."""
     if port is None:
         yield None
         return
     from repro.obs import start_metrics_server
 
-    server = start_metrics_server(port=port)
+    server = start_metrics_server(port=port, health=health)
     print(f"serving metrics on {server.url}", file=sys.stderr)
     log.info("metrics_port_open", url=server.url)
     try:
@@ -177,16 +183,36 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     )
     log.info("trace_ready", sessions=args.sessions, entries=len(entries))
 
-    with _maybe_metrics_server(args.metrics_port, log):
-        service = QoEService(
-            framework,
-            n_shards=args.shards,
-            queue_capacity=args.queue_capacity,
-            policy=args.policy,
-            max_batch=args.batch_max,
-            max_delay_s=args.batch_delay,
-            faults=injector,
+    slo_specs = None
+    if args.slo and args.no_telemetry:
+        print(
+            "error: --slo needs pipeline telemetry; drop --no-telemetry",
+            file=sys.stderr,
         )
+        return 2
+    if args.slo:
+        from repro.obs import DEFAULT_SLOS
+
+        slo_specs = []
+        for spec in args.slo:
+            if spec == "default":
+                slo_specs.extend(DEFAULT_SLOS)
+            else:
+                slo_specs.append(spec)
+
+    service = QoEService(
+        framework,
+        n_shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        max_batch=args.batch_max,
+        max_delay_s=args.batch_delay,
+        faults=injector,
+        telemetry=not args.no_telemetry,
+        slos=slo_specs,
+        postmortem_dir=args.postmortem_dir,
+    )
+    with _maybe_metrics_server(args.metrics_port, log, health=service.health):
         service.start()
         stats = TraceReplayer(
             service, speedup=args.speedup, faults=injector
@@ -211,6 +237,19 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             f"circuits open: {service.supervisor.open_circuits or 'none'}, "
             f"degraded={health['degraded']}"
         )
+
+    if "slo" in health:
+        for objective in health["slo"]["objectives"]:
+            status = "ok" if objective["ok"] else "BREACHED"
+            value = objective["value"]
+            shown = "n/a" if value is None else f"{value:.6g}"
+            print(
+                f"slo {objective['name']} ({objective['spec']}): {status}, "
+                f"value={shown}, burn_rate={objective['burn_rate']:.4g}, "
+                f"breaches={objective['breaches']}/{objective['windows']}"
+            )
+    for path in service.recorder.postmortems:
+        print(f"postmortem written: {path}")
 
     if args.metrics_out:
         snapshot = write_snapshot(args.metrics_out)
@@ -430,6 +469,36 @@ def main(argv=None) -> int:
             "inject a deterministic chaos plan: compact form "
             "'corrupt=0.02,kill_shard=1@100,reload_fail=2,seed=7', "
             "inline JSON, or a path to a JSON file (see repro.faults)"
+        ),
+    )
+    serve.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "declare a latency/success objective evaluated over the "
+            "replay: 'p99:e2e<=250ms@60s', 'p95:diagnose<=50ms@30s' or "
+            "'success>=99.9%%@60s'; repeatable; the literal 'default' "
+            "expands to the built-in objective set"
+        ),
+    )
+    serve.add_argument(
+        "--postmortem-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "arm the flight recorder: on a shard death, open circuit or "
+            "drain timeout, dump a JSON postmortem (recent events, "
+            "per-stage latencies, SLO state) into DIR"
+        ),
+    )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help=(
+            "disable per-record pipeline telemetry (trace contexts, "
+            "stage histograms, exemplars); incompatible with --slo"
         ),
     )
     serve.add_argument(

@@ -30,7 +30,7 @@ from typing import Dict, List, Sequence, Set
 import numpy as np
 
 from repro.capture.weblog import WeblogEntry
-from repro.obs import get_logger
+from repro.obs import get_logger, get_recorder
 
 from .plan import FaultPlan
 
@@ -235,6 +235,12 @@ class FaultInjector:
                 )
             )
             self._affected.add(entry.subscriber_id)
+        get_recorder().record(
+            "fault_injected",
+            fault="kill_worker",
+            shard=shard_index,
+            picked_up=picked_up,
+        )
         raise InjectedFault(
             f"injected kill: shard {shard_index} at its entry #{picked_up}"
         )
@@ -255,4 +261,5 @@ class FaultInjector:
             self.injections.append(
                 Injection("reload_failure", -1, "", "injected OSError")
             )
+        get_recorder().record("fault_injected", fault="reload_failure")
         raise OSError("injected model reload failure")

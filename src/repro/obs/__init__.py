@@ -21,10 +21,20 @@ substrate every later performance PR builds on:
     *exposition*, not *prometheus*, to avoid shadowing the
     :mod:`repro.baselines.prometheus` baseline classifier.)
 ``snapshot``
-    JSON snapshot writer (metrics + span trees) for benchmark runs.
+    JSON snapshot writer (metrics + span trees) for benchmark runs,
+    plus :func:`merge_snapshots` for aggregating per-shard documents.
 ``httpd``
-    Live ``/metrics`` scrape endpoint (stdlib ``http.server`` thread)
-    for long-running serving processes (CLI ``--metrics-port``).
+    Live ``/metrics`` + ``/health`` endpoint (stdlib ``http.server``
+    thread) for long-running serving processes (CLI ``--metrics-port``).
+``pipeline``
+    Per-record trace propagation through the serving pipeline: staged
+    latency histograms, end-to-end latency, sampled exemplar traces.
+``slo``
+    Declarative SLOs (``p99:e2e<=250ms@60s``, ``success>=99.9%``)
+    evaluated over tumbling windows with error-budget burn rates.
+``recorder``
+    Chaos flight recorder: bounded event ring + JSON postmortems on
+    circuit opens, shard deaths and drain timeouts.
 
 Instrumentation is pull-based and passive: modules record into the
 default registry/tracer unconditionally; cost without an attached
@@ -35,22 +45,40 @@ hot paths stay within a few percent of their uninstrumented speed.
 from .exposition import render_prometheus
 from .httpd import MetricsServer, start_metrics_server
 from .logs import configure_logging, get_logger
+from .pipeline import (
+    LATENCY_BUCKETS,
+    STAGES,
+    PipelineTelemetry,
+    ShardTelemetry,
+    TraceContext,
+)
+from .recorder import (
+    POSTMORTEM_SCHEMA,
+    FlightRecorder,
+    get_recorder,
+    set_recorder,
+)
 from .registry import (
     Counter,
     Gauge,
     Histogram,
+    HistogramWindow,
     MetricsRegistry,
+    estimate_quantile,
     get_registry,
     set_registry,
 )
-from .snapshot import registry_snapshot, write_snapshot
+from .slo import DEFAULT_SLOS, SLO, SLOEngine, parse_slo
+from .snapshot import merge_snapshots, registry_snapshot, write_snapshot
 from .tracing import SpanNode, Tracer, current_span, get_tracer, trace, traced
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramWindow",
     "MetricsRegistry",
+    "estimate_quantile",
     "get_registry",
     "set_registry",
     "render_prometheus",
@@ -58,6 +86,7 @@ __all__ = [
     "start_metrics_server",
     "configure_logging",
     "get_logger",
+    "merge_snapshots",
     "registry_snapshot",
     "write_snapshot",
     "SpanNode",
@@ -66,4 +95,17 @@ __all__ = [
     "get_tracer",
     "trace",
     "traced",
+    "STAGES",
+    "LATENCY_BUCKETS",
+    "TraceContext",
+    "PipelineTelemetry",
+    "ShardTelemetry",
+    "SLO",
+    "SLOEngine",
+    "parse_slo",
+    "DEFAULT_SLOS",
+    "POSTMORTEM_SCHEMA",
+    "FlightRecorder",
+    "get_recorder",
+    "set_recorder",
 ]

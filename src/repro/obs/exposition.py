@@ -55,35 +55,55 @@ def format_sample_line(
     return f"{name} {_format_number(value)}"
 
 
+def _snapshot(registry: MetricsRegistry) -> list:
+    """Phase one: copy every value out from under the metric locks.
+
+    Each child is read exactly once — histograms through
+    :meth:`~repro.obs.registry.Histogram.state`, which returns the
+    bucket counts, sum and count from a *single* lock acquisition, so a
+    concurrent observer cannot tear the ``_bucket``/``_sum``/``_count``
+    triplet.  Rendering then runs entirely lock-free, which matters for
+    the httpd path: a slow scrape client must never hold up the
+    serving hot loop.
+    """
+    snap = []
+    for family in registry.collect():
+        samples = []
+        for labels, child in family.samples():
+            if family.type == "histogram":
+                samples.append((labels, child.state()))
+            else:
+                samples.append((labels, child.value))
+        snap.append(
+            (family.name, family.help, family.type, samples)
+        )
+    return snap
+
+
 def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
     """The whole registry in Prometheus text format (trailing newline)."""
     registry = registry if registry is not None else get_registry()
     lines = []
-    for family in registry.collect():
-        help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
-        lines.append(f"# HELP {family.name} {help_text}")
-        lines.append(f"# TYPE {family.name} {family.type}")
-        for labels, child in family.samples():
-            if family.type == "histogram":
-                cumulative = child.cumulative_counts()
-                for bound, count in zip(child.bounds, cumulative):
+    for name, help, type_, samples in _snapshot(registry):
+        help_text = help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {type_}")
+        for labels, value in samples:
+            if type_ == "histogram":
+                for bound, count in zip(value["bounds"], value["cumulative"]):
                     bucket_labels = dict(labels)
                     bucket_labels["le"] = _format_number(bound)
                     lines.append(
                         format_sample_line(
-                            f"{family.name}_bucket", bucket_labels, count
+                            f"{name}_bucket", bucket_labels, count
                         )
                     )
                 lines.append(
-                    format_sample_line(f"{family.name}_sum", labels, child.sum)
+                    format_sample_line(f"{name}_sum", labels, value["sum"])
                 )
                 lines.append(
-                    format_sample_line(
-                        f"{family.name}_count", labels, child.count
-                    )
+                    format_sample_line(f"{name}_count", labels, value["count"])
                 )
             else:
-                lines.append(
-                    format_sample_line(family.name, labels, child.value)
-                )
+                lines.append(format_sample_line(name, labels, value))
     return "\n".join(lines) + "\n" if lines else ""

@@ -6,7 +6,12 @@ exposes the existing text exposition (:mod:`repro.obs.exposition`) on a
 daemon-threaded HTTP server:
 
 * ``GET /metrics`` (or ``/``) → the registry in Prometheus text format
+* ``GET /health`` → JSON from the attached health provider (a callable
+  returning a dict, typically ``QoEService.health``); 404 when none
 * anything else → 404
+
+Rendering snapshots the registry first and formats outside the metric
+locks, so a slow scrape client never holds up instrumented hot paths.
 
 Dependency-free (``http.server`` + ``threading``), bound to localhost
 by default, and cheap: rendering happens per scrape, nothing is pushed.
@@ -16,9 +21,10 @@ Port ``0`` binds an ephemeral port — read it back from
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 from .exposition import render_prometheus
 from .logs import get_logger
@@ -37,12 +43,37 @@ class _Handler(BaseHTTPRequestHandler):
     # one handler class serves any number of servers.
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        if self.path == "/health":
+            provider = self.server.health_provider
+            if provider is None:
+                self.send_error(404, "no health provider attached")
+                return
+            try:
+                payload = provider()
+            except Exception as exc:  # pragma: no cover - defensive
+                _LOG.warning("health_provider_failed", error=repr(exc))
+                self._respond(
+                    json.dumps({"error": repr(exc)}).encode("utf-8"),
+                    "application/json",
+                    status=500,
+                )
+                return
+            self._respond(
+                json.dumps(payload, default=str).encode("utf-8"),
+                "application/json",
+            )
+            return
         if self.path not in ("/", "/metrics"):
-            self.send_error(404, "only /metrics is served here")
+            self.send_error(404, "only /metrics and /health are served here")
             return
         body = render_prometheus(self.server.registry).encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", CONTENT_TYPE)
+        self._respond(body, CONTENT_TYPE)
+
+    def _respond(
+        self, body: bytes, content_type: str, status: int = 200
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -56,6 +87,7 @@ class _Handler(BaseHTTPRequestHandler):
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
     registry: Optional[MetricsRegistry] = None
+    health_provider: Optional[Callable[[], Dict]] = None
 
 
 class MetricsServer:
@@ -72,9 +104,11 @@ class MetricsServer:
         port: int = 0,
         host: str = "127.0.0.1",
         registry: Optional[MetricsRegistry] = None,
+        health: Optional[Callable[[], Dict]] = None,
     ) -> None:
         self._httpd = _Server((host, port), _Handler)
         self._httpd.registry = registry
+        self._httpd.health_provider = health
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-metrics-httpd",
@@ -110,6 +144,12 @@ def start_metrics_server(
     port: int = 0,
     host: str = "127.0.0.1",
     registry: Optional[MetricsRegistry] = None,
+    health: Optional[Callable[[], Dict]] = None,
 ) -> MetricsServer:
-    """Start serving the (default) registry; returns the live server."""
-    return MetricsServer(port=port, host=host, registry=registry)
+    """Start serving the (default) registry; returns the live server.
+
+    ``health`` is an optional zero-argument callable returning a dict
+    (e.g. a bound ``QoEService.health``); when given, ``GET /health``
+    serves its JSON next to ``/metrics``.
+    """
+    return MetricsServer(port=port, host=host, registry=registry, health=health)

@@ -1,0 +1,245 @@
+"""Chaos flight recorder: bounded event ring + JSON postmortems.
+
+When a shard dies or a circuit opens, the aggregate metrics say *that*
+it happened; the operator debugging it wants to know what the pipeline
+was doing in the seconds *before*.  The flight recorder keeps exactly
+that: a bounded, lock-cheap ring buffer of recent pipeline events
+(submits — sampled, batch flushes, quarantines, restarts, circuit
+transitions, model reloads, injected faults), and on a trigger —
+circuit open, shard death, drain timeout — dumps a structured JSON
+*postmortem*: the last K events, plus whatever snapshot providers are
+registered (per-stage latency breakdown, SLO burn state, dead-letter
+and supervisor counters).
+
+Design points:
+
+* **Lock-cheap recording.**  ``record()`` is one ``deque.append`` of a
+  prebuilt tuple — ``collections.deque`` with ``maxlen`` is safe for
+  concurrent appends, so the hot path takes no lock at all.  Shard
+  threads, the supervisor and the submit path all record freely.
+* **Never raises.**  A telemetry layer that can crash the pipeline it
+  observes is worse than none: ``dump()`` and every provider call are
+  wrapped; failures are logged and counted, not propagated.
+* **Process-global access.**  Like the registry and tracer, the
+  recorder has a process default (:func:`get_recorder` /
+  :func:`set_recorder`) so deep modules (DLQ, batcher, model manager,
+  fault injector) record without constructor plumbing;
+  :class:`~repro.serving.service.QoEService` installs its own
+  configured instance at ``start()``.
+
+Postmortem JSON schema (``repro.obs.postmortem/1``)::
+
+    {
+      "schema": "repro.obs.postmortem/1",
+      "trigger": "shard_failed" | "circuit_open" | "drain_timeout" | ...,
+      "detail": {...},                  # trigger-specific context
+      "written_at_unix_s": 1723...,
+      "events": [                       # oldest → newest, bounded
+        {"ts_unix_s": ..., "kind": "...", ...event detail...}
+      ],
+      "snapshots": {                    # registered providers, by name
+        "stages": {...}, "slo": [...], "dead_letter": {...}, ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from .logs import get_logger
+from .registry import get_registry
+
+__all__ = [
+    "POSTMORTEM_SCHEMA",
+    "FlightRecorder",
+    "get_recorder",
+    "set_recorder",
+]
+
+_LOG = get_logger("obs.recorder")
+
+POSTMORTEM_SCHEMA = "repro.obs.postmortem/1"
+
+_REG = get_registry()
+_EVENTS = _REG.counter(
+    "repro_recorder_events_total",
+    "Pipeline events captured by the flight recorder, by kind.",
+    labelnames=("kind",),
+)
+_POSTMORTEMS = _REG.counter(
+    "repro_recorder_postmortems_total",
+    "Postmortem dumps written by the flight recorder, by trigger.",
+    labelnames=("trigger",),
+)
+
+
+class FlightRecorder:
+    """Bounded ring of pipeline events with postmortem dumping.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained (oldest evicted) — the "last K events" of a
+        postmortem.
+    postmortem_dir:
+        Where postmortem JSON files are written.  ``None`` (default)
+        records events but never writes files — :meth:`dump` becomes a
+        no-op returning ``None``, so library code can trigger dumps
+        unconditionally.
+    clock:
+        Injectable wall clock (tests); event timestamps are wall time
+        because postmortems are read by humans correlating logs.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        postmortem_dir: Optional[Union[str, Path]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.postmortem_dir = (
+            Path(postmortem_dir) if postmortem_dir is not None else None
+        )
+        self._clock = clock
+        self._ring: deque = deque(maxlen=capacity)
+        self._providers: Dict[str, Callable[[], object]] = {}
+        self._lock = threading.Lock()  # providers + postmortem bookkeeping
+        self._dump_seq = 0
+        self.postmortems: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, **detail: object) -> None:
+        """Append one event (lock-free; safe from any thread)."""
+        self._ring.append((self._clock(), kind, detail))
+        _EVENTS.labels(kind=kind).inc()
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def add_provider(
+        self, name: str, provider: Callable[[], object]
+    ) -> None:
+        """Register a snapshot provider included in every postmortem.
+
+        Providers are called at dump time and must be cheap;
+        exceptions are caught and reported inside the snapshot rather
+        than propagated.
+        """
+        with self._lock:
+            self._providers[name] = provider
+
+    def remove_provider(self, name: str) -> None:
+        with self._lock:
+            self._providers.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Read side / dumping
+    # ------------------------------------------------------------------
+
+    def events(self) -> List[Dict]:
+        """The retained events, oldest first, as JSON-shaped dicts."""
+        return [
+            {"ts_unix_s": ts, "kind": kind, **_jsonable(detail)}
+            for ts, kind, detail in list(self._ring)
+        ]
+
+    def snapshots(self) -> Dict[str, object]:
+        """Every provider's current snapshot (errors reported inline)."""
+        with self._lock:
+            providers = dict(self._providers)
+        out: Dict[str, object] = {}
+        for name, provider in providers.items():
+            try:
+                out[name] = provider()
+            except Exception as exc:  # noqa: BLE001 - must not propagate
+                out[name] = {"error": repr(exc)}
+        return out
+
+    def dump(self, trigger: str, **detail: object) -> Optional[str]:
+        """Write a postmortem file; returns its path (or ``None``).
+
+        ``None`` when no ``postmortem_dir`` is configured or the write
+        failed — a postmortem must never take down the pipeline it is
+        documenting, so *all* failures are swallowed (logged and
+        visible as the absence of a ``repro_recorder_postmortems_total``
+        increment).
+        """
+        self.record("postmortem_trigger", trigger=trigger, **detail)
+        if self.postmortem_dir is None:
+            return None
+        try:
+            payload = {
+                "schema": POSTMORTEM_SCHEMA,
+                "trigger": trigger,
+                "detail": _jsonable(detail),
+                "written_at_unix_s": self._clock(),
+                "events": self.events(),
+                "snapshots": _jsonable(self.snapshots()),
+            }
+            with self._lock:
+                self._dump_seq += 1
+                seq = self._dump_seq
+            self.postmortem_dir.mkdir(parents=True, exist_ok=True)
+            path = self.postmortem_dir / f"postmortem-{seq:03d}-{trigger}.json"
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, default=str)
+                handle.write("\n")
+            with self._lock:
+                self.postmortems.append(str(path))
+            _POSTMORTEMS.labels(trigger=trigger).inc()
+            _LOG.warning(
+                "postmortem_written", trigger=trigger, path=str(path)
+            )
+            return str(path)
+        except Exception as exc:  # noqa: BLE001 - must not propagate
+            _LOG.error(
+                "postmortem_write_failed", trigger=trigger, error=repr(exc)
+            )
+            return None
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion to JSON-serialisable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+_recorder = FlightRecorder()
+_recorder_lock = threading.Lock()
+
+
+def get_recorder() -> FlightRecorder:
+    """The process-wide default recorder."""
+    return _recorder
+
+
+def set_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Swap the process default; returns the previous one.
+
+    :class:`~repro.serving.service.QoEService` installs its configured
+    recorder here at ``start()`` so deep modules (DLQ, batcher, model
+    manager, fault injector) record into the service's ring without
+    constructor plumbing — mirroring :func:`repro.obs.get_registry`.
+    """
+    global _recorder
+    with _recorder_lock:
+        previous, _recorder = _recorder, recorder
+    return previous

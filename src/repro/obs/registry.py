@@ -12,8 +12,16 @@ labelled children — but stays small enough to audit:
   ``registry.counter("x_total", "...").inc()`` just works.
 * Histograms use fixed bucket boundaries and estimate quantiles by
   linear interpolation inside the bucket, clamped to the observed
-  min/max — the standard exposition-side estimator, here available
-  in-process.
+  per-bucket min/max — the standard exposition-side estimator, here
+  available in-process and *exact* when a bucket holds a single value
+  (e.g. observations sitting on a bucket boundary).
+* Histograms additionally maintain a resettable *window* (same bucket
+  layout) so the SLO engine can evaluate objectives over tumbling
+  windows without touching the cumulative series.
+* Registries (and their histograms) support :meth:`MetricsRegistry.merge`
+  — fold another registry's counts into this one — the aggregation
+  primitive per-shard (and, later, per-process) registries need to
+  present one exposition surface.
 
 Updates take one small lock per metric child; with no exporter
 attached that is the entire cost, which keeps instrumented hot paths
@@ -24,14 +32,17 @@ from __future__ import annotations
 
 import math
 import threading
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramWindow",
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
+    "estimate_quantile",
     "get_registry",
     "set_registry",
 ]
@@ -80,6 +91,11 @@ class Counter(_Child):
         with self._lock:
             return self._value
 
+    def _absorb(self, other: "Counter") -> None:
+        amount = other.value
+        with self._lock:
+            self._value += amount
+
 
 class Gauge(_Child):
     """A value that can go up and down."""
@@ -104,9 +120,140 @@ class Gauge(_Child):
         with self._lock:
             return self._value
 
+    def _absorb(self, other: "Gauge") -> None:
+        # Sum semantics: merged gauges report the fleet total (queue
+        # depths, DLQ depths add across shards/processes).
+        amount = other.value
+        with self._lock:
+            self._value += amount
+
+
+def estimate_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    q: float,
+    minimum: float = _INF,
+    maximum: float = -_INF,
+    bucket_mins: Optional[Sequence[float]] = None,
+    bucket_maxes: Optional[Sequence[float]] = None,
+) -> float:
+    """Shared in-bucket interpolation estimator.
+
+    ``counts`` are per-bucket (not cumulative).  When per-bucket
+    min/max are supplied, interpolation happens inside the *occupied*
+    range of the selected bucket — which makes the estimate exact when
+    a bucket holds a single distinct value (the empty-bucket /
+    boundary-observation edge case: a histogram observed only at one
+    bucket boundary reports that value instead of interpolating down
+    from the bucket's lower bound).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if total == 0:
+        return float("nan")
+    if minimum == maximum and math.isfinite(minimum):
+        return minimum
+    rank = q * total
+    running = 0
+    lower = -_INF
+    for i, bound in enumerate(bounds):
+        in_bucket = counts[i]
+        if in_bucket and running + in_bucket >= rank:
+            hi = min(bound, maximum)
+            lo = max(lower, minimum)
+            if bucket_mins is not None and math.isfinite(bucket_mins[i]):
+                lo = bucket_mins[i]
+            if bucket_maxes is not None and math.isfinite(bucket_maxes[i]):
+                hi = bucket_maxes[i]
+            if not math.isfinite(hi):
+                return maximum
+            if hi <= lo:
+                return lo
+            fraction = (rank - running) / in_bucket
+            return lo + (hi - lo) * fraction
+        running += in_bucket
+        lower = bound
+    return maximum
+
+
+class HistogramWindow:
+    """Frozen view of one histogram observation window.
+
+    Produced by :meth:`Histogram.window_view`; consumed by the SLO
+    engine, which needs quantiles and over-threshold fractions scoped
+    to an evaluation window rather than the process lifetime.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(
+        self,
+        bounds: Tuple[float, ...],
+        counts: List[int],
+        sum_: float,
+        count: int,
+        min_: float,
+        max_: float,
+    ) -> None:
+        self.bounds = bounds
+        self.counts = counts
+        self.sum = sum_
+        self.count = count
+        self.min = min_
+        self.max = max_
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        return estimate_quantile(
+            self.bounds, self.counts, self.count, q, self.min, self.max
+        )
+
+    def fraction_over(self, threshold: float) -> float:
+        """Estimated fraction of window observations above ``threshold``.
+
+        The SLO engine's burn-rate input: a latency objective
+        ``p99 <= t`` allows 1% of observations over ``t``; this reports
+        how many actually were (interpolating inside the bucket that
+        straddles ``t``).
+        """
+        if self.count == 0:
+            return 0.0
+        if threshold >= self.max:
+            return 0.0
+        if threshold < self.min:
+            return 1.0
+        below = 0.0
+        lower = -_INF
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.counts[i]
+            if threshold > bound:
+                below += in_bucket
+            elif in_bucket:
+                hi = min(bound, self.max)
+                lo = max(lower, self.min)
+                if hi > lo and math.isfinite(hi):
+                    below += in_bucket * min(
+                        1.0, max(0.0, (threshold - lo) / (hi - lo))
+                    )
+                break
+            else:
+                break
+            lower = bound
+        return max(0.0, min(1.0, 1.0 - below / self.count))
+
 
 class Histogram(_Child):
-    """Fixed-bucket histogram with interpolated quantile estimation."""
+    """Fixed-bucket histogram with interpolated quantile estimation.
+
+    Besides the cumulative series it maintains a *window* over the same
+    buckets: :meth:`window_view` snapshots it, :meth:`reset_window`
+    starts a fresh one.  The SLO engine evaluates objectives over these
+    windows; the cumulative series never resets.
+    """
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         super().__init__()
@@ -120,27 +267,96 @@ class Histogram(_Child):
         if bounds[-1] != _INF:
             bounds.append(_INF)
         self.bounds: Tuple[float, ...] = tuple(bounds)
-        self._counts = [0] * len(self.bounds)
+        n = len(self.bounds)
+        self._counts = [0] * n
         self._sum = 0.0
         self._count = 0
         self._min = _INF
         self._max = -_INF
+        #: Observed value range *per bucket* — what makes quantile
+        #: estimates exact for point-mass buckets (boundary values).
+        self._bucket_min = [_INF] * n
+        self._bucket_max = [-_INF] * n
+        # Window twin (reset by reset_window; fed alongside cumulative).
+        self._win_counts = [0] * n
+        self._win_sum = 0.0
+        self._win_count = 0
+        self._win_min = _INF
+        self._win_max = -_INF
+
+    def _observe_locked(self, value: float) -> None:
+        # Linear scan: bucket lists are short and almost every
+        # observation lands early for latency-shaped data.
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[i] += 1
+                self._win_counts[i] += 1
+                if value < self._bucket_min[i]:
+                    self._bucket_min[i] = value
+                if value > self._bucket_max[i]:
+                    self._bucket_max[i] = value
+                break
+        self._sum += value
+        self._count += 1
+        self._win_sum += value
+        self._win_count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value < self._win_min:
+            self._win_min = value
+        if value > self._win_max:
+            self._win_max = value
 
     def observe(self, value: float) -> None:
         value = float(value)
         with self._lock:
-            # Linear scan: bucket lists are short and almost every
-            # observation lands early for latency-shaped data.
+            self._observe_locked(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of observations under one lock acquisition.
+
+        The serving shards buffer per-record stage latencies and flush
+        them at batch boundaries.  The batch is sorted once (C speed)
+        and bucketed with one ``bisect_right`` per bound instead of a
+        Python bucket scan per value — at ~4 stage observations per
+        served entry the per-value path is what the <5% telemetry
+        overhead budget is spent on.
+        """
+        ordered = sorted(map(float, values))
+        if not ordered:
+            return
+        n = len(ordered)
+        batch_sum = sum(ordered)
+        lowest, highest = ordered[0], ordered[-1]
+        with self._lock:
+            lo = 0
             for i, bound in enumerate(self.bounds):
-                if value <= bound:
-                    self._counts[i] += 1
-                    break
-            self._sum += value
-            self._count += 1
-            if value < self._min:
-                self._min = value
-            if value > self._max:
-                self._max = value
+                hi = bisect_right(ordered, bound, lo)
+                if hi > lo:
+                    span = hi - lo
+                    self._counts[i] += span
+                    self._win_counts[i] += span
+                    if ordered[lo] < self._bucket_min[i]:
+                        self._bucket_min[i] = ordered[lo]
+                    if ordered[hi - 1] > self._bucket_max[i]:
+                        self._bucket_max[i] = ordered[hi - 1]
+                    lo = hi
+                    if lo == n:
+                        break
+            self._sum += batch_sum
+            self._count += n
+            self._win_sum += batch_sum
+            self._win_count += n
+            if lowest < self._min:
+                self._min = lowest
+            if highest > self._max:
+                self._max = highest
+            if lowest < self._win_min:
+                self._win_min = lowest
+            if highest > self._win_max:
+                self._win_max = highest
 
     @property
     def count(self) -> int:
@@ -166,30 +382,123 @@ class Histogram(_Child):
                 out.append(running)
             return out
 
+    def state(self) -> Dict:
+        """Every exposition-relevant field under a single lock.
+
+        Renderers snapshot first and format outside the lock; reading
+        fields one property at a time can tear a histogram (bucket
+        counts from one instant, ``count`` from another).
+        """
+        with self._lock:
+            cumulative, running = [], 0
+            for c in self._counts:
+                running += c
+                cumulative.append(running)
+            return {
+                "bounds": self.bounds,
+                "counts": list(self._counts),
+                "cumulative": cumulative,
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min,
+                "max": self._max,
+                "bucket_min": list(self._bucket_min),
+                "bucket_max": list(self._bucket_max),
+            }
+
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile by in-bucket interpolation."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
         with self._lock:
-            if self._count == 0:
-                return float("nan")
-            rank = q * self._count
-            running = 0
-            lower = -_INF
-            for i, bound in enumerate(self.bounds):
-                in_bucket = self._counts[i]
-                if in_bucket and running + in_bucket >= rank:
-                    # Interpolate inside the bucket, clamped to the
-                    # observed range (tightens the first/last buckets).
-                    hi = min(bound, self._max)
-                    lo = max(lower, self._min)
-                    if not math.isfinite(hi):
-                        return self._max
-                    fraction = (rank - running) / in_bucket
-                    return lo + (hi - lo) * fraction
-                running += in_bucket
-                lower = bound
-            return self._max
+            return estimate_quantile(
+                self.bounds,
+                self._counts,
+                self._count,
+                q,
+                self._min,
+                self._max,
+                self._bucket_min,
+                self._bucket_max,
+            )
+
+    # ------------------------------------------------------------------
+    # Window (SLO engine support)
+    # ------------------------------------------------------------------
+
+    def window_view(self) -> HistogramWindow:
+        """Snapshot of observations since the last :meth:`reset_window`."""
+        with self._lock:
+            return HistogramWindow(
+                self.bounds,
+                list(self._win_counts),
+                self._win_sum,
+                self._win_count,
+                self._win_min,
+                self._win_max,
+            )
+
+    def reset_window(self) -> HistogramWindow:
+        """Close the current window (returned) and start a fresh one.
+
+        The cumulative series is untouched — windows exist so SLO
+        objectives can be judged over bounded spans while Prometheus
+        keeps seeing monotonic buckets.
+        """
+        with self._lock:
+            closed = HistogramWindow(
+                self.bounds,
+                list(self._win_counts),
+                self._win_sum,
+                self._win_count,
+                self._win_min,
+                self._win_max,
+            )
+            self._win_counts = [0] * len(self.bounds)
+            self._win_sum = 0.0
+            self._win_count = 0
+            self._win_min = _INF
+            self._win_max = -_INF
+            return closed
+
+    # ------------------------------------------------------------------
+    # Merge support
+    # ------------------------------------------------------------------
+
+    def _absorb(self, other: "Histogram") -> None:
+        """Fold another histogram's counts into this one (registry merge)."""
+        with other._lock:
+            state = {
+                "bounds": other.bounds,
+                "counts": list(other._counts),
+                "sum": other._sum,
+                "count": other._count,
+                "min": other._min,
+                "max": other._max,
+                "bucket_min": list(other._bucket_min),
+                "bucket_max": list(other._bucket_max),
+            }
+            win_counts = list(other._win_counts)
+            win_sum, win_count = other._win_sum, other._win_count
+            win_min, win_max = other._win_min, other._win_max
+        if state["bounds"] != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds"
+            )
+        with self._lock:
+            for i, c in enumerate(state["counts"]):
+                self._counts[i] += c
+                self._win_counts[i] += win_counts[i]
+                if state["bucket_min"][i] < self._bucket_min[i]:
+                    self._bucket_min[i] = state["bucket_min"][i]
+                if state["bucket_max"][i] > self._bucket_max[i]:
+                    self._bucket_max[i] = state["bucket_max"][i]
+            self._sum += state["sum"]
+            self._count += state["count"]
+            self._min = min(self._min, state["min"])
+            self._max = max(self._max, state["max"])
+            self._win_sum += win_sum
+            self._win_count += win_count
+            self._win_min = min(self._win_min, win_min)
+            self._win_max = max(self._win_max, win_max)
 
 
 _TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -275,6 +584,18 @@ class MetricFamily:
     def observe(self, value: float) -> None:
         self._require_default().observe(value)
 
+    def observe_many(self, values: Iterable[float]) -> None:
+        self._require_default().observe_many(values)
+
+    def state(self) -> Dict:
+        return self._require_default().state()
+
+    def window_view(self) -> "HistogramWindow":
+        return self._require_default().window_view()
+
+    def reset_window(self) -> "HistogramWindow":
+        return self._require_default().reset_window()
+
     @property
     def value(self) -> float:
         return self._require_default().value
@@ -358,6 +679,28 @@ class MetricsRegistry:
                     family._children[key] = family._make_child()
             if family._default is not None:
                 family._default = family._children[()]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        Families missing here are declared with the other registry's
+        schema; matching children are summed (counters, gauges — gauges
+        merge as fleet totals) or bucket-folded (histograms, windows
+        included).  Mismatched types/labels raise via ``_declare``;
+        mismatched histogram bounds raise from the child fold.  This is
+        the aggregation primitive for per-shard and, next, per-process
+        registries presenting one exposition surface.
+        """
+        for family in other.collect():
+            mine = self._declare(
+                family.name,
+                family.help,
+                family.type,
+                family.labelnames,
+                family._buckets,
+            )
+            for labels, child in family.samples():
+                mine.labels(**labels)._absorb(child)
 
 
 _registry = MetricsRegistry()

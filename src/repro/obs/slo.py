@@ -1,0 +1,364 @@
+"""Declarative SLOs over the pipeline's latency and success telemetry.
+
+An operator running the paper's QoE loop does not watch raw histograms
+— they set an objective ("99% of diagnoses within 250 ms end-to-end",
+"99.9% of records diagnosed successfully") and watch whether it holds
+and how fast its error budget burns.  This module evaluates such
+objectives over *tumbling windows* of the telemetry the pipeline
+already records:
+
+Spec grammar (one spec string per SLO)::
+
+    p<Q>:<target><=<value>(ms|s)@<window>s     latency objective
+    success>=<percent>%[@<window>s]            success-ratio objective
+
+    p99:e2e<=250ms@60s      p99 end-to-end latency ≤ 250 ms per 60 s
+    p95:diagnose<=5ms@30s   p95 of the diagnose stage ≤ 5 ms per 30 s
+    success>=99.9%@60s      ≥ 99.9% of processed records diagnosed
+
+Latency targets are ``e2e`` or any stage from
+:data:`repro.obs.pipeline.STAGES`; their windows come from the target
+histogram's :meth:`~repro.obs.registry.Histogram.reset_window` (SLOs
+sharing a target histogram share its window — the engine rolls it on
+the shortest requested cadence).  Success ratios are computed from
+counter deltas against window-start baselines.
+
+Per evaluated window the engine publishes, for each SLO:
+
+* ``value`` — the measured quantile / ratio,
+* ``ok`` — objective met (vacuously true on an empty window),
+* ``burn_rate`` — error-budget burn: the fraction of observations
+  violating the objective divided by the fraction the objective
+  allows.  1.0 burns the budget exactly at the sustainable rate;
+  10 means the window consumed ten windows' worth of budget.
+
+mirrored on the registry as ``repro_slo_ok{slo=}``,
+``repro_slo_value{slo=}`` and ``repro_slo_burn_rate{slo=}``, and
+available as a dict (:meth:`SLOEngine.snapshot`) for ``health()``,
+postmortems and the serve-replay summary.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from .pipeline import STAGES, PipelineTelemetry
+from .registry import MetricsRegistry, get_registry
+
+__all__ = ["SLO", "SLOEngine", "parse_slo", "DEFAULT_SLOS"]
+
+_LATENCY_RE = re.compile(
+    r"^p(?P<q>\d+(?:\.\d+)?):(?P<target>[a-z_][a-z_0-9]*)"
+    r"<=(?P<value>\d+(?:\.\d+)?)(?P<unit>ms|s)"
+    r"@(?P<window>\d+(?:\.\d+)?)s$"
+)
+_RATIO_RE = re.compile(
+    r"^success>=(?P<pct>\d+(?:\.\d+)?)%(?:@(?P<window>\d+(?:\.\d+)?)s)?$"
+)
+
+#: The serve-replay defaults when ``--slo`` is given without a spec:
+#: the ISSUE's two examples.
+DEFAULT_SLOS = ("p99:e2e<=250ms@60s", "success>=99.9%@60s")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One parsed objective (see the module grammar)."""
+
+    name: str
+    spec: str
+    kind: str  # "latency" | "ratio"
+    window_s: float
+    quantile: float = 0.0  # latency only
+    target: str = ""  # latency only: "e2e" or a stage name
+    threshold_s: float = 0.0  # latency only
+    target_ratio: float = 0.0  # ratio only
+
+    @property
+    def allowed_fraction(self) -> float:
+        """Fraction of observations the objective permits to violate it."""
+        if self.kind == "latency":
+            return max(1e-9, 1.0 - self.quantile)
+        return max(1e-9, 1.0 - self.target_ratio)
+
+
+def parse_slo(spec: str) -> SLO:
+    """Parse one spec string; raises ``ValueError`` with the grammar."""
+    spec = spec.strip()
+    match = _LATENCY_RE.match(spec)
+    if match:
+        quantile = float(match["q"]) / 100.0
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"percentile out of range in SLO spec {spec!r}")
+        target = match["target"]
+        if target != "e2e" and target not in STAGES:
+            raise ValueError(
+                f"unknown latency target {target!r} in SLO spec {spec!r}; "
+                f"use 'e2e' or one of {STAGES}"
+            )
+        value = float(match["value"])
+        threshold_s = value / 1000.0 if match["unit"] == "ms" else value
+        window_s = float(match["window"])
+        if window_s <= 0:
+            raise ValueError(f"window must be positive in SLO spec {spec!r}")
+        return SLO(
+            name=f"p{match['q']}_{target}",
+            spec=spec,
+            kind="latency",
+            window_s=window_s,
+            quantile=quantile,
+            target=target,
+            threshold_s=threshold_s,
+        )
+    match = _RATIO_RE.match(spec)
+    if match:
+        pct = float(match["pct"])
+        if not 0.0 < pct <= 100.0:
+            raise ValueError(f"percentage out of range in SLO spec {spec!r}")
+        window = match["window"]
+        window_s = float(window) if window is not None else 60.0
+        if window_s <= 0:
+            raise ValueError(f"window must be positive in SLO spec {spec!r}")
+        return SLO(
+            name="success",
+            spec=spec,
+            kind="ratio",
+            window_s=window_s,
+            target_ratio=pct / 100.0,
+        )
+    raise ValueError(
+        f"cannot parse SLO spec {spec!r}; grammar: "
+        "'p<Q>:<target><=<value>(ms|s)@<window>s' or "
+        "'success>=<pct>%[@<window>s]'"
+    )
+
+
+class _SLOState:
+    """Mutable evaluation state of one SLO."""
+
+    __slots__ = ("slo", "value", "ok", "burn_rate", "windows", "breaches")
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        self.value: Optional[float] = None
+        self.ok = True
+        self.burn_rate = 0.0
+        self.windows = 0
+        self.breaches = 0
+
+
+class SLOEngine:
+    """Evaluates a set of SLOs over tumbling telemetry windows.
+
+    Parameters
+    ----------
+    slos:
+        Spec strings or pre-parsed :class:`SLO` objects.
+    telemetry:
+        The :class:`~repro.obs.pipeline.PipelineTelemetry` whose
+        histograms the latency objectives read.
+    processed, failed:
+        Zero-argument callables returning the monotonically increasing
+        totals the ``success`` ratio is computed from (records
+        processed, records that failed diagnosis — quarantines).
+        Required only when a ratio SLO is present.
+    registry:
+        Where the ``repro_slo_*`` gauges are declared.
+    clock:
+        Injectable monotonic clock (tests).
+
+    :meth:`maybe_roll` is called from the submit path (cheap: one clock
+    read and a float compare until a window actually expires);
+    :meth:`finalize` force-closes the in-flight window at drain so
+    short runs still evaluate at least once.
+    """
+
+    def __init__(
+        self,
+        slos: Sequence[Union[str, SLO]],
+        telemetry: PipelineTelemetry,
+        processed: Optional[Callable[[], float]] = None,
+        failed: Optional[Callable[[], float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        parsed = [s if isinstance(s, SLO) else parse_slo(s) for s in slos]
+        if not parsed:
+            raise ValueError("SLOEngine needs at least one SLO")
+        names = [s.name for s in parsed]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        if any(s.kind == "ratio" for s in parsed) and (
+            processed is None or failed is None
+        ):
+            raise ValueError(
+                "ratio SLOs need 'processed' and 'failed' providers"
+            )
+        self.slos = parsed
+        self._telemetry = telemetry
+        self._processed = processed
+        self._failed = failed
+        self._clock = clock
+        reg = registry if registry is not None else get_registry()
+        self._g_ok = reg.gauge(
+            "repro_slo_ok",
+            "1 while the SLO's latest window met its objective.",
+            labelnames=("slo",),
+        )
+        self._g_value = reg.gauge(
+            "repro_slo_value",
+            "Measured value of the SLO's latest window "
+            "(seconds for latency, ratio for success).",
+            labelnames=("slo",),
+        )
+        self._g_burn = reg.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate of the SLO's latest window "
+            "(1.0 = exactly sustainable).",
+            labelnames=("slo",),
+        )
+        self._states = {s.name: _SLOState(s) for s in parsed}
+        # Latency SLOs sharing a target histogram share its window;
+        # the group rolls on the shortest requested cadence.
+        self._groups: Dict[str, List[SLO]] = {}
+        for slo in parsed:
+            if slo.kind == "latency":
+                self._groups.setdefault(slo.target, []).append(slo)
+        self._deadlines: Dict[str, float] = {}
+        self._baselines: Dict[str, tuple] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+
+    def _histogram(self, target: str):
+        if target == "e2e":
+            return self._telemetry.e2e_histogram
+        return self._telemetry.stage_histogram(target)
+
+    def start(self) -> None:
+        """Anchor the first window at the current clock reading."""
+        now = self._clock()
+        for target, group in self._groups.items():
+            window = min(s.window_s for s in group)
+            self._deadlines[target] = now + window
+            self._histogram(target).reset_window()  # discard pre-start noise
+        for slo in self.slos:
+            if slo.kind == "ratio":
+                self._deadlines[slo.name] = now + slo.window_s
+                self._baselines[slo.name] = (
+                    self._processed(),
+                    self._failed(),
+                )
+        self._started = True
+
+    def maybe_roll(self, now: Optional[float] = None) -> bool:
+        """Evaluate every window whose deadline passed; True if any did."""
+        if not self._started:
+            self.start()
+            return False
+        now = self._clock() if now is None else now
+        rolled = False
+        for target, group in self._groups.items():
+            if now >= self._deadlines[target]:
+                self._roll_latency(target, group)
+                self._deadlines[target] = now + min(
+                    s.window_s for s in group
+                )
+                rolled = True
+        for slo in self.slos:
+            if slo.kind == "ratio" and now >= self._deadlines[slo.name]:
+                self._roll_ratio(slo)
+                self._deadlines[slo.name] = now + slo.window_s
+                rolled = True
+        return rolled
+
+    def finalize(self) -> None:
+        """Force-close the in-flight windows (drain path)."""
+        if not self._started:
+            self.start()
+        for target, group in self._groups.items():
+            self._roll_latency(target, group)
+        for slo in self.slos:
+            if slo.kind == "ratio":
+                self._roll_ratio(slo)
+
+    # ------------------------------------------------------------------
+
+    def _roll_latency(self, target: str, group: List[SLO]) -> None:
+        window = self._histogram(target).reset_window()
+        for slo in group:
+            state = self._states[slo.name]
+            if window.count == 0:
+                # No traffic: vacuously ok, nothing burned, but do not
+                # overwrite the last measured value.
+                state.ok = True
+                state.burn_rate = 0.0
+                self._publish(state)
+                continue
+            value = window.quantile(slo.quantile)
+            violating = window.fraction_over(slo.threshold_s)
+            state.value = value
+            state.ok = value <= slo.threshold_s
+            state.burn_rate = violating / slo.allowed_fraction
+            state.windows += 1
+            if not state.ok:
+                state.breaches += 1
+            self._publish(state)
+
+    def _roll_ratio(self, slo: SLO) -> None:
+        state = self._states[slo.name]
+        processed, failed = self._processed(), self._failed()
+        base = self._baselines.get(slo.name, (0.0, 0.0))
+        self._baselines[slo.name] = (processed, failed)
+        d_processed = processed - base[0]
+        d_failed = failed - base[1]
+        if d_processed <= 0:
+            state.ok = True
+            state.burn_rate = 0.0
+            self._publish(state)
+            return
+        ratio = (d_processed - d_failed) / d_processed
+        state.value = ratio
+        state.ok = ratio >= slo.target_ratio
+        state.burn_rate = (d_failed / d_processed) / slo.allowed_fraction
+        state.windows += 1
+        if not state.ok:
+            state.breaches += 1
+        self._publish(state)
+
+    def _publish(self, state: _SLOState) -> None:
+        name = state.slo.name
+        self._g_ok.labels(slo=name).set(1.0 if state.ok else 0.0)
+        if state.value is not None:
+            self._g_value.labels(slo=name).set(state.value)
+        self._g_burn.labels(slo=name).set(state.burn_rate)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        """True while every SLO's latest window met its objective."""
+        return all(state.ok for state in self._states.values())
+
+    def snapshot(self) -> List[Dict]:
+        """Per-SLO state for ``health()``, postmortems and summaries."""
+        out = []
+        for slo in self.slos:
+            state = self._states[slo.name]
+            out.append(
+                {
+                    "name": slo.name,
+                    "spec": slo.spec,
+                    "kind": slo.kind,
+                    "window_s": slo.window_s,
+                    "value": state.value,
+                    "ok": state.ok,
+                    "burn_rate": round(state.burn_rate, 4),
+                    "windows": state.windows,
+                    "breaches": state.breaches,
+                }
+            )
+        return out

@@ -29,7 +29,7 @@ import time
 from typing import Callable, List, Optional, Sequence
 
 from repro.datasets.schema import SessionRecord
-from repro.obs import get_registry
+from repro.obs import get_recorder, get_registry
 
 __all__ = ["MicroBatcher"]
 
@@ -86,6 +86,7 @@ class MicroBatcher:
     def _release(self, batch: List[SessionRecord], reason: str) -> List[SessionRecord]:
         _BATCHES.labels(reason=reason).inc()
         _BATCH_SIZE.observe(len(batch))
+        get_recorder().record("batch_released", size=len(batch), reason=reason)
         return batch
 
     def add(self, records: Sequence[SessionRecord]) -> List[List[SessionRecord]]:

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List
 
 from repro.capture.weblog import WeblogEntry
-from repro.obs import get_logger, get_registry
+from repro.obs import get_logger, get_recorder, get_registry
 
 __all__ = ["DeadLetter", "DeadLetterQueue"]
 
@@ -129,6 +129,12 @@ class DeadLetterQueue:
             depth = len(self._items)
         _QUARANTINED.labels(reason=reason).inc()
         _DEPTH.set(depth)
+        get_recorder().record(
+            "record_quarantined",
+            reason=reason,
+            shard=shard,
+            subscriber=entry.subscriber_id,
+        )
         _LOG.warning(
             "record_quarantined",
             reason=reason,

@@ -33,7 +33,7 @@ from typing import Callable, Optional, Union
 
 from repro.core.framework import QoEFramework
 from repro.faults.retry import retry_with_backoff
-from repro.obs import get_logger, get_registry
+from repro.obs import get_logger, get_recorder, get_registry
 from repro.persistence import load_framework
 
 __all__ = ["ModelManager"]
@@ -157,6 +157,9 @@ class ModelManager:
             )
         except (ValueError, OSError) as exc:
             _RELOADS.labels(status="error").inc()
+            get_recorder().record(
+                "model_reload_failed", path=str(self._path), error=str(exc)
+            )
             _LOG.warning(
                 "model_reload_failed", path=str(self._path), error=str(exc)
             )
@@ -167,5 +170,8 @@ class ModelManager:
             version = self._version
         _RELOADS.labels(status="ok").inc()
         _VERSION.set(version)
+        get_recorder().record(
+            "model_reloaded", path=str(self._path), version=version
+        )
         _LOG.info("model_reloaded", path=str(self._path), version=version)
         return True

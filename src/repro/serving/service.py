@@ -56,7 +56,17 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Unio
 
 from repro.capture.weblog import WeblogEntry
 from repro.core.framework import QoEFramework, SessionDiagnosis
-from repro.obs import get_logger, get_registry, trace
+from repro.obs import (
+    SLO,
+    FlightRecorder,
+    PipelineTelemetry,
+    SLOEngine,
+    TraceContext,
+    get_logger,
+    get_registry,
+    set_recorder,
+    trace,
+)
 from repro.realtime.monitor import Alarm, SubscriberHealth
 
 from .batcher import MicroBatcher
@@ -129,6 +139,19 @@ class QoEService:
         chaos plan's worker-kill hook on every shard and its reload
         gate on the model manager.  ``None`` (production) adds a single
         ``is None`` branch per entry.
+    telemetry:
+        Per-record trace propagation.  ``True`` (default) builds a
+        :class:`~repro.obs.pipeline.PipelineTelemetry`; pass an
+        instance to control sampling, or ``False`` to run the PR-5
+        hot path with no per-record instrumentation at all.
+    slos:
+        SLO spec strings (see :mod:`repro.obs.slo`) or parsed
+        :class:`~repro.obs.slo.SLO` objects, evaluated over tumbling
+        windows while the service runs.  Requires telemetry.
+    postmortem_dir:
+        Directory for the flight recorder's JSON postmortems (written
+        when a circuit opens, a shard dies or drain times out).
+        ``None`` keeps the event ring but writes nothing.
     """
 
     def __init__(
@@ -153,6 +176,9 @@ class QoEService:
         dead_letter_capacity: int = 1024,
         clock_skew_tolerance_s: float = 5.0,
         faults: Optional["FaultInjector"] = None,
+        telemetry: Union[bool, PipelineTelemetry] = True,
+        slos: Optional[Iterable[Union[str, SLO]]] = None,
+        postmortem_dir: Optional[str] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -168,6 +194,26 @@ class QoEService:
         self.shed = 0
         self.rejected = 0
         self.dead_letters = DeadLetterQueue(capacity=dead_letter_capacity)
+        if isinstance(telemetry, PipelineTelemetry):
+            self.telemetry: Optional[PipelineTelemetry] = telemetry
+        elif telemetry:
+            self.telemetry = PipelineTelemetry()
+        else:
+            self.telemetry = None
+        slo_specs = list(slos) if slos is not None else []
+        if slo_specs and self.telemetry is None:
+            raise ValueError("SLO evaluation requires telemetry enabled")
+        self.slo_engine: Optional[SLOEngine] = (
+            SLOEngine(
+                slo_specs,
+                self.telemetry,
+                processed=self._entries_processed_total,
+                failed=lambda: float(self.dead_letters.quarantined),
+            )
+            if slo_specs
+            else None
+        )
+        self.recorder = FlightRecorder(postmortem_dir=postmortem_dir)
         self._shards: List[ShardWorker] = [
             ShardWorker(
                 index=i,
@@ -186,6 +232,11 @@ class QoEService:
                 dead_letters=self.dead_letters,
                 clock_skew_tolerance_s=clock_skew_tolerance_s,
                 fault_hook=faults.shard_fault_hook if faults is not None else None,
+                telemetry=(
+                    self.telemetry.for_shard(i)
+                    if self.telemetry is not None
+                    else None
+                ),
             )
             for i in range(n_shards)
         ]
@@ -202,14 +253,56 @@ class QoEService:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    def _entries_processed_total(self) -> float:
+        return float(sum(s.entries_processed for s in self._shards))
+
+    def _register_recorder_providers(self) -> None:
+        """Snapshot providers included in every postmortem."""
+        if self.telemetry is not None:
+            self.recorder.add_provider(
+                "stages", self.telemetry.stage_snapshot
+            )
+        if self.slo_engine is not None:
+            self.recorder.add_provider(
+                "slo",
+                lambda: {
+                    "ok": self.slo_engine.ok,
+                    "objectives": self.slo_engine.snapshot(),
+                },
+            )
+        self.recorder.add_provider("dead_letter", self.dead_letters.snapshot)
+        self.recorder.add_provider(
+            "service",
+            lambda: {
+                "state": self.state,
+                "submitted": self.submitted,
+                "shed": self.shed,
+                "rejected": self.rejected,
+                "restarts": self.supervisor.total_restarts,
+                "open_circuits": self.supervisor.open_circuits,
+                "stalled": self.supervisor.stalled_shards,
+            },
+        )
+
     def start(self) -> "QoEService":
         """Spin up the shard workers and their watchdog; become ready."""
         if self.state != "created":
             raise RuntimeError(f"cannot start a {self.state} service")
+        # Install this service's flight recorder as the process default
+        # so deep modules (DLQ, batcher, models, faults) record into it.
+        self._register_recorder_providers()
+        set_recorder(self.recorder)
+        if self.slo_engine is not None:
+            self.slo_engine.start()
         for shard in self._shards:
             shard.start()
         self.supervisor.start()
         self.state = "running"
+        self.recorder.record(
+            "service_started",
+            shards=self.n_shards,
+            model_version=self.models.version,
+        )
         _SHARDS.set(self.n_shards)
         _STATE.set(1)
         _LOG.info(
@@ -234,12 +327,50 @@ class QoEService:
         if self.state != "running":
             raise RuntimeError(f"cannot submit to a {self.state} service")
         index = shard_index(entry.subscriber_id, self.n_shards)
+        seq = self.submitted
         self.submitted += 1
+        # Telemetry is inlined (direct TraceContext construction, direct
+        # buffer append instead of trace_context()/note_submit() calls):
+        # submit runs once per entry and the method-call overhead alone
+        # breaks the <5% gate on a single core.
+        tel = self.telemetry
+        ctx = None
+        if tel is not None:
+            ctx = TraceContext(
+                entry.subscriber_id, seq, seq % tel.sample_every == 0
+            )
+            # Attribute-attach keeps queue items and shard code shapes
+            # unchanged; the shard reads the context back on dequeue.
+            entry.__dict__["_trace_ctx"] = ctx
+            if ctx.sampled:
+                self.recorder.record(
+                    "submit",
+                    trace_id=ctx.trace_id,
+                    subscriber=entry.subscriber_id,
+                    shard=index,
+                )
+            if self.slo_engine is not None and seq % 256 == 0:
+                self.slo_engine.maybe_roll()
+            ctx.t_submit = time.perf_counter()
         if self.supervisor.circuit_open(index):
             self.rejected += 1
             _REJECTED.inc()
             return False
+        if ctx is not None:
+            # Stamp *before* the put: the shard may dequeue the entry
+            # the instant it lands, and a blocked put is queue time.
+            ctx.t_enqueued = time.perf_counter()
         accepted = self._shards[index].queue.put(entry)
+        if ctx is not None:
+            duration = ctx.t_enqueued - ctx.t_submit
+            if ctx.stages is not None:
+                ctx.stages["submit"] = duration
+            with tel._submit_lock:
+                buf = tel._submit_buf
+                buf.append(duration)
+                full = len(buf) >= 512
+            if full:
+                tel.flush()
         if not accepted:
             self.shed += 1
         return accepted
@@ -285,6 +416,19 @@ class QoEService:
         _STATE.set(0)
         _SHARDS.set(0)
         _DRAIN_SECONDS.observe(time.perf_counter() - started)
+        if self.telemetry is not None:
+            self.telemetry.flush()
+        if self.slo_engine is not None:
+            # Close the in-flight windows so short replays still
+            # evaluate every objective at least once.
+            self.slo_engine.finalize()
+        self.recorder.record(
+            "service_drained",
+            diagnoses=len(self.diagnoses),
+            alarms=len(self.alarms),
+            restarts=self.supervisor.total_restarts,
+            dead_letter=self.dead_letters.quarantined,
+        )
         _LOG.info(
             "service_drained",
             diagnoses=len(self.diagnoses),
@@ -367,7 +511,7 @@ class QoEService:
         entries while workers run; exact totals are available after
         :meth:`drain`.
         """
-        return {
+        out = {
             "state": self.state,
             "ready": self.ready,
             "degraded": self.degraded,
@@ -398,3 +542,11 @@ class QoEService:
                 for shard in self._shards
             ],
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry.stage_snapshot()
+        if self.slo_engine is not None:
+            out["slo"] = {
+                "ok": self.slo_engine.ok,
+                "objectives": self.slo_engine.snapshot(),
+            }
+        return out

@@ -48,7 +48,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.capture.weblog import MalformedRecordError, WeblogEntry
 from repro.core.framework import SessionDiagnosis
-from repro.obs import get_logger, get_registry
+from repro.obs import ShardTelemetry, get_logger, get_recorder, get_registry
+from repro.obs.pipeline import _FLUSH_HIGH_WATER as _TEL_HIGH_WATER
 from repro.realtime.monitor import Alarm, RealTimeMonitor
 from repro.realtime.tracker import OnlineSessionTracker
 
@@ -102,6 +103,12 @@ class ShardWorker:
     fault_hook:
         Chaos-plan hook called with ``(shard_index, entry, picked_up)``
         for every dequeued entry; may raise to kill this worker.
+    telemetry:
+        Optional :class:`~repro.obs.pipeline.ShardTelemetry` — when
+        present, every dequeued record's trace context (attached by
+        ``QoEService.submit``) is advanced through the stage
+        timestamps and its durations buffered for the staged latency
+        histograms.  ``None`` keeps the PR-5 hot path untouched.
     """
 
     def __init__(
@@ -120,6 +127,7 @@ class ShardWorker:
         dead_letters: Optional[DeadLetterQueue] = None,
         clock_skew_tolerance_s: float = 5.0,
         fault_hook: Optional[Callable[[int, WeblogEntry, int], None]] = None,
+        telemetry: Optional[ShardTelemetry] = None,
     ) -> None:
         if clock_skew_tolerance_s < 0:
             raise ValueError("clock_skew_tolerance_s must be >= 0")
@@ -143,6 +151,7 @@ class ShardWorker:
         )
         self.clock_skew_tolerance_s = clock_skew_tolerance_s
         self.fault_hook = fault_hook
+        self.telemetry = telemetry
         self.entries_processed = 0
         self.quarantined = 0
         self.restarts = 0
@@ -216,10 +225,27 @@ class ShardWorker:
     def _diagnose(self, batch) -> None:
         if not batch:
             return
+        tel = self.telemetry
+        started = time.perf_counter() if tel is not None else 0.0
         # One model version per batch: resolve the hot-swappable
         # reference exactly once, at the batch boundary.
         self.monitor.framework = self._models.current
         self.monitor.diagnose_records(batch)
+        if tel is not None:
+            done = time.perf_counter()
+            tel.note("diagnose", done - started)
+            for record in batch:
+                ctx = record.__dict__.get("_trace_ctx")
+                if ctx is not None:
+                    tel.note("batch_wait", started - ctx.t_tracked, ctx)
+                    if ctx.stages is not None:
+                        # Sampled exemplar: apportion the batch's
+                        # diagnose time as this record's share.
+                        ctx.stages["diagnose"] = (done - started) / len(batch)
+                    tel.complete(ctx, done)
+            # Batch boundary: one observe_many per stage instead of
+            # several histogram locks per record.
+            tel.flush()
 
     def _dead_letter(self, entry: WeblogEntry, reason: str, detail: str) -> None:
         self.quarantined += 1
@@ -262,6 +288,20 @@ class ShardWorker:
             return False
         self.entries_processed += 1
         self._entries_counter.inc()
+        # Telemetry is inlined here rather than routed through
+        # ShardTelemetry.note(): this block runs per dequeued entry and
+        # a method call per stage costs more than the <5% overhead gate
+        # allows on one core.  The buf_* lists alias the shard's stage
+        # buffers (flush clears in place, so the references stay valid).
+        tel = self.telemetry
+        ctx = entry.__dict__.get("_trace_ctx") if tel is not None else None
+        if ctx is not None:
+            t_dequeued = time.perf_counter()
+            queue_wait = t_dequeued - ctx.t_enqueued
+            tel.buf_queue_wait.append(queue_wait)
+            stages = ctx.stages
+            if stages is not None:
+                stages["queue_wait"] = queue_wait
         if self.fault_hook is not None:
             self.fault_hook(self.index, entry, self.entries_processed)
         try:
@@ -269,7 +309,24 @@ class ShardWorker:
         except MalformedRecordError as exc:
             self._dead_letter(entry, self._reject_reason(exc), str(exc))
             return True
+        if ctx is not None:
+            t_validated = time.perf_counter()
+            tel.buf_validate.append(t_validated - t_dequeued)
+            if stages is not None:
+                stages["validate"] = t_validated - t_dequeued
         closed = self.monitor.tracker.observe(entry)
+        if ctx is not None:
+            now = time.perf_counter()
+            ctx.t_tracked = now
+            tel.buf_track.append(now - t_validated)
+            if stages is not None:
+                stages["track"] = now - t_validated
+            if len(tel.buf_queue_wait) >= _TEL_HIGH_WATER:
+                tel.flush()
+            # A closed session's end-to-end latency is anchored on the
+            # entry whose arrival closed it.
+            for record in closed:
+                record.__dict__["_trace_ctx"] = ctx
         for batch in self.batcher.add(closed):
             self._diagnose(batch)
         self._diagnose(self.batcher.take_due())
@@ -289,7 +346,12 @@ class ShardWorker:
         final = self.batcher.flush()
         final.extend(self.monitor.tracker.flush())
         self._diagnose(final)
+        tel = self.telemetry
+        started = time.perf_counter() if tel is not None else 0.0
         self.monitor.final_alarm_sweep()
+        if tel is not None:
+            tel.note("alarm_sweep", time.perf_counter() - started)
+            tel.flush()
 
     def _run(self) -> None:
         try:
@@ -300,4 +362,9 @@ class ShardWorker:
         except BaseException as exc:
             self.error = exc
             self.state = "failed"
+            if self.telemetry is not None:
+                self.telemetry.flush()
+            get_recorder().record(
+                "shard_worker_died", shard=self.index, error=repr(exc)
+            )
             _LOG.exception("shard_worker_failed", shard=self.index)

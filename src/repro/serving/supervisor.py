@@ -38,7 +38,7 @@ import threading
 import time
 from typing import Callable, List, Optional, Sequence, Set
 
-from repro.obs import get_logger, get_registry
+from repro.obs import get_logger, get_recorder, get_registry
 
 from .dlq import DeadLetterQueue
 from .shard import ShardWorker
@@ -216,6 +216,15 @@ class ShardSupervisor:
                 restarts_used=shard.restarts,
                 max_restarts=self.max_restarts,
             )
+            # A shard death is a postmortem trigger: capture the ring
+            # while the evidence is fresh (no-op without a dump dir).
+            get_recorder().dump(
+                "shard_failed",
+                shard=shard.index,
+                error=repr(shard.error),
+                restarts_used=shard.restarts,
+                max_restarts=self.max_restarts,
+            )
             if not honour_backoff:
                 self._restart(shard)
             return
@@ -227,6 +236,12 @@ class ShardSupervisor:
         self._next_attempt.pop(shard.index, None)
         shard.restart()
         _RESTARTS.labels(shard=str(shard.index)).inc()
+        get_recorder().record(
+            "shard_restarted",
+            shard=shard.index,
+            restart=shard.restarts,
+            queue_depth=shard.queue.depth,
+        )
         _LOG.info(
             "shard_restarted",
             shard=shard.index,
@@ -241,6 +256,25 @@ class ShardSupervisor:
         self._open_circuits.add(shard.index)
         self._next_attempt.pop(shard.index, None)
         _CIRCUIT.labels(shard=str(shard.index)).set(1)
+        # Record + dump the postmortem BEFORE quarantining the abandoned
+        # queue: each quarantine appends a ring event, and a deep queue
+        # would evict the very evidence (worker deaths, restarts, this
+        # transition) the postmortem exists to preserve.
+        recorder = get_recorder()
+        recorder.record(
+            "circuit_open",
+            shard=shard.index,
+            restarts=shard.restarts,
+            queued=shard.queue.depth,
+            error=repr(shard.error),
+        )
+        recorder.dump(
+            "circuit_open",
+            shard=shard.index,
+            restarts=shard.restarts,
+            queued=shard.queue.depth,
+            error=repr(shard.error),
+        )
         abandoned = shard.queue.drain_remaining()
         for entry in abandoned:
             self._dlq.put(
@@ -310,5 +344,8 @@ class ShardSupervisor:
             still_running = [s.index for s in self._shards if s.alive]
         if still_running:
             _LOG.error(
+                "drain_timeout", shards=still_running, timeout_s=timeout_s
+            )
+            get_recorder().dump(
                 "drain_timeout", shards=still_running, timeout_s=timeout_s
             )

@@ -125,3 +125,59 @@ class TestWholeRegistryParses:
         _assert_parses(text)
         assert "# TYPE repro_realtime_open_sessions gauge" in text
         assert "# TYPE repro_ml_predictions_total counter" in text
+
+
+class TestEscapingExhaustive:
+    def test_all_three_escapes_in_one_value_exact(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", "C.", labelnames=("v",))
+        family.labels(v='q"q \\ back\nnext').inc()
+        text = render_prometheus(registry)
+        assert (
+            'c_total{v="q\\"q \\\\ back\\nnext"} 1\n' in text
+        )
+        _assert_parses(text)
+
+    def test_histogram_label_values_escaped(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "h_seconds", "H.", labelnames=("op",), buckets=[1.0]
+        )
+        hist.labels(op='read "raw"\n').observe(0.5)
+        text = render_prometheus(registry)
+        assert 'op="read \\"raw\\"\\n"' in text
+        _assert_parses(text)
+
+    def test_escape_is_idempotent_on_clean_values(self):
+        assert escape_label_value("plain value_1.2") == "plain value_1.2"
+
+    def test_render_is_consistent_under_concurrent_writes(self):
+        # The snapshot-first renderer must produce parseable output
+        # while other threads are mutating the registry.
+        import threading
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "H.", buckets=[0.5, 1.0])
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                hist.observe(0.7)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(50):
+                text = render_prometheus(registry)
+                _assert_parses(text)
+                # Internal consistency of each scrape: +Inf bucket,
+                # sum and count all come from one locked snapshot.
+                for line in text.splitlines():
+                    if line.startswith('h_seconds_bucket{le="+Inf"}'):
+                        inf_count = float(line.rsplit(" ", 1)[1])
+                    elif line.startswith("h_seconds_count"):
+                        count = float(line.rsplit(" ", 1)[1])
+                assert inf_count == count
+        finally:
+            stop.set()
+            thread.join()

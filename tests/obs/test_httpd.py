@@ -78,3 +78,43 @@ class TestLifecycle:
             assert first.port != second.port
             assert _get(first.url)[0] == 200
             assert _get(second.url)[0] == 200
+
+
+class TestHealthEndpoint:
+    def test_health_serves_provider_json(self):
+        import json
+
+        payload = {"state": "running", "shards": 4, "slo": {"ok": True}}
+        with start_metrics_server(port=0, health=lambda: payload) as server:
+            status, headers, body = _get(
+                f"http://127.0.0.1:{server.port}/health"
+            )
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        assert json.loads(body) == payload
+
+    def test_health_404_without_provider(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"http://127.0.0.1:{server.port}/health")
+        assert excinfo.value.code == 404
+
+    def test_health_reflects_live_state(self):
+        state = {"n": 0}
+        with start_metrics_server(port=0, health=lambda: state) as server:
+            import json
+
+            url = f"http://127.0.0.1:{server.port}/health"
+            assert json.loads(_get(url)[2]) == {"n": 0}
+            state["n"] = 7
+            assert json.loads(_get(url)[2]) == {"n": 7}
+
+    def test_provider_exception_is_500_not_crash(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        with start_metrics_server(port=0, health=broken) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"http://127.0.0.1:{server.port}/health")
+            assert excinfo.value.code == 500
+            # The server survives: /metrics still answers.
+            assert _get(server.url)[0] == 200

@@ -1,0 +1,172 @@
+"""Trace propagation layer: contexts, staged buffers, exemplars."""
+
+import zlib
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS,
+    STAGES,
+    MetricsRegistry,
+    PipelineTelemetry,
+    TraceContext,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def telemetry(registry):
+    return PipelineTelemetry(registry=registry, sample_every=1)
+
+
+class TestTraceContext:
+    def test_trace_id_is_deterministic(self):
+        a = TraceContext("sub-007", 42, sampled=False)
+        b = TraceContext("sub-007", 42, sampled=True)
+        assert a.trace_id == b.trace_id
+        expected = f"{zlib.crc32(b'sub-007'):08x}-00000042"
+        assert a.trace_id == expected
+
+    def test_different_subscribers_differ(self):
+        assert (
+            TraceContext("sub-001", 5, False).trace_id
+            != TraceContext("sub-002", 5, False).trace_id
+        )
+
+    def test_unsampled_context_has_no_stage_dict(self):
+        assert TraceContext("s", 0, sampled=False).stages is None
+        assert TraceContext("s", 0, sampled=True).stages == {}
+
+    def test_sampling_cadence(self, registry):
+        telemetry = PipelineTelemetry(registry=registry, sample_every=4)
+        sampled = [
+            telemetry.trace_context("s", seq).sampled for seq in range(8)
+        ]
+        assert sampled == [True, False, False, False] * 2
+
+    def test_sample_every_must_be_positive(self, registry):
+        with pytest.raises(ValueError):
+            PipelineTelemetry(registry=registry, sample_every=0)
+
+
+class TestShardTelemetry:
+    def test_notes_are_buffered_until_flush(self, telemetry, registry):
+        shard = telemetry.for_shard(0)
+        shard.note("validate", 0.001)
+        shard.note("validate", 0.002)
+        family = registry.get("repro_serving_stage_seconds")
+        assert family.labels(stage="validate").count == 0
+        shard.flush()
+        assert family.labels(stage="validate").count == 2
+
+    def test_note_mirrors_onto_sampled_context(self, telemetry):
+        ctx = telemetry.trace_context("s", 0)
+        shard = telemetry.for_shard(0)
+        shard.note("track", 0.5, ctx)
+        shard.note("track", 0.25, ctx)
+        assert ctx.stages["track"] == pytest.approx(0.75)
+
+    def test_unsampled_context_not_written(self, registry):
+        telemetry = PipelineTelemetry(registry=registry, sample_every=2)
+        ctx = telemetry.trace_context("s", 1)
+        telemetry.for_shard(0).note("track", 0.5, ctx)
+        assert ctx.stages is None
+
+    def test_high_water_forces_flush(self, telemetry, registry):
+        from repro.obs.pipeline import _FLUSH_HIGH_WATER
+
+        shard = telemetry.for_shard(0)
+        for _ in range(_FLUSH_HIGH_WATER):
+            shard.note("queue_wait", 0.001)
+        family = registry.get("repro_serving_stage_seconds")
+        assert family.labels(stage="queue_wait").count == _FLUSH_HIGH_WATER
+
+    def test_complete_records_e2e_and_exemplar(self, telemetry, registry):
+        ctx = telemetry.trace_context("sub-001", 0)
+        ctx.t_submit = 10.0
+        shard = telemetry.for_shard(3)
+        shard.note("validate", 0.25, ctx)
+        shard.complete(ctx, 10.5)
+        shard.flush()
+        assert registry.get("repro_serving_e2e_seconds").count == 1
+        (exemplar,) = telemetry.exemplars()
+        assert exemplar["trace_id"] == ctx.trace_id
+        assert exemplar["shard"] == 3
+        assert exemplar["name"] == "e2e"
+        assert exemplar["duration_s"] == pytest.approx(0.5)
+        assert exemplar["children"] == [
+            {"name": "validate", "duration_s": pytest.approx(0.25)}
+        ]
+
+    def test_exemplar_children_in_stage_order(self, telemetry):
+        ctx = telemetry.trace_context("s", 0)
+        shard = telemetry.for_shard(0)
+        # Note in reverse order; the span tree must come out in STAGES order.
+        shard.note("diagnose", 0.004, ctx)
+        shard.note("queue_wait", 0.001, ctx)
+        shard.note("validate", 0.002, ctx)
+        shard.complete(ctx, 1.0)
+        (exemplar,) = telemetry.exemplars()
+        assert [c["name"] for c in exemplar["children"]] == [
+            "queue_wait", "validate", "diagnose",
+        ]
+
+
+class TestPipelineTelemetry:
+    def test_note_submit_buffers_and_flushes(self, telemetry, registry):
+        ctx = telemetry.trace_context("s", 0)
+        ctx.t_submit, ctx.t_enqueued = 1.0, 1.5
+        telemetry.note_submit(ctx)
+        family = registry.get("repro_serving_stage_seconds")
+        assert family.labels(stage="submit").count == 0
+        telemetry.flush()
+        assert family.labels(stage="submit").count == 1
+        assert family.labels(stage="submit").sum == pytest.approx(0.5)
+        assert ctx.stages["submit"] == pytest.approx(0.5)
+
+    def test_exemplar_pool_is_bounded(self, registry):
+        telemetry = PipelineTelemetry(
+            registry=registry, sample_every=1, max_exemplars=4
+        )
+        shard = telemetry.for_shard(0)
+        for seq in range(10):
+            ctx = telemetry.trace_context("s", seq)
+            shard.complete(ctx, 1.0)
+        assert len(telemetry.exemplars()) == 4
+        assert [e["seq"] for e in telemetry.exemplars()] == [6, 7, 8, 9]
+
+    def test_stage_histogram_rejects_unknown(self, telemetry):
+        with pytest.raises(KeyError):
+            telemetry.stage_histogram("not_a_stage")
+
+    def test_stage_snapshot_shape(self, telemetry):
+        shard = telemetry.for_shard(0)
+        shard.note("validate", 0.002)
+        ctx = telemetry.trace_context("s", 0)
+        ctx.t_submit = 0.0
+        shard.complete(ctx, 0.040)
+        shard.flush()
+        snapshot = telemetry.stage_snapshot()
+        assert set(snapshot["stages"]) == set(STAGES)
+        assert snapshot["stages"]["validate"]["count"] == 1
+        assert snapshot["stages"]["validate"]["mean_s"] == pytest.approx(0.002)
+        assert snapshot["e2e"]["count"] == 1
+        assert snapshot["e2e"]["p99_s"] == pytest.approx(0.040)
+        assert snapshot["exemplars_retained"] == 1
+        assert snapshot["exemplars_sampled"] == 1
+        assert snapshot["sample_every"] == 1
+
+    def test_empty_snapshot_is_finite(self, telemetry):
+        snapshot = telemetry.stage_snapshot()
+        for stage in snapshot["stages"].values():
+            assert stage["count"] == 0
+            assert stage["mean_s"] == 0.0
+            assert stage["p99_s"] == 0.0
+        assert snapshot["e2e"]["count"] == 0
+
+    def test_buckets_cover_sub_millisecond(self):
+        assert min(LATENCY_BUCKETS) < 0.001

@@ -1,0 +1,125 @@
+"""Flight recorder: event ring, providers, postmortem dumps."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    POSTMORTEM_SCHEMA,
+    FlightRecorder,
+    get_recorder,
+    set_recorder,
+)
+
+
+class TestEventRing:
+    def test_events_oldest_first(self):
+        recorder = FlightRecorder(capacity=16)
+        recorder.record("a", x=1)
+        recorder.record("b", y="two")
+        events = recorder.events()
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert events[0]["x"] == 1
+        assert events[1]["y"] == "two"
+        assert all("ts_unix_s" in e for e in events)
+
+    def test_ring_is_bounded(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("e", i=i)
+        events = recorder.events()
+        assert len(events) == 4
+        assert [e["i"] for e in events] == [6, 7, 8, 9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_detail_jsonified(self):
+        recorder = FlightRecorder()
+        recorder.record("e", obj=object(), nested={"k": (1, 2)})
+        (event,) = recorder.events()
+        json.dumps(event)    # everything JSON-serialisable
+        assert event["nested"] == {"k": [1, 2]}
+
+
+class TestProviders:
+    def test_snapshots_collected_by_name(self):
+        recorder = FlightRecorder()
+        recorder.add_provider("stats", lambda: {"n": 3})
+        assert recorder.snapshots() == {"stats": {"n": 3}}
+
+    def test_provider_errors_inlined_not_raised(self):
+        recorder = FlightRecorder()
+        recorder.add_provider("bad", lambda: 1 / 0)
+        recorder.add_provider("good", lambda: "fine")
+        snapshots = recorder.snapshots()
+        assert snapshots["good"] == "fine"
+        assert "ZeroDivisionError" in snapshots["bad"]["error"]
+
+    def test_remove_provider(self):
+        recorder = FlightRecorder()
+        recorder.add_provider("x", lambda: 1)
+        recorder.remove_provider("x")
+        recorder.remove_provider("never-added")    # no-op, no raise
+        assert recorder.snapshots() == {}
+
+
+class TestDump:
+    def test_no_dir_returns_none_but_records_trigger(self):
+        recorder = FlightRecorder()
+        assert recorder.dump("circuit_open", shard=2) is None
+        (event,) = recorder.events()
+        assert event["kind"] == "postmortem_trigger"
+        assert event["trigger"] == "circuit_open"
+        assert recorder.postmortems == []
+
+    def test_dump_writes_schema_valid_json(self, tmp_path):
+        clock = lambda: 1234.5
+        recorder = FlightRecorder(
+            postmortem_dir=tmp_path / "pm", clock=clock
+        )
+        recorder.record("shard_worker_died", shard=1)
+        recorder.add_provider("stats", lambda: {"n": 1})
+        path = recorder.dump("shard_failed", shard=1, error="boom")
+        assert path is not None
+        assert recorder.postmortems == [path]
+        payload = json.loads((tmp_path / "pm").joinpath(
+            "postmortem-001-shard_failed.json"
+        ).read_text())
+        assert payload["schema"] == POSTMORTEM_SCHEMA
+        assert payload["trigger"] == "shard_failed"
+        assert payload["detail"] == {"shard": 1, "error": "boom"}
+        assert payload["written_at_unix_s"] == 1234.5
+        kinds = [e["kind"] for e in payload["events"]]
+        assert kinds == ["shard_worker_died", "postmortem_trigger"]
+        assert payload["snapshots"] == {"stats": {"n": 1}}
+
+    def test_sequential_dumps_numbered(self, tmp_path):
+        recorder = FlightRecorder(postmortem_dir=tmp_path)
+        first = recorder.dump("a")
+        second = recorder.dump("b")
+        assert first.endswith("postmortem-001-a.json")
+        assert second.endswith("postmortem-002-b.json")
+        assert recorder.postmortems == [first, second]
+
+    def test_unwritable_dir_never_raises(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the dir should go")
+        recorder = FlightRecorder(postmortem_dir=blocker / "sub")
+        assert recorder.dump("trigger") is None
+        assert recorder.postmortems == []
+
+
+class TestProcessDefault:
+    def test_get_returns_a_recorder(self):
+        assert isinstance(get_recorder(), FlightRecorder)
+
+    def test_set_swaps_and_returns_previous(self):
+        mine = FlightRecorder()
+        previous = set_recorder(mine)
+        try:
+            assert get_recorder() is mine
+        finally:
+            set_recorder(previous)
+        assert get_recorder() is previous

@@ -227,3 +227,154 @@ class TestThreadSafety:
         total = sum(child.value for _, child in family.samples())
         assert total == 8 * 1_000
         assert len(family.samples()) == 20
+
+
+class TestQuantileExactness:
+    def test_point_mass_bucket_is_exact(self, registry):
+        # 0.5 in bucket (0,1], three observations of exactly 2.0 in
+        # (1,2]: any quantile landing in the second bucket must return
+        # 2.0 exactly, not an interpolation across [1, 2].
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        for v in (0.5, 2.0, 2.0, 2.0):
+            hist.observe(v)
+        assert hist.quantile(0.75) == 2.0
+        assert hist.quantile(0.99) == 2.0
+
+    def test_single_value_histogram_is_exact_everywhere(self, registry):
+        hist = registry.histogram("h", buckets=[1, 10])
+        for _ in range(5):
+            hist.observe(7.0)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert hist.quantile(q) == 7.0
+
+    def test_boundary_observation_is_exact(self, registry):
+        # An observation exactly on a bucket boundary used to smear
+        # across the whole bucket; per-bucket clamps pin it.
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        hist.observe(2.0)
+        assert hist.quantile(0.5) == 2.0
+
+
+class TestObserveMany:
+    def test_equivalent_to_repeated_observe(self, registry):
+        many = registry.histogram("many", buckets=[1, 2, 4])
+        single = registry.histogram("single", buckets=[1, 2, 4])
+        values = [0.5, 1.5, 3.0, 8.0, 2.0]
+        many.observe_many(values)
+        for v in values:
+            single.observe(v)
+        assert many._require_default().state() == (
+            single._require_default().state()
+        )
+
+    def test_empty_iterable_is_noop(self, registry):
+        hist = registry.histogram("h")
+        hist.observe_many([])
+        assert hist.count == 0
+
+
+class TestWindows:
+    def test_window_view_reflects_recent_observations(self, registry):
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        hist.observe(0.5)
+        window = hist.window_view()
+        assert window.count == 1
+        assert window.quantile(0.5) == 0.5
+
+    def test_reset_window_returns_closed_window(self, registry):
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        hist.observe(0.5)
+        hist.observe(3.0)
+        window = hist.reset_window()
+        assert window.count == 2
+        assert window.sum == pytest.approx(3.5)
+        # The cumulative series is untouched...
+        assert hist.count == 2
+        # ...but the next window starts empty.
+        assert hist.window_view().count == 0
+        assert hist.reset_window().count == 0
+
+    def test_windows_tumble_independently(self, registry):
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        hist.observe(10.0)
+        hist.reset_window()
+        hist.observe(0.5)
+        window = hist.reset_window()
+        assert window.count == 1
+        assert window.quantile(0.9) <= 1.0     # the 10.0 is long gone
+        assert hist.count == 2                 # cumulative remembers both
+
+    def test_fraction_over(self, registry):
+        hist = registry.histogram("h", buckets=[1, 2, 4])
+        for v in (0.5, 0.6, 3.0, 3.5):
+            hist.observe(v)
+        window = hist.window_view()
+        assert window.fraction_over(2.0) == pytest.approx(0.5)
+        assert window.fraction_over(100.0) == 0.0
+        assert window.fraction_over(0.0) == 1.0
+
+    def test_empty_window_quantile_is_nan(self, registry):
+        window = registry.histogram("h").window_view()
+        assert np.isnan(window.quantile(0.5))
+        assert window.fraction_over(1.0) == 0.0
+
+    def test_window_mean(self, registry):
+        hist = registry.histogram("h", buckets=[1, 2])
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.window_view().mean == pytest.approx(2.0)
+
+
+class TestMerge:
+    def test_merges_counters_gauges_histograms(self):
+        from repro.obs import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c_total", "C.", labelnames=("k",)).labels(k="x").inc(2)
+        b.counter("c_total", "C.", labelnames=("k",)).labels(k="x").inc(3)
+        b.counter("c_total", "C.", labelnames=("k",)).labels(k="y").inc(1)
+        a.gauge("g", "G.").set(4)
+        b.gauge("g", "G.").set(6)
+        ha = a.histogram("h", "H.", buckets=[1, 2])
+        hb = b.histogram("h", "H.", buckets=[1, 2])
+        ha.observe(0.5)
+        hb.observe(1.5)
+        hb.observe(5.0)
+        a.merge(b)
+        assert a.get("c_total").labels(k="x").value == 5
+        assert a.get("c_total").labels(k="y").value == 1
+        assert a.get("g").value == 10
+        assert ha.count == 3
+        assert ha.sum == pytest.approx(7.0)
+        state = ha._require_default().state()
+        assert state["min"] == 0.5
+        assert state["max"] == 5.0
+
+    def test_merge_creates_missing_families(self):
+        from repro.obs import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("only_in_b_total", "B.").inc(7)
+        a.merge(b)
+        assert a.get("only_in_b_total").value == 7
+
+    def test_merge_rejects_bucket_mismatch(self):
+        from repro.obs import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", "H.", buckets=[1, 2])
+        hb = b.histogram("h", "H.", buckets=[1, 2, 4])
+        hb.observe(1.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_folds_windows_too(self):
+        from repro.obs import MetricsRegistry
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        ha = a.histogram("h", "H.", buckets=[1, 2])
+        hb = b.histogram("h", "H.", buckets=[1, 2])
+        ha.observe(0.5)
+        hb.observe(1.5)
+        a.merge(b)
+        assert ha.window_view().count == 2

@@ -1,0 +1,299 @@
+"""SLO spec grammar, tumbling-window evaluation, burn rates."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SLOS,
+    MetricsRegistry,
+    PipelineTelemetry,
+    SLOEngine,
+    parse_slo,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def telemetry(registry):
+    return PipelineTelemetry(registry=registry, sample_every=1)
+
+
+class TestParse:
+    def test_latency_spec(self):
+        slo = parse_slo("p99:e2e<=250ms@60s")
+        assert slo.kind == "latency"
+        assert slo.name == "p99_e2e"
+        assert slo.quantile == pytest.approx(0.99)
+        assert slo.target == "e2e"
+        assert slo.threshold_s == pytest.approx(0.25)
+        assert slo.window_s == 60.0
+
+    def test_latency_stage_target_and_seconds_unit(self):
+        slo = parse_slo("p95:diagnose<=2s@30s")
+        assert slo.target == "diagnose"
+        assert slo.threshold_s == 2.0
+        assert slo.name == "p95_diagnose"
+
+    def test_fractional_percentile(self):
+        slo = parse_slo("p99.9:e2e<=1s@10s")
+        assert slo.quantile == pytest.approx(0.999)
+        assert slo.name == "p99.9_e2e"
+
+    def test_ratio_spec(self):
+        slo = parse_slo("success>=99.9%@120s")
+        assert slo.kind == "ratio"
+        assert slo.name == "success"
+        assert slo.target_ratio == pytest.approx(0.999)
+        assert slo.window_s == 120.0
+
+    def test_ratio_window_defaults_to_60s(self):
+        assert parse_slo("success>=99%").window_s == 60.0
+
+    def test_allowed_fraction(self):
+        assert parse_slo("p99:e2e<=1s@1s").allowed_fraction == pytest.approx(
+            0.01
+        )
+        assert parse_slo("success>=99.9%").allowed_fraction == pytest.approx(
+            0.001
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "p99:nope<=1ms@1s",        # unknown target
+            "p0:e2e<=1ms@1s",          # percentile out of range
+            "p100:e2e<=1ms@1s",        # percentile out of range
+            "p99:e2e<=1ms@0s",         # zero window
+            "p99:e2e<=1m@1s",          # bad unit
+            "success>=0%",             # percentage out of range
+            "success>=101%",           # percentage out of range
+            "latency<=250ms",          # not the grammar at all
+            "",
+        ],
+    )
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+    def test_defaults_parse(self):
+        for spec in DEFAULT_SLOS:
+            parse_slo(spec)
+
+
+class TestEngineConstruction:
+    def test_needs_at_least_one_slo(self, telemetry, registry):
+        with pytest.raises(ValueError):
+            SLOEngine([], telemetry, registry=registry)
+
+    def test_rejects_duplicate_names(self, telemetry, registry):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine(
+                ["p99:e2e<=1ms@1s", "p99:e2e<=2ms@5s"],
+                telemetry,
+                registry=registry,
+            )
+
+    def test_ratio_needs_providers(self, telemetry, registry):
+        with pytest.raises(ValueError, match="providers"):
+            SLOEngine(["success>=99%"], telemetry, registry=registry)
+
+
+class TestLatencyEvaluation:
+    def _engine(self, telemetry, registry, spec, clock):
+        return SLOEngine(
+            [spec], telemetry, registry=registry, clock=clock
+        )
+
+    def test_ok_window(self, telemetry, registry):
+        clock = FakeClock()
+        engine = self._engine(
+            telemetry, registry, "p99:e2e<=100ms@10s", clock
+        )
+        engine.start()
+        shard = telemetry.for_shard(0)
+        for _ in range(20):
+            ctx = telemetry.trace_context("s", 0)
+            ctx.t_submit = 0.0
+            shard.complete(ctx, 0.01)   # all 10 ms
+        shard.flush()
+        clock.advance(11)
+        assert engine.maybe_roll() is True
+        (state,) = engine.snapshot()
+        assert state["ok"] is True
+        assert state["value"] == pytest.approx(0.01, rel=0.2)
+        assert state["burn_rate"] == 0.0
+        assert state["windows"] == 1
+        assert engine.ok
+
+    def test_breached_window_and_burn_rate(self, telemetry, registry):
+        clock = FakeClock()
+        engine = self._engine(
+            telemetry, registry, "p90:e2e<=100ms@10s", clock
+        )
+        engine.start()
+        shard = telemetry.for_shard(0)
+        # 50% of observations violate the 100 ms threshold against a
+        # 10% allowance: burn rate 0.5 / 0.1 = 5.
+        for i in range(20):
+            ctx = telemetry.trace_context("s", 0)
+            ctx.t_submit = 0.0
+            shard.complete(ctx, 0.01 if i % 2 == 0 else 1.0)
+        shard.flush()
+        clock.advance(11)
+        engine.maybe_roll()
+        (state,) = engine.snapshot()
+        assert state["ok"] is False
+        assert state["breaches"] == 1
+        assert state["burn_rate"] == pytest.approx(5.0, rel=0.05)
+        assert not engine.ok
+        assert registry.get("repro_slo_ok").labels(slo="p90_e2e").value == 0.0
+        assert registry.get("repro_slo_burn_rate").labels(
+            slo="p90_e2e"
+        ).value == pytest.approx(5.0, rel=0.05)
+
+    def test_empty_window_is_vacuously_ok(self, telemetry, registry):
+        clock = FakeClock()
+        engine = self._engine(
+            telemetry, registry, "p99:e2e<=100ms@10s", clock
+        )
+        engine.start()
+        clock.advance(11)
+        engine.maybe_roll()
+        (state,) = engine.snapshot()
+        assert state["ok"] is True
+        assert state["burn_rate"] == 0.0
+        assert state["windows"] == 0
+        assert state["value"] is None
+
+    def test_window_does_not_roll_early(self, telemetry, registry):
+        clock = FakeClock()
+        engine = self._engine(
+            telemetry, registry, "p99:e2e<=100ms@10s", clock
+        )
+        engine.start()
+        clock.advance(5)
+        assert engine.maybe_roll() is False
+
+    def test_maybe_roll_auto_starts(self, telemetry, registry):
+        engine = self._engine(
+            telemetry, registry, "p99:e2e<=100ms@10s", FakeClock()
+        )
+        assert engine.maybe_roll() is False    # first call anchors windows
+
+    def test_tumbling_windows_are_independent(self, telemetry, registry):
+        clock = FakeClock()
+        engine = self._engine(
+            telemetry, registry, "p99:e2e<=100ms@10s", clock
+        )
+        engine.start()
+        shard = telemetry.for_shard(0)
+        ctx = telemetry.trace_context("s", 0)
+        ctx.t_submit = 0.0
+        shard.complete(ctx, 1.0)    # breach in window 1
+        shard.flush()
+        clock.advance(11)
+        engine.maybe_roll()
+        assert not engine.ok
+        # Window 2 sees only fast traffic: the breach does not linger.
+        ctx = telemetry.trace_context("s", 1)
+        ctx.t_submit = 0.0
+        shard.complete(ctx, 0.001)
+        shard.flush()
+        clock.advance(11)
+        engine.maybe_roll()
+        (state,) = engine.snapshot()
+        assert state["ok"] is True
+        assert state["windows"] == 2
+        assert state["breaches"] == 1
+
+    def test_finalize_closes_inflight_window(self, telemetry, registry):
+        clock = FakeClock()
+        engine = self._engine(
+            telemetry, registry, "p99:e2e<=100ms@3600s", clock
+        )
+        engine.start()
+        shard = telemetry.for_shard(0)
+        ctx = telemetry.trace_context("s", 0)
+        ctx.t_submit = 0.0
+        shard.complete(ctx, 0.002)
+        shard.flush()
+        engine.finalize()   # far before the hour-long deadline
+        (state,) = engine.snapshot()
+        assert state["windows"] == 1
+        assert state["ok"] is True
+
+    def test_stage_target_reads_stage_histogram(self, telemetry, registry):
+        clock = FakeClock()
+        engine = self._engine(
+            telemetry, registry, "p99:validate<=1ms@10s", clock
+        )
+        engine.start()
+        shard = telemetry.for_shard(0)
+        shard.note("validate", 0.5)
+        shard.flush()
+        clock.advance(11)
+        engine.maybe_roll()
+        (state,) = engine.snapshot()
+        assert state["ok"] is False
+
+
+class TestRatioEvaluation:
+    def test_ratio_from_counter_deltas(self, telemetry, registry):
+        clock = FakeClock()
+        totals = {"processed": 0.0, "failed": 0.0}
+        engine = SLOEngine(
+            ["success>=99%@10s"],
+            telemetry,
+            processed=lambda: totals["processed"],
+            failed=lambda: totals["failed"],
+            registry=registry,
+            clock=clock,
+        )
+        engine.start()
+        totals["processed"] = 1000.0
+        totals["failed"] = 50.0    # 95% < 99%: breach, burn 5%/1% = 5
+        clock.advance(11)
+        engine.maybe_roll()
+        (state,) = engine.snapshot()
+        assert state["ok"] is False
+        assert state["value"] == pytest.approx(0.95)
+        assert state["burn_rate"] == pytest.approx(5.0)
+        # Next window only counts NEW failures (deltas, not totals).
+        totals["processed"] = 2000.0
+        clock.advance(11)
+        engine.maybe_roll()
+        (state,) = engine.snapshot()
+        assert state["ok"] is True
+        assert state["value"] == pytest.approx(1.0)
+        assert state["burn_rate"] == 0.0
+
+    def test_no_traffic_window_is_ok(self, telemetry, registry):
+        clock = FakeClock()
+        engine = SLOEngine(
+            ["success>=99%@10s"],
+            telemetry,
+            processed=lambda: 0.0,
+            failed=lambda: 0.0,
+            registry=registry,
+            clock=clock,
+        )
+        engine.start()
+        clock.advance(11)
+        engine.maybe_roll()
+        (state,) = engine.snapshot()
+        assert state["ok"] is True
+        assert state["windows"] == 0

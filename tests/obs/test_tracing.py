@@ -174,3 +174,54 @@ class TestThreading:
 
 def test_default_tracer_is_process_wide():
     assert get_tracer() is get_tracer()
+
+
+class TestConcurrentSpanTrees:
+    def test_deep_nesting_does_not_cross_threads(self):
+        """Concurrent `trace()` trees stay per-thread, even deeply nested.
+
+        Each thread builds root.<t> → mid → leaf repeatedly; if the
+        per-thread stacks ever interleaved, a leaf would attach under
+        another thread's mid (child counts would drift) or
+        `current_span()` would name a foreign span.
+        """
+        import threading as _threading
+
+        tracer = Tracer(registry=MetricsRegistry())
+        previous = set_tracer(tracer)
+        errors = []
+        barrier = _threading.Barrier(4)
+
+        def work(tag):
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(100):
+                    with trace(f"root.{tag}") as root_span:
+                        with trace("mid"):
+                            with trace("leaf") as leaf:
+                                leaf.add("thread", 0)
+                                assert current_span() is leaf
+                        assert current_span() is root_span
+                    assert current_span() is None
+            except Exception as exc:    # pragma: no cover
+                errors.append(exc)
+
+        try:
+            threads = [
+                _threading.Thread(target=work, args=(t,)) for t in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            set_tracer(previous)
+        assert not errors
+        roots = {r.name: r for r in tracer.roots()}
+        assert len(roots) == 4
+        for tag in range(4):
+            node = roots[f"root.{tag}"]
+            assert node.count == 100
+            mid = node.children["mid"]
+            assert mid.count == 100
+            assert mid.children["leaf"].count == 100

@@ -1,0 +1,256 @@
+"""Service-level telemetry: traces, SLOs, postmortems — and determinism.
+
+The tentpole contract: with full telemetry enabled (trace contexts on
+every record, staged histograms, SLO windows, flight recorder armed),
+the sharded service's diagnosis multiset is still bit-identical to the
+serial monitor's, shard deaths dump postmortems containing the
+circuit-transition events and the per-stage latency + SLO snapshots,
+and ``health()`` exposes the whole picture.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import DEFAULT_SLOS, PipelineTelemetry, MetricsRegistry
+from repro.obs.pipeline import STAGES
+from repro.realtime.monitor import RealTimeMonitor
+from repro.serving import QoEService, TraceReplayer
+from repro.serving.shard import shard_index
+
+from tests.serving.conftest import alarm_multiset, diagnosis_multiset
+
+
+def _replay(service, trace):
+    service.start()
+    TraceReplayer(service).replay(trace)
+    return service.drain()
+
+
+class TestTelemetryDeterminism:
+    def test_sharded_with_telemetry_matches_serial(
+        self, serving_framework, serving_trace
+    ):
+        telemetry = PipelineTelemetry(
+            registry=MetricsRegistry(), sample_every=16
+        )
+        service = QoEService(
+            serving_framework,
+            n_shards=4,
+            telemetry=telemetry,
+            slos=DEFAULT_SLOS,
+        )
+        diagnoses = _replay(service, serving_trace)
+
+        monitor = RealTimeMonitor(serving_framework)
+        monitor.feed_many(serving_trace)
+        monitor.drain()
+
+        assert diagnosis_multiset(diagnoses) == diagnosis_multiset(
+            monitor.diagnoses
+        )
+        assert alarm_multiset(service.alarms) == alarm_multiset(
+            monitor.alarms
+        )
+
+    def test_telemetry_can_be_disabled(self, serving_framework, serving_trace):
+        service = QoEService(serving_framework, n_shards=2, telemetry=False)
+        diagnoses = _replay(service, serving_trace)
+        assert diagnoses
+        health = service.health()
+        assert "telemetry" not in health
+        assert "slo" not in health
+
+    def test_slos_require_telemetry(self, serving_framework):
+        with pytest.raises(ValueError):
+            QoEService(
+                serving_framework, telemetry=False, slos=DEFAULT_SLOS
+            )
+
+
+class TestStagedLatencies:
+    def test_every_stage_observed(self, serving_framework, serving_trace):
+        registry = MetricsRegistry()
+        telemetry = PipelineTelemetry(registry=registry, sample_every=8)
+        service = QoEService(
+            serving_framework, n_shards=4, telemetry=telemetry
+        )
+        diagnoses = _replay(service, serving_trace)
+
+        snapshot = telemetry.stage_snapshot()
+        stages = snapshot["stages"]
+        processed = sum(
+            shard.entries_processed for shard in service._shards
+        )
+        # Every submitted record crosses submit/queue_wait; every
+        # processed record crosses validate/track.
+        assert stages["submit"]["count"] == len(serving_trace)
+        assert stages["queue_wait"]["count"] == len(serving_trace)
+        assert stages["validate"]["count"] == processed
+        assert stages["track"]["count"] == processed
+        # Closed sessions cross batch_wait and land in the e2e series
+        # (force-closed drain leftovers carry no context).
+        assert 0 < stages["batch_wait"]["count"] <= len(diagnoses)
+        assert stages["diagnose"]["count"] >= 1
+        assert stages["alarm_sweep"]["count"] == 4    # one sweep per shard
+        assert snapshot["e2e"]["count"] == stages["batch_wait"]["count"]
+        assert snapshot["e2e"]["p99_s"] > 0
+
+    def test_exemplars_sampled_with_stage_children(
+        self, serving_framework, serving_trace
+    ):
+        telemetry = PipelineTelemetry(
+            registry=MetricsRegistry(), sample_every=1, max_exemplars=8
+        )
+        service = QoEService(
+            serving_framework, n_shards=2, telemetry=telemetry
+        )
+        _replay(service, serving_trace)
+        exemplars = telemetry.exemplars()
+        assert exemplars
+        for exemplar in exemplars:
+            assert exemplar["name"] == "e2e"
+            assert exemplar["duration_s"] > 0
+            child_names = [c["name"] for c in exemplar["children"]]
+            assert child_names == [
+                s for s in STAGES if s in set(child_names)
+            ], "children must come out in pipeline stage order"
+            assert "queue_wait" in child_names
+
+    def test_health_exposes_telemetry_and_slo(
+        self, serving_framework, serving_trace
+    ):
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            telemetry=PipelineTelemetry(registry=MetricsRegistry()),
+            slos=DEFAULT_SLOS,
+        )
+        _replay(service, serving_trace)
+        health = service.health()
+        assert set(health["telemetry"]["stages"]) == set(STAGES)
+        assert health["slo"]["ok"] in (True, False)
+        names = {o["name"] for o in health["slo"]["objectives"]}
+        assert names == {"p99_e2e", "success"}
+        json.dumps(health)    # the whole payload must be JSON-safe
+
+    def test_slo_windows_finalized_at_drain(
+        self, serving_framework, serving_trace
+    ):
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            telemetry=PipelineTelemetry(registry=MetricsRegistry()),
+            slos=("p50:e2e<=60s@3600s",),    # generous: must hold
+        )
+        _replay(service, serving_trace)
+        (objective,) = service.health()["slo"]["objectives"]
+        # The hour-long window cannot have expired; finalize() at
+        # drain must still have evaluated it exactly once.
+        assert objective["windows"] == 1
+        assert objective["ok"] is True
+        assert objective["value"] is not None
+
+
+class TestPostmortems:
+    def test_shard_death_dumps_postmortem(
+        self, serving_framework, serving_trace, tmp_path
+    ):
+        victim = shard_index(serving_trace[0].subscriber_id, 4)
+        faults = FaultInjector(
+            FaultPlan(seed=5, kill_shard=victim, kill_at_entry=10)
+        )
+        service = QoEService(
+            serving_framework,
+            n_shards=4,
+            faults=faults,
+            telemetry=PipelineTelemetry(registry=MetricsRegistry()),
+            slos=DEFAULT_SLOS,
+            postmortem_dir=str(tmp_path),
+        )
+        service.start()
+        TraceReplayer(service, faults=faults).replay(serving_trace)
+        service.drain()
+
+        assert service.recorder.postmortems
+        payload = json.loads(
+            open(service.recorder.postmortems[0], encoding="utf-8").read()
+        )
+        assert payload["schema"] == "repro.obs.postmortem/1"
+        assert payload["trigger"] == "shard_failed"
+        assert payload["detail"]["shard"] == victim
+        kinds = {e["kind"] for e in payload["events"]}
+        assert "shard_worker_died" in kinds
+        assert "fault_injected" in kinds
+        snapshots = payload["snapshots"]
+        assert set(snapshots["stages"]["stages"]) == set(STAGES)
+        assert {o["name"] for o in snapshots["slo"]["objectives"]} == {
+            "p99_e2e", "success",
+        }
+        assert "dead_letter" in snapshots
+        assert snapshots["service"]["restarts"] >= 0
+
+    def test_circuit_open_dumps_postmortem_with_transition(
+        self, serving_framework, serving_trace, tmp_path
+    ):
+        """The ISSUE's acceptance scenario: budget-exhausting kills trip
+        the circuit, and the postmortem documents the transition."""
+        victim = shard_index(serving_trace[0].subscriber_id, 4)
+        faults = FaultInjector(
+            FaultPlan(
+                seed=5, kill_shard=victim, kill_at_entry=5, kill_times=2
+            )
+        )
+        service = QoEService(
+            serving_framework,
+            n_shards=4,
+            faults=faults,
+            max_restarts=1,    # second kill exhausts the budget
+            telemetry=PipelineTelemetry(registry=MetricsRegistry()),
+            slos=DEFAULT_SLOS,
+            postmortem_dir=str(tmp_path),
+        )
+        service.start()
+        TraceReplayer(service, faults=faults).replay(serving_trace)
+        service.drain()
+
+        assert victim in service.supervisor.open_circuits
+        triggers = {
+            json.loads(open(p, encoding="utf-8").read())["trigger"]: p
+            for p in service.recorder.postmortems
+        }
+        assert "circuit_open" in triggers
+        payload = json.loads(
+            open(triggers["circuit_open"], encoding="utf-8").read()
+        )
+        kinds = [e["kind"] for e in payload["events"]]
+        assert "circuit_open" in kinds
+        assert "shard_worker_died" in kinds
+        assert "shard_restarted" in kinds
+        # Per-stage latency snapshot and SLO burn state ride along.
+        assert payload["snapshots"]["stages"]["e2e"]["count"] >= 0
+        for objective in payload["snapshots"]["slo"]["objectives"]:
+            assert "burn_rate" in objective
+
+    def test_no_postmortem_dir_records_but_writes_nothing(
+        self, serving_framework, serving_trace
+    ):
+        victim = shard_index(serving_trace[0].subscriber_id, 4)
+        faults = FaultInjector(
+            FaultPlan(seed=5, kill_shard=victim, kill_at_entry=10)
+        )
+        service = QoEService(
+            serving_framework,
+            n_shards=4,
+            faults=faults,
+            telemetry=PipelineTelemetry(registry=MetricsRegistry()),
+        )
+        service.start()
+        TraceReplayer(service, faults=faults).replay(serving_trace)
+        service.drain()
+        assert service.recorder.postmortems == []
+        kinds = {e["kind"] for e in service.recorder.events()}
+        assert "postmortem_trigger" in kinds    # dump was still triggered
