@@ -203,6 +203,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     service = QoEService(
         framework,
         n_shards=args.shards,
+        shard_backend=args.shard_backend,
         queue_capacity=args.queue_capacity,
         policy=args.policy,
         max_batch=args.batch_max,
@@ -222,7 +223,8 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     health = service.health()
     print(
         f"replayed {stats.entries} entries ({stats.trace_span_s:.0f}s of "
-        f"trace) in {stats.wall_s:.2f}s through {args.shards} shard(s): "
+        f"trace) in {stats.wall_s:.2f}s through {args.shards} "
+        f"{args.shard_backend} shard(s): "
         f"{len(diagnoses)} diagnoses, {len(service.alarms)} alarms, "
         f"{stats.shed} shed, model v{health['model_version']}"
     )
@@ -404,6 +406,15 @@ def main(argv=None) -> int:
     )
     serve.add_argument(
         "--shards", type=int, default=4, metavar="N", help="shard workers"
+    )
+    serve.add_argument(
+        "--shard-backend",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "run shards as in-process threads or as one process per "
+            "shard (true multi-core; default: thread)"
+        ),
     )
     serve.add_argument(
         "--speedup",

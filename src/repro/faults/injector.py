@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -244,6 +244,67 @@ class FaultInjector:
         raise InjectedFault(
             f"injected kill: shard {shard_index} at its entry #{picked_up}"
         )
+
+    def kill_spec_for(self, shard_index: int) -> Optional[Tuple[int, int]]:
+        """The plan's ``(kill_at_entry, kill_times)`` for one shard.
+
+        Process-backed shards cannot run :meth:`shard_fault_hook` —
+        closures do not cross the spawn boundary — so the router ships
+        the kill spec *by value* in the shard's config and the child
+        rebuilds the hook locally.  ``None`` when this shard is not
+        targeted.
+        """
+        plan = self.plan
+        if plan.kill_shard is None or shard_index != plan.kill_shard:
+            return None
+        return (plan.kill_at_entry, plan.kill_times)
+
+    def note_remote_kills(self, shard_index: int, count: int) -> None:
+        """Account kills a shard *process* reported before dying.
+
+        The process-backend twin of the bookkeeping
+        :meth:`shard_fault_hook` does in-thread: the child fires the
+        injected fault on its own core and reports the count in its
+        death message; the parent folds it into the shared budget so
+        ``kills_fired`` and the injection log stay single-sourced.
+        Clamped to the plan's ``kill_times`` (a restarted child cannot
+        overdraw the budget).
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            actual = min(count, self.plan.kill_times - self._kills_fired)
+            if actual <= 0:
+                return
+            self._kills_fired += actual
+            for _ in range(actual):
+                self.injections.append(
+                    Injection(
+                        "kill_worker",
+                        -1,
+                        "",
+                        f"shard {shard_index} (process)",
+                    )
+                )
+        get_recorder().record(
+            "fault_injected",
+            fault="kill_worker",
+            shard=shard_index,
+            remote=True,
+        )
+
+    def mark_affected(self, subscribers: Iterable[str]) -> None:
+        """Widen the affected set (process death loses all shard state).
+
+        A killed *thread* keeps its shard's tracker/health state alive
+        under the replacement thread, so only the in-flight entry's
+        subscriber is affected.  A killed *process* takes the whole
+        shard state with it, so the parent marks every subscriber it
+        ever routed there — keeping the chaos suite's
+        untouched-subscribers-are-bit-identical property truthful.
+        """
+        with self._lock:
+            self._affected.update(subscribers)
 
     def reload_gate(self) -> None:
         """Delay and/or fail a model reload attempt, per the plan.

@@ -31,7 +31,10 @@ def confusion_matrix(
     """Confusion matrix with true labels on rows, predictions on columns.
 
     ``labels`` fixes the row/column order; by default the sorted union
-    of observed labels is used.
+    of observed labels is used.  An explicit ``labels`` sequence may be
+    a *subset* of the observed labels: pairs whose true or predicted
+    label falls outside it are skipped, matching sklearn, so a report
+    can be scoped to the classes of interest without a ``KeyError``.
     """
     y_true = np.asarray(y_true)
     y_pred = np.asarray(y_pred)
@@ -43,7 +46,11 @@ def confusion_matrix(
     index = {label: i for i, label in enumerate(labels.tolist())}
     matrix = np.zeros((labels.size, labels.size), dtype=np.int64)
     for t, p in zip(y_true.tolist(), y_pred.tolist()):
-        matrix[index[t], index[p]] += 1
+        row = index.get(t)
+        col = index.get(p)
+        if row is None or col is None:
+            continue
+        matrix[row, col] += 1
     return matrix
 
 

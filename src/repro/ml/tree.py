@@ -104,7 +104,14 @@ class DecisionTreeClassifier:
     # ------------------------------------------------------------------
 
     def fit(self, X: np.ndarray, y: np.ndarray, sample_weight=None):
-        """Grow the tree on ``X`` (n_samples, n_features) and labels ``y``."""
+        """Grow the tree on ``X`` (n_samples, n_features) and labels ``y``.
+
+        ``sample_weight`` weights both the node class counts (and hence
+        leaf probabilities) and the impurity gains of the split search.
+        ``min_samples_split``/``min_samples_leaf`` keep their sklearn
+        meaning as raw sample counts.  ``None`` is exactly the
+        unweighted fit, bit for bit.
+        """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y)
         if X.ndim != 2:
@@ -113,6 +120,19 @@ class DecisionTreeClassifier:
             raise ValueError("X and y have inconsistent lengths")
         if X.shape[0] == 0:
             raise ValueError("cannot fit on an empty dataset")
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape != (X.shape[0],):
+                raise ValueError(
+                    "sample_weight must be 1-dimensional with one weight "
+                    f"per sample, got shape {sample_weight.shape}"
+                )
+            if not np.all(np.isfinite(sample_weight)) or np.any(
+                sample_weight < 0
+            ):
+                raise ValueError("sample_weight must be finite and >= 0")
+            if sample_weight.sum() <= 0:
+                raise ValueError("sample_weight must not sum to zero")
 
         self.classes_, y_enc = np.unique(y, return_inverse=True)
         self.n_classes_ = self.classes_.size
@@ -126,14 +146,37 @@ class DecisionTreeClassifier:
 
         buffers = _TreeBuffers()
         indices = np.arange(X.shape[0])
-        self._grow(buffers, X, y_enc, indices, depth=0)
+        self._grow(buffers, X, y_enc, sample_weight, indices, depth=0)
 
         self._feature = np.asarray(buffers.feature, dtype=np.int64)
         self._threshold = np.asarray(buffers.threshold, dtype=float)
         self._left = np.asarray(buffers.left, dtype=np.int64)
         self._right = np.asarray(buffers.right, dtype=np.int64)
         self._value = np.asarray(buffers.value, dtype=float)
+        self._backfill_empty_leaves()
         return self
+
+    def _backfill_empty_leaves(self) -> None:
+        """Give zero-weight leaves their parent's class distribution.
+
+        A split can isolate rows whose weights are all zero; such a
+        leaf carries no evidence of its own, so it inherits the nearest
+        ancestor's counts rather than degrading ``predict_proba`` to an
+        all-zero row (which ``predict`` would argmax to class 0).
+        Nodes are appended parent-before-child, so one ascending pass
+        propagates through chains of empty nodes; the root is never
+        empty (``fit`` rejects all-zero weights).
+        """
+        if not np.any(self._value.sum(axis=1) == 0):
+            return
+        parent = np.zeros(self._feature.size, dtype=np.int64)
+        for node in range(self._feature.size):
+            if self._feature[node] != _LEAF:
+                parent[self._left[node]] = node
+                parent[self._right[node]] = node
+        for node in range(1, self._feature.size):
+            if self._value[node].sum() == 0:
+                self._value[node] = self._value[parent[node]]
 
     def _resolve_max_features(self) -> int:
         mf = self.max_features
@@ -153,10 +196,18 @@ class DecisionTreeClassifier:
         buffers: _TreeBuffers,
         X: np.ndarray,
         y: np.ndarray,
+        w: Optional[np.ndarray],
         indices: np.ndarray,
         depth: int,
     ) -> int:
-        counts = np.bincount(y[indices], minlength=self.n_classes_).astype(float)
+        if w is None:
+            counts = np.bincount(
+                y[indices], minlength=self.n_classes_
+            ).astype(float)
+        else:
+            counts = np.bincount(
+                y[indices], weights=w[indices], minlength=self.n_classes_
+            )
         node = buffers.add_node(counts)
 
         if (
@@ -166,7 +217,7 @@ class DecisionTreeClassifier:
         ):
             return node
 
-        split = self._best_split(X, y, indices)
+        split = self._best_split(X, y, w, indices)
         if split is None:
             return node
 
@@ -182,16 +233,19 @@ class DecisionTreeClassifier:
 
         buffers.feature[node] = feat
         buffers.threshold[node] = thr
-        buffers.left[node] = self._grow(buffers, X, y, left_idx, depth + 1)
-        buffers.right[node] = self._grow(buffers, X, y, right_idx, depth + 1)
+        buffers.left[node] = self._grow(buffers, X, y, w, left_idx, depth + 1)
+        buffers.right[node] = self._grow(buffers, X, y, w, right_idx, depth + 1)
         return node
 
-    def _best_split(self, X, y, indices):
+    def _best_split(self, X, y, w, indices):
         """Return (feature, threshold) of the impurity-minimising split."""
         n = indices.size
         k = self.n_classes_
         y_node = y[indices]
-        parent_counts = np.bincount(y_node, minlength=k).astype(float)
+        if w is None:
+            parent_counts = np.bincount(y_node, minlength=k).astype(float)
+        else:
+            parent_counts = np.bincount(y_node, weights=w[indices], minlength=k)
         parent_imp = _impurity(parent_counts, self.criterion)
         if parent_imp <= 0:
             return None
@@ -210,9 +264,13 @@ class DecisionTreeClassifier:
         # One-hot label matrix built once per node; each feature only
         # reorders its rows.  Reordering a scatter equals scattering the
         # reordered labels, so the prefix sums (and the chosen split)
-        # are unchanged.
+        # are unchanged.  With weights, the scatter carries each row's
+        # weight and the prefix sums become weighted class masses.
         onehot = np.zeros((n, k))
         onehot[np.arange(n), y_node] = 1.0
+        if w is not None:
+            onehot *= w[indices][:, None]
+        total = parent_counts.sum()
 
         for feat in features:
             col = X[indices, feat]
@@ -236,7 +294,7 @@ class DecisionTreeClassifier:
             left_counts = prefix[boundaries]
             right_counts = parent_counts - left_counts
             n_left = left_counts.sum(axis=1)
-            n_right = n - n_left
+            n_right = total - n_left
             if self.criterion == "gini":
                 with np.errstate(invalid="ignore", divide="ignore"):
                     gl = 1.0 - ((left_counts / n_left[:, None]) ** 2).sum(axis=1)
@@ -247,8 +305,11 @@ class DecisionTreeClassifier:
                     pr = right_counts / n_right[:, None]
                     gl = -np.nansum(np.where(pl > 0, pl * np.log2(pl), 0.0), axis=1)
                     gr = -np.nansum(np.where(pr > 0, pr * np.log2(pr), 0.0), axis=1)
-            child = (n_left * gl + n_right * gr) / n
+            child = (n_left * gl + n_right * gr) / total
             gains = parent_imp - child
+            # A zero-weight side divides by zero above; such cuts carry
+            # no information and must not win the argmax as NaN would.
+            gains = np.where(np.isfinite(gains), gains, -np.inf)
             best_local = int(np.argmax(gains))
             if gains[best_local] > best_gain:
                 best_gain = float(gains[best_local])
@@ -283,11 +344,20 @@ class DecisionTreeClassifier:
         return nodes
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
-        """Class-probability estimates from leaf frequencies."""
+        """Class-probability estimates from leaf frequencies.
+
+        Zero-total leaves are backfilled from their parent at fit time;
+        should one slip through anyway (e.g. a hand-edited tree), it
+        answers the uniform distribution rather than an all-zero row
+        that ``predict`` would silently argmax to class 0.
+        """
         leaves = self.apply(X)
         counts = self._value[leaves]
         totals = counts.sum(axis=1, keepdims=True)
-        totals[totals == 0] = 1.0
+        empty = totals == 0.0
+        if np.any(empty):
+            counts = np.where(empty, 1.0, counts)
+            totals = np.where(empty, float(self.n_classes_), totals)
         return counts / totals
 
     def predict(self, X: np.ndarray) -> np.ndarray:

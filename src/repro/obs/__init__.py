@@ -66,6 +66,7 @@ from .registry import (
     MetricsRegistry,
     estimate_quantile,
     get_registry,
+    registry_state_delta,
     set_registry,
 )
 from .slo import DEFAULT_SLOS, SLO, SLOEngine, parse_slo
@@ -80,6 +81,7 @@ __all__ = [
     "MetricsRegistry",
     "estimate_quantile",
     "get_registry",
+    "registry_state_delta",
     "set_registry",
     "render_prometheus",
     "MetricsServer",

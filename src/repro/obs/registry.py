@@ -45,6 +45,7 @@ __all__ = [
     "estimate_quantile",
     "get_registry",
     "set_registry",
+    "registry_state_delta",
 ]
 
 #: Default histogram buckets (seconds-oriented, like the Prometheus
@@ -680,6 +681,76 @@ class MetricsRegistry:
             if family._default is not None:
                 family._default = family._children[()]
 
+    def to_state(self) -> Dict:
+        """Serialise every family and child to a plain-data dict.
+
+        The shard-process transport: a state dict pickles compactly,
+        crosses a pipe, and round-trips through :meth:`from_state` into
+        a registry that :meth:`merge` folds like any other.  Pair with
+        :func:`registry_state_delta` to ship increments on a heartbeat
+        cadence without double counting.
+        """
+        families = []
+        for family in self.collect():
+            with family._lock:
+                items = list(family._children.items())
+            families.append(
+                {
+                    "name": family.name,
+                    "help": family.help,
+                    "type": family.type,
+                    "labelnames": list(family.labelnames),
+                    "buckets": (
+                        list(family._buckets)
+                        if family._buckets is not None
+                        else None
+                    ),
+                    "children": [
+                        {
+                            "labels": list(key),
+                            "data": _child_payload(family.type, child),
+                        }
+                        for key, child in items
+                    ],
+                }
+            )
+        return {"families": families}
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_state` (or delta) dict."""
+        registry = cls()
+        for fam in state.get("families", ()):
+            family = registry._declare(
+                fam["name"],
+                fam["help"],
+                fam["type"],
+                tuple(fam["labelnames"]),
+                tuple(fam["buckets"]) if fam["buckets"] is not None else None,
+            )
+            for entry in fam["children"]:
+                labels = dict(zip(family.labelnames, entry["labels"]))
+                child = family.labels(**labels)
+                data = entry["data"]
+                if fam["type"] == "histogram":
+                    with child._lock:
+                        child._counts = list(data["counts"])
+                        child._sum = data["sum"]
+                        child._count = data["count"]
+                        child._min = data["min"]
+                        child._max = data["max"]
+                        child._bucket_min = list(data["bucket_min"])
+                        child._bucket_max = list(data["bucket_max"])
+                        child._win_counts = list(data["win_counts"])
+                        child._win_sum = data["win_sum"]
+                        child._win_count = data["win_count"]
+                        child._win_min = data["win_min"]
+                        child._win_max = data["win_max"]
+                else:
+                    with child._lock:
+                        child._value = float(data["value"])
+        return registry
+
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry's series into this one.
 
@@ -701,6 +772,83 @@ class MetricsRegistry:
             )
             for labels, child in family.samples():
                 mine.labels(**labels)._absorb(child)
+
+
+def _child_payload(type: str, child: _Child) -> Dict:
+    """Plain-data snapshot of one child, suitable for pickling."""
+    if type == "histogram":
+        with child._lock:
+            return {
+                "counts": list(child._counts),
+                "sum": child._sum,
+                "count": child._count,
+                "min": child._min,
+                "max": child._max,
+                "bucket_min": list(child._bucket_min),
+                "bucket_max": list(child._bucket_max),
+                "win_counts": list(child._win_counts),
+                "win_sum": child._win_sum,
+                "win_count": child._win_count,
+                "win_min": child._win_min,
+                "win_max": child._win_max,
+            }
+    return {"value": child.value}
+
+
+def registry_state_delta(current: Dict, previous: Optional[Dict]) -> Dict:
+    """Difference between two :meth:`MetricsRegistry.to_state` snapshots.
+
+    The shard-process heartbeat ships *increments* so the parent can
+    ``merge`` them repeatedly without double counting: counter/gauge
+    values, histogram bucket counts, sums and counts (window twins
+    included) are subtracted, while min/max and per-bucket extrema pass
+    through as the current cumulative values — folding those with
+    min/max is idempotent, so re-merging them is harmless.  Children
+    absent from ``previous`` ship whole.  ``previous=None`` returns
+    ``current`` unchanged (the first heartbeat).
+    """
+    if previous is None:
+        return current
+    prior: Dict[Tuple[str, Tuple[str, ...]], Dict] = {}
+    for fam in previous.get("families", ()):
+        for entry in fam["children"]:
+            prior[(fam["name"], tuple(entry["labels"]))] = entry["data"]
+    families = []
+    for fam in current.get("families", ()):
+        children = []
+        for entry in fam["children"]:
+            data = entry["data"]
+            prev = prior.get((fam["name"], tuple(entry["labels"])))
+            if prev is None:
+                delta = dict(data)
+            elif fam["type"] == "histogram":
+                delta = {
+                    "counts": [
+                        c - p for c, p in zip(data["counts"], prev["counts"])
+                    ],
+                    "sum": data["sum"] - prev["sum"],
+                    "count": data["count"] - prev["count"],
+                    "min": data["min"],
+                    "max": data["max"],
+                    "bucket_min": list(data["bucket_min"]),
+                    "bucket_max": list(data["bucket_max"]),
+                    "win_counts": [
+                        c - p
+                        for c, p in zip(
+                            data["win_counts"], prev["win_counts"]
+                        )
+                    ],
+                    "win_sum": data["win_sum"] - prev["win_sum"],
+                    "win_count": data["win_count"] - prev["win_count"],
+                    "win_min": data["win_min"],
+                    "win_max": data["win_max"],
+                }
+            else:
+                delta = {"value": data["value"] - prev["value"]}
+            children.append({"labels": entry["labels"], "data": delta})
+        families.append({**{k: v for k, v in fam.items() if k != "children"},
+                         "children": children})
+    return {"families": families}
 
 
 _registry = MetricsRegistry()

@@ -17,6 +17,12 @@ that serving substrate:
     health/alarm semantics are exactly the serial monitor's.  Workers
     are *restartable*: the thread is a replaceable vehicle over
     surviving queue/tracker/monitor state.
+``procshard`` / ``router``
+    The same shard, as a *process*: true multi-core diagnosis behind
+    the identical ``submit()``/``health()``/``/metrics`` surface
+    (``QoEService(shard_backend="process")``).  Child registries fold
+    into the parent's at heartbeat and drain; the supervisor treats
+    process death like a worker kill.
 ``batcher``
     Micro-batching of closed sessions so feature extraction and forest
     ``predict_proba`` run vectorized per batch instead of per session.
@@ -58,12 +64,19 @@ from .queue import (
     QueueEmpty,
     QueueFull,
 )
+from .procshard import ProcShardConfig, ProcShardWorker, ShardProcessDied
 from .replay import ReplayStats, TraceReplayer, synthetic_trace
+from .router import ProcessShardRouter, RegistryFolder
 from .service import QoEService
 from .shard import ShardWorker, shard_index
 from .supervisor import ShardSupervisor
 
 __all__ = [
+    "ProcShardConfig",
+    "ProcShardWorker",
+    "ProcessShardRouter",
+    "RegistryFolder",
+    "ShardProcessDied",
     "POLICIES",
     "BoundedQueue",
     "QueueClosed",

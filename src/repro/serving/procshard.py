@@ -1,0 +1,671 @@
+"""Process-backed shard workers: true multi-core serving.
+
+The thread-backed :class:`~repro.serving.shard.ShardWorker` keeps the
+serving tier's semantics honest, but the GIL serialises its hot path —
+N shard *threads* diagnose no faster than one.  This module moves each
+shard into its own **process** while preserving every contract the
+rest of the serving layer depends on:
+
+* **Partitioning** is unchanged: the parent routes with the same CRC32
+  :func:`~repro.serving.shard.shard_index`, and subscribers never span
+  shards, so per-subscriber entry order is preserved end to end
+  (parent FIFO queue → single sender thread → pipe FIFO → child FIFO
+  queue → the real :class:`ShardWorker` running inside the child).
+* **Determinism**: the child wraps an actual :class:`ShardWorker` —
+  the same validate → tracker → micro-batch → monitor code — so the
+  diagnosis/alarm multisets are bit-identical to the serial monitor,
+  merely computed on another core.
+* **Supervision**: :class:`ProcShardWorker` (the parent-side handle)
+  exposes the exact surface :class:`~repro.serving.supervisor.
+  ShardSupervisor` supervises — ``state``/``alive``/``restarts``/
+  ``error``/``heartbeat_s``/``restart()`` and the parent-side ingest
+  ``queue`` — so process death (nonzero exit, broken pipe) is handled
+  exactly like a worker-thread kill: restart with backoff, circuit
+  break, quarantine the backlog into the DLQ.
+* **Telemetry**: the child runs its own registry and ships
+  :func:`~repro.obs.registry.registry_state_delta` increments on a
+  heartbeat cadence and at drain; the parent folds them with
+  ``MetricsRegistry.merge()``, so stage histograms, SLO windows and
+  ``/metrics`` see child observations as if they were local.
+  ``TraceContext`` stamps ride across the pipe inside the entries
+  (``time.perf_counter`` is ``CLOCK_MONOTONIC`` on Linux, hence
+  comparable across local processes), so ``queue_wait`` and ``e2e``
+  spans cross the process boundary intact.
+
+Pipe protocol (compact pickled tuples)::
+
+    parent → child   ("entries", [WeblogEntry, ...])
+                     ("drain",)
+    child  → parent  ("out", {diagnoses, alarms, letters, counters})
+                     ("hb", {open_sessions, pending})
+                     ("registry", <state delta>)
+                     ("dying", {error, kills})      then os._exit(!=0)
+                     ("drained", {health, ...})     then clean exit
+
+**Failure model.**  A process crash loses the child's *entire* state:
+tracker sessions, pending batches, health rollups and its local queue
+backlog — a strictly wider blast radius than a thread kill (which
+keeps all of that alive under the replaced thread).  The parent
+therefore marks **every subscriber it ever shipped to that shard** as
+fault-affected, keeping the chaos suite's strong property — untouched
+subscribers are bit-identical to a fault-free serial run — valid for
+the process backend.  An injected kill consumes budget from the plan's
+``kill_times`` across restarts (the parent decrements what each dead
+child reports), so a respawned child does not kill-loop.
+
+Known limitation: model hot-reload swaps the parent's manager only;
+child processes keep the framework they were spawned with until their
+next restart.  Exemplar traces sampled inside a child are not shipped.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.capture.weblog import WeblogEntry
+from repro.core.framework import QoEFramework, SessionDiagnosis
+from repro.obs import (
+    PipelineTelemetry,
+    get_logger,
+    get_recorder,
+    get_registry,
+    registry_state_delta,
+)
+from repro.realtime.monitor import Alarm, SubscriberHealth
+
+from .batcher import MicroBatcher
+from .dlq import DeadLetterQueue
+from .models import ModelManager
+from .queue import BoundedQueue, QueueClosed, QueueEmpty, QueueFull
+from .shard import ShardWorker
+
+__all__ = ["ProcShardConfig", "ProcShardWorker", "ShardProcessDied"]
+
+_LOG = get_logger("serving.procshard")
+
+#: Entries shipped per pipe message (amortises pickle + syscall cost).
+_SEND_BATCH = 256
+#: Child main-loop poll timeout; bounds drain/death detection latency.
+_POLL_S = 0.02
+
+
+class ShardProcessDied(RuntimeError):
+    """A shard process exited without completing its drain handshake."""
+
+
+def _default_start_method() -> str:
+    """``spawn`` where it can work, ``fork`` where only fork can.
+
+    Spawn is the safe default: a fork taken while sibling shards'
+    sender/receiver threads hold registry or queue locks could deadlock
+    the child.  But spawn re-imports the parent's ``__main__`` from its
+    file path — when the driver came from stdin or ``exec`` (heredoc
+    scripts, notebooks) there is no such file and every child would die
+    on startup — so those parents fall back to fork.
+    """
+    if "spawn" not in mp.get_all_start_methods():
+        return "fork"
+    main_file = getattr(sys.modules.get("__main__"), "__file__", None)
+    if main_file is not None and not os.path.exists(main_file):
+        return "fork"
+    return "spawn"
+
+
+@dataclass
+class ProcShardConfig:
+    """Everything a shard process needs, picklable for ``spawn``.
+
+    The framework ships by value: the child scores with the model the
+    service held at spawn time (see the hot-reload limitation in the
+    module docstring).  ``kill_at_entry``/``kill_times`` carry the
+    fault plan's *remaining* kill budget for this shard — the parent
+    decrements it across restarts.
+    """
+
+    index: int
+    framework: QoEFramework
+    queue_capacity: int = 1024
+    max_batch: int = 32
+    max_delay_s: float = 0.25
+    idle_gap_s: float = 30.0
+    min_media_chunks: int = 3
+    severe_alarm_after: int = 3
+    stall_ratio_alarm: float = 0.5
+    min_sessions_for_ratio: int = 5
+    clock_skew_tolerance_s: float = 5.0
+    telemetry: bool = True
+    sample_every: int = 128
+    kill_at_entry: int = 0
+    kill_times: int = 0
+    heartbeat_interval_s: float = 0.25
+
+
+# ----------------------------------------------------------------------
+# Child side
+# ----------------------------------------------------------------------
+
+
+class _ForwardingDLQ:
+    """Child-side dead-letter shim: buffer letters for the next flush.
+
+    The parent performs the one real
+    :meth:`~repro.serving.dlq.DeadLetterQueue.put` per letter, so DLQ
+    metrics, ring events and eviction accounting stay single-sourced.
+    """
+
+    def __init__(self) -> None:
+        self._letters: List[tuple] = []
+
+    def put(
+        self, entry: WeblogEntry, reason: str, shard: int, detail: str = ""
+    ) -> None:
+        self._letters.append((entry, reason, detail))
+
+    def take(self) -> List[tuple]:
+        letters, self._letters = self._letters, []
+        return letters
+
+
+class _KillBudget:
+    """Child-side chaos hook honouring the plan's remaining kill budget."""
+
+    def __init__(self, at_entry: int, times: int) -> None:
+        self.at_entry = at_entry
+        self.times = times
+        self.fired = 0
+
+    def hook(self, shard_index: int, entry: WeblogEntry, picked_up: int) -> None:
+        if self.fired >= self.times or picked_up < self.at_entry:
+            return
+        self.fired += 1
+        from repro.faults.injector import InjectedFault
+
+        raise InjectedFault(
+            f"injected kill: shard {shard_index} process at its entry "
+            f"#{picked_up}"
+        )
+
+
+def _child_serve(conn, config: ProcShardConfig) -> None:
+    # Zero whatever metric state came across a fork; under spawn this
+    # registry is already fresh.  Unlabelled families delegate through
+    # ``family._default`` which reset updates, and every labelled child
+    # used below is created after this line.
+    registry = get_registry()
+    registry.reset()
+    # A distinct queue label from the parent's ``shard{i}``: both
+    # registries fold into one surface and must not collide series.
+    queue = BoundedQueue(
+        capacity=config.queue_capacity,
+        policy="block",
+        name=f"shard{config.index}w",
+    )
+    dlq = _ForwardingDLQ()
+    shard_tel = (
+        PipelineTelemetry(sample_every=config.sample_every).for_shard(
+            config.index
+        )
+        if config.telemetry
+        else None
+    )
+    kills = _KillBudget(config.kill_at_entry, config.kill_times)
+    worker = ShardWorker(
+        index=config.index,
+        models=ModelManager(config.framework),
+        queue=queue,
+        batcher=MicroBatcher(
+            max_batch=config.max_batch, max_delay_s=config.max_delay_s
+        ),
+        idle_gap_s=config.idle_gap_s,
+        min_media_chunks=config.min_media_chunks,
+        severe_alarm_after=config.severe_alarm_after,
+        stall_ratio_alarm=config.stall_ratio_alarm,
+        min_sessions_for_ratio=config.min_sessions_for_ratio,
+        dead_letters=dlq,
+        clock_skew_tolerance_s=config.clock_skew_tolerance_s,
+        fault_hook=kills.hook if config.kill_times > 0 else None,
+        telemetry=shard_tel,
+    )
+    worker.start()
+
+    sent_diagnoses = 0
+    sent_alarms = 0
+    sent_entries = -1
+    prev_registry_state: Optional[Dict] = None
+    backlog: deque = deque()
+    draining = False
+    last_beat = 0.0
+
+    def flush_outputs() -> None:
+        nonlocal sent_diagnoses, sent_alarms, sent_entries
+        diagnoses = worker.monitor.diagnoses
+        alarms = worker.monitor.alarms
+        letters = dlq.take()
+        if (
+            len(diagnoses) == sent_diagnoses
+            and len(alarms) == sent_alarms
+            and not letters
+            and worker.entries_processed == sent_entries
+        ):
+            return
+        out = {
+            "diagnoses": diagnoses[sent_diagnoses:],
+            "alarms": alarms[sent_alarms:],
+            "letters": letters,
+            "entries_processed": worker.entries_processed,
+            "quarantined": worker.quarantined,
+        }
+        sent_diagnoses = len(diagnoses)
+        sent_alarms = len(alarms)
+        sent_entries = worker.entries_processed
+        conn.send(("out", out))
+
+    def ship_registry() -> None:
+        nonlocal prev_registry_state
+        current = registry.to_state()
+        conn.send(
+            ("registry", registry_state_delta(current, prev_registry_state))
+        )
+        prev_registry_state = current
+
+    try:
+        while True:
+            # Re-home received entries; never block long so heartbeats
+            # keep flowing even when the worker is the bottleneck.
+            while backlog and worker.state in ("created", "running"):
+                try:
+                    queue.put(backlog[0], timeout=_POLL_S)
+                    backlog.popleft()
+                except QueueFull:
+                    break
+            if conn.poll(0.0 if backlog else _POLL_S):
+                msg = conn.recv()
+                if msg[0] == "entries":
+                    backlog.extend(msg[1])
+                    continue  # bias towards keeping the worker fed
+                if msg[0] == "drain":
+                    while backlog and worker.state in ("created", "running"):
+                        try:
+                            queue.put(backlog[0], timeout=0.2)
+                            backlog.popleft()
+                        except QueueFull:
+                            pass
+                    queue.close()
+                    draining = True
+            if worker.state == "failed":
+                if shard_tel is not None:
+                    shard_tel.flush()
+                flush_outputs()
+                ship_registry()
+                conn.send(
+                    ("dying", {"error": repr(worker.error), "kills": kills.fired})
+                )
+                conn.close()
+                os._exit(3)
+            if draining and not worker.alive:
+                flush_outputs()
+                ship_registry()
+                conn.send(
+                    (
+                        "drained",
+                        {
+                            "health": dict(worker.monitor.health),
+                            "entries_processed": worker.entries_processed,
+                            "quarantined": worker.quarantined,
+                        },
+                    )
+                )
+                conn.close()
+                return
+            now = time.monotonic()
+            if now - last_beat >= config.heartbeat_interval_s:
+                last_beat = now
+                flush_outputs()
+                ship_registry()
+                conn.send(
+                    (
+                        "hb",
+                        {
+                            "open_sessions": worker.monitor.tracker.open_sessions,
+                            "pending": worker.batcher.pending,
+                        },
+                    )
+                )
+    except (EOFError, BrokenPipeError, OSError):
+        # Parent is gone; nothing left to report to.
+        os._exit(0)
+
+
+def _child_main(conn, config: ProcShardConfig) -> None:
+    """Process entry point (module top level: fork- and spawn-safe)."""
+    try:
+        _child_serve(conn, config)
+    except BaseException as exc:  # noqa: BLE001 - last-resort report
+        try:
+            conn.send(("dying", {"error": repr(exc), "kills": 0}))
+            conn.close()
+        except Exception:
+            pass
+        os._exit(4)
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+class _RemoteTracker:
+    """Mirror of the child tracker's health-relevant gauges."""
+
+    def __init__(self) -> None:
+        self.open_sessions = 0
+
+
+class _RemoteMonitorView:
+    """Duck-typed stand-in for the child's ``RealTimeMonitor``.
+
+    Holds exactly what ``QoEService`` reads off a shard's monitor:
+    the per-subscriber health map (shipped at drain), callback error
+    count (callbacks run parent-side) and the tracker gauge view.
+    """
+
+    def __init__(self) -> None:
+        self.health: Dict[str, SubscriberHealth] = {}
+        self.callback_errors = 0
+        self.tracker = _RemoteTracker()
+
+
+class _RemoteBatcherView:
+    """Mirror of the child batcher's ``pending`` gauge."""
+
+    def __init__(self) -> None:
+        self.pending = 0
+
+
+class ProcShardWorker:
+    """Parent-side handle for one shard process.
+
+    Presents the :class:`~repro.serving.shard.ShardWorker` supervision
+    and aggregation surface over a child process: the supervisor
+    restarts it, trips its circuit and quarantines its parent-side
+    queue exactly as it would a thread-backed shard.
+
+    Parameters
+    ----------
+    config:
+        The child's :class:`ProcShardConfig` (kill budget included).
+    queue:
+        Parent-side ingest queue — ``QoEService.submit`` puts here; a
+        sender thread pumps it across the pipe.  Survives restarts, so
+        a respawned child inherits the un-shipped backlog.
+    dead_letters:
+        The service's shared DLQ; child rejections are forwarded here.
+    fold:
+        Callable receiving child registry state deltas (usually
+        ``RegistryFolder.absorb`` from :mod:`repro.serving.router`).
+    faults:
+        Optional fault injector: process deaths consume the plan's
+        kill budget and mark every shipped subscriber affected.
+    start_method:
+        ``multiprocessing`` start method.  Default: see
+        :func:`_default_start_method` (``spawn`` unless the parent's
+        ``__main__`` has no importable file).
+    """
+
+    def __init__(
+        self,
+        config: ProcShardConfig,
+        queue: BoundedQueue,
+        dead_letters: DeadLetterQueue,
+        on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+        fold: Optional[Callable[[Dict], None]] = None,
+        faults=None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        self.index = config.index
+        self.config = config
+        self.queue = queue
+        self.dead_letters = dead_letters
+        self._on_diagnosis = on_diagnosis
+        self._on_alarm = on_alarm
+        self._fold = fold
+        self._faults = faults
+        self._mp = mp.get_context(start_method or _default_start_method())
+        self.monitor = _RemoteMonitorView()
+        self.batcher = _RemoteBatcherView()
+        self.diagnoses: List[SessionDiagnosis] = []
+        self.alarms: List[Alarm] = []
+        self.entries_processed = 0
+        self.quarantined = 0
+        self.restarts = 0
+        self.error: Optional[BaseException] = None
+        self.state = "created"
+        self.heartbeat_s = 0.0
+        #: Every subscriber ever shipped to the child — the blast
+        #: radius of a process death (all child state is lost with it).
+        self._seen_subscribers: Set[str] = set()
+        self._kill_times_left = config.kill_times
+        self._entries_base = 0
+        self._quarantined_base = 0
+        self._process = None
+        self._conn = None
+        self._sender: Optional[threading.Thread] = None
+        self._receiver: Optional[threading.Thread] = None
+        self._sender_stop = threading.Event()
+        self._drained = False
+        self._death_report: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    # ShardWorker surface
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    def heartbeat_age_s(self, now: Optional[float] = None) -> float:
+        if self.heartbeat_s == 0.0:
+            return 0.0
+        now = time.monotonic() if now is None else now
+        return max(0.0, now - self.heartbeat_s)
+
+    def start(self) -> None:
+        self.state = "running"
+        self.heartbeat_s = time.monotonic()
+        self._spawn()
+
+    def restart(self) -> None:
+        """Spawn a replacement process over the surviving parent queue.
+
+        Unlike a thread restart, the dead child's tracker, batcher and
+        health state are gone: the replacement starts empty and only
+        the parent queue's un-shipped backlog is re-homed.  The fault
+        plan's remaining kill budget rides in the new config so an
+        injected kill cannot loop.
+        """
+        if self.alive:
+            raise RuntimeError(f"shard {self.index} is alive; cannot restart")
+        self._sender_stop.set()
+        for thread in (self._sender, self._receiver):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        if self._conn is not None:
+            self._conn.close()
+        self.error = None
+        self.restarts += 1
+        self.monitor.tracker.open_sessions = 0
+        self.batcher.pending = 0
+        self.state = "running"
+        self.heartbeat_s = time.monotonic()
+        self._spawn()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._process is not None:
+            self._process.join(timeout)
+        for thread in (self._sender, self._receiver):
+            if thread is not None:
+                thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Process plumbing
+    # ------------------------------------------------------------------
+
+    def _spawn(self) -> None:
+        config = replace(self.config, kill_times=self._kill_times_left)
+        parent_conn, child_conn = self._mp.Pipe(duplex=True)
+        self._conn = parent_conn
+        self._drained = False
+        self._death_report = None
+        self._sender_stop = threading.Event()
+        self._process = self._mp.Process(
+            target=_child_main,
+            args=(child_conn, config),
+            name=f"repro-procshard-{self.index}-r{self.restarts}",
+            daemon=True,
+        )
+        self._process.start()
+        # Drop the parent's reference to the child end so the pipe
+        # reports EOF the moment the child exits.
+        child_conn.close()
+        self._receiver = threading.Thread(
+            target=self._recv_loop,
+            args=(parent_conn, self._process, self._sender_stop),
+            name=f"repro-procshard-{self.index}-recv",
+            daemon=True,
+        )
+        self._sender = threading.Thread(
+            target=self._send_loop,
+            args=(parent_conn, self._sender_stop),
+            name=f"repro-procshard-{self.index}-send",
+            daemon=True,
+        )
+        self._receiver.start()
+        self._sender.start()
+
+    def _send_loop(self, conn, stop: threading.Event) -> None:
+        """Pump the parent queue across the pipe in batches."""
+        closed = False
+        try:
+            while not stop.is_set():
+                batch: List[WeblogEntry] = []
+                try:
+                    batch.append(self.queue.get(timeout=_POLL_S))
+                    while len(batch) < _SEND_BATCH:
+                        batch.append(self.queue.get(timeout=0))
+                except QueueEmpty:
+                    pass
+                except QueueClosed:
+                    closed = True
+                if batch:
+                    for entry in batch:
+                        self._seen_subscribers.add(entry.subscriber_id)
+                    conn.send(("entries", batch))
+                if closed:
+                    conn.send(("drain",))
+                    return
+        except (BrokenPipeError, OSError, ValueError):
+            # Child died (receiver is handling it) or conn was closed
+            # under a restart; entries pulled but unsent are lost with
+            # the child — the at-most-once crash boundary.
+            return
+
+    def _recv_loop(self, conn, process, stop: threading.Event) -> None:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            self.heartbeat_s = time.monotonic()
+            kind = msg[0]
+            if kind == "out":
+                self._apply_out(msg[1])
+            elif kind == "registry":
+                if self._fold is not None:
+                    self._fold(msg[1])
+            elif kind == "hb":
+                self.monitor.tracker.open_sessions = msg[1]["open_sessions"]
+                self.batcher.pending = msg[1]["pending"]
+            elif kind == "dying":
+                self._death_report = msg[1]
+            elif kind == "drained":
+                self._apply_drained(msg[1])
+        if not self._drained:
+            self._handle_death(process, stop)
+
+    # ------------------------------------------------------------------
+    # Message application (receiver thread only)
+    # ------------------------------------------------------------------
+
+    def _fire(self, callback, payload, name: str) -> None:
+        if callback is None:
+            return
+        try:
+            callback(payload)
+        except Exception:
+            self.monitor.callback_errors += 1
+            _LOG.exception(
+                "procshard_callback_failed", shard=self.index, callback=name
+            )
+
+    def _apply_out(self, out: Dict) -> None:
+        for diagnosis in out["diagnoses"]:
+            self.diagnoses.append(diagnosis)
+            self._fire(self._on_diagnosis, diagnosis, "on_diagnosis")
+        for alarm in out["alarms"]:
+            self.alarms.append(alarm)
+            self._fire(self._on_alarm, alarm, "on_alarm")
+        for entry, reason, detail in out["letters"]:
+            self.dead_letters.put(entry, reason, self.index, detail)
+        self.entries_processed = (
+            self._entries_base + out["entries_processed"]
+        )
+        self.quarantined = self._quarantined_base + out["quarantined"]
+
+    def _apply_drained(self, payload: Dict) -> None:
+        self.monitor.health.update(payload["health"])
+        self.monitor.tracker.open_sessions = 0
+        self.batcher.pending = 0
+        self._drained = True
+        self.state = "stopped"
+
+    def _handle_death(self, process, stop: threading.Event) -> None:
+        """The pipe hit EOF without a drain handshake: the child died."""
+        stop.set()
+        process.join(timeout=5.0)
+        exitcode = process.exitcode
+        report = self._death_report or {}
+        kills = int(report.get("kills", 0))
+        if kills:
+            self._kill_times_left = max(0, self._kill_times_left - kills)
+            if self._faults is not None:
+                self._faults.note_remote_kills(self.index, kills)
+        if self._faults is not None and self._seen_subscribers:
+            self._faults.mark_affected(self._seen_subscribers)
+        detail = report.get("error") or f"exit code {exitcode}"
+        self.error = ShardProcessDied(
+            f"shard {self.index} process died: {detail}"
+        )
+        # Base the counters so the replacement child's fresh counts
+        # stack on what this incarnation already reported.
+        self._entries_base = self.entries_processed
+        self._quarantined_base = self.quarantined
+        get_recorder().record(
+            "shard_worker_died", shard=self.index, error=repr(self.error)
+        )
+        _LOG.error(
+            "shard_process_died",
+            shard=self.index,
+            exitcode=exitcode,
+            error=detail,
+        )
+        # Written last: the supervisor reacts to "failed" and must see
+        # the error, accounting and stopped sender when it does.
+        self.state = "failed"

@@ -1,0 +1,162 @@
+"""Routing/aggregation tier over N shard processes.
+
+:class:`~repro.serving.service.QoEService` stays the single
+``submit()`` / ``health()`` / ``/metrics`` surface regardless of shard
+backend; this module is the thin layer that makes the *process*
+backend look like the thread one from above:
+
+:class:`RegistryFolder`
+    The merge point for child telemetry.  Every shard process ships
+    :func:`~repro.obs.registry.registry_state_delta` increments on its
+    heartbeat cadence and at drain; the folder rebuilds each delta
+    with :meth:`MetricsRegistry.from_state` and folds it into the
+    parent registry with :meth:`MetricsRegistry.merge`.  Because the
+    parent's ``PipelineTelemetry`` and ``SLOEngine`` hold children of
+    that same registry, child stage observations land directly in the
+    histograms the SLO windows and ``/metrics`` read — no second
+    exposition path.  A malformed delta is counted and dropped, never
+    raised into the receiver thread.
+
+:class:`ProcessShardRouter`
+    Builds the :class:`~repro.serving.procshard.ProcShardWorker` fleet
+    for a service: one parent-side queue + config + kill-spec per
+    shard, all sharing one folder and the service's DLQ.  Routing
+    itself stays in ``QoEService.submit`` via the same CRC32
+    :func:`~repro.serving.shard.shard_index` used by the thread
+    backend — the router's job is construction and aggregation, not a
+    second code path for the hot loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional
+
+from repro.core.framework import SessionDiagnosis
+from repro.obs import MetricsRegistry, get_logger, get_registry
+from repro.realtime.monitor import Alarm
+
+from .dlq import DeadLetterQueue
+from .procshard import ProcShardConfig, ProcShardWorker
+from .queue import BoundedQueue
+
+__all__ = ["RegistryFolder", "ProcessShardRouter"]
+
+_LOG = get_logger("serving.router")
+
+
+class RegistryFolder:
+    """Folds shard-process registry deltas into one parent registry."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        self._lock = threading.Lock()
+        self.folds = 0
+        self.errors = 0
+
+    def absorb(self, delta_state: Dict) -> None:
+        """Merge one child delta; errors are counted, never propagated.
+
+        Receiver threads call this — a bad delta (schema drift,
+        mismatched buckets) must degrade telemetry, not kill the
+        thread that also handles the shard's death reporting.
+        """
+        try:
+            self._registry.merge(MetricsRegistry.from_state(delta_state))
+        except Exception:
+            with self._lock:
+                self.errors += 1
+            _LOG.exception("registry_fold_failed")
+            return
+        with self._lock:
+            self.folds += 1
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {"folds": self.folds, "errors": self.errors}
+
+
+class ProcessShardRouter:
+    """Constructs and owns the process-shard fleet for one service.
+
+    Parameters mirror the service's shard-relevant knobs; ``faults``
+    supplies per-shard kill specs (`kill_spec_for`) and receives
+    process-death accounting from the workers.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        framework,
+        dead_letters: DeadLetterQueue,
+        queue_capacity: int = 1024,
+        policy: str = "block",
+        max_batch: int = 32,
+        max_delay_s: float = 0.25,
+        idle_gap_s: float = 30.0,
+        min_media_chunks: int = 3,
+        severe_alarm_after: int = 3,
+        stall_ratio_alarm: float = 0.5,
+        min_sessions_for_ratio: int = 5,
+        clock_skew_tolerance_s: float = 5.0,
+        telemetry: bool = True,
+        sample_every: int = 128,
+        on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
+        on_alarm: Optional[Callable[[Alarm], None]] = None,
+        faults=None,
+        registry: Optional[MetricsRegistry] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.folder = RegistryFolder(registry)
+        self.shards: List[ProcShardWorker] = []
+        for index in range(n_shards):
+            kill_at, kill_times = (0, 0)
+            if faults is not None:
+                spec = faults.kill_spec_for(index)
+                if spec is not None:
+                    kill_at, kill_times = spec
+            config = ProcShardConfig(
+                index=index,
+                framework=framework,
+                queue_capacity=queue_capacity,
+                max_batch=max_batch,
+                max_delay_s=max_delay_s,
+                idle_gap_s=idle_gap_s,
+                min_media_chunks=min_media_chunks,
+                severe_alarm_after=severe_alarm_after,
+                stall_ratio_alarm=stall_ratio_alarm,
+                min_sessions_for_ratio=min_sessions_for_ratio,
+                clock_skew_tolerance_s=clock_skew_tolerance_s,
+                telemetry=telemetry,
+                sample_every=sample_every,
+                kill_at_entry=kill_at,
+                kill_times=kill_times,
+            )
+            self.shards.append(
+                ProcShardWorker(
+                    config=config,
+                    queue=BoundedQueue(
+                        capacity=queue_capacity,
+                        policy=policy,
+                        name=f"shard{index}",
+                    ),
+                    dead_letters=dead_letters,
+                    on_diagnosis=on_diagnosis,
+                    on_alarm=on_alarm,
+                    fold=self.folder.absorb,
+                    faults=faults,
+                    start_method=start_method,
+                )
+            )
+
+    def snapshot(self) -> Dict:
+        """Aggregation-tier block for ``QoEService.health()``."""
+        return {
+            "backend": "process",
+            "registry_folds": self.folder.snapshot(),
+            "seen_subscribers": sum(
+                len(shard._seen_subscribers) for shard in self.shards
+            ),
+        }

@@ -113,6 +113,15 @@ class QoEService:
     n_shards:
         Concurrent shard workers (>= 1).  1 is the serial monitor with
         an ingest queue in front.
+    shard_backend:
+        ``"thread"`` (default) runs shards as in-process worker
+        threads; ``"process"`` runs each shard in its own process via
+        :mod:`repro.serving.procshard` for true multi-core diagnosis.
+        Semantics are identical (same CRC32 partition, same
+        per-subscriber order, same diagnosis/alarm multisets); the
+        process backend additionally folds per-child metric registries
+        into this process's registry at heartbeat and drain.  Model
+        hot-reload only reaches process shards at their next restart.
     queue_capacity, policy:
         Per-shard ingest bound and backpressure policy
         (see :mod:`repro.serving.queue`).
@@ -158,6 +167,7 @@ class QoEService:
         self,
         models: Union[ModelManager, QoEFramework, str],
         n_shards: int = 4,
+        shard_backend: str = "thread",
         queue_capacity: int = 1024,
         policy: str = "block",
         max_batch: int = 32,
@@ -182,6 +192,12 @@ class QoEService:
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if shard_backend not in ("thread", "process"):
+            raise ValueError(
+                f"unknown shard_backend {shard_backend!r}; "
+                "use 'thread' or 'process'"
+            )
+        self.shard_backend = shard_backend
         self.models = (
             models if isinstance(models, ModelManager) else ModelManager(models)
         )
@@ -214,32 +230,68 @@ class QoEService:
             else None
         )
         self.recorder = FlightRecorder(postmortem_dir=postmortem_dir)
-        self._shards: List[ShardWorker] = [
-            ShardWorker(
-                index=i,
-                models=self.models,
-                queue=BoundedQueue(
-                    capacity=queue_capacity, policy=policy, name=f"shard{i}"
-                ),
-                batcher=MicroBatcher(max_batch=max_batch, max_delay_s=max_delay_s),
+        self.router = None
+        if shard_backend == "process":
+            # Local import: the router pulls in multiprocessing-backed
+            # shards the thread backend never needs.
+            from .router import ProcessShardRouter
+
+            self.router = ProcessShardRouter(
+                n_shards=n_shards,
+                framework=self.models.current,
+                dead_letters=self.dead_letters,
+                queue_capacity=queue_capacity,
+                policy=policy,
+                max_batch=max_batch,
+                max_delay_s=max_delay_s,
                 idle_gap_s=idle_gap_s,
                 min_media_chunks=min_media_chunks,
                 severe_alarm_after=severe_alarm_after,
                 stall_ratio_alarm=stall_ratio_alarm,
                 min_sessions_for_ratio=min_sessions_for_ratio,
+                clock_skew_tolerance_s=clock_skew_tolerance_s,
+                telemetry=self.telemetry is not None,
+                sample_every=(
+                    self.telemetry.sample_every
+                    if self.telemetry is not None
+                    else 128
+                ),
                 on_diagnosis=on_diagnosis,
                 on_alarm=on_alarm,
-                dead_letters=self.dead_letters,
-                clock_skew_tolerance_s=clock_skew_tolerance_s,
-                fault_hook=faults.shard_fault_hook if faults is not None else None,
-                telemetry=(
-                    self.telemetry.for_shard(i)
-                    if self.telemetry is not None
-                    else None
-                ),
+                faults=faults,
             )
-            for i in range(n_shards)
-        ]
+            self._shards: List[ShardWorker] = self.router.shards
+        else:
+            self._shards = [
+                ShardWorker(
+                    index=i,
+                    models=self.models,
+                    queue=BoundedQueue(
+                        capacity=queue_capacity, policy=policy, name=f"shard{i}"
+                    ),
+                    batcher=MicroBatcher(
+                        max_batch=max_batch, max_delay_s=max_delay_s
+                    ),
+                    idle_gap_s=idle_gap_s,
+                    min_media_chunks=min_media_chunks,
+                    severe_alarm_after=severe_alarm_after,
+                    stall_ratio_alarm=stall_ratio_alarm,
+                    min_sessions_for_ratio=min_sessions_for_ratio,
+                    on_diagnosis=on_diagnosis,
+                    on_alarm=on_alarm,
+                    dead_letters=self.dead_letters,
+                    clock_skew_tolerance_s=clock_skew_tolerance_s,
+                    fault_hook=(
+                        faults.shard_fault_hook if faults is not None else None
+                    ),
+                    telemetry=(
+                        self.telemetry.for_shard(i)
+                        if self.telemetry is not None
+                        else None
+                    ),
+                )
+                for i in range(n_shards)
+            ]
         self.supervisor = ShardSupervisor(
             self._shards,
             self.dead_letters,
@@ -301,6 +353,7 @@ class QoEService:
         self.recorder.record(
             "service_started",
             shards=self.n_shards,
+            backend=self.shard_backend,
             model_version=self.models.version,
         )
         _SHARDS.set(self.n_shards)
@@ -308,6 +361,7 @@ class QoEService:
         _LOG.info(
             "service_started",
             shards=self.n_shards,
+            backend=self.shard_backend,
             model_version=self.models.version,
         )
         return self
@@ -513,6 +567,7 @@ class QoEService:
         """
         out = {
             "state": self.state,
+            "backend": self.shard_backend,
             "ready": self.ready,
             "degraded": self.degraded,
             "model_version": self.models.version,
@@ -542,6 +597,8 @@ class QoEService:
                 for shard in self._shards
             ],
         }
+        if self.router is not None:
+            out["router"] = self.router.snapshot()
         if self.telemetry is not None:
             out["telemetry"] = self.telemetry.stage_snapshot()
         if self.slo_engine is not None:

@@ -67,6 +67,14 @@ _STALLED = _REG.gauge(
 class ShardSupervisor:
     """Watchdog over a fixed set of :class:`ShardWorker` objects.
 
+    Duck-typed over the worker surface (``state``/``alive``/``error``/
+    ``restarts``/``restart()``/``heartbeat_age_s()``/``queue``), so the
+    process-backed :class:`~repro.serving.procshard.ProcShardWorker`
+    is supervised by the identical state machine: a dead *process*
+    (nonzero exit, broken pipe) surfaces as ``state == "failed"`` and
+    gets the same restart-with-backoff → circuit-break → quarantine
+    treatment as a dead worker thread.
+
     Parameters
     ----------
     shards:

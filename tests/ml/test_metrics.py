@@ -103,3 +103,32 @@ class TestClassificationReport:
         report = classification_report(y_true, y_pred, labels=["a", "b"])
         assert report.by_label()["b"].precision == 0.0
         assert report.by_label()["b"].recall == 0.0
+
+
+class TestLabelSubset:
+    def test_out_of_label_pairs_are_skipped(self):
+        y_true = np.array(["a", "a", "b", "c", "c"])
+        y_pred = np.array(["a", "b", "b", "c", "a"])
+        matrix = confusion_matrix(y_true, y_pred, labels=["a", "b"])
+        # pairs touching "c" (two of them) are dropped, like sklearn
+        assert matrix.sum() == 3
+        assert matrix[0, 0] == 1        # a -> a
+        assert matrix[0, 1] == 1        # a -> b
+        assert matrix[1, 1] == 1        # b -> b
+
+    def test_report_on_label_subset_does_not_raise(self):
+        y_true = np.array(["a", "a", "b", "c", "c", "b"])
+        y_pred = np.array(["a", "c", "b", "c", "b", "b"])
+        report = classification_report(y_true, y_pred, labels=["a", "b"])
+        assert report.labels == ["a", "b"]
+        assert report.matrix.shape == (2, 2)
+        by_label = report.by_label()
+        assert by_label["b"].support == 2
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_all_pairs_out_of_labels(self):
+        y_true = np.array(["x", "y"])
+        y_pred = np.array(["y", "x"])
+        report = classification_report(y_true, y_pred, labels=["z"])
+        assert report.matrix.sum() == 0
+        assert report.accuracy == 0.0

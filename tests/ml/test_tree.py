@@ -205,7 +205,7 @@ class TestSplitSearchEquivalence:
                     idx_rng.choice(X.shape[0], size=80, replace=False)
                 )
                 assert tree._best_split(
-                    X, y_enc, indices
+                    X, y_enc, None, indices
                 ) == self._reference_best_split(tree, X, y_enc, indices)
 
     def test_fitted_trees_bit_identical_predictions(self):
@@ -217,3 +217,94 @@ class TestSplitSearchEquivalence:
         assert np.array_equal(a._threshold, b._threshold)
         assert np.array_equal(a._feature, b._feature)
         assert np.array_equal(a.predict_proba(X), b.predict_proba(X))
+
+
+class TestSampleWeight:
+    def test_none_is_bit_identical_to_unit_weights(self):
+        X, y = _separable(seed=3)
+        plain = DecisionTreeClassifier(random_state=0).fit(X, y)
+        unit = DecisionTreeClassifier(random_state=0).fit(
+            X, y, sample_weight=np.ones(len(y))
+        )
+        assert np.array_equal(plain._feature, unit._feature)
+        assert np.array_equal(plain._threshold, unit._threshold)
+        assert np.array_equal(plain._value, unit._value)
+        assert np.array_equal(plain.predict_proba(X), unit.predict_proba(X))
+
+    def test_weighted_fit_differs_from_unweighted(self):
+        # Two interleaved populations; weights silence the second one.
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(300, 3))
+        y = (X[:, 0] > 0).astype(int)
+        # Mislabel a contiguous block, then weight those rows to zero:
+        # a weight-aware fit must recover the clean structure.
+        y_bad = y.copy()
+        y_bad[:120] = 1 - y_bad[:120]
+        w = np.ones(len(y_bad))
+        w[:120] = 0.0
+        weighted = DecisionTreeClassifier(
+            max_depth=3, random_state=0
+        ).fit(X, y_bad, sample_weight=w)
+        unweighted = DecisionTreeClassifier(
+            max_depth=3, random_state=0
+        ).fit(X, y_bad)
+        assert not np.array_equal(
+            weighted.predict_proba(X), unweighted.predict_proba(X)
+        )
+        # The zero-weighted mislabelled block cannot distort the tree:
+        # clean rows must be classified like a fit on them alone.
+        clean = DecisionTreeClassifier(max_depth=3, random_state=0).fit(
+            X[120:], y[120:]
+        )
+        agree = np.mean(weighted.predict(X) == clean.predict(X))
+        assert agree > 0.95
+
+    def test_leaf_values_are_weighted_counts(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        tree = DecisionTreeClassifier().fit(X, y, sample_weight=w)
+        assert tree._value[0].tolist() == [3.0, 7.0]
+
+    def test_invalid_sample_weight_rejected(self):
+        X, y = _separable(n=20)
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(X, y, sample_weight=np.ones(3))
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(
+                X, y, sample_weight=-np.ones(len(y))
+            )
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(
+                X, y, sample_weight=np.zeros(len(y))
+            )
+        with pytest.raises(ValueError):
+            bad = np.ones(len(y))
+            bad[0] = np.nan
+            DecisionTreeClassifier().fit(X, y, sample_weight=bad)
+
+
+class TestZeroTotalLeaves:
+    def test_zero_weight_leaf_inherits_parent_distribution(self):
+        # x <= 0.5 isolates the two zero-weight rows of class 0: their
+        # leaf has no evidence and must answer the parent's mixture,
+        # never an all-zero row argmaxing to class 0.
+        X = np.array([[0.0], [0.4], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1, 1])
+        w = np.array([0.0, 0.0, 1.0, 1.0, 1.0])
+        tree = DecisionTreeClassifier(min_samples_split=2).fit(
+            X, y, sample_weight=w
+        )
+        proba = tree.predict_proba(X)
+        assert np.all(proba.sum(axis=1) > 0.999)
+        assert (tree.predict(X) == 1).all()
+
+    def test_handcrafted_zero_leaf_answers_uniform(self):
+        X, y = _separable(n=50, seed=1)
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+        leaves = np.nonzero(tree._feature == -1)[0]
+        tree._value[leaves[0]] = 0.0     # simulate a corrupted leaf
+        hit = tree.apply(X) == leaves[0]
+        if hit.any():
+            proba = tree.predict_proba(X)
+            assert np.allclose(proba[hit], 1.0 / tree.n_classes_)

@@ -1,0 +1,149 @@
+"""Property tests for BoundedQueue close/drain semantics.
+
+The process-shard router leans on one contract hard: the parent-side
+queue is closed at drain time while ``block``-policy producers may
+still be waiting for space, and the pipe pump keeps consuming until
+``get`` raises ``QueueClosed``.  For that hand-off to be lossless the
+queue must guarantee, under arbitrary producer/consumer interleavings:
+
+* a ``put`` that returns normally means the entry IS delivered to a
+  consumer (no loss);
+* a ``put`` that raises ``QueueClosed`` means the entry is NOT
+  delivered (no duplication, and the producer knows to re-route);
+* ``close`` wakes every blocked producer promptly (no deadlock);
+* consumers see every admitted entry exactly once, then
+  ``QueueClosed`` once the backlog is drained.
+
+Hypothesis drives the shape (capacity, producer count, stream
+lengths, when the closer fires); threads provide the interleaving.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.queue import BoundedQueue, QueueClosed, QueueEmpty
+
+
+@st.composite
+def _scenarios(draw):
+    capacity = draw(st.integers(min_value=1, max_value=4))
+    n_producers = draw(st.integers(min_value=1, max_value=4))
+    per_producer = draw(st.integers(min_value=1, max_value=25))
+    # Close after this many consumed items (possibly mid-stream, with
+    # producers still blocked on a full queue).
+    close_after = draw(
+        st.integers(min_value=0, max_value=n_producers * per_producer)
+    )
+    return capacity, n_producers, per_producer, close_after
+
+
+@settings(max_examples=25, deadline=None)
+@given(_scenarios())
+def test_no_loss_no_duplication_across_close(scenario):
+    capacity, n_producers, per_producer, close_after = scenario
+    queue = BoundedQueue(capacity=capacity, policy="block", name="prop")
+
+    accepted = [set() for _ in range(n_producers)]
+    rejected = [set() for _ in range(n_producers)]
+
+    def produce(pid: int) -> None:
+        for i in range(per_producer):
+            item = (pid, i)
+            try:
+                queue.put(item)
+            except QueueClosed:
+                # Not admitted — and everything later in this stream is
+                # refused too; record and stop like the router's submit
+                # path does.
+                rejected[pid].update((pid, j) for j in range(i, per_producer))
+                return
+            accepted[pid].add(item)
+
+    consumed = []
+    closed_seen = threading.Event()
+
+    def consume() -> None:
+        while True:
+            try:
+                consumed.append(queue.get(timeout=0.05))
+            except QueueEmpty:
+                continue
+            except QueueClosed:
+                closed_seen.set()
+                return
+            if len(consumed) == close_after and not queue.closed:
+                queue.close()
+
+    producers = [
+        threading.Thread(target=produce, args=(pid,))
+        for pid in range(n_producers)
+    ]
+    consumer = threading.Thread(target=consume)
+    for thread in producers:
+        thread.start()
+    consumer.start()
+    for thread in producers:
+        thread.join(timeout=10.0)
+    # All producers have returned (admitted or refused) — nothing can
+    # block forever across a close.
+    assert not any(t.is_alive() for t in producers), "producer deadlocked"
+    if not queue.closed:
+        queue.close()
+    consumer.join(timeout=10.0)
+    assert closed_seen.is_set(), "consumer never saw QueueClosed"
+
+    all_accepted = set().union(*accepted)
+    all_rejected = set().union(*rejected)
+    counts = Counter(consumed)
+    # Exactly-once delivery of everything admitted...
+    assert set(counts) == all_accepted
+    assert all(c == 1 for c in counts.values()), "duplicated entries"
+    # ...and nothing that was refused ever surfaces.
+    assert not all_rejected & set(counts)
+    assert all_accepted | all_rejected == {
+        (pid, i) for pid in range(n_producers) for i in range(per_producer)
+    }
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=3))
+def test_close_releases_blocked_producers(capacity):
+    """close() while puts are waiting: every waiter raises QueueClosed."""
+    queue = BoundedQueue(capacity=capacity, policy="block", name="prop2")
+    for i in range(capacity):
+        queue.put(("fill", i))
+
+    outcomes = []
+    barrier = threading.Barrier(3)
+
+    def blocked_put(tag: str) -> None:
+        barrier.wait()
+        try:
+            queue.put(("late", tag))
+            outcomes.append(("admitted", tag))
+        except QueueClosed:
+            outcomes.append(("closed", tag))
+
+    threads = [
+        threading.Thread(target=blocked_put, args=(str(i),)) for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()          # both producers past the gate, heading into put
+    queue.close()
+    for thread in threads:
+        thread.join(timeout=5.0)
+    assert not any(t.is_alive() for t in threads), "blocked put never woke"
+    assert [kind for kind, _ in outcomes] == ["closed", "closed"]
+    # The pre-close backlog is still fully drainable.
+    drained = [queue.get(timeout=0.1) for _ in range(capacity)]
+    assert drained == [("fill", i) for i in range(capacity)]
+    try:
+        queue.get(timeout=0.05)
+        raise AssertionError("expected QueueClosed after drain")
+    except QueueClosed:
+        pass

@@ -88,7 +88,7 @@ class TestServeReplay:
         assert self._run(model_file) == 0
         out = capsys.readouterr().out
         assert "replayed" in out
-        assert "2 shard(s)" in out
+        assert "2 thread shard(s)" in out
         assert "diagnoses" in out
 
     def test_check_serial_passes(self, model_file, capsys):
