@@ -1,0 +1,108 @@
+"""Benchmark gate for the online/early-prediction subsystem.
+
+Acceptance shape: maintaining streaming per-session feature state must
+be (near-)free on the tracker's per-entry hot path — a 2k-session
+replay through ``OnlineSessionTracker(streaming=True)`` must stay
+within 10% of the plain tracker.  The design that makes this possible
+(append-only feed, accumulators folded lazily at snapshot time) lives
+in :mod:`repro.online.snapshot`.  A second test prints the
+convergence curve an operator would use to pick ``--early-after-chunks``:
+chunks-to-stable and provisional/final agreement from a full
+early-enabled replay.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import QoEFramework
+from repro.datasets.generate import (
+    generate_adaptive_corpus,
+    generate_cleartext_corpus,
+)
+from repro.online import EarlyPredictor
+from repro.realtime.monitor import RealTimeMonitor
+from repro.realtime.tracker import OnlineSessionTracker
+from repro.serving.replay import synthetic_trace
+
+from conftest import paper_row
+
+TRACE_SESSIONS = 2000
+OVERHEAD_CEILING = 0.10
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_trace(TRACE_SESSIONS, seed=11, subscribers=64)
+
+
+@pytest.fixture(scope="module")
+def framework():
+    cleartext = generate_cleartext_corpus(150, seed=3)
+    adaptive = generate_adaptive_corpus(75, seed=4)
+    return QoEFramework(random_state=0, n_estimators=12).fit(
+        cleartext.records_with_stall_truth(),
+        [r for r in adaptive.records if r.resolutions is not None],
+    )
+
+
+def _replay_seconds(trace, streaming):
+    tracker = OnlineSessionTracker(streaming=streaming)
+    start = time.perf_counter()
+    for entry in trace:
+        tracker.observe(entry)
+    tracker.flush()
+    return time.perf_counter() - start
+
+
+def test_streaming_tracker_overhead_gate(benchmark, trace):
+    """Streaming state within 10% of the plain tracker on 2k sessions."""
+    base = min(_replay_seconds(trace, streaming=False) for _ in range(5))
+
+    def run():
+        return _replay_seconds(trace, streaming=True)
+
+    streamed = min(
+        [run() for _ in range(4)]
+        + [benchmark.pedantic(run, rounds=1, iterations=1)]
+    )
+    overhead = streamed / base - 1.0
+    paper_row(
+        f"streaming tracker, {TRACE_SESSIONS} sessions",
+        f"<={OVERHEAD_CEILING:.0%} overhead",
+        f"base {base:.3f}s, streaming {streamed:.3f}s "
+        f"= {overhead:+.1%}",
+    )
+    # Small absolute cushion: at ~0.2s totals a timer wobble of a few
+    # milliseconds must not fail a gate about per-entry work.
+    assert streamed <= base * (1.0 + OVERHEAD_CEILING) + 0.02, (
+        f"streaming state cost {overhead:+.1%} on the tracker hot path "
+        f"(base {base:.3f}s, streaming {streamed:.3f}s)"
+    )
+
+
+def test_chunks_to_stable_summary(framework, trace):
+    """Full early-enabled replay: convergence curve for picking K."""
+    monitor = RealTimeMonitor(
+        framework,
+        tracker=OnlineSessionTracker(),
+        early=EarlyPredictor(framework, after_chunks=4),
+    )
+    start = time.perf_counter()
+    monitor.feed_many(trace)
+    monitor.drain()
+    elapsed = time.perf_counter() - start
+    report = monitor.early.report()
+    assert report.sessions >= TRACE_SESSIONS * 0.9
+    assert report.predictions > 0
+    assert 0.0 <= report.stall_agreement_rate <= 1.0
+    paper_row(
+        "early prediction convergence",
+        "stable well before close",
+        f"median chunks-to-stable {report.median_chunks_to_stable:.1f}, "
+        f"stall agreement {report.stall_agreement_rate:.1%}, "
+        f"flip rate {report.flip_rate:.3f} "
+        f"({report.sessions} sessions in {elapsed:.1f}s)",
+    )

@@ -164,6 +164,22 @@ def _diagnosis_multiset(diagnoses, exclude_subscribers=frozenset()):
     )
 
 
+def _provisional_multiset(provisional, exclude_subscribers=frozenset()):
+    """Comparable multiset of provisional (early) diagnoses."""
+    return sorted(
+        (
+            p.session_id,
+            p.n_chunks,
+            p.stall_class,
+            p.stall_confidence,
+            p.representation_class,
+            p.representation_confidence,
+        )
+        for p in provisional
+        if p.subscriber_id not in exclude_subscribers
+    )
+
+
 def _cmd_serve_replay(args: argparse.Namespace) -> int:
     from repro.faults import FaultInjector, FaultPlan
     from repro.obs import configure_logging, get_logger, write_snapshot
@@ -212,6 +228,8 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         telemetry=not args.no_telemetry,
         slos=slo_specs,
         postmortem_dir=args.postmortem_dir,
+        early_after_chunks=args.early_after_chunks,
+        early_confidence=args.early_confidence,
     )
     with _maybe_metrics_server(args.metrics_port, log, health=service.health):
         service.start()
@@ -228,6 +246,14 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         f"{len(diagnoses)} diagnoses, {len(service.alarms)} alarms, "
         f"{stats.shed} shed, model v{health['model_version']}"
     )
+    if args.early_after_chunks is not None:
+        report = service.early_report()
+        print(
+            f"early: {len(service.provisional)} provisional diagnoses "
+            f"after {args.early_after_chunks} chunk(s) "
+            f"(confidence >= {args.early_confidence:g}); "
+            + (report.describe() if report is not None else "no report")
+        )
     if injector is not None:
         summary = injector.summary()
         print(
@@ -273,7 +299,16 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         affected = (
             injector.affected_subscribers if injector is not None else frozenset()
         )
-        monitor = RealTimeMonitor(framework)
+        early = None
+        if args.early_after_chunks is not None:
+            from repro.online import EarlyPredictor
+
+            early = EarlyPredictor(
+                framework,
+                after_chunks=args.early_after_chunks,
+                min_confidence=args.early_confidence,
+            )
+        monitor = RealTimeMonitor(framework, early=early)
         monitor.feed_many(entries)
         monitor.drain()
         serial = _diagnosis_multiset(monitor.diagnoses, affected)
@@ -296,6 +331,23 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             f"serving determinism check ok ({scope}): {len(serial)} "
             "diagnoses, sharded == serial"
         )
+        if early is not None:
+            serial_prov = _provisional_multiset(monitor.provisional, affected)
+            sharded_prov = _provisional_multiset(service.provisional, affected)
+            if serial_prov != sharded_prov:
+                print(
+                    f"early determinism check FAILED ({scope}): serial "
+                    f"produced {len(serial_prov)} provisional diagnoses, "
+                    f"service produced {len(sharded_prov)} (or contents "
+                    "differ)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"early determinism check ok ({scope}): "
+                f"{len(serial_prov)} provisional diagnoses, "
+                "sharded == serial"
+            )
     return 0
 
 
@@ -513,11 +565,32 @@ def main(argv=None) -> int:
         ),
     )
     serve.add_argument(
+        "--early-after-chunks",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "emit provisional diagnoses on open sessions once they "
+            "reach K media chunks (early prediction; see repro.online)"
+        ),
+    )
+    serve.add_argument(
+        "--early-confidence",
+        type=float,
+        default=0.0,
+        metavar="T",
+        help=(
+            "only emit provisional diagnoses whose combined confidence "
+            "(tree-vote agreement x session-age ramp) is >= T"
+        ),
+    )
+    serve.add_argument(
         "--check-serial",
         action="store_true",
         help=(
             "also run the serial RealTimeMonitor on the same trace and "
-            "fail unless the diagnosis multisets match"
+            "fail unless the diagnosis multisets match (with "
+            "--early-after-chunks, the provisional multisets too)"
         ),
     )
     _add_telemetry_flags(serve)

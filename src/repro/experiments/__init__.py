@@ -1,6 +1,11 @@
 """Experiment harness: regenerates every table and figure of the paper."""
 
 from .config import FULL, SMALL, ExperimentConfig
+from .early import (
+    EarlyAccuracyCurve,
+    early_vs_final_curve,
+    render_early_curve,
+)
 from .figures import (
     figure1_chunk_sizes,
     figure2_stall_ecdfs,
@@ -54,4 +59,7 @@ __all__ = [
     "GeneralizationResult",
     "generate_service_records",
     "evaluate_generalization",
+    "EarlyAccuracyCurve",
+    "early_vs_final_curve",
+    "render_early_curve",
 ]

@@ -1,0 +1,123 @@
+"""Early-vs-final accuracy-at-k-chunks convergence curve.
+
+How soon can the early predictor be trusted?  For every encrypted
+session we replay the first ``k`` chunks into a
+:class:`~repro.online.snapshot.StreamingSessionState`, ask the fitted
+detectors for a provisional label via
+:meth:`~repro.online.early.EarlyPredictor.predict_partial`, and compare
+against the *final* label the same detector assigns to the complete
+session.  Agreement@k therefore measures convergence of the online
+path onto the offline pipeline — the quantity an operator needs to
+choose ``--early-after-chunks`` — not ground-truth accuracy (which is
+bounded by the final model itself and reported in Tables 8–11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.online.early import EarlyPredictor
+from repro.online.snapshot import state_from_record_prefix
+
+from .workspace import Workspace
+
+__all__ = ["EarlyAccuracyCurve", "early_vs_final_curve", "render_early_curve"]
+
+DEFAULT_KS: Tuple[int, ...] = (2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class EarlyAccuracyCurve:
+    """Agreement between k-chunk provisional and final labels.
+
+    ``coverage[i]`` is the fraction of sessions that have at least
+    ``ks[i]`` chunks (shorter sessions are excluded from that point's
+    agreement rates — their "partial" view is already the full
+    session).  ``confidence[i]`` is the mean combined confidence of
+    the provisional predictions at that k.
+    """
+
+    ks: Tuple[int, ...]
+    sessions: int
+    coverage: Tuple[float, ...]
+    stall_agreement: Tuple[float, ...]
+    representation_agreement: Tuple[float, ...]
+    confidence: Tuple[float, ...]
+
+
+def early_vs_final_curve(
+    workspace: Workspace, ks: Sequence[int] = DEFAULT_KS
+) -> EarlyAccuracyCurve:
+    """Compute the convergence curve on the encrypted corpus."""
+    ks = tuple(sorted(set(int(k) for k in ks)))
+    if not ks or ks[0] < 1:
+        raise ValueError("ks must be positive chunk counts")
+    stall = workspace.stall_detector()
+    representation = workspace.representation_detector()
+    # EarlyPredictor only touches .stall / .representation — a shim
+    # spares refitting a full QoEFramework on the workspace corpora.
+    early = EarlyPredictor(
+        SimpleNamespace(stall=stall, representation=representation),
+        after_chunks=ks[0],
+    )
+
+    records = workspace.encrypted_stall_records()
+    final_stall = stall.predict(records)
+    final_representation = representation.predict(records)
+
+    counts = np.zeros(len(ks), dtype=int)
+    stall_hits = np.zeros(len(ks), dtype=int)
+    representation_hits = np.zeros(len(ks), dtype=int)
+    confidence_sums = np.zeros(len(ks), dtype=float)
+    for record, want_stall, want_representation in zip(
+        records, final_stall, final_representation
+    ):
+        for i, k in enumerate(ks):
+            if record.n_chunks < k:
+                break
+            state = state_from_record_prefix(record, k)
+            provisional = early.predict_partial(
+                state, record.session_id, record.session_id
+            )
+            counts[i] += 1
+            stall_hits[i] += provisional.stall_class == want_stall
+            representation_hits[i] += (
+                provisional.representation_class == want_representation
+            )
+            confidence_sums[i] += provisional.confidence
+
+    def rate(hits: np.ndarray) -> Tuple[float, ...]:
+        return tuple(
+            float(h) / c if c else 0.0 for h, c in zip(hits, counts)
+        )
+
+    return EarlyAccuracyCurve(
+        ks=ks,
+        sessions=len(records),
+        coverage=tuple(
+            float(c) / len(records) if records else 0.0 for c in counts
+        ),
+        stall_agreement=rate(stall_hits),
+        representation_agreement=rate(representation_hits),
+        confidence=rate(confidence_sums),
+    )
+
+
+def render_early_curve(curve: EarlyAccuracyCurve, title: str) -> str:
+    lines: List[str] = [
+        title,
+        f"sessions: {curve.sessions} (encrypted corpus)",
+        "  k   coverage   stall-agree   repr-agree   mean-conf",
+    ]
+    for i, k in enumerate(curve.ks):
+        lines.append(
+            f"{k:>3}   {curve.coverage[i]:>7.1%}   "
+            f"{curve.stall_agreement[i]:>10.1%}   "
+            f"{curve.representation_agreement[i]:>9.1%}   "
+            f"{curve.confidence[i]:>9.3f}"
+        )
+    return "\n".join(lines)

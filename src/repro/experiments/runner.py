@@ -13,6 +13,7 @@ from typing import Callable, Dict, List
 from repro.obs import get_registry, trace
 
 from .config import FULL, ExperimentConfig
+from .early import early_vs_final_curve, render_early_curve
 from .figures import (
     figure1_chunk_sizes,
     figure2_stall_ecdfs,
@@ -55,6 +56,7 @@ _RUNNERS: Dict[str, Callable[[Workspace], object]] = {
     "tab10_11": tables10_11_encrypted_representation,
     "sec56": section56_encrypted_switching,
     "baseline": baseline_comparison,
+    "early": early_vs_final_curve,
 }
 
 EXPERIMENT_IDS: List[str] = list(_RUNNERS)
@@ -205,6 +207,13 @@ def run_all(config: ExperimentConfig = FULL) -> str:
         render_baseline_comparison(
             run_experiment("baseline", workspace),
             "Baseline — Prometheus-style binary classifier",
+        )
+    )
+
+    sections.append(
+        render_early_curve(
+            run_experiment("early", workspace),
+            "Early prediction — agreement with final labels at k chunks",
         )
     )
 

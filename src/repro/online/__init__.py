@@ -1,0 +1,31 @@
+"""Online (partial-session) feature state and early prediction.
+
+The offline pipeline diagnoses sessions only after they close; this
+package provides the streaming counterpart: O(1)-per-record running
+statistics (:mod:`repro.online.running`), incremental §4.1/§4.2
+feature snapshots (:mod:`repro.online.snapshot`), and provisional
+early diagnoses with convergence accounting
+(:mod:`repro.online.early`).
+"""
+
+from repro.online.early import (
+    ConvergenceReport,
+    EarlyPredictor,
+    ProvisionalDiagnosis,
+)
+from repro.online.running import EXACT_CUTOVER, P2Quantile, RunningStats
+from repro.online.snapshot import (
+    StreamingSessionState,
+    state_from_record_prefix,
+)
+
+__all__ = [
+    "EXACT_CUTOVER",
+    "P2Quantile",
+    "RunningStats",
+    "StreamingSessionState",
+    "state_from_record_prefix",
+    "ConvergenceReport",
+    "EarlyPredictor",
+    "ProvisionalDiagnosis",
+]

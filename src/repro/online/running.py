@@ -1,0 +1,287 @@
+"""O(1)-per-record streaming summary-statistic accumulators.
+
+The batch path (:func:`repro.timeseries.stats.summary_statistics`)
+recomputes every statistic from the full value array — fine for closed
+sessions, hopeless for per-entry updates on open ones.  This module is
+its streaming twin:
+
+* count, min, max are maintained exactly;
+* mean and standard deviation use Welford's online algorithm (exact in
+  real arithmetic; floating-point rounding differs from the batch path
+  by at most a few ulps);
+* percentiles use one P² estimator (Jain & Chlamtac, 1985) per
+  requested percentile point: five markers whose heights are nudged by
+  a parabolic (falling back to linear) adjustment per observation.
+
+**Exactness boundary.**  A :class:`RunningStats` additionally buffers
+the first ``exact_cutover`` finite values.  While the buffer is alive
+(``exact`` is True), :meth:`snapshot` delegates to the batch
+``summary_statistics`` on that buffer — so early snapshots are
+*bit-identical* to the batch oracle on the same prefix.  Past the
+cutover the buffer is dropped (bounded memory) and snapshots switch to
+the streaming estimates: count/min/max stay exact, mean/std are
+Welford, and each percentile is its P² estimate, which is guaranteed
+to lie within the observed ``[min, max]`` range (markers 0 and 4 pin
+the true extremes and the marker heights stay monotone).  On smooth
+distributions the P² error is typically well under 2% of the observed
+spread; adversarial streams (e.g. heavy point masses) are only bounded
+by the spread itself — the property suite in
+``tests/online/test_running.py`` asserts exactly these two guarantees.
+
+Non-finite inputs (NaN/inf) are dropped on update, mirroring the batch
+path's ``isfinite`` filter; an accumulator that has seen no finite
+value snapshots every statistic to 0.0, mirroring the batch empty-case.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import math
+
+import numpy as np
+
+from repro.timeseries.stats import summary_statistics
+
+__all__ = ["EXACT_CUTOVER", "P2Quantile", "RunningStats"]
+
+#: Default exact-buffer size: snapshots of the first 64 values are
+#: bit-identical to the batch path.  Most video sessions close below
+#: this, so in practice the streaming estimates only engage on long
+#: sessions where per-chunk rescans would hurt most.
+EXACT_CUTOVER = 64
+
+
+class P2Quantile:
+    """P² single-quantile estimator (Jain & Chlamtac, 1985).
+
+    Maintains five markers: the observed minimum and maximum, the
+    current quantile estimate, and the two mid-quantiles between them.
+    Each observation costs O(1); no values are retained.
+
+    Parameters
+    ----------
+    q:
+        Quantile in (0, 1), e.g. ``0.5`` for the median.
+    """
+
+    __slots__ = ("q", "count", "_init", "_heights", "_positions", "_d")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q!r}")
+        self.q = q
+        self.count = 0
+        self._init: Optional[List[float]] = []
+        self._heights: List[float] = []
+        #: 1-based marker positions (how many observations <= marker).
+        self._positions: List[float] = []
+        #: Desired-position increments per observation.
+        self._d: Tuple[float, ...] = (
+            0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0
+        )
+
+    def update(self, value: float) -> None:
+        """Feed one (finite) observation."""
+        self.count += 1
+        if self._init is not None:
+            self._init.append(value)
+            if len(self._init) == 5:
+                self._heights = sorted(self._init)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._init = None
+            return
+
+        q_, n = self._heights, self._positions
+        # Locate the cell, updating the extreme markers exactly.
+        if value < q_[0]:
+            q_[0] = value
+            k = 0
+        elif value >= q_[4]:
+            q_[4] = value
+            k = 3
+        else:
+            k = 0
+            while k < 3 and value >= q_[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            n[i] += 1.0
+
+        # Nudge the three interior markers towards their desired
+        # positions 1 + (count - 1) * d_i.
+        for i in (1, 2, 3):
+            desired = 1.0 + (self.count - 1) * self._d[i]
+            diff = desired - n[i]
+            if (diff >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                diff <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                step = 1.0 if diff > 0 else -1.0
+                candidate = self._parabolic(i, step)
+                if q_[i - 1] < candidate < q_[i + 1]:
+                    q_[i] = candidate
+                else:
+                    q_[i] = self._linear(i, step)
+                n[i] += step
+
+    def _parabolic(self, i: int, step: float) -> float:
+        q_, n = self._heights, self._positions
+        return q_[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (q_[i + 1] - q_[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (q_[i] - q_[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: float) -> float:
+        q_, n = self._heights, self._positions
+        j = i + int(step)
+        return q_[i] + step * (q_[j] - q_[i]) / (n[j] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate (exact while count < 5)."""
+        if self.count == 0:
+            return 0.0
+        if self._init is not None:
+            return float(np.percentile(self._init, self.q * 100.0))
+        return self._heights[2]
+
+
+class RunningStats:
+    """Streaming counterpart of one per-metric summary-statistic row.
+
+    Parameters
+    ----------
+    percentiles:
+        Percentile points (0-100) to maintain P² estimators for; a
+        snapshot may only request ``"pX"`` statistics declared here.
+    exact_cutover:
+        Buffer the first this-many finite values and serve snapshots
+        from the batch oracle while the buffer lives (bit-identical to
+        ``summary_statistics`` on the same prefix).  ``0`` disables
+        buffering entirely — streaming estimates from the first value.
+    """
+
+    __slots__ = (
+        "count",
+        "dropped",
+        "exact_cutover",
+        "_min",
+        "_max",
+        "_mean",
+        "_m2",
+        "_quantiles",
+        "_buffer",
+    )
+
+    def __init__(
+        self,
+        percentiles: Sequence[float] = (),
+        exact_cutover: int = EXACT_CUTOVER,
+    ) -> None:
+        if exact_cutover < 0:
+            raise ValueError("exact_cutover must be >= 0")
+        self.count = 0
+        #: Non-finite inputs dropped (the batch path filters them too).
+        self.dropped = 0
+        self.exact_cutover = exact_cutover
+        self._min = math.inf
+        self._max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._quantiles: Dict[float, P2Quantile] = {
+            float(p): P2Quantile(float(p) / 100.0) for p in percentiles
+        }
+        self._buffer: Optional[List[float]] = (
+            [] if exact_cutover > 0 else None
+        )
+
+    @property
+    def exact(self) -> bool:
+        """True while snapshots are served from the exact buffer."""
+        return self._buffer is not None
+
+    def update(self, value: float) -> None:
+        """Feed one value; NaN/inf are counted in ``dropped`` and skipped."""
+        value = float(value)
+        if not math.isfinite(value):
+            self.dropped += 1
+            return
+        self.count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        for estimator in self._quantiles.values():
+            estimator.update(value)
+        if self._buffer is not None:
+            if self.count <= self.exact_cutover:
+                self._buffer.append(value)
+            else:
+                # Past the cutover: free the buffer, never come back.
+                self._buffer = None
+
+    def update_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.update(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (matches ``np.std``'s ddof=0)."""
+        return math.sqrt(self._m2 / self.count) if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def quantile(self, percentile: float) -> float:
+        """Streaming estimate of one declared percentile point (0-100)."""
+        try:
+            estimator = self._quantiles[float(percentile)]
+        except KeyError:
+            raise KeyError(
+                f"percentile {percentile!r} has no estimator; declared: "
+                f"{sorted(self._quantiles)}"
+            ) from None
+        return estimator.value()
+
+    def snapshot(self, stats: Sequence[str]) -> Dict[str, float]:
+        """Current summary statistics, in the order of ``stats``.
+
+        Exact regime: the batch oracle on the buffered prefix —
+        bit-identical to ``summary_statistics`` on the same values.
+        Streaming regime: exact count/min/max, Welford mean/std, P²
+        percentiles.  No finite values yet: every statistic is 0.0
+        (the batch empty-case).
+        """
+        if self._buffer is not None:
+            return summary_statistics(self._buffer, stats=stats)
+        if self.count == 0:
+            return {stat: 0.0 for stat in stats}
+        out: Dict[str, float] = {}
+        for stat in stats:
+            if stat == "min":
+                out[stat] = self._min
+            elif stat == "max":
+                out[stat] = self._max
+            elif stat == "mean":
+                out[stat] = self._mean
+            elif stat == "std":
+                out[stat] = self.std
+            elif stat.startswith("p"):
+                out[stat] = self.quantile(float(stat[1:]))
+            else:
+                raise ValueError(f"unknown statistic: {stat!r}")
+        return out

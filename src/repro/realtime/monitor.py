@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from repro.capture.weblog import WeblogEntry
 from repro.core.framework import QoEFramework, SessionDiagnosis
 from repro.obs import get_logger, get_registry
+from repro.online.early import EarlyPredictor, ProvisionalDiagnosis
 
 from .tracker import OnlineSessionTracker
 
@@ -125,8 +126,17 @@ class RealTimeMonitor:
         Optional callback invoked with every fresh diagnosis.
     on_alarm:
         Optional callback invoked with every alarm as it is raised.
+    early:
+        Optional :class:`~repro.online.early.EarlyPredictor`: the
+        tracker switches to streaming per-session feature state and the
+        monitor emits provisional diagnoses on open sessions
+        (collected in :attr:`provisional`), comparing them against the
+        final diagnosis when each session closes.
+    on_provisional:
+        Optional callback invoked with every *emitted* provisional
+        diagnosis (error-isolated like the other callbacks).
 
-    Both callbacks are error-isolated: an exception inside one is
+    All callbacks are error-isolated: an exception inside one is
     logged, counted in ``repro_realtime_alarms_callback_errors_total``
     and swallowed, so a broken subscriber cannot take the monitor down.
     """
@@ -140,6 +150,10 @@ class RealTimeMonitor:
         min_sessions_for_ratio: int = 5,
         on_diagnosis: Optional[Callable[[SessionDiagnosis], None]] = None,
         on_alarm: Optional[Callable[[Alarm], None]] = None,
+        early: Optional[EarlyPredictor] = None,
+        on_provisional: Optional[
+            Callable[[ProvisionalDiagnosis], None]
+        ] = None,
     ) -> None:
         if severe_alarm_after < 1:
             raise ValueError("severe_alarm_after must be >= 1")
@@ -152,10 +166,17 @@ class RealTimeMonitor:
         self.min_sessions_for_ratio = min_sessions_for_ratio
         self.on_diagnosis = on_diagnosis
         self.on_alarm = on_alarm
+        self.early = early
+        self.on_provisional = on_provisional
+        if early is not None:
+            # Sessions opened before this point carry no streaming
+            # state and are silently skipped by the early path.
+            self.tracker.streaming = True
 
         self.health: Dict[str, SubscriberHealth] = defaultdict(SubscriberHealth)
         self.diagnoses: List[SessionDiagnosis] = []
         self.alarms: List[Alarm] = []
+        self.provisional: List[ProvisionalDiagnosis] = []
         self.callback_errors = 0
         self._alarmed: set = set()
         self._drained = False
@@ -194,6 +215,9 @@ class RealTimeMonitor:
                     _HEALTH.labels(status=status).inc()
             self._safe_callback(self.on_diagnosis, diagnosis, "diagnosis")
             self._check_alarms(subscriber, health)
+        if self.early is not None:
+            for record, diagnosis in zip(records, diagnoses):
+                self.early.note_final(record, diagnosis)
         _DIAGNOSES.inc(len(diagnoses))
         _SUBSCRIBERS.set(len(self.health))
         _DIAGNOSIS_LATENCY.observe(time.perf_counter() - started)
@@ -264,6 +288,34 @@ class RealTimeMonitor:
             self._check_alarms(subscriber, health)
         return self.alarms[before:]
 
+    def observe_entry(self, entry: WeblogEntry):
+        """Track one (already-validated) entry, with the early path.
+
+        Runs the tracker, then — when an early predictor is attached —
+        gives it a look at the subscriber's still-open session so it
+        can emit a provisional diagnosis.  Returns the closed records,
+        like ``tracker.observe``; the serving shard calls this directly
+        so both the serial and sharded paths share one early hook.
+        """
+        closed = self.tracker.observe(entry)
+        if self.early is not None:
+            session = self.tracker._open.get(entry.subscriber_id)
+            if session is not None and session.stream is not None:
+                # Follow model hot-reloads: the serving layer reassigns
+                # self.framework per batch.
+                self.early.framework = self.framework
+                provisional = self.early.observe(
+                    session.stream,
+                    self.tracker.provisional_session_id(entry.subscriber_id),
+                    entry.subscriber_id,
+                )
+                if provisional is not None:
+                    self.provisional.append(provisional)
+                    self._safe_callback(
+                        self.on_provisional, provisional, "provisional"
+                    )
+        return closed
+
     def feed(self, entry: WeblogEntry) -> List[SessionDiagnosis]:
         """Feed one weblog entry; returns diagnoses of sessions it closed.
 
@@ -278,7 +330,7 @@ class RealTimeMonitor:
         if self._drained:
             raise RuntimeError("monitor is drained; create a new one")
         entry.validate()
-        return self._diagnose_closed(self.tracker.observe(entry))
+        return self._diagnose_closed(self.observe_entry(entry))
 
     def feed_many(self, entries: Iterable[WeblogEntry]) -> List[SessionDiagnosis]:
         """Feed a batch of entries (must be time-ordered per subscriber)."""

@@ -20,6 +20,8 @@ from repro.capture.reconstruction import is_youtube_host
 from repro.capture.weblog import WeblogEntry
 from repro.datasets.schema import SessionRecord
 from repro.obs import get_registry
+from repro.online.running import EXACT_CUTOVER
+from repro.online.snapshot import StreamingSessionState
 
 __all__ = ["OpenSession", "OnlineSessionTracker"]
 
@@ -55,15 +57,29 @@ class OpenSession:
     #: :meth:`add` — recomputing it by scanning ``media + signalling``
     #: on every observe() made a live stream O(n^2) per session.
     last_activity_s: float = 0.0
+    #: Latest *request timestamp* seen so far.  This — not the arrival
+    #: watermark above — is the idle-gap timebase: entries are fed in
+    #: request-timestamp order, so comparing the next entry's timestamp
+    #: against the previous entry's arrival (timestamp + transaction)
+    #: made long transactions produce negative gaps that kept sessions
+    #: open past the configured idle gap.
+    last_request_s: float = 0.0
+    #: Incremental feature state for early prediction; None unless the
+    #: owning tracker was built with ``streaming=True``.
+    stream: Optional[StreamingSessionState] = None
 
     def add(self, entry: WeblogEntry) -> None:
         """Append one entry and update the activity watermark."""
         if entry.server_name.lower().endswith(".googlevideo.com"):
             self.media.append(entry)
+            if self.stream is not None:
+                self.stream.add_entry(entry)
         else:
             self.signalling.append(entry)
         if entry.arrival_s > self.last_activity_s:
             self.last_activity_s = entry.arrival_s
+        if entry.timestamp_s > self.last_request_s:
+            self.last_request_s = entry.timestamp_s
 
     def to_record(self, sequence: int) -> Optional[SessionRecord]:
         """Freeze into a SessionRecord (None if no media was seen)."""
@@ -94,21 +110,46 @@ class OnlineSessionTracker:
     records.  Call :meth:`flush` (e.g. at end of capture, or on a
     timer) to close sessions that have been idle longer than the gap.
 
+    The idle gap is measured on the *request-timestamp* timebase
+    (``entry.timestamp_s``), which is the order entries are fed in: a
+    session closes when the next request starts more than
+    ``idle_gap_s`` after the previous request started.  (The offline
+    :class:`~repro.capture.reconstruction.SessionReconstructor` keeps
+    its historical mixed timestamp/arrival comparison; online the
+    mixed timebase let one long transaction push the watermark past
+    the next request and hold sessions open indefinitely.)
+
     Parameters
     ----------
     idle_gap_s:
-        Silence that closes a subscriber's current session.
+        Silence (between request timestamps) that closes a
+        subscriber's current session.
     min_media_chunks:
         Sessions with fewer media entries are discarded on close.
+    streaming:
+        Maintain a :class:`~repro.online.snapshot.StreamingSessionState`
+        per open session (updated in O(1) per entry) for early
+        prediction.
+    exact_cutover:
+        Chunk-buffer size for those streaming states (see
+        :mod:`repro.online.running`).
     """
 
-    def __init__(self, idle_gap_s: float = 30.0, min_media_chunks: int = 3):
+    def __init__(
+        self,
+        idle_gap_s: float = 30.0,
+        min_media_chunks: int = 3,
+        streaming: bool = False,
+        exact_cutover: int = EXACT_CUTOVER,
+    ):
         if idle_gap_s <= 0:
             raise ValueError("idle gap must be positive")
         if min_media_chunks < 1:
             raise ValueError("min_media_chunks must be >= 1")
         self.idle_gap_s = idle_gap_s
         self.min_media_chunks = min_media_chunks
+        self.streaming = streaming
+        self.exact_cutover = exact_cutover
         self._open: Dict[str, OpenSession] = {}
         #: Emitted-session count per subscriber.  Session ids are built
         #: from *this* counter (not a tracker-global one) so an id is a
@@ -146,7 +187,7 @@ class OnlineSessionTracker:
 
         if current is not None:
             gap_break = (
-                entry.timestamp_s - current.last_activity_s > self.idle_gap_s
+                entry.timestamp_s - current.last_request_s > self.idle_gap_s
             )
             page_break = (
                 entry.server_name.lower() in _PAGE_HOSTS and current.media
@@ -158,19 +199,43 @@ class OnlineSessionTracker:
                 current = None
 
         if current is None:
-            current = OpenSession(subscriber_id=subscriber)
+            current = OpenSession(
+                subscriber_id=subscriber,
+                stream=(
+                    StreamingSessionState(exact_cutover=self.exact_cutover)
+                    if self.streaming
+                    else None
+                ),
+            )
             self._open[subscriber] = current
             _OPEN_SESSIONS.set(len(self._open))
 
         current.add(entry)
         return closed
 
+    def provisional_session_id(self, subscriber_id: str) -> str:
+        """The id the subscriber's open session will get if emitted.
+
+        Discarded sessions (too few media chunks) never consume a
+        sequence number, so a discarded session and its successor can
+        share this provisional id; the early predictor guards against
+        the collision with the closed record's chunk count.
+        """
+        return (
+            f"{subscriber_id}/online-"
+            f"{self._sequence.get(subscriber_id, 0) + 1}"
+        )
+
     def flush(self, now_s: Optional[float] = None) -> List[SessionRecord]:
-        """Close idle (or, with ``now_s=None``, all) open sessions."""
+        """Close idle (or, with ``now_s=None``, all) open sessions.
+
+        ``now_s`` is compared on the request-timestamp timebase, like
+        the in-stream idle gap.
+        """
         closed: List[SessionRecord] = []
         for subscriber in list(self._open):
             session = self._open[subscriber]
-            if now_s is None or now_s - session.last_activity_s > self.idle_gap_s:
+            if now_s is None or now_s - session.last_request_s > self.idle_gap_s:
                 record = self._close(subscriber)
                 if record is not None:
                     closed.append(record)

@@ -46,6 +46,14 @@ that serving substrate:
     optional deterministic fault injection from :mod:`repro.faults`
     (CLI: ``python -m repro serve-replay [--faults SPEC]``).
 
+Early prediction (``QoEService(early_after_chunks=K)``, CLI
+``--early-after-chunks K``) adds *provisional* diagnoses on still-open
+sessions via :mod:`repro.online`: shards keep streaming per-session
+feature state and emit :class:`~repro.online.early.ProvisionalDiagnosis`
+objects (aggregated in ``QoEService.provisional``) whose multiset is —
+like the final diagnoses — bit-identical to the serial monitor's at
+the same ``K``, on both shard backends.
+
 Guarantee worth restating: for any shard count, queue capacity and
 batch size (with a lossless policy), the service's diagnosis and alarm
 multisets are identical to the serial monitor's on the same trace —

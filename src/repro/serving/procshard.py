@@ -78,6 +78,7 @@ from repro.obs import (
     get_registry,
     registry_state_delta,
 )
+from repro.online.early import ConvergenceReport, ProvisionalDiagnosis
 from repro.realtime.monitor import Alarm, SubscriberHealth
 
 from .batcher import MicroBatcher
@@ -145,6 +146,8 @@ class ProcShardConfig:
     kill_at_entry: int = 0
     kill_times: int = 0
     heartbeat_interval_s: float = 0.25
+    early_after_chunks: Optional[int] = None
+    early_confidence: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -232,11 +235,14 @@ def _child_serve(conn, config: ProcShardConfig) -> None:
         clock_skew_tolerance_s=config.clock_skew_tolerance_s,
         fault_hook=kills.hook if config.kill_times > 0 else None,
         telemetry=shard_tel,
+        early_after_chunks=config.early_after_chunks,
+        early_confidence=config.early_confidence,
     )
     worker.start()
 
     sent_diagnoses = 0
     sent_alarms = 0
+    sent_provisional = 0
     sent_entries = -1
     prev_registry_state: Optional[Dict] = None
     backlog: deque = deque()
@@ -244,13 +250,15 @@ def _child_serve(conn, config: ProcShardConfig) -> None:
     last_beat = 0.0
 
     def flush_outputs() -> None:
-        nonlocal sent_diagnoses, sent_alarms, sent_entries
+        nonlocal sent_diagnoses, sent_alarms, sent_provisional, sent_entries
         diagnoses = worker.monitor.diagnoses
         alarms = worker.monitor.alarms
+        provisional = worker.monitor.provisional
         letters = dlq.take()
         if (
             len(diagnoses) == sent_diagnoses
             and len(alarms) == sent_alarms
+            and len(provisional) == sent_provisional
             and not letters
             and worker.entries_processed == sent_entries
         ):
@@ -258,12 +266,14 @@ def _child_serve(conn, config: ProcShardConfig) -> None:
         out = {
             "diagnoses": diagnoses[sent_diagnoses:],
             "alarms": alarms[sent_alarms:],
+            "provisional": provisional[sent_provisional:],
             "letters": letters,
             "entries_processed": worker.entries_processed,
             "quarantined": worker.quarantined,
         }
         sent_diagnoses = len(diagnoses)
         sent_alarms = len(alarms)
+        sent_provisional = len(provisional)
         sent_entries = worker.entries_processed
         conn.send(("out", out))
 
@@ -319,6 +329,7 @@ def _child_serve(conn, config: ProcShardConfig) -> None:
                             "health": dict(worker.monitor.health),
                             "entries_processed": worker.entries_processed,
                             "quarantined": worker.quarantined,
+                            "early_report": worker.early_report(),
                         },
                     )
                 )
@@ -429,6 +440,9 @@ class ProcShardWorker:
         fold: Optional[Callable[[Dict], None]] = None,
         faults=None,
         start_method: Optional[str] = None,
+        on_provisional: Optional[
+            Callable[[ProvisionalDiagnosis], None]
+        ] = None,
     ) -> None:
         self.index = config.index
         self.config = config
@@ -436,6 +450,7 @@ class ProcShardWorker:
         self.dead_letters = dead_letters
         self._on_diagnosis = on_diagnosis
         self._on_alarm = on_alarm
+        self._on_provisional = on_provisional
         self._fold = fold
         self._faults = faults
         self._mp = mp.get_context(start_method or _default_start_method())
@@ -443,6 +458,8 @@ class ProcShardWorker:
         self.batcher = _RemoteBatcherView()
         self.diagnoses: List[SessionDiagnosis] = []
         self.alarms: List[Alarm] = []
+        self.provisional: List[ProvisionalDiagnosis] = []
+        self._early_report: Optional[ConvergenceReport] = None
         self.entries_processed = 0
         self.quarantined = 0
         self.restarts = 0
@@ -470,6 +487,10 @@ class ProcShardWorker:
     @property
     def alive(self) -> bool:
         return self._process is not None and self._process.is_alive()
+
+    def early_report(self) -> Optional[ConvergenceReport]:
+        """The child's convergence report (shipped in the drain handshake)."""
+        return self._early_report
 
     def heartbeat_age_s(self, now: Optional[float] = None) -> float:
         if self.heartbeat_s == 0.0:
@@ -622,6 +643,9 @@ class ProcShardWorker:
         for alarm in out["alarms"]:
             self.alarms.append(alarm)
             self._fire(self._on_alarm, alarm, "on_alarm")
+        for provisional in out.get("provisional", ()):
+            self.provisional.append(provisional)
+            self._fire(self._on_provisional, provisional, "on_provisional")
         for entry, reason, detail in out["letters"]:
             self.dead_letters.put(entry, reason, self.index, detail)
         self.entries_processed = (
@@ -631,6 +655,13 @@ class ProcShardWorker:
 
     def _apply_drained(self, payload: Dict) -> None:
         self.monitor.health.update(payload["health"])
+        report = payload.get("early_report")
+        if report is not None:
+            self._early_report = (
+                report
+                if self._early_report is None
+                else self._early_report.merge(report)
+            )
         self.monitor.tracker.open_sessions = 0
         self.batcher.pending = 0
         self._drained = True

@@ -106,6 +106,9 @@ class ProcessShardRouter:
         faults=None,
         registry: Optional[MetricsRegistry] = None,
         start_method: Optional[str] = None,
+        early_after_chunks: Optional[int] = None,
+        early_confidence: float = 0.0,
+        on_provisional=None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -133,6 +136,8 @@ class ProcessShardRouter:
                 sample_every=sample_every,
                 kill_at_entry=kill_at,
                 kill_times=kill_times,
+                early_after_chunks=early_after_chunks,
+                early_confidence=early_confidence,
             )
             self.shards.append(
                 ProcShardWorker(
@@ -145,6 +150,7 @@ class ProcessShardRouter:
                     dead_letters=dead_letters,
                     on_diagnosis=on_diagnosis,
                     on_alarm=on_alarm,
+                    on_provisional=on_provisional,
                     fold=self.folder.absorb,
                     faults=faults,
                     start_method=start_method,

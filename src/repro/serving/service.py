@@ -67,6 +67,7 @@ from repro.obs import (
     set_recorder,
     trace,
 )
+from repro.online.early import ConvergenceReport, ProvisionalDiagnosis
 from repro.realtime.monitor import Alarm, SubscriberHealth
 
 from .batcher import MicroBatcher
@@ -161,6 +162,14 @@ class QoEService:
         Directory for the flight recorder's JSON postmortems (written
         when a circuit opens, a shard dies or drain times out).
         ``None`` keeps the event ring but writes nothing.
+    early_after_chunks, early_confidence, on_provisional:
+        Early prediction (see :mod:`repro.online`): when
+        ``early_after_chunks`` is set, every shard emits provisional
+        diagnoses on open sessions once they reach that many media
+        chunks, filtered to combined confidence >=
+        ``early_confidence``; they aggregate in :attr:`provisional`
+        and the convergence report in :meth:`early_report`.  ``None``
+        (default) leaves the per-record hot path untouched.
     """
 
     def __init__(
@@ -189,6 +198,11 @@ class QoEService:
         telemetry: Union[bool, PipelineTelemetry] = True,
         slos: Optional[Iterable[Union[str, SLO]]] = None,
         postmortem_dir: Optional[str] = None,
+        early_after_chunks: Optional[int] = None,
+        early_confidence: float = 0.0,
+        on_provisional: Optional[
+            Callable[[ProvisionalDiagnosis], None]
+        ] = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -259,6 +273,9 @@ class QoEService:
                 on_diagnosis=on_diagnosis,
                 on_alarm=on_alarm,
                 faults=faults,
+                early_after_chunks=early_after_chunks,
+                early_confidence=early_confidence,
+                on_provisional=on_provisional,
             )
             self._shards: List[ShardWorker] = self.router.shards
         else:
@@ -289,6 +306,9 @@ class QoEService:
                         if self.telemetry is not None
                         else None
                     ),
+                    early_after_chunks=early_after_chunks,
+                    early_confidence=early_confidence,
+                    on_provisional=on_provisional,
                 )
                 for i in range(n_shards)
             ]
@@ -528,6 +548,24 @@ class QoEService:
         return out
 
     @property
+    def provisional(self) -> List[ProvisionalDiagnosis]:
+        """All provisional (early) diagnoses across shards."""
+        out: List[ProvisionalDiagnosis] = []
+        for shard in self._shards:
+            out.extend(shard.provisional)
+        return out
+
+    def early_report(self) -> Optional[ConvergenceReport]:
+        """Merged provisional-vs-final convergence (None if early is off)."""
+        merged: Optional[ConvergenceReport] = None
+        for shard in self._shards:
+            report = shard.early_report()
+            if report is None:
+                continue
+            merged = report if merged is None else merged.merge(report)
+        return merged
+
+    @property
     def health_by_subscriber(self) -> Dict[str, SubscriberHealth]:
         """Merged per-subscriber health (subscribers never span shards)."""
         merged: Dict[str, SubscriberHealth] = {}
@@ -593,6 +631,7 @@ class QoEService:
                     "pending_batch": shard.batcher.pending,
                     "diagnoses": len(shard.diagnoses),
                     "alarms": len(shard.alarms),
+                    "provisional": len(shard.provisional),
                 }
                 for shard in self._shards
             ],

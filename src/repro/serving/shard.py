@@ -50,6 +50,11 @@ from repro.capture.weblog import MalformedRecordError, WeblogEntry
 from repro.core.framework import SessionDiagnosis
 from repro.obs import ShardTelemetry, get_logger, get_recorder, get_registry
 from repro.obs.pipeline import _FLUSH_HIGH_WATER as _TEL_HIGH_WATER
+from repro.online.early import (
+    ConvergenceReport,
+    EarlyPredictor,
+    ProvisionalDiagnosis,
+)
 from repro.realtime.monitor import Alarm, RealTimeMonitor
 from repro.realtime.tracker import OnlineSessionTracker
 
@@ -109,6 +114,13 @@ class ShardWorker:
         ``QoEService.submit``) is advanced through the stage
         timestamps and its durations buffered for the staged latency
         histograms.  ``None`` keeps the PR-5 hot path untouched.
+    early_after_chunks / early_confidence / on_provisional:
+        Enable the early-prediction path: the shard's tracker keeps
+        streaming per-session feature state and an
+        :class:`~repro.online.early.EarlyPredictor` emits provisional
+        diagnoses after that many chunks (collected in
+        :attr:`provisional`).  ``None`` (default) keeps the per-record
+        hot path identical to the pre-early pipeline.
     """
 
     def __init__(
@@ -128,6 +140,9 @@ class ShardWorker:
         clock_skew_tolerance_s: float = 5.0,
         fault_hook: Optional[Callable[[int, WeblogEntry, int], None]] = None,
         telemetry: Optional[ShardTelemetry] = None,
+        early_after_chunks: Optional[int] = None,
+        early_confidence: float = 0.0,
+        on_provisional: Optional[Callable[[ProvisionalDiagnosis], None]] = None,
     ) -> None:
         if clock_skew_tolerance_s < 0:
             raise ValueError("clock_skew_tolerance_s must be >= 0")
@@ -135,16 +150,36 @@ class ShardWorker:
         self.queue = queue
         self.batcher = batcher
         self._models = models
+        early = (
+            EarlyPredictor(
+                models.current,
+                after_chunks=early_after_chunks,
+                min_confidence=early_confidence,
+            )
+            if early_after_chunks is not None
+            else None
+        )
         self.monitor = RealTimeMonitor(
             models.current,
             tracker=OnlineSessionTracker(
-                idle_gap_s=idle_gap_s, min_media_chunks=min_media_chunks
+                idle_gap_s=idle_gap_s,
+                min_media_chunks=min_media_chunks,
+                streaming=early is not None,
             ),
             severe_alarm_after=severe_alarm_after,
             stall_ratio_alarm=stall_ratio_alarm,
             min_sessions_for_ratio=min_sessions_for_ratio,
             on_diagnosis=on_diagnosis,
             on_alarm=on_alarm,
+            early=early,
+            on_provisional=on_provisional,
+        )
+        # Early off: the hot path bypasses the monitor's per-entry hook
+        # entirely, keeping the no-early per-record cost unchanged.
+        self._observe = (
+            self.monitor.observe_entry
+            if early is not None
+            else self.monitor.tracker.observe
         )
         self.dead_letters = (
             dead_letters if dead_letters is not None else DeadLetterQueue()
@@ -179,6 +214,16 @@ class ShardWorker:
     @property
     def alarms(self) -> List[Alarm]:
         return self.monitor.alarms
+
+    @property
+    def provisional(self) -> List[ProvisionalDiagnosis]:
+        return self.monitor.provisional
+
+    def early_report(self) -> Optional[ConvergenceReport]:
+        """Provisional-vs-final convergence (None when early is off)."""
+        if self.monitor.early is None:
+            return None
+        return self.monitor.early.report()
 
     @property
     def alive(self) -> bool:
@@ -314,7 +359,7 @@ class ShardWorker:
             tel.buf_validate.append(t_validated - t_dequeued)
             if stages is not None:
                 stages["validate"] = t_validated - t_dequeued
-        closed = self.monitor.tracker.observe(entry)
+        closed = self._observe(entry)
         if ctx is not None:
             now = time.perf_counter()
             ctx.t_tracked = now

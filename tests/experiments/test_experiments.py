@@ -105,12 +105,34 @@ class TestTables:
         assert comparison.model_wins()
 
 
+class TestEarlyCurve:
+    def test_early_vs_final_curve(self, workspace):
+        from repro.experiments.early import (
+            DEFAULT_KS,
+            early_vs_final_curve,
+            render_early_curve,
+        )
+
+        curve = early_vs_final_curve(workspace)
+        assert curve.ks == DEFAULT_KS
+        assert curve.sessions > 0
+        assert len(curve.stall_agreement) == len(DEFAULT_KS)
+        for rate in curve.stall_agreement:
+            assert 0.0 <= rate <= 1.0
+        for frac in curve.coverage:
+            assert 0.0 <= frac <= 1.0
+        # Coverage can only shrink as k grows (fewer sessions have k chunks).
+        assert list(curve.coverage) == sorted(curve.coverage, reverse=True)
+        text = render_early_curve(curve, "early")
+        assert "early" in text and str(DEFAULT_KS[0]) in text
+
+
 class TestRunner:
     def test_all_ids_registered(self):
         assert set(EXPERIMENT_IDS) == {
             "fig1", "fig2", "fig3", "fig4", "fig5",
             "tab2", "tab3_4", "tab5", "tab6_7",
-            "tab8_9", "tab10_11", "sec56", "baseline",
+            "tab8_9", "tab10_11", "sec56", "baseline", "early",
         }
 
     def test_unknown_id_raises(self, workspace):

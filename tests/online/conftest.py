@@ -1,0 +1,14 @@
+"""Shared fixture for the online/early tests: one small fitted framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QoEFramework
+
+
+@pytest.fixture(scope="session")
+def early_framework(stall_records, adaptive_records):
+    return QoEFramework(random_state=0, n_estimators=12).fit(
+        stall_records, adaptive_records
+    )

@@ -1,0 +1,199 @@
+"""EarlyPredictor: gating, confidence semantics, convergence accounting."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.framework import SessionDiagnosis
+from repro.online import (
+    ConvergenceReport,
+    EarlyPredictor,
+    ProvisionalDiagnosis,
+    state_from_record_prefix,
+)
+
+
+@pytest.fixture()
+def long_record(encrypted_corpus):
+    record = max(encrypted_corpus.records, key=lambda r: r.n_chunks)
+    assert record.n_chunks >= 12
+    return record
+
+
+def _feed(predictor, record, up_to, session_id="sub/online-1", sub="sub"):
+    """Replay a record chunk-by-chunk through observe(); returns emissions."""
+    out = []
+    for k in range(1, up_to + 1):
+        state = state_from_record_prefix(record, k)
+        emitted = predictor.observe(state, session_id, sub)
+        if emitted is not None:
+            out.append(emitted)
+    return out
+
+
+class TestGatingAndConfidence:
+    def test_no_emission_below_after_chunks(self, early_framework, long_record):
+        predictor = EarlyPredictor(early_framework, after_chunks=4)
+        assert _feed(predictor, long_record, up_to=3) == []
+
+    def test_emits_from_after_chunks_each_new_chunk(
+        self, early_framework, long_record
+    ):
+        predictor = EarlyPredictor(early_framework, after_chunks=4)
+        emitted = _feed(predictor, long_record, up_to=8)
+        assert [p.n_chunks for p in emitted] == [4, 5, 6, 7, 8]
+        for p in emitted:
+            assert isinstance(p, ProvisionalDiagnosis)
+            assert p.session_id == "sub/online-1"
+            assert p.subscriber_id == "sub"
+            assert isinstance(p.stall_class, str)
+            assert 0.0 <= p.confidence <= 1.0
+
+    def test_confidence_is_age_ramped_vote_agreement(
+        self, early_framework, long_record
+    ):
+        predictor = EarlyPredictor(
+            early_framework, after_chunks=4, age_full_chunks=20
+        )
+        state = state_from_record_prefix(long_record, 4)
+        p = predictor.predict_partial(state, "s", "sub")
+        agreement = p.stall_confidence
+        if p.representation_confidence is not None:
+            agreement = min(agreement, p.representation_confidence)
+        assert p.confidence == pytest.approx(agreement * 4 / 20)
+        assert p.confidence <= 4 / 20  # the ramp caps young sessions
+
+    def test_cadence_predict_every(self, early_framework, long_record):
+        predictor = EarlyPredictor(
+            early_framework, after_chunks=4, predict_every=3
+        )
+        emitted = _feed(predictor, long_record, up_to=12)
+        assert [p.n_chunks for p in emitted] == [4, 7, 10]
+
+    def test_unchanged_chunk_count_is_skipped(
+        self, early_framework, long_record
+    ):
+        predictor = EarlyPredictor(early_framework, after_chunks=4)
+        state = state_from_record_prefix(long_record, 5)
+        assert predictor.observe(state, "sub/online-1", "sub") is not None
+        # A signalling entry updates the session without a new chunk.
+        assert predictor.observe(state, "sub/online-1", "sub") is None
+
+    def test_min_confidence_suppresses_but_still_tracks(
+        self, early_framework, long_record
+    ):
+        predictor = EarlyPredictor(
+            early_framework, after_chunks=4, min_confidence=1.0
+        )
+        assert _feed(predictor, long_record, up_to=8) == []
+        final = SessionDiagnosis(
+            session_id="sub/online-1",
+            stall_class="no stalls",
+            representation_class=None,
+            has_quality_switches=None,
+        )
+        record = dataclasses.replace(long_record, session_id="sub/online-1")
+        predictor.note_final(record, final)
+        report = predictor.report()
+        assert report.sessions == 1
+        assert report.predictions == 5  # tracked despite suppression
+
+
+class TestConvergenceAccounting:
+    def _close(self, predictor, record, stall_class, session_id="sub/online-1"):
+        final = SessionDiagnosis(
+            session_id=session_id,
+            stall_class=stall_class,
+            representation_class=None,
+            has_quality_switches=None,
+        )
+        predictor.note_final(
+            dataclasses.replace(record, session_id=session_id), final
+        )
+
+    def test_agreement_counted_on_close(self, early_framework, long_record):
+        predictor = EarlyPredictor(early_framework, after_chunks=4)
+        last = _feed(predictor, long_record, up_to=8)[-1]
+        self._close(predictor, long_record, last.stall_class)
+        report = predictor.report()
+        assert report.sessions == 1
+        assert report.stall_agreements == 1
+        assert report.stall_agreement_rate == 1.0
+        assert len(report.chunks_to_stable) == 1
+
+    def test_disagreement_counted_on_close(self, early_framework, long_record):
+        predictor = EarlyPredictor(early_framework, after_chunks=4)
+        last = _feed(predictor, long_record, up_to=8)[-1]
+        wrong = "severe stalls" if last.stall_class != "severe stalls" else "no stalls"
+        self._close(predictor, long_record, wrong)
+        assert predictor.report().stall_agreements == 0
+
+    def test_session_without_predictions_is_ignored(
+        self, early_framework, long_record
+    ):
+        predictor = EarlyPredictor(early_framework, after_chunks=4)
+        self._close(predictor, long_record, "no stalls")
+        assert predictor.report().sessions == 0
+
+    def test_late_final_after_successor_started(
+        self, early_framework, long_record
+    ):
+        """Micro-batched finals can arrive after the next session's first
+        provisional; the retired track must still be accounted."""
+        predictor = EarlyPredictor(early_framework, after_chunks=4)
+        _feed(predictor, long_record, up_to=6, session_id="sub/online-1")
+        # Successor session starts before online-1's final lands.
+        _feed(predictor, long_record, up_to=5, session_id="sub/online-2")
+        self._close(predictor, long_record, "no stalls", "sub/online-1")
+        assert predictor.report().sessions == 1
+        # The live online-2 track keeps accumulating afterwards.
+        self._close(predictor, long_record, "no stalls", "sub/online-2")
+        assert predictor.report().sessions == 2
+
+    def test_report_merge_is_commutative(self):
+        a = ConvergenceReport(
+            sessions=2,
+            predictions=7,
+            stall_agreements=1,
+            stall_flips=3,
+            chunks_to_stable=(4, 9),
+        )
+        b = ConvergenceReport(
+            sessions=1, predictions=2, stall_agreements=1, chunks_to_stable=(5,)
+        )
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.sessions == ba.sessions == 3
+        assert ab.predictions == ba.predictions == 9
+        assert sorted(ab.chunks_to_stable) == sorted(ba.chunks_to_stable)
+        assert "sessions=3" in ab.describe()
+
+    def test_flip_rate_and_median(self):
+        report = ConvergenceReport(
+            sessions=2,
+            predictions=10,
+            stall_flips=1,
+            representation_flips=1,
+            chunks_to_stable=(4, 8),
+        )
+        assert report.flip_rate == pytest.approx(0.2)
+        assert report.median_chunks_to_stable == pytest.approx(6.0)
+        assert ConvergenceReport().flip_rate == 0.0
+        assert ConvergenceReport().median_chunks_to_stable == 0.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"after_chunks": 0},
+            {"min_confidence": -0.1},
+            {"min_confidence": 1.1},
+            {"age_full_chunks": 0},
+            {"predict_every": 0},
+        ],
+    )
+    def test_constructor_rejects_bad_params(self, early_framework, kwargs):
+        with pytest.raises(ValueError):
+            EarlyPredictor(early_framework, **kwargs)

@@ -1,0 +1,181 @@
+"""Property suite for the streaming accumulators (satellite: hypothesis).
+
+The contracts under test, as documented in ``repro.online.running``:
+
+* below the exact-buffer cutover, snapshots are *bit-identical* to the
+  batch ``summary_statistics`` oracle on the same values;
+* above it, count/min/max stay exact, mean/std match Welford-vs-batch
+  to floating-point tolerance, and every P² percentile estimate lies
+  within the observed ``[min, max]`` spread;
+* NaN/inf inputs are dropped exactly like the batch ``isfinite``
+  filter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.online.running import EXACT_CUTOVER, P2Quantile, RunningStats
+from repro.timeseries.stats import (
+    SUMMARY_STATS_BASIC,
+    SUMMARY_STATS_EXTENDED,
+    summary_statistics,
+)
+
+_FINITE = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_ANY = st.one_of(
+    _FINITE,
+    st.just(float("nan")),
+    st.just(float("inf")),
+    st.just(float("-inf")),
+)
+
+_BASIC_PCTS = (25.0, 50.0, 75.0)
+_EXTENDED_PCTS = (5, 10, 15, 20, 25, 50, 75, 80, 85, 90, 95)
+
+
+class TestExactRegime:
+    @given(st.lists(_ANY, max_size=EXACT_CUTOVER))
+    @settings(max_examples=200, deadline=None)
+    def test_bit_identical_to_batch_below_cutover(self, values):
+        rs = RunningStats(percentiles=_BASIC_PCTS)
+        rs.update_many(values)
+        assert rs.exact
+        got = rs.snapshot(SUMMARY_STATS_BASIC)
+        want = summary_statistics(values, stats=SUMMARY_STATS_BASIC)
+        assert got == want  # == on floats: bit-identical, NaNs excluded
+
+    @given(st.lists(_ANY, max_size=EXACT_CUTOVER))
+    @settings(max_examples=100, deadline=None)
+    def test_extended_stats_bit_identical(self, values):
+        rs = RunningStats(percentiles=_EXTENDED_PCTS)
+        rs.update_many(values)
+        got = rs.snapshot(SUMMARY_STATS_EXTENDED)
+        want = summary_statistics(values, stats=SUMMARY_STATS_EXTENDED)
+        assert got == want
+
+    def test_buffer_dropped_past_cutover_for_good(self):
+        rs = RunningStats(percentiles=(50,), exact_cutover=4)
+        rs.update_many([1.0, 2.0, 3.0, 4.0])
+        assert rs.exact
+        rs.update(5.0)
+        assert not rs.exact
+        rs2 = RunningStats(percentiles=(50,), exact_cutover=4)
+        rs2.update_many([1.0, 2.0, 3.0, 4.0, float("nan")])
+        assert rs2.exact  # non-finite values never consume the buffer
+
+
+class TestStreamingRegime:
+    @given(st.lists(_ANY, min_size=EXACT_CUTOVER + 1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_moments_and_percentile_bounds(self, values):
+        rs = RunningStats(percentiles=_BASIC_PCTS)
+        rs.update_many(values)
+        finite = [v for v in values if math.isfinite(v)]
+        assert rs.dropped == len(values) - len(finite)
+        if not finite:
+            assert rs.snapshot(SUMMARY_STATS_BASIC) == {
+                s: 0.0 for s in SUMMARY_STATS_BASIC
+            }
+            return
+        batch = summary_statistics(finite, stats=SUMMARY_STATS_BASIC)
+        got = rs.snapshot(SUMMARY_STATS_BASIC)
+        assert rs.count == len(finite)
+        assert got["min"] == batch["min"]
+        assert got["max"] == batch["max"]
+        assert math.isclose(
+            got["mean"], batch["mean"], rel_tol=1e-9, abs_tol=1e-6
+        )
+        assert math.isclose(
+            got["std"], batch["std"], rel_tol=1e-6, abs_tol=1e-6
+        )
+        # The documented P2 guarantee: estimates within [min, max].
+        for stat in ("p25", "p50", "p75"):
+            assert got["min"] <= got[stat] <= got["max"]
+
+    @given(st.lists(_FINITE, min_size=1, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_streaming_from_first_value_stays_bounded(self, values):
+        rs = RunningStats(percentiles=(50,), exact_cutover=0)
+        rs.update_many(values)
+        assert not rs.exact
+        snap = rs.snapshot(("min", "p50", "max"))
+        assert snap["min"] <= snap["p50"] <= snap["max"]
+
+    @pytest.mark.parametrize(
+        "sampler",
+        [
+            lambda rng, n: rng.uniform(0.0, 100.0, n),
+            lambda rng, n: rng.normal(50.0, 10.0, n),
+            lambda rng, n: rng.exponential(5.0, n),
+        ],
+        ids=["uniform", "normal", "exponential"],
+    )
+    def test_p2_accuracy_on_smooth_distributions(self, sampler):
+        rng = np.random.default_rng(7)
+        values = sampler(rng, 10_000)
+        rs = RunningStats(percentiles=_BASIC_PCTS, exact_cutover=0)
+        rs.update_many(values)
+        spread = float(values.max() - values.min())
+        for p in _BASIC_PCTS:
+            true = float(np.percentile(values, p))
+            assert abs(rs.quantile(p) - true) < 0.02 * spread
+
+    def test_all_nonfinite_stream_snapshots_to_zero(self):
+        rs = RunningStats(percentiles=(50,), exact_cutover=0)
+        rs.update_many([float("nan"), float("inf"), float("-inf")] * 30)
+        assert rs.count == 0 and rs.dropped == 90
+        assert rs.snapshot(SUMMARY_STATS_BASIC) == {
+            s: 0.0 for s in SUMMARY_STATS_BASIC
+        }
+
+
+class TestP2Quantile:
+    def test_exact_below_five_observations(self):
+        est = P2Quantile(0.5)
+        for v in (5.0, 1.0, 3.0):
+            est.update(v)
+        assert est.value() == float(np.percentile([5.0, 1.0, 3.0], 50))
+
+    def test_rejects_degenerate_quantiles(self):
+        for q in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(q)
+
+    def test_empty_value_is_zero(self):
+        assert P2Quantile(0.5).value() == 0.0
+
+    @given(st.lists(_FINITE, min_size=5, max_size=500), st.sampled_from(
+        [0.05, 0.25, 0.5, 0.75, 0.95]
+    ))
+    @settings(max_examples=150, deadline=None)
+    def test_estimate_always_within_observed_range(self, values, q):
+        est = P2Quantile(q)
+        for v in values:
+            est.update(v)
+        assert min(values) <= est.value() <= max(values)
+
+
+class TestValidation:
+    def test_unknown_stat_raises(self):
+        rs = RunningStats(percentiles=(), exact_cutover=0)
+        rs.update(1.0)
+        with pytest.raises(ValueError, match="unknown statistic"):
+            rs.snapshot(("median",))
+
+    def test_undeclared_percentile_raises(self):
+        rs = RunningStats(percentiles=(50,), exact_cutover=0)
+        rs.update(1.0)
+        with pytest.raises(KeyError, match="declared"):
+            rs.quantile(90)
+
+    def test_negative_cutover_rejected(self):
+        with pytest.raises(ValueError):
+            RunningStats(exact_cutover=-1)

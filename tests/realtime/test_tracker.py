@@ -133,3 +133,84 @@ class TestOnlineSessionTracker:
         for entry in _entries(one_adaptive_session, 0.0):
             tracker.observe(entry)
         assert tracker.flush() == []
+
+
+def _media_entry(timestamp_s, transaction_s=1.0, subscriber="sub-a"):
+    from repro.capture.weblog import WeblogEntry
+
+    return WeblogEntry(
+        subscriber_id=subscriber,
+        timestamp_s=timestamp_s,
+        server_name="r1---sn-abc.googlevideo.com",
+        server_ip="10.0.0.1",
+        server_port=443,
+        object_bytes=500_000,
+        transaction_s=transaction_s,
+        rtt_min_ms=20.0,
+        rtt_avg_ms=30.0,
+        rtt_max_ms=50.0,
+        bdp_bytes=60_000.0,
+        bif_avg_bytes=30_000.0,
+        bif_max_bytes=80_000.0,
+        loss_pct=0.1,
+        retx_pct=0.2,
+        encrypted=True,
+    )
+
+
+class TestIdleGapTimebase:
+    """Regression: the idle gap must run on request timestamps.
+
+    The old comparison was ``entry.timestamp_s - last_activity_s`` where
+    the watermark mixed in arrival times (timestamp + transaction): one
+    long transaction pushed the watermark far past the next request and
+    the gap went negative, holding the session open indefinitely.
+    """
+
+    def test_long_transaction_does_not_hold_session_open(self):
+        tracker = OnlineSessionTracker(idle_gap_s=30.0, min_media_chunks=1)
+        # Request at t=0 whose transfer drags on for 500s: under the
+        # old mixed timebase the next request at t=60 saw a "gap" of
+        # 60 - 500 = -440s and never closed the session.
+        tracker.observe(_media_entry(0.0, transaction_s=500.0))
+        closed = tracker.observe(_media_entry(60.0))
+        assert len(closed) == 1
+        assert closed[0].n_chunks == 1
+
+    def test_flush_uses_request_timebase(self):
+        tracker = OnlineSessionTracker(idle_gap_s=30.0, min_media_chunks=1)
+        tracker.observe(_media_entry(0.0, transaction_s=500.0))
+        assert tracker.flush(now_s=20.0) == []       # request was recent
+        assert len(tracker.flush(now_s=100.0)) == 1  # idle on request clock
+
+    def test_short_gap_still_keeps_session_open(self):
+        tracker = OnlineSessionTracker(idle_gap_s=30.0, min_media_chunks=1)
+        tracker.observe(_media_entry(0.0, transaction_s=500.0))
+        assert tracker.observe(_media_entry(10.0)) == []
+        assert tracker.open_sessions == 1
+
+
+class TestStreamingState:
+    def test_stream_absent_by_default(self, one_adaptive_session):
+        tracker = OnlineSessionTracker()
+        for entry in _entries(one_adaptive_session, 0.0)[:5]:
+            tracker.observe(entry)
+        assert tracker._open["sub-a"].stream is None
+
+    def test_stream_counts_media_only(self, one_adaptive_session):
+        tracker = OnlineSessionTracker(streaming=True)
+        for entry in _entries(one_adaptive_session, 0.0):
+            tracker.observe(entry)
+        session = tracker._open["sub-a"]
+        assert session.stream is not None
+        assert session.stream.n_chunks == len(session.media)
+
+    def test_provisional_id_matches_emitted_id(self, one_adaptive_session):
+        tracker = OnlineSessionTracker(streaming=True)
+        assert tracker.provisional_session_id("sub-a") == "sub-a/online-1"
+        for entry in _entries(one_adaptive_session, 0.0):
+            tracker.observe(entry)
+        assert tracker.provisional_session_id("sub-a") == "sub-a/online-1"
+        (record,) = tracker.flush()
+        assert record.session_id == "sub-a/online-1"
+        assert tracker.provisional_session_id("sub-a") == "sub-a/online-2"
