@@ -1,0 +1,152 @@
+"""Benchmark gate for the socket-sharded serving tier.
+
+The socket backend exists for deployment reach (shards on other
+machines, partition-tolerant supervision), not for speed — but reach
+must not cost the fault-free path much.  The gate: on a 2k-session
+tiled replay with faults off, 4 socket shards over loopback processes
+(``local:4``) finish within **15%** of the process backend's
+wall-clock (plus a small absolute slack so sub-second runs don't gate
+on noise), while staying bit-identical to it — framing, CRC checks,
+seq/ack bookkeeping and heartbeats are the only difference between the
+two runs, so the delta isolates the transport tax.
+
+Shares the procserving skip discipline: the relative gate is
+meaningless without real parallelism, so it skips (never weakens) on
+boxes with fewer than 4 usable cores.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import QoEFramework
+from repro.datasets.generate import (
+    generate_adaptive_corpus,
+    generate_cleartext_corpus,
+)
+from repro.realtime.monitor import RealTimeMonitor
+from repro.serving.replay import synthetic_trace
+from repro.serving.service import QoEService
+
+from conftest import paper_row
+from test_bench_procserving import tile_population
+
+#: 500 base sessions x 4 tiles = the 2k-session replay the gate names.
+BASE_SESSIONS, BASE_SUBSCRIBERS, TILES = 500, 125, 4
+POPULATION = BASE_SUBSCRIBERS * TILES
+N_SHARDS = 4
+#: Socket wall-clock may exceed process wall-clock by at most this
+#: factor (plus ABS_SLACK_S for timer noise on fast runs).
+OVERHEAD_CEILING = 1.15
+ABS_SLACK_S = 0.75
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:   # non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def framework():
+    cleartext = generate_cleartext_corpus(400, seed=3)
+    adaptive = generate_adaptive_corpus(200, seed=4)
+    return QoEFramework(random_state=0, n_estimators=20).fit(
+        cleartext.records_with_stall_truth(),
+        [r for r in adaptive.records if r.resolutions is not None],
+    )
+
+
+@pytest.fixture(scope="module")
+def trace():
+    base = synthetic_trace(
+        BASE_SESSIONS, seed=29, subscribers=BASE_SUBSCRIBERS
+    )
+    return tile_population(base, TILES)
+
+
+def _multiset(diagnoses):
+    return sorted(
+        (
+            d.session_id,
+            d.stall_class,
+            d.representation_class,
+            d.has_quality_switches,
+        )
+        for d in diagnoses
+    )
+
+
+def _backend_run(framework, trace, backend, **kwargs):
+    service = QoEService(
+        framework, n_shards=N_SHARDS, shard_backend=backend, **kwargs
+    )
+    service.start()
+    start = time.perf_counter()
+    service.submit_many(trace)
+    service.drain()
+    elapsed = time.perf_counter() - start
+    service.stop()
+    return elapsed, service
+
+
+@pytest.fixture(scope="module")
+def runs(framework, trace):
+    process_s, process = _backend_run(framework, trace, "process")
+    socket_s, sock = _backend_run(
+        framework, trace, "socket", placement=f"local:{N_SHARDS}"
+    )
+    return process_s, process, socket_s, sock
+
+
+def test_socket_backend_deterministic_at_population_scale(
+    runs, framework, trace
+):
+    """2k tiled sessions, 4 socket shards: multiset identical to both
+    the process backend and the serial monitor."""
+    _, process, _, sock = runs
+    assert _multiset(sock.diagnoses) == _multiset(process.diagnoses)
+
+    serial = RealTimeMonitor(framework)
+    serial.feed_many(trace)
+    serial.drain()
+    assert _multiset(sock.diagnoses) == _multiset(serial.diagnoses)
+    paper_row(
+        f"socket-shard determinism, {POPULATION} subscribers",
+        "multiset-identical",
+        f"{len(sock.diagnoses)} diagnoses over {len(trace)} entries "
+        "(4 socket shards == process == serial)",
+    )
+
+
+def test_socket_transport_overhead_gate(runs, trace):
+    """Fault-free socket transport tax <= 15% over the process backend."""
+    process_s, _, socket_s, sock = runs
+    sessions = BASE_SESSIONS * TILES
+    ratio = socket_s / process_s
+    paper_row(
+        f"socket-shard transport tax, {N_SHARDS} shards",
+        f"<= {OVERHEAD_CEILING}x process wall-clock",
+        f"process {sessions / process_s:.0f}/s ({process_s:.2f}s), "
+        f"socket {sessions / socket_s:.0f}/s ({socket_s:.2f}s) "
+        f"= {ratio:.2f}x",
+    )
+    # A clean run must not have exercised the robustness machinery.
+    health = sock.health()
+    assert health["restarts"] == 0
+    assert sock.supervisor.open_circuits == []
+    assert sum(s.reconnects for s in sock.router.shards) == 0
+    if _usable_cpus() < N_SHARDS:
+        pytest.skip(
+            f"only {_usable_cpus()} usable core(s); the relative gate "
+            f"needs >= {N_SHARDS}"
+        )
+    assert socket_s <= process_s * OVERHEAD_CEILING + ABS_SLACK_S, (
+        f"socket backend took {socket_s:.2f}s vs process {process_s:.2f}s "
+        f"({ratio:.2f}x) — transport overhead breaches the "
+        f"{OVERHEAD_CEILING}x gate"
+    )

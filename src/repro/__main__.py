@@ -35,6 +35,16 @@ Commands
     recorder so shard deaths, open circuits and drain timeouts dump
     JSON postmortems there.  ``--metrics-port`` additionally serves
     the live ``/health`` JSON next to ``/metrics``.
+    ``--shard-backend socket`` runs the shards over the socket
+    transport, placed per ``--placement`` (``local:N``, ``inproc:N``,
+    or ``0=host:port,...`` for standalone workers).
+``netshard-worker``
+    Run one standalone socket shard worker: ``python -m repro
+    netshard-worker --listen 0.0.0.0:7000``.  The connecting service
+    ships the model and shard config in its ``hello``, so the worker
+    needs no local model file; it serves one parent at a time,
+    survives reconnects with its shard state intact, and exits 0
+    after a clean drain.
 ``list``
     List the experiment ids.
 """
@@ -230,6 +240,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         postmortem_dir=args.postmortem_dir,
         early_after_chunks=args.early_after_chunks,
         early_confidence=args.early_confidence,
+        placement=args.placement,
     )
     with _maybe_metrics_server(args.metrics_port, log, health=service.health):
         service.start()
@@ -351,6 +362,41 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_netshard_worker(args: argparse.Namespace) -> int:
+    from repro.obs import configure_logging, get_logger
+    from repro.serving import run_worker
+
+    configure_logging(args.log_level)
+    log = get_logger("cli")
+
+    host, colon, port = args.listen.rpartition(":")
+    if not colon or not host:
+        print(
+            f"error: --listen wants HOST:PORT, got {args.listen!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        port_no = int(port)
+    except ValueError:
+        print(f"error: bad port in --listen {args.listen!r}", file=sys.stderr)
+        return 2
+
+    log.info("netshard_worker_starting", host=host, port=port_no)
+    kwargs = {}
+    if args.max_frame_bytes is not None:
+        kwargs["max_frame_bytes"] = args.max_frame_bytes
+    return run_worker(
+        host,
+        port_no,
+        config=None,
+        on_port=lambda bound: print(
+            f"netshard worker listening on {host}:{bound}", file=sys.stderr
+        ),
+        **kwargs,
+    )
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.experiments import EXPERIMENT_IDS
 
@@ -461,11 +507,24 @@ def main(argv=None) -> int:
     )
     serve.add_argument(
         "--shard-backend",
-        choices=("thread", "process"),
+        choices=("thread", "process", "socket"),
         default="thread",
         help=(
-            "run shards as in-process threads or as one process per "
-            "shard (true multi-core; default: thread)"
+            "run shards as in-process threads, as one process per shard "
+            "(true multi-core), or over the socket transport placed per "
+            "--placement (default: thread)"
+        ),
+    )
+    serve.add_argument(
+        "--placement",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "shard placement for --shard-backend socket: 'local:N' "
+            "(spawned loopback processes, the default), 'inproc:N' "
+            "(in-process threads over loopback), or "
+            "'0=host:port,1=host:port,...' for standalone "
+            "netshard-worker processes"
         ),
     )
     serve.add_argument(
@@ -595,6 +654,31 @@ def main(argv=None) -> int:
     )
     _add_telemetry_flags(serve)
     serve.set_defaults(func=_cmd_serve_replay)
+
+    worker = subparsers.add_parser(
+        "netshard-worker",
+        help="run one standalone socket shard worker (see --placement)",
+    )
+    worker.add_argument(
+        "--listen",
+        required=True,
+        metavar="HOST:PORT",
+        help="bind address; port 0 picks an ephemeral port",
+    )
+    worker.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject frames larger than N bytes (default: 64 MiB)",
+    )
+    worker.add_argument(
+        "--log-level",
+        default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="structured-logging threshold (default: INFO)",
+    )
+    worker.set_defaults(func=_cmd_netshard_worker)
 
     listing = subparsers.add_parser("list", help="list experiment ids")
     listing.set_defaults(func=_cmd_list)

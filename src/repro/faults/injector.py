@@ -102,6 +102,7 @@ class FaultInjector:
         self._kills_fired = 0
         self._reload_failures_left = plan.reload_failures
         self._corruption_cursor = 0
+        self._slow_sends = 0
         self.injections: List[Injection] = []
         self._affected: Set[str] = set()
 
@@ -129,6 +130,7 @@ class FaultInjector:
                 "injected": len(self.injections),
                 "by_kind": by_kind,
                 "affected_subscribers": len(self._affected),
+                "slow_sends": self._slow_sends,
             }
 
     def _record(self, kind: str, index: int, entry: WeblogEntry, detail: str = "") -> None:
@@ -258,6 +260,64 @@ class FaultInjector:
         if plan.kill_shard is None or shard_index != plan.kill_shard:
             return None
         return (plan.kill_at_entry, plan.kill_times)
+
+    def partition_spec_for(
+        self, shard_index: int
+    ) -> Optional[Tuple[int, float]]:
+        """The plan's ``(partition_at_entry, partition_secs)`` for one shard.
+
+        Like :meth:`kill_spec_for`, shipped by value: the socket
+        worker (possibly another process or machine) triggers the
+        silence locally after accepting its N-th entry.  ``None`` when
+        this shard is not targeted.
+        """
+        plan = self.plan
+        if plan.partition_shard is None or shard_index != plan.partition_shard:
+            return None
+        return (plan.partition_at_entry, plan.partition_secs)
+
+    def note_partition(self, shard_index: int) -> None:
+        """Account a partition the supervisor actually observed.
+
+        Called when the three-state health model flips a shard to
+        *partitioned*.  Latency-only on its own — subscribers are only
+        marked affected if the quarantine path actually sheds backlog
+        (that path calls :meth:`mark_affected` with the shed entries'
+        subscribers).
+        """
+        with self._lock:
+            self.injections.append(
+                Injection(
+                    "partition",
+                    -1,
+                    "",
+                    f"shard {shard_index} for {self.plan.partition_secs:g}s",
+                )
+            )
+        get_recorder().record(
+            "fault_injected", fault="partition", shard=shard_index
+        )
+
+    def slow_link_delay_s(self, seq: int) -> float:
+        """Deterministic per-batch send delay for the ``slow_link`` spec.
+
+        Hash-based rather than RNG-stream-based so the draw depends
+        only on ``(seed, seq)`` — reconnects and resends cannot shift
+        which batches are slow.  Latency without loss: slow sends are
+        *not* recorded as injections and mark nobody affected, because
+        the determinism contract requires identical output under them.
+        """
+        plan = self.plan
+        if plan.slow_link_fraction <= 0.0:
+            return 0.0
+        draw = (
+            (seq * 0x9E3779B1 + (plan.seed + 1) * 0x85EBCA77) & 0xFFFFFFFF
+        ) / 2.0**32
+        if draw >= plan.slow_link_fraction:
+            return 0.0
+        with self._lock:
+            self._slow_sends += 1
+        return plan.slow_link_ms / 1000.0
 
     def note_remote_kills(self, shard_index: int, count: int) -> None:
         """Account kills a shard *process* reported before dying.

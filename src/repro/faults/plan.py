@@ -42,6 +42,9 @@ _COMPACT_KEYS = {
     "reload_delay": ("reload_delay_s", float),
 }
 
+#: Compact keys with their own "value@value:value" grammar.
+_STRUCTURED_KEYS = ("kill_shard", "skew", "partition_shard", "slow_link")
+
 _FRACTION_FIELDS = (
     "corrupt_fraction",
     "drop_fraction",
@@ -75,6 +78,21 @@ class FaultPlan:
         its ``kill_at_entry``-th record, ``kill_times`` times in total
         (several kills in a row exercise the restart budget and the
         circuit breaker).  ``None`` disables.
+    partition_shard, partition_at_entry, partition_secs:
+        Partition the *socket*-backed shard ``partition_shard`` after
+        it has accepted its ``partition_at_entry``-th record: the
+        worker goes silent — no heartbeats, no reads — for
+        ``partition_secs`` seconds while its TCP connection stays
+        alive.  The reachable-but-slow failure mode pipes never
+        exhibit; the supervisor must classify it *partitioned* (not
+        dead) and quarantine without restarting.  ``None`` disables.
+        Compact form: ``partition_shard=IDX@ENTRY:SECS``.
+    slow_link_fraction, slow_link_ms:
+        Delay a deterministic ``slow_link_fraction`` of the socket
+        transport's entry batches by ``slow_link_ms`` milliseconds
+        before sending — degraded-link latency without loss, so the
+        diagnosis stream must stay bit-identical.  Compact form:
+        ``slow_link=FRAC:MS``.
     reload_failures, reload_delay_s:
         Make the next N model reload attempts fail with ``OSError``,
         and/or stall every reload by a fixed delay.
@@ -90,6 +108,11 @@ class FaultPlan:
     kill_shard: Optional[int] = None
     kill_at_entry: int = 1
     kill_times: int = 1
+    partition_shard: Optional[int] = None
+    partition_at_entry: int = 1
+    partition_secs: float = 2.0
+    slow_link_fraction: float = 0.0
+    slow_link_ms: float = 5.0
     reload_failures: int = 0
     reload_delay_s: float = 0.0
 
@@ -106,6 +129,19 @@ class FaultPlan:
             raise ValueError("kill_at_entry must be >= 1")
         if self.kill_times < 1:
             raise ValueError("kill_times must be >= 1")
+        if self.partition_shard is not None and self.partition_shard < 0:
+            raise ValueError("partition_shard must be a shard index >= 0")
+        if self.partition_at_entry < 1:
+            raise ValueError("partition_at_entry must be >= 1")
+        if self.partition_secs <= 0:
+            raise ValueError("partition_secs must be positive")
+        if not 0.0 <= self.slow_link_fraction <= 1.0:
+            raise ValueError(
+                f"slow_link_fraction must be in [0, 1], "
+                f"got {self.slow_link_fraction!r}"
+            )
+        if self.slow_link_ms < 0:
+            raise ValueError("slow_link_ms must be >= 0")
         if self.reload_failures < 0:
             raise ValueError("reload_failures must be >= 0")
         if self.reload_delay_s < 0:
@@ -123,6 +159,8 @@ class FaultPlan:
             and self.reorder_fraction == 0.0
             and self.skew_fraction == 0.0
             and self.kill_shard is None
+            and self.partition_shard is None
+            and self.slow_link_fraction == 0.0
             and self.reload_failures == 0
             and self.reload_delay_s == 0.0
         )
@@ -145,6 +183,16 @@ class FaultPlan:
             parts.append(
                 f"kill shard {self.kill_shard}@{self.kill_at_entry}"
                 + (f" x{self.kill_times}" if self.kill_times > 1 else "")
+            )
+        if self.partition_shard is not None:
+            parts.append(
+                f"partition shard {self.partition_shard}"
+                f"@{self.partition_at_entry} for {self.partition_secs:g}s"
+            )
+        if self.slow_link_fraction:
+            parts.append(
+                f"slow_link={self.slow_link_fraction:g}"
+                f":{self.slow_link_ms:g}ms"
             )
         if self.reload_failures:
             parts.append(f"reload_failures={self.reload_failures}")
@@ -199,10 +247,10 @@ class FaultPlan:
             key, _, raw = token.partition("=")
             key = key.strip()
             raw = raw.strip()
-            if key not in _COMPACT_KEYS and key not in ("kill_shard", "skew"):
+            if key not in _COMPACT_KEYS and key not in _STRUCTURED_KEYS:
                 raise ValueError(
                     f"unknown fault spec key {key!r}; valid: "
-                    f"{sorted(_COMPACT_KEYS) + ['kill_shard']}"
+                    f"{sorted(_COMPACT_KEYS) + sorted(_STRUCTURED_KEYS)}"
                 )
             try:
                 if key == "kill_shard":
@@ -211,6 +259,23 @@ class FaultPlan:
                     values["kill_shard"] = int(shard)
                     if at:
                         values["kill_at_entry"] = int(at)
+                elif key == "partition_shard":
+                    # "partition_shard=1@100:2.5":
+                    # shard index @ record count : silent seconds
+                    shard, _, rest = raw.partition("@")
+                    values["partition_shard"] = int(shard)
+                    if rest:
+                        at, _, secs = rest.partition(":")
+                        if at:
+                            values["partition_at_entry"] = int(at)
+                        if secs:
+                            values["partition_secs"] = float(secs)
+                elif key == "slow_link":
+                    # "slow_link=0.1:5": fraction of batches [: delay ms]
+                    fraction, _, delay = raw.partition(":")
+                    values["slow_link_fraction"] = float(fraction)
+                    if delay:
+                        values["slow_link_ms"] = float(delay)
                 elif key == "skew":
                     # "skew=0.01:120": fraction [: backwards-skew seconds]
                     fraction, _, magnitude = raw.partition(":")

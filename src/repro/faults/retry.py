@@ -40,9 +40,11 @@ def retry_with_backoff(
     base_delay_s: float = 0.05,
     factor: float = 2.0,
     max_delay_s: float = 2.0,
+    max_elapsed_s: Optional[float] = None,
     retry_on: Tuple[Type[BaseException], ...] = (OSError,),
     op: str = "default",
     sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
 ) -> T:
     """Call ``fn`` until it succeeds or the retry budget is spent.
@@ -58,21 +60,38 @@ def retry_with_backoff(
         Backoff schedule: attempt *k* (1-based) sleeps
         ``min(base_delay_s * factor**(k-1), max_delay_s)`` before
         retrying.
+    max_elapsed_s:
+        Hard cap on *total* time spent (attempts + backoff), measured
+        on ``clock`` from the first call.  Without it, a large
+        ``retries`` with growing backoff can silently exceed any
+        caller SLO — ``retries=10`` at the defaults already waits over
+        14 seconds.  With it, the last exception is re-raised as soon
+        as the budget is spent, and a sleep is clamped so it never
+        overshoots the deadline.  ``None`` keeps the attempt-count
+        bound only.
     retry_on:
         Exception types worth retrying.  Anything else propagates
-        immediately — a programming error is not transient.
+        immediately — a programming error is not transitory.
     op:
         Label for the retry counter and log lines.
     sleep:
-        Injectable clock (tests pass a recorder instead of sleeping).
+        Injectable sleep (tests pass a recorder instead of sleeping).
+    clock:
+        Injectable monotonic clock for the ``max_elapsed_s`` deadline.
     on_retry:
         Optional hook ``(attempt, exception)`` invoked before each
         sleep.
 
-    Raises the final exception unchanged once the budget is exhausted.
+    Raises the final exception unchanged once either budget (attempts
+    or elapsed time) is exhausted.  Deterministic: no jitter, so a
+    retried operation under a seeded fault plan behaves identically
+    run to run.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
+    if max_elapsed_s is not None and max_elapsed_s <= 0:
+        raise ValueError("max_elapsed_s must be positive")
+    started = clock()
     attempt = 0
     while True:
         try:
@@ -82,6 +101,20 @@ def retry_with_backoff(
             if attempt > retries:
                 raise
             delay = min(base_delay_s * factor ** (attempt - 1), max_delay_s)
+            if max_elapsed_s is not None:
+                remaining = max_elapsed_s - (clock() - started)
+                if remaining <= 0:
+                    _LOG.warning(
+                        "retry_deadline_exhausted",
+                        op=op,
+                        attempt=attempt,
+                        max_elapsed_s=max_elapsed_s,
+                        error=str(exc),
+                    )
+                    raise
+                # Never sleep past the deadline: the final attempt runs
+                # with whatever budget is left instead of overshooting.
+                delay = min(delay, remaining)
             _RETRIES.labels(op=op).inc()
             _LOG.warning(
                 "retrying",

@@ -23,6 +23,16 @@ that serving substrate:
     (``QoEService(shard_backend="process")``).  Child registries fold
     into the parent's at heartbeat and drain; the supervisor treats
     process death like a worker kill.
+``framing`` / ``netshard`` / ``placement``
+    The same shard, over a *socket*: length-prefixed CRC-checked
+    framing, workers placed per a shard-placement map (loopback
+    processes, in-process threads, or standalone ``python -m repro
+    netshard-worker`` processes on other machines), partition-tolerant
+    supervision (healthy / partitioned / dead with hysteresis,
+    quarantine-without-restart, reconnect-and-resume under a
+    deadline), and degradation to the serial monitor when every
+    remote shard is circuit-open
+    (``QoEService(shard_backend="socket", placement=...)``).
 ``batcher``
     Micro-batching of closed sessions so feature extraction and forest
     ``predict_proba`` run vectorized per batch instead of per session.
@@ -64,7 +74,24 @@ chaos plan never touched diagnose bit-identically to a fault-free run.
 
 from .batcher import MicroBatcher
 from .dlq import DeadLetter, DeadLetterQueue
+from .framing import (
+    FrameClosed,
+    FrameCorrupted,
+    FrameError,
+    FrameStream,
+    FrameTooLarge,
+)
 from .models import ModelManager
+from .netshard import (
+    NetShardConfig,
+    ShardConnectionLost,
+    ShardUnreachable,
+    SocketOpts,
+    SocketShardWorker,
+    run_worker,
+    start_inproc_worker,
+)
+from .placement import ShardPlacement, SocketShardRouter
 from .queue import (
     POLICIES,
     BoundedQueue,
@@ -77,7 +104,7 @@ from .replay import ReplayStats, TraceReplayer, synthetic_trace
 from .router import ProcessShardRouter, RegistryFolder
 from .service import QoEService
 from .shard import ShardWorker, shard_index
-from .supervisor import ShardSupervisor
+from .supervisor import SHARD_STATES, ShardSupervisor
 
 __all__ = [
     "ProcShardConfig",
@@ -85,6 +112,21 @@ __all__ = [
     "ProcessShardRouter",
     "RegistryFolder",
     "ShardProcessDied",
+    "FrameError",
+    "FrameClosed",
+    "FrameCorrupted",
+    "FrameTooLarge",
+    "FrameStream",
+    "NetShardConfig",
+    "SocketOpts",
+    "SocketShardWorker",
+    "ShardUnreachable",
+    "ShardConnectionLost",
+    "ShardPlacement",
+    "SocketShardRouter",
+    "SHARD_STATES",
+    "run_worker",
+    "start_inproc_worker",
     "POLICIES",
     "BoundedQueue",
     "QueueClosed",

@@ -20,6 +20,11 @@ Reasons in use today:
 ``circuit_open``
     Queued on a shard whose circuit breaker tripped; the entries had
     nowhere left to go and are preserved here instead of leaking.
+``partitioned``
+    Backlog shed from a socket shard the supervisor classified
+    *partitioned* (heartbeat stale, connection alive): the shard keeps
+    running — no restart — but entries it has not acknowledged stop
+    piling up in parent memory.
 
 Bounded like everything else in the serving layer: past ``capacity``
 the *oldest* quarantined record is evicted (newest evidence is worth
@@ -143,6 +148,21 @@ class DeadLetterQueue:
             detail=detail or None,
         )
         return letter
+
+    def stats(self) -> Dict:
+        """Counter-style rollup: totals plus per-reason counts.
+
+        The one-scrape answer to "*why* are records being dropped" —
+        a partition-driven quarantine (``partitioned``) is
+        distinguishable from validation drops (``malformed``) without
+        walking :meth:`items`.
+        """
+        with self._lock:
+            return {
+                "quarantined": self._stats.quarantined,
+                "evicted": self._stats.evicted,
+                "by_reason": dict(self._stats.by_reason),
+            }
 
     def items(self) -> List[DeadLetter]:
         """Snapshot of the currently held letters, oldest first."""

@@ -1,0 +1,257 @@
+"""Length-prefixed, CRC-checked socket framing for shard transport.
+
+The process backend's pipe protocol gets its ordering, integrity and
+message boundaries for free from :mod:`multiprocessing.connection`.
+Sockets give none of that beyond byte ordering, so the network shard
+transport defines an explicit frame::
+
+    0      2     3     4        8        12
+    +------+-----+-----+--------+--------+----------------+
+    | 'RQ' | ver | rsv | length | crc32  | payload ...    |
+    +------+-----+-----+--------+--------+----------------+
+      magic  u8    u8    u32 BE   u32 BE   `length` bytes
+
+* **magic + version** reject cross-protocol garbage (a stray HTTP
+  probe, a mismatched peer) on the first 3 bytes instead of feeding
+  junk into the unpickler.
+* **length** is read *before* the payload and validated against
+  ``max_frame_bytes`` — a corrupted or hostile length prefix is
+  rejected without allocating or reading gigabytes.
+* **crc32** covers the payload; a frame that arrives bit-flipped is
+  dropped as :class:`FrameCorrupted`, never unpickled.
+* **payload** is a compact pickled ``(kind, body)`` tuple — the same
+  message vocabulary the pipe protocol speaks.
+
+Every failure mode is a typed :class:`FrameError` subclass, so the
+reader thread can distinguish "peer is gone" (:class:`FrameClosed`)
+from "peer is speaking garbage" (:class:`FrameCorrupted` /
+:class:`FrameTooLarge`) — both tear the connection down cleanly
+instead of wedging the reader.
+
+:class:`FrameStream` wraps a connected socket with per-message read
+timeouts (``recv(timeout=...)`` returns ``None`` on timeout, it never
+blocks forever) and a send lock so heartbeat, resend and data-plane
+writers may share one connection.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+import zlib
+from typing import Any, Optional, Tuple
+
+from repro.obs import get_registry
+
+__all__ = [
+    "FRAME_MAGIC",
+    "FRAME_VERSION",
+    "HEADER_LEN",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameError",
+    "FrameClosed",
+    "FrameCorrupted",
+    "FrameTooLarge",
+    "FrameStream",
+    "encode_frame",
+    "decode_frame",
+]
+
+FRAME_MAGIC = b"RQ"
+FRAME_VERSION = 1
+#: ``magic(2) + version(1) + reserved(1) + length(4) + crc32(4)``.
+_HEADER = struct.Struct(">2sBBII")
+HEADER_LEN = _HEADER.size
+#: Generous for entry batches (a 256-entry batch pickles to ~100 KB)
+#: while still rejecting a garbage length prefix instantly.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_REG = get_registry()
+_FRAMES = _REG.counter(
+    "repro_serving_net_frames_total",
+    "Frames moved over shard socket transports, by direction.",
+    labelnames=("direction",),
+)
+_FRAME_ERRORS = _REG.counter(
+    "repro_serving_net_frame_errors_total",
+    "Frames rejected by the shard socket transport, by error kind.",
+    labelnames=("kind",),
+)
+
+
+class FrameError(Exception):
+    """Base class for every framing failure."""
+
+
+class FrameClosed(FrameError):
+    """The peer closed the connection (EOF mid-frame or between frames)."""
+
+
+class FrameCorrupted(FrameError):
+    """Bad magic, unsupported version, or a CRC mismatch."""
+
+
+class FrameTooLarge(FrameError):
+    """The length prefix exceeds the configured frame bound."""
+
+
+def encode_frame(message: Any, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message into a complete frame (header + payload)."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_frame_bytes:
+        raise FrameTooLarge(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte frame bound"
+        )
+    header = _HEADER.pack(
+        FRAME_MAGIC, FRAME_VERSION, 0, len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+def decode_frame(
+    data: bytes, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> Tuple[Any, int]:
+    """Decode one frame from ``data``; returns ``(message, bytes_consumed)``.
+
+    Raises :class:`FrameClosed` when ``data`` holds a truncated frame
+    (more bytes may complete it), :class:`FrameCorrupted` on bad
+    magic/version/CRC, :class:`FrameTooLarge` on a hostile length.
+    """
+    if len(data) < HEADER_LEN:
+        raise FrameClosed(
+            f"truncated header: {len(data)} of {HEADER_LEN} bytes"
+        )
+    magic, version, _reserved, length, crc = _HEADER.unpack_from(data)
+    if magic != FRAME_MAGIC:
+        raise FrameCorrupted(f"bad magic {magic!r}")
+    if version != FRAME_VERSION:
+        raise FrameCorrupted(f"unsupported frame version {version}")
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            f"length prefix {length} exceeds the {max_frame_bytes}-byte bound"
+        )
+    end = HEADER_LEN + length
+    if len(data) < end:
+        raise FrameClosed(
+            f"truncated payload: {len(data) - HEADER_LEN} of {length} bytes"
+        )
+    payload = data[HEADER_LEN:end]
+    if zlib.crc32(payload) != crc:
+        raise FrameCorrupted("payload CRC mismatch")
+    return pickle.loads(payload), end
+
+
+class FrameStream:
+    """A connected socket speaking the shard frame protocol.
+
+    Parameters
+    ----------
+    sock:
+        A connected ``socket.socket``.  The stream owns it: ``close()``
+        closes it, and send/recv errors leave it closed.
+    max_frame_bytes:
+        Upper bound on a single frame's payload, both directions.
+    send_timeout_s:
+        Hard ceiling on one blocking ``sendall`` — the guard against a
+        peer that stopped reading forever (a *partitioned* peer stalls
+        for seconds; a wedged one would otherwise hold the sender
+        hostage indefinitely).
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        send_timeout_s: float = 30.0,
+    ) -> None:
+        self._sock = sock
+        self.max_frame_bytes = max_frame_bytes
+        self.send_timeout_s = send_timeout_s
+        self._send_lock = threading.Lock()
+        self._recv_buf = b""
+        self._closed = False
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # not a TCP socket (socketpair in tests)
+            pass
+
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def send(self, kind: str, body: Any = None) -> None:
+        """Frame and send one ``(kind, body)`` message.
+
+        Raises ``OSError`` (or :class:`FrameClosed`) when the
+        connection is unusable; the caller decides whether that means
+        reconnect or death.
+        """
+        frame = encode_frame((kind, body), self.max_frame_bytes)
+        with self._send_lock:
+            if self._closed:
+                raise FrameClosed("send on a closed frame stream")
+            self._sock.settimeout(self.send_timeout_s)
+            self._sock.sendall(frame)
+        _FRAMES.labels(direction="sent").inc()
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[Tuple[str, Any]]:
+        """Receive one message; ``None`` when ``timeout`` elapses first.
+
+        Raises :class:`FrameClosed` on EOF, :class:`FrameCorrupted` /
+        :class:`FrameTooLarge` on protocol garbage — the reader thread
+        never wedges on a bad peer.
+        """
+        while True:
+            message = self._try_decode_buffered()
+            if message is not None:
+                return message
+            if self._closed:
+                raise FrameClosed("recv on a closed frame stream")
+            self._sock.settimeout(timeout)
+            try:
+                chunk = self._sock.recv(65536)
+            except socket.timeout:
+                return None
+            except BlockingIOError:
+                # timeout=0 puts the socket in non-blocking mode, where
+                # "nothing ready" surfaces as EAGAIN, not socket.timeout.
+                return None
+            if not chunk:
+                _FRAME_ERRORS.labels(kind="closed").inc()
+                raise FrameClosed(
+                    "peer closed the connection"
+                    + (" mid-frame" if self._recv_buf else "")
+                )
+            self._recv_buf += chunk
+
+    def _try_decode_buffered(self) -> Optional[Tuple[str, Any]]:
+        if len(self._recv_buf) < HEADER_LEN:
+            return None
+        try:
+            message, consumed = decode_frame(self._recv_buf, self.max_frame_bytes)
+        except FrameClosed:
+            return None  # incomplete: wait for more bytes
+        except FrameTooLarge:
+            _FRAME_ERRORS.labels(kind="too_large").inc()
+            raise
+        except FrameCorrupted:
+            _FRAME_ERRORS.labels(kind="corrupted").inc()
+            raise
+        except Exception as exc:  # unpickling garbage
+            _FRAME_ERRORS.labels(kind="corrupted").inc()
+            raise FrameCorrupted(f"undecodable payload: {exc!r}") from exc
+        self._recv_buf = self._recv_buf[consumed:]
+        _FRAMES.labels(direction="received").inc()
+        return message

@@ -255,26 +255,33 @@ def _child_serve(conn, config: ProcShardConfig) -> None:
         alarms = worker.monitor.alarms
         provisional = worker.monitor.provisional
         letters = dlq.take()
+        # Snapshot each length exactly once: the shard thread appends
+        # concurrently, and a cursor taken from a *re-read* len() would
+        # mark items as sent that were appended after the slice.
+        n_diagnoses = len(diagnoses)
+        n_alarms = len(alarms)
+        n_provisional = len(provisional)
+        n_entries = worker.entries_processed
         if (
-            len(diagnoses) == sent_diagnoses
-            and len(alarms) == sent_alarms
-            and len(provisional) == sent_provisional
+            n_diagnoses == sent_diagnoses
+            and n_alarms == sent_alarms
+            and n_provisional == sent_provisional
             and not letters
-            and worker.entries_processed == sent_entries
+            and n_entries == sent_entries
         ):
             return
         out = {
-            "diagnoses": diagnoses[sent_diagnoses:],
-            "alarms": alarms[sent_alarms:],
-            "provisional": provisional[sent_provisional:],
+            "diagnoses": diagnoses[sent_diagnoses:n_diagnoses],
+            "alarms": alarms[sent_alarms:n_alarms],
+            "provisional": provisional[sent_provisional:n_provisional],
             "letters": letters,
-            "entries_processed": worker.entries_processed,
+            "entries_processed": n_entries,
             "quarantined": worker.quarantined,
         }
-        sent_diagnoses = len(diagnoses)
-        sent_alarms = len(alarms)
-        sent_provisional = len(provisional)
-        sent_entries = worker.entries_processed
+        sent_diagnoses = n_diagnoses
+        sent_alarms = n_alarms
+        sent_provisional = n_provisional
+        sent_entries = n_entries
         conn.send(("out", out))
 
     def ship_registry() -> None:

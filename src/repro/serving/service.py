@@ -51,6 +51,7 @@ suitable for a ``/healthz`` endpoint.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Union
 
@@ -117,12 +118,27 @@ class QoEService:
     shard_backend:
         ``"thread"`` (default) runs shards as in-process worker
         threads; ``"process"`` runs each shard in its own process via
-        :mod:`repro.serving.procshard` for true multi-core diagnosis.
-        Semantics are identical (same CRC32 partition, same
-        per-subscriber order, same diagnosis/alarm multisets); the
-        process backend additionally folds per-child metric registries
-        into this process's registry at heartbeat and drain.  Model
-        hot-reload only reaches process shards at their next restart.
+        :mod:`repro.serving.procshard` for true multi-core diagnosis;
+        ``"socket"`` runs each shard behind a length-prefixed socket
+        transport (:mod:`repro.serving.netshard`) placed per
+        ``placement`` — loopback processes, in-process threads, or
+        standalone workers on other machines.  Semantics are identical
+        (same CRC32 partition, same per-subscriber order, same
+        diagnosis/alarm multisets); the process and socket backends
+        additionally fold per-child metric registries into this
+        process's registry at heartbeat and drain.  Model hot-reload
+        only reaches process/socket shards at their next restart.
+    placement:
+        Socket backend only: a placement spec parsed by
+        :meth:`~repro.serving.placement.ShardPlacement.parse` —
+        ``"local:N"`` (default, loopback worker processes),
+        ``"inproc:N"`` (worker threads over loopback), or an explicit
+        ``"0=host:port,1=host:port"`` map of standalone workers.
+    socket_opts:
+        Socket backend only: a
+        :class:`~repro.serving.netshard.SocketOpts` (or kwargs dict
+        for one) tuning connect deadlines, read/send timeouts and the
+        unacked-buffer backpressure bound.
     queue_capacity, policy:
         Per-shard ingest bound and backpressure policy
         (see :mod:`repro.serving.queue`).
@@ -139,6 +155,10 @@ class QoEService:
     max_restarts, restart_backoff_s, supervisor_poll_s, heartbeat_timeout_s:
         Supervision policy (see
         :class:`~repro.serving.supervisor.ShardSupervisor`).
+    partition_enter_ticks, partition_exit_ticks:
+        Hysteresis on the typed shard health state: consecutive stale
+        supervisor polls to enter *partitioned*, consecutive fresh
+        ones to exit.
     dead_letter_capacity:
         Bound on quarantined records retained for inspection.
     clock_skew_tolerance_s:
@@ -192,6 +212,10 @@ class QoEService:
         restart_backoff_s: float = 0.05,
         supervisor_poll_s: float = 0.02,
         heartbeat_timeout_s: float = 5.0,
+        partition_enter_ticks: int = 3,
+        partition_exit_ticks: int = 2,
+        placement: Optional[str] = None,
+        socket_opts=None,
         dead_letter_capacity: int = 1024,
         clock_skew_tolerance_s: float = 5.0,
         faults: Optional["FaultInjector"] = None,
@@ -206,11 +230,13 @@ class QoEService:
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
-        if shard_backend not in ("thread", "process"):
+        if shard_backend not in ("thread", "process", "socket"):
             raise ValueError(
                 f"unknown shard_backend {shard_backend!r}; "
-                "use 'thread' or 'process'"
+                "use 'thread', 'process' or 'socket'"
             )
+        if placement is not None and shard_backend != "socket":
+            raise ValueError("placement is only meaningful with shard_backend='socket'")
         self.shard_backend = shard_backend
         self.models = (
             models if isinstance(models, ModelManager) else ModelManager(models)
@@ -245,7 +271,72 @@ class QoEService:
         )
         self.recorder = FlightRecorder(postmortem_dir=postmortem_dir)
         self.router = None
-        if shard_backend == "process":
+        #: Knobs the degradation ladder needs to build a serial
+        #: fallback worker after every remote shard circuit-opens.
+        self._shard_knobs = {
+            "queue_capacity": queue_capacity,
+            "max_batch": max_batch,
+            "max_delay_s": max_delay_s,
+            "idle_gap_s": idle_gap_s,
+            "min_media_chunks": min_media_chunks,
+            "severe_alarm_after": severe_alarm_after,
+            "stall_ratio_alarm": stall_ratio_alarm,
+            "min_sessions_for_ratio": min_sessions_for_ratio,
+            "clock_skew_tolerance_s": clock_skew_tolerance_s,
+            "on_diagnosis": on_diagnosis,
+            "on_alarm": on_alarm,
+            "on_provisional": on_provisional,
+            "early_after_chunks": early_after_chunks,
+            "early_confidence": early_confidence,
+        }
+        self._fallback: Optional[ShardWorker] = None
+        self._fallback_lock = threading.Lock()
+        if shard_backend == "socket":
+            # Local import: pulls in the socket transport stack the
+            # thread backend never needs.
+            from .netshard import SocketOpts
+            from .placement import ShardPlacement, SocketShardRouter
+
+            parsed = ShardPlacement.parse(
+                placement if placement is not None else f"local:{n_shards}",
+                n_shards,
+            )
+            if socket_opts is None:
+                opts = SocketOpts()
+            elif isinstance(socket_opts, SocketOpts):
+                opts = socket_opts
+            else:
+                opts = SocketOpts(**socket_opts)
+            self.router = SocketShardRouter(
+                placement=parsed,
+                framework=self.models.current,
+                dead_letters=self.dead_letters,
+                queue_capacity=queue_capacity,
+                policy=policy,
+                max_batch=max_batch,
+                max_delay_s=max_delay_s,
+                idle_gap_s=idle_gap_s,
+                min_media_chunks=min_media_chunks,
+                severe_alarm_after=severe_alarm_after,
+                stall_ratio_alarm=stall_ratio_alarm,
+                min_sessions_for_ratio=min_sessions_for_ratio,
+                clock_skew_tolerance_s=clock_skew_tolerance_s,
+                telemetry=self.telemetry is not None,
+                sample_every=(
+                    self.telemetry.sample_every
+                    if self.telemetry is not None
+                    else 128
+                ),
+                on_diagnosis=on_diagnosis,
+                on_alarm=on_alarm,
+                faults=faults,
+                early_after_chunks=early_after_chunks,
+                early_confidence=early_confidence,
+                on_provisional=on_provisional,
+                socket_opts=opts,
+            )
+            self._shards: List[ShardWorker] = self.router.shards
+        elif shard_backend == "process":
             # Local import: the router pulls in multiprocessing-backed
             # shards the thread backend never needs.
             from .router import ProcessShardRouter
@@ -319,6 +410,9 @@ class QoEService:
             backoff_base_s=restart_backoff_s,
             poll_interval_s=supervisor_poll_s,
             heartbeat_timeout_s=heartbeat_timeout_s,
+            partition_enter_ticks=partition_enter_ticks,
+            partition_exit_ticks=partition_exit_ticks,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -326,7 +420,7 @@ class QoEService:
     # ------------------------------------------------------------------
 
     def _entries_processed_total(self) -> float:
-        return float(sum(s.entries_processed for s in self._shards))
+        return float(sum(s.entries_processed for s in self._all_shards()))
 
     def _register_recorder_providers(self) -> None:
         """Snapshot providers included in every postmortem."""
@@ -353,6 +447,7 @@ class QoEService:
                 "restarts": self.supervisor.total_restarts,
                 "open_circuits": self.supervisor.open_circuits,
                 "stalled": self.supervisor.stalled_shards,
+                "shard_states": self.supervisor.shard_states,
             },
         )
 
@@ -427,6 +522,17 @@ class QoEService:
                 self.slo_engine.maybe_roll()
             ctx.t_submit = time.perf_counter()
         if self.supervisor.circuit_open(index):
+            if (
+                self.shard_backend == "socket"
+                and len(self.supervisor.open_circuits) >= self.n_shards
+            ):
+                # Degradation ladder, last rung: every remote shard is
+                # circuit-open (the network took them all), but this
+                # process still holds the model.  A serial in-process
+                # worker is slower than the fleet and strictly better
+                # than refusing the tap.
+                self._ensure_fallback().queue.put(entry)
+                return True
             self.rejected += 1
             _REJECTED.inc()
             return False
@@ -448,6 +554,67 @@ class QoEService:
         if not accepted:
             self.shed += 1
         return accepted
+
+    def _ensure_fallback(self) -> ShardWorker:
+        """Lazily start the serial fallback monitor (socket backend).
+
+        One thread-backed :class:`ShardWorker` — the serial monitor
+        with a queue in front — that absorbs *all* traffic once every
+        remote shard is gone.  Routing every subscriber to one worker
+        preserves per-subscriber order from the moment of failover, so
+        sessions that begin after the collapse are still diagnosed
+        exactly as the serial monitor would.
+        """
+        with self._fallback_lock:
+            if self._fallback is None:
+                knobs = self._shard_knobs
+                worker = ShardWorker(
+                    index=self.n_shards,
+                    models=self.models,
+                    queue=BoundedQueue(
+                        capacity=knobs["queue_capacity"],
+                        policy="block",
+                        name="fallback",
+                    ),
+                    batcher=MicroBatcher(
+                        max_batch=knobs["max_batch"],
+                        max_delay_s=knobs["max_delay_s"],
+                    ),
+                    idle_gap_s=knobs["idle_gap_s"],
+                    min_media_chunks=knobs["min_media_chunks"],
+                    severe_alarm_after=knobs["severe_alarm_after"],
+                    stall_ratio_alarm=knobs["stall_ratio_alarm"],
+                    min_sessions_for_ratio=knobs["min_sessions_for_ratio"],
+                    on_diagnosis=knobs["on_diagnosis"],
+                    on_alarm=knobs["on_alarm"],
+                    dead_letters=self.dead_letters,
+                    clock_skew_tolerance_s=knobs["clock_skew_tolerance_s"],
+                    telemetry=(
+                        self.telemetry.for_shard(self.n_shards)
+                        if self.telemetry is not None
+                        else None
+                    ),
+                    early_after_chunks=knobs["early_after_chunks"],
+                    early_confidence=knobs["early_confidence"],
+                    on_provisional=knobs["on_provisional"],
+                )
+                worker.start()
+                self._fallback = worker
+                self.recorder.record(
+                    "serial_fallback_engaged", open_circuits=self.n_shards
+                )
+                _LOG.error(
+                    "serial_fallback_engaged",
+                    open_circuits=self.n_shards,
+                    detail="all socket shards circuit-open; "
+                    "degrading to the in-process serial monitor",
+                )
+        return self._fallback
+
+    def _all_shards(self) -> List[ShardWorker]:
+        if self._fallback is not None:
+            return list(self._shards) + [self._fallback]
+        return self._shards
 
     def submit_many(self, entries: Iterable[WeblogEntry]) -> int:
         """Submit a time-ordered entry stream; returns how many were accepted."""
@@ -485,7 +652,13 @@ class QoEService:
             for shard in self._shards:
                 if not self.supervisor.circuit_open(shard.index):
                     shard.join()
-            span.add("diagnoses", sum(len(s.diagnoses) for s in self._shards))
+            if self._fallback is not None:
+                self._fallback.queue.close()
+                self._fallback.join()
+            span.add(
+                "diagnoses",
+                sum(len(s.diagnoses) for s in self._all_shards()),
+            )
         self.state = "stopped"
         _STATE.set(0)
         _SHARDS.set(0)
@@ -536,14 +709,14 @@ class QoEService:
     def diagnoses(self) -> List[SessionDiagnosis]:
         """All diagnoses across shards (stable within a subscriber)."""
         out: List[SessionDiagnosis] = []
-        for shard in self._shards:
+        for shard in self._all_shards():
             out.extend(shard.diagnoses)
         return out
 
     @property
     def alarms(self) -> List[Alarm]:
         out: List[Alarm] = []
-        for shard in self._shards:
+        for shard in self._all_shards():
             out.extend(shard.alarms)
         return out
 
@@ -551,14 +724,14 @@ class QoEService:
     def provisional(self) -> List[ProvisionalDiagnosis]:
         """All provisional (early) diagnoses across shards."""
         out: List[ProvisionalDiagnosis] = []
-        for shard in self._shards:
+        for shard in self._all_shards():
             out.extend(shard.provisional)
         return out
 
     def early_report(self) -> Optional[ConvergenceReport]:
         """Merged provisional-vs-final convergence (None if early is off)."""
         merged: Optional[ConvergenceReport] = None
-        for shard in self._shards:
+        for shard in self._all_shards():
             report = shard.early_report()
             if report is None:
                 continue
@@ -569,13 +742,15 @@ class QoEService:
     def health_by_subscriber(self) -> Dict[str, SubscriberHealth]:
         """Merged per-subscriber health (subscribers never span shards)."""
         merged: Dict[str, SubscriberHealth] = {}
-        for shard in self._shards:
+        for shard in self._all_shards():
             merged.update(shard.monitor.health)
         return merged
 
     @property
     def callback_errors(self) -> int:
-        return sum(shard.monitor.callback_errors for shard in self._shards)
+        return sum(
+            shard.monitor.callback_errors for shard in self._all_shards()
+        )
 
     # ------------------------------------------------------------------
     # Health / readiness
@@ -623,6 +798,7 @@ class QoEService:
                     "restarts": shard.restarts,
                     "circuit_open": self.supervisor.circuit_open(shard.index),
                     "stalled": shard.index in self.supervisor.stalled_shards,
+                    "health_state": self.supervisor.shard_state(shard.index),
                     "queue_depth": shard.queue.depth,
                     "queue_dropped": shard.queue.dropped,
                     "entries_processed": shard.entries_processed,
@@ -636,6 +812,13 @@ class QoEService:
                 for shard in self._shards
             ],
         }
+        if self._fallback is not None:
+            out["serial_fallback"] = {
+                "engaged": True,
+                "entries_processed": self._fallback.entries_processed,
+                "diagnoses": len(self._fallback.diagnoses),
+                "queue_depth": self._fallback.queue.depth,
+            }
         if self.router is not None:
             out["router"] = self.router.snapshot()
         if self.telemetry is not None:

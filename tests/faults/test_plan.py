@@ -21,6 +21,8 @@ class TestDefaults:
         assert not FaultPlan(kill_shard=0).is_noop
         assert not FaultPlan(reload_failures=1).is_noop
         assert not FaultPlan(reload_delay_s=0.1).is_noop
+        assert not FaultPlan(partition_shard=0).is_noop
+        assert not FaultPlan(slow_link_fraction=0.1).is_noop
 
 
 class TestValidation:
@@ -53,6 +55,22 @@ class TestValidation:
             FaultPlan(reload_failures=-1)
         with pytest.raises(ValueError):
             FaultPlan(reload_delay_s=-0.5)
+
+    def test_partition_knobs_validated(self):
+        with pytest.raises(ValueError, match="partition_shard"):
+            FaultPlan(partition_shard=-1)
+        with pytest.raises(ValueError, match="partition_at_entry"):
+            FaultPlan(partition_shard=0, partition_at_entry=0)
+        with pytest.raises(ValueError, match="partition_secs"):
+            FaultPlan(partition_shard=0, partition_secs=0.0)
+
+    def test_slow_link_knobs_validated(self):
+        with pytest.raises(ValueError, match="slow_link_fraction"):
+            FaultPlan(slow_link_fraction=1.5)
+        with pytest.raises(ValueError, match="slow_link_fraction"):
+            FaultPlan(slow_link_fraction=-0.1)
+        with pytest.raises(ValueError, match="slow_link_ms"):
+            FaultPlan(slow_link_fraction=0.5, slow_link_ms=-1.0)
 
 
 class TestCompactSpec:
@@ -87,6 +105,47 @@ class TestCompactSpec:
         plan = FaultPlan.parse("skew=0.05")
         assert plan.skew_fraction == 0.05
         assert plan.skew_s == 120.0  # default magnitude
+
+    def test_partition_full_form(self):
+        plan = FaultPlan.parse("partition_shard=1@10:0.5")
+        assert plan.partition_shard == 1
+        assert plan.partition_at_entry == 10
+        assert plan.partition_secs == 0.5
+
+    def test_partition_shard_only_uses_defaults(self):
+        plan = FaultPlan.parse("partition_shard=2")
+        assert plan.partition_shard == 2
+        assert plan.partition_at_entry == 1
+        assert plan.partition_secs == 2.0
+
+    def test_partition_without_secs(self):
+        plan = FaultPlan.parse("partition_shard=0@25")
+        assert plan.partition_shard == 0
+        assert plan.partition_at_entry == 25
+        assert plan.partition_secs == 2.0
+
+    def test_slow_link_full_form(self):
+        plan = FaultPlan.parse("slow_link=0.25:2")
+        assert plan.slow_link_fraction == 0.25
+        assert plan.slow_link_ms == 2.0
+
+    def test_slow_link_fraction_only(self):
+        plan = FaultPlan.parse("slow_link=0.5")
+        assert plan.slow_link_fraction == 0.5
+        assert plan.slow_link_ms == 5.0  # default magnitude
+
+    def test_partition_and_slow_link_compose_with_others(self):
+        plan = FaultPlan.parse(
+            "partition_shard=1@10:0.5,slow_link=0.25:2,corrupt=0.01,seed=9"
+        )
+        assert plan.partition_shard == 1
+        assert plan.slow_link_fraction == 0.25
+        assert plan.corrupt_fraction == 0.01
+        assert plan.seed == 9
+
+    def test_bad_partition_value_rejected(self):
+        with pytest.raises(ValueError, match="partition_shard"):
+            FaultPlan.parse("partition_shard=one@10:0.5")
 
     def test_unknown_key_rejected(self):
         with pytest.raises(ValueError, match="unknown fault spec key"):
@@ -137,3 +196,10 @@ class TestDescribe:
         text = FaultPlan.parse("corrupt=0.02,kill_shard=1@100,kill_times=3").describe()
         assert "corrupt=0.02" in text
         assert "kill shard 1@100 x3" in text
+
+    def test_describe_partition_and_slow_link(self):
+        text = FaultPlan.parse(
+            "partition_shard=1@10:0.5,slow_link=0.25:2"
+        ).describe()
+        assert "partition shard 1@10 for 0.5s" in text
+        assert "slow_link=0.25:2ms" in text

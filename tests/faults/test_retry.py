@@ -94,3 +94,105 @@ class TestRetryWithBackoff:
             )
             == 42
         )
+
+
+class TestTotalDeadline:
+    """max_elapsed_s caps wall-clock across attempts AND backoff."""
+
+    @staticmethod
+    def _fake_time():
+        """An injectable clock advanced by the injectable sleep."""
+        now = [0.0]
+
+        def clock():
+            return now[0]
+
+        def sleep(seconds):
+            now[0] += seconds
+
+        return now, clock, sleep
+
+    def test_deadline_exhaustion_reraises_despite_attempt_budget(self):
+        now, clock, sleep = self._fake_time()
+        flaky = _Flaky(100)
+        with pytest.raises(OSError):
+            retry_with_backoff(
+                flaky,
+                retries=1_000_000,  # the attempt budget is NOT the bound
+                base_delay_s=0.1,
+                factor=1.0,
+                max_elapsed_s=1.0,
+                sleep=sleep,
+                clock=clock,
+            )
+        # 0.1s per retry, 1.0s budget: ~11 calls, nowhere near 1e6.
+        assert flaky.calls < 20
+        assert now[0] <= 1.2
+
+    def test_sleep_clamped_to_remaining_budget(self):
+        """The last backoff never overshoots the deadline."""
+        now, clock, sleep = self._fake_time()
+        sleeps = []
+
+        def recording_sleep(seconds):
+            sleeps.append(seconds)
+            sleep(seconds)
+
+        with pytest.raises(OSError):
+            retry_with_backoff(
+                _Flaky(100),
+                retries=100,
+                base_delay_s=0.4,
+                factor=2.0,
+                max_delay_s=10.0,
+                max_elapsed_s=1.0,
+                sleep=recording_sleep,
+                clock=clock,
+            )
+        assert sum(sleeps) <= 1.0
+        # schedule would be 0.4, 0.8, ... — the second is clamped to
+        # the 0.6s remaining instead of overshooting
+        assert sleeps == [0.4, pytest.approx(0.6)]
+
+    def test_success_within_deadline_passes_through(self):
+        now, clock, sleep = self._fake_time()
+        flaky = _Flaky(2)
+        assert (
+            retry_with_backoff(
+                flaky,
+                retries=5,
+                base_delay_s=0.1,
+                max_elapsed_s=10.0,
+                sleep=sleep,
+                clock=clock,
+            )
+            == 42
+        )
+        assert flaky.calls == 3
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="max_elapsed_s"):
+            retry_with_backoff(lambda: 1, max_elapsed_s=0.0)
+
+    def test_deterministic_no_jitter(self):
+        """Two identical runs sleep the identical schedule."""
+        schedules = []
+        for _ in range(2):
+            now, clock, sleep = self._fake_time()
+            sleeps = []
+
+            def recording_sleep(seconds, sleeps=sleeps, sleep=sleep):
+                sleeps.append(seconds)
+                sleep(seconds)
+
+            with pytest.raises(OSError):
+                retry_with_backoff(
+                    _Flaky(100),
+                    retries=50,
+                    base_delay_s=0.05,
+                    max_elapsed_s=0.5,
+                    sleep=recording_sleep,
+                    clock=clock,
+                )
+            schedules.append(sleeps)
+        assert schedules[0] == schedules[1]

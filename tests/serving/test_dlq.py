@@ -42,6 +42,26 @@ class TestDeadLetterQueue:
         dlq.put(make_entry(), "malformed", shard=0)
         assert dlq.by_reason == {"malformed": 2, "non_monotonic": 1}
 
+    def test_stats_rollup(self):
+        """stats() answers "why are records dropping" in one call:
+        totals plus per-reason counts, no snapshot depth noise."""
+        dlq = DeadLetterQueue(capacity=2)
+        dlq.put(make_entry(), "partitioned", shard=1)
+        dlq.put(make_entry(), "partitioned", shard=1)
+        dlq.put(make_entry(), "malformed", shard=0)
+        assert dlq.stats() == {
+            "quarantined": 3,
+            "evicted": 1,
+            "by_reason": {"partitioned": 2, "malformed": 1},
+        }
+
+    def test_stats_is_a_copy(self):
+        dlq = DeadLetterQueue()
+        dlq.put(make_entry(), "partitioned", shard=0)
+        stats = dlq.stats()
+        stats["by_reason"]["partitioned"] = 99
+        assert dlq.stats()["by_reason"] == {"partitioned": 1}
+
     def test_snapshot_shape(self):
         dlq = DeadLetterQueue(capacity=8)
         dlq.put(make_entry(), "circuit_open", shard=3)

@@ -1,0 +1,228 @@
+"""Socket frame protocol tests: round-trips, corruption, hostile input.
+
+The framing layer is the only thing standing between the unpickler and
+arbitrary network bytes, so the properties here are adversarial:
+whatever message round-trips must round-trip bit-identically, and
+*every* malformed byte string must raise a typed :class:`FrameError`
+subclass — truncation is retryable (:class:`FrameClosed`), garbage is
+terminal (:class:`FrameCorrupted` / :class:`FrameTooLarge`) — without
+ever feeding junk into ``pickle.loads`` or wedging the reader.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import zlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_MAGIC,
+    FRAME_VERSION,
+    HEADER_LEN,
+    FrameClosed,
+    FrameCorrupted,
+    FrameStream,
+    FrameTooLarge,
+    decode_frame,
+    encode_frame,
+)
+
+_HEADER = struct.Struct(">2sBBII")
+
+
+# Messages shaped like the real shard vocabulary: a kind string plus a
+# picklable body of nested primitives.
+_bodies = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False)
+    | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda inner: st.lists(inner, max_size=4)
+    | st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    max_leaves=12,
+)
+_messages = st.tuples(
+    st.sampled_from(["hello", "entries", "out", "hb", "drain", "dying"]),
+    _bodies,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(_messages)
+    def test_encode_decode_round_trip(self, message):
+        frame = encode_frame(message)
+        decoded, consumed = decode_frame(frame)
+        assert decoded == message
+        assert consumed == len(frame)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_messages, _messages)
+    def test_concatenated_frames_decode_in_order(self, first, second):
+        data = encode_frame(first) + encode_frame(second)
+        decoded_first, consumed = decode_frame(data)
+        decoded_second, rest = decode_frame(data[consumed:])
+        assert decoded_first == first
+        assert decoded_second == second
+        assert consumed + rest == len(data)
+
+
+class TestTruncation:
+    @settings(max_examples=50, deadline=None)
+    @given(_messages, st.data())
+    def test_every_proper_prefix_raises_frame_closed(self, message, data):
+        """Truncation at any byte is retryable, never corruption."""
+        frame = encode_frame(message)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1))
+        with pytest.raises(FrameClosed):
+            decode_frame(frame[:cut])
+
+
+class TestCorruption:
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(("hb", None)))
+        frame[0:2] = b"GE"  # a stray HTTP GET
+        with pytest.raises(FrameCorrupted, match="magic"):
+            decode_frame(bytes(frame))
+
+    def test_unsupported_version_rejected(self):
+        frame = bytearray(encode_frame(("hb", None)))
+        frame[2] = FRAME_VERSION + 1
+        with pytest.raises(FrameCorrupted, match="version"):
+            decode_frame(bytes(frame))
+
+    @settings(max_examples=50, deadline=None)
+    @given(_messages, st.data())
+    def test_payload_bit_flip_fails_crc(self, message, data):
+        frame = bytearray(encode_frame(message))
+        index = data.draw(
+            st.integers(min_value=HEADER_LEN, max_value=len(frame) - 1)
+        )
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        frame[index] ^= 1 << bit
+        with pytest.raises(FrameCorrupted, match="CRC"):
+            decode_frame(bytes(frame))
+
+    def test_hostile_length_prefix_rejected_before_allocation(self):
+        """A 4 GiB length claim is refused from the header alone —
+        no waiting for (or allocating) the claimed payload."""
+        header = _HEADER.pack(FRAME_MAGIC, FRAME_VERSION, 0, 2**32 - 1, 0)
+        with pytest.raises(FrameTooLarge):
+            decode_frame(header)
+
+    def test_oversized_payload_refused_at_encode_time(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame(("entries", b"x" * 1024), max_frame_bytes=64)
+
+    def test_undecodable_payload_is_corrupted_not_crash(self):
+        payload = b"\x80\x05not-a-pickle"
+        header = _HEADER.pack(
+            FRAME_MAGIC, FRAME_VERSION, 0, len(payload), zlib.crc32(payload)
+        )
+        stream = _stream_pair()[0]
+        stream._recv_buf = header + payload
+        with pytest.raises(FrameCorrupted):
+            stream._try_decode_buffered()
+
+
+def _stream_pair():
+    left, right = socket.socketpair()
+    return FrameStream(left), FrameStream(right)
+
+
+class TestFrameStream:
+    def test_send_recv_over_socketpair(self):
+        a, b = _stream_pair()
+        try:
+            a.send("hello", {"shard": 3, "resume": False})
+            kind, body = b.recv(timeout=5.0)
+            assert kind == "hello"
+            assert body == {"shard": 3, "resume": False}
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_timeout_returns_none(self):
+        a, b = _stream_pair()
+        try:
+            assert b.recv(timeout=0.05) is None
+        finally:
+            a.close()
+            b.close()
+
+    def test_peer_close_raises_frame_closed(self):
+        a, b = _stream_pair()
+        try:
+            a.close()
+            with pytest.raises(FrameClosed):
+                b.recv(timeout=5.0)
+        finally:
+            b.close()
+
+    def test_byte_dribble_reassembles_frames(self):
+        """Frames split across arbitrary TCP segment boundaries still
+        decode whole — the buffered reader waits for completion."""
+        left, right = socket.socketpair()
+        stream = FrameStream(right)
+        frame = encode_frame(("entries", {"base_seq": 7, "entries": [1, 2]}))
+        frame += encode_frame(("hb", {"recv_seq": 9}))
+
+        def dribble():
+            for i in range(0, len(frame), 3):
+                left.sendall(frame[i : i + 3])
+            left.close()
+
+        writer = threading.Thread(target=dribble, daemon=True)
+        writer.start()
+        try:
+            first = stream.recv(timeout=5.0)
+            while first is None:
+                first = stream.recv(timeout=5.0)
+            second = stream.recv(timeout=5.0)
+            while second is None:
+                second = stream.recv(timeout=5.0)
+            assert first == ("entries", {"base_seq": 7, "entries": [1, 2]})
+            assert second == ("hb", {"recv_seq": 9})
+            writer.join(timeout=5.0)
+        finally:
+            stream.close()
+
+    def test_corrupt_frame_does_not_wedge_reader(self):
+        """A garbage frame raises on the reader, and the stream stays
+        usable as an object (close is clean) — no hang, no partial
+        consume loop."""
+        left, right = socket.socketpair()
+        stream = FrameStream(right)
+        bad = bytearray(encode_frame(("out", [1, 2, 3])))
+        bad[HEADER_LEN] ^= 0xFF
+        left.sendall(bytes(bad))
+        try:
+            with pytest.raises(FrameCorrupted):
+                while True:
+                    if stream.recv(timeout=5.0) is not None:
+                        raise AssertionError("corrupt frame decoded")
+        finally:
+            left.close()
+            stream.close()
+
+    def test_send_on_closed_stream_raises(self):
+        a, b = _stream_pair()
+        b.close()
+        a.close()
+        with pytest.raises(FrameClosed):
+            a.send("hb", {})
+
+    def test_max_frame_bytes_default(self):
+        a, b = _stream_pair()
+        try:
+            assert a.max_frame_bytes == DEFAULT_MAX_FRAME_BYTES
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,332 @@
+"""Socket-backed shard tests: determinism, reconnect, placement modes.
+
+The socket backend must be observationally identical to the thread and
+process backends — and therefore to the serial monitor — with faults
+off, on every placement shape (in-process loopback threads, spawned
+loopback processes, standalone workers connected by address).  On top
+of that it must survive what pipes never face: a dropped connection
+mid-stream.  The reconnect handshake's session-sequence watermark has
+to make that loss-free — no duplicated entries, no lost entries, no
+worker restart — so the diagnosis multiset stays bit-identical even
+when the transport flapped.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import get_registry
+from repro.realtime.monitor import RealTimeMonitor
+from repro.realtime.tracker import OnlineSessionTracker
+from repro.serving import QoEService, run_worker
+from repro.serving.replay import synthetic_trace
+from repro.serving.shard import shard_index
+
+from tests.serving.conftest import alarm_multiset, diagnosis_multiset
+
+
+def _subscriber(session_id):
+    return session_id.rsplit("/online-", 1)[0]
+
+
+def _filtered(diagnoses, excluded):
+    return diagnosis_multiset(
+        d for d in diagnoses if _subscriber(d.session_id) not in excluded
+    )
+
+
+def _provisional_multiset(provisional):
+    return sorted(
+        (
+            p.session_id,
+            p.n_chunks,
+            p.stall_class,
+            p.stall_confidence,
+            p.representation_class,
+            p.representation_confidence,
+        )
+        for p in provisional
+    )
+
+
+def _counter_total(name):
+    total = 0.0
+    for family in get_registry().collect():
+        if family.name == name:
+            for _labels, child in family.samples():
+                total += child.value
+    return total
+
+
+@pytest.fixture(scope="module")
+def serial(serving_framework, serving_trace):
+    monitor = RealTimeMonitor(serving_framework, tracker=OnlineSessionTracker())
+    monitor.feed_many(serving_trace)
+    monitor.drain()
+    return monitor
+
+
+class TestSocketDeterminism:
+    def test_four_inproc_shards_match_serial(
+        self, serving_framework, serving_trace, serial
+    ):
+        entries_before = _counter_total("repro_serving_entries_total")
+        service = QoEService(
+            serving_framework,
+            n_shards=4,
+            shard_backend="socket",
+            placement="inproc:4",
+        )
+        with service:
+            service.submit_many(serving_trace)
+
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+        assert alarm_multiset(service.alarms) == alarm_multiset(serial.alarms)
+
+        health = service.health()
+        assert health["backend"] == "socket"
+        assert health["state"] == "stopped"
+        assert health["restarts"] == 0
+        assert health["router"]["placement"] == "inproc:4"
+        assert all(
+            s["health_state"] == "healthy" for s in health["shards"]
+        )
+        # In-process workers share the parent registry directly, so the
+        # per-entry counters must land exactly once — not twice via a
+        # redundant registry-delta fold.
+        assert _counter_total(
+            "repro_serving_entries_total"
+        ) - entries_before == len(serving_trace)
+
+    def test_single_socket_shard_matches_serial(
+        self, serving_framework, serving_trace, serial
+    ):
+        """n_shards=1 removes partitioning: a mismatch here is wire
+        protocol loss, not routing."""
+        service = QoEService(
+            serving_framework,
+            n_shards=1,
+            shard_backend="socket",
+            placement="inproc:1",
+        )
+        with service:
+            service.submit_many(serving_trace)
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+
+    def test_early_provisional_match_serial_over_socket(
+        self, serving_framework, serving_trace
+    ):
+        from repro.online import EarlyPredictor
+
+        reference = RealTimeMonitor(
+            serving_framework,
+            tracker=OnlineSessionTracker(),
+            early=EarlyPredictor(serving_framework, after_chunks=4),
+        )
+        reference.feed_many(serving_trace)
+        reference.drain()
+
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            shard_backend="socket",
+            placement="inproc:2",
+            early_after_chunks=4,
+        )
+        with service:
+            service.submit_many(serving_trace)
+        assert _provisional_multiset(service.provisional) == (
+            _provisional_multiset(reference.provisional)
+        )
+
+
+class TestSpawnedPlacement:
+    def test_local_processes_match_serial_and_fold_registries(
+        self, serving_framework, serving_trace, serial
+    ):
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            shard_backend="socket",
+            placement="local:2",
+        )
+        with service:
+            service.submit_many(serving_trace)
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+        health = service.health()
+        assert health["router"]["placement"] == "local:2"
+        folds = health["router"]["registry_folds"]
+        assert folds["errors"] == 0
+        assert folds["folds"] >= 2  # at least the final per-shard delta
+
+    def test_killed_spawned_worker_restarts_and_untouched_identical(
+        self, serving_framework
+    ):
+        trace = synthetic_trace(40, seed=17, subscribers=20)
+        victim = shard_index(trace[0].subscriber_id, 2)
+        plan = FaultPlan(
+            seed=23, kill_shard=victim, kill_at_entry=25, kill_times=1
+        )
+        faults = FaultInjector(plan)
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            shard_backend="socket",
+            placement="local:2",
+            faults=faults,
+        )
+        with service:
+            service.submit_many(trace)
+        health = service.health()
+
+        assert faults.kills_fired == 1
+        assert health["restarts"] >= 1
+        assert health["shards"][victim]["restarts"] >= 1
+        assert not service.degraded
+        assert service.supervisor.open_circuits == []
+
+        affected = faults.affected_subscribers
+        assert affected
+        assert len(affected) < 20
+
+        reference = RealTimeMonitor(
+            serving_framework, tracker=OnlineSessionTracker()
+        )
+        reference.feed_many(trace)
+        reference.drain()
+        untouched_serial = _filtered(reference.diagnoses, affected)
+        assert untouched_serial
+        assert _filtered(service.diagnoses, affected) == untouched_serial
+
+
+class TestReconnectResume:
+    def test_dropped_connection_resumes_at_watermark(
+        self, serving_framework, serving_trace, serial
+    ):
+        """Sever shard 0's socket mid-stream: the parent reconnects,
+        the resume handshake replays only the unacknowledged suffix,
+        and the final multiset is bit-identical — zero restarts, so the
+        worker-side tracker state provably survived the flap."""
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            shard_backend="socket",
+            placement="inproc:2",
+        )
+        with service:
+            for i, entry in enumerate(serving_trace):
+                service.submit(entry)
+                if i == len(serving_trace) // 2:
+                    service.router.shards[0].drop_connection_for_test()
+
+        shard0 = service.router.shards[0]
+        assert shard0.reconnects >= 1
+        assert shard0.restarts == 0
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+        assert alarm_multiset(service.alarms) == alarm_multiset(serial.alarms)
+
+    def test_repeated_drops_still_lossless(
+        self, serving_framework, serving_trace, serial
+    ):
+        service = QoEService(
+            serving_framework,
+            n_shards=2,
+            shard_backend="socket",
+            placement="inproc:2",
+        )
+        drop_points = {len(serving_trace) // 4, len(serving_trace) // 2,
+                       3 * len(serving_trace) // 4}
+        with service:
+            for i, entry in enumerate(serving_trace):
+                service.submit(entry)
+                if i in drop_points:
+                    for shard in service.router.shards:
+                        shard.drop_connection_for_test()
+        # Drops landing before the previous reconnect completes
+        # coalesce into one recovery, so the floor is conservative.
+        assert sum(s.reconnects for s in service.router.shards) >= 2
+        assert all(s.restarts == 0 for s in service.router.shards)
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+
+
+class TestStandaloneWorker:
+    def test_remote_placement_against_standalone_worker(
+        self, serving_framework, serving_trace, serial
+    ):
+        """A worker started the way the CLI starts one — no config, no
+        model; everything arrives in the hello — serves a remote
+        placement bit-identically."""
+        ports = []
+        ready = threading.Event()
+
+        def on_port(port):
+            ports.append(port)
+            ready.set()
+
+        worker = threading.Thread(
+            target=run_worker,
+            kwargs={
+                "host": "127.0.0.1",
+                "port": 0,
+                "config": None,
+                "on_port": on_port,
+            },
+            daemon=True,
+        )
+        worker.start()
+        assert ready.wait(timeout=10.0), "standalone worker never bound"
+
+        service = QoEService(
+            serving_framework,
+            n_shards=1,
+            shard_backend="socket",
+            placement=f"0=127.0.0.1:{ports[0]}",
+        )
+        with service:
+            service.submit_many(serving_trace)
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+        assert service.health()["router"]["placement"] == (
+            f"0=127.0.0.1:{ports[0]}"
+        )
+        worker.join(timeout=10.0)
+        assert not worker.is_alive(), "worker should exit after drain"
+
+
+class TestPlacementValidation:
+    def test_placement_requires_socket_backend(self, serving_framework):
+        with pytest.raises(ValueError, match="socket"):
+            QoEService(
+                serving_framework, n_shards=2, shard_backend="thread",
+                placement="inproc:2",
+            )
+
+    def test_placement_count_must_match_shards(self, serving_framework):
+        with pytest.raises(ValueError, match="names 4 shards"):
+            QoEService(
+                serving_framework, n_shards=2, shard_backend="socket",
+                placement="inproc:4",
+            )
+
+    def test_socket_backend_defaults_to_local_placement(
+        self, serving_framework
+    ):
+        service = QoEService(
+            serving_framework, n_shards=2, shard_backend="socket"
+        )
+        assert service.router.placement.describe() == "local:2"

@@ -1,0 +1,86 @@
+"""Shard placement spec parsing: the three shapes and their validation.
+
+The placement grammar is the deployment interface (`--placement` on
+the CLI), so the error cases matter as much as the happy paths — a
+typo'd spec must fail loudly at parse time, not strand a shard index
+with no worker at runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.placement import ShardPlacement
+
+
+class TestSelfLaunchingModes:
+    @pytest.mark.parametrize("mode", ["local", "inproc"])
+    def test_parse_mode_count(self, mode):
+        placement = ShardPlacement.parse(f"{mode}:3")
+        assert placement.mode == mode
+        assert placement.n_shards == 3
+        assert placement.addresses == {}
+
+    @pytest.mark.parametrize("mode", ["local", "inproc"])
+    def test_describe_round_trips(self, mode):
+        spec = f"{mode}:5"
+        assert ShardPlacement.parse(spec).describe() == spec
+
+    def test_count_cross_check(self):
+        assert ShardPlacement.parse("local:4", n_shards=4).n_shards == 4
+        with pytest.raises(ValueError, match="names 4 shards"):
+            ShardPlacement.parse("local:4", n_shards=2)
+
+    @pytest.mark.parametrize("spec", ["local:0", "inproc:-1"])
+    def test_at_least_one_shard(self, spec):
+        with pytest.raises(ValueError, match="at least 1"):
+            ShardPlacement.parse(spec)
+
+    @pytest.mark.parametrize("spec", ["local:", "local:x", "inproc:2.5"])
+    def test_bad_count_token(self, spec):
+        with pytest.raises(ValueError, match="expected"):
+            ShardPlacement.parse(spec)
+
+
+class TestRemoteMaps:
+    def test_parse_address_map(self):
+        placement = ShardPlacement.parse("0=hosta:7000,1=hostb:7001")
+        assert placement.mode == "remote"
+        assert placement.n_shards == 2
+        assert placement.addresses == {
+            0: ("hosta", 7000),
+            1: ("hostb", 7001),
+        }
+
+    def test_describe_round_trips_sorted(self):
+        spec = "0=a:1,1=b:2,2=c:3"
+        placement = ShardPlacement.parse("2=c:3,0=a:1,1=b:2")
+        assert placement.describe() == spec
+
+    def test_ipv6ish_host_uses_last_colon(self):
+        placement = ShardPlacement.parse("0=fe80::1:7000")
+        assert placement.addresses[0] == ("fe80::1", 7000)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["0=host", "0=:7000", "zero=host:7000", "0=host:port", "0"],
+    )
+    def test_bad_token_shapes(self, spec):
+        with pytest.raises(ValueError, match="expected IDX=HOST:PORT|names no shards"):
+            ShardPlacement.parse(spec)
+
+    def test_duplicate_index_rejected(self):
+        with pytest.raises(ValueError, match="duplicate shard index 0"):
+            ShardPlacement.parse("0=a:1,0=b:2")
+
+    def test_gap_in_indices_rejected(self):
+        with pytest.raises(ValueError, match="cover shard indices"):
+            ShardPlacement.parse("0=a:1,2=c:3")
+
+    def test_map_size_cross_checked_against_service(self):
+        with pytest.raises(ValueError, match="names 2 shards"):
+            ShardPlacement.parse("0=a:1,1=b:2", n_shards=3)
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty placement"):
+            ShardPlacement.parse("   ")

@@ -218,8 +218,9 @@ class TestDrainUnderFailure:
 
 class TestHeartbeat:
     def test_stalled_worker_flagged_and_recovers(self, serving_framework):
-        """A live worker whose heartbeat goes stale is flagged degraded,
-        and the flag clears when the heartbeat catches up (the clock is
+        """A live worker whose heartbeat goes stale is flagged degraded
+        after the enter hysteresis, and the flag clears after the exit
+        hysteresis once the heartbeat catches up (the clock is
         injected: no real wedged thread needed)."""
         shard = _single_shard(serving_framework, name="t-stall")
         dlq = DeadLetterQueue()
@@ -228,20 +229,117 @@ class TestHeartbeat:
             [shard],
             dlq,
             heartbeat_timeout_s=5.0,
+            partition_enter_ticks=3,
+            partition_exit_ticks=2,
             clock=lambda: time.monotonic() + offset[0],
         )
         shard.start()
         try:
             supervisor._tick()
             assert supervisor.stalled_shards == []
+            assert supervisor.shard_state(0) == "healthy"
             offset[0] = 100.0  # heartbeat now looks 100 s stale
+            # Two stale polls are still within hysteresis...
             supervisor._tick()
-            assert supervisor.stalled_shards == [0]
-            assert supervisor.degraded
-            offset[0] = 0.0
             supervisor._tick()
             assert supervisor.stalled_shards == []
             assert not supervisor.degraded
+            # ...the third declares the partition.
+            supervisor._tick()
+            assert supervisor.stalled_shards == [0]
+            assert supervisor.degraded
+            assert supervisor.shard_state(0) == "partitioned"
+            offset[0] = 0.0
+            # One fresh poll is not yet recovery...
+            supervisor._tick()
+            assert supervisor.stalled_shards == [0]
+            # ...the second is.
+            supervisor._tick()
+            assert supervisor.stalled_shards == []
+            assert not supervisor.degraded
+            assert supervisor.shard_state(0) == "healthy"
         finally:
             shard.queue.close()
             shard.join(timeout=30.0)
+
+    def test_single_stale_poll_does_not_flap(self, serving_framework):
+        """One delayed heartbeat (a GC pause, a long batch) must not
+        enter the partition machinery at all."""
+        shard = _single_shard(serving_framework, name="t-flap")
+        offset = [0.0]
+        supervisor = ShardSupervisor(
+            [shard],
+            DeadLetterQueue(),
+            heartbeat_timeout_s=5.0,
+            partition_enter_ticks=3,
+            partition_exit_ticks=2,
+            clock=lambda: time.monotonic() + offset[0],
+        )
+        shard.start()
+        try:
+            for _round in range(4):
+                offset[0] = 100.0
+                supervisor._tick()  # one stale poll per round
+                offset[0] = 0.0
+                supervisor._tick()  # fresh again: counter resets
+            assert supervisor.stalled_shards == []
+            assert supervisor.shard_state(0) == "healthy"
+        finally:
+            shard.queue.close()
+            shard.join(timeout=30.0)
+
+    def test_dead_transport_is_not_a_partition(self, serving_framework):
+        """Stale heartbeat + dead connection means a reconnect is in
+        flight — the shard must NOT be classified partitioned (that
+        would shed its backlog while the resume handshake is about to
+        re-deliver it)."""
+        shard = _single_shard(serving_framework, name="t-conn")
+        shard.connection_alive = False  # duck-typed transport signal
+        offset = [0.0]
+        supervisor = ShardSupervisor(
+            [shard],
+            DeadLetterQueue(),
+            heartbeat_timeout_s=5.0,
+            partition_enter_ticks=1,
+            clock=lambda: time.monotonic() + offset[0],
+        )
+        shard.start()
+        try:
+            offset[0] = 100.0
+            for _ in range(5):
+                supervisor._tick()
+            assert supervisor.stalled_shards == []
+            assert supervisor.shard_state(0) == "healthy"
+        finally:
+            shard.queue.close()
+            shard.join(timeout=30.0)
+
+    def test_hysteresis_ticks_validated(self, serving_framework):
+        with pytest.raises(ValueError, match="hysteresis"):
+            ShardSupervisor(
+                [], DeadLetterQueue(), partition_enter_ticks=0
+            )
+        with pytest.raises(ValueError, match="hysteresis"):
+            ShardSupervisor(
+                [], DeadLetterQueue(), partition_exit_ticks=0
+            )
+
+
+class TestTypedStates:
+    def test_circuit_open_classifies_dead(self, serving_framework, serving_trace):
+        faults = FaultInjector(
+            FaultPlan(kill_shard=0, kill_at_entry=1, kill_times=100)
+        )
+        dlq = DeadLetterQueue()
+        shard = _single_shard(serving_framework, faults, name="t-dead")
+        supervisor = ShardSupervisor(
+            [shard], dlq, max_restarts=1, backoff_base_s=0.005
+        )
+        shard.start()
+        supervisor.start()
+        for entry in serving_trace:
+            shard.queue.put(entry)
+        assert _wait_for(lambda: supervisor.circuit_open(0))
+        supervisor.stop()
+        assert supervisor.shard_state(0) == "dead"
+        assert supervisor.shard_states == {0: "dead"}
