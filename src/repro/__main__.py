@@ -40,11 +40,16 @@ Commands
     or ``0=host:port,...`` for standalone workers).
 ``netshard-worker``
     Run one standalone socket shard worker: ``python -m repro
-    netshard-worker --listen 0.0.0.0:7000``.  The connecting service
-    ships the model and shard config in its ``hello``, so the worker
-    needs no local model file; it serves one parent at a time,
-    survives reconnects with its shard state intact, and exits 0
-    after a clean drain.
+    netshard-worker --listen 0.0.0.0:7000 --auth-key-file shard.key``.
+    Every connection must pass an HMAC challenge over the shared key
+    before a single frame is read (frames are pickles — an
+    unauthenticated reachable port would hand out remote code
+    execution), so a non-loopback ``--listen`` requires a key unless
+    ``--allow-unauthenticated`` explicitly accepts the risk.  The
+    connecting service ships the model and shard config in its
+    ``hello``, so the worker needs no local model file; it serves one
+    parent at a time, survives reconnects with its shard state
+    intact, and exits 0 after a clean drain.
 ``list``
     List the experiment ids.
 """
@@ -241,6 +246,12 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         early_after_chunks=args.early_after_chunks,
         early_confidence=args.early_confidence,
         placement=args.placement,
+        socket_opts=(
+            {"auth_key": _read_auth_key(args.auth_key_file)}
+            if args.shard_backend == "socket"
+            and (args.auth_key_file or _read_auth_key(None))
+            else None
+        ),
     )
     with _maybe_metrics_server(args.metrics_port, log, health=service.health):
         service.start()
@@ -362,6 +373,21 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_auth_key(key_file) -> bytes:
+    """Auth key from ``--auth-key-file`` or ``REPRO_NETSHARD_AUTHKEY``."""
+    import os
+
+    if key_file is not None:
+        with open(key_file, "rb") as fh:
+            return fh.read().strip()
+    env = os.environ.get("REPRO_NETSHARD_AUTHKEY", "")
+    return env.encode("utf-8")
+
+
+def _is_loopback_host(host: str) -> bool:
+    return host in ("localhost", "::1") or host.startswith("127.")
+
+
 def _cmd_netshard_worker(args: argparse.Namespace) -> int:
     from repro.obs import configure_logging, get_logger
     from repro.serving import run_worker
@@ -382,7 +408,33 @@ def _cmd_netshard_worker(args: argparse.Namespace) -> int:
         print(f"error: bad port in --listen {args.listen!r}", file=sys.stderr)
         return 2
 
-    log.info("netshard_worker_starting", host=host, port=port_no)
+    auth_key = _read_auth_key(args.auth_key_file)
+    if not auth_key and not _is_loopback_host(host):
+        # Frames are pickles: an unauthenticated reachable worker port
+        # is arbitrary code execution for anyone who can connect.
+        if not args.allow_unauthenticated:
+            print(
+                "error: refusing to listen on a non-loopback address "
+                "without an auth key (frames are pickles; an open port "
+                "means remote code execution). Pass --auth-key-file / "
+                "set REPRO_NETSHARD_AUTHKEY, or accept the risk on a "
+                "trusted network with --allow-unauthenticated.",
+                file=sys.stderr,
+            )
+            return 2
+        log.warning(
+            "netshard_worker_unauthenticated",
+            host=host,
+            detail="no auth key; any peer that can reach this port "
+            "gets code execution — trusted networks only",
+        )
+
+    log.info(
+        "netshard_worker_starting",
+        host=host,
+        port=port_no,
+        authenticated=bool(auth_key),
+    )
     kwargs = {}
     if args.max_frame_bytes is not None:
         kwargs["max_frame_bytes"] = args.max_frame_bytes
@@ -393,6 +445,7 @@ def _cmd_netshard_worker(args: argparse.Namespace) -> int:
         on_port=lambda bound: print(
             f"netshard worker listening on {host}:{bound}", file=sys.stderr
         ),
+        auth_key=auth_key,
         **kwargs,
     )
 
@@ -525,6 +578,17 @@ def main(argv=None) -> int:
             "(in-process threads over loopback), or "
             "'0=host:port,1=host:port,...' for standalone "
             "netshard-worker processes"
+        ),
+    )
+    serve.add_argument(
+        "--auth-key-file",
+        default=None,
+        metavar="FILE",
+        help=(
+            "shared HMAC secret for standalone-worker placements — must "
+            "match the workers' --auth-key-file (REPRO_NETSHARD_AUTHKEY "
+            "is the env fallback); spawned/in-process placements "
+            "generate their own keys automatically"
         ),
     )
     serve.add_argument(
@@ -671,6 +735,25 @@ def main(argv=None) -> int:
         default=None,
         metavar="N",
         help="reject frames larger than N bytes (default: 64 MiB)",
+    )
+    worker.add_argument(
+        "--auth-key-file",
+        default=None,
+        metavar="FILE",
+        help=(
+            "file holding the shared HMAC secret every connection must "
+            "prove before any frame is read (REPRO_NETSHARD_AUTHKEY is "
+            "the env fallback); required for non-loopback --listen"
+        ),
+    )
+    worker.add_argument(
+        "--allow-unauthenticated",
+        action="store_true",
+        help=(
+            "listen on a non-loopback address without an auth key "
+            "(DANGEROUS: frames are pickles, so any peer that can reach "
+            "the port gets code execution; trusted networks only)"
+        ),
     )
     worker.add_argument(
         "--log-level",

@@ -75,6 +75,7 @@ chaos plan never touched diagnose bit-identically to a fault-free run.
 from .batcher import MicroBatcher
 from .dlq import DeadLetter, DeadLetterQueue
 from .framing import (
+    FrameAuthFailed,
     FrameClosed,
     FrameCorrupted,
     FrameError,
@@ -113,6 +114,7 @@ __all__ = [
     "RegistryFolder",
     "ShardProcessDied",
     "FrameError",
+    "FrameAuthFailed",
     "FrameClosed",
     "FrameCorrupted",
     "FrameTooLarge",

@@ -31,15 +31,38 @@ instead of wedging the reader.
 :class:`FrameStream` wraps a connected socket with per-message read
 timeouts (``recv(timeout=...)`` returns ``None`` on timeout, it never
 blocks forever) and a send lock so heartbeat, resend and data-plane
-writers may share one connection.
+writers may share one connection.  Read deadlines are implemented
+with ``select`` — never ``settimeout`` — so a sender and a receiver
+thread sharing the socket cannot clobber each other's timeout
+mid-syscall (the socket's timeout is fixed to the send ceiling once,
+at construction).
+
+**Trust boundary.**  The payload is a pickle, and ``pickle.loads`` on
+attacker-controlled bytes is arbitrary code execution — CRC32 is an
+integrity check against line noise, not an authenticity check against
+a hostile peer.  Both ends therefore run an HMAC-SHA256
+challenge/response (:func:`deliver_challenge` /
+:func:`answer_challenge`, the same shape as
+``multiprocessing.connection``'s authkey handshake) over a shared
+secret *before a single frame is read*: the listener proves the
+dialer holds the key before unpickling anything, and the dialer
+proves the listener does before shipping it a model.  An empty key
+degrades to an unauthenticated handshake and is only acceptable on a
+loopback or otherwise-trusted link — never expose a worker port with
+an empty key on a network where untrusted hosts can reach it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import os
 import pickle
+import select
 import socket
 import struct
 import threading
+import time
 import zlib
 from typing import Any, Optional, Tuple
 
@@ -50,13 +73,18 @@ __all__ = [
     "FRAME_VERSION",
     "HEADER_LEN",
     "DEFAULT_MAX_FRAME_BYTES",
+    "AUTH_CHALLENGE_MAGIC",
+    "AUTH_WELCOME_MAGIC",
     "FrameError",
     "FrameClosed",
     "FrameCorrupted",
     "FrameTooLarge",
+    "FrameAuthFailed",
     "FrameStream",
     "encode_frame",
     "decode_frame",
+    "deliver_challenge",
+    "answer_challenge",
 ]
 
 FRAME_MAGIC = b"RQ"
@@ -95,6 +123,116 @@ class FrameCorrupted(FrameError):
 
 class FrameTooLarge(FrameError):
     """The length prefix exceeds the configured frame bound."""
+
+
+class FrameAuthFailed(FrameError):
+    """The peer failed (or never completed) the authentication handshake."""
+
+
+# ----------------------------------------------------------------------
+# Authentication handshake (before any frame is read)
+# ----------------------------------------------------------------------
+
+AUTH_CHALLENGE_MAGIC = b"RQA1"
+AUTH_WELCOME_MAGIC = b"RQA2"
+_AUTH_NONCE_LEN = 16
+_AUTH_DIGEST_LEN = hashlib.sha256().digest_size
+AUTH_HANDSHAKE_TIMEOUT_S = 5.0
+
+
+def _auth_digest(auth_key: bytes, magic: bytes, nonce: bytes) -> bytes:
+    return hmac.new(auth_key, magic + nonce, hashlib.sha256).digest()
+
+
+def _recv_exact(sock: socket.socket, n: int, deadline: float) -> bytes:
+    """Read exactly ``n`` bytes before ``deadline`` (monotonic seconds).
+
+    Uses ``select`` for the wait so it never touches the socket's
+    timeout; raises :class:`FrameClosed` on EOF and
+    :class:`FrameAuthFailed` when the deadline passes first.
+    """
+    buf = b""
+    while len(buf) < n:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise FrameAuthFailed(
+                f"handshake timed out with {len(buf)} of {n} bytes read"
+            )
+        readable, _, _ = select.select([sock], [], [], remaining)
+        if not readable:
+            continue
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise FrameClosed("peer closed the connection mid-handshake")
+        buf += chunk
+    return buf
+
+
+def deliver_challenge(
+    sock: socket.socket,
+    auth_key: bytes,
+    timeout_s: float = AUTH_HANDSHAKE_TIMEOUT_S,
+) -> None:
+    """Listener side: authenticate the dialer before reading any frame.
+
+    Sends ``RQA1 + nonce``, requires ``HMAC-SHA256(key, RQA1+nonce)``
+    back, then proves key possession to the dialer with
+    ``HMAC-SHA256(key, RQA2+nonce)``.  Raises :class:`FrameAuthFailed`
+    (after recording the rejection) on a bad or missing response —
+    the caller must close the connection, and nothing the peer sent
+    ever reaches the unpickler.
+    """
+    deadline = time.monotonic() + timeout_s
+    nonce = os.urandom(_AUTH_NONCE_LEN)
+    try:
+        sock.sendall(AUTH_CHALLENGE_MAGIC + nonce)
+        response = _recv_exact(sock, _AUTH_DIGEST_LEN, deadline)
+    except OSError as exc:
+        raise FrameClosed(f"handshake transport failed: {exc}") from exc
+    expected = _auth_digest(auth_key, AUTH_CHALLENGE_MAGIC, nonce)
+    if not hmac.compare_digest(response, expected):
+        _FRAME_ERRORS.labels(kind="auth").inc()
+        raise FrameAuthFailed("peer failed the authentication challenge")
+    try:
+        sock.sendall(_auth_digest(auth_key, AUTH_WELCOME_MAGIC, nonce))
+    except OSError as exc:
+        raise FrameClosed(f"handshake transport failed: {exc}") from exc
+
+
+def answer_challenge(
+    sock: socket.socket,
+    auth_key: bytes,
+    timeout_s: float = AUTH_HANDSHAKE_TIMEOUT_S,
+) -> None:
+    """Dialer side: answer the listener's challenge, verify its welcome.
+
+    The welcome check is what makes the handshake *mutual*: the parent
+    ships the model (a pickle the worker executes) inside ``hello``,
+    so it must not talk to a listener that cannot prove it holds the
+    key either.  Raises :class:`FrameAuthFailed` on any mismatch.
+    """
+    deadline = time.monotonic() + timeout_s
+    try:
+        challenge = _recv_exact(
+            sock, len(AUTH_CHALLENGE_MAGIC) + _AUTH_NONCE_LEN, deadline
+        )
+    except OSError as exc:
+        raise FrameClosed(f"handshake transport failed: {exc}") from exc
+    if not challenge.startswith(AUTH_CHALLENGE_MAGIC):
+        _FRAME_ERRORS.labels(kind="auth").inc()
+        raise FrameAuthFailed(
+            f"peer did not open with an auth challenge: {challenge[:4]!r}"
+        )
+    nonce = challenge[len(AUTH_CHALLENGE_MAGIC):]
+    try:
+        sock.sendall(_auth_digest(auth_key, AUTH_CHALLENGE_MAGIC, nonce))
+        welcome = _recv_exact(sock, _AUTH_DIGEST_LEN, deadline)
+    except OSError as exc:
+        raise FrameClosed(f"handshake transport failed: {exc}") from exc
+    expected = _auth_digest(auth_key, AUTH_WELCOME_MAGIC, nonce)
+    if not hmac.compare_digest(welcome, expected):
+        _FRAME_ERRORS.labels(kind="auth").inc()
+        raise FrameAuthFailed("listener failed to prove key possession")
 
 
 def encode_frame(message: Any, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> bytes:
@@ -173,6 +311,15 @@ class FrameStream:
         self._send_lock = threading.Lock()
         self._recv_buf = b""
         self._closed = False
+        # The socket timeout is fixed to the send ceiling once, here,
+        # and never touched again: `send` relies on it, `recv` waits
+        # with select() instead.  Calling settimeout per-operation
+        # from the two threads sharing this socket (parent sender +
+        # receiver) could run sendall under a 0.5 s read timeout
+        # (spurious mid-frame timeout → desynced stream) or leave a
+        # read blocking for the 30 s send ceiling (stale-looking
+        # heartbeats → false partition).
+        sock.settimeout(send_timeout_s)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # not a TCP socket (socketpair in tests)
@@ -202,7 +349,6 @@ class FrameStream:
         with self._send_lock:
             if self._closed:
                 raise FrameClosed("send on a closed frame stream")
-            self._sock.settimeout(self.send_timeout_s)
             self._sock.sendall(frame)
         _FRAMES.labels(direction="sent").inc()
 
@@ -219,14 +365,24 @@ class FrameStream:
                 return message
             if self._closed:
                 raise FrameClosed("recv on a closed frame stream")
-            self._sock.settimeout(timeout)
+            # Wait for readability with select — not settimeout — so
+            # the deadline never races a concurrent sender's use of
+            # the shared socket's timeout (see __init__).
+            try:
+                readable, _, _ = select.select([self._sock], [], [], timeout)
+            except (OSError, ValueError):
+                # The fd went away under us (close() from another
+                # thread mid-wait).
+                raise FrameClosed("recv on a closed frame stream")
+            if not readable:
+                return None
             try:
                 chunk = self._sock.recv(65536)
             except socket.timeout:
+                # Readability then a timeout should not happen; treat
+                # as "nothing arrived" rather than wedging the reader.
                 return None
             except BlockingIOError:
-                # timeout=0 puts the socket in non-blocking mode, where
-                # "nothing ready" surfaces as EAGAIN, not socket.timeout.
                 return None
             if not chunk:
                 _FRAME_ERRORS.labels(kind="closed").inc()

@@ -20,6 +20,13 @@ the pipe protocol's::
                      ("dying",   {error, kills})       then exit
                      ("drained", {health, ...})        then exit
 
+Before any of that vocabulary flows, every connection passes the
+mutual HMAC challenge of :mod:`repro.serving.framing` — frames are
+pickles, so neither side reads a frame from a peer that has not
+proven possession of the shared key, and the worker additionally pins
+the first ``hello``'s token so a reconnect from a *different* parent
+(same key, other service instance) cannot hijack a live session.
+
 The network adds failure modes pipes never exhibit, and the design is
 built around them:
 
@@ -73,6 +80,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import secrets
 import socket
 import threading
 import time
@@ -95,7 +103,13 @@ from repro.realtime.monitor import Alarm, SubscriberHealth
 
 from .batcher import MicroBatcher
 from .dlq import DeadLetterQueue
-from .framing import DEFAULT_MAX_FRAME_BYTES, FrameError, FrameStream
+from .framing import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameError,
+    FrameStream,
+    answer_challenge,
+    deliver_challenge,
+)
 from .models import ModelManager
 from .procshard import _default_start_method, _KillBudget
 from .queue import BoundedQueue, QueueClosed, QueueEmpty, QueueFull
@@ -195,6 +209,13 @@ class SocketOpts:
     #: the quarantinable parent queue instead of growing unbounded).
     max_unacked: int = 2048
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    #: Shared secret for the HMAC handshake to *remote* (standalone)
+    #: workers — must match the worker's ``--auth-key-file`` /
+    #: ``REPRO_NETSHARD_AUTHKEY``.  ``None`` degrades to an empty key
+    #: (unauthenticated): loopback/trusted links only.  Spawned and
+    #: in-process workers ignore this; the parent generates a random
+    #: per-worker key and hands it over out of band at launch.
+    auth_key: Optional[bytes] = None
 
 
 # ----------------------------------------------------------------------
@@ -202,21 +223,51 @@ class SocketOpts:
 # ----------------------------------------------------------------------
 
 
+#: Already-shipped letters retained for a reconnecting parent's rewind.
+#: A rewind can only reach back as far as the letters in flight when
+#: the connection dropped — at most one flush's worth — so a small
+#: retention window keeps the log bounded on a long-lived worker
+#: without ever trimming a letter the parent could still ask for.
+_LETTER_RETAIN = 1024
+
+
 class _LetterLog:
     """Worker-side dead-letter shim with a non-destructive cursor.
 
     Unlike the pipe backend's take()-based shim, letters stay in the
     log so a reconnecting parent can rewind the cursor to what it
-    actually received and get the in-flight letters again.
+    actually received and get the in-flight letters again.  Cursors
+    are *absolute* letter indices; ``base`` is the absolute index of
+    the first retained letter, so confirmed letters can be trimmed
+    (bounded memory on a noisy long-lived worker) without shifting
+    anyone's cursor.
     """
 
     def __init__(self) -> None:
-        self.letters: List[tuple] = []
+        self._letters: List[tuple] = []
+        self.base = 0
+        self.trimmed = 0
+
+    @property
+    def end(self) -> int:
+        """Absolute index one past the newest letter."""
+        return self.base + len(self._letters)
 
     def put(
         self, entry: WeblogEntry, reason: str, shard: int, detail: str = ""
     ) -> None:
-        self.letters.append((entry, reason, detail))
+        self._letters.append((entry, reason, detail))
+
+    def slice(self, lo: int, hi: int) -> List[tuple]:
+        return self._letters[lo - self.base : hi - self.base]
+
+    def trim_to(self, cursor: int) -> None:
+        """Drop letters below absolute index ``cursor`` (clamped)."""
+        drop = min(max(cursor - self.base, 0), len(self._letters))
+        if drop:
+            del self._letters[:drop]
+            self.base += drop
+            self.trimmed += drop
 
 
 class _WorkerState:
@@ -235,6 +286,7 @@ class _WorkerState:
         self.letters = _LetterLog()
         self.kills: Optional[_KillBudget] = None
         self.shard_tel = None
+        self.token: Optional[str] = None
         self.recv_seq = 0
         self.received = 0
         self.incarnation = int(time.monotonic() * 1000) & 0x7FFFFFFF
@@ -298,7 +350,21 @@ class _WorkerState:
         self.sent_diagnoses = int(hello.get("out_diagnoses", 0))
         self.sent_alarms = int(hello.get("out_alarms", 0))
         self.sent_provisional = int(hello.get("out_provisional", 0))
-        self.sent_letters = int(hello.get("out_letters", 0))
+        wanted = int(hello.get("out_letters", 0))
+        if wanted < self.letters.base:
+            # The parent rewound past the retention window — those
+            # letters were trimmed as confirmed-or-aged-out and cannot
+            # be re-delivered.  Loud, accounted, never silent.
+            _LOG.error(
+                "netshard_letters_unrecoverable",
+                wanted=wanted,
+                base=self.letters.base,
+                lost=self.letters.base - wanted,
+            )
+            wanted = self.letters.base
+        self.sent_letters = wanted
+        # Everything below the parent's cursor is confirmed held: free it.
+        self.letters.trim_to(wanted)
         self.sent_entries = -1  # force a fresh counters frame
 
     def flush_outputs(self, stream: FrameStream) -> None:
@@ -306,7 +372,6 @@ class _WorkerState:
         diagnoses = worker.monitor.diagnoses
         alarms = worker.monitor.alarms
         provisional = worker.monitor.provisional
-        letters = self.letters.letters
         # Snapshot each length exactly once: the shard thread appends
         # to these lists concurrently, and a cursor taken from a
         # *re-read* len() after the send would mark items as sent that
@@ -314,7 +379,7 @@ class _WorkerState:
         n_diagnoses = len(diagnoses)
         n_alarms = len(alarms)
         n_provisional = len(provisional)
-        n_letters = len(letters)
+        n_letters = self.letters.end
         n_entries = worker.entries_processed
         if (
             n_diagnoses == self.sent_diagnoses
@@ -328,7 +393,7 @@ class _WorkerState:
             "diagnoses": diagnoses[self.sent_diagnoses:n_diagnoses],
             "alarms": alarms[self.sent_alarms:n_alarms],
             "provisional": provisional[self.sent_provisional:n_provisional],
-            "letters": letters[self.sent_letters:n_letters],
+            "letters": self.letters.slice(self.sent_letters, n_letters),
             "entries_processed": n_entries,
             "quarantined": worker.quarantined,
         }
@@ -340,6 +405,9 @@ class _WorkerState:
         self.sent_provisional = n_provisional
         self.sent_letters = n_letters
         self.sent_entries = n_entries
+        # Keep the log bounded on a long-lived connection: retain a
+        # rewind window of recently shipped letters, trim the rest.
+        self.letters.trim_to(max(self.letters.base, n_letters - _LETTER_RETAIN))
 
     def ship_registry(self, stream: FrameStream) -> None:
         if not self.config.ship_registry:
@@ -357,6 +425,17 @@ def _serve_connection(stream: FrameStream, st: _WorkerState) -> Optional[str]:
     if hello is None or hello[0] != "hello":
         raise FrameError(f"expected hello, got {hello!r}")
     body = hello[1] or {}
+    token = body.get("token")
+    if st.token is None:
+        # First hello pins the session to this parent: a reconnect
+        # must present the same token or it is a different service
+        # trying to hijack a live shard session.
+        st.token = token
+    elif token != st.token:
+        raise FrameError(
+            f"hello token mismatch: session pinned to another parent "
+            f"(got {token!r})"
+        )
     if st.worker is None:
         st.configure(body.get("config") or None)
     if body.get("resume"):
@@ -463,6 +542,7 @@ def run_worker(
     on_port: Optional[Callable[[int], None]] = None,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     in_process: bool = False,
+    auth_key: bytes = b"",
 ) -> int:
     """Listen-and-serve loop of one socket shard worker.
 
@@ -471,6 +551,16 @@ def run_worker(
     reconnect window).  Returns 0 after a clean drain, 3 after a
     worker failure (``dying``) — the caller turns that into an exit
     code or, for in-process workers, just lets the thread end.
+
+    Every accepted connection must pass the HMAC challenge
+    (:func:`~repro.serving.framing.deliver_challenge`) over
+    ``auth_key`` before a single frame — hence before any pickle —
+    is read; a failed challenge drops the connection and the worker
+    keeps listening.  An empty ``auth_key`` degrades the challenge to
+    unauthenticated and is only safe on loopback or an otherwise
+    trusted link — never expose an empty-key worker port to an
+    untrusted network (frames are pickles; unpickling attacker bytes
+    is arbitrary code execution).
 
     Parameters
     ----------
@@ -483,6 +573,11 @@ def run_worker(
     in_process:
         True when the worker shares the parent's process: skips
         registry shipping (the metrics are already local).
+    auth_key:
+        Shared secret for the per-connection HMAC handshake.  The
+        router generates one per spawned/in-process worker; standalone
+        workers take it from ``--auth-key-file`` or
+        ``REPRO_NETSHARD_AUTHKEY``.
     """
     listener = socket.create_server((host, port), backlog=4)
     bound = listener.getsockname()[1]
@@ -500,6 +595,20 @@ def run_worker(
     try:
         while True:
             conn, peer = listener.accept()
+            try:
+                # Authenticate before constructing the frame reader:
+                # nothing an unauthenticated peer sends may reach the
+                # unpickler.
+                deliver_challenge(conn, auth_key)
+            except (FrameError, OSError) as exc:
+                _LOG.warning(
+                    "netshard_auth_rejected", peer=str(peer), error=repr(exc)
+                )
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
             stream = FrameStream(
                 conn,
                 max_frame_bytes=(
@@ -525,7 +634,7 @@ def run_worker(
         listener.close()
 
 
-def _worker_process_main(host, port, config, port_conn) -> None:
+def _worker_process_main(host, port, config, port_conn, auth_key) -> None:
     """Spawn-local process entry point (module top level: spawn-safe)."""
     get_registry().reset()  # fresh under spawn; zero inherited state under fork
     try:
@@ -534,6 +643,7 @@ def _worker_process_main(host, port, config, port_conn) -> None:
             port,
             config=config,
             on_port=lambda p: (port_conn.send(p), port_conn.close()),
+            auth_key=auth_key,
         )
     except BaseException:  # noqa: BLE001 - exit code is the report
         os._exit(4)
@@ -541,7 +651,7 @@ def _worker_process_main(host, port, config, port_conn) -> None:
 
 
 def start_inproc_worker(
-    config: NetShardConfig, host: str = "127.0.0.1"
+    config: NetShardConfig, host: str = "127.0.0.1", auth_key: bytes = b""
 ) -> Tuple[threading.Thread, int]:
     """A worker serving loopback from a daemon thread of this process.
 
@@ -563,6 +673,7 @@ def start_inproc_worker(
             "config": config,
             "on_port": _on_port,
             "in_process": True,
+            "auth_key": auth_key,
         },
         name=f"repro-netshard-{config.index}-worker",
         daemon=True,
@@ -701,6 +812,20 @@ class SocketShardWorker:
         self._entries_base = 0
         self._quarantined_base = 0
         self._token = f"svc-{os.getpid()}-{id(self):x}"
+        # Self-launched workers get a fresh random key handed over out
+        # of band (spawn args / thread kwargs) — authenticated with
+        # zero configuration.  Remote workers must share opts.auth_key;
+        # None degrades to the empty (unauthenticated) key, documented
+        # as loopback/trusted-link only.
+        self._auth_key = (
+            (self.opts.auth_key or b"")
+            if mode == "remote"
+            else secrets.token_bytes(16)
+        )
+        #: Worker state epoch from hello_ack; a changed incarnation on
+        #: reconnect means a different worker process answered at the
+        #: same address (state lost), whatever its recv_seq claims.
+        self._worker_incarnation: Optional[int] = None
         self._seq = 0
         self._acked_seq = 0
         self._unacked = _Unacked()
@@ -786,7 +911,18 @@ class SocketShardWorker:
         self.monitor.tracker.open_sessions = 0
         self.batcher.pending = 0
         with self._unacked_lock:
+            # The replacement worker starts empty at recv_seq 0: reset
+            # the whole sequence space with it.  A stale _acked_seq
+            # would make the first reconnect after the restart read as
+            # "worker state lost" (recv_seq < acked) and falsely mark
+            # every historically seen subscriber fault-affected —
+            # _handle_death already marked the ones the dead worker
+            # actually held.
             self._unacked.entries.clear()
+            self._seq = 0
+            self._acked_seq = 0
+        self._seen_subscribers.clear()
+        self._worker_incarnation = None
         self._received = {"diagnoses": 0, "alarms": 0, "provisional": 0, "letters": 0}
         self._stop = threading.Event()
         self._connected = threading.Event()
@@ -845,12 +981,14 @@ class SocketShardWorker:
             return
         config = replace(self.config, kill_times=self._kill_times_left)
         if self.mode == "inproc":
-            self._worker_thread, self._worker_port = start_inproc_worker(config)
+            self._worker_thread, self._worker_port = start_inproc_worker(
+                config, auth_key=self._auth_key
+            )
             return
         parent_conn, child_conn = self._mp.Pipe(duplex=False)
         process = self._mp.Process(
             target=_worker_process_main,
-            args=("127.0.0.1", 0, config, child_conn),
+            args=("127.0.0.1", 0, config, child_conn, self._auth_key),
             name=f"repro-netshard-{self.index}-r{self.restarts}",
             daemon=True,
         )
@@ -889,6 +1027,20 @@ class SocketShardWorker:
             retry_on=(OSError,),
             op=f"netshard{self.index}.connect",
         )
+        try:
+            # Mutual HMAC handshake before the first frame: the hello
+            # we are about to send carries a pickled model the worker
+            # will execute, so the worker must prove key possession
+            # just as we must prove ours.
+            answer_challenge(sock, self._auth_key)
+        except (FrameError, OSError) as exc:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise ShardUnreachable(
+                f"shard {self.index} authentication failed: {exc}"
+            ) from exc
         stream = FrameStream(
             sock,
             max_frame_bytes=opts.max_frame_bytes,
@@ -916,6 +1068,8 @@ class SocketShardWorker:
         if ack is None or ack[0] != "hello_ack":
             stream.close()
             raise ShardUnreachable(f"expected hello_ack, got {ack!r}")
+        if not resume:
+            self._worker_incarnation = ack[1].get("incarnation")
         with self._stream_lock:
             self._stream = stream
         self._connection_alive = True
@@ -997,7 +1151,19 @@ class SocketShardWorker:
             delay = self._slow_link(base_seq)
             if delay > 0:
                 time.sleep(delay)
-        stream = self._stream
+        # Gate on _connected, which a reconnect sets only *after* the
+        # unacked gap has been resent — reading self._stream alone
+        # could grab the fresh stream _establish installed mid-
+        # reconnect and deliver this (higher-seq) batch before the
+        # gap, tricking the worker's watermark dedup into silently
+        # skipping the resent lower-seq entries.  The gate must come
+        # after the slow_link nap for the same reason.  Skipping is
+        # always safe: the batch is already in the unacked buffer, so
+        # the in-flight reconnect resends it in order.
+        if not self._connected.is_set():
+            return
+        with self._stream_lock:
+            stream = self._stream
         if stream is None:
             return  # already in the unacked buffer; reconnect resends
         try:
@@ -1084,10 +1250,17 @@ class SocketShardWorker:
         except (ShardUnreachable, FrameError, OSError):
             return False
         recv_seq = int(ack.get("recv_seq", 0))
+        incarnation = ack.get("incarnation")
+        state_lost = recv_seq < self._acked_seq or (
+            self._worker_incarnation is not None
+            and incarnation != self._worker_incarnation
+        )
+        self._worker_incarnation = incarnation
         with self._unacked_lock:
-            if recv_seq < self._acked_seq:
+            if state_lost:
                 # The worker lost state underneath us (fresh process at
-                # the same address): results so far are kept, but every
+                # the same address — regressed watermark or changed
+                # incarnation): results so far are kept, but every
                 # subscriber shipped there may now diverge.
                 if self._faults is not None and self._seen_subscribers:
                     self._faults.mark_affected(self._seen_subscribers)

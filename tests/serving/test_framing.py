@@ -20,15 +20,20 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.serving.framing import (
+    AUTH_CHALLENGE_MAGIC,
     DEFAULT_MAX_FRAME_BYTES,
     FRAME_MAGIC,
     FRAME_VERSION,
     HEADER_LEN,
+    FrameAuthFailed,
     FrameClosed,
     FrameCorrupted,
+    FrameError,
     FrameStream,
     FrameTooLarge,
+    answer_challenge,
     decode_frame,
+    deliver_challenge,
     encode_frame,
 )
 
@@ -226,3 +231,138 @@ class TestFrameStream:
         finally:
             a.close()
             b.close()
+
+    def test_concurrent_send_and_recv_timeouts_do_not_interfere(self):
+        """A sender thread must not perturb the receiver's deadline
+        (and vice versa): reads wait via select, the socket timeout is
+        fixed to the send ceiling once at construction."""
+        a, b = _stream_pair()
+        received = []
+        errors = []
+
+        def pump_recv():
+            try:
+                for _ in range(200):
+                    msg = b.recv(timeout=0.01)
+                    if msg is not None:
+                        received.append(msg)
+            except FrameError as exc:
+                errors.append(exc)
+
+        reader = threading.Thread(target=pump_recv, daemon=True)
+        reader.start()
+        try:
+            for i in range(50):
+                a.send("hb", {"i": i})
+            reader.join(timeout=10.0)
+            assert not errors
+            assert [m[1]["i"] for m in received] == sorted(
+                m[1]["i"] for m in received
+            )
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAuthHandshake:
+    """The HMAC challenge is the trust boundary in front of the
+    unpickler: no frame (hence no pickle) is read from a peer that has
+    not proven key possession, and the dialer equally refuses to ship
+    anything to a listener that cannot prove it back."""
+
+    def _handshake(self, server_key, client_key):
+        left, right = socket.socketpair()
+        results = {}
+
+        def server():
+            try:
+                deliver_challenge(left, server_key, timeout_s=5.0)
+                results["server"] = "ok"
+            except FrameError as exc:
+                results["server"] = exc
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        try:
+            answer_challenge(right, client_key, timeout_s=5.0)
+            results["client"] = "ok"
+        except FrameError as exc:
+            results["client"] = exc
+        thread.join(timeout=5.0)
+        left.close()
+        right.close()
+        return results
+
+    def test_matching_keys_pass_both_directions(self):
+        assert self._handshake(b"secret", b"secret") == {
+            "server": "ok",
+            "client": "ok",
+        }
+
+    def test_matching_empty_keys_pass(self):
+        """The documented loopback/trusted-link degradation."""
+        assert self._handshake(b"", b"") == {"server": "ok", "client": "ok"}
+
+    def test_wrong_key_rejected_by_server(self):
+        results = self._handshake(b"secret", b"wrong")
+        assert isinstance(results["server"], FrameAuthFailed)
+        assert results["client"] != "ok"
+
+    def test_keyless_client_rejected_by_keyed_server(self):
+        results = self._handshake(b"secret", b"")
+        assert isinstance(results["server"], FrameAuthFailed)
+
+    def test_client_rejects_listener_without_the_key(self):
+        """Mutual: the parent ships the model (a pickle the worker
+        executes) in its hello, so it must not hello an impostor."""
+        results = self._handshake(b"", b"secret")
+        assert isinstance(results["client"], FrameAuthFailed)
+
+    def test_raw_frame_sender_never_reaches_the_challenge(self):
+        """A peer that skips auth and immediately sends a pickled
+        frame (today's unauthenticated protocol) must be rejected —
+        its bytes are read as a digest, compared, and thrown away."""
+        left, right = socket.socketpair()
+
+        def hostile_client():
+            try:
+                right.sendall(encode_frame(("hello", {"token": "x"})) * 2)
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=hostile_client, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(FrameAuthFailed):
+                deliver_challenge(left, b"secret", timeout_s=5.0)
+            thread.join(timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_client_rejects_non_challenge_greeting(self):
+        left, right = socket.socketpair()
+        left.sendall(b"HTTP/1.1 200 OK\r\n" + b"\x00" * 16)
+        try:
+            with pytest.raises(FrameAuthFailed):
+                answer_challenge(right, b"secret", timeout_s=5.0)
+        finally:
+            left.close()
+            right.close()
+
+    def test_silent_peer_times_out(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(FrameAuthFailed, match="timed out"):
+                answer_challenge(right, b"secret", timeout_s=0.2)
+        finally:
+            left.close()
+            right.close()
+
+    def test_challenge_misread_as_frame_fails_typed(self):
+        """An old-protocol peer that misreads the challenge preamble
+        as a frame header gets a typed version rejection — fast and
+        diagnosable, never silent garbage."""
+        challenge = AUTH_CHALLENGE_MAGIC + b"\x00" * 16
+        with pytest.raises(FrameCorrupted, match="version"):
+            decode_frame(challenge)

@@ -308,6 +308,250 @@ class TestStandaloneWorker:
         assert not worker.is_alive(), "worker should exit after drain"
 
 
+class TestAuthentication:
+    """The HMAC handshake guards the unpickler on both ends, and the
+    hello token pins a worker session to one parent across reconnects."""
+
+    @staticmethod
+    def _standalone_worker(auth_key, config=None):
+        ports = []
+        ready = threading.Event()
+
+        def on_port(port):
+            ports.append(port)
+            ready.set()
+
+        thread = threading.Thread(
+            target=run_worker,
+            kwargs={
+                "host": "127.0.0.1",
+                "port": 0,
+                "config": config,
+                "on_port": on_port,
+                "auth_key": auth_key,
+            },
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(timeout=10.0), "worker never bound"
+        return thread, ports[0]
+
+    def test_keyed_standalone_worker_end_to_end(
+        self, serving_framework, serving_trace, serial
+    ):
+        key = b"pr9-review-shared-secret"
+        worker, port = self._standalone_worker(key)
+        service = QoEService(
+            serving_framework,
+            n_shards=1,
+            shard_backend="socket",
+            placement=f"0=127.0.0.1:{port}",
+            socket_opts={"auth_key": key},
+        )
+        with service:
+            service.submit_many(serving_trace)
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+        worker.join(timeout=10.0)
+
+    def test_wrong_key_is_a_supervised_failure(self, serving_framework):
+        from repro.serving.dlq import DeadLetterQueue
+        from repro.serving.netshard import (
+            NetShardConfig,
+            ShardUnreachable,
+            SocketOpts,
+            SocketShardWorker,
+        )
+        from repro.serving.queue import BoundedQueue
+
+        worker, port = self._standalone_worker(b"right-key")
+        handle = SocketShardWorker(
+            config=NetShardConfig(index=0, framework=serving_framework),
+            queue=BoundedQueue(capacity=8, policy="block", name="auth-test"),
+            dead_letters=DeadLetterQueue(),
+            mode="remote",
+            address=("127.0.0.1", port),
+            opts=SocketOpts(auth_key=b"wrong-key", connect_deadline_s=2.0),
+        )
+        handle.start()
+        assert handle.state == "failed"
+        assert isinstance(handle.error, ShardUnreachable)
+        assert "authentication" in str(handle.error)
+
+    def test_unauthenticated_peer_rejected_keyed_worker_survives(
+        self, serving_framework, serving_trace, serial
+    ):
+        """A peer that skips (or fails) the challenge is dropped before
+        any frame is unpickled, and the worker keeps serving the real
+        parent afterwards."""
+        import socket as socket_mod
+
+        from repro.serving.framing import encode_frame
+
+        key = b"only-the-parent-knows"
+        worker, port = self._standalone_worker(key)
+
+        hostile = socket_mod.create_connection(("127.0.0.1", port), timeout=5.0)
+        try:
+            # Speak the old unauthenticated protocol straight away: a
+            # pickled hello that must never reach the unpickler.
+            hostile.sendall(encode_frame(("hello", {"token": "evil"})))
+            hostile.settimeout(5.0)
+            leftover = b""
+            try:
+                while True:
+                    chunk = hostile.recv(4096)
+                    if not chunk:
+                        break
+                    leftover += chunk
+            except OSError:
+                pass
+            # Whatever arrived is the fixed-size challenge, never a
+            # hello_ack frame.
+            assert not leftover.startswith(b"RQ\x01")
+        finally:
+            hostile.close()
+
+        service = QoEService(
+            serving_framework,
+            n_shards=1,
+            shard_backend="socket",
+            placement=f"0=127.0.0.1:{port}",
+            socket_opts={"auth_key": key},
+        )
+        with service:
+            service.submit_many(serving_trace)
+        assert diagnosis_multiset(service.diagnoses) == diagnosis_multiset(
+            serial.diagnoses
+        )
+        worker.join(timeout=10.0)
+
+    def test_hello_token_pins_session_to_one_parent(self, serving_framework):
+        from repro.serving.framing import (
+            FrameClosed,
+            FrameStream,
+            answer_challenge,
+        )
+        from repro.serving.netshard import NetShardConfig
+        import socket as socket_mod
+
+        config = NetShardConfig(index=0, framework=serving_framework)
+        worker, port = self._standalone_worker(b"", config=config)
+
+        def hello(token):
+            sock = socket_mod.create_connection(("127.0.0.1", port), timeout=5.0)
+            answer_challenge(sock, b"")
+            stream = FrameStream(sock)
+            stream.send("hello", {"token": token, "shard": 0, "resume": False})
+            return stream
+
+        first = hello("parent-a")
+        ack = first.recv(timeout=5.0)
+        assert ack is not None and ack[0] == "hello_ack"
+        first.close()
+
+        # A different parent presenting a different token is rejected
+        # before it can touch the session: the worker drops the
+        # connection without ever sending hello_ack.
+        impostor = hello("parent-b")
+        with pytest.raises(FrameClosed):
+            while True:
+                if impostor.recv(timeout=5.0) is None:
+                    raise AssertionError("worker neither acked nor closed")
+        impostor.close()
+
+        # The pinned parent still reconnects fine.
+        again = hello("parent-a")
+        ack = again.recv(timeout=5.0)
+        assert ack is not None and ack[0] == "hello_ack"
+        again.close()
+
+
+class TestLetterLogBounds:
+    def _entry(self):
+        return object()  # the log never inspects the entry
+
+    def test_trim_keeps_absolute_cursors_valid(self):
+        from repro.serving.netshard import _LetterLog
+
+        log = _LetterLog()
+        for i in range(10):
+            log.put(self._entry(), f"r{i}", shard=0)
+        assert log.end == 10
+        tail = log.slice(7, 10)
+        log.trim_to(7)
+        assert log.base == 7
+        assert log.trimmed == 7
+        assert log.slice(7, 10) == tail
+        # Trimming below base is a no-op, never an index error.
+        log.trim_to(3)
+        assert log.base == 7
+
+    def test_flush_trims_to_retention_window(self, serving_framework):
+        from repro.serving import netshard
+        from repro.serving.netshard import _LetterLog, _LETTER_RETAIN
+
+        log = _LetterLog()
+        total = _LETTER_RETAIN + 500
+        for i in range(total):
+            log.put(self._entry(), "validation", shard=0)
+        # Simulate what flush_outputs does after a successful send.
+        log.trim_to(max(log.base, total - _LETTER_RETAIN))
+        assert log.end == total
+        assert log.end - log.base == _LETTER_RETAIN
+        assert log.trimmed == 500
+        assert netshard._LETTER_RETAIN >= 256  # rewind window stays useful
+
+    def test_rewind_clamps_to_retained_base(self):
+        from repro.serving.netshard import _LetterLog, _WorkerState
+
+        st = _WorkerState.__new__(_WorkerState)
+        st.letters = _LetterLog()
+        for i in range(10):
+            st.letters.put(self._entry(), "validation", shard=0)
+        st.letters.trim_to(6)
+        st.sent_diagnoses = st.sent_alarms = st.sent_provisional = 0
+        st.rewind({"out_letters": 2})  # parent asks below the window
+        assert st.sent_letters == 6  # clamped, not an index error
+        assert st.sent_entries == -1
+
+
+class TestRestartResetsWatermarks:
+    def test_restart_clears_sequence_state(self, serving_framework):
+        from repro.serving.dlq import DeadLetterQueue
+        from repro.serving.netshard import NetShardConfig, SocketShardWorker
+        from repro.serving.queue import BoundedQueue
+
+        handle = SocketShardWorker(
+            config=NetShardConfig(index=0, framework=serving_framework),
+            queue=BoundedQueue(capacity=8, policy="block", name="rs-test"),
+            dead_letters=DeadLetterQueue(),
+            mode="inproc",
+        )
+        # Simulate a worker that lived, acked, then died.
+        handle._seq = 41
+        handle._acked_seq = 37
+        handle._worker_incarnation = 1234
+        handle._seen_subscribers.update({"s1", "s2"})
+        handle._unacked.entries.append((41, object()))
+        handle._launch_worker = lambda: None
+        handle._establish = lambda resume: {}
+        handle._start_threads = lambda: None
+
+        handle.restart()
+
+        assert handle.restarts == 1
+        assert handle._seq == 0
+        assert handle._acked_seq == 0
+        assert handle._worker_incarnation is None
+        assert not handle._seen_subscribers
+        assert not handle._unacked.entries
+        # A replacement worker's first reconnect (recv_seq 0) must not
+        # read as state loss against the dead worker's watermark.
+        assert handle._acked_seq <= 0
+
+
 class TestPlacementValidation:
     def test_placement_requires_socket_backend(self, serving_framework):
         with pytest.raises(ValueError, match="socket"):
