@@ -12,6 +12,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro import QoEFramework
+from repro.datasets.generate import (
+    generate_adaptive_corpus,
+    generate_cleartext_corpus,
+)
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workspace import Workspace
 
@@ -29,6 +34,29 @@ BENCH_CONFIG = ExperimentConfig(
 @pytest.fixture(scope="session")
 def workspace():
     return Workspace(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def serving_corpora():
+    """Training corpora shared by the serving-layer benchmarks.
+
+    Built once per harness run (the corpus engine makes this cheap);
+    every serving/faults/online benchmark trains its framework from the
+    same pair instead of regenerating per module.
+    """
+    cleartext = generate_cleartext_corpus(400, seed=3)
+    adaptive = generate_adaptive_corpus(200, seed=4)
+    return cleartext, adaptive
+
+
+@pytest.fixture(scope="session")
+def serving_framework(serving_corpora):
+    """One fitted QoE framework shared by the serving-layer benchmarks."""
+    cleartext, adaptive = serving_corpora
+    return QoEFramework(random_state=0, n_estimators=20).fit(
+        cleartext.records_with_stall_truth(),
+        [r for r in adaptive.records if r.resolutions is not None],
+    )
 
 
 def paper_row(name: str, paper_value: str, measured: str) -> None:

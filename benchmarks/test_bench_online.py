@@ -17,11 +17,6 @@ import time
 
 import pytest
 
-from repro import QoEFramework
-from repro.datasets.generate import (
-    generate_adaptive_corpus,
-    generate_cleartext_corpus,
-)
 from repro.online import EarlyPredictor
 from repro.realtime.monitor import RealTimeMonitor
 from repro.realtime.tracker import OnlineSessionTracker
@@ -39,13 +34,8 @@ def trace():
 
 
 @pytest.fixture(scope="module")
-def framework():
-    cleartext = generate_cleartext_corpus(150, seed=3)
-    adaptive = generate_adaptive_corpus(75, seed=4)
-    return QoEFramework(random_state=0, n_estimators=12).fit(
-        cleartext.records_with_stall_truth(),
-        [r for r in adaptive.records if r.resolutions is not None],
-    )
+def framework(serving_framework):
+    return serving_framework
 
 
 def _replay_seconds(trace, streaming):

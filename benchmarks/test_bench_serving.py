@@ -18,11 +18,6 @@ import time
 
 import pytest
 
-from repro import QoEFramework
-from repro.datasets.generate import (
-    generate_adaptive_corpus,
-    generate_cleartext_corpus,
-)
 from repro.obs.exposition import render_prometheus
 from repro.persistence import save_framework
 from repro.realtime.monitor import RealTimeMonitor
@@ -45,13 +40,8 @@ def _usable_cpus() -> int:
 
 
 @pytest.fixture(scope="module")
-def framework():
-    cleartext = generate_cleartext_corpus(400, seed=3)
-    adaptive = generate_adaptive_corpus(200, seed=4)
-    return QoEFramework(random_state=0, n_estimators=20).fit(
-        cleartext.records_with_stall_truth(),
-        [r for r in adaptive.records if r.resolutions is not None],
-    )
+def framework(serving_framework):
+    return serving_framework
 
 
 @pytest.fixture(scope="module")

@@ -14,16 +14,29 @@ Entries are produced in timestamp order.  With ``encrypted=True`` the
 same transactions appear but with ``uri=None`` — exactly the §5.2
 situation where "information such as the session ID, the stall
 characteristics and the quality level of each chunk are not available".
+
+Randomness discipline
+---------------------
+All of a session's capture randomness is drawn up front by
+:func:`draw_session_randoms` — host pick, object/report sizes, and an
+unconditional cached+compressed roll pair per signalling entry — so the
+per-session RNG consumption depends only on the report count, never on
+which cache rolls hit.  That fixed consumption is what lets the
+vectorized corpus engine (:mod:`repro.datasets.genx`) mirror the
+capture stream per session and reproduce these entries bit for bit.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.obs import get_registry
+from repro.streaming.buffer import StallEvent
 from repro.streaming.session import VideoSession
 
 from .uri import (
@@ -35,10 +48,21 @@ from .uri import (
 )
 from .weblog import WeblogEntry
 
-__all__ = ["WebProxy", "server_ip_for"]
+__all__ = [
+    "WebProxy",
+    "server_ip_for",
+    "SessionDraws",
+    "draw_session_randoms",
+    "report_times_for",
+    "stall_stats_at",
+    "DEFAULT_CACHE_MARK_RATE",
+]
 
 #: Playback reports are sent roughly this often during playback.
 _REPORT_INTERVAL_S = 30.0
+
+#: Default fraction of signalling objects served from the proxy cache.
+DEFAULT_CACHE_MARK_RATE = 0.05
 
 _REG = get_registry()
 _SESSIONS_OBSERVED = _REG.counter(
@@ -58,6 +82,7 @@ _BYTES_OBSERVED = _REG.counter(
 )
 
 
+@lru_cache(maxsize=None)
 def server_ip_for(host: str) -> str:
     """Deterministic fake public IP for a hostname.
 
@@ -65,6 +90,7 @@ def server_ip_for(host: str) -> str:
     173.194.0.0/16; everything else gets an address derived from its
     name in unrelated space — so IP-prefix service fingerprinting (the
     ECH-era reconstruction mode) behaves like it would in the wild.
+    The handful of distinct hostnames makes this worth memoising.
     """
     digest = hashlib.sha1(host.encode()).digest()
     name = host.lower()
@@ -77,19 +103,102 @@ def server_ip_for(host: str) -> str:
     return f"104.{digest[0] % 128 + 16}.{digest[1]}.{digest[2]}"
 
 
+def report_times_for(total_duration_s: float) -> List[float]:
+    """Report timestamps of a session: every 30 s plus a final report."""
+    times = np.arange(
+        _REPORT_INTERVAL_S, total_duration_s, _REPORT_INTERVAL_S
+    ).tolist()
+    times.append(total_duration_s)
+    return times
+
+
+def stall_stats_at(
+    stalls: Sequence[StallEvent], t: float
+) -> Tuple[int, float]:
+    """Cumulative (count, duration) of stalls begun by session time ``t``."""
+    count = sum(1 for s in stalls if s.start_s <= t)
+    duration = sum(
+        min(s.duration_s, max(0.0, t - s.start_s))
+        for s in stalls
+        if s.start_s <= t
+    )
+    return count, duration
+
+
+@dataclass(frozen=True)
+class SessionDraws:
+    """All capture-side randomness of one observed session.
+
+    ``cached``/``compressed`` flags cover the signalling entries in
+    emission order: the watch page, then the page objects, then the
+    playback reports.
+    """
+
+    video_host: str
+    page_size: int
+    object_sizes: List[int]
+    report_sizes: List[int]
+    cached: np.ndarray
+    compressed: np.ndarray
+
+
+def draw_session_randoms(
+    rng: np.random.Generator,
+    n_reports: int,
+    cache_mark_rate: float = DEFAULT_CACHE_MARK_RATE,
+) -> SessionDraws:
+    """Draw one session's capture randomness in a fixed batched order.
+
+    The compressed roll is drawn for every signalling entry (not only
+    cache hits), so consumption never depends on the cache outcome.
+    """
+    video_host = pick_video_host(rng)
+    page_size = int(rng.integers(30_000, 120_000))
+    n_objects = int(rng.integers(2, 6))
+    object_sizes = rng.integers(5_000, 60_000, size=n_objects).tolist()
+    report_sizes = rng.integers(300, 900, size=n_reports).tolist()
+    rolls = rng.random(2 * (1 + n_objects + n_reports))
+    cached = rolls[0::2] < cache_mark_rate
+    compressed = cached & (rolls[1::2] < 0.5)
+    return SessionDraws(
+        video_host=video_host,
+        page_size=page_size,
+        object_sizes=object_sizes,
+        report_sizes=report_sizes,
+        cached=cached,
+        compressed=compressed,
+    )
+
+
+def _record_observation(
+    encrypted: bool, n_sessions: int, n_entries: int, n_bytes: int
+) -> None:
+    """Export capture counters (shared by both corpus engines)."""
+    mode = "true" if encrypted else "false"
+    _SESSIONS_OBSERVED.labels(encrypted=mode).inc(n_sessions)
+    _ENTRIES_OBSERVED.labels(encrypted=mode).inc(n_entries)
+    _BYTES_OBSERVED.labels(encrypted=mode).inc(n_bytes)
+
+
 class WebProxy:
     """Observes sessions and emits weblog entries.
 
     Parameters
     ----------
     rng:
-        Drives signalling-object sizes and the cache-hit marks.
+        Drives signalling-object sizes and the cache-hit marks; callers
+        that keep per-session streams pass a generator to
+        :meth:`observe` instead.
     cache_mark_rate:
         Fraction of signalling objects served from the proxy cache
         (§3.3 removes those during preparation).
     """
 
-    def __init__(self, rng: np.random.Generator, cache_mark_rate: float = 0.05):
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        cache_mark_rate: float = DEFAULT_CACHE_MARK_RATE,
+    ):
         if not 0.0 <= cache_mark_rate < 1.0:
             raise ValueError("cache_mark_rate must be in [0, 1)")
         self.rng = rng
@@ -104,9 +213,10 @@ class WebProxy:
         size: int,
         encrypted: bool,
         rtt_ms: float,
+        cached: bool,
+        compressed: bool,
     ) -> WeblogEntry:
         transaction = max(0.01, size * 8.0 / 1e6 + rtt_ms / 1000.0)
-        cached = bool(self.rng.random() < self.cache_mark_rate)
         return WeblogEntry(
             subscriber_id=subscriber_id,
             timestamp_s=timestamp_s,
@@ -126,22 +236,25 @@ class WebProxy:
             encrypted=encrypted,
             uri=None if encrypted else uri,
             cached=cached,
-            compressed=bool(cached and self.rng.random() < 0.5),
+            compressed=compressed,
         )
 
-    def observe(
+    def build_entries(
         self,
         session: VideoSession,
         subscriber_id: str,
-        start_epoch_s: float = 0.0,
-        encrypted: bool = False,
+        start_epoch_s: float,
+        encrypted: bool,
+        draws: SessionDraws,
+        report_times: List[float],
     ) -> List[WeblogEntry]:
-        """Weblog entries of one session, in timestamp order."""
+        """Deterministically build one session's entries from ``draws``."""
         entries: List[WeblogEntry] = []
-        video_host = pick_video_host(self.rng)
         rtt_hint = (
             session.chunks[0].transfer.rtt_avg_ms if session.chunks else 50.0
         )
+        cached = draws.cached.tolist()
+        compressed = draws.compressed.tolist()
 
         # --- Signalling burst while the watch page is constructed.
         page_time = start_epoch_s
@@ -151,13 +264,14 @@ class WebProxy:
                 "m.youtube.com",
                 watch_page_uri(session.video.video_id),
                 page_time,
-                int(self.rng.integers(30_000, 120_000)),
+                draws.page_size,
                 encrypted,
                 rtt_hint,
+                cached[0],
+                compressed[0],
             )
         )
-        n_objects = int(self.rng.integers(2, 6))
-        for k in range(n_objects):
+        for k, size in enumerate(draws.object_sizes):
             host = "i.ytimg.com" if k % 2 == 0 else "s.ytimg.com"
             uri = thumbnail_uri(session.video.video_id, name=f"obj{k}")
             entries.append(
@@ -166,22 +280,30 @@ class WebProxy:
                     host,
                     uri,
                     page_time + 0.05 * (k + 1),
-                    int(self.rng.integers(5_000, 60_000)),
+                    size,
                     encrypted,
                     rtt_hint,
+                    cached[1 + k],
+                    compressed[1 + k],
                 )
             )
 
         # --- Media segments with transport annotations.
+        video_host = draws.video_host
+        video_ip = server_ip_for(video_host)
         range_cursor = 0
         for chunk in session.chunks:
             transfer = chunk.transfer
-            uri = segment_uri(
-                video_host,
-                session.video.video_id,
-                session.session_id,
-                chunk,
-                range_start=range_cursor,
+            uri = (
+                None
+                if encrypted
+                else segment_uri(
+                    video_host,
+                    session.video.video_id,
+                    session.session_id,
+                    chunk,
+                    range_start=range_cursor,
+                )
             )
             range_cursor += chunk.size_bytes
             entries.append(
@@ -189,7 +311,7 @@ class WebProxy:
                     subscriber_id=subscriber_id,
                     timestamp_s=start_epoch_s + transfer.start_s,
                     server_name=video_host,
-                    server_ip=server_ip_for(video_host),
+                    server_ip=video_ip,
                     server_port=443 if encrypted else 80,
                     object_bytes=chunk.size_bytes,
                     transaction_s=transfer.duration_s,
@@ -202,29 +324,25 @@ class WebProxy:
                     loss_pct=transfer.loss_pct,
                     retx_pct=transfer.retx_pct,
                     encrypted=encrypted,
-                    uri=None if encrypted else uri,
+                    uri=uri,
                 )
             )
 
         # --- Periodic playback reports carrying cumulative stall stats.
-        report_times = np.arange(
-            _REPORT_INTERVAL_S, session.total_duration_s, _REPORT_INTERVAL_S
-        ).tolist()
-        report_times.append(session.total_duration_s)
-        for t in report_times:
-            count = sum(1 for s in session.stalls if s.start_s <= t)
-            duration = sum(
-                min(s.duration_s, max(0.0, t - s.start_s))
-                for s in session.stalls
-                if s.start_s <= t
-            )
-            uri = stats_report_uri(
-                session.session_id,
-                session.video.video_id,
-                playback_position_s=t,
-                stall_count=count,
-                stall_duration_s=duration,
-                state="ended" if t >= session.total_duration_s else "playing",
+        base = 1 + len(draws.object_sizes)
+        for j, t in enumerate(report_times):
+            count, duration = stall_stats_at(session.stalls, t)
+            uri = (
+                None
+                if encrypted
+                else stats_report_uri(
+                    session.session_id,
+                    session.video.video_id,
+                    playback_position_s=t,
+                    stall_count=count,
+                    stall_duration_s=duration,
+                    state="ended" if t >= session.total_duration_s else "playing",
+                )
             )
             entries.append(
                 self._signalling_entry(
@@ -232,17 +350,42 @@ class WebProxy:
                     "s.youtube.com",
                     uri,
                     start_epoch_s + t,
-                    int(self.rng.integers(300, 900)),
+                    draws.report_sizes[j],
                     encrypted,
                     rtt_hint,
+                    cached[base + j],
+                    compressed[base + j],
                 )
             )
 
         entries.sort(key=lambda e: e.timestamp_s)
-        mode = "true" if encrypted else "false"
-        _SESSIONS_OBSERVED.labels(encrypted=mode).inc()
-        _ENTRIES_OBSERVED.labels(encrypted=mode).inc(len(entries))
-        _BYTES_OBSERVED.labels(encrypted=mode).inc(
-            sum(e.object_bytes for e in entries)
+        return entries
+
+    def observe(
+        self,
+        session: VideoSession,
+        subscriber_id: str,
+        start_epoch_s: float = 0.0,
+        encrypted: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[WeblogEntry]:
+        """Weblog entries of one session, in timestamp order.
+
+        ``rng`` overrides the proxy's own generator for this session
+        (the corpus engines keep capture randomness in dedicated
+        per-session streams).
+        """
+        generator = rng if rng is not None else self.rng
+        if generator is None:
+            raise ValueError("WebProxy needs an rng (constructor or observe)")
+        report_times = report_times_for(session.total_duration_s)
+        draws = draw_session_randoms(
+            generator, len(report_times), self.cache_mark_rate
+        )
+        entries = self.build_entries(
+            session, subscriber_id, start_epoch_s, encrypted, draws, report_times
+        )
+        _record_observation(
+            encrypted, 1, len(entries), sum(e.object_bytes for e in entries)
         )
         return entries

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Optional
-from urllib.parse import parse_qs, quote, urlencode, urlparse
+from urllib.parse import quote, unquote_plus
 
 import numpy as np
 
@@ -54,7 +54,7 @@ SIGNALLING_HOSTS = (
 
 def pick_video_host(rng: np.random.Generator) -> str:
     """CDN edge assigned to a session (sticky per session in practice)."""
-    return str(rng.choice(list(VIDEO_HOSTS)))
+    return VIDEO_HOSTS[int(rng.integers(0, len(VIDEO_HOSTS)))]
 
 
 def segment_uri(
@@ -64,17 +64,22 @@ def segment_uri(
     chunk: ChunkDownload,
     range_start: int = 0,
 ) -> str:
-    """URL of one media-segment request, ground truth in the params."""
-    params = {
-        "id": video_id,
-        "itag": str(chunk.quality.itag),
-        "cpn": session_id,
-        "mime": "video/mp4" if chunk.kind == "video" else "audio/mp4",
-        "range": f"{range_start}-{range_start + chunk.size_bytes - 1}",
-        "dur": f"{chunk.media_seconds:.3f}",
-        "clen": str(chunk.size_bytes),
-    }
-    return f"https://{host}/videoplayback?{urlencode(params)}"
+    """URL of one media-segment request, ground truth in the params.
+
+    Every parameter value is already URL-safe (video/session ids use a
+    base64url alphabet, the numeric fields are digits with ``.``/``-``)
+    except the mime type's ``/``, which is spelled out pre-encoded — so
+    the whole URI is a single f-string instead of an ``urlencode`` call
+    on the corpus hot path.
+    """
+    mime = "video%2Fmp4" if chunk.kind == "video" else "audio%2Fmp4"
+    end = range_start + chunk.size_bytes - 1
+    return (
+        f"https://{host}/videoplayback?id={video_id}"
+        f"&itag={chunk.quality.itag}&cpn={session_id}&mime={mime}"
+        f"&range={range_start}-{end}&dur={chunk.media_seconds:.3f}"
+        f"&clen={chunk.size_bytes}"
+    )
 
 
 def stats_report_uri(
@@ -90,15 +95,11 @@ def stats_report_uri(
     Carries the cumulative stall statistics since playback began —
     the stall ground truth the paper mines (§3.2 "playback stats").
     """
-    params = {
-        "cpn": session_id,
-        "docid": video_id,
-        "cmt": f"{playback_position_s:.1f}",
-        "state": state,
-        "rebuf_count": str(stall_count),
-        "rebuf_dur": f"{stall_duration_s:.2f}",
-    }
-    return f"https://s.youtube.com/api/stats/watchtime?{urlencode(params)}"
+    return (
+        f"https://s.youtube.com/api/stats/watchtime?cpn={session_id}"
+        f"&docid={video_id}&cmt={playback_position_s:.1f}&state={state}"
+        f"&rebuf_count={stall_count}&rebuf_dur={stall_duration_s:.2f}"
+    )
 
 
 def watch_page_uri(video_id: str) -> str:
@@ -136,9 +137,19 @@ class ParsedStatsReport:
     stall_duration_s: float
 
 
-def _single(params: Dict[str, list], key: str) -> Optional[str]:
-    values = params.get(key)
-    return values[0] if values else None
+def _query_params(query: str) -> Dict[str, Optional[str]]:
+    """Split-based query parser (the ``urlparse``/``parse_qs`` pair was
+    the hottest call in cleartext grouping).  Percent/plus decoding is
+    only invoked when an escape is actually present."""
+    params: Dict[str, Optional[str]] = {}
+    if not query:
+        return params
+    for pair in query.split("&"):
+        key, _, value = pair.partition("=")
+        if "%" in value or "+" in value:
+            value = unquote_plus(value)
+        params[key] = value
+    return params
 
 
 def parse_uri(uri: str):
@@ -148,28 +159,35 @@ def parse_uri(uri: str):
     ``None`` for signalling/unknown URIs (watch pages, thumbnails,
     scripts carry no per-session ground truth we use).
     """
-    parsed = urlparse(uri)
-    params = parse_qs(parsed.query)
-    if parsed.path == "/videoplayback":
-        itag = int(_single(params, "itag"))
+    scheme_sep = uri.find("://")
+    if scheme_sep < 0:
+        return None
+    path_start = uri.find("/", scheme_sep + 3)
+    if path_start < 0:
+        return None
+    path, _, query = uri[path_start:].partition("?")
+    if path == "/videoplayback":
+        params = _query_params(query)
+        itag = int(params.get("itag"))
         quality = quality_for_itag(itag)
-        mime = _single(params, "mime") or "video/mp4"
+        mime = params.get("mime") or "video/mp4"
         return ParsedSegment(
-            video_id=_single(params, "id") or "",
-            session_id=_single(params, "cpn") or "",
+            video_id=params.get("id") or "",
+            session_id=params.get("cpn") or "",
             itag=itag,
             resolution_p=quality.resolution_p,
             kind="video" if mime.startswith("video") else "audio",
-            media_seconds=float(_single(params, "dur") or 0.0),
-            size_bytes=int(_single(params, "clen") or 0),
+            media_seconds=float(params.get("dur") or 0.0),
+            size_bytes=int(params.get("clen") or 0),
         )
-    if parsed.path.startswith("/api/stats/"):
+    if path.startswith("/api/stats/"):
+        params = _query_params(query)
         return ParsedStatsReport(
-            session_id=_single(params, "cpn") or "",
-            video_id=_single(params, "docid") or "",
-            playback_position_s=float(_single(params, "cmt") or 0.0),
-            state=_single(params, "state") or "unknown",
-            stall_count=int(_single(params, "rebuf_count") or 0),
-            stall_duration_s=float(_single(params, "rebuf_dur") or 0.0),
+            session_id=params.get("cpn") or "",
+            video_id=params.get("docid") or "",
+            playback_position_s=float(params.get("cmt") or 0.0),
+            state=params.get("state") or "unknown",
+            stall_count=int(params.get("rebuf_count") or 0),
+            stall_duration_s=float(params.get("rebuf_dur") or 0.0),
         )
     return None

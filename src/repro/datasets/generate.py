@@ -14,27 +14,43 @@ Two corpora mirror the paper's two datasets:
 A third helper generates an all-adaptive corpus for the HAS-only
 experiments (average representation, quality switching) — the paper
 derives those from the adaptive subset of its dataset.
+
+Engines
+-------
+Generation runs on one of two engines (``repro.datasets.genx``):
+``"per-session"`` simulates each session through the original
+object-per-session classes and is the bit-identity oracle;
+``"vectorized"`` batches the path fading and TCP rounds of all
+sessions through numpy.  Both consume the same pre-drawn
+:class:`~repro.datasets.genx.plan.CorpusPlan` and per-session RNG
+streams, so a fixed seed yields bit-identical corpora either way.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.capture.device import DeviceLogger, PlaybackSummary, SegmentRecord
-from repro.capture.proxy import WebProxy, server_ip_for
+from repro.capture.proxy import WebProxy
 from repro.capture.reconstruction import SessionReconstructor
 from repro.capture.weblog import WeblogEntry
 from repro.network.diurnal import DiurnalLoadModel
 from repro.network.mobility import COMMUTER_USER, STATIC_USER, MobilityModel
-from repro.network.path import NetworkPath, Outage
+from repro.network.path import NetworkPath
+from repro.network.tcp import TcpConnection
+from repro.obs import get_registry
 from repro.streaming.adaptive import AdaptivePlayer, AdaptivePlayerConfig
 from repro.streaming.catalog import DASH_LADDER, VideoCatalog
 from repro.streaming.progressive import ProgressivePlayer
 from repro.streaming.session import VideoSession
 
+from . import genx
+from .genx.plan import NOISE_HOSTS, CorpusPlan, build_noise_entries, build_plan
+from .genx.streams import SessionStreams, corpus_streams
 from .preparation import (
     group_cleartext_sessions,
     records_from_reconstruction,
@@ -62,12 +78,24 @@ DEFAULT_QUALITY_CAPS: Dict[int, float] = {
     1080: 0.02,
 }
 
-_NOISE_HOSTS = (
-    "www.facebook.com",
-    "cdn.twitter.com",
-    "www.google.com",
-    "static.news-site.example",
-    "api.weatherapp.example",
+# Backwards-compatible alias; the hosts now live with the plan builder.
+_NOISE_HOSTS = NOISE_HOSTS
+
+_REG = get_registry()
+_SESSIONS_TOTAL = _REG.counter(
+    "repro_datasets_sessions_total",
+    "Sessions generated into corpora, by engine.",
+    labelnames=("engine",),
+)
+_GENERATION_SECONDS = _REG.histogram(
+    "repro_datasets_generation_seconds",
+    "Wall-clock seconds per corpus generation run.",
+    labelnames=("engine",),
+)
+_SESSIONS_PER_SECOND = _REG.gauge(
+    "repro_datasets_sessions_per_second",
+    "Sessions per second of the most recent corpus generation run.",
+    labelnames=("engine",),
 )
 
 
@@ -133,108 +161,109 @@ def _capped_ladder(cap: int):
     return [q for q in DASH_LADDER if q.resolution_p <= cap]
 
 
-def _noise_entry(
-    rng: np.random.Generator, subscriber: str, timestamp: float, encrypted: bool
-) -> WeblogEntry:
-    host = str(rng.choice(list(_NOISE_HOSTS)))
-    size = int(rng.integers(500, 200_000))
-    return WeblogEntry(
-        subscriber_id=subscriber,
-        timestamp_s=timestamp,
-        server_name=host,
-        server_ip=server_ip_for(host),
-        server_port=443 if encrypted else 80,
-        object_bytes=size,
-        transaction_s=float(rng.uniform(0.02, 1.5)),
-        rtt_min_ms=40.0,
-        rtt_avg_ms=55.0,
-        rtt_max_ms=80.0,
-        bdp_bytes=0.0,
-        bif_avg_bytes=float(min(size, 14600)),
-        bif_max_bytes=float(min(size, 14600)),
-        loss_pct=0.0,
-        retx_pct=0.0,
-        encrypted=encrypted,
-        uri=None if encrypted else f"https://{host}/page",
-    )
-
-
-def generate_corpus(config: CorpusConfig) -> Corpus:
-    """Simulate sessions, capture them through the proxy, prepare records."""
-    rng = np.random.default_rng(config.seed)
-    catalog = VideoCatalog(mean_duration_s=config.mean_video_duration_s)
-    proxy = WebProxy(rng)
-    device = DeviceLogger()
-    places = config.mobility.walk(config.n_sessions, rng)
-
-    cap_values = list(config.quality_caps.keys())
-    cap_probs = np.array(list(config.quality_caps.values()), dtype=float)
-    cap_probs = cap_probs / cap_probs.sum()
-
+def _simulate_sessions_oracle(
+    plan: CorpusPlan, streams: List[SessionStreams]
+) -> List[VideoSession]:
+    """Per-session reference engine: the original simulation classes."""
     sessions: List[VideoSession] = []
+    adaptive = plan.adaptive.tolist()
+    for i, video in enumerate(plan.videos):
+        st = streams[i]
+        place = plan.places[i]
+        path = NetworkPath(
+            plan.profiles[i],
+            video.duration_s * 4.0 + 180.0,
+            st.path,
+            outages=plan.outages[i],
+        )
+        if adaptive[i]:
+            player = AdaptivePlayer(
+                AdaptivePlayerConfig(ladder=_capped_ladder(plan.caps[i]))
+            )
+            session = player.play(
+                video,
+                path,
+                st.player,
+                place=place.name,
+                video_conn=TcpConnection(path, st.tcp_video),
+                audio_conn=TcpConnection(path, st.tcp_audio),
+                id_rng=st.ident,
+            )
+        else:
+            session = ProgressivePlayer().play(
+                video,
+                path,
+                st.player,
+                place=place.name,
+                conn=TcpConnection(path, st.tcp_video),
+                id_rng=st.ident,
+            )
+        sessions.append(session)
+    return sessions
+
+
+def generate_corpus(config: CorpusConfig, engine: Optional[str] = None) -> Corpus:
+    """Simulate sessions, capture them through the proxy, prepare records.
+
+    ``engine`` selects the simulation engine (defaults to the
+    process-wide :func:`repro.datasets.genx.get_default_engine`); both
+    engines produce bit-identical corpora for the same config.
+    """
+    if engine is None:
+        engine = genx.get_default_engine()
+    if engine not in genx.ENGINES:
+        raise ValueError(
+            f"unknown corpus engine {engine!r}; known: {', '.join(genx.ENGINES)}"
+        )
+    started = time.perf_counter()
+
+    catalog = VideoCatalog(mean_duration_s=config.mean_video_duration_s)
+    plan_rng, streams = corpus_streams(config.seed, config.n_sessions)
+    plan = build_plan(config, plan_rng, catalog)
+
+    if engine == "vectorized":
+        from .genx.vector import simulate_sessions
+
+        sessions = simulate_sessions(plan, streams)
+    else:
+        sessions = _simulate_sessions_oracle(plan, streams)
+
+    # --- Everything after simulation is engine-independent. -----------
+    # Realized epochs: each session starts where the previous one ended
+    # plus the planned gap.
+    realized_epochs: List[float] = []
+    total_durations: List[float] = []
+    epoch = config.start_epoch_s
+    gaps = plan.gaps.tolist()
+    for i, session in enumerate(sessions):
+        realized_epochs.append(epoch)
+        total_durations.append(session.total_duration_s)
+        epoch += session.total_duration_s + gaps[i]
+
+    proxy = WebProxy()
+    device = DeviceLogger()
     weblogs: List[WeblogEntry] = []
     summaries: List[PlaybackSummary] = []
     segment_records: List[SegmentRecord] = []
-
-    epoch = config.start_epoch_s
-    for i in range(config.n_sessions):
-        place = places[i]
-        video = catalog.sample(rng)
-        outages = []
-        # Coverage dips concentrate on mobile regimes (tunnels, cell
-        # handovers); static cells rarely see them.
-        outage_prob = config.transient_outage_prob * (
-            0.4 if place.static else 1.6
-        )
-        if rng.random() < outage_prob:
-            lo, hi = config.transient_outage_count
-            for _ in range(int(rng.integers(lo, hi + 1))):
-                start = float(rng.uniform(5.0, max(10.0, video.duration_s)))
-                duration = float(rng.uniform(*config.transient_outage_duration_s))
-                factor = float(rng.uniform(*config.transient_outage_factor))
-                outages.append(Outage(start, start + duration, factor))
-        profile = place.profile
-        if config.diurnal is not None:
-            profile = config.diurnal.scale_profile(profile, epoch)
-        path = NetworkPath(
-            profile,
-            video.duration_s * 4.0 + 180.0,
-            rng,
-            outages=outages,
-        )
-        if rng.random() < config.adaptive_fraction:
-            cap = int(rng.choice(cap_values, p=cap_probs))
-            player = AdaptivePlayer(
-                AdaptivePlayerConfig(ladder=_capped_ladder(cap))
+    for i, session in enumerate(sessions):
+        weblogs.extend(
+            proxy.observe(
+                session,
+                subscriber_id=plan.subscribers[i],
+                start_epoch_s=realized_epochs[i],
+                encrypted=config.encrypted,
+                rng=streams[i].proxy,
             )
-            session = player.play(video, path, rng, place=place.name)
-        else:
-            session = ProgressivePlayer().play(video, path, rng, place=place.name)
-        sessions.append(session)
-
-        subscriber = "sub-000" if config.single_subscriber else f"sub-{i:06d}"
-        entries = proxy.observe(
-            session,
-            subscriber_id=subscriber,
-            start_epoch_s=epoch,
-            encrypted=config.encrypted,
         )
-        weblogs.extend(entries)
         summaries.append(device.playback_summary(session))
-        segment_records.extend(device.segment_records(session, start_epoch_s=epoch))
-
-        gap = float(rng.uniform(*config.session_gap_s))
-        n_noise = int(rng.poisson(config.noise_entries_per_gap))
-        for _ in range(n_noise):
-            weblogs.append(
-                _noise_entry(
-                    rng,
-                    subscriber,
-                    epoch + session.total_duration_s + rng.uniform(5.0, max(6.0, gap)),
-                    config.encrypted,
-                )
-            )
-        epoch += session.total_duration_s + gap
+        segment_records.extend(
+            device.segment_records(session, start_epoch_s=realized_epochs[i])
+        )
+    weblogs.extend(
+        build_noise_entries(
+            plan, realized_epochs, total_durations, config.encrypted
+        )
+    )
 
     weblogs.sort(key=lambda e: e.timestamp_s)
 
@@ -252,6 +281,12 @@ def generate_corpus(config: CorpusConfig) -> Corpus:
     else:
         records = group_cleartext_sessions(weblogs)
 
+    elapsed = time.perf_counter() - started
+    _SESSIONS_TOTAL.labels(engine=engine).inc(len(sessions))
+    _GENERATION_SECONDS.labels(engine=engine).observe(elapsed)
+    if elapsed > 0:
+        _SESSIONS_PER_SECOND.labels(engine=engine).set(len(sessions) / elapsed)
+
     return Corpus(
         sessions=sessions,
         records=records,
@@ -262,7 +297,10 @@ def generate_corpus(config: CorpusConfig) -> Corpus:
 
 
 def generate_cleartext_corpus(
-    n_sessions: int, seed: int = 0, adaptive_fraction: float = 0.03
+    n_sessions: int,
+    seed: int = 0,
+    adaptive_fraction: float = 0.03,
+    engine: Optional[str] = None,
 ) -> Corpus:
     """The §3.1-style operator corpus (legacy-heavy, cleartext)."""
     return generate_corpus(
@@ -271,12 +309,16 @@ def generate_cleartext_corpus(
             seed=seed,
             adaptive_fraction=adaptive_fraction,
             mobility=STATIC_USER,
-        )
+        ),
+        engine=engine,
     )
 
 
 def generate_adaptive_corpus(
-    n_sessions: int, seed: int = 0, transient_outage_prob: float = 0.45
+    n_sessions: int,
+    seed: int = 0,
+    transient_outage_prob: float = 0.45,
+    engine: Optional[str] = None,
 ) -> Corpus:
     """All-HAS cleartext corpus for the representation experiments.
 
@@ -291,7 +333,8 @@ def generate_adaptive_corpus(
             adaptive_fraction=1.0,
             mobility=STATIC_USER,
             transient_outage_prob=transient_outage_prob,
-        )
+        ),
+        engine=engine,
     )
 
 
@@ -299,6 +342,7 @@ def generate_encrypted_corpus(
     n_sessions: int = 722,
     seed: int = 42,
     adaptive_fraction: float = 1.0,
+    engine: Optional[str] = None,
 ) -> Corpus:
     """The §5.2 instrumented-commuter corpus (encrypted, one subscriber).
 
@@ -315,5 +359,6 @@ def generate_encrypted_corpus(
             mobility=COMMUTER_USER,
             encrypted=True,
             single_subscriber=True,
-        )
+        ),
+        engine=engine,
     )

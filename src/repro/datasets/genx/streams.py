@@ -1,0 +1,61 @@
+"""Per-session RNG stream layout shared by both corpus engines.
+
+The corpus root seed spawns one *plan* stream (everything decided
+before sessions run: mobility walk, catalog draws, outage placement,
+gaps, noise) plus one child per session, which in turn spawns six
+independent streams:
+
+======  =====================================================
+stream  consumed by
+======  =====================================================
+path    :class:`~repro.network.path.NetworkPath` construction
+player  player decisions (quality roll / bandwidth hint,
+        patience, per-chunk size noise)
+ident   the 16-character session id
+tcp     video-connection transport randomness
+tcp     audio-connection transport randomness (adaptive only)
+proxy   capture-side randomness (object sizes, cache marks)
+======  =====================================================
+
+Splitting by *consumer* rather than sharing one stream is what makes
+the vectorized engine possible: each stream's consumption pattern is
+simple enough to bulk-draw (or replay lane-by-lane) without simulating
+the other consumers, and over-drawing one stream never perturbs
+another.  ``SeedSequence.spawn`` guarantees the same streams for the
+same seed regardless of engine or evaluation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["SessionStreams", "corpus_streams"]
+
+
+@dataclass
+class SessionStreams:
+    """The six independent generators of one session."""
+
+    path: np.random.Generator
+    player: np.random.Generator
+    ident: np.random.Generator
+    tcp_video: np.random.Generator
+    tcp_audio: np.random.Generator
+    proxy: np.random.Generator
+
+
+def corpus_streams(
+    seed: int, n_sessions: int
+) -> Tuple[np.random.Generator, List[SessionStreams]]:
+    """(plan generator, per-session streams) for a corpus seed."""
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(n_sessions + 1)
+    plan_rng = np.random.default_rng(children[0])
+    streams = [
+        SessionStreams(*(np.random.default_rng(s) for s in child.spawn(6)))
+        for child in children[1:]
+    ]
+    return plan_rng, streams

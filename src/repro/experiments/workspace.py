@@ -48,7 +48,9 @@ class Workspace:
         """The §3.1 operator corpus (97% progressive, cleartext)."""
         if "cleartext" not in self._cache:
             self._cache["cleartext"] = generate_cleartext_corpus(
-                self.config.cleartext_sessions, seed=self.config.seed
+                self.config.cleartext_sessions,
+                seed=self.config.seed,
+                engine=self.config.corpus_engine,
             )
         return self._cache["cleartext"]
 
@@ -56,7 +58,9 @@ class Workspace:
         """The all-HAS cleartext corpus (representation/switching)."""
         if "adaptive" not in self._cache:
             self._cache["adaptive"] = generate_adaptive_corpus(
-                self.config.adaptive_sessions, seed=self.config.seed + 1
+                self.config.adaptive_sessions,
+                seed=self.config.seed + 1,
+                engine=self.config.corpus_engine,
             )
         return self._cache["adaptive"]
 
@@ -64,7 +68,9 @@ class Workspace:
         """The §5.2 instrumented-device corpus (encrypted)."""
         if "encrypted" not in self._cache:
             self._cache["encrypted"] = generate_encrypted_corpus(
-                self.config.encrypted_sessions, seed=self.config.seed + 2
+                self.config.encrypted_sessions,
+                seed=self.config.seed + 2,
+                engine=self.config.corpus_engine,
             )
         return self._cache["encrypted"]
 

@@ -78,19 +78,38 @@ class MobilityModel:
         pi = np.abs(pi)
         return pi / pi.sum()
 
+    def walk_from_uniforms(self, uniforms: np.ndarray) -> List[Place]:
+        """Deterministic walk driven by pre-drawn uniforms.
+
+        One uniform per step, inverted against the cumulative stationary
+        law (first step) / transition rows (later steps).  The corpus
+        engines draw the uniforms in one batch and share this inversion,
+        which is what keeps their walks identical.
+        """
+        n_steps = len(uniforms)
+        if n_steps == 0:
+            return []
+        pi = self.stationary_distribution()
+        cum_init = np.cumsum(pi)
+        cum_rows = np.cumsum(self._matrix, axis=1)
+        last = len(self.order) - 1
+        state = min(int(np.searchsorted(cum_init, uniforms[0], side="right")), last)
+        out = [self.places[self.order[state]]]
+        for k in range(1, n_steps):
+            state = min(
+                int(np.searchsorted(cum_rows[state], uniforms[k], side="right")),
+                last,
+            )
+            out.append(self.places[self.order[state]])
+        return out
+
     def walk(self, n_steps: int, rng: np.random.Generator) -> List[Place]:
         """Sample a sequence of places, starting from the stationary law."""
         if n_steps < 0:
             raise ValueError("n_steps must be >= 0")
         if n_steps == 0:
             return []
-        pi = self.stationary_distribution()
-        state = int(rng.choice(len(self.order), p=pi))
-        out = [self.places[self.order[state]]]
-        for _ in range(n_steps - 1):
-            state = int(rng.choice(len(self.order), p=self._matrix[state]))
-            out.append(self.places[self.order[state]])
-        return out
+        return self.walk_from_uniforms(rng.random(n_steps))
 
 
 #: A mostly-static user: generates the cleartext corpus's diversity

@@ -13,31 +13,124 @@ reproducing the behaviours the paper's features rely on — slow start,
 AIMD backoff under loss, bandwidth-capped rounds, queueing-inflated
 RTTs when the window overshoots the BDP, and slow-start restart after
 idle periods (the OFF phases of pacing).
+
+Randomness discipline
+---------------------
+Each simulated round consumes exactly four pre-drawn variates — an RTT
+jitter normal, a spike roll, a spike magnitude, and a loss uniform —
+pulled from fixed-size blocks (:class:`RoundDraws`).  Loss counts come
+from :func:`binomial_from_uniform`, an explicit inverse-CDF walk over a
+single uniform.  Both choices make the per-round RNG consumption
+independent of which branches fire, so the vectorized corpus engine
+(``repro.datasets.genx``) can replay the identical stream lane-by-lane
+and reproduce this model's output bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
 from .path import NetworkPath
 
-__all__ = ["TransferResult", "TcpConnection", "MSS_BYTES"]
+__all__ = [
+    "TransferResult",
+    "TcpConnection",
+    "RoundDraws",
+    "binomial_from_uniform",
+    "MSS_BYTES",
+    "DRAW_BLOCK",
+    "INITIAL_CWND",
+    "IDLE_RESTART_RTTS",
+    "RTT_JITTER_SIGMA",
+    "SPIKE_PROB",
+    "SPIKE_MIN",
+    "SPIKE_SPAN",
+]
 
 #: Ethernet-ish maximum segment size used to convert bytes to packets.
 MSS_BYTES: int = 1460
 
 #: Initial congestion window (RFC 6928 IW10).
-_INITIAL_CWND: int = 10
+INITIAL_CWND: int = 10
 
 #: Idle time after which the window collapses back to the initial one
 #: (slow-start restart, RFC 2581 §4.1), in units of the current RTT.
-_IDLE_RESTART_RTTS: float = 4.0
+IDLE_RESTART_RTTS: float = 4.0
+
+#: Std-dev of the per-round multiplicative RTT jitter.
+RTT_JITTER_SIGMA: float = 0.10
+
+#: Probability of a cross-traffic bufferbloat RTT spike per round, and
+#: the spike multiplier range ``SPIKE_MIN + u * SPIKE_SPAN``.
+SPIKE_PROB: float = 0.05
+SPIKE_MIN: float = 2.0
+SPIKE_SPAN: float = 3.0
+
+#: Number of rounds worth of variates drawn per RNG refill.
+DRAW_BLOCK: int = 32
 
 
-@dataclass
+def binomial_from_uniform(u: float, n: int, p: float) -> int:
+    """Invert the Binomial(n, p) CDF at ``u`` by sequential search.
+
+    Replaces ``rng.binomial`` so a loss count costs exactly one uniform
+    from the round block regardless of outcome.  The op order inside
+    the loop (``tmp = (n - k) / (k + 1); tmp = tmp * r; pmf = pmf *
+    tmp``) is fixed; the vectorized engine applies the same ops
+    elementwise, so scalar and lane-parallel walks agree bitwise.
+    """
+    q = 1.0 - p
+    r = p / q
+    pmf = q ** n
+    cdf = pmf
+    k = 0
+    while u > cdf and k < n:
+        tmp = (n - k) / (k + 1)
+        tmp = tmp * r
+        pmf = pmf * tmp
+        k += 1
+        cdf = cdf + pmf
+    return k
+
+
+class RoundDraws:
+    """Block-drawn per-round variates for one connection.
+
+    Refills pull ``DRAW_BLOCK`` standard normals, then three uniform
+    blocks (spike roll, spike magnitude, loss), always in that order.
+    ``next_round`` hands out one column per round; consumption per
+    round is constant, which is what lets the vectorized engine mirror
+    the stream exactly.
+    """
+
+    __slots__ = ("rng", "_z", "_spike", "_mult", "_loss", "_cursor")
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+        self._cursor = DRAW_BLOCK
+
+    def _refill(self) -> None:
+        rng = self.rng
+        # tolist() hands back Python floats: identical bits, faster
+        # scalar arithmetic than numpy scalars in the round loop.
+        self._z = rng.standard_normal(DRAW_BLOCK).tolist()
+        self._spike = rng.random(DRAW_BLOCK).tolist()
+        self._mult = rng.random(DRAW_BLOCK).tolist()
+        self._loss = rng.random(DRAW_BLOCK).tolist()
+        self._cursor = 0
+
+    def next_round(self):
+        c = self._cursor
+        if c >= DRAW_BLOCK:
+            self._refill()
+            c = 0
+        self._cursor = c + 1
+        return self._z[c], self._spike[c], self._mult[c], self._loss[c]
+
+
+@dataclass(slots=True)
 class TransferResult:
     """Transport-layer summary of one chunk download."""
 
@@ -78,19 +171,20 @@ class TcpConnection:
     def __init__(self, path: NetworkPath, rng: np.random.Generator) -> None:
         self.path = path
         self.rng = rng
-        self._cwnd = float(_INITIAL_CWND)
+        self._cwnd = float(INITIAL_CWND)
         self._ssthresh = 64.0
         self._last_activity_s: float = None
         # Bottleneck buffer depth varies per cell: some queues bloat
         # RTTs badly under overshoot, others drop instead of queueing.
         self._bloat_factor = float(rng.uniform(0.05, 0.5))
+        self._draws = RoundDraws(rng)
 
     def _maybe_idle_restart(self, start_s: float, rtt_s: float) -> None:
         if self._last_activity_s is None:
             return
         idle = start_s - self._last_activity_s
-        if idle > _IDLE_RESTART_RTTS * rtt_s:
-            self._cwnd = float(_INITIAL_CWND)
+        if idle > IDLE_RESTART_RTTS * rtt_s:
+            self._cwnd = float(INITIAL_CWND)
 
     def download(self, size_bytes: int, start_s: float) -> TransferResult:
         """Transfer ``size_bytes`` starting at session time ``start_s``."""
@@ -103,13 +197,17 @@ class TcpConnection:
         self._maybe_idle_restart(start_s, state.rtt_ms / 1000.0)
 
         remaining = int(np.ceil(size_bytes / MSS_BYTES))
-        total_to_send = remaining
         now = start_s
         sent = 0
         lost = 0
-        rtt_samples: List[float] = []
-        bif_samples: List[float] = []
-        bdp_samples: List[float] = []
+        n_rounds = 0
+        rtt_min = float("inf")
+        rtt_max = float("-inf")
+        rtt_sum = 0.0
+        bif_sum = 0.0
+        bif_max = float("-inf")
+        bdp_sum = 0.0
+        next_round = self._draws.next_round
 
         while remaining > 0:
             state = self.path.state_at(now)
@@ -117,17 +215,19 @@ class TcpConnection:
             in_flight = max(1, in_flight)
             bif_bytes = in_flight * MSS_BYTES
 
+            z, u_spike, u_mult, u_loss = next_round()
+
             # Queueing delay grows once the window overshoots the BDP.
             bdp = state.bdp_bytes
             overshoot = max(0.0, bif_bytes / max(bdp, 1.0) - 1.0)
-            jitter = float(self.rng.normal(0.0, 0.10))
+            jitter = RTT_JITTER_SIGMA * z
             rtt_ms = state.rtt_ms * max(
                 0.5, 1.0 + self._bloat_factor * min(overshoot, 3.0) + jitter
             )
             # Cross-traffic bufferbloat: occasional large RTT spikes hit
             # every connection regardless of the session's own health.
-            if self.rng.random() < 0.05:
-                rtt_ms *= float(self.rng.uniform(2.0, 5.0))
+            if u_spike < SPIKE_PROB:
+                rtt_ms *= SPIKE_MIN + SPIKE_SPAN * u_mult
             rtt_s = rtt_ms / 1000.0
 
             # The round cannot finish faster than the capacity allows.
@@ -135,7 +235,7 @@ class TcpConnection:
             serialisation_s = bif_bytes / capacity_bps
             round_s = max(rtt_s, serialisation_s)
 
-            losses = int(self.rng.binomial(in_flight, state.loss_rate))
+            losses = binomial_from_uniform(u_loss, in_flight, state.loss_rate)
             sent += in_flight
             lost += losses
             delivered = in_flight - losses
@@ -154,28 +254,34 @@ class TcpConnection:
             else:
                 self._cwnd += 1.0
 
-            rtt_samples.append(rtt_ms)
-            bif_samples.append(float(bif_bytes))
-            bdp_samples.append(float(bdp))
+            n_rounds += 1
+            if rtt_ms < rtt_min:
+                rtt_min = rtt_ms
+            if rtt_ms > rtt_max:
+                rtt_max = rtt_ms
+            rtt_sum += rtt_ms
+            fbif = float(bif_bytes)
+            bif_sum += fbif
+            if fbif > bif_max:
+                bif_max = fbif
+            bdp_sum += bdp
             now += round_s
 
         self._last_activity_s = now
         duration = now - start_s
-        rtt_arr = np.asarray(rtt_samples)
-        bif_arr = np.asarray(bif_samples)
         loss_pct = 100.0 * lost / sent if sent else 0.0
         return TransferResult(
             bytes=size_bytes,
             start_s=start_s,
             duration_s=float(duration),
-            rtt_min_ms=float(rtt_arr.min()),
-            rtt_avg_ms=float(rtt_arr.mean()),
-            rtt_max_ms=float(rtt_arr.max()),
+            rtt_min_ms=float(rtt_min),
+            rtt_avg_ms=float(rtt_sum / n_rounds),
+            rtt_max_ms=float(rtt_max),
             loss_pct=float(loss_pct),
             # In this model every loss is repaired by exactly one fast
             # retransmission; timeout-driven duplicates are ignored.
             retx_pct=float(loss_pct),
-            bif_avg_bytes=float(bif_arr.mean()),
-            bif_max_bytes=float(bif_arr.max()),
-            bdp_bytes=float(np.mean(bdp_samples)),
+            bif_avg_bytes=float(bif_sum / n_rounds),
+            bif_max_bytes=float(bif_max),
+            bdp_bytes=float(bdp_sum / n_rounds),
         )

@@ -88,11 +88,23 @@ class AdaptivePlayer:
         path: NetworkPath,
         rng: np.random.Generator,
         place: str = "unknown",
+        video_conn: Optional[TcpConnection] = None,
+        audio_conn: Optional[TcpConnection] = None,
+        id_rng: Optional[np.random.Generator] = None,
     ) -> VideoSession:
-        """Play ``video`` over ``path``; returns the full session record."""
+        """Play ``video`` over ``path``; returns the full session record.
+
+        ``video_conn``/``audio_conn`` let the caller supply connections
+        bound to their own RNG streams, and ``id_rng`` isolates the
+        session-id draw (the corpus engines keep transport and identity
+        randomness in dedicated per-session streams); by default
+        everything comes from ``rng`` as before.
+        """
         cfg = self.config
-        video_conn = TcpConnection(path, rng)
-        audio_conn = TcpConnection(path, rng)
+        if video_conn is None:
+            video_conn = TcpConnection(path, rng)
+        if audio_conn is None:
+            audio_conn = TcpConnection(path, rng)
         buffer = PlayoutBuffer(
             startup_threshold_s=cfg.startup_threshold_s,
             rebuffer_threshold_s=cfg.rebuffer_threshold_s,
@@ -188,10 +200,7 @@ class AdaptivePlayer:
             stalls_before = len(buffer.stalls)
             slices = max(1, int(np.ceil(media)))
             span = transfer.end_s - transfer.start_s
-            for k in range(1, slices + 1):
-                buffer.add_media(
-                    transfer.start_s + span * k / slices, media / slices
-                )
+            buffer.add_media_run(transfer.start_s, span, slices, media)
             # A stall during (or still open after) this transfer resets
             # the fast-start ramp: refill with small quick chunks.
             if len(buffer.stalls) > stalls_before or buffer.stalled:
@@ -254,7 +263,7 @@ class AdaptivePlayer:
         buffer.finish(end)
 
         return VideoSession(
-            session_id=make_session_id(rng),
+            session_id=make_session_id(id_rng if id_rng is not None else rng),
             video=video,
             kind="adaptive",
             place=place,

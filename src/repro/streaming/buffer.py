@@ -44,6 +44,19 @@ class PlayoutBuffer:
         with a small cushion rather than the full startup fill).
     """
 
+    __slots__ = (
+        "startup_threshold_s",
+        "rebuffer_threshold_s",
+        "level_s",
+        "played_s",
+        "playback_started",
+        "startup_delay_s",
+        "stalls",
+        "_clock_s",
+        "_stalled_since",
+        "_stall_total_s",
+    )
+
     def __init__(
         self,
         startup_threshold_s: float = 4.0,
@@ -62,6 +75,7 @@ class PlayoutBuffer:
 
         self._clock_s: float = 0.0
         self._stalled_since: Optional[float] = None
+        self._stall_total_s: float = 0.0
 
     @property
     def clock_s(self) -> float:
@@ -78,26 +92,27 @@ class PlayoutBuffer:
         return self._stalled_since
 
     def total_stall_s(self) -> float:
-        return sum(stall.duration_s for stall in self.stalls)
+        return self._stall_total_s
 
     def advance_to(self, wall_s: float) -> None:
         """Move wall clock forward, draining the buffer while playing."""
-        if wall_s < self._clock_s - 1e-9:
+        clock = self._clock_s
+        if wall_s < clock - 1e-9:
             raise ValueError("clock cannot move backwards")
-        dt = max(0.0, wall_s - self._clock_s)
-        if self.playback_started and not self.stalled and dt > 0:
+        dt = wall_s - clock
+        if dt > 0 and self.playback_started and self._stalled_since is None:
+            level = self.level_s
             # Small epsilon so a buffer draining *exactly* to zero (the
             # normal end of a session) is not recorded as a stall.
-            if self.level_s >= dt - 1e-6:
-                self.level_s = max(0.0, self.level_s - dt)
+            if level >= dt - 1e-6:
+                self.level_s = level - dt if level > dt else 0.0
                 self.played_s += dt
             else:
                 # Buffer runs dry partway through the step: play what is
                 # buffered, then stall for the remainder.
-                played = self.level_s
-                self.played_s += played
+                self.played_s += level
                 self.level_s = 0.0
-                self._stalled_since = self._clock_s + played
+                self._stalled_since = clock + level
         self._clock_s = wall_s
 
     def add_media(self, wall_s: float, media_s: float) -> None:
@@ -114,6 +129,45 @@ class PlayoutBuffer:
         elif self.stalled and self.level_s >= self.rebuffer_threshold_s:
             self._close_stall(wall_s)
 
+    def add_media_run(
+        self, start_s: float, span_s: float, slices: int, media_s: float
+    ) -> None:
+        """Credit ``media_s`` seconds continuously across a transfer.
+
+        Equivalent to ``slices`` evenly-spaced :meth:`add_media` calls
+        covering ``[start_s, start_s + span_s]`` — the inner loop of both
+        player simulations, inlined here because it dominates their
+        buffer bookkeeping cost.
+        """
+        slice_media = media_s / slices
+        startup = self.startup_threshold_s
+        rebuffer = self.rebuffer_threshold_s
+        for k in range(1, slices + 1):
+            wall = start_s + span_s * k / slices
+            clock = self._clock_s
+            if wall < clock - 1e-9:
+                raise ValueError("clock cannot move backwards")
+            dt = wall - clock
+            if dt > 0 and self.playback_started and self._stalled_since is None:
+                level = self.level_s
+                if level >= dt - 1e-6:
+                    self.level_s = level - dt if level > dt else 0.0
+                    self.played_s += dt
+                else:
+                    self.played_s += level
+                    self.level_s = 0.0
+                    self._stalled_since = clock + level
+            self._clock_s = wall
+
+            level = self.level_s + slice_media
+            self.level_s = level
+            if not self.playback_started:
+                if level >= startup:
+                    self.playback_started = True
+                    self.startup_delay_s = wall
+            elif self._stalled_since is not None and level >= rebuffer:
+                self._close_stall(wall)
+
     def _close_stall(self, wall_s: float) -> None:
         start = self._stalled_since
         duration = wall_s - start
@@ -121,6 +175,7 @@ class PlayoutBuffer:
         # stalls: real players absorb them without a visible rebuffer.
         if duration > 0.01:
             self.stalls.append(StallEvent(start_s=start, duration_s=duration))
+            self._stall_total_s += duration
         self._stalled_since = None
 
     def finish(self, wall_s: float) -> None:

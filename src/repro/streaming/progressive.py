@@ -89,14 +89,24 @@ class ProgressivePlayer:
         rng: np.random.Generator,
         place: str = "unknown",
         quality: Optional[QualityLevel] = None,
+        conn: Optional[TcpConnection] = None,
+        id_rng: Optional[np.random.Generator] = None,
     ) -> VideoSession:
-        """Play ``video`` over ``path`` at a fixed quality."""
+        """Play ``video`` over ``path`` at a fixed quality.
+
+        ``conn`` lets the caller supply a connection bound to its own
+        RNG stream, and ``id_rng`` isolates the session-id draw (the
+        corpus engines keep transport and identity randomness in
+        dedicated per-session streams); by default everything comes
+        from ``rng`` as before.
+        """
         cfg = self.config
         if quality is None:
             quality = select_static_quality(
                 cfg.ladder, video, path.base_state.bandwidth_kbps, rng
             )
-        conn = TcpConnection(path, rng)
+        if conn is None:
+            conn = TcpConnection(path, rng)
         buffer = PlayoutBuffer(
             startup_threshold_s=cfg.startup_threshold_s,
             rebuffer_threshold_s=cfg.rebuffer_threshold_s,
@@ -170,12 +180,8 @@ class ProgressivePlayer:
             # range is still downloading.
             stalls_before = len(buffer.stalls)
             slices = max(1, int(np.ceil(media)))
-            slice_media = media / slices
             span = transfer.end_s - transfer.start_s
-            for k in range(1, slices + 1):
-                buffer.add_media(
-                    transfer.start_s + span * k / slices, slice_media
-                )
+            buffer.add_media_run(transfer.start_s, span, slices, media)
             now = transfer.end_s
 
             # A stall during (or still open after) this transfer switches
@@ -197,7 +203,7 @@ class ProgressivePlayer:
         buffer.finish(end)
 
         return VideoSession(
-            session_id=make_session_id(rng),
+            session_id=make_session_id(id_rng if id_rng is not None else rng),
             video=video,
             kind="progressive",
             place=place,

@@ -17,7 +17,7 @@ from .catalog import QualityLevel
 __all__ = ["ChunkDownload"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ChunkDownload:
     """One media chunk fetched by the player.
 

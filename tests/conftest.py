@@ -30,7 +30,7 @@ def cleartext_corpus():
 @pytest.fixture(scope="session")
 def adaptive_corpus():
     """A small all-HAS corpus."""
-    return generate_adaptive_corpus(100, seed=102)
+    return generate_adaptive_corpus(100, seed=104)
 
 
 @pytest.fixture(scope="session")
@@ -69,7 +69,7 @@ def one_progressive_session():
 @pytest.fixture(scope="session")
 def one_adaptive_session():
     """A single simulated adaptive session on a good network."""
-    rng = np.random.default_rng(8)
+    rng = np.random.default_rng(9)
     video = Video(video_id="fixture-has", duration_s=120.0)
     path = NetworkPath("good", 700.0, rng)
     return AdaptivePlayer().play(video, path, rng, place="home")

@@ -1,0 +1,90 @@
+"""Corpus-engine determinism and bit-identity tests.
+
+The vectorized engine (``repro.datasets.genx.vector``) must reproduce
+the per-session oracle bit for bit for every corpus shape: same
+sessions, weblog fields, prepared records, device summaries and
+segment records.  These tests run full ``generate_corpus`` builds
+through both engines and compare every field exactly (no tolerances —
+the contract is bitwise equality, not closeness).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.datasets.generate import CorpusConfig, generate_corpus
+from repro.datasets.genx import ENGINES
+from repro.network.diurnal import DiurnalLoadModel
+from repro.network.mobility import COMMUTER_USER
+
+
+def _assert_identical(a, b, path=""):
+    """Recursively assert two corpus objects are exactly equal."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        assert isinstance(a, np.ndarray) and isinstance(b, np.ndarray), path
+        assert a.dtype == b.dtype, f"{path}: dtype {a.dtype} != {b.dtype}"
+        assert np.array_equal(a, b), f"{path}: arrays differ"
+        return
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        assert type(a) is type(b), path
+        for f in dataclasses.fields(a):
+            _assert_identical(
+                getattr(a, f.name), getattr(b, f.name), f"{path}.{f.name}"
+            )
+        return
+    if isinstance(a, (list, tuple)):
+        assert isinstance(b, type(a)), path
+        assert len(a) == len(b), f"{path}: len {len(a)} != {len(b)}"
+        for i, (x, y) in enumerate(zip(a, b)):
+            _assert_identical(x, y, f"{path}[{i}]")
+        return
+    assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def assert_corpora_identical(a, b):
+    for field in ("sessions", "records", "weblogs", "summaries", "segment_records"):
+        _assert_identical(getattr(a, field), getattr(b, field), field)
+
+
+CONFIGS = {
+    "cleartext": CorpusConfig(n_sessions=25, seed=11),
+    "adaptive": CorpusConfig(
+        n_sessions=18, seed=12, adaptive_fraction=1.0, transient_outage_prob=0.45
+    ),
+    "encrypted": CorpusConfig(
+        n_sessions=20,
+        seed=13,
+        adaptive_fraction=1.0,
+        mobility=COMMUTER_USER,
+        encrypted=True,
+        single_subscriber=True,
+    ),
+    "empty": CorpusConfig(n_sessions=0, seed=14),
+    "all-progressive": CorpusConfig(n_sessions=12, seed=15, adaptive_fraction=0.0),
+    "diurnal": CorpusConfig(
+        n_sessions=12, seed=16, diurnal=DiurnalLoadModel(), adaptive_fraction=0.5
+    ),
+}
+
+
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_vectorized_matches_oracle(self, name):
+        cfg = CONFIGS[name]
+        vec = generate_corpus(cfg, engine="vectorized")
+        ora = generate_corpus(cfg, engine="per-session")
+        assert_corpora_identical(vec, ora)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown corpus engine"):
+            generate_corpus(CONFIGS["empty"], engine="warp")
+
+
+class TestSameSeedDeterminism:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_same_seed_twice_identical(self, engine):
+        cfg = CONFIGS["cleartext"]
+        a = generate_corpus(cfg, engine=engine)
+        b = generate_corpus(cfg, engine=engine)
+        assert_corpora_identical(a, b)

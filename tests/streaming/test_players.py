@@ -149,7 +149,7 @@ class TestAdaptivePlayer:
         """Figure 4 needs a population of sessions without any quality
         switch; stable links with a good initial estimate provide it."""
         counts = []
-        for seed in range(16, 26):
+        for seed in range(16, 36):
             rng = np.random.default_rng(seed)
             session = AdaptivePlayer().play(
                 _video(), _path("excellent", seed=seed), rng
